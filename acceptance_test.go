@@ -1,0 +1,127 @@
+package seesaw_test
+
+// Acceptance tests: the repository-level checks that the reproduction
+// actually reproduces. Each test pins one of the paper's headline claims
+// at small scale; EXPERIMENTS.md records the full-scale numbers.
+
+import (
+	"testing"
+
+	"seesaw/internal/sim"
+	"seesaw/internal/stats"
+	"seesaw/internal/workload"
+)
+
+func accRun(t *testing.T, wl string, kind sim.CacheKind, mutate func(*sim.Config)) *sim.Report {
+	t.Helper()
+	p, err := workload.ByName(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.Config{
+		Workload: p, Seed: 42, Refs: 50_000,
+		CacheKind: kind, L1Size: 64 << 10,
+		FreqGHz: 1.33, CPUKind: "ooo", MemBytes: 512 << 20,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	r, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestAcceptanceHeadline: SEESAW improves runtime and energy on every
+// probed workload (paper Fig 7/10: "Every single one of our workloads
+// benefits from SEESAW").
+func TestAcceptanceHeadline(t *testing.T) {
+	for _, wl := range []string{"redis", "nutch", "mcf", "olio", "cann", "gups"} {
+		base := accRun(t, wl, sim.KindBaseline, nil)
+		see := accRun(t, wl, sim.KindSeesaw, nil)
+		perf := stats.PctImprovement(float64(base.Cycles), float64(see.Cycles))
+		energy := stats.PctImprovement(base.EnergyTotalNJ, see.EnergyTotalNJ)
+		if perf <= 0 {
+			t.Errorf("%s: runtime improvement %.2f%% <= 0", wl, perf)
+		}
+		if energy <= 0 {
+			t.Errorf("%s: energy saving %.2f%% <= 0", wl, energy)
+		}
+	}
+}
+
+// TestAcceptanceCacheSizeTrend: larger caches benefit more (paper Fig 7).
+func TestAcceptanceCacheSizeTrend(t *testing.T) {
+	imp := func(size uint64) float64 {
+		base := accRun(t, "redis", sim.KindBaseline, func(c *sim.Config) { c.L1Size = size })
+		see := accRun(t, "redis", sim.KindSeesaw, func(c *sim.Config) { c.L1Size = size })
+		return stats.PctImprovement(float64(base.Cycles), float64(see.Cycles))
+	}
+	i32, i64, i128 := imp(32<<10), imp(64<<10), imp(128<<10)
+	if !(i32 < i64 && i64 < i128) {
+		t.Errorf("size trend broken: 32KB %.2f%%, 64KB %.2f%%, 128KB %.2f%%", i32, i64, i128)
+	}
+}
+
+// TestAcceptanceTFT16Entries: the 16-entry TFT misses well under 10% of
+// superpage accesses (paper Fig 13).
+func TestAcceptanceTFT16Entries(t *testing.T) {
+	for _, wl := range []string{"redis", "mongo", "olio"} {
+		r := accRun(t, wl, sim.KindSeesaw, nil)
+		if r.TFT.SuperMissedPct >= 10 {
+			t.Errorf("%s: TFT missed %.1f%% of superpage accesses, want < 10%%", wl, r.TFT.SuperMissedPct)
+		}
+		// ...and most of those misses are also data-cache misses.
+		if r.TFT.SuperMissedL1HitPct > r.TFT.SuperMissedL1MissPct {
+			t.Errorf("%s: TFT misses skew to L1 hits (%.2f%% vs %.2f%%), opposite of Fig 13",
+				wl, r.TFT.SuperMissedL1HitPct, r.TFT.SuperMissedL1MissPct)
+		}
+	}
+}
+
+// TestAcceptanceWayPrediction: WP alone hurts runtime, SEESAW never does,
+// and the combination saves the most energy on a high-locality workload
+// (paper Fig 15).
+func TestAcceptanceWayPrediction(t *testing.T) {
+	base := accRun(t, "nutch", sim.KindBaseline, nil)
+	wp := accRun(t, "nutch", sim.KindBaseline, func(c *sim.Config) { c.WayPredict = true })
+	see := accRun(t, "nutch", sim.KindSeesaw, nil)
+	both := accRun(t, "nutch", sim.KindSeesaw, func(c *sim.Config) { c.WayPredict = true })
+	if wp.Cycles <= base.Cycles {
+		t.Error("way prediction alone should cost runtime")
+	}
+	if see.Cycles >= base.Cycles {
+		t.Error("SEESAW should improve runtime")
+	}
+	if !(both.EnergyTotalNJ < see.EnergyTotalNJ && both.EnergyTotalNJ < wp.EnergyTotalNJ) {
+		t.Errorf("WP+SEESAW should have the lowest energy: both %.0f, see %.0f, wp %.0f",
+			both.EnergyTotalNJ, see.EnergyTotalNJ, wp.EnergyTotalNJ)
+	}
+}
+
+// TestAcceptanceCoherenceFiltering: SEESAW coherence probes pay partition
+// cost; baseline pays full associativity (paper Section IV-C1).
+func TestAcceptanceCoherenceFiltering(t *testing.T) {
+	base := accRun(t, "cann", sim.KindBaseline, nil)
+	see := accRun(t, "cann", sim.KindSeesaw, nil)
+	if base.EnergyCoherenceNJ == 0 || see.EnergyCoherenceNJ >= base.EnergyCoherenceNJ {
+		t.Errorf("coherence energy not filtered: %.1f vs %.1f",
+			see.EnergyCoherenceNJ, base.EnergyCoherenceNJ)
+	}
+	// A 16-way cache with 4-way partitions should cut probe energy by
+	// more than half.
+	if see.EnergyCoherenceNJ > base.EnergyCoherenceNJ*0.5 {
+		t.Errorf("filtering too weak: %.1f vs %.1f", see.EnergyCoherenceNJ, base.EnergyCoherenceNJ)
+	}
+}
+
+// TestAcceptanceDeterminism: identical configs give identical reports —
+// the property every comparison in EXPERIMENTS.md rests on.
+func TestAcceptanceDeterminism(t *testing.T) {
+	a := accRun(t, "mongo", sim.KindSeesaw, nil)
+	b := accRun(t, "mongo", sim.KindSeesaw, nil)
+	if a.Cycles != b.Cycles || a.EnergyTotalNJ != b.EnergyTotalNJ || a.L1Misses != b.L1Misses {
+		t.Error("simulation is not deterministic")
+	}
+}

@@ -1,0 +1,68 @@
+// Command seesaw-figures regenerates the paper's tables and figures.
+//
+// Examples:
+//
+//	seesaw-figures -list
+//	seesaw-figures -exp fig7
+//	seesaw-figures -exp table3 -csv
+//	seesaw-figures -all -refs 50000
+//	seesaw-figures -exp fig12 -workloads redis,olio
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"seesaw/internal/experiments"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "", "experiment id (see -list)")
+		all  = flag.Bool("all", false, "run every experiment")
+		list = flag.Bool("list", false, "list experiment ids and exit")
+		refs = flag.Int("refs", 100_000, "memory references per simulation")
+		seed = flag.Int64("seed", 42, "deterministic seed")
+		wls  = flag.String("workloads", "", "comma-separated workload subset (default: all)")
+		csv  = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	opts := experiments.Options{Refs: *refs, Seed: *seed}
+	if *wls != "" {
+		opts.Workloads = strings.Split(*wls, ",")
+	}
+	var ids []string
+	switch {
+	case *all:
+		ids = experiments.IDs()
+	case *exp != "":
+		ids = strings.Split(*exp, ",")
+	default:
+		fmt.Fprintln(os.Stderr, "seesaw-figures: pass -exp <id>, -all, or -list")
+		os.Exit(2)
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tb, err := experiments.Run(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seesaw-figures: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Printf("# %s\n%s\n", id, tb.CSV())
+		} else {
+			tb.WriteTo(os.Stdout)
+			fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+		}
+	}
+}

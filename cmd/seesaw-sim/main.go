@@ -1,0 +1,184 @@
+// Command seesaw-sim runs one simulation of a workload on a configurable
+// L1 design and prints the full report: timing, MPKI, TLB/TFT behaviour,
+// coherence statistics, and the memory-hierarchy energy breakdown.
+//
+// Examples:
+//
+//	seesaw-sim -workload redis -cache seesaw -size 64 -freq 1.33
+//	seesaw-sim -workload olio -cache baseline -cpu inorder -memhog 0.6
+//	seesaw-sim -workload cann -cache seesaw -waypredict -refs 500000
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"seesaw/internal/core"
+	"seesaw/internal/sim"
+	"seesaw/internal/stats"
+	"seesaw/internal/trace"
+	"seesaw/internal/workload"
+)
+
+func main() {
+	var (
+		wlName    = flag.String("workload", "redis", "workload name (see -list)")
+		list      = flag.Bool("list", false, "list workloads and exit")
+		cacheStr  = flag.String("cache", "seesaw", "L1 design: seesaw | baseline | pipt")
+		sizeKB    = flag.Uint64("size", 32, "L1 data cache size in KB (32, 64, 128)")
+		ways      = flag.Int("ways", 0, "L1 ways (default: 4 per 16KB)")
+		freq      = flag.Float64("freq", 1.33, "clock in GHz (1.33, 2.80, 4.00)")
+		cpuKind   = flag.String("cpu", "ooo", "core model: ooo | inorder")
+		refs      = flag.Int("refs", 200_000, "memory references to simulate")
+		seed      = flag.Int64("seed", 42, "deterministic seed")
+		memhog    = flag.Float64("memhog", 0, "fraction of memory fragmented by memhog [0,0.95]")
+		thpOff    = flag.Bool("no-thp", false, "disable transparent superpages")
+		wayPred   = flag.Bool("waypredict", false, "enable the MRU way predictor")
+		snoopy    = flag.Bool("snoopy", false, "use snoopy coherence instead of a directory")
+		tftEnt    = flag.Int("tft", 16, "TFT entries")
+		policy48  = flag.Bool("policy-4way-8way", false, "use the 4way-8way insertion ablation policy")
+		compare   = flag.Bool("compare", false, "also run baseline VIPT and print improvements")
+		tracePath = flag.String("trace", "", "replay a trace file (from seesaw-tracegen) instead of generating online; must match -workload")
+		heap1G    = flag.Bool("heap1g", false, "back the heap with explicit 1GB superpages")
+		icache    = flag.Bool("icache", false, "model the 32KB L1 instruction caches and fetch stream")
+		textHuge  = flag.Bool("texthuge", false, "map the text segment with 2MB pages (enables SEESAW-I fast paths)")
+		coRunner  = flag.String("corunner", "", "co-runner workload for real multiprogrammed context switches")
+		jsonOut   = flag.Bool("json", false, "emit the report as JSON instead of text")
+		profile   = flag.String("profile", "", "load a custom workload profile from a JSON file (overrides -workload)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range workload.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	p, err := workload.ByName(*wlName)
+	if err != nil {
+		fatal(err)
+	}
+	if *profile != "" {
+		if p, err = workload.LoadProfile(*profile); err != nil {
+			fatal(err)
+		}
+	}
+	var kind sim.CacheKind
+	switch *cacheStr {
+	case "seesaw":
+		kind = sim.KindSeesaw
+	case "baseline":
+		kind = sim.KindBaseline
+	case "pipt":
+		kind = sim.KindPIPT
+	default:
+		fatal(fmt.Errorf("unknown cache design %q", *cacheStr))
+	}
+	cfg := sim.Config{
+		Workload:       p,
+		Seed:           *seed,
+		Refs:           *refs,
+		CacheKind:      kind,
+		L1Size:         *sizeKB << 10,
+		L1Ways:         *ways,
+		FreqGHz:        *freq,
+		CPUKind:        *cpuKind,
+		MemhogFraction: *memhog,
+		THPOff:         *thpOff,
+		WayPredict:     *wayPred,
+		Heap1G:         *heap1G,
+		ICache:         *icache,
+		TextHuge:       *textHuge,
+	}
+	if *coRunner != "" {
+		co, err := workload.ByName(*coRunner)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.CoRunner = &co
+	}
+	cfg.TFT.Entries = *tftEnt
+	if *policy48 {
+		cfg.Policy = core.FourEightWay
+	}
+	if *snoopy {
+		cfg.CoherenceMode = 1
+	}
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err := trace.NewReader(f)
+		if err != nil {
+			f.Close()
+			fatal(err)
+		}
+		recs, err := tr.ReadAll()
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Trace = recs
+	}
+	r, err := sim.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	printReport(r)
+	if *compare && kind != sim.KindBaseline {
+		cfg.CacheKind = sim.KindBaseline
+		base, err := sim.Run(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nvs %s:\n", base.Design)
+		fmt.Printf("  runtime improvement: %.2f%%\n",
+			stats.PctImprovement(float64(base.Cycles), float64(r.Cycles)))
+		fmt.Printf("  energy saving:       %.2f%%\n",
+			stats.PctImprovement(base.EnergyTotalNJ, r.EnergyTotalNJ))
+	}
+}
+
+func printReport(r *sim.Report) {
+	fmt.Printf("design:    %s\n", r.Design)
+	fmt.Printf("workload:  %s\n", r.Workload)
+	fmt.Printf("cycles:    %d (IPC %.3f, runtime %.3f ms)\n", r.Cycles, r.IPC, r.RuntimeSec*1e3)
+	fmt.Printf("L1:        %d hits, %d misses (%.2f%% hit, MPKI %.1f)\n",
+		r.L1Hits, r.L1Misses, 100*stats.Ratio(r.L1Hits, r.L1Hits+r.L1Misses), r.MPKI)
+	if r.L1IHits+r.L1IMisses > 0 {
+		fmt.Printf("L1I:       %d hits, %d misses (%.2f%% hit)\n",
+			r.L1IHits, r.L1IMisses, 100*stats.Ratio(r.L1IHits, r.L1IHits+r.L1IMisses))
+	}
+	fmt.Printf("superpage: coverage %.1f%%, reference share %.1f%%\n",
+		100*r.SuperpageCoverage, 100*r.SuperRefFraction)
+	if r.TFT.Lookups > 0 {
+		fmt.Printf("TFT:       %.1f%% hit rate; %.2f%% of superpage accesses missed (%.2f%% L1-hit / %.2f%% L1-miss)\n",
+			100*r.TFT.HitRate, r.TFT.SuperMissedPct, r.TFT.SuperMissedL1HitPct, r.TFT.SuperMissedL1MissPct)
+	}
+	fmt.Printf("TLB:       %.2f%% L1 hit, %d L2 lookups, %d walks\n",
+		100*r.TLB.L1HitRate, r.TLB.L2Lookups, r.TLB.Walks)
+	fmt.Printf("coherence: %d probes, %d invalidations, %d downgrades\n",
+		r.Coh.ProbesSent, r.Coh.Invalidations, r.Coh.Downgrades)
+	fmt.Printf("OS:        %d promotions, %d splinters\n", r.Promotions, r.Splinters)
+	if r.WPAccuracy > 0 {
+		fmt.Printf("waypred:   %.1f%% accuracy\n", 100*r.WPAccuracy)
+	}
+	fmt.Println()
+	r.Energy.BreakdownTable(r.RuntimeSec).WriteTo(os.Stdout)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "seesaw-sim:", err)
+	os.Exit(1)
+}

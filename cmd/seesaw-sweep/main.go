@@ -1,0 +1,148 @@
+// Command seesaw-sweep explores the L1 design space: it runs every
+// combination of cache size, design (baseline VIPT / SEESAW with a range
+// of partition counts / serial PIPT), and frequency over a workload set,
+// and reports runtime and memory-hierarchy energy relative to the
+// baseline VIPT of the same size — the tool a designer would use to pick
+// the paper's "number of ways in each partition" (Section IV-B4).
+//
+// Examples:
+//
+//	seesaw-sweep -workloads redis,nutch -refs 50000
+//	seesaw-sweep -sizes 64 -freqs 1.33,4.0 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"seesaw/internal/sim"
+	"seesaw/internal/stats"
+	"seesaw/internal/workload"
+)
+
+type design struct {
+	name       string
+	kind       sim.CacheKind
+	partitions int
+	serialTLB  int
+	smallTLB   bool
+}
+
+func main() {
+	var (
+		wls   = flag.String("workloads", "redis,nutch,olio,mcf", "comma-separated workloads")
+		sizes = flag.String("sizes", "32,64,128", "comma-separated L1 sizes in KB")
+		freqs = flag.String("freqs", "1.33", "comma-separated frequencies in GHz")
+		refs  = flag.Int("refs", 50_000, "references per run")
+		seed  = flag.Int64("seed", 42, "deterministic seed")
+		csv   = flag.Bool("csv", false, "emit CSV")
+	)
+	flag.Parse()
+
+	var profiles []workload.Profile
+	for _, n := range strings.Split(*wls, ",") {
+		p, err := workload.ByName(n)
+		if err != nil {
+			fatal(err)
+		}
+		profiles = append(profiles, p)
+	}
+	sizeList, err := parseFloats(*sizes)
+	if err != nil {
+		fatal(err)
+	}
+	freqList, err := parseFloats(*freqs)
+	if err != nil {
+		fatal(err)
+	}
+
+	t := stats.NewTable("L1 design-space sweep (improvements vs same-size baseline VIPT, avg across workloads)",
+		"size", "freq", "design", "perf %", "energy %", "IPC")
+	for _, szKB := range sizeList {
+		size := uint64(szKB) << 10
+		ways := int(size / (16 << 10) * 4)
+		designs := []design{
+			{name: "VIPT (baseline)", kind: sim.KindBaseline},
+		}
+		for parts := 2; parts <= ways/2; parts *= 2 {
+			designs = append(designs, design{
+				name: fmt.Sprintf("SEESAW %dp x %dw", parts, ways/parts),
+				kind: sim.KindSeesaw, partitions: parts,
+			})
+		}
+		designs = append(designs,
+			design{name: "PIPT 4w (small TLB)", kind: sim.KindPIPT, serialTLB: 2, smallTLB: true},
+		)
+		for _, f := range freqList {
+			// Baseline reference per (size, freq).
+			var basePerf []float64
+			var baseEnergy []float64
+			for _, p := range profiles {
+				r, err := run(p, *seed, *refs, sim.KindBaseline, size, ways, 0, f, 0, false)
+				if err != nil {
+					fatal(err)
+				}
+				basePerf = append(basePerf, float64(r.Cycles))
+				baseEnergy = append(baseEnergy, r.EnergyTotalNJ)
+			}
+			for _, d := range designs {
+				var ps, es, ipc stats.Summary
+				dw := ways
+				if d.kind == sim.KindPIPT {
+					dw = 4
+				}
+				for wi, p := range profiles {
+					r, err := run(p, *seed, *refs, d.kind, size, dw, d.partitions, f, d.serialTLB, d.smallTLB)
+					if err != nil {
+						fatal(err)
+					}
+					ps.Add(stats.PctImprovement(basePerf[wi], float64(r.Cycles)))
+					es.Add(stats.PctImprovement(baseEnergy[wi], r.EnergyTotalNJ))
+					ipc.Add(r.IPC)
+				}
+				t.AddRow(
+					fmt.Sprintf("%.0fKB", szKB),
+					fmt.Sprintf("%.2fGHz", f),
+					d.name,
+					fmt.Sprintf("%.2f", ps.Mean()),
+					fmt.Sprintf("%.2f", es.Mean()),
+					fmt.Sprintf("%.3f", ipc.Mean()),
+				)
+			}
+		}
+	}
+	if *csv {
+		fmt.Print(t.CSV())
+		return
+	}
+	t.WriteTo(os.Stdout)
+}
+
+func run(p workload.Profile, seed int64, refs int, kind sim.CacheKind, size uint64, ways, parts int, freq float64, serialTLB int, smallTLB bool) (*sim.Report, error) {
+	return sim.Run(sim.Config{
+		Workload: p, Seed: seed, Refs: refs,
+		CacheKind: kind, L1Size: size, L1Ways: ways, Partitions: parts,
+		SerialTLBCycles: serialTLB, SmallTLB: smallTLB,
+		FreqGHz: freq, CPUKind: "ooo", MemBytes: 512 << 20,
+	})
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "seesaw-sweep:", err)
+	os.Exit(1)
+}

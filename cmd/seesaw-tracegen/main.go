@@ -1,0 +1,123 @@
+// Command seesaw-tracegen generates binary memory traces from the
+// synthetic workload models, and inspects existing trace files — the
+// equivalent of the paper's Pin-based trace collection step.
+//
+// Examples:
+//
+//	seesaw-tracegen -workload redis -refs 1000000 -out redis.trc
+//	seesaw-tracegen -inspect redis.trc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"seesaw/internal/trace"
+	"seesaw/internal/workload"
+)
+
+func main() {
+	var (
+		wlName  = flag.String("workload", "redis", "workload name")
+		refs    = flag.Int("refs", 1_000_000, "references to generate")
+		seed    = flag.Int64("seed", 42, "deterministic seed")
+		out     = flag.String("out", "", "output trace file (default: <workload>.trc)")
+		inspect = flag.String("inspect", "", "inspect an existing trace file and exit")
+		head    = flag.Int("head", 10, "records to print when inspecting")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		if err := inspectTrace(*inspect, *head); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	p, err := workload.ByName(*wlName)
+	if err != nil {
+		fatal(err)
+	}
+	path := *out
+	if path == "" {
+		path = p.Name + ".trc"
+	}
+	if err := generate(p, *seed, *refs, path); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d references for %s to %s\n", *refs, p.Name, path)
+}
+
+func generate(p workload.Profile, seed int64, refs int, path string) error {
+	g := workload.NewGenerator(p, seed)
+	g.BindDefault() // the simulator's mmap layout, so traces replay exactly
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		return err
+	}
+	// Interleave app threads (8:1 with the system thread), matching the
+	// simulator's schedule.
+	var schedule []int
+	for t := 0; t < g.Threads(); t++ {
+		for k := 0; k < 8; k++ {
+			schedule = append(schedule, t)
+		}
+	}
+	schedule = append(schedule, g.SystemTID())
+	for i := 0; i < refs; i++ {
+		if err := w.Write(g.Next(schedule[i%len(schedule)])); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+func inspectTrace(path string, head int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	var n, stores, deps uint64
+	tids := map[uint8]uint64{}
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if n < uint64(head) {
+			fmt.Printf("%8d  %-5s tid=%d gap=%-3d dep=%-5v va=%#x\n",
+				n, rec.Kind, rec.TID, rec.Gap, rec.Dep, uint64(rec.VA))
+		}
+		n++
+		if rec.Kind == trace.Store {
+			stores++
+		}
+		if rec.Dep {
+			deps++
+		}
+		tids[rec.TID]++
+	}
+	fmt.Printf("\n%d records: %.1f%% stores, %.1f%% dependent, %d threads\n",
+		n, 100*float64(stores)/float64(n), 100*float64(deps)/float64(n), len(tids))
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "seesaw-tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,23 @@
+// Package seesaw is a from-scratch Go reproduction of "SEESAW: Using
+// Superpages to Improve VIPT Caches" (Parasar, Bhattacharjee, Krishna —
+// ISCA 2018).
+//
+// The implementation lives under internal/: the SEESAW L1 cache design in
+// internal/core, and every substrate the paper's evaluation rests on —
+// SRAM latency/energy models, buddy-allocated physical memory with
+// compaction, an OS memory manager with transparent superpages, x86-64
+// page tables, TLB hierarchies, the Translation Filter Table, MOESI
+// coherence with an inclusive LLC, way prediction, synthetic workload
+// models, and in-order/out-of-order CPU timing models.
+//
+// Entry points:
+//
+//   - cmd/seesaw-sim: run one configurable simulation
+//   - cmd/seesaw-figures: regenerate every table and figure of the paper
+//   - cmd/seesaw-tracegen: generate/inspect binary memory traces
+//   - examples/: runnable walkthroughs of the public behaviours
+//   - bench_test.go: a benchmark per reproduced table/figure
+//
+// See DESIGN.md for the system inventory and per-experiment index, and
+// EXPERIMENTS.md for paper-vs-measured results.
+package seesaw

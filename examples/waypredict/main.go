@@ -1,0 +1,62 @@
+// Waypredict: the paper's Fig 15 study — an MRU way predictor trades
+// latency for energy and can *hurt* runtime on low-locality workloads,
+// SEESAW never does, and the combination (SEESAW steering the predictor
+// to the right partition) saves the most energy.
+//
+//	go run ./examples/waypredict
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"seesaw/internal/sim"
+	"seesaw/internal/stats"
+	"seesaw/internal/workload"
+)
+
+func main() {
+	fmt.Println("64KB L1 @1.33GHz, OoO; improvements vs baseline VIPT")
+	fmt.Println("workload  WPacc%   WP perf%  WP en%   SEESAW perf%  SEESAW en%   WP+S perf%  WP+S en%")
+	// nutch predicts well (high line reuse); olio and g500 are
+	// pointer-chasers where MRU prediction collapses.
+	for _, name := range []string{"nutch", "redis", "olio", "g500"} {
+		p, err := workload.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := sim.Config{
+			Workload: p, Seed: 11, Refs: 100_000,
+			CacheKind: sim.KindBaseline, L1Size: 64 << 10,
+			FreqGHz: 1.33, CPUKind: "ooo", MemBytes: 512 << 20,
+		}
+		base, err := sim.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		run := func(kind sim.CacheKind, wp bool) *sim.Report {
+			c := cfg
+			c.CacheKind = kind
+			c.WayPredict = wp
+			r, err := sim.Run(c)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return r
+		}
+		wp := run(sim.KindBaseline, true)
+		see := run(sim.KindSeesaw, false)
+		both := run(sim.KindSeesaw, true)
+		perf := func(r *sim.Report) float64 {
+			return stats.PctImprovement(float64(base.Cycles), float64(r.Cycles))
+		}
+		en := func(r *sim.Report) float64 {
+			return stats.PctImprovement(base.EnergyTotalNJ, r.EnergyTotalNJ)
+		}
+		fmt.Printf("%-8s  %5.1f   %7.2f  %6.2f      %7.2f      %7.2f      %7.2f   %7.2f\n",
+			name, 100*wp.WPAccuracy,
+			perf(wp), en(wp), perf(see), en(see), perf(both), en(both))
+	}
+	fmt.Println("\n(expected shape, per the paper: WP perf <= 0, worst where accuracy is low;")
+	fmt.Println(" SEESAW perf always >= 0; WP+SEESAW has the best energy column)")
+}

@@ -1,0 +1,143 @@
+// Package addr defines the address arithmetic shared by every component of
+// the SEESAW simulator: virtual and physical addresses, the x86-64 page
+// sizes, cache-line geometry, and the partition-index extraction at the
+// heart of the SEESAW design.
+//
+// Conventions follow x86-64: 64-bit virtual addresses, 4KB base pages, 2MB
+// and 1GB superpages, and 64-byte cache lines.
+package addr
+
+import "fmt"
+
+// VAddr is a virtual address.
+type VAddr uint64
+
+// PAddr is a physical address.
+type PAddr uint64
+
+// LineSize is the cache line size in bytes used throughout the simulator.
+const LineSize = 64
+
+// LineBits is log2(LineSize).
+const LineBits = 6
+
+// PageSize enumerates the page sizes supported by the simulated
+// architecture. Base pages are 4KB; 2MB and 1GB are superpages.
+type PageSize int
+
+const (
+	// Page4K is the 4KB base page.
+	Page4K PageSize = iota
+	// Page2M is the 2MB superpage.
+	Page2M
+	// Page1G is the 1GB superpage.
+	Page1G
+	// NumPageSizes is the count of supported page sizes.
+	NumPageSizes
+)
+
+// OffsetBits returns the number of page-offset bits for the page size
+// (12, 21, or 30).
+func (s PageSize) OffsetBits() uint {
+	switch s {
+	case Page4K:
+		return 12
+	case Page2M:
+		return 21
+	case Page1G:
+		return 30
+	}
+	panic(fmt.Sprintf("addr: invalid page size %d", int(s)))
+}
+
+// Bytes returns the page size in bytes.
+func (s PageSize) Bytes() uint64 { return 1 << s.OffsetBits() }
+
+// IsSuper reports whether the page size is a superpage (larger than the
+// base page).
+func (s PageSize) IsSuper() bool { return s != Page4K }
+
+// String implements fmt.Stringer.
+func (s PageSize) String() string {
+	switch s {
+	case Page4K:
+		return "4KB"
+	case Page2M:
+		return "2MB"
+	case Page1G:
+		return "1GB"
+	}
+	return fmt.Sprintf("PageSize(%d)", int(s))
+}
+
+// Mask returns a mask covering the low n bits.
+func Mask(n uint) uint64 { return (uint64(1) << n) - 1 }
+
+// PageOffset returns the page offset of v for the given page size.
+func (v VAddr) PageOffset(s PageSize) uint64 { return uint64(v) & Mask(s.OffsetBits()) }
+
+// VPN returns the virtual page number of v for the given page size.
+func (v VAddr) VPN(s PageSize) uint64 { return uint64(v) >> s.OffsetBits() }
+
+// PageBase returns the first address of the page containing v.
+func (v VAddr) PageBase(s PageSize) VAddr { return VAddr(uint64(v) &^ Mask(s.OffsetBits())) }
+
+// Line returns the cache-line address (line number) of v.
+func (v VAddr) Line() uint64 { return uint64(v) >> LineBits }
+
+// LineBase returns the first byte address of the line containing v.
+func (v VAddr) LineBase() VAddr { return VAddr(uint64(v) &^ Mask(LineBits)) }
+
+// Region2M returns the identifier of the 2MB-aligned virtual region
+// containing v (VA bits 63:21). This is the tag stored in the TFT.
+func (v VAddr) Region2M() uint64 { return uint64(v) >> Page2M.OffsetBits() }
+
+// Bit returns bit i of the address (0 or 1).
+func (v VAddr) Bit(i uint) uint64 { return (uint64(v) >> i) & 1 }
+
+// Bits returns bits [lo, lo+n) of the address.
+func (v VAddr) Bits(lo, n uint) uint64 { return (uint64(v) >> lo) & Mask(n) }
+
+// PageOffset returns the page offset of p for the given page size.
+func (p PAddr) PageOffset(s PageSize) uint64 { return uint64(p) & Mask(s.OffsetBits()) }
+
+// PPN returns the physical page (frame) number of p for the given page size.
+func (p PAddr) PPN(s PageSize) uint64 { return uint64(p) >> s.OffsetBits() }
+
+// PageBase returns the first address of the physical page containing p.
+func (p PAddr) PageBase(s PageSize) PAddr { return PAddr(uint64(p) &^ Mask(s.OffsetBits())) }
+
+// Line returns the cache-line address (line number) of p.
+func (p PAddr) Line() uint64 { return uint64(p) >> LineBits }
+
+// LineBase returns the first byte address of the line containing p.
+func (p PAddr) LineBase() PAddr { return PAddr(uint64(p) &^ Mask(LineBits)) }
+
+// Bit returns bit i of the address (0 or 1).
+func (p PAddr) Bit(i uint) uint64 { return (uint64(p) >> i) & 1 }
+
+// Bits returns bits [lo, lo+n) of the address.
+func (p PAddr) Bits(lo, n uint) uint64 { return (uint64(p) >> lo) & Mask(n) }
+
+// Translate applies a translation from a virtual page to a physical frame:
+// it replaces the virtual page number of v with ppn, keeping the page
+// offset, for the given page size.
+func Translate(v VAddr, ppn uint64, s PageSize) PAddr {
+	return PAddr(ppn<<s.OffsetBits() | v.PageOffset(s))
+}
+
+// IsPow2 reports whether x is a power of two (x > 0).
+func IsPow2(x uint64) bool { return x != 0 && x&(x-1) == 0 }
+
+// Log2 returns log2(x) for a power of two x; it panics otherwise.
+func Log2(x uint64) uint {
+	if !IsPow2(x) {
+		panic(fmt.Sprintf("addr: Log2 of non-power-of-two %d", x))
+	}
+	var n uint
+	for x > 1 {
+		x >>= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,110 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPageSizeOffsetBits(t *testing.T) {
+	cases := []struct {
+		s    PageSize
+		bits uint
+		b    uint64
+	}{
+		{Page4K, 12, 4096},
+		{Page2M, 21, 2 << 20},
+		{Page1G, 30, 1 << 30},
+	}
+	for _, c := range cases {
+		if got := c.s.OffsetBits(); got != c.bits {
+			t.Errorf("%v.OffsetBits() = %d, want %d", c.s, got, c.bits)
+		}
+		if got := c.s.Bytes(); got != c.b {
+			t.Errorf("%v.Bytes() = %d, want %d", c.s, got, c.b)
+		}
+	}
+	if Page4K.IsSuper() {
+		t.Error("Page4K.IsSuper() = true, want false")
+	}
+	if !Page2M.IsSuper() || !Page1G.IsSuper() {
+		t.Error("superpages must report IsSuper")
+	}
+}
+
+func TestPageSizeInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("OffsetBits on invalid page size did not panic")
+		}
+	}()
+	_ = PageSize(99).OffsetBits()
+}
+
+func TestVAddrDecomposition(t *testing.T) {
+	v := VAddr(0x7f12_3456_789a)
+	if got := v.PageOffset(Page4K); got != 0x89a {
+		t.Errorf("PageOffset(4K) = %#x, want 0x89a", got)
+	}
+	if got := v.VPN(Page4K); got != 0x7f12_3456_7 {
+		t.Errorf("VPN(4K) = %#x", got)
+	}
+	if got := v.PageBase(Page4K); got != 0x7f12_3456_7000 {
+		t.Errorf("PageBase(4K) = %#x", got)
+	}
+	if got := v.Region2M(); got != uint64(v)>>21 {
+		t.Errorf("Region2M = %#x", got)
+	}
+	if got := v.LineBase(); got != VAddr(uint64(v)&^0x3f) {
+		t.Errorf("LineBase = %#x", got)
+	}
+}
+
+func TestTranslateRoundTrip(t *testing.T) {
+	f := func(raw uint64, ppn uint32, sizeSel uint8) bool {
+		s := PageSize(sizeSel % 3)
+		v := VAddr(raw)
+		p := Translate(v, uint64(ppn), s)
+		return p.PageOffset(s) == v.PageOffset(s) && p.PPN(s) == uint64(ppn)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVPNOffsetRecompose(t *testing.T) {
+	f := func(raw uint64, sizeSel uint8) bool {
+		s := PageSize(sizeSel % 3)
+		v := VAddr(raw)
+		return uint64(v) == v.VPN(s)<<s.OffsetBits()|v.PageOffset(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLog2(t *testing.T) {
+	for i := uint(0); i < 63; i++ {
+		if got := Log2(1 << i); got != i {
+			t.Errorf("Log2(1<<%d) = %d", i, got)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Log2(12) did not panic")
+		}
+	}()
+	Log2(12)
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, x := range []uint64{1, 2, 4, 1024, 1 << 40} {
+		if !IsPow2(x) {
+			t.Errorf("IsPow2(%d) = false", x)
+		}
+	}
+	for _, x := range []uint64{0, 3, 6, 12, 1<<40 + 1} {
+		if IsPow2(x) {
+			t.Errorf("IsPow2(%d) = true", x)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package addr
+
+import "fmt"
+
+// CacheGeometry describes the index structure of a set-associative cache
+// and, for SEESAW, its way partitioning. It is pure arithmetic: given an
+// address it yields the set index, the tag, and (when the address has
+// enough known-physical bits) the partition index.
+type CacheGeometry struct {
+	SizeBytes  uint64 // total data capacity
+	Ways       int    // associativity
+	Partitions int    // number of way partitions (1 = unpartitioned)
+
+	sets          uint64
+	setBits       uint
+	partitionBits uint
+}
+
+// NewCacheGeometry validates and precomputes a cache geometry. The set
+// count and partition count must be powers of two (they become address
+// bits); the way count only needs to divide evenly into partitions, which
+// permits non-power-of-two capacities like a 24MB 24-way LLC.
+func NewCacheGeometry(sizeBytes uint64, ways, partitions int) (CacheGeometry, error) {
+	g := CacheGeometry{SizeBytes: sizeBytes, Ways: ways, Partitions: partitions}
+	switch {
+	case sizeBytes == 0 || sizeBytes%LineSize != 0:
+		return g, fmt.Errorf("addr: cache size %d not a multiple of the line size", sizeBytes)
+	case ways <= 0:
+		return g, fmt.Errorf("addr: ways %d not positive", ways)
+	case partitions <= 0 || !IsPow2(uint64(partitions)):
+		return g, fmt.Errorf("addr: partitions %d not a positive power of two", partitions)
+	case ways%partitions != 0:
+		return g, fmt.Errorf("addr: %d ways not divisible into %d partitions", ways, partitions)
+	}
+	lines := sizeBytes / LineSize
+	if lines%uint64(ways) != 0 {
+		return g, fmt.Errorf("addr: size %d not divisible into %d ways of whole sets", sizeBytes, ways)
+	}
+	g.sets = lines / uint64(ways)
+	if g.sets == 0 || !IsPow2(g.sets) {
+		return g, fmt.Errorf("addr: set count %d not a power of two", g.sets)
+	}
+	g.setBits = Log2(g.sets)
+	g.partitionBits = Log2(uint64(partitions))
+	return g, nil
+}
+
+// MustCacheGeometry is NewCacheGeometry that panics on error; for tests and
+// literal configurations.
+func MustCacheGeometry(sizeBytes uint64, ways, partitions int) CacheGeometry {
+	g, err := NewCacheGeometry(sizeBytes, ways, partitions)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Sets returns the number of sets.
+func (g CacheGeometry) Sets() int { return int(g.sets) }
+
+// SetBits returns log2(number of sets).
+func (g CacheGeometry) SetBits() uint { return g.setBits }
+
+// PartitionBits returns log2(number of partitions).
+func (g CacheGeometry) PartitionBits() uint { return g.partitionBits }
+
+// WaysPerPartition returns Ways/Partitions.
+func (g CacheGeometry) WaysPerPartition() int { return g.Ways / g.Partitions }
+
+// SetIndexV extracts the set index from a virtual address (VIPT indexing:
+// bits just above the byte offset).
+func (g CacheGeometry) SetIndexV(v VAddr) int { return int(v.Bits(LineBits, g.setBits)) }
+
+// SetIndexP extracts the set index from a physical address (PIPT indexing,
+// and also the index used by coherence probes, which carry physical
+// addresses; under VIPT the set bits sit inside the page offset so virtual
+// and physical indices agree).
+func (g CacheGeometry) SetIndexP(p PAddr) int { return int(p.Bits(LineBits, g.setBits)) }
+
+// VIPTIndexInsidePageOffset reports whether the full set index fits inside
+// the page offset of the given page size — the classic VIPT constraint
+// k + b <= p from the paper's Fig 1.
+func (g CacheGeometry) VIPTIndexInsidePageOffset(s PageSize) bool {
+	return LineBits+g.setBits <= s.OffsetBits()
+}
+
+// PartitionIndexKnown reports whether the partition index bits of an
+// address within a page of size s are page-offset bits, i.e. identical in
+// the virtual and physical address. For a 32KB/8-way/2-partition cache the
+// partition index is VA bit 12, which is a page-offset bit for 2MB and 1GB
+// pages but not for 4KB pages.
+func (g CacheGeometry) PartitionIndexKnown(s PageSize) bool {
+	return LineBits+g.setBits+g.partitionBits <= s.OffsetBits()
+}
+
+// PartitionIndexV extracts the partition index from a virtual address: the
+// bits immediately above the set index. Valid as a physical partition
+// selector only when PartitionIndexKnown(pageSize) holds.
+func (g CacheGeometry) PartitionIndexV(v VAddr) int {
+	return int(v.Bits(LineBits+g.setBits, g.partitionBits))
+}
+
+// PartitionIndexP extracts the partition index from a physical address.
+// This is always valid: it determines the unique partition a line occupies
+// under SEESAW's 4way insertion policy.
+func (g CacheGeometry) PartitionIndexP(p PAddr) int {
+	return int(p.Bits(LineBits+g.setBits, g.partitionBits))
+}
+
+// TagP extracts the physical tag for a physical line address: everything
+// above the set index. Note the tag deliberately includes the partition
+// bits; partition filtering is a probe optimization, not a tag shortening.
+func (g CacheGeometry) TagP(p PAddr) uint64 {
+	return uint64(p) >> (LineBits + g.setBits)
+}
+
+// LineFromSetTag reconstructs the physical line base address from a set
+// index and tag (inverse of SetIndexP/TagP).
+func (g CacheGeometry) LineFromSetTag(set int, tag uint64) PAddr {
+	return PAddr(tag<<(LineBits+g.setBits) | uint64(set)<<LineBits)
+}
+
+// String implements fmt.Stringer.
+func (g CacheGeometry) String() string {
+	return fmt.Sprintf("%dKB %d-way %d sets %d partitions",
+		g.SizeBytes/1024, g.Ways, g.sets, g.Partitions)
+}

@@ -1,0 +1,154 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometry32K8Way(t *testing.T) {
+	// The paper's running example: 32KB, 8-way, 2 partitions of 4 ways.
+	g := MustCacheGeometry(32<<10, 8, 2)
+	if g.Sets() != 64 {
+		t.Fatalf("sets = %d, want 64", g.Sets())
+	}
+	if g.SetBits() != 6 {
+		t.Fatalf("setBits = %d, want 6", g.SetBits())
+	}
+	if g.WaysPerPartition() != 4 {
+		t.Fatalf("ways/partition = %d, want 4", g.WaysPerPartition())
+	}
+	// VIPT constraint: 64 sets fit in a 4KB page offset.
+	if !g.VIPTIndexInsidePageOffset(Page4K) {
+		t.Error("32KB/8w must satisfy the VIPT constraint for 4KB pages")
+	}
+	// Partition bit is VA bit 12: inside a 2MB page offset, outside 4KB.
+	if g.PartitionIndexKnown(Page4K) {
+		t.Error("partition index must be unknown for 4KB pages")
+	}
+	if !g.PartitionIndexKnown(Page2M) || !g.PartitionIndexKnown(Page1G) {
+		t.Error("partition index must be known for superpages")
+	}
+	v := VAddr(1 << 12)
+	if g.PartitionIndexV(v) != 1 {
+		t.Errorf("PartitionIndexV(bit12 set) = %d, want 1", g.PartitionIndexV(v))
+	}
+	if g.PartitionIndexV(v-1) != 0 {
+		t.Errorf("PartitionIndexV(bit12 clear) = %d, want 0", g.PartitionIndexV(v-1))
+	}
+}
+
+func TestGeometryTableFromPaper(t *testing.T) {
+	// Fig 1d (VESPA parameters): for superpages more set bits are possible;
+	// in SEESAW the equivalent statement is partitions of 4 ways.
+	cases := []struct {
+		size       uint64
+		ways       int
+		partitions int
+		sets       int
+	}{
+		{32 << 10, 8, 2, 64},
+		{64 << 10, 16, 4, 64},
+		{128 << 10, 32, 8, 64},
+		{16 << 10, 4, 1, 64},
+	}
+	for _, c := range cases {
+		g := MustCacheGeometry(c.size, c.ways, c.partitions)
+		if g.Sets() != c.sets {
+			t.Errorf("%v: sets = %d, want %d", g, g.Sets(), c.sets)
+		}
+		if !g.VIPTIndexInsidePageOffset(Page4K) {
+			t.Errorf("%v: should satisfy VIPT constraint for 4KB", g)
+		}
+	}
+}
+
+func TestGeometryErrors(t *testing.T) {
+	cases := []struct {
+		size             uint64
+		ways, partitions int
+	}{
+		{0, 8, 2},        // zero size
+		{48 << 10, 8, 2}, // 96-set cache: sets not a power of two
+		{32 << 10, 0, 1}, // zero ways
+		{32 << 10, 6, 2}, // 512 lines not divisible into 6 ways
+		{32 << 10, 8, 0}, // zero partitions
+		{32 << 10, 8, 3}, // non power of two partitions
+		{32 << 10, 4, 8}, // partitions > ways
+		{256, 8, 2},      // sets=0
+	}
+	for _, c := range cases {
+		if _, err := NewCacheGeometry(c.size, c.ways, c.partitions); err == nil {
+			t.Errorf("NewCacheGeometry(%d,%d,%d): expected error", c.size, c.ways, c.partitions)
+		}
+	}
+}
+
+func TestTagSetRoundTrip(t *testing.T) {
+	g := MustCacheGeometry(64<<10, 16, 4)
+	f := func(raw uint64) bool {
+		p := PAddr(raw).LineBase()
+		set, tag := g.SetIndexP(p), g.TagP(p)
+		return g.LineFromSetTag(set, tag) == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoherencePartitionMatchesVirtualForSuperpages(t *testing.T) {
+	// Invariant at the heart of SEESAW: for superpage-backed data the
+	// virtual partition index equals the physical partition index, so a
+	// TFT-directed probe and a later physical-address coherence probe land
+	// in the same partition.
+	g := MustCacheGeometry(32<<10, 8, 2)
+	f := func(raw uint64, ppn uint32) bool {
+		v := VAddr(raw)
+		p := Translate(v, uint64(ppn), Page2M)
+		return g.PartitionIndexV(v) == g.PartitionIndexP(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBaselineUnpartitioned(t *testing.T) {
+	g := MustCacheGeometry(32<<10, 8, 1)
+	if g.PartitionBits() != 0 {
+		t.Fatalf("partitionBits = %d, want 0", g.PartitionBits())
+	}
+	if g.PartitionIndexV(VAddr(0xffff_ffff)) != 0 {
+		t.Error("unpartitioned cache must always report partition 0")
+	}
+	if !g.PartitionIndexKnown(Page4K) {
+		t.Error("with 0 partition bits the index is trivially known")
+	}
+}
+
+func TestOneGBPartitionIndexKnown(t *testing.T) {
+	// Every supported SEESAW geometry has its partition bits inside the
+	// 1GB page offset, so 1GB-backed accesses ride the fast path too.
+	for _, c := range []struct {
+		size       uint64
+		ways, part int
+	}{{32 << 10, 8, 2}, {64 << 10, 16, 4}, {128 << 10, 32, 8}, {64 << 10, 16, 8}} {
+		g := MustCacheGeometry(c.size, c.ways, c.part)
+		if !g.PartitionIndexKnown(Page1G) {
+			t.Errorf("%v: partition index not a 1GB page-offset bit", g)
+		}
+	}
+}
+
+func TestNonPow2WaysGeometry(t *testing.T) {
+	// The 24MB 24-way LLC: sets must still be a power of two.
+	g := MustCacheGeometry(24<<20, 24, 1)
+	if g.Sets() != 16384 {
+		t.Errorf("24MB/24w sets = %d, want 16384", g.Sets())
+	}
+	f := func(raw uint64) bool {
+		p := PAddr(raw).LineBase()
+		return g.LineFromSetTag(g.SetIndexP(p), g.TagP(p)) == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,343 @@
+// Package cache implements the set-associative cache storage model shared
+// by every cache in the simulator: the SEESAW and baseline VIPT L1s, the
+// PIPT design-alternative L1s, and the shared LLC. It stores physically
+// tagged lines with MOESI coherence states, supports way-partitioned
+// lookup and insertion (the mechanism SEESAW builds on), and implements
+// both global and partition-local true-LRU replacement — the paper's
+// "4way-8way" and "4way" insertion policies respectively.
+//
+// Timing and energy are deliberately not modeled here; internal/core
+// charges them based on how many ways each probe touches.
+package cache
+
+import (
+	"fmt"
+
+	"seesaw/internal/addr"
+)
+
+// State is a MOESI coherence state.
+type State int
+
+const (
+	// Invalid: the way holds no line.
+	Invalid State = iota
+	// Shared: clean, possibly in other caches.
+	Shared
+	// Exclusive: clean, only copy.
+	Exclusive
+	// Owned: dirty, possibly shared; this cache must write back.
+	Owned
+	// Modified: dirty, only copy.
+	Modified
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Owned:
+		return "O"
+	case Modified:
+		return "M"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Dirty reports whether a line in this state must be written back on
+// eviction.
+func (s State) Dirty() bool { return s == Owned || s == Modified }
+
+// AnyPartition selects all ways of a set in Probe/Insert calls.
+const AnyPartition = -1
+
+// Replacement selects the victim-selection policy.
+type Replacement int
+
+const (
+	// LRU is true least-recently-used (the paper's policy).
+	LRU Replacement = iota
+	// SRRIP is static re-reference interval prediction (Jaleel et al.):
+	// 2-bit re-reference predictions per way, inserted "long", promoted
+	// to "near-immediate" on hit. Scan-resistant; used by the
+	// replacement ablation.
+	SRRIP
+)
+
+// String implements fmt.Stringer.
+func (r Replacement) String() string {
+	if r == SRRIP {
+		return "SRRIP"
+	}
+	return "LRU"
+}
+
+// maxRRPV is the 2-bit SRRIP ceiling ("distant future").
+const maxRRPV = 3
+
+// way is one cache way's storage.
+type way struct {
+	tag     uint64
+	state   State
+	lastUse uint64
+	rrpv    uint8
+}
+
+// Victim describes a line displaced by an insertion or sweep.
+type Victim struct {
+	Valid bool
+	Tag   uint64
+	State State
+	Way   int
+	// PA is the victim's physical line address; EvictRange fills it in
+	// (Insert leaves it zero — the caller reconstructs it from the set).
+	PA addr.PAddr
+}
+
+// Stats counts storage-level events.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Inserts    uint64
+	Evictions  uint64
+	Writebacks uint64 // evictions of dirty lines
+	Sweeps     uint64 // lines evicted by range sweeps
+}
+
+// Cache is the storage array.
+type Cache struct {
+	geom  addr.CacheGeometry
+	repl  Replacement
+	sets  [][]way
+	tick  uint64
+	Stats Stats
+}
+
+// New creates an empty cache with the given geometry and LRU replacement.
+func New(geom addr.CacheGeometry) *Cache {
+	return NewWithPolicy(geom, LRU)
+}
+
+// NewWithPolicy creates an empty cache with an explicit replacement
+// policy.
+func NewWithPolicy(geom addr.CacheGeometry, repl Replacement) *Cache {
+	sets := make([][]way, geom.Sets())
+	backing := make([]way, geom.Sets()*geom.Ways)
+	for i := range sets {
+		sets[i] = backing[i*geom.Ways : (i+1)*geom.Ways]
+	}
+	return &Cache{geom: geom, repl: repl, sets: sets}
+}
+
+// Policy returns the replacement policy.
+func (c *Cache) Policy() Replacement { return c.repl }
+
+// Geometry returns the cache geometry.
+func (c *Cache) Geometry() addr.CacheGeometry { return c.geom }
+
+// wayRange returns the half-open way interval [lo,hi) for a partition;
+// AnyPartition covers the whole set.
+func (c *Cache) wayRange(partition int) (int, int) {
+	if partition == AnyPartition {
+		return 0, c.geom.Ways
+	}
+	wpp := c.geom.WaysPerPartition()
+	return partition * wpp, (partition + 1) * wpp
+}
+
+// Probe searches the given partition of a set for tag without touching
+// recency or stats. It returns the way index on a hit.
+func (c *Cache) Probe(set, partition int, tag uint64) (int, bool) {
+	lo, hi := c.wayRange(partition)
+	for w := lo; w < hi; w++ {
+		if c.sets[set][w].state != Invalid && c.sets[set][w].tag == tag {
+			return w, true
+		}
+	}
+	return 0, false
+}
+
+// Access is Probe plus recency update and hit/miss accounting — the normal
+// CPU-side lookup path.
+func (c *Cache) Access(set, partition int, tag uint64) (int, bool) {
+	w, hit := c.Probe(set, partition, tag)
+	if hit {
+		c.tick++
+		c.sets[set][w].lastUse = c.tick
+		c.sets[set][w].rrpv = 0 // near-immediate re-reference
+		c.Stats.Hits++
+		return w, true
+	}
+	c.Stats.Misses++
+	return 0, false
+}
+
+// ProbeWay checks a single way for tag without touching recency or stats
+// — the way-predictor's first, narrow probe.
+func (c *Cache) ProbeWay(set, wayIdx int, tag uint64) bool {
+	w := c.sets[set][wayIdx]
+	return w.state != Invalid && w.tag == tag
+}
+
+// Touch marks a way most-recently-used and counts a hit; used by
+// way-predicted lookups that bypass Access.
+func (c *Cache) Touch(set, wayIdx int) {
+	c.tick++
+	c.sets[set][wayIdx].lastUse = c.tick
+	c.sets[set][wayIdx].rrpv = 0
+	c.Stats.Hits++
+}
+
+// StateOf returns the state of a way.
+func (c *Cache) StateOf(set, wayIdx int) State { return c.sets[set][wayIdx].state }
+
+// SetState updates the state of a valid way; setting Invalid frees it.
+func (c *Cache) SetState(set, wayIdx int, s State) { c.sets[set][wayIdx].state = s }
+
+// TagOf returns the tag stored in a way (meaningful only if valid).
+func (c *Cache) TagOf(set, wayIdx int) uint64 { return c.sets[set][wayIdx].tag }
+
+// PartitionOfWay returns the partition a way index belongs to.
+func (c *Cache) PartitionOfWay(wayIdx int) int { return wayIdx / c.geom.WaysPerPartition() }
+
+// Insert places tag into the given partition (or anywhere in the set with
+// AnyPartition) in state st, evicting the LRU line of that scope if
+// necessary, and returns the victim. The "4way" insertion policy passes
+// the physical partition index; the "4way-8way" policy passes the
+// partition for superpages and AnyPartition for base pages.
+func (c *Cache) Insert(set, partition int, tag uint64, st State) Victim {
+	if st == Invalid {
+		panic("cache: inserting an Invalid line")
+	}
+	c.Stats.Inserts++
+	c.tick++
+	lo, hi := c.wayRange(partition)
+	// Prefer an invalid way.
+	victimWay := -1
+	for w := lo; w < hi; w++ {
+		if c.sets[set][w].state == Invalid {
+			victimWay = w
+			break
+		}
+	}
+	var victim Victim
+	if victimWay == -1 {
+		victimWay = c.selectVictim(set, lo, hi)
+		v := c.sets[set][victimWay]
+		victim = Victim{Valid: true, Tag: v.tag, State: v.state, Way: victimWay}
+		c.Stats.Evictions++
+		if v.state.Dirty() {
+			c.Stats.Writebacks++
+		}
+	}
+	insertRRPV := uint8(0)
+	if c.repl == SRRIP {
+		insertRRPV = maxRRPV - 1 // "long" re-reference prediction
+	}
+	c.sets[set][victimWay] = way{tag: tag, state: st, lastUse: c.tick, rrpv: insertRRPV}
+	victim.Way = victimWay
+	return victim
+}
+
+// selectVictim picks the eviction victim in [lo,hi) per the policy.
+func (c *Cache) selectVictim(set, lo, hi int) int {
+	if c.repl == SRRIP {
+		// Find a way predicted "distant" (RRPV saturated), aging the
+		// scope until one appears.
+		for {
+			for w := lo; w < hi; w++ {
+				if c.sets[set][w].rrpv >= maxRRPV {
+					return w
+				}
+			}
+			for w := lo; w < hi; w++ {
+				c.sets[set][w].rrpv++
+			}
+		}
+	}
+	// True LRU within the scope.
+	victimWay := lo
+	for w := lo + 1; w < hi; w++ {
+		if c.sets[set][w].lastUse < c.sets[set][victimWay].lastUse {
+			victimWay = w
+		}
+	}
+	return victimWay
+}
+
+// Invalidate removes tag from the set (searching all ways) and returns its
+// prior state. Coherence invalidations land here.
+func (c *Cache) Invalidate(set int, tag uint64) (State, bool) {
+	if w, hit := c.Probe(set, AnyPartition, tag); hit {
+		st := c.sets[set][w].state
+		c.sets[set][w] = way{}
+		return st, true
+	}
+	return Invalid, false
+}
+
+// EvictRange evicts every line whose physical line address lies in
+// [lo, hi), returning the victims with their reconstructed addresses in
+// Victim.PA. This implements the cache sweep SEESAW performs when base
+// pages are promoted to a superpage (Section IV-C2).
+func (c *Cache) EvictRange(lo, hi addr.PAddr) []Victim {
+	var victims []Victim
+	for set := range c.sets {
+		for w := range c.sets[set] {
+			if c.sets[set][w].state == Invalid {
+				continue
+			}
+			pa := c.geom.LineFromSetTag(set, c.sets[set][w].tag)
+			if pa >= lo && pa < hi {
+				victims = append(victims, Victim{
+					Valid: true,
+					Tag:   c.sets[set][w].tag,
+					State: c.sets[set][w].state,
+					Way:   w,
+					PA:    pa,
+				})
+				if c.sets[set][w].state.Dirty() {
+					c.Stats.Writebacks++
+				}
+				c.Stats.Sweeps++
+				c.sets[set][w] = way{}
+			}
+		}
+	}
+	return victims
+}
+
+// ValidLines returns the number of valid lines (for occupancy checks).
+func (c *Cache) ValidLines() int {
+	n := 0
+	for _, s := range c.sets {
+		for _, w := range s {
+			if w.state != Invalid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// FindLine searches the whole cache for a physical line address and
+// returns its set/way. It is O(1) in the set dimension (the set index is
+// derived from the address).
+func (c *Cache) FindLine(pa addr.PAddr) (set, wayIdx int, ok bool) {
+	set = c.geom.SetIndexP(pa)
+	wayIdx, ok = c.Probe(set, AnyPartition, c.geom.TagP(pa))
+	return set, wayIdx, ok
+}
+
+// MPKI returns misses per kilo-instruction given an instruction count.
+func (c *Cache) MPKI(instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(c.Stats.Misses) / float64(instructions) * 1000
+}

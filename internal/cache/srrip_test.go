@@ -1,0 +1,115 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"seesaw/internal/addr"
+)
+
+func TestPolicyAccessors(t *testing.T) {
+	g := addr.MustCacheGeometry(32<<10, 8, 2)
+	if New(g).Policy() != LRU {
+		t.Error("default policy must be LRU")
+	}
+	if NewWithPolicy(g, SRRIP).Policy() != SRRIP {
+		t.Error("SRRIP policy not recorded")
+	}
+	if LRU.String() != "LRU" || SRRIP.String() != "SRRIP" {
+		t.Error("policy strings wrong")
+	}
+}
+
+// TestSRRIPEvictsUnreferencedFirst: a line that was hit (RRPV 0) must
+// outlive lines that were inserted and never re-referenced (RRPV 2).
+func TestSRRIPEvictsUnreferencedFirst(t *testing.T) {
+	g := addr.MustCacheGeometry(32<<10, 8, 2)
+	c := NewWithPolicy(g, SRRIP)
+	// Fill partition 0 (4 ways): tags 1-4, then hit tag 1.
+	for tag := uint64(1); tag <= 4; tag++ {
+		c.Insert(0, 0, tag, Shared)
+	}
+	c.Access(0, 0, 1)
+	// Insert two more: both victims must come from {2,3,4}, never 1.
+	c.Insert(0, 0, 5, Shared)
+	c.Insert(0, 0, 6, Shared)
+	if _, hit := c.Probe(0, 0, 1); !hit {
+		t.Error("re-referenced line evicted before never-referenced ones")
+	}
+}
+
+// TestSRRIPScanResistance is the policy's reason to exist: a one-shot
+// scan through many lines must not wipe out a hot working set the way
+// LRU does.
+func TestSRRIPScanResistance(t *testing.T) {
+	run := func(policy Replacement) float64 {
+		g := addr.MustCacheGeometry(32<<10, 8, 1)
+		c := NewWithPolicy(g, policy)
+		rng := rand.New(rand.NewSource(3))
+		hot := make([]addr.PAddr, 128) // 8KB hot set, fits easily
+		for i := range hot {
+			hot[i] = addr.PAddr(i * 64)
+		}
+		scan := uint64(1 << 20)
+		var hits, refs uint64
+		touch := func(pa addr.PAddr) {
+			set, tag := g.SetIndexP(pa), g.TagP(pa)
+			refs++
+			if _, hit := c.Access(set, AnyPartition, tag); hit {
+				hits++
+			} else {
+				c.Insert(set, AnyPartition, tag, Shared)
+			}
+		}
+		for i := 0; i < 60000; i++ {
+			if rng.Float64() < 0.5 {
+				touch(hot[rng.Intn(len(hot))])
+			} else {
+				scan += 64 // streaming scan, never re-referenced
+				touch(addr.PAddr(scan))
+			}
+		}
+		return float64(hits) / float64(refs)
+	}
+	lru, srrip := run(LRU), run(SRRIP)
+	if srrip <= lru {
+		t.Errorf("SRRIP hit rate %.3f not above LRU %.3f under scan+hot mix", srrip, lru)
+	}
+}
+
+// TestSRRIPPartitionScoped: victim selection under SRRIP must respect
+// partition confinement exactly like LRU.
+func TestSRRIPPartitionScoped(t *testing.T) {
+	g := addr.MustCacheGeometry(32<<10, 8, 2)
+	c := NewWithPolicy(g, SRRIP)
+	for tag := uint64(1); tag <= 4; tag++ {
+		c.Insert(0, 0, tag, Shared)
+	}
+	v := c.Insert(0, 0, 5, Shared)
+	if !v.Valid {
+		t.Fatal("full partition produced no victim")
+	}
+	if c.PartitionOfWay(v.Way) != 0 {
+		t.Error("SRRIP victim escaped the partition")
+	}
+	for w := 4; w < 8; w++ {
+		if c.StateOf(0, w) != Invalid {
+			t.Error("partition 1 disturbed")
+		}
+	}
+}
+
+// TestSRRIPTerminates: the aging loop must always find a victim.
+func TestSRRIPTerminates(t *testing.T) {
+	g := addr.MustCacheGeometry(32<<10, 8, 1)
+	c := NewWithPolicy(g, SRRIP)
+	for i := uint64(0); i < 10000; i++ {
+		set := int(i % 64)
+		if _, hit := c.Access(set, AnyPartition, i); !hit {
+			c.Insert(set, AnyPartition, i, Shared)
+		}
+	}
+	if c.ValidLines() == 0 {
+		t.Error("no lines resident")
+	}
+}

@@ -1,0 +1,365 @@
+// Package coherence implements the multi-core memory system behind the
+// L1s: an inclusive shared LLC (the paper's 24MB unified last-level
+// cache), a MOESI directory that filters coherence probes, and an
+// alternative snoopy mode that broadcasts probes to every L1 (the paper
+// reports snoopy protocols increase SEESAW's energy savings by a further
+// 2-5%).
+//
+// Every invalidation, downgrade, and back-invalidation lands on an L1 as
+// a coherence lookup — the probes whose associativity cost SEESAW's 4way
+// insertion policy cuts in half (Section IV-C1, Fig 11).
+package coherence
+
+import (
+	"fmt"
+
+	"seesaw/internal/addr"
+	"seesaw/internal/cache"
+	"seesaw/internal/core"
+	"seesaw/internal/sram"
+)
+
+// Mode selects the coherence protocol style.
+type Mode int
+
+const (
+	// Directory filters probes through a full-map directory.
+	Directory Mode = iota
+	// Snoopy broadcasts every miss to all other L1s.
+	Snoopy
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == Snoopy {
+		return "snoopy"
+	}
+	return "directory"
+}
+
+// Config sizes the shared memory system.
+type Config struct {
+	Mode Mode
+	// LLC geometry (paper: 24MB unified).
+	LLCSizeBytes uint64
+	LLCWays      int
+	// Latencies in nanoseconds, converted at FreqGHz.
+	LLCLatencyNS  float64
+	DRAMLatencyNS float64
+	FreqGHz       float64
+}
+
+// DefaultConfig returns the paper's Table II memory system at the given
+// frequency: 24MB LLC, 51ns DRAM round trip.
+func DefaultConfig(freqGHz float64) Config {
+	return Config{
+		Mode:         Directory,
+		LLCSizeBytes: 24 << 20,
+		LLCWays:      24, // 16384 sets; real 24MB LLCs are similarly non-power-of-two in ways
+
+		LLCLatencyNS:  10,
+		DRAMLatencyNS: 51,
+		FreqGHz:       freqGHz,
+	}
+}
+
+// Stats counts memory-system events.
+type Stats struct {
+	LLCHits    uint64
+	LLCMisses  uint64
+	DRAMReads  uint64
+	DRAMWrites uint64
+	Writebacks uint64 // L1 dirty evictions reaching the LLC
+
+	ProbesSent      uint64 // coherence lookups delivered to L1s
+	Invalidations   uint64
+	Downgrades      uint64
+	BackInvals      uint64 // inclusive-LLC back-invalidations
+	PeerTransfers   uint64 // cache-to-cache supplies
+	UpgradeRequests uint64
+}
+
+// dirEntry tracks one line's L1 residency.
+type dirEntry struct {
+	sharers uint64 // bitmask of cores holding the line
+	owner   int8   // core holding M/E/O, or -1
+}
+
+// System is the shared memory system under N L1 caches.
+type System struct {
+	cfg  Config
+	l1s  []core.L1Cache
+	llc  *cache.Cache
+	geom addr.CacheGeometry
+	dir  map[addr.PAddr]*dirEntry
+
+	llcCycles  int
+	dramCycles int
+
+	Stats Stats
+	// CoherenceEnergyNJ and CoherenceProbes accumulate per-core L1
+	// coherence lookup costs (Fig 11's coherence slice).
+	CoherenceEnergyNJ []float64
+	CoherenceProbes   []uint64
+}
+
+// New builds the memory system over the given per-core L1s.
+func New(cfg Config, l1s []core.L1Cache) (*System, error) {
+	if len(l1s) == 0 {
+		return nil, fmt.Errorf("coherence: no L1 caches")
+	}
+	if len(l1s) > 64 {
+		return nil, fmt.Errorf("coherence: %d cores exceed the 64-core directory bitmask", len(l1s))
+	}
+	if cfg.FreqGHz <= 0 {
+		return nil, fmt.Errorf("coherence: non-positive frequency")
+	}
+	geom, err := addr.NewCacheGeometry(cfg.LLCSizeBytes, cfg.LLCWays, 1)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		cfg:               cfg,
+		l1s:               l1s,
+		llc:               cache.New(geom),
+		geom:              geom,
+		dir:               make(map[addr.PAddr]*dirEntry),
+		llcCycles:         sram.Cycles(cfg.LLCLatencyNS, cfg.FreqGHz),
+		dramCycles:        sram.Cycles(cfg.LLCLatencyNS+cfg.DRAMLatencyNS, cfg.FreqGHz),
+		CoherenceEnergyNJ: make([]float64, len(l1s)),
+		CoherenceProbes:   make([]uint64, len(l1s)),
+	}, nil
+}
+
+// MustNew panics on error.
+func MustNew(cfg Config, l1s []core.L1Cache) *System {
+	s, err := New(cfg, l1s)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// MissResult describes how an L1 miss was satisfied.
+type MissResult struct {
+	// Cycles is the latency beyond the L1 lookup itself.
+	Cycles int
+	// Shared tells the requesting L1 to fill in Shared (other copies
+	// exist) rather than Exclusive.
+	Shared bool
+	// FromPeer, FromLLC, FromDRAM identify the data source.
+	FromPeer bool
+	FromLLC  bool
+	FromDRAM bool
+}
+
+func (s *System) entry(line addr.PAddr) *dirEntry {
+	e, ok := s.dir[line]
+	if !ok {
+		e = &dirEntry{owner: -1}
+		s.dir[line] = e
+	}
+	return e
+}
+
+// probe delivers one coherence lookup to an L1 and accounts its cost.
+func (s *System) probe(coreID int, pa addr.PAddr, op core.SnoopOp) core.ProbeResult {
+	r := s.l1s[coreID].Snoop(pa, op)
+	s.Stats.ProbesSent++
+	s.CoherenceProbes[coreID]++
+	s.CoherenceEnergyNJ[coreID] += r.EnergyNJ
+	return r
+}
+
+// llcLookup accesses the LLC; on a miss it fetches from DRAM, installs
+// the line, and back-invalidates any L1 copies of the LLC victim
+// (inclusive hierarchy).
+func (s *System) llcLookup(pa addr.PAddr, store bool) (hitLLC bool, cycles int) {
+	line := pa.LineBase()
+	set, tag := s.geom.SetIndexP(line), s.geom.TagP(line)
+	if _, hit := s.llc.Access(set, cache.AnyPartition, tag); hit {
+		s.Stats.LLCHits++
+		return true, s.llcCycles
+	}
+	s.Stats.LLCMisses++
+	s.Stats.DRAMReads++
+	st := cache.Exclusive
+	if store {
+		st = cache.Modified
+	}
+	v := s.llc.Insert(set, cache.AnyPartition, tag, st)
+	if v.Valid {
+		victimPA := s.geom.LineFromSetTag(set, v.Tag)
+		s.backInvalidate(victimPA)
+		if v.State.Dirty() {
+			s.Stats.DRAMWrites++
+		}
+	}
+	return false, s.dramCycles
+}
+
+// backInvalidate removes every L1 copy of an LLC victim (inclusive LLC),
+// writing dirty data back to DRAM.
+func (s *System) backInvalidate(pa addr.PAddr) {
+	e, ok := s.dir[pa.LineBase()]
+	if !ok {
+		return
+	}
+	for c := 0; c < len(s.l1s); c++ {
+		if e.sharers&(1<<uint(c)) == 0 {
+			continue
+		}
+		r := s.probe(c, pa, core.SnoopInvalidate)
+		s.Stats.BackInvals++
+		if r.Hit && r.State.Dirty() {
+			s.Stats.DRAMWrites++
+		}
+	}
+	delete(s.dir, pa.LineBase())
+}
+
+// snoopTargets returns the cores to probe for a request from reqCore: the
+// directory filters to actual sharers; snoopy mode broadcasts.
+func (s *System) snoopTargets(reqCore int, e *dirEntry) []int {
+	var targets []int
+	for c := 0; c < len(s.l1s); c++ {
+		if c == reqCore {
+			continue
+		}
+		if s.cfg.Mode == Snoopy || e.sharers&(1<<uint(c)) != 0 {
+			targets = append(targets, c)
+		}
+	}
+	return targets
+}
+
+// Miss services an L1 miss from reqCore for pa; store selects a
+// write-intent request (RFO). The caller then fills its L1 with the
+// returned sharing state and reports the fill's victim via Evicted.
+func (s *System) Miss(reqCore int, pa addr.PAddr, store bool) MissResult {
+	line := pa.LineBase()
+	e := s.entry(line)
+	res := MissResult{Cycles: s.llcCycles} // directory/LLC tag access
+	// Probe peers: all sharers on a store (invalidate), the owner on a
+	// load (downgrade). Snoopy mode broadcasts regardless.
+	peerHadData := false
+	if store {
+		for _, c := range s.snoopTargets(reqCore, e) {
+			r := s.probe(c, pa, core.SnoopInvalidate)
+			if r.Hit {
+				s.Stats.Invalidations++
+				peerHadData = true
+				if r.State.Dirty() {
+					s.Stats.Writebacks++
+					s.llcInstall(line, cache.Modified)
+				}
+			}
+		}
+		e.sharers = 0
+		e.owner = -1
+	} else {
+		for _, c := range s.snoopTargets(reqCore, e) {
+			// Only the owner must be probed in directory mode; snoopy
+			// probes everyone.
+			if s.cfg.Mode == Directory && int(e.owner) != c {
+				continue
+			}
+			r := s.probe(c, pa, core.SnoopDowngrade)
+			if r.Hit {
+				s.Stats.Downgrades++
+				peerHadData = true
+			}
+		}
+	}
+	if peerHadData {
+		s.Stats.PeerTransfers++
+		res.FromPeer = true
+		res.Cycles += s.llcCycles // cache-to-cache via the LLC interconnect
+	} else {
+		hit, cyc := s.llcLookup(pa, store)
+		res.Cycles = cyc
+		res.FromLLC = hit
+		res.FromDRAM = !hit
+	}
+	// Update directory for the requester.
+	if store {
+		e.sharers = 1 << uint(reqCore)
+		e.owner = int8(reqCore)
+		res.Shared = false
+	} else {
+		res.Shared = e.sharers != 0 || peerHadData
+		e.sharers |= 1 << uint(reqCore)
+		if !res.Shared {
+			e.owner = int8(reqCore)
+		} else if e.owner == int8(reqCore) {
+			e.owner = -1
+		}
+	}
+	return res
+}
+
+// llcInstall writes a line into the LLC (peer writeback path).
+func (s *System) llcInstall(line addr.PAddr, st cache.State) {
+	set, tag := s.geom.SetIndexP(line), s.geom.TagP(line)
+	if way, hit := s.llc.Probe(set, cache.AnyPartition, tag); hit {
+		s.llc.SetState(set, way, st)
+		return
+	}
+	v := s.llc.Insert(set, cache.AnyPartition, tag, st)
+	if v.Valid {
+		s.backInvalidate(s.geom.LineFromSetTag(set, v.Tag))
+		if v.State.Dirty() {
+			s.Stats.DRAMWrites++
+		}
+	}
+}
+
+// Upgrade services a store hit on a Shared/Owned line: every other sharer
+// is invalidated and the requester becomes the Modified owner.
+func (s *System) Upgrade(reqCore int, pa addr.PAddr) int {
+	line := pa.LineBase()
+	e := s.entry(line)
+	s.Stats.UpgradeRequests++
+	cycles := s.llcCycles
+	for _, c := range s.snoopTargets(reqCore, e) {
+		r := s.probe(c, pa, core.SnoopInvalidate)
+		if r.Hit {
+			s.Stats.Invalidations++
+		}
+	}
+	e.sharers = 1 << uint(reqCore)
+	e.owner = int8(reqCore)
+	s.l1s[reqCore].UpgradeToModified(pa)
+	return cycles
+}
+
+// Evicted reports an L1 victim so the directory stays precise; dirty
+// victims write back into the LLC.
+func (s *System) Evicted(coreID int, pa addr.PAddr, dirty bool) {
+	line := pa.LineBase()
+	if e, ok := s.dir[line]; ok {
+		e.sharers &^= 1 << uint(coreID)
+		if e.owner == int8(coreID) {
+			e.owner = -1
+		}
+		if e.sharers == 0 {
+			delete(s.dir, line)
+		}
+	}
+	if dirty {
+		s.Stats.Writebacks++
+		s.llcInstall(line, cache.Modified)
+	}
+}
+
+// LLC exposes the last-level cache (stats).
+func (s *System) LLC() *cache.Cache { return s.llc }
+
+// TotalCoherenceEnergyNJ sums coherence lookup energy across cores.
+func (s *System) TotalCoherenceEnergyNJ() float64 {
+	var t float64
+	for _, e := range s.CoherenceEnergyNJ {
+		t += e
+	}
+	return t
+}

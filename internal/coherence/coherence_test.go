@@ -1,0 +1,283 @@
+package coherence
+
+import (
+	"testing"
+
+	"seesaw/internal/addr"
+	"seesaw/internal/cache"
+	"seesaw/internal/core"
+	"seesaw/internal/tft"
+)
+
+// newSystem builds n SEESAW L1s over a small LLC so eviction paths are
+// easy to exercise.
+func newSystem(t *testing.T, n int, mode Mode) (*System, []*core.Seesaw) {
+	t.Helper()
+	l1s := make([]core.L1Cache, n)
+	raw := make([]*core.Seesaw, n)
+	for i := range l1s {
+		s := core.MustNewSeesaw(core.Config{
+			SizeBytes: 32 << 10, Ways: 8, FreqGHz: 1.33, TFT: tft.DefaultConfig(),
+		})
+		l1s[i] = s
+		raw[i] = s
+	}
+	cfg := DefaultConfig(1.33)
+	cfg.Mode = mode
+	sys, err := New(cfg, l1s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, raw
+}
+
+// loadTo performs a full load (access + miss service + fill) for a core.
+func loadTo(sys *System, l1 core.L1Cache, c int, pa addr.PAddr) MissResult {
+	r := l1.Access(addr.VAddr(pa), pa, addr.Page4K, false)
+	if r.Hit {
+		return MissResult{}
+	}
+	mr := sys.Miss(c, pa, false)
+	f := l1.Fill(pa, addr.Page4K, false, mr.Shared)
+	if f.Victim.Valid {
+		sys.Evicted(c, f.VictimPA, f.Writeback)
+	}
+	return mr
+}
+
+func storeTo(sys *System, l1 core.L1Cache, c int, pa addr.PAddr) {
+	r := l1.Access(addr.VAddr(pa), pa, addr.Page4K, true)
+	if r.Hit {
+		if r.State == cache.Shared || r.State == cache.Owned {
+			sys.Upgrade(c, pa)
+		} else {
+			l1.UpgradeToModified(pa)
+		}
+		return
+	}
+	mr := sys.Miss(c, pa, true)
+	f := l1.Fill(pa, addr.Page4K, true, mr.Shared)
+	if f.Victim.Valid {
+		sys.Evicted(c, f.VictimPA, f.Writeback)
+	}
+	_ = mr
+}
+
+func TestFirstLoadComesFromDRAM(t *testing.T) {
+	sys, l1s := newSystem(t, 2, Directory)
+	mr := loadTo(sys, l1s[0], 0, 0x1000)
+	if !mr.FromDRAM || mr.FromLLC || mr.FromPeer {
+		t.Fatalf("first load: %+v, want DRAM", mr)
+	}
+	if mr.Shared {
+		t.Error("sole copy must fill Exclusive")
+	}
+	if sys.Stats.DRAMReads != 1 || sys.Stats.LLCMisses != 1 {
+		t.Errorf("stats = %+v", sys.Stats)
+	}
+}
+
+func TestSecondCoreLoadSharesFromPeer(t *testing.T) {
+	sys, l1s := newSystem(t, 2, Directory)
+	loadTo(sys, l1s[0], 0, 0x1000) // core 0 now Exclusive
+	mr := loadTo(sys, l1s[1], 1, 0x1000)
+	if !mr.Shared {
+		t.Error("second copy must fill Shared")
+	}
+	if !mr.FromPeer {
+		t.Errorf("expected peer supply (owner downgrade): %+v", mr)
+	}
+	if sys.Stats.Downgrades != 1 {
+		t.Errorf("downgrades = %d, want 1", sys.Stats.Downgrades)
+	}
+}
+
+func TestLLCHitAfterL1Eviction(t *testing.T) {
+	sys, l1s := newSystem(t, 1, Directory)
+	pa := addr.PAddr(0x1000)
+	loadTo(sys, l1s[0], 0, pa)
+	// Push pa out of its L1 set partition with conflicting lines.
+	for i := 1; i <= 4; i++ {
+		loadTo(sys, l1s[0], 0, pa+addr.PAddr(i<<13))
+	}
+	mr := loadTo(sys, l1s[0], 0, pa)
+	if !mr.FromLLC {
+		t.Errorf("reload after L1 eviction: %+v, want LLC hit", mr)
+	}
+	if sys.Stats.LLCHits == 0 {
+		t.Error("no LLC hits recorded")
+	}
+}
+
+func TestStoreInvalidatesSharers(t *testing.T) {
+	sys, l1s := newSystem(t, 3, Directory)
+	pa := addr.PAddr(0x2000)
+	loadTo(sys, l1s[0], 0, pa)
+	loadTo(sys, l1s[1], 1, pa)
+	storeTo(sys, l1s[2], 2, pa)
+	if sys.Stats.Invalidations != 2 {
+		t.Errorf("invalidations = %d, want 2", sys.Stats.Invalidations)
+	}
+	// The two old sharers must have lost their copies.
+	for c := 0; c < 2; c++ {
+		if r := l1s[c].Snoop(pa, core.SnoopPeek); r.Hit {
+			t.Errorf("core %d still holds the line", c)
+		}
+	}
+	// Writer holds Modified.
+	if r := l1s[2].Snoop(pa, core.SnoopPeek); !r.Hit || r.State != cache.Modified {
+		t.Errorf("writer state = %+v", r)
+	}
+}
+
+func TestLoadDowngradesModifiedOwner(t *testing.T) {
+	sys, l1s := newSystem(t, 2, Directory)
+	pa := addr.PAddr(0x3000)
+	storeTo(sys, l1s[0], 0, pa) // core 0: Modified
+	mr := loadTo(sys, l1s[1], 1, pa)
+	if !mr.FromPeer {
+		t.Errorf("load should be supplied by peer: %+v", mr)
+	}
+	if sys.Stats.Downgrades != 1 {
+		t.Errorf("downgrades = %d", sys.Stats.Downgrades)
+	}
+	if r := l1s[0].Snoop(pa, core.SnoopPeek); r.State != cache.Owned {
+		t.Errorf("old owner state = %v, want Owned", r.State)
+	}
+	if !mr.Shared {
+		t.Error("requester must fill Shared")
+	}
+}
+
+func TestUpgradePath(t *testing.T) {
+	sys, l1s := newSystem(t, 2, Directory)
+	pa := addr.PAddr(0x4000)
+	loadTo(sys, l1s[0], 0, pa)
+	loadTo(sys, l1s[1], 1, pa) // both Shared
+	storeTo(sys, l1s[0], 0, pa)
+	if sys.Stats.UpgradeRequests != 1 {
+		t.Errorf("upgrades = %d", sys.Stats.UpgradeRequests)
+	}
+	if r := l1s[0].Snoop(pa, core.SnoopPeek); r.State != cache.Modified {
+		t.Errorf("writer state = %v", r.State)
+	}
+	if r := l1s[1].Snoop(pa, core.SnoopPeek); r.Hit {
+		t.Error("sharer survived upgrade")
+	}
+}
+
+func TestCoherenceEnergyAccounting(t *testing.T) {
+	sys, l1s := newSystem(t, 2, Directory)
+	pa := addr.PAddr(0x5000)
+	storeTo(sys, l1s[0], 0, pa)
+	loadTo(sys, l1s[1], 1, pa) // downgrade probe to core 0
+	if sys.CoherenceProbes[0] == 0 {
+		t.Error("no probes accounted to core 0")
+	}
+	if sys.CoherenceEnergyNJ[0] <= 0 {
+		t.Error("no coherence energy accounted")
+	}
+	if sys.TotalCoherenceEnergyNJ() < sys.CoherenceEnergyNJ[0] {
+		t.Error("total < per-core energy")
+	}
+}
+
+func TestSnoopyBroadcastsMoreProbes(t *testing.T) {
+	run := func(mode Mode) uint64 {
+		sys, l1s := newSystem(t, 4, mode)
+		// Core 0 loads distinct lines nobody shares: directory sends no
+		// probes, snoopy broadcasts to 3 peers each time.
+		for i := 0; i < 50; i++ {
+			loadTo(sys, l1s[0], 0, addr.PAddr(0x10000+i*64))
+		}
+		return sys.Stats.ProbesSent
+	}
+	dir, snoopy := run(Directory), run(Snoopy)
+	if dir != 0 {
+		t.Errorf("directory sent %d probes for unshared lines, want 0", dir)
+	}
+	if snoopy != 150 {
+		t.Errorf("snoopy sent %d probes, want 150 (3 peers x 50 misses)", snoopy)
+	}
+}
+
+func TestInclusiveLLCBackInvalidation(t *testing.T) {
+	// Use a tiny LLC so evictions happen quickly.
+	l1 := core.MustNewSeesaw(core.Config{SizeBytes: 32 << 10, Ways: 8, FreqGHz: 1.33})
+	// LLC deliberately smaller than the L1 so LLC evictions hit lines
+	// the L1 still holds.
+	cfg := Config{
+		Mode: Directory, LLCSizeBytes: 16 << 10, LLCWays: 2,
+		LLCLatencyNS: 10, DRAMLatencyNS: 51, FreqGHz: 1.33,
+	}
+	sys := MustNew(cfg, []core.L1Cache{l1})
+	// Stream far more lines than the LLC holds; inclusive back-invals
+	// must eventually hit lines still resident in the L1.
+	for i := 0; i < 4096; i++ {
+		loadTo(sys, l1, 0, addr.PAddr(i*64))
+	}
+	if sys.Stats.BackInvals == 0 {
+		t.Error("no back-invalidations from an oversubscribed inclusive LLC")
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	sys, l1s := newSystem(t, 1, Directory)
+	// Fill one L1 set's partition with dirty lines, then push one more
+	// mapping to the same set/partition to force a dirty eviction.
+	for i := 0; i < 5; i++ {
+		pa := addr.PAddr(i << 13) // same set, same partition, new tags
+		storeTo(sys, l1s[0], 0, pa)
+	}
+	if sys.Stats.Writebacks == 0 {
+		t.Error("dirty eviction did not write back")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	if _, err := New(DefaultConfig(1.33), nil); err == nil {
+		t.Error("no L1s must error")
+	}
+	cfg := DefaultConfig(0)
+	l1 := core.MustNewSeesaw(core.Config{SizeBytes: 32 << 10, Ways: 8, FreqGHz: 1.33})
+	if _, err := New(cfg, []core.L1Cache{l1}); err == nil {
+		t.Error("zero frequency must error")
+	}
+	cfg = DefaultConfig(1.33)
+	cfg.LLCSizeBytes = 12345
+	if _, err := New(cfg, []core.L1Cache{l1}); err == nil {
+		t.Error("bad LLC geometry must error")
+	}
+}
+
+// TestSingleCoreNeverSelfProbes: a core's own misses must not generate
+// probes to itself.
+func TestSingleCoreNeverSelfProbes(t *testing.T) {
+	sys, l1s := newSystem(t, 1, Snoopy)
+	for i := 0; i < 100; i++ {
+		loadTo(sys, l1s[0], 0, addr.PAddr(0x40000+i*64))
+	}
+	if sys.Stats.ProbesSent != 0 {
+		t.Errorf("self-probes sent: %d", sys.Stats.ProbesSent)
+	}
+}
+
+// TestDirectoryPrecisionAfterEvictions: the directory must not probe
+// cores whose copies were evicted (silent clean eviction notified via
+// Evicted).
+func TestDirectoryPrecisionAfterEvictions(t *testing.T) {
+	sys, l1s := newSystem(t, 2, Directory)
+	pa := addr.PAddr(0x6000)
+	loadTo(sys, l1s[0], 0, pa)
+	// Evict it from core 0's L1 by filling the set/partition.
+	for i := 1; i <= 4; i++ {
+		loadTo(sys, l1s[0], 0, pa+addr.PAddr(i<<13))
+	}
+	probesBefore := sys.Stats.ProbesSent
+	storeTo(sys, l1s[1], 1, pa)
+	// Directory may probe core 0 only if it still thinks it holds the
+	// line; after precise Evicted bookkeeping it must not.
+	if got := sys.Stats.ProbesSent - probesBefore; got != 0 {
+		t.Errorf("%d probes to a core that evicted the line", got)
+	}
+}

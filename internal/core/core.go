@@ -1,0 +1,243 @@
+// Package core implements the paper's contribution: the SEESAW
+// (Set-Enhanced Superpage-Aware) L1 data cache, alongside the baseline
+// VIPT cache it improves on and the serial PIPT design alternative it is
+// compared against in Fig 14.
+//
+// All three present the same L1Cache interface to the CPU models and the
+// coherence layer. Lookups report their latency in cycles, how many ways
+// they probed, and their energy, so the simulator can account performance
+// and energy exactly as the paper's Tables I/III describe.
+package core
+
+import (
+	"fmt"
+
+	"seesaw/internal/addr"
+	"seesaw/internal/cache"
+	"seesaw/internal/sram"
+	"seesaw/internal/tft"
+)
+
+// AccessResult describes one CPU-side L1 lookup.
+type AccessResult struct {
+	// Hit reports whether the line was found (the caller fetches from
+	// the next level and calls Fill otherwise).
+	Hit bool
+	// State is the MOESI state of the hit line (Invalid on a miss); the
+	// simulator uses it to detect stores that need a coherence upgrade.
+	State cache.State
+	// Cycles is the L1 lookup latency (TLB/L2/walk penalties are
+	// accounted separately by the TLB hierarchy).
+	Cycles int
+	// FastPath reports a SEESAW partition-only lookup (TFT hit). For
+	// baseline and PIPT caches it is always false.
+	FastPath bool
+	// WaysProbed counts ways read by this lookup.
+	WaysProbed int
+	// EnergyNJ is the lookup energy.
+	EnergyNJ float64
+	// Superpage reports the access touched superpage-backed memory.
+	Superpage bool
+	// TFTHit reports the TFT predicted a superpage (SEESAW only).
+	TFTHit bool
+}
+
+// FillResult describes a line installation after a miss.
+type FillResult struct {
+	// Victim is the displaced line, if any.
+	Victim cache.Victim
+	// VictimPA is the physical line address of the victim (valid iff
+	// Victim.Valid).
+	VictimPA addr.PAddr
+	// Writeback reports the victim was dirty.
+	Writeback bool
+	// EnergyNJ is the installation energy (victim selection + write).
+	EnergyNJ float64
+}
+
+// ProbeResult describes a coherence lookup (invalidation or probe).
+type ProbeResult struct {
+	Hit        bool
+	State      cache.State
+	WaysProbed int
+	EnergyNJ   float64
+}
+
+// SnoopOp is the action a coherence probe applies on a hit.
+type SnoopOp int
+
+const (
+	// SnoopPeek only observes (directory consistency checks).
+	SnoopPeek SnoopOp = iota
+	// SnoopInvalidate removes the line (store by another core).
+	SnoopInvalidate
+	// SnoopDowngrade demotes M/E to O/S (load by another core); the
+	// line stays resident.
+	SnoopDowngrade
+)
+
+// L1Cache is the interface shared by the SEESAW, baseline VIPT, and PIPT
+// L1 data caches.
+type L1Cache interface {
+	// Name identifies the design for reports.
+	Name() string
+	// Access performs a CPU-side lookup; store marks intent to write
+	// (a hit on a non-writable state still counts as a hit here — the
+	// coherence layer upgrades it).
+	Access(va addr.VAddr, pa addr.PAddr, psize addr.PageSize, store bool) AccessResult
+	// Fill installs pa after a miss. store selects Modified vs
+	// Exclusive/Shared; shared reports other caches hold the line.
+	Fill(pa addr.PAddr, psize addr.PageSize, store, shared bool) FillResult
+	// Snoop performs a coherence lookup with the given operation.
+	Snoop(pa addr.PAddr, op SnoopOp) ProbeResult
+	// UpgradeToModified marks a resident line Modified (store hit after
+	// coherence permission is granted). It is a no-op if absent.
+	UpgradeToModified(pa addr.PAddr)
+	// EvictRange sweeps all lines in [lo,hi) (superpage promotion).
+	EvictRange(lo, hi addr.PAddr) []cache.Victim
+	// FastCycles and SlowCycles expose the two possible hit latencies;
+	// for designs without a fast path they are equal. The OoO
+	// scheduler's speculation logic needs both.
+	FastCycles() int
+	SlowCycles() int
+	// Storage exposes the underlying array for stats.
+	Storage() *cache.Cache
+}
+
+// Config describes an L1 data cache design point.
+type Config struct {
+	SizeBytes uint64
+	Ways      int
+	// Partitions is the SEESAW way-partition count; baseline and PIPT
+	// designs ignore it.
+	Partitions int
+	// FreqGHz converts SRAM nanoseconds to cycles.
+	FreqGHz float64
+	// TFT configures SEESAW's filter table; zero value = paper default.
+	TFT tft.Config
+	// Policy selects SEESAW's insertion policy (default FourWay).
+	Policy InsertionPolicy
+	// SerialTLBCycles, for PIPT only: cycles of TLB lookup serialized
+	// before the cache access (VIPT designs overlap this).
+	SerialTLBCycles int
+	// WayPredict enables the MRU way predictor (Fig 15): correct
+	// predictions read one way; mispredictions pay a second probe of the
+	// relevant scope (the whole set for baseline, the partition for
+	// SEESAW fast-path accesses).
+	WayPredict bool
+	// Replacement selects the victim policy (LRU, the paper's choice,
+	// or SRRIP for the replacement ablation).
+	Replacement cache.Replacement
+}
+
+// InsertionPolicy selects how SEESAW picks insertion victims
+// (Section IV-B1).
+type InsertionPolicy int
+
+const (
+	// FourWay (the paper's choice): every line — base page or superpage
+	// — inserts into the partition its *physical* address names, with
+	// partition-local LRU. Correct under page-size aliasing and makes
+	// coherence lookups partition-filterable.
+	FourWay InsertionPolicy = iota
+	// FourEightWay (the ablation): superpages insert into their
+	// partition; base pages use global LRU across the whole set.
+	// Coherence probes must then search the full set.
+	FourEightWay
+)
+
+func (p InsertionPolicy) String() string {
+	if p == FourWay {
+		return "4way"
+	}
+	return "4way-8way"
+}
+
+// timing bundles the precomputed latency/energy numbers of a design.
+type timing struct {
+	fastCycles  int
+	slowCycles  int
+	eFull       float64 // full-set probe energy
+	ePart       float64 // partition probe energy
+	eOne        float64 // single-way probe energy (way prediction)
+	eFill       float64 // line install energy (one-way write)
+	eVictimFull float64 // victim-selection overhead, global scope
+	eVictimPart float64 // victim-selection overhead, partition scope
+}
+
+func newTiming(cfg Config, partitions int) (timing, error) {
+	var t timing
+	slowNS, err := sram.Latency(cfg.SizeBytes, cfg.Ways)
+	if err != nil {
+		return t, err
+	}
+	t.slowCycles = sram.Cycles(slowNS, cfg.FreqGHz)
+	t.fastCycles = t.slowCycles
+	wpp := cfg.Ways / partitions
+	if partitions > 1 {
+		fastNS, err := sram.ProbeLatency(cfg.SizeBytes, wpp, cfg.Ways)
+		if err != nil {
+			return t, err
+		}
+		t.fastCycles = sram.Cycles(fastNS, cfg.FreqGHz)
+	}
+	if t.eFull, err = sram.ProbeEnergy(cfg.SizeBytes, cfg.Ways, cfg.Ways); err != nil {
+		return t, err
+	}
+	if partitions > 1 {
+		if t.ePart, err = sram.ProbeEnergy(cfg.SizeBytes, wpp, cfg.Ways); err != nil {
+			return t, err
+		}
+	} else {
+		t.ePart = t.eFull
+	}
+	if t.eOne, err = sram.ProbeEnergy(cfg.SizeBytes, 1, cfg.Ways); err != nil {
+		return t, err
+	}
+	// A fill writes one way; we charge the direct-mapped access energy
+	// of the array as the write cost, plus an LRU victim-selection
+	// overhead proportional to the replacement scope (the reason the
+	// paper's 4way policy also saves installation energy).
+	if t.eFill, err = sram.Energy(cfg.SizeBytes, 1); err != nil {
+		return t, err
+	}
+	t.eVictimFull = t.eFull * 0.15
+	t.eVictimPart = t.ePart * 0.15
+	return t, nil
+}
+
+func validateFreq(cfg Config) error {
+	if cfg.FreqGHz <= 0 {
+		return fmt.Errorf("core: non-positive frequency %v", cfg.FreqGHz)
+	}
+	return nil
+}
+
+// fillState picks the MOESI state for a newly installed line.
+func fillState(store, shared bool) cache.State {
+	switch {
+	case store:
+		return cache.Modified
+	case shared:
+		return cache.Shared
+	default:
+		return cache.Exclusive
+	}
+}
+
+// snoopApply applies a snoop operation to a hit line and returns whether
+// the line stays resident.
+func snoopApply(c *cache.Cache, set, way int, op SnoopOp) {
+	switch op {
+	case SnoopPeek:
+	case SnoopInvalidate:
+		c.SetState(set, way, cache.Invalid)
+	case SnoopDowngrade:
+		switch c.StateOf(set, way) {
+		case cache.Modified:
+			c.SetState(set, way, cache.Owned)
+		case cache.Exclusive:
+			c.SetState(set, way, cache.Shared)
+		}
+	}
+}

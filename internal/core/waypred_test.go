@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+
+	"seesaw/internal/addr"
+)
+
+func wpCfg() Config {
+	c := cfg32K(1.33)
+	c.WayPredict = true
+	return c
+}
+
+func TestWPCorrectPredictionSavesEnergyNotLatency(t *testing.T) {
+	b := MustNewBaselineVIPT(wpCfg())
+	va := addr.VAddr(0x1000)
+	pa := addr.Translate(va, 3, addr.Page4K)
+	b.Fill(pa, addr.Page4K, false, false) // trains the predictor
+	r := b.Access(va, pa, addr.Page4K, false)
+	if !r.Hit || r.WaysProbed != 1 {
+		t.Fatalf("result = %+v, want 1-way hit", r)
+	}
+	if r.Cycles != b.SlowCycles() {
+		t.Errorf("WP hit latency = %d, want %d (no latency benefit: TLB gates tag compare)",
+			r.Cycles, b.SlowCycles())
+	}
+	plain := MustNewBaselineVIPT(cfg32K(1.33))
+	plain.Fill(pa, addr.Page4K, false, false)
+	rp := plain.Access(va, pa, addr.Page4K, false)
+	if r.EnergyNJ >= rp.EnergyNJ {
+		t.Errorf("WP hit energy %.4f !< full probe %.4f", r.EnergyNJ, rp.EnergyNJ)
+	}
+}
+
+func TestWPMispredictionCostsDouble(t *testing.T) {
+	b := MustNewBaselineVIPT(wpCfg())
+	// Two lines in the same set, alternate between them: MRU mispredicts
+	// every time.
+	va1, va2 := addr.VAddr(0x0), addr.VAddr(0x10000) // same set index, different tags
+	pa1 := addr.Translate(va1, 1, addr.Page4K)
+	pa2 := addr.Translate(va2, 16, addr.Page4K)
+	b.Fill(pa1, addr.Page4K, false, false)
+	b.Fill(pa2, addr.Page4K, false, false) // MRU now way of pa2
+	r := b.Access(va1, pa1, addr.Page4K, false)
+	if !r.Hit {
+		t.Fatal("line resident but missed")
+	}
+	if r.Cycles != 2*b.SlowCycles() {
+		t.Errorf("mispredict latency = %d, want %d", r.Cycles, 2*b.SlowCycles())
+	}
+	if r.WaysProbed != 1+8 {
+		t.Errorf("mispredict probed %d ways", r.WaysProbed)
+	}
+	if b.Predictor().Accuracy() != 0 {
+		t.Errorf("accuracy = %v, want 0", b.Predictor().Accuracy())
+	}
+}
+
+func TestWPPlusSeesawFastPath(t *testing.T) {
+	s := MustNewSeesaw(wpCfg())
+	va := addr.VAddr(0x4000_0000)
+	pa := addr.Translate(va, 7, addr.Page2M)
+	s.OnSuperpageTLBFill(va)
+	s.Fill(pa, addr.Page2M, false, false)
+	r := s.Access(va, pa, addr.Page2M, false)
+	if !r.Hit || !r.FastPath || r.WaysProbed != 1 {
+		t.Fatalf("result = %+v, want 1-way fast hit", r)
+	}
+	if r.Cycles != s.FastCycles() {
+		t.Errorf("WP+SEESAW hit = %d cycles, want fast %d", r.Cycles, s.FastCycles())
+	}
+	// Energy must beat both plain SEESAW fast path and baseline.
+	plain := MustNewSeesaw(cfg32K(1.33))
+	plain.OnSuperpageTLBFill(va)
+	plain.Fill(pa, addr.Page2M, false, false)
+	rp := plain.Access(va, pa, addr.Page2M, false)
+	if r.EnergyNJ >= rp.EnergyNJ {
+		t.Errorf("WP+SEESAW energy %.4f !< SEESAW %.4f", r.EnergyNJ, rp.EnergyNJ)
+	}
+}
+
+// TestWPPlusSeesawMispredictBoundedByPartition: SEESAW contains the
+// misprediction penalty to the partition (Section IV-B2).
+func TestWPPlusSeesawMispredictBoundedByPartition(t *testing.T) {
+	s := MustNewSeesaw(wpCfg())
+	region := addr.VAddr(0x4000_0000)
+	s.OnSuperpageTLBFill(region)
+	// Two superpage lines in the same set and partition, alternate.
+	va1 := region
+	va2 := region + addr.VAddr(s.Geometry().SizeBytes) // same set/partition, new tag
+	s.OnSuperpageTLBFill(va2)
+	pa1 := addr.Translate(va1, 7, addr.Page2M)
+	pa2 := addr.Translate(va2, 9, addr.Page2M)
+	s.Fill(pa1, addr.Page2M, false, false)
+	s.Fill(pa2, addr.Page2M, false, false)
+	r := s.Access(va1, pa1, addr.Page2M, false)
+	if !r.Hit || !r.FastPath {
+		t.Fatalf("result = %+v", r)
+	}
+	if r.Cycles != 2*s.FastCycles() {
+		t.Errorf("contained mispredict = %d cycles, want %d (2x fast, not 2x slow)",
+			r.Cycles, 2*s.FastCycles())
+	}
+	if r.WaysProbed != 1+4 {
+		t.Errorf("probed %d ways, want 5 (1 predicted + 4 partition)", r.WaysProbed)
+	}
+}
+
+func TestWPPredictionOutsidePartitionIgnored(t *testing.T) {
+	s := MustNewSeesaw(wpCfg())
+	// Train MRU on a base-page line in partition 1.
+	vaBase := addr.VAddr(0x1000)                     // VA bit 12 set -> partition 1 (via PA)
+	paBase := addr.Translate(vaBase, 1, addr.Page4K) // PPN 1 -> PA 0x1000+... bit12=1
+	s.Fill(paBase, addr.Page4K, false, false)
+	// Now a superpage access to partition 0 of the same set: the MRU
+	// entry points into partition 1, outside the fast partition — it
+	// must be ignored, not treated as a misprediction.
+	vaSuper := addr.VAddr(0x4000_0000)
+	paSuper := addr.Translate(vaSuper, 7, addr.Page2M)
+	s.OnSuperpageTLBFill(vaSuper)
+	s.Fill(paSuper, addr.Page2M, false, false)
+	// Re-train MRU to point at partition-1 way again.
+	s.Access(vaBase, paBase, addr.Page4K, false)
+	r := s.Access(vaSuper, paSuper, addr.Page2M, false)
+	if !r.Hit || !r.FastPath {
+		t.Fatalf("result = %+v", r)
+	}
+	if r.Cycles != s.FastCycles() || r.WaysProbed != 4 {
+		t.Errorf("out-of-partition prediction mishandled: %+v", r)
+	}
+}
+
+func TestWPAccuracyImprovesWithLocality(t *testing.T) {
+	b := MustNewBaselineVIPT(wpCfg())
+	va := addr.VAddr(0x2000)
+	pa := addr.Translate(va, 5, addr.Page4K)
+	b.Fill(pa, addr.Page4K, false, false)
+	for i := 0; i < 100; i++ {
+		b.Access(va, pa, addr.Page4K, false)
+	}
+	if acc := b.Predictor().Accuracy(); acc < 0.99 {
+		t.Errorf("repeated access accuracy = %v, want ~1", acc)
+	}
+}

@@ -1,0 +1,154 @@
+package cpu
+
+import "testing"
+
+func hit(l1, slow int) MemCost {
+	return MemCost{Hit: true, L1Cycles: l1, SlowL1Cycles: slow}
+}
+
+func TestNewByKind(t *testing.T) {
+	if m, err := New("ooo"); err != nil || m.Name() != "ooo" {
+		t.Errorf("New(ooo) = %v %v", m, err)
+	}
+	if m, err := New("inorder"); err != nil || m.Name() != "inorder" {
+		t.Errorf("New(inorder) = %v %v", m, err)
+	}
+	if _, err := New("vliw"); err == nil {
+		t.Error("unknown kind must error")
+	}
+}
+
+func TestInOrderExposesFullLatency(t *testing.T) {
+	fast, slow := NewInOrder(), NewInOrder()
+	for i := 0; i < 1000; i++ {
+		fast.Retire(3, hit(1, 2))
+		slow.Retire(3, hit(2, 2))
+	}
+	if fast.Cycles() >= slow.Cycles() {
+		t.Errorf("1-cycle hits (%d cy) not faster than 2-cycle (%d cy)", fast.Cycles(), slow.Cycles())
+	}
+	// Each access differs by exactly 1 cycle on in-order.
+	if d := slow.Cycles() - fast.Cycles(); d != 1000 {
+		t.Errorf("delta = %d, want 1000", d)
+	}
+}
+
+func TestOoOHidesIndependentLatencyPartially(t *testing.T) {
+	// The fast case models SEESAW with the scheduler speculating fast
+	// (the hit really is fast, so no squash).
+	fastHit := MemCost{Hit: true, L1Cycles: 1, SlowL1Cycles: 5, AssumedFast: true}
+	fast, slow := NewOutOfOrder(), NewOutOfOrder()
+	for i := 0; i < 1000; i++ {
+		fast.Retire(3, fastHit)
+		slow.Retire(3, hit(5, 5))
+	}
+	dOoO := slow.Cycles() - fast.Cycles()
+	if dOoO == 0 {
+		t.Fatal("OoO fully hid L1 latency; SEESAW would show no benefit")
+	}
+	inFast, inSlow := NewInOrder(), NewInOrder()
+	for i := 0; i < 1000; i++ {
+		inFast.Retire(3, fastHit)
+		inSlow.Retire(3, hit(5, 5))
+	}
+	dIn := inSlow.Cycles() - inFast.Cycles()
+	if dOoO >= dIn {
+		t.Errorf("OoO delta %d !< in-order delta %d (Fig 9: in-order benefits more)", dOoO, dIn)
+	}
+}
+
+func TestDependentLoadsSerializeOnOoO(t *testing.T) {
+	dep, indep := NewOutOfOrder(), NewOutOfOrder()
+	cost := hit(5, 5)
+	for i := 0; i < 1000; i++ {
+		depCost := cost
+		depCost.Dep = true
+		dep.Retire(3, depCost)
+		indep.Retire(3, cost)
+	}
+	if dep.Cycles() <= indep.Cycles() {
+		t.Error("dependent loads must cost more than independent ones")
+	}
+}
+
+func TestSquashPenaltyOnMispredictedFastHit(t *testing.T) {
+	// Scheduler assumed fast, access took the slow path: dependents
+	// squashed and replayed.
+	squash, clean := NewOutOfOrder(), NewOutOfOrder()
+	for i := 0; i < 1000; i++ {
+		squash.Retire(0, MemCost{Hit: true, Dep: true, L1Cycles: 2, SlowL1Cycles: 2, AssumedFast: true})
+		clean.Retire(0, MemCost{Hit: true, Dep: true, L1Cycles: 2, SlowL1Cycles: 2, AssumedFast: false})
+	}
+	d := squash.Cycles() - clean.Cycles()
+	if d != SquashPenalty*1000 {
+		t.Errorf("squash delta = %d, want %d", d, SquashPenalty*1000)
+	}
+}
+
+func TestAssumedSlowForfeitsFastLatency(t *testing.T) {
+	// With the conservative scheduler (superpages scarce), a fast hit's
+	// data sits waiting until the slow wakeup slot: no latency benefit.
+	cons, spec := NewOutOfOrder(), NewOutOfOrder()
+	for i := 0; i < 1000; i++ {
+		cons.Retire(0, MemCost{Hit: true, Dep: true, L1Cycles: 1, SlowL1Cycles: 5, AssumedFast: false})
+		spec.Retire(0, MemCost{Hit: true, Dep: true, L1Cycles: 1, SlowL1Cycles: 5, AssumedFast: true})
+	}
+	if cons.Cycles() <= spec.Cycles() {
+		t.Error("conservative scheduling must forfeit the fast-path latency")
+	}
+	slowBase := NewOutOfOrder()
+	for i := 0; i < 1000; i++ {
+		slowBase.Retire(0, MemCost{Hit: true, Dep: true, L1Cycles: 5, SlowL1Cycles: 5})
+	}
+	if cons.Cycles() != slowBase.Cycles() {
+		t.Errorf("conservative fast hits (%d cy) must equal slow hits (%d cy)",
+			cons.Cycles(), slowBase.Cycles())
+	}
+}
+
+func TestInOrderNeverSquashes(t *testing.T) {
+	// In-order pipelines just wait: AssumedFast is irrelevant.
+	a, b := NewInOrder(), NewInOrder()
+	for i := 0; i < 100; i++ {
+		a.Retire(2, MemCost{Hit: true, L1Cycles: 2, SlowL1Cycles: 2, AssumedFast: true})
+		b.Retire(2, MemCost{Hit: true, L1Cycles: 2, SlowL1Cycles: 2, AssumedFast: false})
+	}
+	if a.Cycles() != b.Cycles() {
+		t.Error("in-order timing must not depend on scheduler speculation")
+	}
+}
+
+func TestMissLatencyCharged(t *testing.T) {
+	m := NewOutOfOrder()
+	m.Retire(0, MemCost{Hit: false, Dep: true, L1Cycles: 2, SlowL1Cycles: 2, ExtraCycles: 50})
+	if m.Cycles() < 50 {
+		t.Errorf("miss cost %d cycles, want >= 50", m.Cycles())
+	}
+}
+
+func TestStoresRarelyStall(t *testing.T) {
+	st, ld := NewOutOfOrder(), NewOutOfOrder()
+	for i := 0; i < 1000; i++ {
+		st.Retire(3, MemCost{Hit: true, IsStore: true, L1Cycles: 5, SlowL1Cycles: 5})
+		ld.Retire(3, MemCost{Hit: true, Dep: true, L1Cycles: 5, SlowL1Cycles: 5})
+	}
+	if st.Cycles() >= ld.Cycles() {
+		t.Error("stores must stall less than dependent loads")
+	}
+}
+
+func TestInstructionAccounting(t *testing.T) {
+	m := NewInOrder()
+	m.Retire(7, hit(1, 1))
+	m.Retire(0, hit(1, 1))
+	if m.Instructions() != 9 {
+		t.Errorf("instructions = %d, want 9 (7+1 and 0+1)", m.Instructions())
+	}
+	if IPC(m) <= 0 {
+		t.Error("IPC must be positive")
+	}
+	var empty InOrder
+	if IPC(&empty) != 0 {
+		t.Error("IPC of idle core must be 0")
+	}
+}

@@ -1,0 +1,119 @@
+// Package energy prices and accumulates the energy of the entire memory
+// hierarchy — L1 lookups (CPU-side and coherence), TLBs, the TFT, page
+// walks, LLC and DRAM accesses, plus leakage integrated over runtime —
+// matching the paper's Fig 10 accounting ("the energy expended on the
+// entire memory hierarchy (rather than just the L1 cache)").
+//
+// L1 array energies come from internal/sram; the remaining constants
+// below are calibration anchors chosen so the component shares match the
+// paper's observed behaviour: L1 dynamic energy is a major slice that
+// grows with associativity, misses add LLC/DRAM energy, and leakage is a
+// 10-20% tail that shrinks when the program runs faster (the effect the
+// paper credits for part of SEESAW's savings on large-footprint
+// workloads).
+package energy
+
+import "seesaw/internal/stats"
+
+// Prices lists per-event energies in nanojoules and the leakage power in
+// watts.
+type Prices struct {
+	L1TLBLookupNJ  float64
+	L2TLBLookupNJ  float64
+	TFTLookupNJ    float64
+	WalkPerLevelNJ float64
+	LLCAccessNJ    float64
+	DRAMAccessNJ   float64
+	// LeakageW is the effective (post-power-gating) leakage power of
+	// the memory hierarchy, integrated over runtime.
+	LeakageW float64
+}
+
+// DefaultPrices returns the calibrated 22nm model.
+func DefaultPrices() Prices {
+	return Prices{
+		L1TLBLookupNJ:  0.008,
+		L2TLBLookupNJ:  0.030,
+		TFTLookupNJ:    0.0008, // 86B structure: negligible, but accounted
+		WalkPerLevelNJ: 0.4,    // each level is roughly an LLC access
+		LLCAccessNJ:    0.4,
+		DRAMAccessNJ:   2.5, // per-64B interface energy; refresh/background power is workload-invariant and excluded
+		LeakageW:       0.020,
+	}
+}
+
+// Account accumulates energy by component.
+type Account struct {
+	Prices Prices
+
+	// Dynamic components, in nJ.
+	L1CPUSideNJ   float64 // CPU-side L1 lookups + fills
+	L1CoherenceNJ float64 // coherence probes into the L1
+	TLBNJ         float64
+	TFTNJ         float64
+	WalkNJ        float64
+	LLCNJ         float64
+	DRAMNJ        float64
+}
+
+// NewAccount creates an account with the given prices.
+func NewAccount(p Prices) *Account { return &Account{Prices: p} }
+
+// AddL1CPUSide records CPU-side L1 lookup/fill energy (already priced by
+// the sram model).
+func (a *Account) AddL1CPUSide(nj float64) { a.L1CPUSideNJ += nj }
+
+// AddL1Coherence records coherence-probe energy (priced by the L1s).
+func (a *Account) AddL1Coherence(nj float64) { a.L1CoherenceNJ += nj }
+
+// AddL1TLBLookups records n L1 TLB lookups.
+func (a *Account) AddL1TLBLookups(n uint64) { a.TLBNJ += float64(n) * a.Prices.L1TLBLookupNJ }
+
+// AddL2TLBLookups records n L2 TLB lookups.
+func (a *Account) AddL2TLBLookups(n uint64) { a.TLBNJ += float64(n) * a.Prices.L2TLBLookupNJ }
+
+// AddTFTLookups records n TFT lookups.
+func (a *Account) AddTFTLookups(n uint64) { a.TFTNJ += float64(n) * a.Prices.TFTLookupNJ }
+
+// AddWalkLevels records n page-walk level accesses.
+func (a *Account) AddWalkLevels(n uint64) { a.WalkNJ += float64(n) * a.Prices.WalkPerLevelNJ }
+
+// AddLLCAccesses records n LLC accesses.
+func (a *Account) AddLLCAccesses(n uint64) { a.LLCNJ += float64(n) * a.Prices.LLCAccessNJ }
+
+// AddDRAMAccesses records n DRAM accesses.
+func (a *Account) AddDRAMAccesses(n uint64) { a.DRAMNJ += float64(n) * a.Prices.DRAMAccessNJ }
+
+// DynamicNJ returns total dynamic energy.
+func (a *Account) DynamicNJ() float64 {
+	return a.L1CPUSideNJ + a.L1CoherenceNJ + a.TLBNJ + a.TFTNJ + a.WalkNJ + a.LLCNJ + a.DRAMNJ
+}
+
+// LeakageNJ returns leakage energy for the given runtime.
+func (a *Account) LeakageNJ(runtimeSeconds float64) float64 {
+	return a.Prices.LeakageW * runtimeSeconds * 1e9
+}
+
+// TotalNJ returns dynamic plus leakage energy for the given runtime.
+func (a *Account) TotalNJ(runtimeSeconds float64) float64 {
+	return a.DynamicNJ() + a.LeakageNJ(runtimeSeconds)
+}
+
+// BreakdownTable renders the components for reports.
+func (a *Account) BreakdownTable(runtimeSeconds float64) *stats.Table {
+	t := stats.NewTable("memory hierarchy energy (nJ)", "component", "nJ", "share %")
+	total := a.TotalNJ(runtimeSeconds)
+	row := func(name string, v float64) {
+		t.AddRowValues(name, v, stats.PctImprovement(total, total-v))
+	}
+	row("L1 CPU-side", a.L1CPUSideNJ)
+	row("L1 coherence", a.L1CoherenceNJ)
+	row("TLBs", a.TLBNJ)
+	row("TFT", a.TFTNJ)
+	row("page walks", a.WalkNJ)
+	row("LLC", a.LLCNJ)
+	row("DRAM", a.DRAMNJ)
+	row("leakage", a.LeakageNJ(runtimeSeconds))
+	t.AddRowValues("total", total, 100.0)
+	return t
+}

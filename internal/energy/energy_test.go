@@ -1,0 +1,62 @@
+package energy
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAccountAccumulates(t *testing.T) {
+	a := NewAccount(DefaultPrices())
+	a.AddL1CPUSide(10)
+	a.AddL1Coherence(2)
+	a.AddL1TLBLookups(100)
+	a.AddL2TLBLookups(10)
+	a.AddTFTLookups(100)
+	a.AddWalkLevels(4)
+	a.AddLLCAccesses(5)
+	a.AddDRAMAccesses(2)
+	want := 10.0 + 2 + 100*0.008 + 10*0.030 + 100*0.0008 + 4*0.4 + 5*0.4 + 2*2.5
+	if got := a.DynamicNJ(); got != want {
+		t.Errorf("dynamic = %v, want %v", got, want)
+	}
+}
+
+func TestLeakageScalesWithRuntime(t *testing.T) {
+	a := NewAccount(DefaultPrices())
+	l1 := a.LeakageNJ(1e-3)
+	l2 := a.LeakageNJ(2e-3)
+	if l2 != 2*l1 {
+		t.Errorf("leakage not linear: %v vs %v", l1, l2)
+	}
+	// 20mW for 1ms = 20µJ = 20000 nJ.
+	if l1 != 20000 {
+		t.Errorf("leakage(1ms) = %v nJ, want 20000", l1)
+	}
+}
+
+func TestTotalIsDynamicPlusLeakage(t *testing.T) {
+	a := NewAccount(DefaultPrices())
+	a.AddDRAMAccesses(10)
+	rt := 5e-4
+	if a.TotalNJ(rt) != a.DynamicNJ()+a.LeakageNJ(rt) {
+		t.Error("total mismatch")
+	}
+}
+
+func TestZeroAccount(t *testing.T) {
+	a := NewAccount(DefaultPrices())
+	if a.DynamicNJ() != 0 || a.TotalNJ(0) != 0 {
+		t.Error("fresh account not zero")
+	}
+}
+
+func TestBreakdownTable(t *testing.T) {
+	a := NewAccount(DefaultPrices())
+	a.AddL1CPUSide(50)
+	out := a.BreakdownTable(1e-6).String()
+	for _, want := range []string{"L1 CPU-side", "leakage", "total", "DRAM"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("breakdown missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+
+	"seesaw/internal/sim"
+	"seesaw/internal/stats"
+	"seesaw/internal/workload"
+)
+
+// Fig14 reproduces the design-alternative comparison at 128KB: SEESAW
+// versus the best of a sweep of serial PIPT designs with lower
+// associativity (which shrink the effective TLB benefit by serializing
+// translation), at the three frequencies.
+func Fig14(o Options) (*stats.Table, error) {
+	o = o.withDefaults()
+	profiles, err := profilesFor(o)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Fig 14: SEESAW vs PIPT alternatives, 128KB L1",
+		"freq", "metric", "others (best PIPT)", "SEESAW")
+	piptWays := []int{2, 4, 8}
+	for _, f := range perfFreqs {
+		var seePerf, seeEn stats.Summary
+		bestPerf, bestEn := -1e9, -1e9
+		for _, ways := range piptWays {
+			var pp, pe stats.Summary
+			for _, p := range profiles {
+				cfg := baseConfig(o, p, 0, 128<<10, f, "ooo")
+				base, err := sim.Run(cfg) // baseline VIPT reference
+				if err != nil {
+					return nil, err
+				}
+				cfg.CacheKind = sim.KindPIPT
+				cfg.L1Ways = ways
+				// Serial translation sits on the load-to-use path: even
+				// a shrunken TLB costs two cycles before indexing, and
+				// its lower reach puts L2-TLB/walk latency on the
+				// critical path far more often.
+				cfg.SerialTLBCycles = 2
+				cfg.SmallTLB = true
+				alt, err := sim.Run(cfg)
+				if err != nil {
+					return nil, err
+				}
+				pp.Add(runtimeImprovement(base, alt))
+				pe.Add(energyImprovement(base, alt))
+			}
+			if pp.Mean() > bestPerf {
+				bestPerf = pp.Mean()
+			}
+			if pe.Mean() > bestEn {
+				bestEn = pe.Mean()
+			}
+		}
+		for _, p := range profiles {
+			base, see, err := runPair(baseConfig(o, p, 0, 128<<10, f, "ooo"))
+			if err != nil {
+				return nil, err
+			}
+			seePerf.Add(runtimeImprovement(base, see))
+			seeEn.Add(energyImprovement(base, see))
+		}
+		t.AddRow(fmt.Sprintf("%.2fGHz", f), "performance %",
+			fmt.Sprintf("%.2f", bestPerf), fmt.Sprintf("%.2f", seePerf.Mean()))
+		t.AddRow(fmt.Sprintf("%.2fGHz", f), "energy %",
+			fmt.Sprintf("%.2f", bestEn), fmt.Sprintf("%.2f", seeEn.Mean()))
+	}
+	t.AddNote("improvements are vs the 128KB baseline VIPT; expected shape: SEESAW >= best alternative (paper Fig 14)")
+	return t, nil
+}
+
+// Fig15 reproduces the way-prediction comparison on 64KB caches at
+// 1.33GHz: an MRU way predictor alone (WP), SEESAW, and the combination,
+// all relative to baseline VIPT.
+func Fig15(o Options) (*stats.Table, error) {
+	o = o.withDefaults()
+	names := o.Workloads
+	if len(names) == len(workload.Names()) {
+		names = workload.CloudNames // the paper's Fig 15 subset
+	}
+	t := stats.NewTable("Fig 15: WP vs SEESAW vs WP+SEESAW (64KB, 1.33GHz, OoO; % vs baseline VIPT)",
+		"workload", "metric", "WP", "SEESAW", "WP+SEESAW", "WP accuracy")
+	for _, name := range names {
+		p, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		cfg := baseConfig(o, p, 0, 64<<10, 1.33, "ooo")
+		base, err := sim.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		wpCfg := cfg
+		wpCfg.WayPredict = true
+		wp, err := sim.Run(wpCfg)
+		if err != nil {
+			return nil, err
+		}
+		seeCfg := cfg
+		seeCfg.CacheKind = sim.KindSeesaw
+		see, err := sim.Run(seeCfg)
+		if err != nil {
+			return nil, err
+		}
+		bothCfg := seeCfg
+		bothCfg.WayPredict = true
+		both, err := sim.Run(bothCfg)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(name, "perf %",
+			fmt.Sprintf("%.2f", runtimeImprovement(base, wp)),
+			fmt.Sprintf("%.2f", runtimeImprovement(base, see)),
+			fmt.Sprintf("%.2f", runtimeImprovement(base, both)),
+			fmt.Sprintf("%.2f", wp.WPAccuracy))
+		t.AddRow(name, "energy %",
+			fmt.Sprintf("%.2f", energyImprovement(base, wp)),
+			fmt.Sprintf("%.2f", energyImprovement(base, see)),
+			fmt.Sprintf("%.2f", energyImprovement(base, both)), "")
+	}
+	t.AddNote("expected shape: WP alone can degrade performance (negative perf on low-accuracy workloads); WP+SEESAW saves the most energy (paper Fig 15)")
+	return t, nil
+}

@@ -1,0 +1,150 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation as printable row/series tables. Each function is
+// self-contained: it builds the systems it needs through internal/sim and
+// returns a stats.Table whose rows mirror what the paper plots. The
+// cmd/seesaw-figures tool and the repository's benchmark harness both
+// drive this package; EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"seesaw/internal/sim"
+	"seesaw/internal/stats"
+	"seesaw/internal/workload"
+)
+
+// Options scales the experiments.
+type Options struct {
+	// Refs per simulation (default 100k).
+	Refs int
+	// Seed for deterministic workloads and fragmentation.
+	Seed int64
+	// Workloads restricts the workload set (default: all sixteen).
+	Workloads []string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Refs == 0 {
+		o.Refs = 100_000
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if len(o.Workloads) == 0 {
+		o.Workloads = workload.Names()
+	}
+	return o
+}
+
+// profilesFor resolves the option's workload names.
+func profilesFor(o Options) ([]workload.Profile, error) {
+	ps := make([]workload.Profile, 0, len(o.Workloads))
+	for _, n := range o.Workloads {
+		p, err := workload.ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		ps = append(ps, p)
+	}
+	return ps, nil
+}
+
+// baseConfig is the shared simulation skeleton.
+func baseConfig(o Options, p workload.Profile, kind sim.CacheKind, size uint64, freq float64, cpuKind string) sim.Config {
+	return sim.Config{
+		Workload:  p,
+		Seed:      o.Seed,
+		Refs:      o.Refs,
+		CacheKind: kind,
+		L1Size:    size,
+		FreqGHz:   freq,
+		CPUKind:   cpuKind,
+		MemBytes:  512 << 20,
+	}
+}
+
+// runPair executes baseline VIPT and SEESAW on identical inputs and
+// returns both reports.
+func runPair(cfg sim.Config) (base, see *sim.Report, err error) {
+	cfg.CacheKind = sim.KindBaseline
+	base, err = sim.Run(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg.CacheKind = sim.KindSeesaw
+	see, err = sim.Run(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return base, see, nil
+}
+
+// runtimeImprovement returns the percent runtime improvement of see over
+// base (positive = SEESAW faster).
+func runtimeImprovement(base, see *sim.Report) float64 {
+	return stats.PctImprovement(float64(base.Cycles), float64(see.Cycles))
+}
+
+// energyImprovement returns the percent memory-hierarchy energy saving.
+func energyImprovement(base, see *sim.Report) float64 {
+	return stats.PctImprovement(base.EnergyTotalNJ, see.EnergyTotalNJ)
+}
+
+// Generator produces one experiment table.
+type Generator func(Options) (*stats.Table, error)
+
+// registry maps experiment ids to generators.
+var registry = map[string]Generator{
+	"fig2a":  Fig2a,
+	"fig2b":  noOpt(Fig2b),
+	"fig2c":  noOpt(Fig2c),
+	"fig3":   Fig3,
+	"table1": noOpt(TableI),
+	"table2": noOpt(TableII),
+	"table3": noOpt(TableIII),
+	"fig7":   Fig7,
+	"fig8":   Fig8,
+	"fig9":   Fig9,
+	"fig10":  Fig10,
+	"fig11":  Fig11,
+	"fig12":  Fig12,
+	"fig13":  Fig13,
+	"fig14":  Fig14,
+	"fig15":  Fig15,
+
+	"energy-breakdown":     EnergyBreakdown,
+	"ext-icache":           ExtICache,
+	"ablation-1g":          Ablation1GPages,
+	"ablation-partition":   AblationPartitionCount,
+	"ablation-prefetch":    AblationPrefetch,
+	"ablation-replacement": AblationReplacement,
+	"ablation-insertion":   AblationInsertionPolicy,
+	"ablation-scheduler":   AblationSchedulerPolicy,
+	"ablation-tft-assoc":   AblationTFTAssociativity,
+	"ablation-snoopy":      AblationSnoopy,
+}
+
+func noOpt(f func() (*stats.Table, error)) Generator {
+	return func(Options) (*stats.Table, error) { return f() }
+}
+
+// IDs returns the registered experiment ids, sorted.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes one experiment by id.
+func Run(id string, o Options) (*stats.Table, error) {
+	g, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return g(o)
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tinyOpts keeps experiment smoke tests fast.
+func tinyOpts() Options {
+	return Options{Refs: 8_000, Seed: 7, Workloads: []string{"redis", "mcf"}}
+}
+
+func TestRegistryCoversEveryExperiment(t *testing.T) {
+	want := []string{
+		"fig2a", "fig2b", "fig2c", "fig3",
+		"table1", "table2", "table3",
+		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+		"ablation-insertion", "ablation-scheduler", "ablation-tft-assoc", "ablation-snoopy",
+		"ablation-1g", "ext-icache", "ablation-partition", "ablation-prefetch",
+		"ablation-replacement", "energy-breakdown",
+	}
+	ids := IDs()
+	have := map[string]bool{}
+	for _, id := range ids {
+		have[id] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("experiment %q missing from registry", w)
+		}
+	}
+	if len(ids) != len(want) {
+		t.Errorf("registry has %d entries, want %d: %v", len(ids), len(want), ids)
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("fig99", tinyOpts()); err == nil {
+		t.Error("unknown id must error")
+	}
+}
+
+// TestAllExperimentsProduceTables smoke-runs every registered experiment
+// at tiny scale and sanity-checks table structure.
+func TestAllExperimentsProduceTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep in -short mode")
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			tb, err := Run(id, tinyOpts())
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if len(tb.Rows) == 0 {
+				t.Fatalf("%s: empty table", id)
+			}
+			if len(tb.Headers) < 2 {
+				t.Fatalf("%s: missing headers", id)
+			}
+			out := tb.String()
+			if len(out) == 0 || !strings.Contains(out, tb.Headers[0]) {
+				t.Fatalf("%s: unrenderable table", id)
+			}
+		})
+	}
+}
+
+func TestTableIIIMatchesPaperAnchors(t *testing.T) {
+	tb, err := TableIII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows: (32KB,64KB,128KB) x (1.33,2.80,4.00); columns: size, assoc,
+	// freq, tft, base, super.
+	wantBase := []string{"2", "4", "5", "5", "9", "13", "14", "30", "42"}
+	wantSuper := []string{"1", "2", "3", "1", "2", "3", "2", "3", "4"}
+	if len(tb.Rows) != 9 {
+		t.Fatalf("Table III has %d rows, want 9", len(tb.Rows))
+	}
+	for i, row := range tb.Rows {
+		if row[4] != wantBase[i] || row[5] != wantSuper[i] {
+			t.Errorf("row %d: base/super = %s/%s, want %s/%s",
+				i, row[4], row[5], wantBase[i], wantSuper[i])
+		}
+	}
+}
+
+func TestTableIReflectsHardwareBehaviour(t *testing.T) {
+	tb, err := TableI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("Table I has %d rows, want 4", len(tb.Rows))
+	}
+	// Row 1 (2MB/TFT hit): 1 cycle, 4 ways. Rows 3-4: 2 cycles, 8 ways.
+	if tb.Rows[0][3] != "1" || tb.Rows[0][4] != "4" {
+		t.Errorf("fast row = %v", tb.Rows[0])
+	}
+	for _, i := range []int{2, 3} {
+		if tb.Rows[i][3] != "2" || tb.Rows[i][4] != "8" {
+			t.Errorf("slow row %d = %v", i, tb.Rows[i])
+		}
+	}
+}
+
+func TestFig2bMonotoneRows(t *testing.T) {
+	tb, err := Fig2b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		prev := 0.0
+		for _, cell := range row[1:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				t.Fatalf("bad cell %q", cell)
+			}
+			if v <= prev {
+				t.Errorf("latency row %v not increasing", row)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Refs != 100_000 || o.Seed != 42 || len(o.Workloads) != 16 {
+		t.Errorf("defaults = %+v", o)
+	}
+	if _, err := profilesFor(Options{Workloads: []string{"nope"}}); err == nil {
+		t.Error("unknown workload must error")
+	}
+}

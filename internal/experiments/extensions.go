@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+
+	"seesaw/internal/sim"
+	"seesaw/internal/stats"
+	"seesaw/internal/workload"
+)
+
+// ExtICache evaluates the paper's proposed instruction-side application
+// of SEESAW ("it is also possible to apply it to the instruction cache
+// ... valuable with the advent of cloud workloads that use considerably
+// larger instruction-side footprints"): both L1I and L1D use the SEESAW
+// design, with the text segment mapped by 2MB pages, against a baseline
+// VIPT I+D system.
+func ExtICache(o Options) (*stats.Table, error) {
+	o = o.withDefaults()
+	names := o.Workloads
+	if len(names) == len(workload.Names()) {
+		names = workload.CloudNames
+	}
+	t := stats.NewTable("Extension: SEESAW on the instruction cache (32KB L1I + 64KB L1D, 1.33GHz, OoO)",
+		"workload", "L1I MPKI", "perf % (D only)", "perf % (I+D)", "energy % (I+D)")
+	for _, name := range names {
+		p, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		mk := func(kind sim.CacheKind, icache bool) (*sim.Report, error) {
+			cfg := baseConfig(o, p, kind, 64<<10, 1.33, "ooo")
+			cfg.CacheKind = kind
+			cfg.ICache = icache
+			cfg.TextHuge = true
+			return sim.Run(cfg)
+		}
+		baseI, err := mk(sim.KindBaseline, true)
+		if err != nil {
+			return nil, err
+		}
+		seeI, err := mk(sim.KindSeesaw, true)
+		if err != nil {
+			return nil, err
+		}
+		baseD, err := mk(sim.KindBaseline, false)
+		if err != nil {
+			return nil, err
+		}
+		seeD, err := mk(sim.KindSeesaw, false)
+		if err != nil {
+			return nil, err
+		}
+		impD := runtimeImprovement(baseD, seeD)
+		impI := runtimeImprovement(baseI, seeI)
+		var l1iMPKI float64
+		if baseI.Instructions > 0 {
+			l1iMPKI = float64(baseI.L1IMisses) / float64(baseI.Instructions) * 1000
+		}
+		t.AddRow(name,
+			fmt.Sprintf("%.1f", l1iMPKI),
+			fmt.Sprintf("%.2f", impD),
+			fmt.Sprintf("%.2f", impI),
+			fmt.Sprintf("%.2f", energyImprovement(baseI, seeI)))
+	}
+	t.AddNote("expected: applying SEESAW to the I-cache adds benefit on instruction-footprint-heavy cloud workloads")
+	return t, nil
+}

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"seesaw/internal/addr"
+	"seesaw/internal/cache"
+	"seesaw/internal/osmm"
+	"seesaw/internal/physmem"
+	"seesaw/internal/sram"
+	"seesaw/internal/stats"
+	"seesaw/internal/workload"
+)
+
+// fig2Sizes are the cache sizes of the paper's Fig 2 sweeps.
+var fig2Sizes = []uint64{16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10}
+
+// Fig2a reproduces "Avg. Miss-per-kilo-instructions (MPKI)" versus
+// associativity for 16KB-256KB caches: raising associativity beyond ~4
+// barely moves the average MPKI, while capacity does.
+func Fig2a(o Options) (*stats.Table, error) {
+	o = o.withDefaults()
+	profiles, err := profilesFor(o)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Fig 2a: average MPKI vs associativity",
+		"size", "DM", "2-way", "4-way", "8-way", "16-way", "32-way")
+	for _, size := range fig2Sizes {
+		row := []string{fmt.Sprintf("%dKB", size>>10)}
+		for _, ways := range sram.Assocs {
+			if uint64(ways)*addr.LineSize > size {
+				row = append(row, "-")
+				continue
+			}
+			var sum stats.Summary
+			for _, p := range profiles {
+				mpki, err := cacheOnlyMPKI(p, o.Seed, o.Refs, size, ways)
+				if err != nil {
+					return nil, err
+				}
+				sum.Add(mpki)
+			}
+			row = append(row, fmt.Sprintf("%.1f", sum.Mean()))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("expected shape: MPKI flat beyond 4 ways, dropping with capacity (paper Fig 2a)")
+	return t, nil
+}
+
+// cacheOnlyMPKI replays a workload against a bare cache model (identity
+// translation, no timing) — the methodology of the paper's trace-driven
+// motivation study.
+func cacheOnlyMPKI(p workload.Profile, seed int64, refs int, size uint64, ways int) (float64, error) {
+	geom, err := addr.NewCacheGeometry(size, ways, 1)
+	if err != nil {
+		return 0, err
+	}
+	g := workload.NewGenerator(p, seed)
+	g.BindDefault()
+	c := cache.New(geom)
+	var instrs uint64
+	for i := 0; i < refs; i++ {
+		rec := g.Next(i % p.Threads)
+		instrs += uint64(rec.Gap) + 1
+		pa := addr.PAddr(rec.VA)
+		set, tag := geom.SetIndexP(pa), geom.TagP(pa)
+		if _, hit := c.Access(set, cache.AnyPartition, tag); !hit {
+			c.Insert(set, cache.AnyPartition, tag, cache.Shared)
+		}
+	}
+	return c.MPKI(instrs), nil
+}
+
+// Fig2b reproduces "Cache Access Latency" versus associativity from the
+// SRAM model (ns, 22nm).
+func Fig2b() (*stats.Table, error) {
+	t := stats.NewTable("Fig 2b: access latency (ns) vs associativity",
+		"size", "DM", "2-way", "4-way", "8-way", "16-way", "32-way")
+	for _, size := range fig2Sizes {
+		row := []string{fmt.Sprintf("%dKB", size>>10)}
+		for _, ways := range sram.Assocs {
+			l, err := sram.Latency(size, ways)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.2f", l))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("10-25%% growth per step at low associativity, blow-up beyond 8 ways (paper Fig 2b)")
+	return t, nil
+}
+
+// Fig2c reproduces "Cache access energy" versus associativity (nJ).
+func Fig2c() (*stats.Table, error) {
+	t := stats.NewTable("Fig 2c: access energy (nJ) vs associativity",
+		"size", "DM", "2-way", "4-way", "8-way", "16-way", "32-way")
+	for _, size := range fig2Sizes {
+		row := []string{fmt.Sprintf("%dKB", size>>10)}
+		for _, ways := range sram.Assocs {
+			e, err := sram.Energy(size, ways)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.4f", e))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("40-50%% growth per associativity doubling (paper Fig 2c)")
+	return t, nil
+}
+
+// Fig3 reproduces the superpage-prevalence study: the fraction of each
+// workload's footprint backed by 2MB pages as memhog fragments 0%, 40%,
+// 60%, and 80% of physical memory.
+func Fig3(o Options) (*stats.Table, error) {
+	o = o.withDefaults()
+	profiles, err := profilesFor(o)
+	if err != nil {
+		return nil, err
+	}
+	hogs := []float64{0, 0.40, 0.60, 0.80}
+	t := stats.NewTable("Fig 3: % of footprint in 2MB superpages vs memhog",
+		"workload", "memhog(0%)", "memhog(40%)", "memhog(60%)", "memhog(80%)")
+	for _, p := range profiles {
+		row := []string{p.Name}
+		for _, hog := range hogs {
+			cov, err := coverageUnderFragmentation(p, o.Seed, hog)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.1f", cov*100))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("expected shape: 65%%+ coverage through memhog(40-60%%), collapsing at 80%% (paper Fig 3)")
+	return t, nil
+}
+
+// coverageUnderFragmentation maps one workload's footprint on fragmented
+// memory and reports superpage coverage, including a khugepaged promotion
+// pass (the OS keeps trying in the background, as on the paper's
+// long-uptime systems).
+func coverageUnderFragmentation(p workload.Profile, seed int64, hog float64) (float64, error) {
+	// 1GB of physical memory: big enough that even the 96MB-footprint
+	// workloads fit beside memhog(80%), as on the paper's 32GB testbed.
+	buddy, err := physmem.New(1 << 30)
+	if err != nil {
+		return 0, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	mgr := osmm.NewManager(buddy, rng, true)
+	if hog > 0 {
+		h, err := physmem.Run(buddy, rng, hog, 0.97)
+		if err != nil {
+			return 0, err
+		}
+		mgr.Compactor = h // memhog pages are movable
+	}
+	proc, err := mgr.NewProcess(1)
+	if err != nil {
+		return 0, err
+	}
+	g := workload.NewGenerator(p, seed)
+	if _, err := mgr.MmapHuge(proc, g.HeapBytes(), true); err != nil {
+		return 0, err
+	}
+	if _, err := mgr.MmapHuge(proc, g.SmallBytes(), false); err != nil {
+		return 0, err
+	}
+	mgr.PromoteScan(proc, 1<<30)
+	return proc.SuperpageCoverage(), nil
+}

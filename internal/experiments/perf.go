@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+
+	"seesaw/internal/stats"
+)
+
+var (
+	perfSizes = []uint64{32 << 10, 64 << 10, 128 << 10}
+	perfFreqs = []float64{1.33, 2.80, 4.00}
+)
+
+// Fig7 reproduces the per-workload runtime improvement of SEESAW over
+// baseline VIPT on the out-of-order core at 1.33GHz for 32/64/128KB L1s.
+func Fig7(o Options) (*stats.Table, error) {
+	o = o.withDefaults()
+	profiles, err := profilesFor(o)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Fig 7: % runtime improvement, OoO @1.33GHz",
+		"workload", "32KB", "64KB", "128KB")
+	var avg [3]stats.Summary
+	for _, p := range profiles {
+		row := []string{p.Name}
+		for i, size := range perfSizes {
+			base, see, err := runPair(baseConfig(o, p, 0, size, 1.33, "ooo"))
+			if err != nil {
+				return nil, err
+			}
+			imp := runtimeImprovement(base, see)
+			avg[i].Add(imp)
+			row = append(row, fmt.Sprintf("%.2f", imp))
+		}
+		t.AddRow(row...)
+	}
+	t.AddRow("average",
+		fmt.Sprintf("%.2f", avg[0].Mean()),
+		fmt.Sprintf("%.2f", avg[1].Mean()),
+		fmt.Sprintf("%.2f", avg[2].Mean()))
+	t.AddNote("expected shape: every workload improves; larger caches improve more (paper: 5-11%% averages)")
+	return t, nil
+}
+
+// improvementSweep runs the size × frequency sweep for one CPU kind and
+// reports avg/min/max runtime (and energy) improvements across workloads.
+func improvementSweep(o Options, cpuKind string) (perf, energy *stats.Table, err error) {
+	profiles, err := profilesFor(o)
+	if err != nil {
+		return nil, nil, err
+	}
+	perf = stats.NewTable(
+		fmt.Sprintf("%% runtime improvement (%s core): avg [min..max] across workloads", cpuKind),
+		"freq", "32KB", "64KB", "128KB")
+	energy = stats.NewTable(
+		fmt.Sprintf("%% memory-hierarchy energy saved (%s core): avg [min..max]", cpuKind),
+		"freq", "32KB", "64KB", "128KB")
+	for _, f := range perfFreqs {
+		perfRow := []string{fmt.Sprintf("%.2fGHz", f)}
+		enRow := []string{fmt.Sprintf("%.2fGHz", f)}
+		for _, size := range perfSizes {
+			var ps, es stats.Summary
+			for _, p := range profiles {
+				base, see, err := runPair(baseConfig(o, p, 0, size, f, cpuKind))
+				if err != nil {
+					return nil, nil, err
+				}
+				ps.Add(runtimeImprovement(base, see))
+				es.Add(energyImprovement(base, see))
+			}
+			perfRow = append(perfRow, fmt.Sprintf("%.2f [%.2f..%.2f]", ps.Mean(), ps.Min(), ps.Max()))
+			enRow = append(enRow, fmt.Sprintf("%.2f [%.2f..%.2f]", es.Mean(), es.Min(), es.Max()))
+		}
+		perf.AddRow(perfRow...)
+		energy.AddRow(enRow...)
+	}
+	return perf, energy, nil
+}
+
+// Fig8 reproduces the avg/min/max runtime improvement on the out-of-order
+// core across cache sizes and frequencies.
+func Fig8(o Options) (*stats.Table, error) {
+	o = o.withDefaults()
+	perf, _, err := improvementSweep(o, "ooo")
+	if err != nil {
+		return nil, err
+	}
+	perf.Title = "Fig 8: " + perf.Title
+	perf.AddNote("expected shape: improvements grow with cache size and frequency (paper Fig 8)")
+	return perf, nil
+}
+
+// Fig9 reproduces the same sweep on the in-order core, where benefits are
+// higher because L1 latency cannot be hidden.
+func Fig9(o Options) (*stats.Table, error) {
+	o = o.withDefaults()
+	perf, _, err := improvementSweep(o, "inorder")
+	if err != nil {
+		return nil, err
+	}
+	perf.Title = "Fig 9: " + perf.Title
+	perf.AddNote("expected shape: 3-5 points higher than the OoO core (paper Fig 9)")
+	return perf, nil
+}
+
+// Fig10 reproduces the memory-hierarchy energy savings, separated by core
+// type, across sizes and frequencies.
+func Fig10(o Options) (*stats.Table, error) {
+	o = o.withDefaults()
+	_, enOoO, err := improvementSweep(o, "ooo")
+	if err != nil {
+		return nil, err
+	}
+	_, enInO, err := improvementSweep(o, "inorder")
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Fig 10: % memory-hierarchy energy saved",
+		"core", "freq", "32KB", "64KB", "128KB")
+	for _, row := range enInO.Rows {
+		t.AddRow(append([]string{"InO"}, row...)...)
+	}
+	for _, row := range enOoO.Rows {
+		t.AddRow(append([]string{"OOO"}, row...)...)
+	}
+	t.AddNote("expected shape: always positive, larger for larger caches; in-order slightly higher (paper Fig 10)")
+	return t, nil
+}

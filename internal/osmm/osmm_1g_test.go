@@ -1,0 +1,132 @@
+package osmm
+
+import (
+	"math/rand"
+	"testing"
+
+	"seesaw/internal/addr"
+	"seesaw/internal/physmem"
+)
+
+func TestMmap1GBasics(t *testing.T) {
+	b := physmem.MustNew(4 << 30)
+	m := NewManager(b, rand.New(rand.NewSource(1)), true)
+	p, _ := m.NewProcess(1)
+	base, err := m.Mmap1G(p, 64<<20) // rounds up to one 1GB page
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(base)%(1<<30) != 0 {
+		t.Errorf("1GB mapping at %#x not 1GB-aligned", uint64(base))
+	}
+	pa, size, ok := p.PT.Translate(base + 0x1234_5678)
+	if !ok || size != addr.Page1G {
+		t.Fatalf("translate = %v %v", size, ok)
+	}
+	if pa.PageOffset(addr.Page1G) != 0x1234_5678 {
+		t.Errorf("offset not preserved: %#x", uint64(pa))
+	}
+	if p.SuperpageCoverage() != 1 {
+		t.Errorf("coverage = %v", p.SuperpageCoverage())
+	}
+	if !p.ChunkIsSuper(base + 123456) {
+		t.Error("ChunkIsSuper false inside a 1GB page")
+	}
+	if b.FreeBytes() != 3<<30 {
+		t.Errorf("free = %d, want 3GB", b.FreeBytes())
+	}
+}
+
+func TestMmap1GMultipleChunks(t *testing.T) {
+	b := physmem.MustNew(4 << 30)
+	m := NewManager(b, rand.New(rand.NewSource(1)), true)
+	p, _ := m.NewProcess(1)
+	base, err := m.Mmap1G(p, 2<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, off := range []uint64{0, 1 << 30, 2<<30 - 4096} {
+		if _, size, ok := p.PT.Translate(base + addr.VAddr(off)); !ok || size != addr.Page1G {
+			t.Errorf("offset %#x: %v %v", off, size, ok)
+		}
+	}
+	if p.MappedBytes() != 2<<30 {
+		t.Errorf("mapped = %d", p.MappedBytes())
+	}
+}
+
+func TestMmap1GFailsWithoutContiguity(t *testing.T) {
+	b := physmem.MustNew(2 << 30)
+	rng := rand.New(rand.NewSource(2))
+	// Shred memory so no free 1GB block exists.
+	if _, err := physmem.Run(b, rng, 0.3, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(b, rng, true)
+	p, _ := m.NewProcess(1)
+	if _, err := m.Mmap1G(p, 1<<30); err == nil {
+		t.Fatal("1GB mapping succeeded on shredded memory")
+	}
+	// The failed mapping must not leak.
+	if p.MappedBytes() != 0 {
+		t.Errorf("mapped = %d after failure", p.MappedBytes())
+	}
+}
+
+func TestMunmap1G(t *testing.T) {
+	b := physmem.MustNew(4 << 30)
+	m := NewManager(b, rand.New(rand.NewSource(1)), true)
+	p, _ := m.NewProcess(1)
+	free0 := b.FreeBytes()
+	base, err := m.Mmap1G(p, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	invlpgs := 0
+	m.OnInvlpg = func(uint16, addr.VAddr) { invlpgs++ }
+	m.Munmap(p, base, 1<<30)
+	if b.FreeBytes() != free0 {
+		t.Errorf("free = %d after munmap, want %d", b.FreeBytes(), free0)
+	}
+	if invlpgs != 1 {
+		t.Errorf("invlpg events = %d", invlpgs)
+	}
+	if _, _, ok := p.PT.Translate(base); ok {
+		t.Error("translation survived munmap")
+	}
+	if p.SuperBytes() != 0 {
+		t.Errorf("super bytes = %d", p.SuperBytes())
+	}
+}
+
+func TestMmap1GZeroLength(t *testing.T) {
+	b := physmem.MustNew(2 << 30)
+	m := NewManager(b, rand.New(rand.NewSource(1)), true)
+	p, _ := m.NewProcess(1)
+	if _, err := m.Mmap1G(p, 0); err == nil {
+		t.Error("zero-length 1GB mmap must error")
+	}
+}
+
+func TestMixed2M1GMappings(t *testing.T) {
+	b := physmem.MustNew(4 << 30)
+	m := NewManager(b, rand.New(rand.NewSource(1)), true)
+	p, _ := m.NewProcess(1)
+	heap, err := m.Mmap1G(p, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := m.MmapHuge(p, 4<<20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, size, _ := p.PT.Translate(heap); size != addr.Page1G {
+		t.Error("heap not 1GB-backed")
+	}
+	if _, size, _ := p.PT.Translate(small); size != addr.Page2M {
+		t.Error("second region not 2MB-backed")
+	}
+	if p.SuperpageCoverage() != 1 {
+		t.Errorf("coverage = %v", p.SuperpageCoverage())
+	}
+}

@@ -1,0 +1,219 @@
+// Package pagetable implements an x86-64-style 4-level radix page table
+// supporting 4KB, 2MB, and 1GB mappings, plus the walker the TLB hierarchy
+// falls back to on a miss. It also implements the two OS operations SEESAW
+// must stay correct under (Section IV-C2): splintering a superpage into
+// base pages and promoting base pages into a superpage.
+package pagetable
+
+import (
+	"fmt"
+
+	"seesaw/internal/addr"
+)
+
+// Levels of the radix tree, top down. Each level indexes 9 VA bits.
+const (
+	LevelPML4 = 4
+	LevelPDPT = 3
+	LevelPD   = 2
+	LevelPT   = 1
+)
+
+// Entry is a leaf translation.
+type Entry struct {
+	PPN  uint64        // physical page number, in units of Size
+	Size addr.PageSize // mapping granularity
+}
+
+// node is one 512-entry radix table, sparsely stored.
+type node struct {
+	children map[uint16]*node  // interior pointers
+	leaves   map[uint16]*Entry // leaf translations at this level
+}
+
+func newNode() *node {
+	return &node{children: make(map[uint16]*node), leaves: make(map[uint16]*Entry)}
+}
+
+// Table is one address space's page table.
+type Table struct {
+	root *node
+
+	// counts[size] tracks live mappings per page size.
+	counts [addr.NumPageSizes]uint64
+}
+
+// New creates an empty page table.
+func New() *Table {
+	return &Table{root: newNode()}
+}
+
+// levelFor returns the radix level at which a page size's leaf lives:
+// 4KB leaves live in the PT, 2MB in the PD, 1GB in the PDPT.
+func levelFor(s addr.PageSize) int {
+	switch s {
+	case addr.Page4K:
+		return LevelPT
+	case addr.Page2M:
+		return LevelPD
+	case addr.Page1G:
+		return LevelPDPT
+	}
+	panic(fmt.Sprintf("pagetable: invalid page size %v", s))
+}
+
+// index extracts the 9-bit radix index for a VA at a level
+// (level 4 -> bits 47:39 ... level 1 -> bits 20:12).
+func index(v addr.VAddr, level int) uint16 {
+	return uint16(v.Bits(12+9*uint(level-1), 9))
+}
+
+// Map installs a translation from the page containing va to ppn with the
+// given size. It fails if any part of the range is already mapped (at this
+// or another granularity along the walked path).
+func (t *Table) Map(va addr.VAddr, ppn uint64, size addr.PageSize) error {
+	leafLevel := levelFor(size)
+	n := t.root
+	for level := LevelPML4; level > leafLevel; level-- {
+		i := index(va, level)
+		if _, isLeaf := n.leaves[i]; isLeaf {
+			return fmt.Errorf("pagetable: %#x already covered by a larger mapping", uint64(va))
+		}
+		child, ok := n.children[i]
+		if !ok {
+			child = newNode()
+			n.children[i] = child
+		}
+		n = child
+	}
+	i := index(va, leafLevel)
+	if _, ok := n.leaves[i]; ok {
+		return fmt.Errorf("pagetable: %#x already mapped at %v", uint64(va), size)
+	}
+	if _, ok := n.children[i]; ok {
+		return fmt.Errorf("pagetable: %#x has smaller mappings below a would-be %v leaf", uint64(va), size)
+	}
+	n.leaves[i] = &Entry{PPN: ppn, Size: size}
+	t.counts[size]++
+	return nil
+}
+
+// Walk translates va, also reporting how many radix levels were touched
+// (2 for a 1GB leaf, 3 for 2MB, 4 for 4KB) so callers can charge walk
+// latency. ok is false for unmapped addresses; levels then reports how far
+// the walk got before faulting.
+func (t *Table) Walk(va addr.VAddr) (e Entry, levels int, ok bool) {
+	n := t.root
+	for level := LevelPML4; level >= LevelPT; level-- {
+		levels++
+		i := index(va, level)
+		if leaf, isLeaf := n.leaves[i]; isLeaf {
+			return *leaf, levels, true
+		}
+		child, hasChild := n.children[i]
+		if !hasChild {
+			return Entry{}, levels, false
+		}
+		n = child
+	}
+	return Entry{}, levels, false
+}
+
+// Translate is Walk without the cost accounting: it returns the physical
+// address for va, or ok=false if unmapped.
+func (t *Table) Translate(va addr.VAddr) (addr.PAddr, addr.PageSize, bool) {
+	e, _, ok := t.Walk(va)
+	if !ok {
+		return 0, 0, false
+	}
+	return addr.Translate(va, e.PPN, e.Size), e.Size, true
+}
+
+// Unmap removes the mapping of the page containing va with the given
+// size, pruning radix nodes that become empty so the space can later be
+// remapped at a larger granularity.
+func (t *Table) Unmap(va addr.VAddr, size addr.PageSize) error {
+	leafLevel := levelFor(size)
+	// Remember the path so empty interior nodes can be pruned.
+	type step struct {
+		n *node
+		i uint16
+	}
+	var path []step
+	n := t.root
+	for level := LevelPML4; level > leafLevel; level-- {
+		i := index(va, level)
+		child, ok := n.children[i]
+		if !ok {
+			return fmt.Errorf("pagetable: %#x not mapped", uint64(va))
+		}
+		path = append(path, step{n, i})
+		n = child
+	}
+	i := index(va, leafLevel)
+	leaf, ok := n.leaves[i]
+	if !ok || leaf.Size != size {
+		return fmt.Errorf("pagetable: %#x not mapped at %v", uint64(va), size)
+	}
+	delete(n.leaves, i)
+	t.counts[size]--
+	for k := len(path) - 1; k >= 0; k-- {
+		child := path[k].n.children[path[k].i]
+		if len(child.leaves) > 0 || len(child.children) > 0 {
+			break
+		}
+		delete(path[k].n.children, path[k].i)
+	}
+	return nil
+}
+
+// Splinter replaces the 2MB mapping covering va with 512 4KB mappings that
+// preserve every translation (the frames stay where they were). It returns
+// the base VA of the splintered region. This models the OS breaking a
+// superpage, after which the OS executes invlpg — the caller must
+// propagate that to TLBs and the TFT.
+func (t *Table) Splinter(va addr.VAddr) (addr.VAddr, error) {
+	base := va.PageBase(addr.Page2M)
+	e, _, ok := t.Walk(base)
+	if !ok || e.Size != addr.Page2M {
+		return 0, fmt.Errorf("pagetable: %#x is not a 2MB mapping", uint64(va))
+	}
+	if err := t.Unmap(base, addr.Page2M); err != nil {
+		return 0, err
+	}
+	basePPN4K := e.PPN << (addr.Page2M.OffsetBits() - addr.Page4K.OffsetBits())
+	for i := uint64(0); i < 512; i++ {
+		sub := base + addr.VAddr(i*4096)
+		if err := t.Map(sub, basePPN4K+i, addr.Page4K); err != nil {
+			return 0, fmt.Errorf("pagetable: splinter remap: %w", err)
+		}
+	}
+	return base, nil
+}
+
+// Promote replaces the 512 4KB mappings covering the 2MB region of va with
+// a single 2MB mapping to newPPN2M (the OS has copied/compacted the data
+// into that contiguous frame). All 512 base pages must currently be
+// mapped. It returns the base VA of the promoted region.
+func (t *Table) Promote(va addr.VAddr, newPPN2M uint64) (addr.VAddr, error) {
+	base := va.PageBase(addr.Page2M)
+	// Verify full population first so we fail without mutating.
+	for i := uint64(0); i < 512; i++ {
+		e, _, ok := t.Walk(base + addr.VAddr(i*4096))
+		if !ok || e.Size != addr.Page4K {
+			return 0, fmt.Errorf("pagetable: region %#x not fully 4KB-mapped at +%d pages", uint64(base), i)
+		}
+	}
+	for i := uint64(0); i < 512; i++ {
+		if err := t.Unmap(base+addr.VAddr(i*4096), addr.Page4K); err != nil {
+			return 0, err
+		}
+	}
+	if err := t.Map(base, newPPN2M, addr.Page2M); err != nil {
+		return 0, err
+	}
+	return base, nil
+}
+
+// Count returns the number of live mappings of the given size.
+func (t *Table) Count(s addr.PageSize) uint64 { return t.counts[s] }

@@ -1,0 +1,249 @@
+package pagetable
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"seesaw/internal/addr"
+)
+
+func TestMapWalk4K(t *testing.T) {
+	pt := New()
+	va := addr.VAddr(0x7f00_1234_5000)
+	if err := pt.Map(va, 0xabc, addr.Page4K); err != nil {
+		t.Fatal(err)
+	}
+	e, levels, ok := pt.Walk(va + 0xfff)
+	if !ok {
+		t.Fatal("walk missed a mapped page")
+	}
+	if e.PPN != 0xabc || e.Size != addr.Page4K {
+		t.Errorf("entry = %+v", e)
+	}
+	if levels != 4 {
+		t.Errorf("4KB walk touched %d levels, want 4", levels)
+	}
+	pa, size, ok := pt.Translate(va + 0x123)
+	if !ok || size != addr.Page4K || pa != addr.PAddr(0xabc<<12|0x123) {
+		t.Errorf("Translate = %#x %v %v", uint64(pa), size, ok)
+	}
+}
+
+func TestMapWalk2M1G(t *testing.T) {
+	pt := New()
+	va2 := addr.VAddr(0x7f00_0020_0000)
+	if err := pt.Map(va2, 5, addr.Page2M); err != nil {
+		t.Fatal(err)
+	}
+	if _, levels, ok := pt.Walk(va2 + 12345); !ok || levels != 3 {
+		t.Errorf("2MB walk levels=%d ok=%v, want 3 true", levels, ok)
+	}
+	va1 := addr.VAddr(0x40000000)
+	if err := pt.Map(va1, 2, addr.Page1G); err != nil {
+		t.Fatal(err)
+	}
+	if _, levels, ok := pt.Walk(va1 + (1 << 29)); !ok || levels != 2 {
+		t.Errorf("1GB walk levels=%d ok=%v, want 2 true", levels, ok)
+	}
+	pa, size, _ := pt.Translate(va1 + 99)
+	if size != addr.Page1G || pa != addr.PAddr(2<<30|99) {
+		t.Errorf("1GB translate = %#x %v", uint64(pa), size)
+	}
+}
+
+func TestUnmappedWalkFaults(t *testing.T) {
+	pt := New()
+	if _, levels, ok := pt.Walk(0x1000); ok || levels != 1 {
+		t.Errorf("empty table walk: levels=%d ok=%v", levels, ok)
+	}
+	pt.Map(addr.VAddr(0x200000), 1, addr.Page2M)
+	// Sibling address under the same PML4/PDPT but different PD entry.
+	if _, _, ok := pt.Walk(0x600000); ok {
+		t.Error("walk of unmapped sibling succeeded")
+	}
+}
+
+func TestOverlapRejected(t *testing.T) {
+	pt := New()
+	if err := pt.Map(0x200000, 1, addr.Page2M); err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.Map(0x200000+4096, 9, addr.Page4K); err == nil {
+		t.Error("4KB map inside a 2MB mapping must fail")
+	}
+	if err := pt.Map(0x200000, 7, addr.Page2M); err == nil {
+		t.Error("duplicate 2MB map must fail")
+	}
+	pt2 := New()
+	if err := pt2.Map(0x300000, 1, addr.Page4K); err != nil {
+		t.Fatal(err)
+	}
+	if err := pt2.Map(0x200000, 3, addr.Page2M); err == nil {
+		t.Error("2MB map over an existing 4KB mapping must fail")
+	}
+}
+
+func TestUnmap(t *testing.T) {
+	pt := New()
+	pt.Map(0x5000, 3, addr.Page4K)
+	if err := pt.Unmap(0x5000, addr.Page4K); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := pt.Walk(0x5000); ok {
+		t.Error("walk succeeded after unmap")
+	}
+	if err := pt.Unmap(0x5000, addr.Page4K); err == nil {
+		t.Error("double unmap must fail")
+	}
+	if err := pt.Unmap(0x200000, addr.Page2M); err == nil {
+		t.Error("unmap of never-mapped page must fail")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	pt := New()
+	pt.Map(0x1000, 1, addr.Page4K)
+	pt.Map(0x2000, 2, addr.Page4K)
+	pt.Map(0x200000, 1, addr.Page2M)
+	if pt.Count(addr.Page4K) != 2 || pt.Count(addr.Page2M) != 1 {
+		t.Errorf("counts = %d 4K, %d 2M", pt.Count(addr.Page4K), pt.Count(addr.Page2M))
+	}
+	pt.Unmap(0x1000, addr.Page4K)
+	if pt.Count(addr.Page4K) != 1 {
+		t.Errorf("4K count after unmap = %d", pt.Count(addr.Page4K))
+	}
+}
+
+// TestSplinterPreservesTranslations is the Section IV-C2 correctness
+// requirement: lines that belonged to the superpage must stay accessible
+// at the same physical addresses after splintering.
+func TestSplinterPreservesTranslations(t *testing.T) {
+	pt := New()
+	base := addr.VAddr(0x7f55_5520_0000).PageBase(addr.Page2M)
+	ppn2M := uint64(17)
+	if err := pt.Map(base, ppn2M, addr.Page2M); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	var probes []addr.VAddr
+	var want []addr.PAddr
+	for i := 0; i < 64; i++ {
+		v := base + addr.VAddr(rng.Uint64()%(2<<20))
+		pa, _, ok := pt.Translate(v)
+		if !ok {
+			t.Fatal("pre-splinter translate failed")
+		}
+		probes = append(probes, v)
+		want = append(want, pa)
+	}
+	got, err := pt.Splinter(base + 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != base {
+		t.Errorf("splinter base = %#x, want %#x", uint64(got), uint64(base))
+	}
+	if pt.Count(addr.Page2M) != 0 || pt.Count(addr.Page4K) != 512 {
+		t.Errorf("counts after splinter: %d 2M, %d 4K", pt.Count(addr.Page2M), pt.Count(addr.Page4K))
+	}
+	for i, v := range probes {
+		pa, size, ok := pt.Translate(v)
+		if !ok || size != addr.Page4K || pa != want[i] {
+			t.Errorf("probe %#x: pa=%#x size=%v ok=%v, want pa=%#x 4KB", uint64(v), uint64(pa), size, ok, uint64(want[i]))
+		}
+	}
+	if _, err := pt.Splinter(base); err == nil {
+		t.Error("re-splintering must fail")
+	}
+}
+
+// TestPromoteRoundTrip checks base-page promotion: after promotion the
+// region translates via a single 2MB entry pointing at the new frame.
+func TestPromoteRoundTrip(t *testing.T) {
+	pt := New()
+	base := addr.VAddr(0x4020_0000)
+	for i := uint64(0); i < 512; i++ {
+		if err := pt.Map(base+addr.VAddr(i*4096), 1000+i, addr.Page4K); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := pt.Promote(base+777, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != base {
+		t.Errorf("promote base = %#x", uint64(got))
+	}
+	pa, size, ok := pt.Translate(base + 0x1234)
+	if !ok || size != addr.Page2M || pa != addr.PAddr(3<<21|0x1234) {
+		t.Errorf("post-promote translate = %#x %v %v", uint64(pa), size, ok)
+	}
+	if pt.Count(addr.Page4K) != 0 || pt.Count(addr.Page2M) != 1 {
+		t.Error("counts wrong after promote")
+	}
+}
+
+func TestPromotePartialRegionFails(t *testing.T) {
+	pt := New()
+	base := addr.VAddr(0x4020_0000)
+	for i := uint64(0); i < 511; i++ { // one page missing
+		pt.Map(base+addr.VAddr(i*4096), 1000+i, addr.Page4K)
+	}
+	if _, err := pt.Promote(base, 3); err == nil {
+		t.Fatal("promotion of a partially mapped region must fail")
+	}
+	// And it must not have mutated anything.
+	if pt.Count(addr.Page4K) != 511 {
+		t.Errorf("failed promote mutated the table: %d 4K mappings", pt.Count(addr.Page4K))
+	}
+}
+
+func TestSplinterPromoteInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pt := New()
+		base := addr.VAddr(rng.Uint64() & 0x7fff_ffff_ffff).PageBase(addr.Page2M)
+		ppn := rng.Uint64() & 0xffff
+		if pt.Map(base, ppn, addr.Page2M) != nil {
+			return true // extremely unlikely collision; skip
+		}
+		if _, err := pt.Splinter(base); err != nil {
+			return false
+		}
+		if _, err := pt.Promote(base, ppn); err != nil {
+			return false
+		}
+		pa, size, ok := pt.Translate(base + 42)
+		return ok && size == addr.Page2M && pa == addr.PAddr(ppn<<21|42)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWalker(t *testing.T) {
+	pt := New()
+	pt.Map(0x200000, 1, addr.Page2M)
+	w := NewWalker(pt, 20)
+	_, cycles, ok := w.Walk(0x200000 + 5)
+	if !ok || cycles != 60 {
+		t.Errorf("2MB walk = %d cycles ok=%v, want 60 true", cycles, ok)
+	}
+	_, cycles, ok = w.Walk(0x999999000)
+	if ok {
+		t.Error("fault expected")
+	}
+	if cycles == 0 {
+		t.Error("faulting walk must still cost cycles")
+	}
+	if w.Walks != 2 || w.Faults != 1 {
+		t.Errorf("walks=%d faults=%d", w.Walks, w.Faults)
+	}
+	if w.AvgLevels() <= 0 {
+		t.Error("AvgLevels must be positive")
+	}
+	if w.WalkCycles() == 0 {
+		t.Error("WalkCycles must accumulate")
+	}
+}

@@ -1,0 +1,52 @@
+package pagetable
+
+import "seesaw/internal/addr"
+
+// Walker wraps a Table with the latency and statistics accounting of a
+// hardware page-table walker. Each radix level touched costs one memory
+// access; the per-level latency models those accesses mostly hitting in
+// the cache hierarchy (the paper's Simics setup behaves similarly — walks
+// are expensive but far cheaper than chained DRAM accesses).
+type Walker struct {
+	Table *Table
+
+	// CyclesPerLevel is the charge per radix level touched.
+	CyclesPerLevel int
+
+	// Stats.
+	Walks       uint64
+	Faults      uint64
+	LevelsTotal uint64
+	walkCycles  uint64
+}
+
+// NewWalker creates a walker over table with the given per-level cost.
+func NewWalker(table *Table, cyclesPerLevel int) *Walker {
+	return &Walker{Table: table, CyclesPerLevel: cyclesPerLevel}
+}
+
+// Walk translates va, returning the entry, the walk latency in cycles, and
+// whether the translation exists. Faulting walks still cost the levels
+// they touched.
+func (w *Walker) Walk(va addr.VAddr) (Entry, int, bool) {
+	e, levels, ok := w.Table.Walk(va)
+	w.Walks++
+	w.LevelsTotal += uint64(levels)
+	cycles := levels * w.CyclesPerLevel
+	w.walkCycles += uint64(cycles)
+	if !ok {
+		w.Faults++
+	}
+	return e, cycles, ok
+}
+
+// WalkCycles returns the total cycles spent walking.
+func (w *Walker) WalkCycles() uint64 { return w.walkCycles }
+
+// AvgLevels returns the mean number of radix levels touched per walk.
+func (w *Walker) AvgLevels() float64 {
+	if w.Walks == 0 {
+		return 0
+	}
+	return float64(w.LevelsTotal) / float64(w.Walks)
+}

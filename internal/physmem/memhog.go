@@ -1,0 +1,206 @@
+package physmem
+
+import (
+	"fmt"
+	"math/rand"
+
+	"seesaw/internal/addr"
+)
+
+// Memhog reproduces the paper's memory-fragmentation microbenchmark. It
+// pins `fraction` of physical memory in scattered 4KB pages: memhog(40%)
+// corresponds to the paper's scenario where memhog holds 40% of system
+// memory. To scatter its pages it over-allocates by a churn factor and
+// frees the excess at random positions, poking 4KB holes through the
+// buddy allocator's large blocks.
+//
+// Memhog's pages are *movable* anonymous memory, exactly like the real
+// microbenchmark's — so it also plays the role Linux's movable pages play
+// during memory compaction: Compact vacates a 2MB region by migrating the
+// hog's pages elsewhere, which is how OSes keep allocating superpages at
+// non-trivial fragmentation (paper Section III-C).
+type Memhog struct {
+	buddy  *Buddy
+	rng    *rand.Rand
+	pinned map[uint64]struct{} // frames still held
+
+	// Migrations counts pages moved by compaction.
+	Migrations uint64
+	// Compactions counts successful region vacations.
+	Compactions uint64
+}
+
+// Run fragments memory, pinning `fraction` of it. touch is the total
+// fraction of memory transiently allocated (>= fraction; capped at 0.97);
+// the excess is freed at scattered positions. On a long-uptime loaded
+// system essentially all memory has been touched, so callers typically
+// pass touch close to 1. The rng makes runs deterministic.
+func Run(b *Buddy, rng *rand.Rand, fraction, touch float64) (*Memhog, error) {
+	if fraction < 0 || fraction > 0.95 {
+		return nil, fmt.Errorf("physmem: memhog fraction %.2f outside [0,0.95]", fraction)
+	}
+	if touch < 0 || touch > 1 {
+		return nil, fmt.Errorf("physmem: memhog touch %.2f outside [0,1]", touch)
+	}
+	if touch < fraction {
+		touch = fraction
+	}
+	if touch > 0.97 {
+		touch = 0.97
+	}
+	h := &Memhog{buddy: b, rng: rng, pinned: make(map[uint64]struct{})}
+	totalFrames := b.TotalBytes() / 4096
+	pinTarget := uint64(float64(totalFrames) * fraction)
+	allocTarget := uint64(float64(totalFrames) * touch)
+	frames := make([]uint64, 0, allocTarget)
+	for uint64(len(frames)) < allocTarget {
+		f, ok := b.AllocOrder(Order4K)
+		if !ok {
+			break
+		}
+		frames = append(frames, f)
+	}
+	// Free the excess at scattered positions; keep pinTarget pinned.
+	rng.Shuffle(len(frames), func(i, j int) { frames[i], frames[j] = frames[j], frames[i] })
+	keep := pinTarget
+	if keep > uint64(len(frames)) {
+		keep = uint64(len(frames))
+	}
+	for _, f := range frames[keep:] {
+		if err := b.FreeOrder(f, Order4K); err != nil {
+			return nil, err
+		}
+	}
+	for _, f := range frames[:keep] {
+		h.pinned[f] = struct{}{}
+	}
+	return h, nil
+}
+
+// PinnedBytes returns how much memory the hog still holds.
+func (h *Memhog) PinnedBytes() uint64 { return uint64(len(h.pinned)) * 4096 }
+
+// Release frees every pinned page, undoing the fragmentation pressure
+// (free blocks coalesce again).
+func (h *Memhog) Release() error {
+	for f := range h.pinned {
+		if err := h.buddy.FreeOrder(f, Order4K); err != nil {
+			return err
+		}
+	}
+	h.pinned = make(map[uint64]struct{})
+	return nil
+}
+
+// Touch returns the physical addresses of up to n pinned pages; the
+// simulator uses them to generate memhog's background memory traffic.
+func (h *Memhog) Touch(n int) []addr.PAddr {
+	out := make([]addr.PAddr, 0, n)
+	for f := range h.pinned {
+		if len(out) >= n {
+			break
+		}
+		out = append(out, addr.PAddr(f*4096))
+	}
+	return out
+}
+
+// Compact implements osmm.Compactor: it vacates one naturally aligned
+// block of 2^order frames whose frames are all either free or pinned by
+// the hog (movable), migrating the hog's pages to free frames elsewhere.
+// On success the block is left free and coalesced, ready for a superpage
+// allocation. It picks the candidate region needing the fewest
+// migrations.
+func (h *Memhog) Compact(order int) bool {
+	blockFrames := uint64(1) << order
+
+	// Count free frames per candidate region.
+	freePerRegion := make(map[uint64]uint64)
+	h.buddy.ForEachFreeBlock(func(frame uint64, o int) {
+		if o >= order {
+			return // already a full free block; nothing to compact
+		}
+		freePerRegion[frame/blockFrames] += 1 << o
+	})
+	// Add the hog's movable frames.
+	type cand struct{ free, movable uint64 }
+	cands := make(map[uint64]*cand)
+	for region, n := range freePerRegion {
+		cands[region] = &cand{free: n}
+	}
+	for f := range h.pinned {
+		region := f / blockFrames
+		c, ok := cands[region]
+		if !ok {
+			c = &cand{}
+			cands[region] = c
+		}
+		c.movable++
+	}
+	best := uint64(0)
+	bestMovable := blockFrames + 1
+	found := false
+	for region, c := range cands {
+		if c.free+c.movable == blockFrames && c.movable < bestMovable {
+			best, bestMovable, found = region, c.movable, true
+		}
+	}
+	if !found {
+		return false
+	}
+	// Migration targets must exist: bestMovable free frames *outside*
+	// the region. Free frames inside it are being vacated, so the total
+	// free count must be at least a whole block's worth.
+	if h.buddy.FreeBytes()/4096 < blockFrames {
+		return false
+	}
+	start := best * blockFrames
+	// Step 1: claim every free frame inside the region so replacement
+	// allocations cannot land there.
+	var claimed []uint64
+	for f := start; f < start+blockFrames; f++ {
+		if _, mine := h.pinned[f]; mine {
+			continue
+		}
+		if err := h.buddy.AllocFrameAt(f, Order4K); err != nil {
+			// Raced with our own bookkeeping; undo and bail.
+			for _, c := range claimed {
+				h.buddy.FreeOrder(c, Order4K)
+			}
+			return false
+		}
+		claimed = append(claimed, f)
+	}
+	// Step 2: migrate the hog's pages out.
+	var moved []uint64
+	for f := start; f < start+blockFrames; f++ {
+		if _, mine := h.pinned[f]; !mine {
+			continue
+		}
+		nf, ok := h.buddy.AllocOrder(Order4K)
+		if !ok {
+			// Out of memory mid-migration: restore and fail.
+			for _, m := range moved {
+				h.buddy.FreeOrder(m, Order4K)
+			}
+			for _, c := range claimed {
+				h.buddy.FreeOrder(c, Order4K)
+			}
+			return false
+		}
+		moved = append(moved, nf)
+		delete(h.pinned, f)
+		h.pinned[nf] = struct{}{}
+		h.Migrations++
+	}
+	// Step 3: release the whole region; the buddy coalesces it back into
+	// one order-`order` block. Old pinned frames are freed here; claimed
+	// frames too.
+	for f := start; f < start+blockFrames; f++ {
+		if err := h.buddy.FreeOrder(f, Order4K); err != nil {
+			return false
+		}
+	}
+	h.Compactions++
+	return true
+}

@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"testing"
+
+	"seesaw/internal/addr"
+)
+
+// TestHeap1GRuns: the 1GB-superpage extension must run end-to-end, with
+// every heap access superpage-backed and the TFT still driving the fast
+// path (bit 12 is a page-offset bit for 1GB pages too).
+func TestHeap1GRuns(t *testing.T) {
+	cfg := quickCfg(t, "redis", KindSeesaw)
+	cfg.Heap1G = true
+	cfg.MemBytes = 0 // pick the 4GB default
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SuperpageCoverage < 0.9 {
+		t.Errorf("coverage = %v with a 1GB heap", r.SuperpageCoverage)
+	}
+	if r.SuperRefFraction < 0.7 {
+		t.Errorf("superpage ref fraction = %v", r.SuperRefFraction)
+	}
+	if r.TFT.FastHits == 0 {
+		t.Error("no fast-path hits with a 1GB-backed heap")
+	}
+}
+
+// TestHeap1GCompetitiveWith2M: 1GB backing must perform at least as well
+// as 2MB backing (fewer TLB misses; same fast-path eligibility).
+func TestHeap1GCompetitiveWith2M(t *testing.T) {
+	cfg2m := quickCfg(t, "mongo", KindSeesaw)
+	r2m, err := Run(cfg2m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg1g := cfg2m
+	cfg1g.Heap1G = true
+	cfg1g.MemBytes = 4 << 30
+	r1g, err := Run(cfg1g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Allow 2% slack: the streams are identical but OS events differ.
+	if float64(r1g.Cycles) > float64(r2m.Cycles)*1.02 {
+		t.Errorf("1GB heap slower than 2MB: %d vs %d cycles", r1g.Cycles, r2m.Cycles)
+	}
+	if r1g.TLB.Walks > r2m.TLB.Walks {
+		t.Errorf("1GB heap walked more: %d vs %d", r1g.TLB.Walks, r2m.TLB.Walks)
+	}
+}
+
+// TestHeap1GStillBeatsBaseline: the headline comparison holds with 1GB
+// pages.
+func TestHeap1GStillBeatsBaseline(t *testing.T) {
+	cfg := quickCfg(t, "redis", KindBaseline)
+	cfg.Heap1G = true
+	cfg.MemBytes = 4 << 30
+	base, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.CacheKind = KindSeesaw
+	see, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if see.Cycles >= base.Cycles {
+		t.Errorf("SEESAW %d !< baseline %d with 1GB heap", see.Cycles, base.Cycles)
+	}
+}
+
+// TestHeap1GPartitionInvariant: for 1GB-backed data the VA and PA name
+// the same partition (the addr-level property, revalidated through the
+// whole stack by checking no fast-path hit ever misses the line).
+func TestHeap1GPartitionInvariant(t *testing.T) {
+	g := addr.MustCacheGeometry(64<<10, 16, 4)
+	for _, raw := range []uint64{0x4000_0000, 0x7fff_0000, 0x5555_5555} {
+		va := addr.VAddr(raw)
+		pa := addr.Translate(va, 3, addr.Page1G)
+		if g.PartitionIndexV(va) != g.PartitionIndexP(pa) {
+			t.Errorf("partition mismatch for 1GB-backed %#x", raw)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package sim
+
+import "testing"
+
+// TestICacheRuns: enabling the instruction cache must model fetches and
+// account their hits/misses.
+func TestICacheRuns(t *testing.T) {
+	cfg := quickCfg(t, "nutch", KindSeesaw)
+	cfg.ICache = true
+	cfg.TextHuge = true
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.L1IHits+r.L1IMisses == 0 {
+		t.Fatal("no instruction-cache activity")
+	}
+	// The hot code working set fits easily, so fetches mostly hit.
+	hitRate := float64(r.L1IHits) / float64(r.L1IHits+r.L1IMisses)
+	if hitRate < 0.6 {
+		t.Errorf("L1I hit rate = %.2f, implausibly low", hitRate)
+	}
+}
+
+// TestICacheOffLeavesZeroStats: without the flag, no I-side stats.
+func TestICacheOffLeavesZeroStats(t *testing.T) {
+	r, err := Run(quickCfg(t, "nutch", KindSeesaw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.L1IHits != 0 || r.L1IMisses != 0 {
+		t.Error("I-cache stats nonzero without ICache")
+	}
+}
+
+// TestICacheCostsTime: modeling fetches adds front-end stalls (redirect
+// bubbles and miss stalls), so runtime must grow vs the D-only model.
+func TestICacheCostsTime(t *testing.T) {
+	base := quickCfg(t, "redis", KindSeesaw)
+	noI, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withI := base
+	withI.ICache = true
+	withIr, err := Run(withI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withIr.Cycles <= noI.Cycles {
+		t.Errorf("I-cache modeling did not add cycles: %d vs %d", withIr.Cycles, noI.Cycles)
+	}
+}
+
+// TestSeesawIWithHugeText: with 2MB-mapped text, SEESAW-I makes fetches
+// fast-path eligible and must beat baseline I+D at equal configuration —
+// the paper's instruction-side proposal for cloud workloads.
+func TestSeesawIWithHugeText(t *testing.T) {
+	for _, wl := range []string{"nutch", "olio"} {
+		cfg := quickCfg(t, wl, KindBaseline)
+		cfg.ICache = true
+		cfg.TextHuge = true
+		base, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.CacheKind = KindSeesaw
+		see, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if see.Cycles >= base.Cycles {
+			t.Errorf("%s: SEESAW I+D %d !< baseline I+D %d", wl, see.Cycles, base.Cycles)
+		}
+		if see.EnergyTotalNJ >= base.EnergyTotalNJ {
+			t.Errorf("%s: SEESAW I+D energy not lower", wl)
+		}
+	}
+}
+
+// TestHugeTextBeatsSmallText: with 4KB-mapped text SEESAW-I has no
+// instruction-side fast paths, so 2MB text must be at least as fast.
+func TestHugeTextBeatsSmallText(t *testing.T) {
+	cfg := quickCfg(t, "olio", KindSeesaw)
+	cfg.ICache = true
+	cfg.TextHuge = false
+	small, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.TextHuge = true
+	huge, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if huge.Cycles > small.Cycles {
+		t.Errorf("huge text slower: %d vs %d cycles", huge.Cycles, small.Cycles)
+	}
+}

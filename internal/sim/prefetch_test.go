@@ -1,0 +1,79 @@
+package sim
+
+import "testing"
+
+// TestPrefetchRaisesHitRate: the next-line prefetcher must improve the
+// hit rate of a streaming-heavy workload.
+func TestPrefetchRaisesHitRate(t *testing.T) {
+	cfg := quickCfg(t, "cact", KindBaseline) // 55% sequential
+	off, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Prefetch = true
+	on, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr := func(r *Report) float64 { return float64(r.L1Hits) / float64(r.L1Hits+r.L1Misses) }
+	if hr(on) <= hr(off) {
+		t.Errorf("prefetch did not raise hit rate: %.3f vs %.3f", hr(on), hr(off))
+	}
+	if on.Cycles >= off.Cycles {
+		t.Errorf("prefetch did not reduce cycles: %d vs %d", on.Cycles, off.Cycles)
+	}
+}
+
+// TestPrefetchPreservesSeesawWin: SEESAW must still beat baseline with
+// prefetching enabled on both.
+func TestPrefetchPreservesSeesawWin(t *testing.T) {
+	cfg := quickCfg(t, "redis", KindBaseline)
+	cfg.Prefetch = true
+	base, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.CacheKind = KindSeesaw
+	see, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if see.Cycles >= base.Cycles {
+		t.Errorf("SEESAW %d !< baseline %d with prefetch", see.Cycles, base.Cycles)
+	}
+}
+
+// TestPrefetchDeterministic: prefetching must not break reproducibility.
+func TestPrefetchDeterministic(t *testing.T) {
+	cfg := quickCfg(t, "gems", KindSeesaw)
+	cfg.Prefetch = true
+	r1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles || r1.EnergyTotalNJ != r2.EnergyTotalNJ {
+		t.Error("prefetch runs diverged")
+	}
+}
+
+// TestPartitionCountBuilds: the partition-count design sweep must run
+// across 2, 4, and 8 partitions of a 16-way cache.
+func TestPartitionCountBuilds(t *testing.T) {
+	for _, parts := range []int{2, 4, 8} {
+		cfg := quickCfg(t, "redis", KindSeesaw)
+		cfg.L1Size = 64 << 10
+		cfg.L1Ways = 16
+		cfg.Partitions = parts
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("partitions=%d: %v", parts, err)
+		}
+		if r.TFT.FastHits == 0 {
+			t.Errorf("partitions=%d: no fast hits", parts)
+		}
+	}
+}

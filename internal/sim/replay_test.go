@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"testing"
+
+	"seesaw/internal/trace"
+	"seesaw/internal/workload"
+)
+
+// generateTrace produces records exactly as cmd/seesaw-tracegen does.
+func generateTrace(t *testing.T, name string, seed int64, refs int) []trace.Record {
+	t.Helper()
+	p, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := workload.NewGenerator(p, seed)
+	g.BindDefault()
+	var schedule []int
+	for tid := 0; tid < g.Threads(); tid++ {
+		for k := 0; k < 8; k++ {
+			schedule = append(schedule, tid)
+		}
+	}
+	schedule = append(schedule, g.SystemTID())
+	recs := make([]trace.Record, refs)
+	for i := range recs {
+		recs[i] = g.Next(schedule[i%len(schedule)])
+	}
+	return recs
+}
+
+// TestTraceReplayMatchesOnlineGeneration: replaying a pre-recorded trace
+// must produce the identical report as generating the same stream online
+// (same seed, same schedule).
+func TestTraceReplayMatchesOnlineGeneration(t *testing.T) {
+	cfg := quickCfg(t, "astar", KindSeesaw)
+	online, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Trace = generateTrace(t, "astar", cfg.Seed, cfg.Refs)
+	replayed, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if online.Cycles != replayed.Cycles || online.L1Misses != replayed.L1Misses ||
+		online.EnergyTotalNJ != replayed.EnergyTotalNJ {
+		t.Errorf("replay diverged: cycles %d/%d, misses %d/%d, energy %.1f/%.1f",
+			online.Cycles, replayed.Cycles, online.L1Misses, replayed.L1Misses,
+			online.EnergyTotalNJ, replayed.EnergyTotalNJ)
+	}
+}
+
+func TestTraceReplayClampsRefs(t *testing.T) {
+	cfg := quickCfg(t, "astar", KindBaseline)
+	cfg.Trace = generateTrace(t, "astar", cfg.Seed, 1000)
+	cfg.Refs = 1 << 30 // far more than the trace holds
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles == 0 {
+		t.Error("no progress on clamped replay")
+	}
+}
+
+func TestTraceReplayRejectsForeignThreads(t *testing.T) {
+	cfg := quickCfg(t, "astar", KindBaseline) // astar: 1 app thread + system = 2 cores
+	cfg.Trace = []trace.Record{{TID: 9, VA: 0x5555_5540_0000}}
+	cfg.Refs = 1
+	if _, err := Run(cfg); err == nil {
+		t.Error("trace with out-of-range TID must error")
+	}
+}

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// TestEnergyAccountingConsistency: the report's total must equal the sum
+// of its components plus leakage, and the component fields must mirror
+// the account.
+func TestEnergyAccountingConsistency(t *testing.T) {
+	r, err := Run(quickCfg(t, "redis", KindSeesaw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := r.Energy
+	sum := a.L1CPUSideNJ + a.L1CoherenceNJ + a.TLBNJ + a.TFTNJ + a.WalkNJ + a.LLCNJ + a.DRAMNJ
+	if math.Abs(sum-a.DynamicNJ()) > 1e-6 {
+		t.Errorf("component sum %.3f != DynamicNJ %.3f", sum, a.DynamicNJ())
+	}
+	total := a.DynamicNJ() + a.LeakageNJ(r.RuntimeSec)
+	if math.Abs(total-r.EnergyTotalNJ) > 1e-6 {
+		t.Errorf("EnergyTotalNJ %.3f != dynamic+leakage %.3f", r.EnergyTotalNJ, total)
+	}
+	if r.EnergyCPUSideNJ != a.L1CPUSideNJ || r.EnergyCoherenceNJ != a.L1CoherenceNJ {
+		t.Error("report energy fields do not mirror the account")
+	}
+	// Every component that should be active is.
+	for name, v := range map[string]float64{
+		"L1 CPU-side": a.L1CPUSideNJ,
+		"TLB":         a.TLBNJ,
+		"TFT":         a.TFTNJ,
+		"walks":       a.WalkNJ,
+		"LLC":         a.LLCNJ,
+		"DRAM":        a.DRAMNJ,
+	} {
+		if v <= 0 {
+			t.Errorf("component %s is zero", name)
+		}
+	}
+}
+
+// TestReportJSONSerializable: the -json CLI path depends on the Report
+// marshalling cleanly with its nested account.
+func TestReportJSONSerializable(t *testing.T) {
+	r, err := Run(quickCfg(t, "astar", KindSeesaw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"Design", "Cycles", "EnergyTotalNJ", "TFT", "Coh", "Energy"} {
+		if _, ok := back[key]; !ok {
+			t.Errorf("JSON report missing %q", key)
+		}
+	}
+}
+
+// TestStatConservation: L1 hits + misses must equal the CPU-side accesses
+// the caches saw (coherence probes are counted separately).
+func TestStatConservation(t *testing.T) {
+	cfg := quickCfg(t, "cann", KindSeesaw)
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.L1Hits+r.L1Misses < uint64(cfg.Refs) {
+		t.Errorf("L1 accesses %d < refs %d", r.L1Hits+r.L1Misses, cfg.Refs)
+	}
+	if r.Instructions == 0 || r.Cycles == 0 {
+		t.Error("empty timing stats")
+	}
+	if r.IPC != float64(r.Instructions)/float64(r.Cycles) {
+		t.Error("IPC inconsistent with instructions/cycles")
+	}
+}

@@ -1,0 +1,281 @@
+package sim
+
+import (
+	"testing"
+
+	"seesaw/internal/workload"
+)
+
+func mustProfile(t *testing.T, name string) workload.Profile {
+	t.Helper()
+	p, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func quickCfg(t *testing.T, wl string, kind CacheKind) Config {
+	return Config{
+		Workload:  mustProfile(t, wl),
+		Seed:      42,
+		Refs:      40_000,
+		CacheKind: kind,
+		L1Size:    32 << 10,
+		FreqGHz:   1.33,
+		CPUKind:   "ooo",
+		MemBytes:  256 << 20,
+	}
+}
+
+func TestRunBaselineSmoke(t *testing.T) {
+	r, err := Run(quickCfg(t, "redis", KindBaseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles == 0 || r.Instructions == 0 {
+		t.Fatal("no progress recorded")
+	}
+	if r.IPC <= 0 || r.IPC > 4 {
+		t.Errorf("IPC = %v, outside plausible range", r.IPC)
+	}
+	if r.L1Hits+r.L1Misses == 0 {
+		t.Error("no L1 activity")
+	}
+	if r.EnergyTotalNJ <= 0 {
+		t.Error("no energy accounted")
+	}
+	if r.MPKI <= 0 || r.MPKI > 300 {
+		t.Errorf("MPKI = %v implausible", r.MPKI)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	r1, err := Run(quickCfg(t, "astar", KindSeesaw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(quickCfg(t, "astar", KindSeesaw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles || r1.EnergyTotalNJ != r2.EnergyTotalNJ || r1.L1Misses != r2.L1Misses {
+		t.Errorf("non-deterministic: %d/%d cycles, %v/%v nJ",
+			r1.Cycles, r2.Cycles, r1.EnergyTotalNJ, r2.EnergyTotalNJ)
+	}
+}
+
+// TestSeesawBeatsBaseline is the headline result: on a
+// superpage-friendly workload SEESAW must improve both runtime and
+// memory-hierarchy energy versus baseline VIPT.
+func TestSeesawBeatsBaseline(t *testing.T) {
+	for _, wl := range []string{"redis", "olio"} {
+		base, err := Run(quickCfg(t, wl, KindBaseline))
+		if err != nil {
+			t.Fatal(err)
+		}
+		see, err := Run(quickCfg(t, wl, KindSeesaw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if see.Cycles >= base.Cycles {
+			t.Errorf("%s: SEESAW %d cycles !< baseline %d", wl, see.Cycles, base.Cycles)
+		}
+		if see.EnergyTotalNJ >= base.EnergyTotalNJ {
+			t.Errorf("%s: SEESAW %.0f nJ !< baseline %.0f", wl, see.EnergyTotalNJ, base.EnergyTotalNJ)
+		}
+	}
+}
+
+func TestSeesawTFTReportPopulated(t *testing.T) {
+	r, err := Run(quickCfg(t, "redis", KindSeesaw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TFT.Lookups == 0 {
+		t.Fatal("TFT never looked up")
+	}
+	if r.TFT.SuperAccesses == 0 || r.TFT.FastHits == 0 {
+		t.Errorf("TFT report = %+v", r.TFT)
+	}
+	if r.TFT.SuperMissedPct < 0 || r.TFT.SuperMissedPct > 100 {
+		t.Errorf("SuperMissedPct = %v", r.TFT.SuperMissedPct)
+	}
+	// Consistency: the split must sum to the total.
+	sum := r.TFT.SuperMissedL1HitPct + r.TFT.SuperMissedL1MissPct
+	if diff := sum - r.TFT.SuperMissedPct; diff > 0.01 || diff < -0.01 {
+		t.Errorf("split %.2f+%.2f != total %.2f",
+			r.TFT.SuperMissedL1HitPct, r.TFT.SuperMissedL1MissPct, r.TFT.SuperMissedPct)
+	}
+}
+
+func TestSuperpageRefFractionPlausible(t *testing.T) {
+	r, err := Run(quickCfg(t, "redis", KindSeesaw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// redis targets ~94% superpage-eligible refs with full coverage.
+	if r.SuperRefFraction < 0.70 || r.SuperRefFraction > 0.98 {
+		t.Errorf("superpage ref fraction = %v", r.SuperRefFraction)
+	}
+	if r.SuperpageCoverage < 0.9 {
+		t.Errorf("coverage = %v on pristine memory", r.SuperpageCoverage)
+	}
+}
+
+func TestFragmentationReducesSeesawBenefit(t *testing.T) {
+	mk := func(hog float64) (base, see *Report) {
+		cfg := quickCfg(t, "olio", KindBaseline)
+		cfg.MemhogFraction = hog
+		var err error
+		base, err = Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.CacheKind = KindSeesaw
+		see, err = Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return base, see
+	}
+	b0, s0 := mk(0)
+	b9, s9 := mk(0.75)
+	imp0 := 100 * (float64(b0.Cycles) - float64(s0.Cycles)) / float64(b0.Cycles)
+	imp9 := 100 * (float64(b9.Cycles) - float64(s9.Cycles)) / float64(b9.Cycles)
+	if s9.SuperpageCoverage >= s0.SuperpageCoverage {
+		t.Errorf("coverage did not drop: %.2f vs %.2f", s9.SuperpageCoverage, s0.SuperpageCoverage)
+	}
+	if imp9 >= imp0 {
+		t.Errorf("benefit did not shrink with fragmentation: %.2f%% vs %.2f%%", imp9, imp0)
+	}
+	if imp9 < -1 {
+		t.Errorf("SEESAW materially hurt performance under fragmentation: %.2f%%", imp9)
+	}
+}
+
+func TestInOrderBenefitExceedsOoO(t *testing.T) {
+	imp := func(cpuKind string) float64 {
+		cfg := quickCfg(t, "redis", KindBaseline)
+		cfg.CPUKind = cpuKind
+		base, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.CacheKind = KindSeesaw
+		see, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return 100 * (float64(base.Cycles) - float64(see.Cycles)) / float64(base.Cycles)
+	}
+	ooo, ino := imp("ooo"), imp("inorder")
+	if ino <= ooo {
+		t.Errorf("in-order improvement %.2f%% !> OoO %.2f%% (paper Fig 9)", ino, ooo)
+	}
+}
+
+func TestCoherenceEnergyLowerWithSeesaw(t *testing.T) {
+	// canneal: 4 threads, heavy sharing.
+	base, err := Run(quickCfg(t, "cann", KindBaseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	see, err := Run(quickCfg(t, "cann", KindSeesaw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.EnergyCoherenceNJ == 0 {
+		t.Fatal("no coherence energy in a 4-thread shared workload")
+	}
+	if see.EnergyCoherenceNJ >= base.EnergyCoherenceNJ {
+		t.Errorf("SEESAW coherence energy %.1f !< baseline %.1f",
+			see.EnergyCoherenceNJ, base.EnergyCoherenceNJ)
+	}
+}
+
+func TestPIPTRuns(t *testing.T) {
+	cfg := quickCfg(t, "mcf", KindPIPT)
+	cfg.L1Ways = 4
+	cfg.SerialTLBCycles = 1
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles == 0 {
+		t.Error("PIPT made no progress")
+	}
+}
+
+func TestOSActivityPaths(t *testing.T) {
+	cfg := quickCfg(t, "redis", KindSeesaw)
+	cfg.MemhogFraction = 0.5 // some chunks start as base pages
+	cfg.PromoteScanEvery = 5_000
+	cfg.SplinterEvery = 7_000
+	cfg.ContextSwitchEvery = 9_000
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Splinters == 0 {
+		t.Error("no splinters exercised")
+	}
+	_ = r.Promotions // promotions depend on fragmentation; exercised path either way
+}
+
+func TestWayPredictConfigurations(t *testing.T) {
+	cfg := quickCfg(t, "nutch", KindBaseline)
+	cfg.WayPredict = true
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WPAccuracy <= 0 || r.WPAccuracy > 1 {
+		t.Errorf("WP accuracy = %v", r.WPAccuracy)
+	}
+	// nutch is the paper's high-accuracy example (>85%).
+	if r.WPAccuracy < 0.6 {
+		t.Errorf("nutch WP accuracy = %.2f, expected high locality", r.WPAccuracy)
+	}
+}
+
+func TestSnoopyModeIncreasesProbes(t *testing.T) {
+	cfgD := quickCfg(t, "cann", KindSeesaw)
+	rD, err := Run(cfgD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgS := cfgD
+	cfgS.CoherenceMode = 1 // snoopy
+	rS, err := Run(cfgS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rS.Coh.ProbesSent <= rD.Coh.ProbesSent {
+		t.Errorf("snoopy probes %d !> directory %d", rS.Coh.ProbesSent, rD.Coh.ProbesSent)
+	}
+}
+
+func TestSchedulerPolicyAblation(t *testing.T) {
+	// Under scarce superpages, always-fast scheduling should squash more
+	// (be no faster) than the counter-gated policy.
+	base := quickCfg(t, "mumm", KindSeesaw)
+	base.MemhogFraction = 0.78
+	counter, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	always := base
+	always.SchedulerAlwaysFast = true
+	alwaysR, err := Run(always)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Counter-gated must be at least competitive with always-fast under
+	// fragmentation (within noise — the early-cancel squash penalty is
+	// only one cycle, so the margins are small).
+	if float64(alwaysR.Cycles) < float64(counter.Cycles)*0.998 {
+		t.Errorf("always-fast (%d cy) materially beat counter-gated (%d cy) under fragmentation",
+			alwaysR.Cycles, counter.Cycles)
+	}
+}

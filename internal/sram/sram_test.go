@@ -1,0 +1,237 @@
+package sram
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTableIIIAnchors verifies the model reproduces every cycle count in
+// the paper's Table III at all three clock frequencies.
+func TestTableIIIAnchors(t *testing.T) {
+	freqs := []float64{1.33, 2.80, 4.00}
+	cases := []struct {
+		size       uint64
+		ways       int
+		baseCycles [3]int // full-set lookup, per frequency
+		fastCycles [3]int // 4-way partition lookup, per frequency
+	}{
+		{32 << 10, 8, [3]int{2, 4, 5}, [3]int{1, 2, 3}},
+		{64 << 10, 16, [3]int{5, 9, 13}, [3]int{1, 2, 3}},
+		{128 << 10, 32, [3]int{14, 30, 42}, [3]int{2, 3, 4}},
+	}
+	for _, c := range cases {
+		full, err := Latency(c.size, c.ways)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := ProbeLatency(c.size, 4, c.ways)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, f := range freqs {
+			if got := Cycles(full, f); got != c.baseCycles[i] {
+				t.Errorf("%dKB/%dw base @%.2fGHz: %d cycles, want %d",
+					c.size>>10, c.ways, f, got, c.baseCycles[i])
+			}
+			if got := Cycles(fast, f); got != c.fastCycles[i] {
+				t.Errorf("%dKB/%dw superpage @%.2fGHz: %d cycles, want %d",
+					c.size>>10, c.ways, f, got, c.fastCycles[i])
+			}
+		}
+	}
+}
+
+// TestSeesawEnergySaving verifies the Section IV-A4 anchor: a 4-way SEESAW
+// probe costs ~39.4% less than the baseline 8-way probe of a 32KB cache.
+func TestSeesawEnergySaving(t *testing.T) {
+	e8, _ := Energy(32<<10, 8)
+	e4, _ := ProbeEnergy(32<<10, 4, 8)
+	saving := 100 * (e8 - e4) / e8
+	if saving < 38.5 || saving > 40.5 {
+		t.Errorf("4-way vs 8-way energy saving = %.2f%%, want ~39.4%%", saving)
+	}
+}
+
+func TestLatencyMonotoneInAssoc(t *testing.T) {
+	for _, size := range Sizes {
+		prev := 0.0
+		for _, a := range Assocs {
+			l, err := Latency(size, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if l <= prev {
+				t.Errorf("latency not increasing at %dKB %d-way", size>>10, a)
+			}
+			prev = l
+		}
+	}
+}
+
+func TestLatencyMonotoneInSize(t *testing.T) {
+	for _, a := range Assocs {
+		prev := 0.0
+		for _, size := range Sizes {
+			l, _ := Latency(size, a)
+			if l <= prev {
+				t.Errorf("latency not increasing at %d-way %dKB", a, size>>10)
+			}
+			prev = l
+		}
+	}
+}
+
+func TestEnergyMonotone(t *testing.T) {
+	for _, size := range Sizes {
+		prev := 0.0
+		for _, a := range Assocs {
+			e, err := Energy(size, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e <= prev {
+				t.Errorf("energy not increasing at %dKB %d-way", size>>10, a)
+			}
+			prev = e
+		}
+	}
+}
+
+// TestEnergyStepRange checks the Fig 2c characterization: each
+// associativity doubling raises energy by roughly 30-66%.
+func TestEnergyStepRange(t *testing.T) {
+	for _, size := range Sizes {
+		for i := 1; i < len(Assocs); i++ {
+			e0, _ := Energy(size, Assocs[i-1])
+			e1, _ := Energy(size, Assocs[i])
+			step := e1 / e0
+			if step < 1.30 || step > 1.70 {
+				t.Errorf("%dKB %d->%d-way energy step %.2f outside [1.30,1.70]",
+					size>>10, Assocs[i-1], Assocs[i], step)
+			}
+		}
+	}
+}
+
+// TestLatencyStepRangeLowAssoc checks the Fig 2b characterization: 10-25%
+// growth per step up to 8 ways.
+func TestLatencyStepRangeLowAssoc(t *testing.T) {
+	for _, size := range Sizes {
+		for i := 1; i < 3; i++ { // steps DM->2 and 2->4
+			l0, _ := Latency(size, Assocs[i-1])
+			l1, _ := Latency(size, Assocs[i])
+			step := l1 / l0
+			if step < 1.08 || step > 1.35 {
+				t.Errorf("%dKB %d->%d-way latency step %.2f outside [1.08,1.35]",
+					size>>10, Assocs[i-1], Assocs[i], step)
+			}
+		}
+	}
+}
+
+func TestProbeFullEqualsLatency(t *testing.T) {
+	l, _ := Latency(64<<10, 16)
+	p, _ := ProbeLatency(64<<10, 16, 16)
+	if l != p {
+		t.Errorf("full probe latency %v != latency %v", p, l)
+	}
+	e, _ := Energy(64<<10, 16)
+	pe, _ := ProbeEnergy(64<<10, 16, 16)
+	if e != pe {
+		t.Errorf("full probe energy %v != energy %v", pe, e)
+	}
+}
+
+func TestPartialProbeCheaper(t *testing.T) {
+	for _, size := range []uint64{32 << 10, 64 << 10, 128 << 10} {
+		totalWays := int(size / (16 << 10) * 4)
+		full, _ := ProbeLatency(size, totalWays, totalWays)
+		part, _ := ProbeLatency(size, 4, totalWays)
+		if part >= full {
+			t.Errorf("%dKB: partition probe %.2fns not faster than full %.2fns", size>>10, part, full)
+		}
+		fe, _ := ProbeEnergy(size, totalWays, totalWays)
+		pe, _ := ProbeEnergy(size, 4, totalWays)
+		if pe >= fe {
+			t.Errorf("%dKB: partition probe energy not lower", size>>10)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Latency(12345, 8); err == nil {
+		t.Error("unsupported size must error")
+	}
+	if _, err := Latency(32<<10, 7); err == nil {
+		t.Error("unsupported assoc must error")
+	}
+	if _, err := Energy(99, 8); err == nil {
+		t.Error("unsupported size must error")
+	}
+	if _, err := ProbeLatency(32<<10, 16, 8); err == nil {
+		t.Error("probing more ways than exist must error")
+	}
+	if _, err := ProbeLatency(32<<10, 0, 8); err == nil {
+		t.Error("zero-way probe must error")
+	}
+	if _, err := ScaleLatency(1.0, Node(7)); err == nil {
+		t.Error("unknown node must error")
+	}
+}
+
+func TestCycles(t *testing.T) {
+	if Cycles(0.0, 4.0) != 1 {
+		t.Error("Cycles floors at 1")
+	}
+	if Cycles(1.0, 1.0) != 1 {
+		t.Error("exact cycle boundary")
+	}
+	if Cycles(1.01, 1.0) != 2 {
+		t.Error("must round up")
+	}
+}
+
+func TestNodeScaling(t *testing.T) {
+	// 32nm -> 22nm is a 3% reduction; 32nm -> 14nm is 17%.
+	l22 := 1.0
+	l32, err := ScaleLatency(l22, Node32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l14, err := ScaleLatency(l22, Node14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l22/l32-0.97) > 1e-9 {
+		t.Errorf("22nm/32nm = %.4f, want 0.97", l22/l32)
+	}
+	if math.Abs(l14/l32-0.83) > 1e-9 {
+		t.Errorf("14nm/32nm = %.4f, want 0.83", l14/l32)
+	}
+}
+
+func TestEightKBRowSupportsNarrowPartitions(t *testing.T) {
+	// 8KB is the partition subarray of a 64KB cache split 8 ways
+	// (2 ways per partition) — the narrowest point of the partition
+	//-count ablation.
+	l, err := ProbeLatency(64<<10, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l4, _ := ProbeLatency(64<<10, 4, 16)
+	if l >= l4 {
+		t.Errorf("2-way partition probe %.2fns not faster than 4-way %.2fns", l, l4)
+	}
+	e2, err := ProbeEnergy(64<<10, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e4, _ := ProbeEnergy(64<<10, 4, 16)
+	if e2 >= e4 {
+		t.Errorf("2-way probe energy %.4f not below 4-way %.4f", e2, e4)
+	}
+	// 8-way partitions of a 64KB cache (2 partitions) must also price.
+	if _, err := ProbeLatency(64<<10, 8, 16); err != nil {
+		t.Fatal(err)
+	}
+}

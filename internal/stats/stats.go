@@ -1,0 +1,163 @@
+// Package stats provides the light-weight statistics plumbing used by the
+// simulator: counters, running min/avg/max summaries, histograms, and
+// aligned text tables for reproducing the paper's figures as row/series
+// printouts.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates a stream of float64 samples and reports count, mean,
+// min, and max. The zero value is ready to use.
+type Summary struct {
+	n          int
+	sum        float64
+	min, max   float64
+	haveSample bool
+}
+
+// Add records one sample.
+func (s *Summary) Add(x float64) {
+	s.n++
+	s.sum += x
+	if !s.haveSample || x < s.min {
+		s.min = x
+	}
+	if !s.haveSample || x > s.max {
+		s.max = x
+	}
+	s.haveSample = true
+}
+
+// N returns the number of samples.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest sample, or 0 with no samples.
+func (s *Summary) Max() float64 { return s.max }
+
+// Sum returns the sum of all samples.
+func (s *Summary) Sum() float64 { return s.sum }
+
+// String implements fmt.Stringer.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f min=%.3f max=%.3f", s.n, s.Mean(), s.min, s.max)
+}
+
+// Ratio returns num/den, or 0 when den is 0. It is the safe division used
+// for hit rates and percentages all over the simulator.
+func Ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Pct returns 100*num/den, or 0 when den is 0.
+func Pct(num, den uint64) float64 { return 100 * Ratio(num, den) }
+
+// PctImprovement returns the percent improvement of new over base for a
+// lower-is-better metric (runtime, energy): 100*(base-new)/base.
+func PctImprovement(base, new float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (base - new) / base
+}
+
+// GeoMean returns the geometric mean of xs (all must be > 0); it returns 0
+// for an empty slice.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	logSum := 0.0
+	for _, x := range xs {
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+// Histogram counts integer-valued samples in fixed-width buckets, with an
+// overflow bucket at the top. It is used for reuse-distance and latency
+// distributions.
+type Histogram struct {
+	BucketWidth uint64
+	buckets     []uint64
+	overflow    uint64
+	n           uint64
+}
+
+// NewHistogram creates a histogram with nBuckets buckets of the given
+// width; samples >= nBuckets*width land in the overflow bucket.
+func NewHistogram(bucketWidth uint64, nBuckets int) *Histogram {
+	if bucketWidth == 0 {
+		panic("stats: zero bucket width")
+	}
+	return &Histogram{BucketWidth: bucketWidth, buckets: make([]uint64, nBuckets)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x uint64) {
+	h.n++
+	i := x / h.BucketWidth
+	if i >= uint64(len(h.buckets)) {
+		h.overflow++
+		return
+	}
+	h.buckets[i]++
+}
+
+// N returns the total number of samples.
+func (h *Histogram) N() uint64 { return h.n }
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) uint64 { return h.buckets[i] }
+
+// Overflow returns the overflow-bucket count.
+func (h *Histogram) Overflow() uint64 { return h.overflow }
+
+// Quantile returns an upper bound for the q-quantile (0 <= q <= 1) of the
+// recorded samples, resolving to bucket upper edges; overflow resolves to
+// the top edge.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.n == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.n)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			return uint64(i+1) * h.BucketWidth
+		}
+	}
+	return uint64(len(h.buckets)) * h.BucketWidth
+}
+
+// SortedKeys returns the keys of a map[string]V in sorted order; tables and
+// reports use it for deterministic iteration.
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

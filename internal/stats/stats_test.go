@@ -1,0 +1,164 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.N() != 0 {
+		t.Fatal("zero Summary must report zeroes")
+	}
+	for _, x := range []float64{3, 1, 2} {
+		s.Add(x)
+	}
+	if s.N() != 3 || s.Min() != 1 || s.Max() != 3 || s.Mean() != 2 {
+		t.Errorf("summary = %v", s.String())
+	}
+}
+
+func TestSummaryNegatives(t *testing.T) {
+	var s Summary
+	s.Add(-5)
+	s.Add(-1)
+	if s.Min() != -5 || s.Max() != -1 {
+		t.Errorf("min/max = %v/%v, want -5/-1", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryInvariants(t *testing.T) {
+	f := func(xs []float64) bool {
+		var s Summary
+		ok := true
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				continue // keep the running sum out of overflow territory
+			}
+			s.Add(x)
+		}
+		if s.N() > 0 {
+			ok = ok && s.Min() <= s.Mean()+1e-9 && s.Mean() <= s.Max()+1e-9
+		}
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRatioAndPct(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Error("Ratio with zero denominator must be 0")
+	}
+	if got := Pct(1, 4); got != 25 {
+		t.Errorf("Pct(1,4) = %v", got)
+	}
+	if got := PctImprovement(200, 150); got != 25 {
+		t.Errorf("PctImprovement(200,150) = %v", got)
+	}
+	if PctImprovement(0, 5) != 0 {
+		t.Error("PctImprovement with zero base must be 0")
+	}
+	// Improvement is negative when the new value is worse.
+	if got := PctImprovement(100, 110); got != -10 {
+		t.Errorf("PctImprovement(100,110) = %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil) must be 0")
+	}
+	got := GeoMean([]float64{1, 4})
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean(1,4) = %v, want 2", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10, 4)
+	for _, x := range []uint64{0, 9, 10, 35, 39, 40, 1000} {
+		h.Add(x)
+	}
+	if h.N() != 7 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if h.Bucket(0) != 2 || h.Bucket(1) != 1 || h.Bucket(3) != 2 {
+		t.Errorf("buckets = %d %d %d %d", h.Bucket(0), h.Bucket(1), h.Bucket(2), h.Bucket(3))
+	}
+	if h.Overflow() != 2 {
+		t.Errorf("overflow = %d", h.Overflow())
+	}
+	if q := h.Quantile(0.01); q != 10 {
+		t.Errorf("Quantile(0.01) = %d, want 10", q)
+	}
+	if q := h.Quantile(1.0); q != 40 {
+		t.Errorf("Quantile(1.0) = %d, want 40 (top edge)", q)
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	f := func(samples []uint16) bool {
+		h := NewHistogram(8, 16)
+		for _, s := range samples {
+			h.Add(uint64(s))
+		}
+		prev := uint64(0)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroBucketWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewHistogram(0, 4) did not panic")
+		}
+	}()
+	NewHistogram(0, 4)
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Fig X", "workload", "value")
+	tb.AddRowValues("redis", 3.14159)
+	tb.AddRowValues("mcf", 42)
+	tb.AddNote("synthetic")
+	out := tb.String()
+	for _, want := range []string{"Fig X", "workload", "redis", "3.14", "42", "note: synthetic"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("x,y", `q"r`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"x,y"`) || !strings.Contains(csv, `"q""r"`) {
+		t.Errorf("CSV quoting wrong: %q", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Errorf("CSV headers wrong: %q", csv)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := SortedKeys(m)
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("SortedKeys = %v", got)
+	}
+}

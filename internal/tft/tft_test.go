@@ -1,0 +1,154 @@
+package tft
+
+import (
+	"testing"
+	"testing/quick"
+
+	"seesaw/internal/addr"
+)
+
+func TestPaperSizeIs86Bytes(t *testing.T) {
+	f := New(DefaultConfig())
+	if f.SizeBytes() != 86 {
+		t.Errorf("16-entry TFT = %d bytes, want 86 (paper Section IV-A2)", f.SizeBytes())
+	}
+}
+
+func TestLookupFillInvalidate(t *testing.T) {
+	f := New(DefaultConfig())
+	va := addr.VAddr(0x7f12_3450_0000)
+	if f.Lookup(va) {
+		t.Fatal("hit on empty TFT")
+	}
+	f.Fill(va)
+	if !f.Lookup(va) {
+		t.Fatal("miss after fill")
+	}
+	// Any address in the same 2MB region hits.
+	if !f.Lookup(va.PageBase(addr.Page2M) + 0x1fffff) {
+		t.Error("same-region address missed")
+	}
+	// A neighboring region misses.
+	if f.Lookup(va + 2<<20 + 2<<20) {
+		t.Error("different region hit")
+	}
+	if !f.Invalidate(va + 5) {
+		t.Error("invalidate found nothing")
+	}
+	if f.Lookup(va) {
+		t.Error("hit after invalidate")
+	}
+	if f.Invalidate(va) {
+		t.Error("second invalidate removed something")
+	}
+}
+
+func TestDirectMappedDisplacement(t *testing.T) {
+	f := New(Config{Entries: 16, Assoc: 1})
+	a := addr.VAddr(0)        // region 0 -> set 0
+	b := addr.VAddr(16 << 21) // region 16 -> also set 0
+	f.Fill(a)
+	f.Fill(b) // displaces a without any replacement policy
+	if f.Lookup(a) {
+		t.Error("displaced entry still present")
+	}
+	if !f.Lookup(b) {
+		t.Error("new entry missing")
+	}
+	if f.ValidCount() != 1 {
+		t.Errorf("valid = %d, want 1", f.ValidCount())
+	}
+}
+
+func TestSetAssociativeKeepsConflicts(t *testing.T) {
+	f := New(Config{Entries: 16, Assoc: 2}) // 8 sets
+	a := addr.VAddr(0)
+	b := addr.VAddr(8 << 21) // same set as a (region 8 mod 8 = 0)
+	f.Fill(a)
+	f.Fill(b)
+	if !f.Lookup(a) || !f.Lookup(b) {
+		t.Error("2-way TFT must hold both conflicting regions")
+	}
+	c := addr.VAddr(16 << 21) // third conflicting region evicts LRU
+	f.Lookup(a)               // make a MRU
+	f.Fill(c)
+	if !f.Lookup(a) || !f.Lookup(c) {
+		t.Error("expected a (MRU) and c resident")
+	}
+	if f.Lookup(b) {
+		t.Error("LRU b should have been evicted")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	f := New(DefaultConfig())
+	for i := 0; i < 10; i++ {
+		f.Fill(addr.VAddr(uint64(i) << 21))
+	}
+	f.Flush()
+	if f.ValidCount() != 0 {
+		t.Errorf("valid after flush = %d", f.ValidCount())
+	}
+	if f.Stats.Flushes != 1 {
+		t.Errorf("flushes = %d", f.Stats.Flushes)
+	}
+}
+
+func TestFillIdempotent(t *testing.T) {
+	f := New(DefaultConfig())
+	va := addr.VAddr(0x40000000)
+	f.Fill(va)
+	f.Fill(va + 100) // same region
+	if f.ValidCount() != 1 {
+		t.Errorf("duplicate fill grew TFT to %d entries", f.ValidCount())
+	}
+}
+
+func TestConfigNormalization(t *testing.T) {
+	f := New(Config{})
+	if f.Config().Entries != 16 || f.Config().Assoc != 1 {
+		t.Errorf("normalized config = %+v", f.Config())
+	}
+	f = New(Config{Entries: 4, Assoc: 99})
+	if f.Config().Assoc != 4 {
+		t.Errorf("assoc clamped to %d, want 4", f.Config().Assoc)
+	}
+}
+
+func TestStatsTaxonomy(t *testing.T) {
+	f := New(DefaultConfig())
+	f.Lookup(0)
+	f.Fill(0)
+	f.Lookup(0)
+	if f.Stats.Lookups != 2 || f.Stats.Hits != 1 || f.Stats.Misses != 1 || f.Stats.Fills != 1 {
+		t.Errorf("stats = %+v", f.Stats)
+	}
+	if f.HitRate() != 0.5 {
+		t.Errorf("hit rate = %v", f.HitRate())
+	}
+}
+
+// TestNeverHitsUnfilled is the Table I invariant: "a TFT never sees hits
+// for non-superpage accesses" — it can only hit regions that were filled.
+func TestNeverHitsUnfilled(t *testing.T) {
+	f := New(DefaultConfig())
+	filled := map[uint64]bool{}
+	i := 0
+	fn := func(raw uint64, doFill bool) bool {
+		va := addr.VAddr(raw)
+		i++
+		if doFill {
+			f.Fill(va)
+			filled[va.Region2M()] = true
+			return f.Lookup(va)
+		}
+		hit := f.Lookup(va)
+		if hit && !filled[va.Region2M()] {
+			return false // hit for a region never marked superpage-backed
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

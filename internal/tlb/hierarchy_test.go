@@ -1,0 +1,151 @@
+package tlb
+
+import (
+	"testing"
+
+	"seesaw/internal/addr"
+	"seesaw/internal/pagetable"
+)
+
+func newTestHierarchy(t *testing.T) (*Hierarchy, *pagetable.Table) {
+	t.Helper()
+	pt := pagetable.New()
+	w := pagetable.NewWalker(pt, 20)
+	h := MustNewHierarchy(SandybridgeTLBs(), w)
+	return h, pt
+}
+
+func TestHierarchyWalkThenL1Hit(t *testing.T) {
+	h, pt := newTestHierarchy(t)
+	va := addr.VAddr(0x7f00_0000_3000)
+	if err := pt.Map(va, 0x123, addr.Page4K); err != nil {
+		t.Fatal(err)
+	}
+	r := h.Translate(va+5, 1)
+	if r.Source != SourceWalk || r.Size != addr.Page4K {
+		t.Fatalf("first access: %+v", r)
+	}
+	if r.PA != addr.PAddr(0x123<<12|5) {
+		t.Errorf("PA = %#x", uint64(r.PA))
+	}
+	if r.ExtraCycles <= 0 {
+		t.Error("walk must cost extra cycles")
+	}
+	r = h.Translate(va+6, 1)
+	if r.Source != SourceL1 || r.ExtraCycles != 0 {
+		t.Errorf("second access: %+v, want L1 hit with 0 extra cycles", r)
+	}
+}
+
+func TestHierarchyL2Hit(t *testing.T) {
+	h, pt := newTestHierarchy(t)
+	va := addr.VAddr(0x1000)
+	pt.Map(va, 1, addr.Page4K)
+	h.Translate(va, 1) // walk + fill L1 & L2
+	// Force the 4KB L1 to evict va by filling it past capacity with
+	// conflicting entries.
+	l1 := h.L1For(addr.Page4K)
+	sets := l1.Config().Entries / l1.Config().Assoc
+	for i := 1; i <= l1.Config().Assoc; i++ {
+		vpn := va.VPN(addr.Page4K) + uint64(i*sets)
+		l1.Fill(Entry{VPN: vpn, PPN: vpn, Size: addr.Page4K, ASID: 1})
+	}
+	r := h.Translate(va, 1)
+	if r.Source != SourceL2 {
+		t.Fatalf("expected L2 hit, got %v", r.Source)
+	}
+	if r.ExtraCycles != 7 {
+		t.Errorf("L2 hit extra cycles = %d, want 7", r.ExtraCycles)
+	}
+}
+
+func TestHierarchySuperpageFillCallback(t *testing.T) {
+	h, pt := newTestHierarchy(t)
+	va := addr.VAddr(0x4000_0000)
+	pt.Map(va.PageBase(addr.Page2M), 9, addr.Page2M)
+	var fills []addr.VAddr
+	h.OnL1SuperFill = func(v addr.VAddr, asid uint16) { fills = append(fills, v) }
+	r := h.Translate(va+77, 3)
+	if r.Source != SourceWalk || r.Size != addr.Page2M || !r.FilledL1Super {
+		t.Fatalf("result = %+v", r)
+	}
+	if len(fills) != 1 || fills[0] != va.PageBase(addr.Page2M) {
+		t.Errorf("TFT fill callback got %v", fills)
+	}
+	// Second access: L1 hit, no new fill.
+	h.Translate(va+100, 3)
+	if len(fills) != 1 {
+		t.Errorf("L1 hit should not refill, fills = %d", len(fills))
+	}
+}
+
+func TestHierarchyFault(t *testing.T) {
+	h, _ := newTestHierarchy(t)
+	r := h.Translate(0xdead000, 1)
+	if r.Source != SourceFault {
+		t.Fatalf("expected fault, got %v", r.Source)
+	}
+	if r.ExtraCycles <= 0 {
+		t.Error("fault still costs L2 + partial walk cycles")
+	}
+}
+
+func TestHierarchyInvalidate(t *testing.T) {
+	h, pt := newTestHierarchy(t)
+	va := addr.VAddr(0x4000_0000)
+	pt.Map(va, 9, addr.Page2M)
+	h.Translate(va, 1)
+	if n := h.Invalidate(va+123, 1); n < 2 { // L1-2M + L2
+		t.Errorf("invalidate dropped %d entries, want >= 2 (L1 and L2)", n)
+	}
+	r := h.Translate(va, 1)
+	if r.Source != SourceWalk {
+		t.Errorf("post-invlpg translate source = %v, want walk", r.Source)
+	}
+}
+
+func TestHierarchyFlushASID(t *testing.T) {
+	h, pt := newTestHierarchy(t)
+	pt.Map(0x1000, 1, addr.Page4K)
+	pt.Map(0x200000, 2, addr.Page2M)
+	h.Translate(0x1000, 1)
+	h.Translate(0x200000, 1)
+	h.Translate(0x1000, 2) // same pages, other ASID
+	if n := h.FlushASID(1); n < 3 {
+		t.Errorf("flush dropped %d, want >= 3", n)
+	}
+	// ASID 2's entry must survive.
+	if r := h.Translate(0x1000, 2); r.Source != SourceL1 {
+		t.Errorf("ASID 2 entry lost: source = %v", r.Source)
+	}
+}
+
+func TestAtomConfigBuilds(t *testing.T) {
+	pt := pagetable.New()
+	w := pagetable.NewWalker(pt, 20)
+	h := MustNewHierarchy(AtomTLBs(), w)
+	if h.L1Super() == nil {
+		t.Fatal("Atom hierarchy missing 2MB L1 TLB")
+	}
+	if h.L1Super().Config().Entries != 32 {
+		t.Errorf("Atom 2MB TLB entries = %d, want 32", h.L1Super().Config().Entries)
+	}
+	if h.L2TLB() == nil || h.L2TLB().Config().Entries != 512 {
+		t.Error("Atom L2 TLB must have 512 entries")
+	}
+}
+
+func TestSuperTLBValidCountForScheduler(t *testing.T) {
+	h, pt := newTestHierarchy(t)
+	if h.L1Super().ValidCount() != 0 {
+		t.Fatal("fresh 2MB TLB not empty")
+	}
+	for i := 0; i < 6; i++ {
+		va := addr.VAddr(uint64(i) << 21)
+		pt.Map(va, uint64(100+i), addr.Page2M)
+		h.Translate(va, 1)
+	}
+	if got := h.L1Super().ValidCount(); got != 6 {
+		t.Errorf("2MB TLB valid count = %d, want 6", got)
+	}
+}

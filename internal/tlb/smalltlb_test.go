@@ -1,0 +1,53 @@
+package tlb
+
+import (
+	"testing"
+
+	"seesaw/internal/addr"
+	"seesaw/internal/pagetable"
+)
+
+func TestSmallTLBsBuildAndShrink(t *testing.T) {
+	pt := pagetable.New()
+	w := pagetable.NewWalker(pt, 20)
+	small := MustNewHierarchy(SmallTLBs(), w)
+	big := MustNewHierarchy(SandybridgeTLBs(), w)
+	if small.L1For(addr.Page4K).Config().Entries >= big.L1For(addr.Page4K).Config().Entries {
+		t.Error("small hierarchy's 4KB TLB is not smaller")
+	}
+	if small.L2TLB().Config().Entries >= big.L2TLB().Config().Entries {
+		t.Error("small hierarchy's L2 TLB is not smaller")
+	}
+}
+
+// TestSmallTLBThrashesSooner: with a working set beyond its reach, the
+// small hierarchy must miss to the L2 far more often — the effect that
+// penalizes the Fig 14 PIPT designs.
+func TestSmallTLBThrashesSooner(t *testing.T) {
+	pt := pagetable.New()
+	for i := uint64(0); i < 64; i++ {
+		if err := pt.Map(addr.VAddr(i<<12), 100+i, addr.Page4K); err != nil {
+			t.Fatal(err)
+		}
+	}
+	miss := func(cfg HierarchyConfig) uint64 {
+		h := MustNewHierarchy(cfg, pagetable.NewWalker(pt, 20))
+		var l2 uint64
+		for round := 0; round < 20; round++ {
+			for i := uint64(0); i < 64; i++ {
+				r := h.Translate(addr.VAddr(i<<12), 1)
+				if r.Source != SourceL1 {
+					l2++
+				}
+			}
+		}
+		return l2
+	}
+	small, big := miss(SmallTLBs()), miss(SandybridgeTLBs())
+	if small <= big {
+		t.Errorf("small TLB missed %d times, big %d — expected far more", small, big)
+	}
+	if big > 64 { // 64 compulsory fills only
+		t.Errorf("big TLB missed %d times on a 64-page set it should hold", big)
+	}
+}

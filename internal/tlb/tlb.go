@@ -1,0 +1,202 @@
+// Package tlb models the TLB hierarchy SEESAW sits next to: per-page-size
+// split L1 TLBs (as on Intel Sandybridge/Atom), a unified L2 TLB holding
+// 4KB and 2MB translations, and the fall-back to the hardware page walker.
+// Entries are ASID-tagged, so context switches do not flush TLBs (the TFT,
+// which is not ASID-tagged, is flushed instead — see internal/tft).
+package tlb
+
+import (
+	"fmt"
+
+	"seesaw/internal/addr"
+)
+
+// Entry is one cached translation.
+type Entry struct {
+	VPN  uint64
+	PPN  uint64
+	Size addr.PageSize
+	ASID uint16
+}
+
+// Config describes one TLB structure.
+type Config struct {
+	Name    string
+	Entries int
+	// Assoc is the set associativity; 0 or >= Entries means fully
+	// associative.
+	Assoc int
+	// Sizes lists the page sizes this TLB holds.
+	Sizes []addr.PageSize
+}
+
+// Stats counts TLB events.
+type Stats struct {
+	Lookups       uint64
+	Hits          uint64
+	Misses        uint64
+	Fills         uint64
+	Evictions     uint64
+	Invalidations uint64
+}
+
+// TLB is a set-associative (or fully associative) translation cache with
+// true-LRU replacement within each set.
+type TLB struct {
+	cfg   Config
+	sets  [][]Entry // each set ordered most- to least-recently used
+	nsets int
+	Stats Stats
+}
+
+// New creates a TLB from cfg.
+func New(cfg Config) (*TLB, error) {
+	if cfg.Entries <= 0 {
+		return nil, fmt.Errorf("tlb %q: %d entries", cfg.Name, cfg.Entries)
+	}
+	if len(cfg.Sizes) == 0 {
+		return nil, fmt.Errorf("tlb %q: no page sizes", cfg.Name)
+	}
+	assoc := cfg.Assoc
+	if assoc <= 0 || assoc >= cfg.Entries {
+		assoc = cfg.Entries
+	}
+	if cfg.Entries%assoc != 0 {
+		return nil, fmt.Errorf("tlb %q: %d entries not divisible by associativity %d",
+			cfg.Name, cfg.Entries, assoc)
+	}
+	nsets := cfg.Entries / assoc
+	if !addr.IsPow2(uint64(nsets)) {
+		return nil, fmt.Errorf("tlb %q: %d sets not a power of two", cfg.Name, nsets)
+	}
+	cfg.Assoc = assoc
+	t := &TLB{cfg: cfg, nsets: nsets, sets: make([][]Entry, nsets)}
+	return t, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg Config) *TLB {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Config returns the TLB's configuration (with Assoc normalized).
+func (t *TLB) Config() Config { return t.cfg }
+
+func (t *TLB) holds(s addr.PageSize) bool {
+	for _, hs := range t.cfg.Sizes {
+		if hs == s {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *TLB) setIndex(vpn uint64) int { return int(vpn % uint64(t.nsets)) }
+
+// Lookup searches for a translation of va for asid. For multi-size TLBs
+// every held page size is tried. On a hit the entry is promoted to MRU.
+func (t *TLB) Lookup(va addr.VAddr, asid uint16) (Entry, bool) {
+	t.Stats.Lookups++
+	for _, s := range t.cfg.Sizes {
+		vpn := va.VPN(s)
+		set := t.setIndex(vpn)
+		for i, e := range t.sets[set] {
+			if e.VPN == vpn && e.Size == s && e.ASID == asid {
+				// Move to front (MRU).
+				copy(t.sets[set][1:i+1], t.sets[set][:i])
+				t.sets[set][0] = e
+				t.Stats.Hits++
+				return e, true
+			}
+		}
+	}
+	t.Stats.Misses++
+	return Entry{}, false
+}
+
+// Fill inserts a translation, evicting the LRU entry of its set if full.
+// Filling a page size the TLB does not hold is a caller bug.
+func (t *TLB) Fill(e Entry) error {
+	if !t.holds(e.Size) {
+		return fmt.Errorf("tlb %q: fill of unsupported page size %v", t.cfg.Name, e.Size)
+	}
+	t.Stats.Fills++
+	set := t.setIndex(e.VPN)
+	// Replace an existing entry for the same page in place.
+	for i, old := range t.sets[set] {
+		if old.VPN == e.VPN && old.Size == e.Size && old.ASID == e.ASID {
+			copy(t.sets[set][1:i+1], t.sets[set][:i])
+			t.sets[set][0] = e
+			return nil
+		}
+	}
+	if len(t.sets[set]) >= t.cfg.Assoc {
+		t.sets[set] = t.sets[set][:t.cfg.Assoc-1] // drop LRU
+		t.Stats.Evictions++
+	}
+	t.sets[set] = append([]Entry{e}, t.sets[set]...)
+	return nil
+}
+
+// Invalidate removes any entry translating va for asid (all held sizes),
+// returning how many entries were dropped. This is the TLB side of
+// invlpg.
+func (t *TLB) Invalidate(va addr.VAddr, asid uint16) int {
+	dropped := 0
+	for _, s := range t.cfg.Sizes {
+		vpn := va.VPN(s)
+		set := t.setIndex(vpn)
+		kept := t.sets[set][:0]
+		for _, e := range t.sets[set] {
+			if e.VPN == vpn && e.Size == s && e.ASID == asid {
+				dropped++
+				continue
+			}
+			kept = append(kept, e)
+		}
+		t.sets[set] = kept
+	}
+	t.Stats.Invalidations += uint64(dropped)
+	return dropped
+}
+
+// FlushASID drops every entry belonging to asid.
+func (t *TLB) FlushASID(asid uint16) int {
+	dropped := 0
+	for si := range t.sets {
+		kept := t.sets[si][:0]
+		for _, e := range t.sets[si] {
+			if e.ASID == asid {
+				dropped++
+				continue
+			}
+			kept = append(kept, e)
+		}
+		t.sets[si] = kept
+	}
+	t.Stats.Invalidations += uint64(dropped)
+	return dropped
+}
+
+// ValidCount returns the number of valid entries currently held. The OoO
+// scheduler's speculation heuristic (Section IV-B3) reads this from the
+// superpage L1 TLB.
+func (t *TLB) ValidCount() int {
+	n := 0
+	for _, s := range t.sets {
+		n += len(s)
+	}
+	return n
+}
+
+// HitRate returns hits/lookups.
+func (t *TLB) HitRate() float64 {
+	if t.Stats.Lookups == 0 {
+		return 0
+	}
+	return float64(t.Stats.Hits) / float64(t.Stats.Lookups)
+}

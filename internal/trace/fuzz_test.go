@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"seesaw/internal/addr"
+)
+
+// FuzzRoundTrip: any record must survive encode/decode bit-exactly.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint8(0), uint64(0x7fff_0000_1234), uint8(0), uint8(3), false)
+	f.Add(uint8(1), uint64(0), uint8(255), uint8(255), true)
+	f.Add(uint8(1), uint64(1)<<62, uint8(7), uint8(0), false)
+	f.Fuzz(func(t *testing.T, kind uint8, va uint64, tid, gap uint8, dep bool) {
+		rec := Record{Kind: Kind(kind & 1), VA: addr.VAddr(va), TID: tid, Gap: gap, Dep: dep}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != rec {
+			t.Fatalf("round trip: %+v != %+v", got, rec)
+		}
+		if _, err := r.Read(); err != io.EOF {
+			t.Fatalf("expected EOF, got %v", err)
+		}
+	})
+}
+
+// FuzzReaderRobustness: arbitrary bytes must never panic the reader —
+// they either parse as records or return a clean error.
+func FuzzReaderRobustness(f *testing.F) {
+	var good bytes.Buffer
+	w, _ := NewWriter(&good)
+	w.Write(Record{Kind: Store, VA: 0x123456, TID: 3, Gap: 9, Dep: true})
+	w.Flush()
+	f.Add(good.Bytes())
+	f.Add([]byte("SEESAWT1"))
+	f.Add([]byte("SEESAWT1\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff"))
+	f.Add([]byte("garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return // malformed header: fine
+		}
+		for i := 0; i < 10000; i++ {
+			if _, err := r.Read(); err != nil {
+				return // EOF or clean decode error: fine
+			}
+		}
+	})
+}

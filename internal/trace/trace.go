@@ -1,0 +1,178 @@
+// Package trace defines the memory-reference trace format the simulator
+// consumes — the stand-in for the paper's Pin-collected traces. A record
+// is one memory access plus the instruction-level context the CPU models
+// need: how many non-memory instructions preceded it and whether it
+// depends on the previous load (pointer chasing), which determines how
+// much latency an out-of-order core can hide.
+//
+// Traces stream through a compact varint binary encoding so multi-million
+// reference traces can be written to disk and replayed by cmd/seesaw-tracegen.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"seesaw/internal/addr"
+)
+
+// Kind distinguishes access types.
+type Kind uint8
+
+const (
+	// Load reads memory.
+	Load Kind = iota
+	// Store writes memory.
+	Store
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Record is one memory reference.
+type Record struct {
+	Kind Kind
+	// VA is the accessed virtual address.
+	VA addr.VAddr
+	// TID is the issuing hardware thread (core index).
+	TID uint8
+	// Gap is the number of non-memory instructions executed before this
+	// access — the work available to overlap with memory latency.
+	Gap uint8
+	// Dep marks the access as data-dependent on the previous load of the
+	// same thread (pointer chase): it cannot issue until that load
+	// completes.
+	Dep bool
+}
+
+const magic = "SEESAWT1"
+
+// Writer streams records to an io.Writer.
+type Writer struct {
+	w   *bufio.Writer
+	n   uint64
+	err error
+}
+
+// NewWriter creates a Writer and emits the header.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one record.
+func (w *Writer) Write(r Record) error {
+	if w.err != nil {
+		return w.err
+	}
+	var buf [binary.MaxVarintLen64 + 4]byte
+	flags := byte(r.Kind) & 1
+	if r.Dep {
+		flags |= 2
+	}
+	buf[0] = flags
+	buf[1] = r.TID
+	buf[2] = r.Gap
+	n := binary.PutUvarint(buf[3:], uint64(r.VA))
+	if _, err := w.w.Write(buf[:3+n]); err != nil {
+		w.err = err
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of records written.
+func (w *Writer) Count() uint64 { return w.n }
+
+// Flush flushes buffered data; call before closing the underlying writer.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// Reader streams records from an io.Reader.
+type Reader struct {
+	r *bufio.Reader
+}
+
+// ErrBadMagic reports a stream that is not a trace file.
+var ErrBadMagic = errors.New("trace: bad magic (not a SEESAW trace)")
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(head) != magic {
+		return nil, ErrBadMagic
+	}
+	return &Reader{r: br}, nil
+}
+
+// Read returns the next record; io.EOF at end of stream.
+func (r *Reader) Read() (Record, error) {
+	flags, err := r.r.ReadByte()
+	if err != nil {
+		return Record{}, err // io.EOF passes through
+	}
+	tid, err := r.r.ReadByte()
+	if err != nil {
+		return Record{}, unexpectedEOF(err)
+	}
+	gap, err := r.r.ReadByte()
+	if err != nil {
+		return Record{}, unexpectedEOF(err)
+	}
+	va, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return Record{}, unexpectedEOF(err)
+	}
+	return Record{
+		Kind: Kind(flags & 1),
+		Dep:  flags&2 != 0,
+		TID:  tid,
+		Gap:  gap,
+		VA:   addr.VAddr(va),
+	}, nil
+}
+
+// ReadAll drains the stream.
+func (r *Reader) ReadAll() ([]Record, error) {
+	var out []Record
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+func unexpectedEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

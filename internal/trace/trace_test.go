@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"seesaw/internal/addr"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Kind: Load, VA: 0x7fff_0000_1234, TID: 0, Gap: 3},
+		{Kind: Store, VA: 0x1000, TID: 7, Gap: 0, Dep: true},
+		{Kind: Load, VA: 0, TID: 255, Gap: 255},
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 3 {
+		t.Errorf("count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(vas []uint64, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf)
+		recs := make([]Record, len(vas))
+		for i, va := range vas {
+			recs[i] = Record{
+				Kind: Kind(rng.Intn(2)),
+				VA:   addr.VAddr(va),
+				TID:  uint8(rng.Intn(256)),
+				Gap:  uint8(rng.Intn(256)),
+				Dep:  rng.Intn(2) == 0,
+			}
+			w.Write(recs[i])
+		}
+		w.Flush()
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		got, err := r.ReadAll()
+		if err != nil || len(got) != len(recs) {
+			return false
+		}
+		for i := range recs {
+			if got[i] != recs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewBufferString("NOTATRACEFILE")); err != ErrBadMagic {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+	if _, err := NewReader(bytes.NewBufferString("SE")); err == nil {
+		t.Error("short header must error")
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(Record{Kind: Load, VA: 0x123456789})
+	w.Flush()
+	full := buf.Bytes()
+	// Drop the final byte: the last record's varint is cut short.
+	r, err := NewReader(bytes.NewReader(full[:len(full)-1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadAll(); err != io.ErrUnexpectedEOF {
+		t.Errorf("err = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Flush()
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := r.ReadAll()
+	if err != nil || len(recs) != 0 {
+		t.Errorf("empty trace read = %v, %v", recs, err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Load.String() != "load" || Store.String() != "store" {
+		t.Error("kind strings wrong")
+	}
+}

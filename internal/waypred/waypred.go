@@ -1,0 +1,69 @@
+// Package waypred implements the MRU-based way predictor SEESAW is
+// compared against and combined with in the paper's Fig 15 (after Powell
+// et al. [33]). The predictor guesses which way of a set will hit; a
+// correct guess reads a single way (energy of a direct-mapped access), a
+// wrong guess pays a second, full probe. Prediction accuracy emerges from
+// workload locality: MRU predicts well for dense, local access patterns
+// and poorly for pointer-chasing workloads like graph processing — which
+// is exactly the behaviour Fig 15 leans on.
+package waypred
+
+// MRU is a most-recently-used way predictor: per set it remembers the way
+// of the last hit (or fill) and predicts it for the next access.
+type MRU struct {
+	lastWay []int16
+
+	// Stats.
+	Predictions  uint64
+	Correct      uint64
+	NoPrediction uint64
+}
+
+// NewMRU creates a predictor for a cache with the given number of sets.
+func NewMRU(sets int) *MRU {
+	lw := make([]int16, sets)
+	for i := range lw {
+		lw[i] = -1
+	}
+	return &MRU{lastWay: lw}
+}
+
+// Predict returns the predicted way for a set, or ok=false if the set has
+// no history yet.
+func (m *MRU) Predict(set int) (way int, ok bool) {
+	w := m.lastWay[set]
+	if w < 0 {
+		m.NoPrediction++
+		return 0, false
+	}
+	m.Predictions++
+	return int(w), true
+}
+
+// Feedback reports the way that actually hit (or was filled) so the
+// predictor can learn, and whether the last Predict for this set was
+// correct (for accuracy accounting). Pass way=-1 for a cache miss with no
+// fill information yet.
+func (m *MRU) Feedback(set, way int, predicted bool, predictedWay int) {
+	if predicted && way >= 0 && way == predictedWay {
+		m.Correct++
+	}
+	if way >= 0 {
+		m.lastWay[set] = int16(way)
+	}
+}
+
+// Accuracy returns correct/predictions.
+func (m *MRU) Accuracy() float64 {
+	if m.Predictions == 0 {
+		return 0
+	}
+	return float64(m.Correct) / float64(m.Predictions)
+}
+
+// Reset clears all history (e.g. on context switch).
+func (m *MRU) Reset() {
+	for i := range m.lastWay {
+		m.lastWay[i] = -1
+	}
+}

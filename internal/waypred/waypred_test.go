@@ -1,0 +1,68 @@
+package waypred
+
+import "testing"
+
+func TestNoPredictionOnColdSet(t *testing.T) {
+	m := NewMRU(64)
+	if _, ok := m.Predict(5); ok {
+		t.Error("cold set predicted")
+	}
+	if m.NoPrediction != 1 {
+		t.Errorf("NoPrediction = %d", m.NoPrediction)
+	}
+}
+
+func TestLearnAndPredict(t *testing.T) {
+	m := NewMRU(64)
+	m.Feedback(5, 3, false, 0)
+	w, ok := m.Predict(5)
+	if !ok || w != 3 {
+		t.Fatalf("Predict = %d %v, want 3 true", w, ok)
+	}
+	m.Feedback(5, 3, true, w)
+	if m.Correct != 1 || m.Predictions != 1 {
+		t.Errorf("stats: correct=%d predictions=%d", m.Correct, m.Predictions)
+	}
+	if m.Accuracy() != 1.0 {
+		t.Errorf("accuracy = %v", m.Accuracy())
+	}
+}
+
+func TestMispredictionAccounting(t *testing.T) {
+	m := NewMRU(8)
+	m.Feedback(0, 1, false, 0)
+	w, _ := m.Predict(0)
+	m.Feedback(0, 2, true, w) // actual way 2 != predicted 1
+	if m.Correct != 0 {
+		t.Error("misprediction counted as correct")
+	}
+	// Predictor must have learned the new MRU way.
+	if w2, _ := m.Predict(0); w2 != 2 {
+		t.Errorf("predicted %d after feedback, want 2", w2)
+	}
+}
+
+func TestMissWithNoFillInfoKeepsHistory(t *testing.T) {
+	m := NewMRU(8)
+	m.Feedback(0, 4, false, 0)
+	m.Feedback(0, -1, true, 4) // miss, no way info
+	if w, ok := m.Predict(0); !ok || w != 4 {
+		t.Errorf("history lost on miss: %d %v", w, ok)
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := NewMRU(4)
+	m.Feedback(1, 2, false, 0)
+	m.Reset()
+	if _, ok := m.Predict(1); ok {
+		t.Error("prediction survived reset")
+	}
+}
+
+func TestAccuracyZeroWithoutPredictions(t *testing.T) {
+	m := NewMRU(4)
+	if m.Accuracy() != 0 {
+		t.Error("accuracy without predictions must be 0")
+	}
+}

@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"seesaw/internal/addr"
+)
+
+// Instruction-side modeling. The paper notes SEESAW "is also possible to
+// apply ... to the instruction cache. This may be valuable with the
+// advent of cloud workloads that use considerably larger
+// instruction-side footprints" (Section V, citing Ferdman et al.). The
+// code-stream generator produces instruction-fetch addresses per retired
+// instruction block: mostly sequential flow through a hot code region,
+// with jumps to hot functions and — for the cloud profiles — a long tail
+// of cold code that overwhelms a 32KB L1I.
+
+// codeParams returns the text footprint for a profile: total code bytes
+// and the hot (loop/function working set) bytes. Cloud/server profiles
+// carry the large instruction footprints the paper highlights; Spec-like
+// profiles run from compact hot loops.
+func (p Profile) codeParams() (codeBytes, hotBytes uint64) {
+	cloud := map[string]bool{}
+	for _, n := range CloudNames {
+		cloud[n] = true
+	}
+	if cloud[p.Name] {
+		return 24 << 20, 64 << 10
+	}
+	return 2 << 20, 20 << 10
+}
+
+// CodeBytes returns the size of the text region to map.
+func (g *Generator) CodeBytes() uint64 {
+	c, _ := g.p.codeParams()
+	return c
+}
+
+// BindCode installs the mapped base of the text region. Optional: data
+// generation works without it, but NextCode panics if unbound.
+func (g *Generator) BindCode(base addr.VAddr) {
+	g.codeBase = base
+	g.codeBound = true
+	if g.codeCur == nil {
+		g.codeCur = make([]uint64, len(g.rngs))
+	}
+}
+
+// NextCode returns the instruction-fetch address for the next block of
+// nInstr instructions on thread tid, and whether control flow jumped
+// (taken branch/call — the fetch-redirect bubble whose length is the
+// L1I hit latency). The cursor advances sequentially (4 bytes per
+// instruction); jumps usually stay within the hot code working set but
+// sometimes land in the cold text tail.
+func (g *Generator) NextCode(tid int, nInstr int) (addr.VAddr, bool) {
+	if !g.codeBound {
+		panic("workload: code generator not bound")
+	}
+	codeBytes, hotBytes := g.p.codeParams()
+	r := g.rngs[tid]
+	cur := g.codeCur[tid]
+	cur += uint64(nInstr) * 4
+	jumped := false
+	x := r.Float64()
+	switch {
+	case x < 0.16:
+		// Loop back-edge or call into the innermost hot loops: code
+		// execution is heavily skewed toward a small kernel.
+		inner := hotBytes / 4
+		cur = r.Uint64() % inner
+		jumped = true
+	case x < 0.22:
+		// Call across the wider hot working set.
+		cur = r.Uint64() % hotBytes
+		jumped = true
+	case x < 0.24:
+		// Cold-path code: error handling, rarely-run framework layers.
+		cur = r.Uint64() % codeBytes
+		jumped = true
+	}
+	if cur >= codeBytes {
+		cur %= hotBytes // execution returns to the hot loops
+		jumped = true
+	}
+	g.codeCur[tid] = cur
+	return g.codeBase + addr.VAddr(cur&^3), jumped
+}

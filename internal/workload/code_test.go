@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"testing"
+
+	"seesaw/internal/addr"
+)
+
+func codeGen(t *testing.T, name string) *Generator {
+	t.Helper()
+	p, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(p, 42)
+	g.BindDefault()
+	g.BindCode(addr.VAddr(0x40_0000_0000))
+	return g
+}
+
+func TestCodeUnboundPanics(t *testing.T) {
+	p, _ := ByName("redis")
+	g := NewGenerator(p, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("NextCode on unbound generator did not panic")
+		}
+	}()
+	g.NextCode(0, 4)
+}
+
+func TestCodeAddressesStayInRegion(t *testing.T) {
+	g := codeGen(t, "nutch")
+	base := uint64(0x40_0000_0000)
+	size := g.CodeBytes()
+	for i := 0; i < 20000; i++ {
+		a, _ := g.NextCode(0, 4+i%8)
+		va := uint64(a)
+		if va < base || va >= base+size {
+			t.Fatalf("fetch %#x outside text region", va)
+		}
+	}
+}
+
+func TestCloudCodeFootprintLarger(t *testing.T) {
+	cloud := codeGen(t, "olio")
+	spec := codeGen(t, "astar")
+	if cloud.CodeBytes() <= spec.CodeBytes() {
+		t.Errorf("cloud text %d !> spec text %d (paper: cloud workloads have larger i-footprints)",
+			cloud.CodeBytes(), spec.CodeBytes())
+	}
+}
+
+func TestCodeStreamIsMostlySequential(t *testing.T) {
+	g := codeGen(t, "astar")
+	jumps := 0
+	n := 20000
+	for i := 0; i < n; i++ {
+		_, jumped := g.NextCode(0, 4)
+		if jumped {
+			jumps++
+		}
+	}
+	frac := float64(jumps) / float64(n)
+	if frac < 0.1 || frac > 0.45 {
+		t.Errorf("jump fraction = %.2f, want ~0.25", frac)
+	}
+}
+
+func TestCodeDeterminism(t *testing.T) {
+	g1 := codeGen(t, "redis")
+	g2 := codeGen(t, "redis")
+	for i := 0; i < 2000; i++ {
+		v1, j1 := g1.NextCode(0, 5)
+		v2, j2 := g2.NextCode(0, 5)
+		if v1 != v2 || j1 != j2 {
+			t.Fatalf("divergence at %d", i)
+		}
+	}
+}

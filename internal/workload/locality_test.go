@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"testing"
+
+	"seesaw/internal/addr"
+	"seesaw/internal/cache"
+)
+
+// rawHitRate replays one thread of a workload against a plain 64KB 16-way
+// cache with identity translation — a calibration probe for the locality
+// knobs.
+func rawHitRate(t *testing.T, name string) float64 {
+	t.Helper()
+	p, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(p, 42)
+	heap := addr.VAddr(0x5555_5540_0000)
+	small := heap + addr.VAddr(g.HeapBytes()+2<<20)
+	os := small + addr.VAddr(g.SmallBytes()+2<<20)
+	g.Bind(heap, small, os)
+	geom := addr.MustCacheGeometry(64<<10, 16, 1)
+	c := cache.New(geom)
+	for i := 0; i < 60000; i++ {
+		pa := addr.PAddr(g.Next(0).VA)
+		set, tag := geom.SetIndexP(pa), geom.TagP(pa)
+		if _, hit := c.Access(set, cache.AnyPartition, tag); !hit {
+			c.Insert(set, cache.AnyPartition, tag, cache.Shared)
+		}
+	}
+	return float64(c.Stats.Hits) / float64(c.Stats.Hits+c.Stats.Misses)
+}
+
+// TestLocalitySpectrum pins the calibration ordering the evaluation
+// relies on: cache-friendly profiles (nutch) sit near real L1 hit rates,
+// pointer-chasers (g500, olio) sit far below, and gups is the
+// random-access worst case.
+func TestLocalitySpectrum(t *testing.T) {
+	nutch := rawHitRate(t, "nutch")
+	redis := rawHitRate(t, "redis")
+	olio := rawHitRate(t, "olio")
+	gups := rawHitRate(t, "gups")
+	if nutch < 0.90 {
+		t.Errorf("nutch hit rate %.3f < 0.90", nutch)
+	}
+	if redis < 0.80 {
+		t.Errorf("redis hit rate %.3f < 0.80", redis)
+	}
+	if !(nutch > redis && redis > olio && olio > gups) {
+		t.Errorf("locality ordering violated: nutch %.2f, redis %.2f, olio %.2f, gups %.2f",
+			nutch, redis, olio, gups)
+	}
+	if gups > 0.5 {
+		t.Errorf("gups hit rate %.3f implausibly high for random access", gups)
+	}
+}

@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// LoadProfile reads a custom workload profile from a JSON file, so
+// downstream users can model their own applications without recompiling:
+//
+//	{
+//	  "Name": "myservice",
+//	  "FootprintMB": 48, "SmallMB": 6, "HotKB": 40,
+//	  "HotProb": 0.85, "Seq": 0.1, "Chase": 0.15, "Store": 0.25,
+//	  "MeanGap": 2.8, "Threads": 4, "SharedFrac": 0.2,
+//	  "SmallAccess": 0.15, "OSShared": 0.04, "Repeat": 0.6
+//	}
+//
+// Missing fields default to zero; Validate reports inconsistent knobs.
+func LoadProfile(path string) (Profile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Profile{}, err
+	}
+	var p Profile
+	if err := json.Unmarshal(data, &p); err != nil {
+		return Profile{}, fmt.Errorf("workload: parsing %s: %w", path, err)
+	}
+	if err := p.Validate(); err != nil {
+		return Profile{}, fmt.Errorf("workload: %s: %w", path, err)
+	}
+	return p, nil
+}
+
+// SaveProfile writes a profile as indented JSON (a starting template for
+// custom profiles).
+func SaveProfile(p Profile, path string) error {
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Validate checks a profile's knobs for consistency.
+func (p Profile) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("profile has no name")
+	case p.FootprintMB <= 0:
+		return fmt.Errorf("FootprintMB must be positive, got %d", p.FootprintMB)
+	case p.Threads <= 0 || p.Threads > 63:
+		return fmt.Errorf("Threads must be in [1,63], got %d", p.Threads)
+	case p.MeanGap < 0:
+		return fmt.Errorf("MeanGap must be non-negative")
+	case p.Seq < 0 || p.Chase < 0 || p.Seq+p.Chase > 1:
+		return fmt.Errorf("Seq+Chase must fit in [0,1], got %.2f+%.2f", p.Seq, p.Chase)
+	case p.SmallAccess < 0 || p.OSShared < 0 || p.SmallAccess+p.OSShared >= 1:
+		return fmt.Errorf("SmallAccess+OSShared must be below 1")
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"HotProb", p.HotProb}, {"Store", p.Store}, {"SharedFrac", p.SharedFrac},
+		{"Repeat", p.Repeat},
+	} {
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("%s must be in [0,1], got %v", f.name, f.v)
+		}
+	}
+	return nil
+}

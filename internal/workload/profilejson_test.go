@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestProfileJSONRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.json")
+	p, _ := ByName("redis")
+	if err := SaveProfile(p, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadProfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Errorf("round trip: %+v != %+v", got, p)
+	}
+}
+
+func TestLoadProfileErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadProfile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file must error")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{not json"), 0o644)
+	if _, err := LoadProfile(bad); err == nil {
+		t.Error("malformed JSON must error")
+	}
+	invalid := filepath.Join(dir, "invalid.json")
+	os.WriteFile(invalid, []byte(`{"Name":"x","FootprintMB":8,"Threads":0}`), 0o644)
+	if _, err := LoadProfile(invalid); err == nil {
+		t.Error("invalid profile must error")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	// Every built-in profile must validate.
+	for _, p := range Profiles() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+	cases := []Profile{
+		{},                                       // no name
+		{Name: "x"},                              // no footprint
+		{Name: "x", FootprintMB: 8},              // no threads
+		{Name: "x", FootprintMB: 8, Threads: 99}, // too many threads
+		{Name: "x", FootprintMB: 8, Threads: 1, Seq: 0.7, Chase: 0.5},            // Seq+Chase > 1
+		{Name: "x", FootprintMB: 8, Threads: 1, SmallAccess: 0.8, OSShared: 0.3}, // too few heap refs
+		{Name: "x", FootprintMB: 8, Threads: 1, HotProb: 1.5},                    // out of range
+		{Name: "x", FootprintMB: 8, Threads: 1, MeanGap: -1},                     // negative gap
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d (%+v) passed validation", i, p)
+		}
+	}
+}
+
+// TestCustomProfileRunsEndToEnd: a user-authored profile must drive the
+// generator like any built-in.
+func TestCustomProfileRunsEndToEnd(t *testing.T) {
+	p := Profile{
+		Name: "custom", FootprintMB: 8, SmallMB: 2, HotKB: 16,
+		HotProb: 0.8, Seq: 0.2, Chase: 0.1, Store: 0.2,
+		MeanGap: 3, Threads: 2, SharedFrac: 0.2,
+		SmallAccess: 0.1, OSShared: 0.02, Repeat: 0.5,
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(p, 5)
+	g.BindDefault()
+	for i := 0; i < 5000; i++ {
+		rec := g.Next(i % p.Threads)
+		if rec.VA == 0 {
+			t.Fatal("zero address generated")
+		}
+	}
+}

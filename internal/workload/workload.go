@@ -1,0 +1,353 @@
+// Package workload provides deterministic synthetic memory-reference
+// generators standing in for the paper's Pin traces of Spec, Parsec,
+// Cloudsuite, Biobench and cloud/server workloads (Section V). Each named
+// profile is parameterized so that the properties the evaluation actually
+// depends on land in the ranges the paper reports:
+//
+//   - the fraction of references to superpage-backed memory (53-95%,
+//     70-95% for the cloud workloads), set by how much of the footprint
+//     lives in never-huge regions;
+//   - L1 locality (hot-set size and re-reference probability), which
+//     drives MPKI (Fig 2a) and MRU way-predictor accuracy (Fig 15 —
+//     pointer-chasing profiles like graph500 and olio predict poorly);
+//   - instruction-level context (gaps between memory ops, load-load
+//     dependences) that determines how much latency an OoO core hides;
+//   - thread count and sharing, which drive coherence traffic (Fig 11).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"seesaw/internal/addr"
+	"seesaw/internal/trace"
+)
+
+// Profile parameterizes one named workload.
+type Profile struct {
+	Name string
+	// FootprintMB is the heap size in MB (superpage-eligible region).
+	FootprintMB int
+	// SmallMB is the size of the never-huge region (stacks, small
+	// mappings); accesses here are always base-page accesses.
+	SmallMB int
+	// HotKB is the size of each thread's hot working set.
+	HotKB int
+	// HotProb is the probability a non-sequential, non-chasing access
+	// re-references the hot set.
+	HotProb float64
+	// Seq is the fraction of accesses that stream sequentially.
+	Seq float64
+	// Chase is the fraction of accesses that are dependent pointer
+	// chases (poor locality, serialized issue).
+	Chase float64
+	// Store is the store fraction.
+	Store float64
+	// MeanGap is the mean number of non-memory instructions between
+	// memory accesses.
+	MeanGap float64
+	// Threads is the number of application threads.
+	Threads int
+	// SharedFrac is the fraction of the heap shared between threads and
+	// the probability an access targets the shared zone.
+	SharedFrac float64
+	// SmallAccess is the probability an access targets the never-huge
+	// region (1 - superpage reference fraction, under full coverage).
+	SmallAccess float64
+	// OSShared is the probability an application access touches the
+	// OS-shared region (syscall buffers etc.), which the system thread
+	// also writes — the source of coherence traffic into otherwise
+	// single-threaded workloads.
+	OSShared float64
+	// Repeat is the probability an access re-touches the previously
+	// accessed cache line (adjacent struct fields, register spills).
+	// This line-level temporal locality is what MRU way prediction
+	// exploits: high-Repeat workloads like nutch predict >85%
+	// accurately, pointer-chasers like g500/olio predict poorly
+	// (Fig 15).
+	Repeat float64
+}
+
+// profiles lists the paper's sixteen workloads. Parameters are synthetic
+// but chosen per the calibration notes in DESIGN.md.
+var profiles = []Profile{
+	{Name: "astar", FootprintMB: 16, SmallMB: 4, HotKB: 48, HotProb: 0.93, Seq: 0.15, Chase: 0.20, Store: 0.25, MeanGap: 3.0, Threads: 1, SmallAccess: 0.35, OSShared: 0.04, Repeat: 0.72},
+	{Name: "cact", FootprintMB: 32, SmallMB: 4, HotKB: 96, HotProb: 0.92, Seq: 0.55, Chase: 0.02, Store: 0.30, MeanGap: 3.5, Threads: 1, SmallAccess: 0.25, OSShared: 0.02, Repeat: 0.78},
+	{Name: "cann", FootprintMB: 64, SmallMB: 8, HotKB: 32, HotProb: 0.78, Seq: 0.05, Chase: 0.30, Store: 0.20, MeanGap: 2.5, Threads: 4, SharedFrac: 0.30, SmallAccess: 0.20, OSShared: 0.03, Repeat: 0.50},
+	{Name: "gems", FootprintMB: 48, SmallMB: 6, HotKB: 128, HotProb: 0.92, Seq: 0.50, Chase: 0.03, Store: 0.32, MeanGap: 3.0, Threads: 1, SmallAccess: 0.30, OSShared: 0.02, Repeat: 0.78},
+	{Name: "g500", FootprintMB: 96, SmallMB: 8, HotKB: 24, HotProb: 0.60, Seq: 0.05, Chase: 0.50, Store: 0.10, MeanGap: 2.0, Threads: 4, SharedFrac: 0.20, SmallAccess: 0.08, OSShared: 0.04, Repeat: 0.32},
+	{Name: "gups", FootprintMB: 64, SmallMB: 6, HotKB: 16, HotProb: 0.30, Seq: 0.02, Chase: 0.05, Store: 0.50, MeanGap: 2.0, Threads: 1, SmallAccess: 0.15, OSShared: 0.02, Repeat: 0.15},
+	{Name: "mcf", FootprintMB: 48, SmallMB: 8, HotKB: 40, HotProb: 0.80, Seq: 0.08, Chase: 0.35, Store: 0.18, MeanGap: 2.2, Threads: 1, SmallAccess: 0.40, OSShared: 0.03, Repeat: 0.55},
+	{Name: "mumm", FootprintMB: 32, SmallMB: 8, HotKB: 64, HotProb: 0.90, Seq: 0.40, Chase: 0.10, Store: 0.12, MeanGap: 2.8, Threads: 1, SmallAccess: 0.45, OSShared: 0.02, Repeat: 0.72},
+	{Name: "omnet", FootprintMB: 24, SmallMB: 6, HotKB: 56, HotProb: 0.92, Seq: 0.10, Chase: 0.28, Store: 0.28, MeanGap: 3.2, Threads: 1, SmallAccess: 0.35, OSShared: 0.03, Repeat: 0.72},
+	{Name: "tigr", FootprintMB: 40, SmallMB: 6, HotKB: 80, HotProb: 0.90, Seq: 0.45, Chase: 0.06, Store: 0.10, MeanGap: 3.0, Threads: 1, SmallAccess: 0.30, OSShared: 0.02, Repeat: 0.76},
+	{Name: "tunk", FootprintMB: 64, SmallMB: 6, HotKB: 32, HotProb: 0.75, Seq: 0.06, Chase: 0.40, Store: 0.15, MeanGap: 2.2, Threads: 4, SharedFrac: 0.30, SmallAccess: 0.10, OSShared: 0.04, Repeat: 0.50},
+	{Name: "xalanc", FootprintMB: 24, SmallMB: 6, HotKB: 64, HotProb: 0.93, Seq: 0.20, Chase: 0.15, Store: 0.25, MeanGap: 3.4, Threads: 1, SmallAccess: 0.25, OSShared: 0.03, Repeat: 0.78},
+	{Name: "nutch", FootprintMB: 32, SmallMB: 4, HotKB: 40, HotProb: 0.95, Seq: 0.25, Chase: 0.06, Store: 0.20, MeanGap: 3.0, Threads: 4, SharedFrac: 0.15, SmallAccess: 0.12, OSShared: 0.05, Repeat: 0.88},
+	{Name: "olio", FootprintMB: 48, SmallMB: 4, HotKB: 24, HotProb: 0.60, Seq: 0.05, Chase: 0.45, Store: 0.22, MeanGap: 2.4, Threads: 4, SharedFrac: 0.20, SmallAccess: 0.08, OSShared: 0.06, Repeat: 0.32},
+	{Name: "redis", FootprintMB: 64, SmallMB: 4, HotKB: 32, HotProb: 0.92, Seq: 0.08, Chase: 0.12, Store: 0.30, MeanGap: 2.6, Threads: 1, SmallAccess: 0.06, OSShared: 0.08, Repeat: 0.72},
+	{Name: "mongo", FootprintMB: 80, SmallMB: 8, HotKB: 48, HotProb: 0.88, Seq: 0.12, Chase: 0.20, Store: 0.28, MeanGap: 2.8, Threads: 4, SharedFrac: 0.15, SmallAccess: 0.15, OSShared: 0.05, Repeat: 0.66},
+}
+
+// CloudNames lists the workloads the paper calls out as modern
+// cloud/server workloads (used by Figs 12 and 15).
+var CloudNames = []string{"olio", "redis", "nutch", "tunk", "g500", "mongo", "cann", "mcf"}
+
+// Profiles returns all sixteen named profiles.
+func Profiles() []Profile {
+	out := make([]Profile, len(profiles))
+	copy(out, profiles)
+	return out
+}
+
+// Names returns the workload names in canonical (paper) order.
+func Names() []string {
+	names := make([]string, len(profiles))
+	for i, p := range profiles {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// ByName returns the named profile.
+func ByName(name string) (Profile, error) {
+	for _, p := range profiles {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("workload: unknown workload %q", name)
+}
+
+// OSRegionMB is the size of the per-process OS-shared region (kernel
+// buffers the system thread and application both touch).
+const OSRegionMB = 1
+
+// Generator produces a deterministic access stream for one workload. The
+// caller maps the three regions (heap: superpage-eligible; small:
+// never-huge; os: never-huge, shared with the system thread) and then
+// binds their base addresses.
+type Generator struct {
+	p Profile
+
+	heapBase, smallBase, osBase addr.VAddr
+	bound                       bool
+
+	rngs    []*rand.Rand // one per thread + one for the system thread
+	seqCur  []uint64     // per-thread sequential cursor (offset in zone)
+	chaseAt []uint64     // per-thread pointer-chase position
+	lastVA  []addr.VAddr // per-thread previous access (line reuse)
+
+	// Instruction-side state (see code.go).
+	codeBase  addr.VAddr
+	codeBound bool
+	codeCur   []uint64
+}
+
+// NewGenerator creates a generator with a deterministic seed.
+func NewGenerator(p Profile, seed int64) *Generator {
+	g := &Generator{p: p}
+	n := p.Threads + 1 // + system thread
+	g.rngs = make([]*rand.Rand, n)
+	g.seqCur = make([]uint64, n)
+	g.chaseAt = make([]uint64, n)
+	g.lastVA = make([]addr.VAddr, n)
+	for i := range g.rngs {
+		g.rngs[i] = rand.New(rand.NewSource(seed + int64(i)*7919))
+	}
+	return g
+}
+
+// Profile returns the generator's profile.
+func (g *Generator) Profile() Profile { return g.p }
+
+// HeapBytes returns the size of the superpage-eligible heap region.
+func (g *Generator) HeapBytes() uint64 { return uint64(g.p.FootprintMB) << 20 }
+
+// SmallBytes returns the size of the never-huge region.
+func (g *Generator) SmallBytes() uint64 {
+	if g.p.SmallMB <= 0 {
+		return 1 << 20
+	}
+	return uint64(g.p.SmallMB) << 20
+}
+
+// OSBytes returns the size of the OS-shared region.
+func (g *Generator) OSBytes() uint64 { return OSRegionMB << 20 }
+
+// Bind installs the mapped base addresses of the three regions.
+func (g *Generator) Bind(heap, small, os addr.VAddr) {
+	g.heapBase, g.smallBase, g.osBase = heap, small, os
+	g.bound = true
+}
+
+// MmapBase is the canonical first mmap address the OS memory manager
+// hands out (see osmm.NewProcess).
+const MmapBase = addr.VAddr(0x5555_5540_0000)
+
+// DefaultLayout returns the region bases the OS memory manager produces
+// when the three regions are mapped in order (heap, small, OS) starting
+// at base: each region is rounded up to the next 2MB boundary. Trace
+// files recorded against this layout replay correctly in the simulator.
+func (g *Generator) DefaultLayout(base addr.VAddr) (heap, small, os addr.VAddr) {
+	round := func(b uint64) addr.VAddr { return addr.VAddr((b + (2<<20 - 1)) &^ uint64(2<<20-1)) }
+	heap = base
+	small = heap + round(g.HeapBytes())
+	os = small + round(g.SmallBytes())
+	return heap, small, os
+}
+
+// BindDefault is Bind with the canonical layout at MmapBase.
+func (g *Generator) BindDefault() {
+	g.Bind(g.DefaultLayout(MmapBase))
+}
+
+// Threads returns the number of application threads.
+func (g *Generator) Threads() int { return g.p.Threads }
+
+// SystemTID returns the thread id of the background system thread.
+func (g *Generator) SystemTID() int { return g.p.Threads }
+
+// zone returns the [base, size) the access lands in for an app thread:
+// the shared heap slice, the thread's private slice, or (handled by the
+// caller) the small/OS regions.
+func (g *Generator) privateZone(tid int) (addr.VAddr, uint64) {
+	heap := g.HeapBytes()
+	shared := uint64(float64(heap) * g.p.SharedFrac)
+	shared &^= 63
+	per := (heap - shared) / uint64(g.p.Threads)
+	per &^= 63
+	return g.heapBase + addr.VAddr(shared) + addr.VAddr(uint64(tid)*per), per
+}
+
+func (g *Generator) sharedZone() (addr.VAddr, uint64) {
+	shared := uint64(float64(g.HeapBytes()) * g.p.SharedFrac)
+	shared &^= 63
+	return g.heapBase, shared
+}
+
+// geometricGap draws a gap with the profile's mean, capped at 255.
+func geometricGap(r *rand.Rand, mean float64) uint8 {
+	if mean <= 0 {
+		return 0
+	}
+	p := 1 / (mean + 1)
+	gap := 0
+	for gap < 255 && r.Float64() > p {
+		gap++
+	}
+	return uint8(gap)
+}
+
+// mix64 is splitmix64, used for deterministic pointer-chase jumps.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Next produces the next access of thread tid (0..Threads for app
+// threads, SystemTID() for the system thread). It panics if the generator
+// is unbound.
+func (g *Generator) Next(tid int) trace.Record {
+	if !g.bound {
+		panic("workload: generator not bound to mapped regions")
+	}
+	r := g.rngs[tid]
+	rec := trace.Record{TID: uint8(tid), Gap: geometricGap(r, g.p.MeanGap)}
+	// Line-level temporal reuse: re-touch the previous access's cache
+	// line at a different offset.
+	if tid != g.SystemTID() && g.lastVA[tid] != 0 && r.Float64() < g.p.Repeat {
+		rec.VA = g.lastVA[tid].LineBase() + addr.VAddr(r.Uint64()%8*8)
+		if r.Float64() < g.p.Store {
+			rec.Kind = trace.Store
+		}
+		g.lastVA[tid] = rec.VA
+		return rec
+	}
+	if tid == g.SystemTID() {
+		// System thread: works the OS region with a high store ratio
+		// (kernel filling buffers). It concentrates on the same hot
+		// slice the application reads, so its writes invalidate lines
+		// the application has cached — the coherence traffic that
+		// reaches even single-threaded workloads (Fig 11).
+		size := g.OSBytes()
+		if r.Float64() < 0.8 {
+			size = size / 10
+		}
+		off := r.Uint64() % size
+		rec.VA = g.osBase + addr.VAddr(off&^7)
+		if r.Float64() < 0.5 {
+			rec.Kind = trace.Store
+		}
+		return rec
+	}
+	x := r.Float64()
+	switch {
+	case x < g.p.OSShared:
+		// Application touches of the OS-shared region reuse a hot
+		// slice (the same syscall buffers, repeatedly) — the lines the
+		// system thread's writes then invalidate.
+		size := g.OSBytes()
+		if r.Float64() < 0.8 {
+			size = size / 10
+		}
+		off := r.Uint64() % size
+		rec.VA = g.osBase + addr.VAddr(off&^7)
+	case x < g.p.OSShared+g.p.SmallAccess:
+		// Never-huge region: always a base-page access. Stacks and
+		// small mappings are highly local: most accesses reuse a small
+		// hot slice.
+		size := g.SmallBytes()
+		if r.Float64() < 0.85 {
+			size = size / 32
+		}
+		off := r.Uint64() % size
+		rec.VA = g.smallBase + addr.VAddr(off&^7)
+	default:
+		base, size := g.privateZone(tid)
+		if g.p.Threads > 1 && r.Float64() < g.p.SharedFrac {
+			base, size = g.sharedZone()
+			// Shared data is hot: threads contend on the same locks,
+			// queues, and tables, so most shared accesses reuse a small
+			// slice — the lines that actually ping-pong between caches
+			// and generate invalidation traffic (Fig 11).
+			if hot := uint64(32 << 10); size > hot && r.Float64() < 0.75 {
+				size = hot
+			}
+		}
+		if size == 0 {
+			base, size = g.privateZone(tid)
+		}
+		y := r.Float64()
+		switch {
+		case y < g.p.Seq:
+			// Word-granularity streaming: ~8 accesses touch each line
+			// before moving on, as real sequential scans do.
+			g.seqCur[tid] = (g.seqCur[tid] + 8) % size
+			rec.VA = base + addr.VAddr(g.seqCur[tid])
+		case y < g.p.Seq+g.p.Chase:
+			g.chaseAt[tid] = mix64(g.chaseAt[tid]+uint64(tid)+1) % size
+			rec.VA = base + addr.VAddr(g.chaseAt[tid]&^7)
+			rec.Dep = true
+		default:
+			hot := uint64(g.p.HotKB) << 10
+			if hot > size || hot == 0 {
+				hot = size
+			}
+			var off uint64
+			if r.Float64() < g.p.HotProb {
+				off = r.Uint64() % hot
+			} else {
+				off = r.Uint64() % size
+			}
+			rec.VA = base + addr.VAddr(off&^7)
+		}
+	}
+	if !rec.Dep && g.rngs[tid].Float64() < g.p.Store {
+		rec.Kind = trace.Store
+	}
+	g.lastVA[tid] = rec.VA
+	return rec
+}

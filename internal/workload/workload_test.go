@@ -1,0 +1,223 @@
+package workload
+
+import (
+	"testing"
+
+	"seesaw/internal/addr"
+	"seesaw/internal/trace"
+)
+
+func boundGen(t *testing.T, name string) *Generator {
+	t.Helper()
+	p, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(p, 42)
+	heap := addr.VAddr(0x5555_5540_0000)
+	small := heap + addr.VAddr(g.HeapBytes()+2<<20)
+	os := small + addr.VAddr(g.SmallBytes()+2<<20)
+	g.Bind(heap, small, os)
+	return g
+}
+
+func TestSixteenProfiles(t *testing.T) {
+	if len(Profiles()) != 16 {
+		t.Fatalf("%d profiles, want 16 (the paper's workload list)", len(Profiles()))
+	}
+	names := map[string]bool{}
+	for _, p := range Profiles() {
+		if names[p.Name] {
+			t.Errorf("duplicate profile %q", p.Name)
+		}
+		names[p.Name] = true
+		if p.FootprintMB <= 0 || p.Threads <= 0 || p.MeanGap <= 0 {
+			t.Errorf("%s: degenerate profile %+v", p.Name, p)
+		}
+		if p.Seq+p.Chase > 1 {
+			t.Errorf("%s: Seq+Chase = %v > 1", p.Name, p.Seq+p.Chase)
+		}
+		if p.SmallAccess+p.OSShared >= 0.6 {
+			t.Errorf("%s: too few heap accesses", p.Name)
+		}
+	}
+	for _, n := range CloudNames {
+		if !names[n] {
+			t.Errorf("cloud workload %q not in profiles", n)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("redis"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("doom"); err == nil {
+		t.Error("unknown workload must error")
+	}
+}
+
+func TestUnboundPanics(t *testing.T) {
+	p, _ := ByName("astar")
+	g := NewGenerator(p, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Next on unbound generator did not panic")
+		}
+	}()
+	g.Next(0)
+}
+
+func TestDeterminism(t *testing.T) {
+	g1 := boundGen(t, "redis")
+	g2 := boundGen(t, "redis")
+	for i := 0; i < 1000; i++ {
+		if g1.Next(0) != g2.Next(0) {
+			t.Fatalf("divergence at record %d", i)
+		}
+	}
+}
+
+func TestAddressesStayInRegions(t *testing.T) {
+	for _, name := range []string{"astar", "cann", "redis", "g500"} {
+		g := boundGen(t, name)
+		heapLo := uint64(0x5555_5540_0000)
+		heapHi := heapLo + g.HeapBytes()
+		smallLo := heapHi + 2<<20
+		smallHi := smallLo + g.SmallBytes()
+		osLo := smallHi + 2<<20
+		osHi := osLo + g.OSBytes()
+		for tid := 0; tid <= g.SystemTID(); tid++ {
+			for i := 0; i < 5000; i++ {
+				va := uint64(g.Next(tid).VA)
+				inHeap := va >= heapLo && va < heapHi
+				inSmall := va >= smallLo && va < smallHi
+				inOS := va >= osLo && va < osHi
+				if !inHeap && !inSmall && !inOS {
+					t.Fatalf("%s tid %d: VA %#x outside all regions", name, tid, va)
+				}
+				if tid == g.SystemTID() && !inOS {
+					t.Fatalf("%s: system thread escaped the OS region (%#x)", name, va)
+				}
+			}
+		}
+	}
+}
+
+func TestSuperpageEligibleFractionMatchesProfile(t *testing.T) {
+	// With full coverage, the heap-access fraction approximates the
+	// superpage reference fraction; the paper reports 53-95%.
+	for _, p := range Profiles() {
+		g := NewGenerator(p, 7)
+		heap := addr.VAddr(0x5555_5540_0000)
+		small := heap + addr.VAddr(g.HeapBytes()+2<<20)
+		os := small + addr.VAddr(g.SmallBytes()+2<<20)
+		g.Bind(heap, small, os)
+		n, inHeap := 20000, 0
+		for i := 0; i < n; i++ {
+			tid := i % p.Threads
+			va := g.Next(tid).VA
+			if va >= heap && va < heap+addr.VAddr(g.HeapBytes()) {
+				inHeap++
+			}
+		}
+		frac := float64(inHeap) / float64(n)
+		if frac < 0.50 || frac > 0.97 {
+			t.Errorf("%s: heap (superpage-eligible) fraction %.2f outside [0.50,0.97]", p.Name, frac)
+		}
+	}
+}
+
+func TestCloudWorkloadsHaveHighSuperpageFraction(t *testing.T) {
+	// "workloads like Nutch, Olio, Redis, MongoDB, graph500, and
+	// tunkrank ... see 70-95% of their references going to superpages".
+	for _, name := range []string{"nutch", "olio", "redis", "mongo", "g500", "tunk"} {
+		p, _ := ByName(name)
+		if f := 1 - p.SmallAccess - p.OSShared; f < 0.70 {
+			t.Errorf("%s: superpage-eligible fraction %.2f < 0.70", name, f)
+		}
+	}
+}
+
+func TestStoreFractionApproximate(t *testing.T) {
+	g := boundGen(t, "gups") // store fraction 0.5
+	stores := 0
+	n := 20000
+	for i := 0; i < n; i++ {
+		if g.Next(0).Kind == trace.Store {
+			stores++
+		}
+	}
+	frac := float64(stores) / float64(n)
+	if frac < 0.35 || frac > 0.60 {
+		t.Errorf("gups store fraction = %.2f, want ~0.5 (dep loads excluded)", frac)
+	}
+}
+
+func TestChaseProducesDependentLoads(t *testing.T) {
+	g := boundGen(t, "g500") // chase 0.5
+	deps := 0
+	n := 10000
+	for i := 0; i < n; i++ {
+		if g.Next(0).Dep {
+			deps++
+		}
+	}
+	frac := float64(deps) / float64(n)
+	if frac < 0.3 || frac > 0.6 {
+		t.Errorf("g500 dependent fraction = %.2f, want ~0.45", frac)
+	}
+	g2 := boundGen(t, "cact") // chase 0.02
+	deps = 0
+	for i := 0; i < n; i++ {
+		if g2.Next(0).Dep {
+			deps++
+		}
+	}
+	if float64(deps)/float64(n) > 0.05 {
+		t.Errorf("cact dependent fraction = %.2f, want ~0.02", float64(deps)/float64(n))
+	}
+}
+
+func TestLocalityDiffersAcrossProfiles(t *testing.T) {
+	// nutch (hot, local) must re-reference lines far more than g500
+	// (pointer chasing): count distinct lines in a fixed window.
+	distinct := func(name string) int {
+		g := boundGen(t, name)
+		lines := map[uint64]bool{}
+		for i := 0; i < 8000; i++ {
+			lines[g.Next(0).VA.Line()] = true
+		}
+		return len(lines)
+	}
+	n, g5 := distinct("nutch"), distinct("g500")
+	if n >= g5 {
+		t.Errorf("nutch touched %d distinct lines, g500 %d: locality ordering wrong", n, g5)
+	}
+}
+
+func TestGapDistribution(t *testing.T) {
+	g := boundGen(t, "astar") // mean gap 3.0
+	var sum int
+	n := 20000
+	for i := 0; i < n; i++ {
+		sum += int(g.Next(0).Gap)
+	}
+	mean := float64(sum) / float64(n)
+	if mean < 2.0 || mean > 4.0 {
+		t.Errorf("mean gap = %.2f, want ~3", mean)
+	}
+}
+
+func TestSystemThreadStores(t *testing.T) {
+	g := boundGen(t, "redis")
+	stores := 0
+	for i := 0; i < 4000; i++ {
+		if g.Next(g.SystemTID()).Kind == trace.Store {
+			stores++
+		}
+	}
+	if f := float64(stores) / 4000; f < 0.4 || f > 0.6 {
+		t.Errorf("system thread store fraction = %.2f, want ~0.5", f)
+	}
+}
