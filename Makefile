@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build vet test race bench verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The race gate exercises the parallel runner (TestConcurrentSubmit and
+# the parallel-vs-serial equivalence tests) under the race detector.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+verify: build vet test race

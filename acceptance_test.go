@@ -125,3 +125,18 @@ func TestAcceptanceDeterminism(t *testing.T) {
 		t.Error("simulation is not deterministic")
 	}
 }
+
+// TestAcceptanceDeterminismUnderFragmentation: the fragmentation path
+// (memhog pinning, compaction, khugepaged promotion scans) historically
+// leaked Go's random map-iteration order into the simulation, so runs
+// with MemhogFraction > 0 differed from each other. Pin the fix.
+func TestAcceptanceDeterminismUnderFragmentation(t *testing.T) {
+	frag := func(c *sim.Config) { c.MemhogFraction = 0.6 }
+	a := accRun(t, "redis", sim.KindSeesaw, frag)
+	b := accRun(t, "redis", sim.KindSeesaw, frag)
+	if a.Cycles != b.Cycles || a.EnergyTotalNJ != b.EnergyTotalNJ ||
+		a.L1Misses != b.L1Misses || a.Promotions != b.Promotions {
+		t.Errorf("fragmented simulation is not deterministic: %d/%d cycles, %d/%d misses, %d/%d promotions",
+			a.Cycles, b.Cycles, a.L1Misses, b.L1Misses, a.Promotions, b.Promotions)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"seesaw/internal/addr"
 	"seesaw/internal/core"
 	"seesaw/internal/experiments"
+	"seesaw/internal/runner"
 	"seesaw/internal/sim"
 	"seesaw/internal/stats"
 	"seesaw/internal/tft"
@@ -109,6 +110,47 @@ func BenchmarkHeadline(b *testing.B) {
 	}
 	b.ReportMetric(perf, "%runtime-improvement")
 	b.ReportMetric(energy, "%energy-saving")
+}
+
+// --- Runner scaling ------------------------------------------------------
+
+// benchRunner regenerates fig7 with a fixed worker count; comparing the
+// Serial and Parallel variants measures the pool's wall-clock win on
+// multi-core machines (they coincide on a single-core host).
+func benchRunner(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		opts := benchOpts()
+		opts.Parallel = workers
+		tb, err := experiments.Run("fig7", opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tb.Rows) == 0 {
+			b.Fatal("fig7 produced no rows")
+		}
+	}
+}
+
+func BenchmarkRunnerSerial(b *testing.B)   { benchRunner(b, 1) }
+func BenchmarkRunnerParallel(b *testing.B) { benchRunner(b, 0) }
+
+// BenchmarkRunnerSharedPoolDedup measures the cross-figure result cache:
+// fig11 and energy-breakdown submit identical cells, so the second figure
+// reduces straight from cache.
+func BenchmarkRunnerSharedPoolDedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := benchOpts()
+		opts.Pool = runner.New(0)
+		for _, id := range []string{"fig11", "energy-breakdown"} {
+			if _, err := experiments.Run(id, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if st := opts.Pool.Stats(); st.CacheHits == 0 {
+			b.Fatal("shared pool saw no cache hits")
+		}
+	}
 }
 
 // --- Microbenchmarks of the hot paths -----------------------------------

@@ -7,27 +7,30 @@
 //	seesaw-figures -exp table3 -csv
 //	seesaw-figures -all -refs 50000
 //	seesaw-figures -exp fig12 -workloads redis,olio
+//	seesaw-figures -all -parallel 8
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 	"time"
 
+	"seesaw/internal/cliutil"
 	"seesaw/internal/experiments"
+	"seesaw/internal/runner"
 )
 
 func main() {
 	var (
-		exp  = flag.String("exp", "", "experiment id (see -list)")
-		all  = flag.Bool("all", false, "run every experiment")
-		list = flag.Bool("list", false, "list experiment ids and exit")
-		refs = flag.Int("refs", 100_000, "memory references per simulation")
-		seed = flag.Int64("seed", 42, "deterministic seed")
-		wls  = flag.String("workloads", "", "comma-separated workload subset (default: all)")
-		csv  = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		exp      = flag.String("exp", "", "experiment id (see -list)")
+		all      = flag.Bool("all", false, "run every experiment")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		refs     = flag.Int("refs", 100_000, "memory references per simulation")
+		seed     = flag.Int64("seed", 42, "deterministic seed")
+		wls      = flag.String("workloads", "", "comma-separated workload subset (default: all)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		parallel = flag.Int("parallel", 0, "simulation cells to run concurrently (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -37,16 +40,37 @@ func main() {
 		}
 		return
 	}
-	opts := experiments.Options{Refs: *refs, Seed: *seed}
+	// One pool shared across every requested experiment: identical cells
+	// (e.g. the 64KB/1.33GHz baseline that most figures reference) run
+	// once, and output order stays deterministic regardless of workers.
+	opts := experiments.Options{Refs: *refs, Seed: *seed, Pool: runner.New(*parallel)}
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "refs":
+			opts.RefsSet = true
+		case "seed":
+			opts.SeedSet = true
+		}
+	})
 	if *wls != "" {
-		opts.Workloads = strings.Split(*wls, ",")
+		names, err := cliutil.SplitList(*wls)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "seesaw-figures: -workloads:", err)
+			os.Exit(2)
+		}
+		opts.Workloads = names
 	}
 	var ids []string
 	switch {
 	case *all:
 		ids = experiments.IDs()
 	case *exp != "":
-		ids = strings.Split(*exp, ",")
+		var err error
+		ids, err = cliutil.SplitList(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "seesaw-figures: -exp:", err)
+			os.Exit(2)
+		}
 	default:
 		fmt.Fprintln(os.Stderr, "seesaw-figures: pass -exp <id>, -all, or -list")
 		os.Exit(2)
@@ -64,5 +88,9 @@ func main() {
 			tb.WriteTo(os.Stdout)
 			fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
 		}
+	}
+	if st := opts.Pool.Stats(); st.CacheHits > 0 && !*csv {
+		fmt.Fprintf(os.Stderr, "seesaw-figures: %d cells submitted, %d simulated, %d served from cache (%d workers)\n",
+			st.Submitted, st.Runs, st.CacheHits, opts.Pool.Workers())
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"seesaw/internal/core"
+	"seesaw/internal/runner"
 	"seesaw/internal/sim"
 	"seesaw/internal/stats"
 	"seesaw/internal/trace"
@@ -47,6 +48,7 @@ func main() {
 		coRunner  = flag.String("corunner", "", "co-runner workload for real multiprogrammed context switches")
 		jsonOut   = flag.Bool("json", false, "emit the report as JSON instead of text")
 		profile   = flag.String("profile", "", "load a custom workload profile from a JSON file (overrides -workload)")
+		parallel  = flag.Int("parallel", 0, "simulation cells to run concurrently (0 = GOMAXPROCS, 1 = serial); affects -compare")
 	)
 	flag.Parse()
 
@@ -123,7 +125,16 @@ func main() {
 		}
 		cfg.Trace = recs
 	}
-	r, err := sim.Run(cfg)
+	// Run the main cell and (with -compare) the baseline concurrently.
+	pool := runner.New(*parallel)
+	fut := pool.Submit(cfg)
+	var baseFut *runner.Future
+	if *compare && kind != sim.KindBaseline && !*jsonOut {
+		baseCfg := cfg
+		baseCfg.CacheKind = sim.KindBaseline
+		baseFut = pool.Submit(baseCfg)
+	}
+	r, err := fut.Wait()
 	if err != nil {
 		fatal(err)
 	}
@@ -136,9 +147,8 @@ func main() {
 		return
 	}
 	printReport(r)
-	if *compare && kind != sim.KindBaseline {
-		cfg.CacheKind = sim.KindBaseline
-		base, err := sim.Run(cfg)
+	if baseFut != nil {
+		base, err := baseFut.Wait()
 		if err != nil {
 			fatal(err)
 		}

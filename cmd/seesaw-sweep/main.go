@@ -9,15 +9,16 @@
 //
 //	seesaw-sweep -workloads redis,nutch -refs 50000
 //	seesaw-sweep -sizes 64 -freqs 1.33,4.0 -csv
+//	seesaw-sweep -parallel 8
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
+	"seesaw/internal/cliutil"
+	"seesaw/internal/runner"
 	"seesaw/internal/sim"
 	"seesaw/internal/stats"
 	"seesaw/internal/workload"
@@ -31,73 +32,132 @@ type design struct {
 	smallTLB   bool
 }
 
+// sweepOptions carries everything sweepTable needs, so tests can drive
+// the sweep without going through flag parsing.
+type sweepOptions struct {
+	profiles []workload.Profile
+	sizesKB  []float64
+	freqs    []float64
+	refs     int
+	seed     int64
+	parallel int
+}
+
 func main() {
 	var (
-		wls   = flag.String("workloads", "redis,nutch,olio,mcf", "comma-separated workloads")
-		sizes = flag.String("sizes", "32,64,128", "comma-separated L1 sizes in KB")
-		freqs = flag.String("freqs", "1.33", "comma-separated frequencies in GHz")
-		refs  = flag.Int("refs", 50_000, "references per run")
-		seed  = flag.Int64("seed", 42, "deterministic seed")
-		csv   = flag.Bool("csv", false, "emit CSV")
+		wls      = flag.String("workloads", "redis,nutch,olio,mcf", "comma-separated workloads")
+		sizes    = flag.String("sizes", "32,64,128", "comma-separated L1 sizes in KB")
+		freqs    = flag.String("freqs", "1.33", "comma-separated frequencies in GHz")
+		refs     = flag.Int("refs", 50_000, "references per run")
+		seed     = flag.Int64("seed", 42, "deterministic seed")
+		csv      = flag.Bool("csv", false, "emit CSV")
+		parallel = flag.Int("parallel", 0, "simulation cells to run concurrently (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
-	var profiles []workload.Profile
-	for _, n := range strings.Split(*wls, ",") {
+	o := sweepOptions{refs: *refs, seed: *seed, parallel: *parallel}
+	names, err := cliutil.SplitList(*wls)
+	if err != nil {
+		fatal(fmt.Errorf("-workloads: %w", err))
+	}
+	for _, n := range names {
 		p, err := workload.ByName(n)
 		if err != nil {
 			fatal(err)
 		}
-		profiles = append(profiles, p)
+		o.profiles = append(o.profiles, p)
 	}
-	sizeList, err := parseFloats(*sizes)
-	if err != nil {
-		fatal(err)
+	if o.sizesKB, err = cliutil.ParseFloats(*sizes); err != nil {
+		fatal(fmt.Errorf("-sizes: %w", err))
 	}
-	freqList, err := parseFloats(*freqs)
-	if err != nil {
-		fatal(err)
+	if o.freqs, err = cliutil.ParseFloats(*freqs); err != nil {
+		fatal(fmt.Errorf("-freqs: %w", err))
+	}
+	if o.refs == 0 {
+		o.refs = -1 // explicit -refs 0: run zero references, not the sim default
 	}
 
-	t := stats.NewTable("L1 design-space sweep (improvements vs same-size baseline VIPT, avg across workloads)",
-		"size", "freq", "design", "perf %", "energy %", "IPC")
-	for _, szKB := range sizeList {
-		size := uint64(szKB) << 10
-		ways := int(size / (16 << 10) * 4)
-		designs := []design{
-			{name: "VIPT (baseline)", kind: sim.KindBaseline},
-		}
+	t, err := sweepTable(o)
+	if err != nil {
+		fatal(err)
+	}
+	if *csv {
+		fmt.Print(t.CSV())
+		return
+	}
+	t.WriteTo(os.Stdout)
+}
+
+// sweepTable runs the full sweep through a runner.Pool: every cell is
+// submitted up front and results are reduced in submission order, so the
+// table is byte-identical for any worker count.
+func sweepTable(o sweepOptions) (*stats.Table, error) {
+	pool := runner.New(o.parallel)
+	designsFor := func(ways int) []design {
+		ds := []design{{name: "VIPT (baseline)", kind: sim.KindBaseline}}
 		for parts := 2; parts <= ways/2; parts *= 2 {
-			designs = append(designs, design{
+			ds = append(ds, design{
 				name: fmt.Sprintf("SEESAW %dp x %dw", parts, ways/parts),
 				kind: sim.KindSeesaw, partitions: parts,
 			})
 		}
-		designs = append(designs,
-			design{name: "PIPT 4w (small TLB)", kind: sim.KindPIPT, serialTLB: 2, smallTLB: true},
-		)
-		for _, f := range freqList {
-			// Baseline reference per (size, freq).
-			var basePerf []float64
-			var baseEnergy []float64
-			for _, p := range profiles {
-				r, err := run(p, *seed, *refs, sim.KindBaseline, size, ways, 0, f, 0, false)
-				if err != nil {
-					fatal(err)
-				}
-				basePerf = append(basePerf, float64(r.Cycles))
-				baseEnergy = append(baseEnergy, r.EnergyTotalNJ)
+		return append(ds, design{name: "PIPT 4w (small TLB)", kind: sim.KindPIPT, serialTLB: 2, smallTLB: true})
+	}
+	// Submit phase: cells[si][fi] holds the baseline references, then one
+	// future per (design, workload). The pool dedupes the baseline design
+	// against its reference runs.
+	type cell struct {
+		bases   []*runner.Future   // per workload
+		designs [][]*runner.Future // [design][workload]
+	}
+	cells := make([][]cell, len(o.sizesKB))
+	for si, szKB := range o.sizesKB {
+		size := uint64(szKB) << 10
+		ways := int(size / (16 << 10) * 4)
+		designs := designsFor(ways)
+		cells[si] = make([]cell, len(o.freqs))
+		for fi, f := range o.freqs {
+			c := cell{designs: make([][]*runner.Future, len(designs))}
+			for _, p := range o.profiles {
+				c.bases = append(c.bases, submit(pool, p, o.seed, o.refs, sim.KindBaseline, size, ways, 0, f, 0, false))
 			}
-			for _, d := range designs {
-				var ps, es, ipc stats.Summary
+			for di, d := range designs {
 				dw := ways
 				if d.kind == sim.KindPIPT {
 					dw = 4
 				}
-				for wi, p := range profiles {
-					r, err := run(p, *seed, *refs, d.kind, size, dw, d.partitions, f, d.serialTLB, d.smallTLB)
+				for _, p := range o.profiles {
+					c.designs[di] = append(c.designs[di],
+						submit(pool, p, o.seed, o.refs, d.kind, size, dw, d.partitions, f, d.serialTLB, d.smallTLB))
+				}
+			}
+			cells[si][fi] = c
+		}
+	}
+	// Reduce phase, in the exact order the serial tool emitted rows.
+	t := stats.NewTable("L1 design-space sweep (improvements vs same-size baseline VIPT, avg across workloads)",
+		"size", "freq", "design", "perf %", "energy %", "IPC")
+	for si, szKB := range o.sizesKB {
+		size := uint64(szKB) << 10
+		ways := int(size / (16 << 10) * 4)
+		designs := designsFor(ways)
+		for fi, f := range o.freqs {
+			c := cells[si][fi]
+			var basePerf, baseEnergy []float64
+			for _, fut := range c.bases {
+				r, err := fut.Wait()
+				if err != nil {
+					return nil, err
+				}
+				basePerf = append(basePerf, float64(r.Cycles))
+				baseEnergy = append(baseEnergy, r.EnergyTotalNJ)
+			}
+			for di, d := range designs {
+				var ps, es, ipc stats.Summary
+				for wi := range o.profiles {
+					r, err := c.designs[di][wi].Wait()
 					if err != nil {
-						fatal(err)
+						return nil, err
 					}
 					ps.Add(stats.PctImprovement(basePerf[wi], float64(r.Cycles)))
 					es.Add(stats.PctImprovement(baseEnergy[wi], r.EnergyTotalNJ))
@@ -114,32 +174,16 @@ func main() {
 			}
 		}
 	}
-	if *csv {
-		fmt.Print(t.CSV())
-		return
-	}
-	t.WriteTo(os.Stdout)
+	return t, nil
 }
 
-func run(p workload.Profile, seed int64, refs int, kind sim.CacheKind, size uint64, ways, parts int, freq float64, serialTLB int, smallTLB bool) (*sim.Report, error) {
-	return sim.Run(sim.Config{
+func submit(pool *runner.Pool, p workload.Profile, seed int64, refs int, kind sim.CacheKind, size uint64, ways, parts int, freq float64, serialTLB int, smallTLB bool) *runner.Future {
+	return pool.Submit(sim.Config{
 		Workload: p, Seed: seed, Refs: refs,
 		CacheKind: kind, L1Size: size, L1Ways: ways, Partitions: parts,
 		SerialTLBCycles: serialTLB, SmallTLB: smallTLB,
 		FreqGHz: freq, CPUKind: "ooo", MemBytes: 512 << 20,
 	})
-}
-
-func parseFloats(s string) ([]float64, error) {
-	var out []float64
-	for _, part := range strings.Split(s, ",") {
-		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad number %q", part)
-		}
-		out = append(out, v)
-	}
-	return out, nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"seesaw/internal/cliutil"
+	"seesaw/internal/workload"
+)
+
+func testSweepOptions(t *testing.T, parallel int) sweepOptions {
+	t.Helper()
+	var profiles []workload.Profile
+	for _, n := range []string{"redis", "mcf"} {
+		p, err := workload.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		profiles = append(profiles, p)
+	}
+	return sweepOptions{
+		profiles: profiles,
+		sizesKB:  []float64{32, 64},
+		freqs:    []float64{1.33},
+		refs:     5_000,
+		seed:     42,
+		parallel: parallel,
+	}
+}
+
+// TestSweepParallelMatchesSerial: the sweep table is byte-identical for
+// any worker count — cells are reduced in submission order.
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	serialTb, err := sweepTable(testSweepOptions(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelTb, err := sweepTable(testSweepOptions(t, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, parallel := serialTb.String(), parallelTb.String()
+	if serial != parallel {
+		t.Errorf("parallel sweep differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+	if !strings.Contains(serial, "VIPT (baseline)") || !strings.Contains(serial, "SEESAW") {
+		t.Errorf("sweep table missing expected designs:\n%s", serial)
+	}
+}
+
+// TestSweepListParsing: the flag lists reject stray commas with a clear
+// error instead of silently mis-parsing.
+func TestSweepListParsing(t *testing.T) {
+	for _, bad := range []string{"32,,64", "32,64,", ",32", " , "} {
+		if _, err := cliutil.ParseFloats(bad); err == nil {
+			t.Errorf("ParseFloats(%q) must reject empty entries", bad)
+		}
+		if _, err := cliutil.SplitList(bad); err == nil {
+			t.Errorf("SplitList(%q) must reject empty entries", bad)
+		}
+	}
+	vals, err := cliutil.ParseFloats(" 32, 64 ")
+	if err != nil || len(vals) != 2 || vals[0] != 32 || vals[1] != 64 {
+		t.Errorf("ParseFloats(\" 32, 64 \") = %v, %v", vals, err)
+	}
+	if _, err := cliutil.ParseFloats("32,abc"); err == nil {
+		t.Error("ParseFloats must reject non-numeric entries")
+	}
+}

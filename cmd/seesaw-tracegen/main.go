@@ -5,6 +5,7 @@
 // Examples:
 //
 //	seesaw-tracegen -workload redis -refs 1000000 -out redis.trc
+//	seesaw-tracegen -workload redis,nutch,olio -parallel 4
 //	seesaw-tracegen -inspect redis.trc
 package main
 
@@ -14,18 +15,21 @@ import (
 	"io"
 	"os"
 
+	"seesaw/internal/cliutil"
+	"seesaw/internal/runner"
 	"seesaw/internal/trace"
 	"seesaw/internal/workload"
 )
 
 func main() {
 	var (
-		wlName  = flag.String("workload", "redis", "workload name")
-		refs    = flag.Int("refs", 1_000_000, "references to generate")
-		seed    = flag.Int64("seed", 42, "deterministic seed")
-		out     = flag.String("out", "", "output trace file (default: <workload>.trc)")
-		inspect = flag.String("inspect", "", "inspect an existing trace file and exit")
-		head    = flag.Int("head", 10, "records to print when inspecting")
+		wlName   = flag.String("workload", "redis", "workload name, or a comma-separated list")
+		refs     = flag.Int("refs", 1_000_000, "references to generate")
+		seed     = flag.Int64("seed", 42, "deterministic seed")
+		out      = flag.String("out", "", "output trace file (default: <workload>.trc; single workload only)")
+		inspect  = flag.String("inspect", "", "inspect an existing trace file and exit")
+		head     = flag.Int("head", 10, "records to print when inspecting")
+		parallel = flag.Int("parallel", 0, "workloads to generate concurrently (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -35,18 +39,39 @@ func main() {
 		}
 		return
 	}
-	p, err := workload.ByName(*wlName)
+	names, err := cliutil.SplitList(*wlName)
 	if err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("-workload: %w", err))
 	}
-	path := *out
-	if path == "" {
-		path = p.Name + ".trc"
+	if *out != "" && len(names) > 1 {
+		fatal(fmt.Errorf("-out only applies to a single workload (got %d)", len(names)))
 	}
-	if err := generate(p, *seed, *refs, path); err != nil {
-		fatal(err)
+	var profiles []workload.Profile
+	for _, n := range names {
+		p, err := workload.ByName(n)
+		if err != nil {
+			fatal(err)
+		}
+		profiles = append(profiles, p)
 	}
-	fmt.Printf("wrote %d references for %s to %s\n", *refs, p.Name, path)
+	pool := runner.New(*parallel)
+	tasks := make([]*runner.Task[string], len(profiles))
+	for i, p := range profiles {
+		path := *out
+		if path == "" {
+			path = p.Name + ".trc"
+		}
+		tasks[i] = runner.Go(pool, func() (string, error) {
+			return path, generate(p, *seed, *refs, path)
+		})
+	}
+	for i, t := range tasks {
+		path, err := t.Wait()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d references for %s to %s\n", *refs, profiles[i].Name, path)
+	}
 }
 
 func generate(p workload.Profile, seed int64, refs int, path string) error {

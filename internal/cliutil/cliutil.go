@@ -1,0 +1,46 @@
+// Package cliutil holds the small flag-parsing helpers the cmd tools
+// share: strict comma-list splitting that rejects empty entries (a
+// trailing comma in -workloads or -sizes) with a clear error instead of
+// passing garbage downstream as strconv noise or an "unknown workload"
+// for the empty string.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// SplitList splits a comma-separated list, trimming whitespace around
+// entries. Empty entries (a trailing or doubled comma, an all-blank
+// input) are an error.
+func SplitList(s string) ([]string, error) {
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, part := range parts {
+		p := strings.TrimSpace(part)
+		if p == "" {
+			return nil, fmt.Errorf("empty entry in list %q (stray comma?)", s)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// ParseFloats parses a comma-separated list of numbers with SplitList's
+// strictness.
+func ParseFloats(s string) ([]float64, error) {
+	parts, err := SplitList(s)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q in list %q", p, s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

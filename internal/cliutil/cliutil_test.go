@@ -1,0 +1,39 @@
+package cliutil
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSplitList(t *testing.T) {
+	got, err := SplitList(" redis, nutch ,mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != "redis" || got[1] != "nutch" || got[2] != "mcf" {
+		t.Errorf("SplitList = %v", got)
+	}
+	for _, bad := range []string{"", "redis,", ",redis", "redis,,mcf", " , "} {
+		if _, err := SplitList(bad); err == nil {
+			t.Errorf("SplitList(%q) must error", bad)
+		} else if !strings.Contains(err.Error(), "empty entry") {
+			t.Errorf("SplitList(%q) error %q lacks a clear message", bad, err)
+		}
+	}
+}
+
+func TestParseFloats(t *testing.T) {
+	got, err := ParseFloats("1.33, 2.8,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1.33 || got[1] != 2.8 || got[2] != 4 {
+		t.Errorf("ParseFloats = %v", got)
+	}
+	if _, err := ParseFloats("1.33,,4"); err == nil || !strings.Contains(err.Error(), "empty entry") {
+		t.Errorf("doubled comma: err = %v", err)
+	}
+	if _, err := ParseFloats("32,fast"); err == nil || !strings.Contains(err.Error(), "bad number") {
+		t.Errorf("non-numeric: err = %v", err)
+	}
+}

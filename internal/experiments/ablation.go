@@ -5,6 +5,7 @@ import (
 
 	"seesaw/internal/coherence"
 	"seesaw/internal/core"
+	"seesaw/internal/runner"
 	"seesaw/internal/sim"
 	"seesaw/internal/stats"
 	"seesaw/internal/workload"
@@ -25,18 +26,27 @@ func ablationNames(o Options) []string {
 // about a point, while 4way keeps coherence probes partition-filtered.
 func AblationInsertionPolicy(o Options) (*stats.Table, error) {
 	o = o.withDefaults()
-	t := stats.NewTable("Ablation: 4way vs 4way-8way insertion (64KB, 1.33GHz, OoO)",
-		"workload", "policy", "L1 hit %", "coh. probe energy (nJ)", "total energy (nJ)")
-	for _, name := range ablationNames(o) {
+	names := ablationNames(o)
+	policies := []core.InsertionPolicy{core.FourWay, core.FourEightWay}
+	cells := make([][]*runner.Future, len(names))
+	for ni, name := range names {
 		p, err := workload.ByName(name)
 		if err != nil {
 			return nil, err
 		}
-		for _, policy := range []core.InsertionPolicy{core.FourWay, core.FourEightWay} {
+		cells[ni] = make([]*runner.Future, len(policies))
+		for pi, policy := range policies {
 			cfg := baseConfig(o, p, sim.KindSeesaw, 64<<10, 1.33, "ooo")
 			cfg.CacheKind = sim.KindSeesaw
 			cfg.Policy = policy
-			r, err := sim.Run(cfg)
+			cells[ni][pi] = o.Pool.Submit(cfg)
+		}
+	}
+	t := stats.NewTable("Ablation: 4way vs 4way-8way insertion (64KB, 1.33GHz, OoO)",
+		"workload", "policy", "L1 hit %", "coh. probe energy (nJ)", "total energy (nJ)")
+	for ni, name := range names {
+		for pi, policy := range policies {
+			r, err := cells[ni][pi].Wait()
 			if err != nil {
 				return nil, err
 			}
@@ -55,38 +65,37 @@ func AblationInsertionPolicy(o Options) (*stats.Table, error) {
 // are scarce and always-fast speculation squashes constantly.
 func AblationSchedulerPolicy(o Options) (*stats.Table, error) {
 	o = o.withDefaults()
-	t := stats.NewTable("Ablation: scheduler speculation policy (64KB, 1.33GHz, OoO, memhog 90%)",
-		"workload", "always-fast (cycles)", "counter-gated (cycles)", "always-slow (cycles)")
-	for _, name := range ablationNames(o) {
+	names := ablationNames(o)
+	type policy struct{ fast, slow bool }
+	policies := []policy{{true, false}, {false, false}, {false, true}}
+	cells := make([][]*runner.Future, len(names))
+	for ni, name := range names {
 		p, err := workload.ByName(name)
 		if err != nil {
 			return nil, err
 		}
-		run := func(fast, slow bool) (uint64, error) {
+		cells[ni] = make([]*runner.Future, len(policies))
+		for pi, pol := range policies {
 			cfg := baseConfig(o, p, sim.KindSeesaw, 64<<10, 1.33, "ooo")
 			cfg.CacheKind = sim.KindSeesaw
 			cfg.MemhogFraction = 0.85
-			cfg.SchedulerAlwaysFast = fast
-			cfg.SchedulerAlwaysSlow = slow
-			r, err := sim.Run(cfg)
+			cfg.SchedulerAlwaysFast = pol.fast
+			cfg.SchedulerAlwaysSlow = pol.slow
+			cells[ni][pi] = o.Pool.Submit(cfg)
+		}
+	}
+	t := stats.NewTable("Ablation: scheduler speculation policy (64KB, 1.33GHz, OoO, memhog 90%)",
+		"workload", "always-fast (cycles)", "counter-gated (cycles)", "always-slow (cycles)")
+	for ni, name := range names {
+		var cycles [3]uint64
+		for pi := range policies {
+			r, err := cells[ni][pi].Wait()
 			if err != nil {
-				return 0, err
+				return nil, err
 			}
-			return r.Cycles, nil
+			cycles[pi] = r.Cycles
 		}
-		af, err := run(true, false)
-		if err != nil {
-			return nil, err
-		}
-		cg, err := run(false, false)
-		if err != nil {
-			return nil, err
-		}
-		as, err := run(false, true)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRowValues(name, af, cg, as)
+		t.AddRowValues(name, cycles[0], cycles[1], cycles[2])
 	}
 	t.AddNote("expected: counter-gated <= always-fast under scarce superpages (paper Section IV-B3)")
 	return t, nil
@@ -96,19 +105,28 @@ func AblationSchedulerPolicy(o Options) (*stats.Table, error) {
 // 2-way variant at equal capacity.
 func AblationTFTAssociativity(o Options) (*stats.Table, error) {
 	o = o.withDefaults()
-	t := stats.NewTable("Ablation: TFT associativity (16 entries, 64KB L1, 1.33GHz)",
-		"workload", "organization", "TFT hit %", "superpage accesses missed %")
-	for _, name := range ablationNames(o) {
+	names := ablationNames(o)
+	assocs := []int{1, 2}
+	cells := make([][]*runner.Future, len(names))
+	for ni, name := range names {
 		p, err := workload.ByName(name)
 		if err != nil {
 			return nil, err
 		}
-		for _, assoc := range []int{1, 2} {
+		cells[ni] = make([]*runner.Future, len(assocs))
+		for ai, assoc := range assocs {
 			cfg := baseConfig(o, p, sim.KindSeesaw, 64<<10, 1.33, "ooo")
 			cfg.CacheKind = sim.KindSeesaw
 			cfg.TFT.Entries = 16
 			cfg.TFT.Assoc = assoc
-			r, err := sim.Run(cfg)
+			cells[ni][ai] = o.Pool.Submit(cfg)
+		}
+	}
+	t := stats.NewTable("Ablation: TFT associativity (16 entries, 64KB L1, 1.33GHz)",
+		"workload", "organization", "TFT hit %", "superpage accesses missed %")
+	for ni, name := range names {
+		for ai, assoc := range assocs {
+			r, err := cells[ni][ai].Wait()
 			if err != nil {
 				return nil, err
 			}
@@ -131,21 +149,30 @@ func AblationTFTAssociativity(o Options) (*stats.Table, error) {
 // is a page-offset bit for 1GB pages too) and the TLB walks less.
 func Ablation1GPages(o Options) (*stats.Table, error) {
 	o = o.withDefaults()
-	t := stats.NewTable("Ablation: 2MB vs 1GB superpage backing (SEESAW, 64KB, 1.33GHz, OoO)",
-		"workload", "heap pages", "cycles", "fast-path hits", "TLB walks", "energy (nJ)")
-	for _, name := range ablationNames(o) {
+	names := ablationNames(o)
+	modes := []bool{false, true}
+	cells := make([][]*runner.Future, len(names))
+	for ni, name := range names {
 		p, err := workload.ByName(name)
 		if err != nil {
 			return nil, err
 		}
-		for _, oneG := range []bool{false, true} {
+		cells[ni] = make([]*runner.Future, len(modes))
+		for mi, oneG := range modes {
 			cfg := baseConfig(o, p, sim.KindSeesaw, 64<<10, 1.33, "ooo")
 			cfg.CacheKind = sim.KindSeesaw
 			if oneG {
 				cfg.Heap1G = true
 				cfg.MemBytes = 4 << 30
 			}
-			r, err := sim.Run(cfg)
+			cells[ni][mi] = o.Pool.Submit(cfg)
+		}
+	}
+	t := stats.NewTable("Ablation: 2MB vs 1GB superpage backing (SEESAW, 64KB, 1.33GHz, OoO)",
+		"workload", "heap pages", "cycles", "fast-path hits", "TLB walks", "energy (nJ)")
+	for ni, name := range names {
+		for mi, oneG := range modes {
+			r, err := cells[ni][mi].Wait()
 			if err != nil {
 				return nil, err
 			}
@@ -166,17 +193,26 @@ func Ablation1GPages(o Options) (*stats.Table, error) {
 // (paper: an additional 2-5% for multithreaded workloads).
 func AblationSnoopy(o Options) (*stats.Table, error) {
 	o = o.withDefaults()
-	t := stats.NewTable("Ablation: directory vs snoopy coherence (64KB, 1.33GHz, OoO)",
-		"workload", "protocol", "probes", "saved (nJ)", "SEESAW coherence-energy saving %")
-	for _, name := range []string{"cann", "tunk", "g500", "nutch"} {
+	names := []string{"cann", "tunk", "g500", "nutch"}
+	modes := []coherence.Mode{coherence.Directory, coherence.Snoopy}
+	cells := make([][]pair, len(names))
+	for ni, name := range names {
 		p, err := workload.ByName(name)
 		if err != nil {
 			return nil, err
 		}
-		for _, mode := range []coherence.Mode{coherence.Directory, coherence.Snoopy} {
+		cells[ni] = make([]pair, len(modes))
+		for mi, mode := range modes {
 			cfg := baseConfig(o, p, 0, 64<<10, 1.33, "ooo")
 			cfg.CoherenceMode = mode
-			base, see, err := runPair(cfg)
+			cells[ni][mi] = submitPair(o, cfg)
+		}
+	}
+	t := stats.NewTable("Ablation: directory vs snoopy coherence (64KB, 1.33GHz, OoO)",
+		"workload", "protocol", "probes", "saved (nJ)", "SEESAW coherence-energy saving %")
+	for ni, name := range names {
+		for mi, mode := range modes {
+			base, see, err := cells[ni][mi].wait()
 			if err != nil {
 				return nil, err
 			}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"seesaw/internal/runner"
 	"seesaw/internal/sim"
 	"seesaw/internal/stats"
 	"seesaw/internal/workload"
@@ -18,20 +19,20 @@ func Fig14(o Options) (*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := stats.NewTable("Fig 14: SEESAW vs PIPT alternatives, 128KB L1",
-		"freq", "metric", "others (best PIPT)", "SEESAW")
 	piptWays := []int{2, 4, 8}
-	for _, f := range perfFreqs {
-		var seePerf, seeEn stats.Summary
-		bestPerf, bestEn := -1e9, -1e9
-		for _, ways := range piptWays {
-			var pp, pe stats.Summary
-			for _, p := range profiles {
+	// Submit everything: per frequency, the PIPT alternatives (each
+	// against the shared 128KB baseline cell, deduped by the pool) and
+	// the SEESAW pairs.
+	type altCell struct{ base, alt *runner.Future }
+	alts := make([][][]altCell, len(perfFreqs)) // [freq][ways][workload]
+	pairs := make([][]pair, len(perfFreqs))     // [freq][workload]
+	for fi, f := range perfFreqs {
+		alts[fi] = make([][]altCell, len(piptWays))
+		for wi, ways := range piptWays {
+			alts[fi][wi] = make([]altCell, len(profiles))
+			for pi, p := range profiles {
 				cfg := baseConfig(o, p, 0, 128<<10, f, "ooo")
-				base, err := sim.Run(cfg) // baseline VIPT reference
-				if err != nil {
-					return nil, err
-				}
+				base := o.Pool.Submit(cfg) // baseline VIPT reference
 				cfg.CacheKind = sim.KindPIPT
 				cfg.L1Ways = ways
 				// Serial translation sits on the load-to-use path: even
@@ -40,7 +41,27 @@ func Fig14(o Options) (*stats.Table, error) {
 				// critical path far more often.
 				cfg.SerialTLBCycles = 2
 				cfg.SmallTLB = true
-				alt, err := sim.Run(cfg)
+				alts[fi][wi][pi] = altCell{base: base, alt: o.Pool.Submit(cfg)}
+			}
+		}
+		pairs[fi] = make([]pair, len(profiles))
+		for pi, p := range profiles {
+			pairs[fi][pi] = submitPair(o, baseConfig(o, p, 0, 128<<10, f, "ooo"))
+		}
+	}
+	t := stats.NewTable("Fig 14: SEESAW vs PIPT alternatives, 128KB L1",
+		"freq", "metric", "others (best PIPT)", "SEESAW")
+	for fi, f := range perfFreqs {
+		var seePerf, seeEn stats.Summary
+		bestPerf, bestEn := -1e9, -1e9
+		for wi := range piptWays {
+			var pp, pe stats.Summary
+			for pi := range profiles {
+				base, err := alts[fi][wi][pi].base.Wait()
+				if err != nil {
+					return nil, err
+				}
+				alt, err := alts[fi][wi][pi].alt.Wait()
 				if err != nil {
 					return nil, err
 				}
@@ -54,8 +75,8 @@ func Fig14(o Options) (*stats.Table, error) {
 				bestEn = pe.Mean()
 			}
 		}
-		for _, p := range profiles {
-			base, see, err := runPair(baseConfig(o, p, 0, 128<<10, f, "ooo"))
+		for pi := range profiles {
+			base, see, err := pairs[fi][pi].wait()
 			if err != nil {
 				return nil, err
 			}
@@ -80,33 +101,43 @@ func Fig15(o Options) (*stats.Table, error) {
 	if len(names) == len(workload.Names()) {
 		names = workload.CloudNames // the paper's Fig 15 subset
 	}
-	t := stats.NewTable("Fig 15: WP vs SEESAW vs WP+SEESAW (64KB, 1.33GHz, OoO; % vs baseline VIPT)",
-		"workload", "metric", "WP", "SEESAW", "WP+SEESAW", "WP accuracy")
-	for _, name := range names {
+	type wpCells struct{ base, wp, see, both *runner.Future }
+	cells := make([]wpCells, len(names))
+	for ni, name := range names {
 		p, err := workload.ByName(name)
 		if err != nil {
 			return nil, err
 		}
 		cfg := baseConfig(o, p, 0, 64<<10, 1.33, "ooo")
-		base, err := sim.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
 		wpCfg := cfg
 		wpCfg.WayPredict = true
-		wp, err := sim.Run(wpCfg)
-		if err != nil {
-			return nil, err
-		}
 		seeCfg := cfg
 		seeCfg.CacheKind = sim.KindSeesaw
-		see, err := sim.Run(seeCfg)
+		bothCfg := seeCfg
+		bothCfg.WayPredict = true
+		cells[ni] = wpCells{
+			base: o.Pool.Submit(cfg),
+			wp:   o.Pool.Submit(wpCfg),
+			see:  o.Pool.Submit(seeCfg),
+			both: o.Pool.Submit(bothCfg),
+		}
+	}
+	t := stats.NewTable("Fig 15: WP vs SEESAW vs WP+SEESAW (64KB, 1.33GHz, OoO; % vs baseline VIPT)",
+		"workload", "metric", "WP", "SEESAW", "WP+SEESAW", "WP accuracy")
+	for ni, name := range names {
+		base, err := cells[ni].base.Wait()
 		if err != nil {
 			return nil, err
 		}
-		bothCfg := seeCfg
-		bothCfg.WayPredict = true
-		both, err := sim.Run(bothCfg)
+		wp, err := cells[ni].wp.Wait()
+		if err != nil {
+			return nil, err
+		}
+		see, err := cells[ni].see.Wait()
+		if err != nil {
+			return nil, err
+		}
+		both, err := cells[ni].both.Wait()
 		if err != nil {
 			return nil, err
 		}

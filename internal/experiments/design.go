@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"seesaw/internal/cache"
+	"seesaw/internal/runner"
 	"seesaw/internal/sim"
 	"seesaw/internal/stats"
 	"seesaw/internal/workload"
@@ -15,29 +16,40 @@ import (
 // 16-way cache split into 2, 4, or 8 partitions.
 func AblationPartitionCount(o Options) (*stats.Table, error) {
 	o = o.withDefaults()
-	t := stats.NewTable("Ablation: SEESAW partition count (64KB 16-way, 1.33GHz, OoO)",
-		"workload", "partitions", "ways/partition", "perf % vs baseline", "energy % vs baseline")
-	for _, name := range ablationNames(o) {
+	names := ablationNames(o)
+	parts := []int{2, 4, 8}
+	bases := make([]*runner.Future, len(names))
+	sees := make([][]*runner.Future, len(names))
+	for ni, name := range names {
 		p, err := workload.ByName(name)
 		if err != nil {
 			return nil, err
 		}
 		cfg := baseConfig(o, p, sim.KindBaseline, 64<<10, 1.33, "ooo")
-		base, err := sim.Run(cfg)
+		bases[ni] = o.Pool.Submit(cfg)
+		sees[ni] = make([]*runner.Future, len(parts))
+		for pi, part := range parts {
+			scfg := cfg
+			scfg.CacheKind = sim.KindSeesaw
+			scfg.Partitions = part
+			sees[ni][pi] = o.Pool.Submit(scfg)
+		}
+	}
+	t := stats.NewTable("Ablation: SEESAW partition count (64KB 16-way, 1.33GHz, OoO)",
+		"workload", "partitions", "ways/partition", "perf % vs baseline", "energy % vs baseline")
+	for ni, name := range names {
+		base, err := bases[ni].Wait()
 		if err != nil {
 			return nil, err
 		}
-		for _, parts := range []int{2, 4, 8} {
-			scfg := cfg
-			scfg.CacheKind = sim.KindSeesaw
-			scfg.Partitions = parts
-			see, err := sim.Run(scfg)
+		for pi, part := range parts {
+			see, err := sees[ni][pi].Wait()
 			if err != nil {
 				return nil, err
 			}
 			t.AddRow(name,
-				fmt.Sprintf("%d", parts),
-				fmt.Sprintf("%d", 16/parts),
+				fmt.Sprintf("%d", part),
+				fmt.Sprintf("%d", 16/part),
 				fmt.Sprintf("%.2f", runtimeImprovement(base, see)),
 				fmt.Sprintf("%.2f", energyImprovement(base, see)))
 		}
@@ -51,17 +63,26 @@ func AblationPartitionCount(o Options) (*stats.Table, error) {
 // with either policy.
 func AblationReplacement(o Options) (*stats.Table, error) {
 	o = o.withDefaults()
-	t := stats.NewTable("Ablation: L1 replacement policy (64KB, 1.33GHz, OoO)",
-		"workload", "policy", "baseline hit %", "SEESAW hit %", "SEESAW perf %")
-	for _, name := range ablationNames(o) {
+	names := ablationNames(o)
+	repls := []cache.Replacement{cache.LRU, cache.SRRIP}
+	cells := make([][]pair, len(names))
+	for ni, name := range names {
 		p, err := workload.ByName(name)
 		if err != nil {
 			return nil, err
 		}
-		for _, repl := range []cache.Replacement{cache.LRU, cache.SRRIP} {
+		cells[ni] = make([]pair, len(repls))
+		for ri, repl := range repls {
 			cfg := baseConfig(o, p, sim.KindBaseline, 64<<10, 1.33, "ooo")
 			cfg.Replacement = repl
-			base, see, err := runPair(cfg)
+			cells[ni][ri] = submitPair(o, cfg)
+		}
+	}
+	t := stats.NewTable("Ablation: L1 replacement policy (64KB, 1.33GHz, OoO)",
+		"workload", "policy", "baseline hit %", "SEESAW hit %", "SEESAW perf %")
+	for ni, name := range names {
+		for ri, repl := range repls {
+			base, see, err := cells[ni][ri].wait()
 			if err != nil {
 				return nil, err
 			}
@@ -80,17 +101,26 @@ func AblationReplacement(o Options) (*stats.Table, error) {
 // path).
 func AblationPrefetch(o Options) (*stats.Table, error) {
 	o = o.withDefaults()
-	t := stats.NewTable("Ablation: next-line L1 prefetcher (64KB, 1.33GHz, OoO)",
-		"workload", "prefetch", "baseline hit %", "SEESAW perf %", "SEESAW energy %")
-	for _, name := range ablationNames(o) {
+	names := ablationNames(o)
+	modes := []bool{false, true}
+	cells := make([][]pair, len(names))
+	for ni, name := range names {
 		p, err := workload.ByName(name)
 		if err != nil {
 			return nil, err
 		}
-		for _, pf := range []bool{false, true} {
+		cells[ni] = make([]pair, len(modes))
+		for mi, pf := range modes {
 			cfg := baseConfig(o, p, sim.KindBaseline, 64<<10, 1.33, "ooo")
 			cfg.Prefetch = pf
-			base, see, err := runPair(cfg)
+			cells[ni][mi] = submitPair(o, cfg)
+		}
+	}
+	t := stats.NewTable("Ablation: next-line L1 prefetcher (64KB, 1.33GHz, OoO)",
+		"workload", "prefetch", "baseline hit %", "SEESAW perf %", "SEESAW energy %")
+	for ni, name := range names {
+		for mi, pf := range modes {
+			base, see, err := cells[ni][mi].wait()
 			if err != nil {
 				return nil, err
 			}

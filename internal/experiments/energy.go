@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"seesaw/internal/runner"
 	"seesaw/internal/sim"
 	"seesaw/internal/stats"
 	"seesaw/internal/workload"
@@ -17,10 +18,14 @@ func Fig11(o Options) (*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	cells := make([]pair, len(profiles))
+	for pi, p := range profiles {
+		cells[pi] = submitPair(o, baseConfig(o, p, 0, 64<<10, 1.33, "ooo"))
+	}
 	t := stats.NewTable("Fig 11: % of L1 energy savings from CPU-side vs coherence lookups (64KB, OoO, 1.33GHz)",
 		"workload", "CPU-side %", "coherence %")
-	for _, p := range profiles {
-		base, see, err := runPair(baseConfig(o, p, 0, 64<<10, 1.33, "ooo"))
+	for pi, p := range profiles {
+		base, see, err := cells[pi].wait()
 		if err != nil {
 			return nil, err
 		}
@@ -49,17 +54,24 @@ func Fig12(o Options) (*stats.Table, error) {
 		names = workload.CloudNames // the paper's Fig 12 subset
 	}
 	hogs := []float64{0, 0.30, 0.60}
-	t := stats.NewTable("Fig 12: % improvement vs memory fragmentation (64KB, 1.33GHz, OoO)",
-		"workload", "memhog", "perf %", "energy %", "coverage %")
-	for _, name := range names {
+	cells := make([][]pair, len(names))
+	for ni, name := range names {
 		p, err := workload.ByName(name)
 		if err != nil {
 			return nil, err
 		}
-		for _, hog := range hogs {
+		cells[ni] = make([]pair, len(hogs))
+		for hi, hog := range hogs {
 			cfg := baseConfig(o, p, 0, 64<<10, 1.33, "ooo")
 			cfg.MemhogFraction = hog
-			base, see, err := runPair(cfg)
+			cells[ni][hi] = submitPair(o, cfg)
+		}
+	}
+	t := stats.NewTable("Fig 12: % improvement vs memory fragmentation (64KB, 1.33GHz, OoO)",
+		"workload", "memhog", "perf %", "energy %", "coverage %")
+	for ni, name := range names {
+		for hi, hog := range hogs {
+			base, see, err := cells[ni][hi].wait()
 			if err != nil {
 				return nil, err
 			}
@@ -84,10 +96,14 @@ func EnergyBreakdown(o Options) (*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	cells := make([]pair, len(profiles))
+	for pi, p := range profiles {
+		cells[pi] = submitPair(o, baseConfig(o, p, 0, 64<<10, 1.33, "ooo"))
+	}
 	t := stats.NewTable("Energy breakdown (nJ; 64KB, 1.33GHz, OoO)",
 		"workload", "design", "L1 CPU-side", "L1 coherence", "TLBs+TFT", "walks", "LLC", "DRAM", "leakage", "total")
-	for _, p := range profiles {
-		base, see, err := runPair(baseConfig(o, p, 0, 64<<10, 1.33, "ooo"))
+	for pi, p := range profiles {
+		base, see, err := cells[pi].wait()
 		if err != nil {
 			return nil, err
 		}
@@ -117,17 +133,28 @@ func Fig13(o Options) (*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := stats.NewTable("Fig 13: % of superpage accesses missed by the TFT",
-		"TFT entries", "L1 size", "missed, L1 hits (avg [min..max])", "missed, L1 misses (avg [min..max])")
-	for _, entries := range []int{12, 16, 20} {
-		for _, size := range perfSizes {
-			var hitSide, missSide stats.Summary
-			for _, p := range profiles {
+	entrySet := []int{12, 16, 20}
+	cells := make([][][]*runner.Future, len(entrySet))
+	for ei, entries := range entrySet {
+		cells[ei] = make([][]*runner.Future, len(perfSizes))
+		for si, size := range perfSizes {
+			cells[ei][si] = make([]*runner.Future, len(profiles))
+			for pi, p := range profiles {
 				cfg := baseConfig(o, p, sim.KindSeesaw, size, 1.33, "ooo")
 				cfg.CacheKind = sim.KindSeesaw
 				cfg.TFT.Entries = entries
 				cfg.TFT.Assoc = 1
-				r, err := sim.Run(cfg)
+				cells[ei][si][pi] = o.Pool.Submit(cfg)
+			}
+		}
+	}
+	t := stats.NewTable("Fig 13: % of superpage accesses missed by the TFT",
+		"TFT entries", "L1 size", "missed, L1 hits (avg [min..max])", "missed, L1 misses (avg [min..max])")
+	for ei, entries := range entrySet {
+		for si, size := range perfSizes {
+			var hitSide, missSide stats.Summary
+			for pi := range profiles {
+				r, err := cells[ei][si][pi].Wait()
 				if err != nil {
 					return nil, err
 				}

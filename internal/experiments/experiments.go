@@ -4,12 +4,18 @@
 // returns a stats.Table whose rows mirror what the paper plots. The
 // cmd/seesaw-figures tool and the repository's benchmark harness both
 // drive this package; EXPERIMENTS.md records paper-vs-measured values.
+//
+// Generators fan their independent simulation cells out onto a
+// runner.Pool (Options.Pool / Options.Parallel) and reduce the futures
+// in submission order, so the printed tables are byte-identical for a
+// given seed whether the cells ran serially or concurrently.
 package experiments
 
 import (
 	"fmt"
 	"sort"
 
+	"seesaw/internal/runner"
 	"seesaw/internal/sim"
 	"seesaw/internal/stats"
 	"seesaw/internal/workload"
@@ -19,21 +25,39 @@ import (
 type Options struct {
 	// Refs per simulation (default 100k).
 	Refs int
-	// Seed for deterministic workloads and fragmentation.
+	// RefsSet marks Refs as explicitly chosen, so Refs == 0 means zero
+	// references instead of the default.
+	RefsSet bool
+	// Seed for deterministic workloads and fragmentation (default 42).
 	Seed int64
+	// SeedSet marks Seed as explicitly chosen, so the perfectly valid
+	// seed 0 is usable instead of being replaced by the default.
+	SeedSet bool
 	// Workloads restricts the workload set (default: all sixteen).
 	Workloads []string
+	// Parallel bounds concurrent simulation cells when Pool is nil:
+	// 0 selects runtime.GOMAXPROCS(0), 1 restores serial execution.
+	Parallel int
+	// Pool runs the experiment's cells. Sharing one pool across
+	// experiments (as cmd/seesaw-figures does) also shares its result
+	// cache, so every figure comparing against the same baseline cell
+	// reuses one run. When nil, a fresh pool with Parallel workers is
+	// created per experiment.
+	Pool *runner.Pool
 }
 
 func (o Options) withDefaults() Options {
-	if o.Refs == 0 {
+	if o.Refs == 0 && !o.RefsSet {
 		o.Refs = 100_000
 	}
-	if o.Seed == 0 {
+	if o.Seed == 0 && !o.SeedSet {
 		o.Seed = 42
 	}
 	if len(o.Workloads) == 0 {
 		o.Workloads = workload.Names()
+	}
+	if o.Pool == nil {
+		o.Pool = runner.New(o.Parallel)
 	}
 	return o
 }
@@ -53,10 +77,14 @@ func profilesFor(o Options) ([]workload.Profile, error) {
 
 // baseConfig is the shared simulation skeleton.
 func baseConfig(o Options, p workload.Profile, kind sim.CacheKind, size uint64, freq float64, cpuKind string) sim.Config {
+	refs := o.Refs
+	if refs == 0 {
+		refs = -1 // an explicit zero survives sim's own defaulting
+	}
 	return sim.Config{
 		Workload:  p,
 		Seed:      o.Seed,
-		Refs:      o.Refs,
+		Refs:      refs,
 		CacheKind: kind,
 		L1Size:    size,
 		FreqGHz:   freq,
@@ -65,17 +93,26 @@ func baseConfig(o Options, p workload.Profile, kind sim.CacheKind, size uint64, 
 	}
 }
 
-// runPair executes baseline VIPT and SEESAW on identical inputs and
-// returns both reports.
-func runPair(cfg sim.Config) (base, see *sim.Report, err error) {
-	cfg.CacheKind = sim.KindBaseline
-	base, err = sim.Run(cfg)
-	if err != nil {
+// pair is a submitted baseline+SEESAW comparison awaiting reduction.
+// Generators submit every cell first, then reduce pairs in submission
+// order, so rows come out byte-identical to a serial run while the
+// pool's workers execute cells concurrently.
+type pair struct {
+	base, see *runner.Future
+}
+
+// submitPair schedules baseline VIPT and SEESAW on identical inputs.
+func submitPair(o Options, cfg sim.Config) pair {
+	b, s := o.Pool.Pair(cfg)
+	return pair{base: b, see: s}
+}
+
+// wait blocks for both sides of the comparison.
+func (pr pair) wait() (base, see *sim.Report, err error) {
+	if base, err = pr.base.Wait(); err != nil {
 		return nil, nil, err
 	}
-	cfg.CacheKind = sim.KindSeesaw
-	see, err = sim.Run(cfg)
-	if err != nil {
+	if see, err = pr.see.Wait(); err != nil {
 		return nil, nil, err
 	}
 	return base, see, nil

@@ -4,6 +4,10 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"seesaw/internal/runner"
+	"seesaw/internal/sim"
+	"seesaw/internal/workload"
 )
 
 // tinyOpts keeps experiment smoke tests fast.
@@ -133,7 +137,106 @@ func TestOptionsDefaults(t *testing.T) {
 	if o.Refs != 100_000 || o.Seed != 42 || len(o.Workloads) != 16 {
 		t.Errorf("defaults = %+v", o)
 	}
+	if o.Pool == nil {
+		t.Error("withDefaults must provide a pool")
+	}
 	if _, err := profilesFor(Options{Workloads: []string{"nope"}}); err == nil {
 		t.Error("unknown workload must error")
+	}
+}
+
+// TestOptionsExplicitZero: Seed 0 and Refs 0 are valid explicit choices;
+// the Set flags keep withDefaults from silently replacing them.
+func TestOptionsExplicitZero(t *testing.T) {
+	o := Options{SeedSet: true, RefsSet: true}.withDefaults()
+	if o.Seed != 0 {
+		t.Errorf("explicit seed 0 replaced with %d", o.Seed)
+	}
+	if o.Refs != 0 {
+		t.Errorf("explicit refs 0 replaced with %d", o.Refs)
+	}
+	// baseConfig must carry explicit zero refs past sim's own defaulting.
+	p, err := workload.ByName("redis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig(o, p, 0, 64<<10, 1.33, "ooo")
+	if cfg.Refs >= 0 {
+		t.Errorf("explicit zero refs not encoded as sentinel: %d", cfg.Refs)
+	}
+	r, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.L1Hits+r.L1Misses != 0 {
+		t.Errorf("zero-ref run touched the cache: %d hits, %d misses", r.L1Hits, r.L1Misses)
+	}
+	// Seed 0 must actually be seed 0: it differs from the default seed 42.
+	zero := baseConfig(o, p, 0, 64<<10, 1.33, "ooo")
+	zero.Refs = 5_000
+	def := zero
+	def.Seed = 42
+	rz, err := sim.Run(zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := sim.Run(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rz.Cycles == rd.Cycles && rz.L1Misses == rd.L1Misses {
+		t.Error("seed 0 produced the same run as seed 42; explicit zero likely dropped")
+	}
+}
+
+// TestParallelMatchesSerialTables: representative figures render
+// byte-identical tables whether the cells run serially or on many
+// workers — the determinism guarantee the whole harness rests on.
+func TestParallelMatchesSerialTables(t *testing.T) {
+	for _, id := range []string{"fig7", "fig12", "ablation-snoopy"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			render := func(parallel int) string {
+				o := tinyOpts()
+				o.Parallel = parallel
+				tb, err := Run(id, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return tb.String()
+			}
+			serial := render(1)
+			concurrent := render(4)
+			if serial != concurrent {
+				t.Errorf("%s: parallel table differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+					id, serial, concurrent)
+			}
+		})
+	}
+}
+
+// TestSharedPoolDedupesAcrossFigures: fig11 and energy-breakdown compare
+// against the same (64KB, 1.33GHz, OoO) cells; a shared pool runs each
+// distinct cell once.
+func TestSharedPoolDedupesAcrossFigures(t *testing.T) {
+	o := tinyOpts()
+	o.Pool = runner.New(2)
+	for _, id := range []string{"fig11", "energy-breakdown"} {
+		if _, err := Run(id, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := o.Pool.Stats()
+	if st.CacheHits == 0 {
+		t.Errorf("shared pool saw no cache hits across identical figures: %+v", st)
+	}
+	if st.Runs+st.CacheHits != st.Submitted {
+		t.Errorf("stats don't balance: %+v", st)
+	}
+	// The two figures submit identical cell sets, so the second is served
+	// entirely from cache.
+	if st.Runs != st.Submitted/2 {
+		t.Errorf("expected full dedup of the second figure: %+v", st)
 	}
 }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"seesaw/internal/runner"
 	"seesaw/internal/sim"
 	"seesaw/internal/stats"
 	"seesaw/internal/workload"
@@ -20,33 +21,43 @@ func ExtICache(o Options) (*stats.Table, error) {
 	if len(names) == len(workload.Names()) {
 		names = workload.CloudNames
 	}
-	t := stats.NewTable("Extension: SEESAW on the instruction cache (32KB L1I + 64KB L1D, 1.33GHz, OoO)",
-		"workload", "L1I MPKI", "perf % (D only)", "perf % (I+D)", "energy % (I+D)")
-	for _, name := range names {
+	type icCells struct{ baseI, seeI, baseD, seeD *runner.Future }
+	cells := make([]icCells, len(names))
+	for ni, name := range names {
 		p, err := workload.ByName(name)
 		if err != nil {
 			return nil, err
 		}
-		mk := func(kind sim.CacheKind, icache bool) (*sim.Report, error) {
+		submit := func(kind sim.CacheKind, icache bool) *runner.Future {
 			cfg := baseConfig(o, p, kind, 64<<10, 1.33, "ooo")
 			cfg.CacheKind = kind
 			cfg.ICache = icache
 			cfg.TextHuge = true
-			return sim.Run(cfg)
+			return o.Pool.Submit(cfg)
 		}
-		baseI, err := mk(sim.KindBaseline, true)
+		cells[ni] = icCells{
+			baseI: submit(sim.KindBaseline, true),
+			seeI:  submit(sim.KindSeesaw, true),
+			baseD: submit(sim.KindBaseline, false),
+			seeD:  submit(sim.KindSeesaw, false),
+		}
+	}
+	t := stats.NewTable("Extension: SEESAW on the instruction cache (32KB L1I + 64KB L1D, 1.33GHz, OoO)",
+		"workload", "L1I MPKI", "perf % (D only)", "perf % (I+D)", "energy % (I+D)")
+	for ni, name := range names {
+		baseI, err := cells[ni].baseI.Wait()
 		if err != nil {
 			return nil, err
 		}
-		seeI, err := mk(sim.KindSeesaw, true)
+		seeI, err := cells[ni].seeI.Wait()
 		if err != nil {
 			return nil, err
 		}
-		baseD, err := mk(sim.KindBaseline, false)
+		baseD, err := cells[ni].baseD.Wait()
 		if err != nil {
 			return nil, err
 		}
-		seeD, err := mk(sim.KindSeesaw, false)
+		seeD, err := cells[ni].seeD.Wait()
 		if err != nil {
 			return nil, err
 		}

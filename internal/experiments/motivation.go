@@ -8,6 +8,7 @@ import (
 	"seesaw/internal/cache"
 	"seesaw/internal/osmm"
 	"seesaw/internal/physmem"
+	"seesaw/internal/runner"
 	"seesaw/internal/sram"
 	"seesaw/internal/stats"
 	"seesaw/internal/workload"
@@ -25,18 +26,36 @@ func Fig2a(o Options) (*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Each (size, ways, workload) replay is an independent cell; fan them
+	// out on the pool, then reduce row-by-row in submission order.
+	tasks := make([][][]*runner.Task[float64], len(fig2Sizes))
+	for si, size := range fig2Sizes {
+		tasks[si] = make([][]*runner.Task[float64], len(sram.Assocs))
+		for wi, ways := range sram.Assocs {
+			if uint64(ways)*addr.LineSize > size {
+				continue
+			}
+			tasks[si][wi] = make([]*runner.Task[float64], len(profiles))
+			for pi, p := range profiles {
+				p, size, ways := p, size, ways
+				tasks[si][wi][pi] = runner.Go(o.Pool, func() (float64, error) {
+					return cacheOnlyMPKI(p, o.Seed, o.Refs, size, ways)
+				})
+			}
+		}
+	}
 	t := stats.NewTable("Fig 2a: average MPKI vs associativity",
 		"size", "DM", "2-way", "4-way", "8-way", "16-way", "32-way")
-	for _, size := range fig2Sizes {
+	for si, size := range fig2Sizes {
 		row := []string{fmt.Sprintf("%dKB", size>>10)}
-		for _, ways := range sram.Assocs {
-			if uint64(ways)*addr.LineSize > size {
+		for wi := range sram.Assocs {
+			if tasks[si][wi] == nil {
 				row = append(row, "-")
 				continue
 			}
 			var sum stats.Summary
-			for _, p := range profiles {
-				mpki, err := cacheOnlyMPKI(p, o.Seed, o.Refs, size, ways)
+			for _, task := range tasks[si][wi] {
+				mpki, err := task.Wait()
 				if err != nil {
 					return nil, err
 				}
@@ -123,12 +142,22 @@ func Fig3(o Options) (*stats.Table, error) {
 		return nil, err
 	}
 	hogs := []float64{0, 0.40, 0.60, 0.80}
+	tasks := make([][]*runner.Task[float64], len(profiles))
+	for pi, p := range profiles {
+		tasks[pi] = make([]*runner.Task[float64], len(hogs))
+		for hi, hog := range hogs {
+			p, hog := p, hog
+			tasks[pi][hi] = runner.Go(o.Pool, func() (float64, error) {
+				return coverageUnderFragmentation(p, o.Seed, hog)
+			})
+		}
+	}
 	t := stats.NewTable("Fig 3: % of footprint in 2MB superpages vs memhog",
 		"workload", "memhog(0%)", "memhog(40%)", "memhog(60%)", "memhog(80%)")
-	for _, p := range profiles {
+	for pi, p := range profiles {
 		row := []string{p.Name}
-		for _, hog := range hogs {
-			cov, err := coverageUnderFragmentation(p, o.Seed, hog)
+		for hi := range hogs {
+			cov, err := tasks[pi][hi].Wait()
 			if err != nil {
 				return nil, err
 			}

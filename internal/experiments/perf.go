@@ -19,18 +19,25 @@ func Fig7(o Options) (*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	cells := make([][]pair, len(profiles))
+	for pi, p := range profiles {
+		cells[pi] = make([]pair, len(perfSizes))
+		for si, size := range perfSizes {
+			cells[pi][si] = submitPair(o, baseConfig(o, p, 0, size, 1.33, "ooo"))
+		}
+	}
 	t := stats.NewTable("Fig 7: % runtime improvement, OoO @1.33GHz",
 		"workload", "32KB", "64KB", "128KB")
 	var avg [3]stats.Summary
-	for _, p := range profiles {
+	for pi, p := range profiles {
 		row := []string{p.Name}
-		for i, size := range perfSizes {
-			base, see, err := runPair(baseConfig(o, p, 0, size, 1.33, "ooo"))
+		for si := range perfSizes {
+			base, see, err := cells[pi][si].wait()
 			if err != nil {
 				return nil, err
 			}
 			imp := runtimeImprovement(base, see)
-			avg[i].Add(imp)
+			avg[si].Add(imp)
 			row = append(row, fmt.Sprintf("%.2f", imp))
 		}
 		t.AddRow(row...)
@@ -50,19 +57,30 @@ func improvementSweep(o Options, cpuKind string) (perf, energy *stats.Table, err
 	if err != nil {
 		return nil, nil, err
 	}
+	// Submit the full freq × size × workload fan-out before reducing.
+	cells := make([][][]pair, len(perfFreqs))
+	for fi, f := range perfFreqs {
+		cells[fi] = make([][]pair, len(perfSizes))
+		for si, size := range perfSizes {
+			cells[fi][si] = make([]pair, len(profiles))
+			for wi, p := range profiles {
+				cells[fi][si][wi] = submitPair(o, baseConfig(o, p, 0, size, f, cpuKind))
+			}
+		}
+	}
 	perf = stats.NewTable(
 		fmt.Sprintf("%% runtime improvement (%s core): avg [min..max] across workloads", cpuKind),
 		"freq", "32KB", "64KB", "128KB")
 	energy = stats.NewTable(
 		fmt.Sprintf("%% memory-hierarchy energy saved (%s core): avg [min..max]", cpuKind),
 		"freq", "32KB", "64KB", "128KB")
-	for _, f := range perfFreqs {
+	for fi, f := range perfFreqs {
 		perfRow := []string{fmt.Sprintf("%.2fGHz", f)}
 		enRow := []string{fmt.Sprintf("%.2fGHz", f)}
-		for _, size := range perfSizes {
+		for si := range perfSizes {
 			var ps, es stats.Summary
-			for _, p := range profiles {
-				base, see, err := runPair(baseConfig(o, p, 0, size, f, cpuKind))
+			for wi := range profiles {
+				base, see, err := cells[fi][si][wi].wait()
 				if err != nil {
 					return nil, nil, err
 				}

@@ -12,6 +12,7 @@ package osmm
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"seesaw/internal/addr"
 	"seesaw/internal/pagetable"
@@ -402,15 +403,23 @@ func (m *Manager) Promote(p *Process, va addr.VAddr) error {
 // attempts promotion, returning how many succeeded. This is the
 // khugepaged background pass.
 func (m *Manager) PromoteScan(p *Process, maxChunks int) int {
-	promoted := 0
+	// Scan candidates in address order: the chunk map's random iteration
+	// order must not decide which chunks get promoted when maxChunks caps
+	// the pass, or runs stop being reproducible.
+	cvas := make([]addr.VAddr, 0, len(p.chunks))
 	for cva, c := range p.chunks {
+		if !c.super && !c.noHuge && c.pages == 512 {
+			cvas = append(cvas, cva)
+		}
+	}
+	sort.Slice(cvas, func(i, j int) bool { return cvas[i] < cvas[j] })
+	promoted := 0
+	for _, cva := range cvas {
 		if promoted >= maxChunks {
 			break
 		}
-		if !c.super && !c.noHuge && c.pages == 512 {
-			if m.Promote(p, cva) == nil {
-				promoted++
-			}
+		if m.Promote(p, cva) == nil {
+			promoted++
 		}
 	}
 	return promoted

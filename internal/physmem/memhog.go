@@ -20,14 +20,35 @@ import (
 // hog's pages elsewhere, which is how OSes keep allocating superpages at
 // non-trivial fragmentation (paper Section III-C).
 type Memhog struct {
-	buddy  *Buddy
-	rng    *rand.Rand
-	pinned map[uint64]struct{} // frames still held
+	buddy *Buddy
+	rng   *rand.Rand
+	// The pinned frames form an indexed set: pinned maps a frame to its
+	// position in frames. Iterating frames (instead of the map) keeps
+	// Touch and Release deterministic — Go's map iteration order is
+	// random, and leaking it into the simulation makes runs with
+	// fragmentation irreproducible.
+	pinned map[uint64]int
+	frames []uint64
+	cursor int // next Touch position in frames
 
 	// Migrations counts pages moved by compaction.
 	Migrations uint64
 	// Compactions counts successful region vacations.
 	Compactions uint64
+}
+
+func (h *Memhog) pin(f uint64) {
+	h.pinned[f] = len(h.frames)
+	h.frames = append(h.frames, f)
+}
+
+func (h *Memhog) unpin(f uint64) {
+	i := h.pinned[f]
+	last := len(h.frames) - 1
+	h.frames[i] = h.frames[last]
+	h.pinned[h.frames[i]] = i
+	h.frames = h.frames[:last]
+	delete(h.pinned, f)
 }
 
 // Run fragments memory, pinning `fraction` of it. touch is the total
@@ -48,7 +69,7 @@ func Run(b *Buddy, rng *rand.Rand, fraction, touch float64) (*Memhog, error) {
 	if touch > 0.97 {
 		touch = 0.97
 	}
-	h := &Memhog{buddy: b, rng: rng, pinned: make(map[uint64]struct{})}
+	h := &Memhog{buddy: b, rng: rng, pinned: make(map[uint64]int)}
 	totalFrames := b.TotalBytes() / 4096
 	pinTarget := uint64(float64(totalFrames) * fraction)
 	allocTarget := uint64(float64(totalFrames) * touch)
@@ -72,35 +93,43 @@ func Run(b *Buddy, rng *rand.Rand, fraction, touch float64) (*Memhog, error) {
 		}
 	}
 	for _, f := range frames[:keep] {
-		h.pinned[f] = struct{}{}
+		h.pin(f)
 	}
 	return h, nil
 }
 
 // PinnedBytes returns how much memory the hog still holds.
-func (h *Memhog) PinnedBytes() uint64 { return uint64(len(h.pinned)) * 4096 }
+func (h *Memhog) PinnedBytes() uint64 { return uint64(len(h.frames)) * 4096 }
 
 // Release frees every pinned page, undoing the fragmentation pressure
 // (free blocks coalesce again).
 func (h *Memhog) Release() error {
-	for f := range h.pinned {
+	for _, f := range h.frames {
 		if err := h.buddy.FreeOrder(f, Order4K); err != nil {
 			return err
 		}
 	}
-	h.pinned = make(map[uint64]struct{})
+	h.pinned = make(map[uint64]int)
+	h.frames = nil
+	h.cursor = 0
 	return nil
 }
 
 // Touch returns the physical addresses of up to n pinned pages; the
-// simulator uses them to generate memhog's background memory traffic.
+// simulator uses them to generate memhog's background memory traffic. A
+// cursor walks the pinned set so successive calls spread the traffic
+// across the hog's footprint, deterministically.
 func (h *Memhog) Touch(n int) []addr.PAddr {
+	if n > len(h.frames) {
+		n = len(h.frames)
+	}
 	out := make([]addr.PAddr, 0, n)
-	for f := range h.pinned {
-		if len(out) >= n {
-			break
+	for k := 0; k < n; k++ {
+		if h.cursor >= len(h.frames) {
+			h.cursor = 0
 		}
-		out = append(out, addr.PAddr(f*4096))
+		out = append(out, addr.PAddr(h.frames[h.cursor]*4096))
+		h.cursor++
 	}
 	return out
 }
@@ -141,7 +170,12 @@ func (h *Memhog) Compact(order int) bool {
 	bestMovable := blockFrames + 1
 	found := false
 	for region, c := range cands {
-		if c.free+c.movable == blockFrames && c.movable < bestMovable {
+		if c.free+c.movable != blockFrames {
+			continue
+		}
+		// Fully ordered pick (fewest migrations, then lowest region) so
+		// the map's random iteration order cannot leak into the result.
+		if c.movable < bestMovable || (c.movable == bestMovable && region < best) {
 			best, bestMovable, found = region, c.movable, true
 		}
 	}
@@ -189,8 +223,8 @@ func (h *Memhog) Compact(order int) bool {
 			return false
 		}
 		moved = append(moved, nf)
-		delete(h.pinned, f)
-		h.pinned[nf] = struct{}{}
+		h.unpin(f)
+		h.pin(nf)
 		h.Migrations++
 	}
 	// Step 3: release the whole region; the buddy coalesces it back into

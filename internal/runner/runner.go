@@ -1,0 +1,173 @@
+// Package runner executes independent simulation cells on a bounded
+// worker pool and reduces their results deterministically. Every figure,
+// table, and sweep of the evaluation is a fan-out of independent
+// sim.Config cells followed by an order-sensitive reduction into a
+// stats.Table; the pool runs the fan-out on up to GOMAXPROCS workers
+// while callers await futures in submission order, so the reduced output
+// is byte-identical to a serial run of the same cells with the same seed
+// (sim.Run is deterministic and shares no state between runs).
+//
+// The pool also carries a keyed result cache: two submissions of an
+// identical cell share one execution. The evaluation re-runs the same
+// baseline-VIPT cell once per figure that compares against it; with one
+// pool shared across figures (as cmd/seesaw-figures does) each distinct
+// cell runs exactly once. Cached reports are shared between callers and
+// must be treated as immutable.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"seesaw/internal/sim"
+)
+
+// Task is the handle to one asynchronously running cell. Awaiting tasks
+// in submission order yields a deterministic reduction regardless of how
+// workers interleave the executions.
+type Task[T any] struct {
+	done chan struct{}
+	val  T
+	err  error
+}
+
+// Wait blocks until the cell finishes and returns its result.
+func (t *Task[T]) Wait() (T, error) {
+	<-t.done
+	return t.val, t.err
+}
+
+// Future is the handle to a submitted simulation cell.
+type Future = Task[*sim.Report]
+
+// Stats counts the pool's scheduling outcomes.
+type Stats struct {
+	// Submitted is the number of cells handed to Submit.
+	Submitted uint64
+	// Runs is the number of cells actually executed.
+	Runs uint64
+	// CacheHits is the number of submissions answered by a previously
+	// submitted identical cell.
+	CacheHits uint64
+}
+
+// Pool schedules independent cells onto at most Workers concurrent
+// executions. The zero Pool is not usable; construct with New. A pool
+// with one worker executes cells inline at submission time, restoring
+// the exact serial execution order of the pre-pool harness.
+type Pool struct {
+	workers int
+	sem     chan struct{}
+	run     func(sim.Config) (*sim.Report, error)
+
+	mu    sync.Mutex
+	cells map[string]*Future
+	stats Stats
+}
+
+// New returns a pool with the given worker count; workers <= 0 selects
+// runtime.GOMAXPROCS(0).
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{
+		workers: workers,
+		sem:     make(chan struct{}, workers),
+		run:     sim.Run,
+		cells:   make(map[string]*Future),
+	}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// Stats returns a snapshot of the scheduling counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Submit schedules one simulation and returns its future immediately.
+// Identical configs share a single execution and report; a config
+// carrying a replay trace is never cached (the trace slice is not part
+// of the key).
+func (p *Pool) Submit(cfg sim.Config) *Future {
+	key, cacheable := cellKey(cfg)
+	p.mu.Lock()
+	p.stats.Submitted++
+	if cacheable {
+		if f, ok := p.cells[key]; ok {
+			p.stats.CacheHits++
+			p.mu.Unlock()
+			return f
+		}
+	}
+	f := &Future{done: make(chan struct{})}
+	if cacheable {
+		p.cells[key] = f
+	}
+	p.mu.Unlock()
+	schedule(p, f, func() (*sim.Report, error) {
+		p.mu.Lock()
+		p.stats.Runs++
+		p.mu.Unlock()
+		return p.run(cfg)
+	})
+	return f
+}
+
+// Pair submits the baseline-VIPT and SEESAW variants of one config —
+// the comparison shape every figure uses. Baseline futures dedupe across
+// every figure that compares against the same baseline cell.
+func (p *Pool) Pair(cfg sim.Config) (base, see *Future) {
+	b := cfg
+	b.CacheKind = sim.KindBaseline
+	s := cfg
+	s.CacheKind = sim.KindSeesaw
+	return p.Submit(b), p.Submit(s)
+}
+
+// Go schedules an arbitrary cell (a cache-only replay, a coverage
+// computation) on the same workers as the simulation cells. Tasks share
+// the pool's concurrency bound but not its result cache.
+func Go[T any](p *Pool, fn func() (T, error)) *Task[T] {
+	t := &Task[T]{done: make(chan struct{})}
+	schedule(p, t, fn)
+	return t
+}
+
+// schedule runs fn under the pool's worker bound and completes t. With
+// one worker it runs inline so submission order is execution order.
+func schedule[T any](p *Pool, t *Task[T], fn func() (T, error)) {
+	if p.workers == 1 {
+		t.val, t.err = fn()
+		close(t.done)
+		return
+	}
+	go func() {
+		p.sem <- struct{}{}
+		defer func() { <-p.sem }()
+		t.val, t.err = fn()
+		close(t.done)
+	}()
+}
+
+// cellKey derives the cache key for a config. Configs replaying an
+// explicit trace are not cacheable: the trace contents are not folded
+// into the key. The co-runner profile is dereferenced so the key depends
+// on its value, not its address.
+func cellKey(cfg sim.Config) (string, bool) {
+	if cfg.Trace != nil {
+		return "", false
+	}
+	co := ""
+	if cfg.CoRunner != nil {
+		co = fmt.Sprintf("%+v", *cfg.CoRunner)
+	}
+	c := cfg
+	c.CoRunner = nil
+	return fmt.Sprintf("%+v|co=%s", c, co), true
+}

@@ -55,7 +55,11 @@ func (k CacheKind) String() string {
 type Config struct {
 	Workload workload.Profile
 	Seed     int64
-	// Refs is the number of memory references to replay.
+	// Refs is the number of memory references to replay (0 defaults to
+	// 200k). A negative value means an explicit zero: replay nothing and
+	// report an empty timeline — the escape hatch callers whose own zero
+	// value must mean "default" (experiments.Options, cmd flags) use to
+	// express a genuine zero.
 	Refs int
 	// Trace, when non-nil, replays these pre-recorded references (e.g.
 	// from cmd/seesaw-tracegen) instead of generating them online. The
@@ -144,6 +148,8 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Refs == 0 {
 		c.Refs = 200_000
+	} else if c.Refs < 0 {
+		c.Refs = 0
 	}
 	if c.Trace != nil && c.Refs > len(c.Trace) {
 		c.Refs = len(c.Trace)

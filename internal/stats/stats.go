@@ -78,17 +78,24 @@ func PctImprovement(base, new float64) float64 {
 	return 100 * (base - new) / base
 }
 
-// GeoMean returns the geometric mean of xs (all must be > 0); it returns 0
-// for an empty slice.
+// GeoMean returns the geometric mean of the positive values in xs.
+// Non-positive values — a degenerate cell's zero cycles, a failed ratio —
+// are skipped rather than poisoning the whole mean with NaN or -Inf, so
+// one bad cell cannot corrupt a summary row. It returns 0 when no
+// positive values remain.
 func GeoMean(xs []float64) float64 {
-	if len(xs) == 0 {
+	logSum, n := 0.0, 0
+	for _, x := range xs {
+		if x <= 0 {
+			continue
+		}
+		logSum += math.Log(x)
+		n++
+	}
+	if n == 0 {
 		return 0
 	}
-	logSum := 0.0
-	for _, x := range xs {
-		logSum += math.Log(x)
-	}
-	return math.Exp(logSum / float64(len(xs)))
+	return math.Exp(logSum / float64(n))
 }
 
 // Histogram counts integer-valued samples in fixed-width buckets, with an

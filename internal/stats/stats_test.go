@@ -78,6 +78,24 @@ func TestGeoMean(t *testing.T) {
 	}
 }
 
+// TestGeoMeanDegenerate: zero or negative inputs (a workload with no
+// improvement, or a regression expressed as a negative ratio) must not
+// poison the mean with NaN or -Inf; they are skipped.
+func TestGeoMeanDegenerate(t *testing.T) {
+	got := GeoMean([]float64{0, -3, 2, 8})
+	if math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean(0,-3,2,8) = %v, want 4 (non-positive inputs skipped)", got)
+	}
+	if got := GeoMean([]float64{0, -1}); got != 0 {
+		t.Errorf("GeoMean of all non-positive inputs = %v, want 0", got)
+	}
+	for _, xs := range [][]float64{{0}, {-1, -2}, {0, 5}, {1e-300, 1e300}} {
+		if v := GeoMean(xs); math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("GeoMean(%v) = %v, want finite", xs, v)
+		}
+	}
+}
+
 func TestHistogram(t *testing.T) {
 	h := NewHistogram(10, 4)
 	for _, x := range []uint64{0, 9, 10, 35, 39, 40, 1000} {
