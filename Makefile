@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench verify
+.PHONY: build vet test race bench chaos verify
 
 build:
 	$(GO) build ./...
@@ -19,4 +19,10 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
-verify: build vet test race
+# The chaos gate runs every fault-injection schedule against every cache
+# design with the online invariant checker enabled; any violation or
+# crashed cell fails the target (non-zero exit from seesaw-sweep).
+chaos:
+	$(GO) run ./cmd/seesaw-sweep -chaos -workloads redis,mcf -refs 6000 -fault-every 500
+
+verify: build vet test race chaos

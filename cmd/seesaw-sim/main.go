@@ -7,6 +7,7 @@
 //	seesaw-sim -workload redis -cache seesaw -size 64 -freq 1.33
 //	seesaw-sim -workload olio -cache baseline -cpu inorder -memhog 0.6
 //	seesaw-sim -workload cann -cache seesaw -waypredict -refs 500000
+//	seesaw-sim -workload redis -faults mix -check
 package main
 
 import (
@@ -14,8 +15,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"seesaw/internal/core"
+	"seesaw/internal/faults"
 	"seesaw/internal/runner"
 	"seesaw/internal/sim"
 	"seesaw/internal/stats"
@@ -49,6 +52,11 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit the report as JSON instead of text")
 		profile   = flag.String("profile", "", "load a custom workload profile from a JSON file (overrides -workload)")
 		parallel  = flag.Int("parallel", 0, "simulation cells to run concurrently (0 = GOMAXPROCS, 1 = serial); affects -compare")
+
+		faultsFlag = flag.String("faults", "", "inject a deterministic fault schedule: "+strings.Join(faults.Schedules(), ", "))
+		faultEvery = flag.Int("fault-every", 0, "references between injected faults (0 = schedule default)")
+		faultSeed  = flag.Int64("fault-seed", 0, "fault injector seed (0 = derive from -seed)")
+		check      = flag.Bool("check", false, "run the online invariant checker (shadow oracle); exit 1 on any violation")
 	)
 	flag.Parse()
 
@@ -79,20 +87,26 @@ func main() {
 		fatal(fmt.Errorf("unknown cache design %q", *cacheStr))
 	}
 	cfg := sim.Config{
-		Workload:       p,
-		Seed:           *seed,
-		Refs:           *refs,
-		CacheKind:      kind,
-		L1Size:         *sizeKB << 10,
-		L1Ways:         *ways,
-		FreqGHz:        *freq,
-		CPUKind:        *cpuKind,
-		MemhogFraction: *memhog,
-		THPOff:         *thpOff,
-		WayPredict:     *wayPred,
-		Heap1G:         *heap1G,
-		ICache:         *icache,
-		TextHuge:       *textHuge,
+		Workload:        p,
+		Seed:            *seed,
+		Refs:            *refs,
+		CacheKind:       kind,
+		L1Size:          *sizeKB << 10,
+		L1Ways:          *ways,
+		FreqGHz:         *freq,
+		CPUKind:         *cpuKind,
+		MemhogFraction:  *memhog,
+		THPOff:          *thpOff,
+		WayPredict:      *wayPred,
+		Heap1G:          *heap1G,
+		ICache:          *icache,
+		TextHuge:        *textHuge,
+		CheckInvariants: *check,
+	}
+	if *faultsFlag != "" {
+		cfg.Faults = &faults.Config{Schedule: *faultsFlag, Every: *faultEvery, Seed: *faultSeed}
+	} else if *faultEvery != 0 || *faultSeed != 0 {
+		fatalUsage(fmt.Errorf("-fault-every/-fault-seed need -faults"))
 	}
 	if *coRunner != "" {
 		co, err := workload.ByName(*coRunner)
@@ -125,6 +139,9 @@ func main() {
 		}
 		cfg.Trace = recs
 	}
+	if err := cfg.Validate(); err != nil {
+		fatalUsage(err)
+	}
 	// Run the main cell and (with -compare) the baseline concurrently.
 	pool := runner.New(*parallel)
 	fut := pool.Submit(cfg)
@@ -144,6 +161,7 @@ func main() {
 		if err := enc.Encode(r); err != nil {
 			fatal(err)
 		}
+		exitOnViolations(r)
 		return
 	}
 	printReport(r)
@@ -157,6 +175,16 @@ func main() {
 			stats.PctImprovement(float64(base.Cycles), float64(r.Cycles)))
 		fmt.Printf("  energy saving:       %.2f%%\n",
 			stats.PctImprovement(base.EnergyTotalNJ, r.EnergyTotalNJ))
+	}
+	exitOnViolations(r)
+}
+
+// exitOnViolations makes invariant violations a hard failure: the run's
+// numbers are untrustworthy, so scripts must see a non-zero exit.
+func exitOnViolations(r *sim.Report) {
+	if r.Check != nil && r.Check.Violations > 0 {
+		fmt.Fprintf(os.Stderr, "seesaw-sim: %d invariant violation(s) detected\n", r.Check.Violations)
+		os.Exit(1)
 	}
 }
 
@@ -175,12 +203,25 @@ func printReport(r *sim.Report) {
 	if r.TFT.Lookups > 0 {
 		fmt.Printf("TFT:       %.1f%% hit rate; %.2f%% of superpage accesses missed (%.2f%% L1-hit / %.2f%% L1-miss)\n",
 			100*r.TFT.HitRate, r.TFT.SuperMissedPct, r.TFT.SuperMissedL1HitPct, r.TFT.SuperMissedL1MissPct)
+		fmt.Printf("TFT evts:  %d fills, %d invalidations, %d flushes, %d stale hits avoided\n",
+			r.TFT.Fills, r.TFT.Invalidations, r.TFT.Flushes, r.TFT.StaleHitsAvoided)
 	}
 	fmt.Printf("TLB:       %.2f%% L1 hit, %d L2 lookups, %d walks\n",
 		100*r.TLB.L1HitRate, r.TLB.L2Lookups, r.TLB.Walks)
 	fmt.Printf("coherence: %d probes, %d invalidations, %d downgrades\n",
 		r.Coh.ProbesSent, r.Coh.Invalidations, r.Coh.Downgrades)
 	fmt.Printf("OS:        %d promotions, %d splinters\n", r.Promotions, r.Splinters)
+	if r.Faults != nil {
+		fmt.Printf("faults:    %d injected (%d splinters, %d shootdowns, %d ctx switches, %d promote storms, %d memhog spikes), %d skipped\n",
+			r.Faults.Injected, r.Faults.Splinters, r.Faults.Shootdowns,
+			r.Faults.ContextSwitches, r.Faults.PromoteStorms, r.Faults.MemhogSpikes, r.Faults.Skipped)
+	}
+	if r.Check != nil {
+		fmt.Printf("check:     %d invariant checks, %d violations\n", r.Check.Checks, r.Check.Violations)
+		for _, v := range r.Check.Sample {
+			fmt.Printf("  VIOLATION %s\n", v.String())
+		}
+	}
 	if r.WPAccuracy > 0 {
 		fmt.Printf("waypred:   %.1f%% accuracy\n", 100*r.WPAccuracy)
 	}
@@ -191,4 +232,11 @@ func printReport(r *sim.Report) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "seesaw-sim:", err)
 	os.Exit(1)
+}
+
+// fatalUsage reports a configuration error: exit code 2, distinguishing
+// "you asked for something impossible" from a failed run.
+func fatalUsage(err error) {
+	fmt.Fprintln(os.Stderr, "seesaw-sim:", err)
+	os.Exit(2)
 }

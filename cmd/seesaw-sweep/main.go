@@ -5,19 +5,30 @@
 // baseline VIPT of the same size — the tool a designer would use to pick
 // the paper's "number of ways in each partition" (Section IV-B4).
 //
+// With -chaos it becomes a correctness harness instead: every cache
+// design runs under every fault-injection schedule with the online
+// invariant checker enabled, and violations are first-class results.
+// Cells that panic or time out are reported and the sweep finishes with
+// partial results and a non-zero exit, rather than dying.
+//
 // Examples:
 //
 //	seesaw-sweep -workloads redis,nutch -refs 50000
 //	seesaw-sweep -sizes 64 -freqs 1.33,4.0 -csv
-//	seesaw-sweep -parallel 8
+//	seesaw-sweep -parallel 8 -cell-timeout 5m -retries 1
+//	seesaw-sweep -chaos -workloads redis,mcf -refs 6000 -fault-every 500
+//	seesaw-sweep -faults mix -check -refs 20000
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
 	"seesaw/internal/cliutil"
+	"seesaw/internal/faults"
 	"seesaw/internal/runner"
 	"seesaw/internal/sim"
 	"seesaw/internal/stats"
@@ -32,8 +43,8 @@ type design struct {
 	smallTLB   bool
 }
 
-// sweepOptions carries everything sweepTable needs, so tests can drive
-// the sweep without going through flag parsing.
+// sweepOptions carries everything sweepTable/chaosTable need, so tests
+// can drive the sweeps without going through flag parsing.
 type sweepOptions struct {
 	profiles []workload.Profile
 	sizesKB  []float64
@@ -41,6 +52,55 @@ type sweepOptions struct {
 	refs     int
 	seed     int64
 	parallel int
+
+	// faults injects a schedule into every cell (nil = no injection);
+	// chaosTable overrides the schedule name per row.
+	faults *faults.Config
+	// check enables the online invariant checker in every cell.
+	check bool
+	// timeout and retries harden the pool: per-cell wall-clock budget
+	// and re-execution attempts for panicking or timed-out cells.
+	timeout time.Duration
+	retries int
+	// pool overrides the runner pool (tests inject failing cells).
+	pool *runner.Pool
+}
+
+// newPool builds the hardened pool the sweep runs on.
+func (o sweepOptions) newPool() *runner.Pool {
+	if o.pool != nil {
+		return o.pool
+	}
+	return runner.New(o.parallel).WithTimeout(o.timeout).WithRetries(o.retries)
+}
+
+// failure records one cell that did not produce a report.
+type failure struct {
+	cell string
+	err  error
+}
+
+// sub pairs a submitted future with its cell identity for failure
+// reporting.
+type sub struct {
+	fut  *runner.Future
+	desc string
+}
+
+// collector awaits futures in submission order, recording failures
+// instead of aborting: the sweep degrades to partial results.
+type collector struct {
+	fails []failure
+}
+
+// wait returns the cell's report, or nil after recording its failure.
+func (c *collector) wait(s sub) *sim.Report {
+	r, err := s.fut.Wait()
+	if err != nil {
+		c.fails = append(c.fails, failure{cell: s.desc, err: err})
+		return nil
+	}
+	return r
 }
 
 func main() {
@@ -52,47 +112,110 @@ func main() {
 		seed     = flag.Int64("seed", 42, "deterministic seed")
 		csv      = flag.Bool("csv", false, "emit CSV")
 		parallel = flag.Int("parallel", 0, "simulation cells to run concurrently (0 = GOMAXPROCS, 1 = serial)")
+
+		chaos = flag.Bool("chaos", false,
+			"chaos mode: every cache design under every fault schedule with the invariant checker on")
+		faultsFlag = flag.String("faults", "",
+			"inject a fault schedule into every cell: "+strings.Join(faults.Schedules(), ", "))
+		faultEvery = flag.Int("fault-every", 0, "references between injected faults (0 = schedule default)")
+		faultSeed  = flag.Int64("fault-seed", 0, "fault injector seed (0 = derive per cell from -seed)")
+		check      = flag.Bool("check", false, "run the online invariant checker in every cell")
+
+		cellTimeout = flag.Duration("cell-timeout", 0, "wall-clock budget per cell, e.g. 5m (0 = unbounded)")
+		retries     = flag.Int("retries", 0, "re-execution attempts for panicking or timed-out cells")
 	)
 	flag.Parse()
 
-	o := sweepOptions{refs: *refs, seed: *seed, parallel: *parallel}
+	o := sweepOptions{
+		refs: *refs, seed: *seed, parallel: *parallel,
+		check: *check, timeout: *cellTimeout, retries: *retries,
+	}
 	names, err := cliutil.SplitList(*wls)
 	if err != nil {
-		fatal(fmt.Errorf("-workloads: %w", err))
+		fatalUsage(fmt.Errorf("-workloads: %w", err))
 	}
 	for _, n := range names {
 		p, err := workload.ByName(n)
 		if err != nil {
-			fatal(err)
+			fatalUsage(err)
 		}
 		o.profiles = append(o.profiles, p)
 	}
 	if o.sizesKB, err = cliutil.ParseFloats(*sizes); err != nil {
-		fatal(fmt.Errorf("-sizes: %w", err))
+		fatalUsage(fmt.Errorf("-sizes: %w", err))
 	}
 	if o.freqs, err = cliutil.ParseFloats(*freqs); err != nil {
-		fatal(fmt.Errorf("-freqs: %w", err))
+		fatalUsage(fmt.Errorf("-freqs: %w", err))
 	}
 	if o.refs == 0 {
 		o.refs = -1 // explicit -refs 0: run zero references, not the sim default
 	}
+	if *faultsFlag != "" {
+		o.faults = &faults.Config{Schedule: *faultsFlag, Every: *faultEvery, Seed: *faultSeed}
+		if err := o.faults.Validate(); err != nil {
+			fatalUsage(err)
+		}
+	} else if *chaos {
+		// chaosTable fills the schedule per row; carry the knobs.
+		o.faults = &faults.Config{Every: *faultEvery, Seed: *faultSeed}
+	} else if *faultEvery != 0 || *faultSeed != 0 {
+		fatalUsage(fmt.Errorf("-fault-every/-fault-seed need -faults or -chaos"))
+	}
 
-	t, err := sweepTable(o)
+	if *chaos {
+		tb, fails, violations, err := chaosTable(o)
+		if err != nil {
+			fatal(err)
+		}
+		writeTable(tb, *csv)
+		reportFailures(fails)
+		if violations > 0 {
+			fmt.Fprintf(os.Stderr, "seesaw-sweep: %d invariant violation(s) — reproduce any cell with seesaw-sim -check -faults <schedule> -seed %d\n",
+				violations, o.seed)
+		}
+		if violations > 0 || len(fails) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	tb, fails, err := sweepTable(o)
 	if err != nil {
 		fatal(err)
 	}
-	if *csv {
+	writeTable(tb, *csv)
+	reportFailures(fails)
+	if len(fails) > 0 {
+		os.Exit(1)
+	}
+}
+
+func writeTable(t *stats.Table, csv bool) {
+	if csv {
 		fmt.Print(t.CSV())
 		return
 	}
 	t.WriteTo(os.Stdout)
 }
 
+// reportFailures summarizes failed cells on stderr with enough context
+// (workload, design, seed) to re-run each one in isolation.
+func reportFailures(fails []failure) {
+	if len(fails) == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "seesaw-sweep: %d cell(s) failed; results above are partial:\n", len(fails))
+	for _, f := range fails {
+		fmt.Fprintf(os.Stderr, "  %s: %v\n", f.cell, f.err)
+	}
+}
+
 // sweepTable runs the full sweep through a runner.Pool: every cell is
 // submitted up front and results are reduced in submission order, so the
-// table is byte-identical for any worker count.
-func sweepTable(o sweepOptions) (*stats.Table, error) {
-	pool := runner.New(o.parallel)
+// table is byte-identical for any worker count. Failed cells are
+// recorded and their rows marked, never fatal.
+func sweepTable(o sweepOptions) (*stats.Table, []failure, error) {
+	pool := o.newPool()
 	designsFor := func(ways int) []design {
 		ds := []design{{name: "VIPT (baseline)", kind: sim.KindBaseline}}
 		for parts := 2; parts <= ways/2; parts *= 2 {
@@ -107,8 +230,8 @@ func sweepTable(o sweepOptions) (*stats.Table, error) {
 	// future per (design, workload). The pool dedupes the baseline design
 	// against its reference runs.
 	type cell struct {
-		bases   []*runner.Future   // per workload
-		designs [][]*runner.Future // [design][workload]
+		bases   []sub   // per workload
+		designs [][]sub // [design][workload]
 	}
 	cells := make([][]cell, len(o.sizesKB))
 	for si, szKB := range o.sizesKB {
@@ -117,9 +240,9 @@ func sweepTable(o sweepOptions) (*stats.Table, error) {
 		designs := designsFor(ways)
 		cells[si] = make([]cell, len(o.freqs))
 		for fi, f := range o.freqs {
-			c := cell{designs: make([][]*runner.Future, len(designs))}
+			c := cell{designs: make([][]sub, len(designs))}
 			for _, p := range o.profiles {
-				c.bases = append(c.bases, submit(pool, p, o.seed, o.refs, sim.KindBaseline, size, ways, 0, f, 0, false))
+				c.bases = append(c.bases, submit(pool, o, p, sim.KindBaseline, size, ways, 0, f, 0, false))
 			}
 			for di, d := range designs {
 				dw := ways
@@ -128,7 +251,7 @@ func sweepTable(o sweepOptions) (*stats.Table, error) {
 				}
 				for _, p := range o.profiles {
 					c.designs[di] = append(c.designs[di],
-						submit(pool, p, o.seed, o.refs, d.kind, size, dw, d.partitions, f, d.serialTLB, d.smallTLB))
+						submit(pool, o, p, d.kind, size, dw, d.partitions, f, d.serialTLB, d.smallTLB))
 				}
 			}
 			cells[si][fi] = c
@@ -137,56 +260,152 @@ func sweepTable(o sweepOptions) (*stats.Table, error) {
 	// Reduce phase, in the exact order the serial tool emitted rows.
 	t := stats.NewTable("L1 design-space sweep (improvements vs same-size baseline VIPT, avg across workloads)",
 		"size", "freq", "design", "perf %", "energy %", "IPC")
+	var col collector
 	for si, szKB := range o.sizesKB {
 		size := uint64(szKB) << 10
 		ways := int(size / (16 << 10) * 4)
 		designs := designsFor(ways)
 		for fi, f := range o.freqs {
 			c := cells[si][fi]
-			var basePerf, baseEnergy []float64
-			for _, fut := range c.bases {
-				r, err := fut.Wait()
-				if err != nil {
-					return nil, err
-				}
-				basePerf = append(basePerf, float64(r.Cycles))
-				baseEnergy = append(baseEnergy, r.EnergyTotalNJ)
+			bases := make([]*sim.Report, len(c.bases))
+			for wi, s := range c.bases {
+				bases[wi] = col.wait(s)
 			}
 			for di, d := range designs {
 				var ps, es, ipc stats.Summary
+				compared := 0
 				for wi := range o.profiles {
-					r, err := c.designs[di][wi].Wait()
-					if err != nil {
-						return nil, err
+					r := col.wait(c.designs[di][wi])
+					if r == nil {
+						continue
 					}
-					ps.Add(stats.PctImprovement(basePerf[wi], float64(r.Cycles)))
-					es.Add(stats.PctImprovement(baseEnergy[wi], r.EnergyTotalNJ))
 					ipc.Add(r.IPC)
+					if bases[wi] == nil {
+						continue
+					}
+					ps.Add(stats.PctImprovement(float64(bases[wi].Cycles), float64(r.Cycles)))
+					es.Add(stats.PctImprovement(bases[wi].EnergyTotalNJ, r.EnergyTotalNJ))
+					compared++
+				}
+				perf, en := "failed", "failed"
+				if compared > 0 {
+					perf = fmt.Sprintf("%.2f", ps.Mean())
+					en = fmt.Sprintf("%.2f", es.Mean())
+				}
+				ipcCell := "failed"
+				if ipc.N() > 0 {
+					ipcCell = fmt.Sprintf("%.3f", ipc.Mean())
 				}
 				t.AddRow(
 					fmt.Sprintf("%.0fKB", szKB),
 					fmt.Sprintf("%.2fGHz", f),
 					d.name,
-					fmt.Sprintf("%.2f", ps.Mean()),
-					fmt.Sprintf("%.2f", es.Mean()),
-					fmt.Sprintf("%.3f", ipc.Mean()),
+					perf, en, ipcCell,
 				)
 			}
 		}
 	}
-	return t, nil
+	return t, col.fails, nil
 }
 
-func submit(pool *runner.Pool, p workload.Profile, seed int64, refs int, kind sim.CacheKind, size uint64, ways, parts int, freq float64, serialTLB int, smallTLB bool) *runner.Future {
-	return pool.Submit(sim.Config{
-		Workload: p, Seed: seed, Refs: refs,
+// chaosTable is the -chaos sweep: every cache design under every fault
+// schedule with the invariant checker forced on. Violations and failed
+// cells are the results. Physical memory is pre-fragmented so promotion
+// storms have base chunks to work on and compaction is exercised.
+func chaosTable(o sweepOptions) (*stats.Table, []failure, uint64, error) {
+	pool := o.newPool()
+	designs := []design{
+		{name: "VIPT (baseline)", kind: sim.KindBaseline},
+		{name: "SEESAW", kind: sim.KindSeesaw},
+		{name: "PIPT (small TLB)", kind: sim.KindPIPT, serialTLB: 2, smallTLB: true},
+	}
+	schedules := faults.Schedules()
+	every, fseed := 0, int64(0)
+	if o.faults != nil {
+		every, fseed = o.faults.Every, o.faults.Seed
+	}
+	// Submit phase: subs[si][di][wi].
+	subs := make([][][]sub, len(schedules))
+	for si, sched := range schedules {
+		subs[si] = make([][]sub, len(designs))
+		for di, d := range designs {
+			for _, p := range o.profiles {
+				cfg := sim.Config{
+					Workload: p, Seed: o.seed, Refs: o.refs,
+					CacheKind: d.kind, L1Size: 32 << 10, Partitions: d.partitions,
+					SerialTLBCycles: d.serialTLB, SmallTLB: d.smallTLB,
+					FreqGHz: 1.33, CPUKind: "ooo", MemBytes: 512 << 20,
+					MemhogFraction:  0.4,
+					CheckInvariants: true,
+					Faults:          &faults.Config{Schedule: sched, Every: every, Seed: fseed},
+				}
+				if d.kind == sim.KindPIPT {
+					cfg.L1Ways = 4
+				}
+				subs[si][di] = append(subs[si][di], sub{pool.Submit(cfg), runner.Describe(cfg) + " faults=" + sched})
+			}
+		}
+	}
+	// Reduce phase.
+	t := stats.NewTable("Chaos sweep (fault schedules x designs, online invariant checking)",
+		"schedule", "design", "cells", "faults", "checks", "violations", "failures")
+	var col collector
+	var totalViolations uint64
+	for si, sched := range schedules {
+		for di, d := range designs {
+			var cellsOK, failed int
+			var injected, checks, violations uint64
+			for _, s := range subs[si][di] {
+				r := col.wait(s)
+				if r == nil {
+					failed++
+					continue
+				}
+				cellsOK++
+				if r.Faults != nil {
+					injected += r.Faults.Injected
+				}
+				if r.Check != nil {
+					checks += r.Check.Checks
+					violations += r.Check.Violations
+				}
+			}
+			totalViolations += violations
+			t.AddRow(sched, d.name,
+				fmt.Sprintf("%d", cellsOK),
+				fmt.Sprintf("%d", injected),
+				fmt.Sprintf("%d", checks),
+				fmt.Sprintf("%d", violations),
+				fmt.Sprintf("%d", failed),
+			)
+		}
+	}
+	return t, col.fails, totalViolations, nil
+}
+
+func submit(pool *runner.Pool, o sweepOptions, p workload.Profile, kind sim.CacheKind, size uint64, ways, parts int, freq float64, serialTLB int, smallTLB bool) sub {
+	cfg := sim.Config{
+		Workload: p, Seed: o.seed, Refs: o.refs,
 		CacheKind: kind, L1Size: size, L1Ways: ways, Partitions: parts,
 		SerialTLBCycles: serialTLB, SmallTLB: smallTLB,
 		FreqGHz: freq, CPUKind: "ooo", MemBytes: 512 << 20,
-	})
+		CheckInvariants: o.check,
+	}
+	if o.faults != nil && o.faults.Schedule != "" {
+		fc := *o.faults
+		cfg.Faults = &fc
+	}
+	return sub{pool.Submit(cfg), runner.Describe(cfg)}
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "seesaw-sweep:", err)
 	os.Exit(1)
+}
+
+// fatalUsage reports a configuration error: exit code 2, distinguishing
+// "you asked for something impossible" from a failed run.
+func fatalUsage(err error) {
+	fmt.Fprintln(os.Stderr, "seesaw-sweep:", err)
+	os.Exit(2)
 }

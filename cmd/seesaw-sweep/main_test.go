@@ -1,10 +1,13 @@
 package main
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
 	"seesaw/internal/cliutil"
+	"seesaw/internal/runner"
+	"seesaw/internal/sim"
 	"seesaw/internal/workload"
 )
 
@@ -31,13 +34,19 @@ func testSweepOptions(t *testing.T, parallel int) sweepOptions {
 // TestSweepParallelMatchesSerial: the sweep table is byte-identical for
 // any worker count — cells are reduced in submission order.
 func TestSweepParallelMatchesSerial(t *testing.T) {
-	serialTb, err := sweepTable(testSweepOptions(t, 1))
+	serialTb, fails, err := sweepTable(testSweepOptions(t, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallelTb, err := sweepTable(testSweepOptions(t, 4))
+	if len(fails) != 0 {
+		t.Fatalf("serial sweep reported failures: %v", fails)
+	}
+	parallelTb, fails, err := sweepTable(testSweepOptions(t, 4))
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(fails) != 0 {
+		t.Fatalf("parallel sweep reported failures: %v", fails)
 	}
 	serial, parallel := serialTb.String(), parallelTb.String()
 	if serial != parallel {
@@ -46,6 +55,119 @@ func TestSweepParallelMatchesSerial(t *testing.T) {
 	}
 	if !strings.Contains(serial, "VIPT (baseline)") || !strings.Contains(serial, "SEESAW") {
 		t.Errorf("sweep table missing expected designs:\n%s", serial)
+	}
+}
+
+// TestSweepDegradesGracefullyOnPanickingCell: with one design/workload
+// combination panicking inside the run function, the sweep still
+// produces the full table — the poisoned rows read "failed", every other
+// row carries real numbers, and the failure is reported with enough
+// context to identify the cell.
+func TestSweepDegradesGracefullyOnPanickingCell(t *testing.T) {
+	o := testSweepOptions(t, 4)
+	o.refs = 2_000
+	poisoned := 0
+	o.pool = runner.NewWithRun(4, func(cfg sim.Config) (*sim.Report, error) {
+		if cfg.Workload.Name == "mcf" && cfg.CacheKind == sim.KindPIPT {
+			poisoned++
+			panic("injected: simulator bug in this one cell")
+		}
+		// A fast stand-in for sim.Run: deterministic numbers per cell.
+		return &sim.Report{
+			Cycles:        1000 + uint64(cfg.L1Size>>10) + uint64(cfg.CacheKind)*10,
+			EnergyTotalNJ: 5000,
+			IPC:           1.5,
+		}, nil
+	})
+	tb, fails, err := sweepTable(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fails) == 0 {
+		t.Fatal("poisoned cells produced no recorded failures")
+	}
+	for _, f := range fails {
+		if !strings.Contains(f.cell, "mcf") {
+			t.Errorf("failure %q does not identify the poisoned cell", f.cell)
+		}
+		var ce *runner.CellError
+		if !errors.As(f.err, &ce) {
+			t.Errorf("failure is not a typed CellError: %v", f.err)
+		}
+	}
+	out := tb.String()
+	// PIPT rows lost one of two workloads, so they still average over the
+	// surviving one; every row must exist and the table must carry real
+	// numbers elsewhere.
+	if !strings.Contains(out, "PIPT 4w (small TLB)") {
+		t.Errorf("table dropped the design with the failing cell:\n%s", out)
+	}
+	if !strings.Contains(out, "VIPT (baseline)") {
+		t.Errorf("table missing baseline rows:\n%s", out)
+	}
+}
+
+// TestSweepRowAllFailedMarked: when every workload of a row fails, the
+// row stays in the table marked "failed" rather than vanishing.
+func TestSweepRowAllFailedMarked(t *testing.T) {
+	o := testSweepOptions(t, 2)
+	o.pool = runner.NewWithRun(2, func(cfg sim.Config) (*sim.Report, error) {
+		if cfg.CacheKind == sim.KindPIPT {
+			panic("PIPT model is broken today")
+		}
+		return &sim.Report{Cycles: 1000, EnergyTotalNJ: 1, IPC: 1}, nil
+	})
+	tb, fails, err := sweepTable(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two sizes x two workloads of PIPT cells all fail.
+	if len(fails) != 4 {
+		t.Fatalf("failures = %d, want 4: %v", len(fails), fails)
+	}
+	if !strings.Contains(tb.String(), "failed") {
+		t.Errorf("all-failed row not marked in table:\n%s", tb.String())
+	}
+}
+
+// TestChaosTableCleanAtSeed is the acceptance run in miniature: every
+// fault schedule crossed with every design under the invariant checker
+// must inject faults and report zero violations.
+func TestChaosTableCleanAtSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep is a multi-cell run")
+	}
+	var profiles []workload.Profile
+	p, err := workload.ByName("redis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles = append(profiles, p)
+	o := sweepOptions{
+		profiles: profiles,
+		refs:     2_000,
+		seed:     42,
+		parallel: 4,
+	}
+	tb, fails, violations, err := chaosTable(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fails) != 0 {
+		t.Fatalf("chaos cells failed: %v", fails)
+	}
+	if violations != 0 {
+		t.Fatalf("chaos sweep found %d violations at seed:\n%s", violations, tb.String())
+	}
+	out := tb.String()
+	for _, want := range []string{"splinter", "shootdown", "mix", "SEESAW", "VIPT (baseline)", "PIPT (small TLB)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chaos table missing %q:\n%s", want, out)
+		}
+	}
+	// Count rows as a sanity bound: schedules x 3 designs.
+	if rows := strings.Count(out, "\n"); rows < 6 {
+		t.Errorf("suspiciously small chaos table:\n%s", out)
 	}
 }
 

@@ -352,6 +352,20 @@ func (s *System) Evicted(coreID int, pa addr.PAddr, dirty bool) {
 	}
 }
 
+// Residency reports the directory's view of one line: the sharer
+// bitmask (bit i set when L1 i is believed to hold the line) and the
+// owner core, or -1 when none. tracked is false when the directory has
+// no entry at all. The invariant checker compares this against the
+// actual L1 contents — a cache holding a line the directory does not
+// list is unreachable by probes and therefore incoherent.
+func (s *System) Residency(pa addr.PAddr) (sharers uint64, owner int, tracked bool) {
+	e, ok := s.dir[pa.LineBase()]
+	if !ok {
+		return 0, -1, false
+	}
+	return e.sharers, int(e.owner), true
+}
+
 // LLC exposes the last-level cache (stats).
 func (s *System) LLC() *cache.Cache { return s.llc }
 

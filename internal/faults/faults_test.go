@@ -1,0 +1,88 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestDeterministicStream: two injectors with the same config and sim
+// seed emit identical event streams; a different seed diverges.
+func TestDeterministicStream(t *testing.T) {
+	collect := func(cfg Config, simSeed int64) []Event {
+		inj, err := New(cfg, simSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []Event
+		for i := 0; i < 50_000; i++ {
+			if e, ok := inj.Tick(i); ok {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+	cfg := Config{Schedule: "mix", Every: 500}
+	a := collect(cfg, 42)
+	b := collect(cfg, 42)
+	if len(a) == 0 {
+		t.Fatal("schedule emitted no events")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed must reproduce the exact event stream")
+	}
+	c := collect(cfg, 43)
+	if reflect.DeepEqual(a, c) {
+		t.Error("different sim seeds must draw different streams")
+	}
+	// An explicit Config.Seed pins the stream regardless of sim seed.
+	pinned := Config{Schedule: "mix", Every: 500, Seed: 7}
+	if !reflect.DeepEqual(collect(pinned, 1), collect(pinned, 2)) {
+		t.Error("explicit fault seed must override the sim seed")
+	}
+}
+
+// TestTickCadence: events fire exactly every cfg.Every references,
+// never at reference zero.
+func TestTickCadence(t *testing.T) {
+	inj, err := New(Config{Schedule: "splinter", Every: 100}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		e, ok := inj.Tick(i)
+		if want := i > 0 && i%100 == 0; ok != want {
+			t.Fatalf("Tick(%d) fired=%v, want %v", i, ok, want)
+		}
+		if ok && e.Kind != Splinter {
+			t.Fatalf("splinter schedule emitted %v", e.Kind)
+		}
+		if ok && (e.Burst < 1 || e.Burst > 3) {
+			t.Fatalf("burst %d outside [1,3]", e.Burst)
+		}
+	}
+	if inj.Stats.Injected != 9 || inj.Stats.Splinters != 9 {
+		t.Errorf("stats = %+v, want 9 splinters", inj.Stats)
+	}
+}
+
+// TestValidate: unknown schedules and negative periods are rejected;
+// every advertised preset is accepted.
+func TestValidate(t *testing.T) {
+	if err := (Config{Schedule: "nope"}).Validate(); err == nil {
+		t.Error("unknown schedule must fail validation")
+	}
+	if err := (Config{Schedule: "mix", Every: -1}).Validate(); err == nil {
+		t.Error("negative period must fail validation")
+	}
+	if _, err := New(Config{Schedule: "bogus"}, 1); err == nil {
+		t.Error("New must reject an invalid config")
+	}
+	for _, s := range Schedules() {
+		if err := (Config{Schedule: s}).Validate(); err != nil {
+			t.Errorf("preset %q rejected: %v", s, err)
+		}
+	}
+	if len(Schedules()) != 6 {
+		t.Errorf("want 6 presets, got %v", Schedules())
+	}
+}

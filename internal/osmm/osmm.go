@@ -440,6 +440,32 @@ func (p *Process) MappedBytes() uint64 { return p.mappedBytes }
 // SuperBytes returns the superpage-backed footprint.
 func (p *Process) SuperBytes() uint64 { return p.superBytes }
 
+// SuperChunkVAs returns the base VAs of the chunks currently backed by
+// 2MB superpages, in ascending address order — the deterministic
+// candidate list fault injection splinters from (explicit 1GB mappings
+// are not splinterable and are excluded).
+func (p *Process) SuperChunkVAs() []addr.VAddr {
+	var out []addr.VAddr
+	for cva, c := range p.chunks {
+		if c.super {
+			out = append(out, cva)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ChunkVAs returns the base VAs of every mapped 2MB chunk in ascending
+// address order (shootdown-burst targeting).
+func (p *Process) ChunkVAs() []addr.VAddr {
+	out := make([]addr.VAddr, 0, len(p.chunks))
+	for cva := range p.chunks {
+		out = append(out, cva)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // ChunkIsSuper reports whether the chunk containing va is superpage-
 // backed — by a 2MB page or an explicit 1GB page.
 func (p *Process) ChunkIsSuper(va addr.VAddr) bool {

@@ -16,12 +16,54 @@
 package runner
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"time"
 
 	"seesaw/internal/sim"
 )
+
+// CellError is the typed failure of one cell: a panic somewhere under
+// sim.Run, or a wall-clock timeout. Sweeps use it to degrade gracefully
+// — the failing cell is reported with enough context to reproduce it
+// (Describe carries workload, design, and seed) while the remaining
+// cells complete. It is also the retry discriminator: only CellErrors
+// are retried, since an ordinary error from the deterministic simulator
+// would just reproduce.
+type CellError struct {
+	// Desc identifies the cell (Describe of its config).
+	Desc string
+	// Panic is the recovered panic value, nil for timeouts.
+	Panic any
+	// Stack is the goroutine stack captured at panic time.
+	Stack string
+	// Timeout is the exceeded budget, zero for panics.
+	Timeout time.Duration
+	// Attempts is how many executions were tried before giving up.
+	Attempts int
+}
+
+// Error implements error.
+func (e *CellError) Error() string {
+	switch {
+	case e.Panic != nil:
+		return fmt.Sprintf("cell [%s] panicked after %d attempt(s): %v", e.Desc, e.Attempts, e.Panic)
+	case e.Timeout > 0:
+		return fmt.Sprintf("cell [%s] exceeded %v after %d attempt(s)", e.Desc, e.Timeout, e.Attempts)
+	}
+	return fmt.Sprintf("cell [%s] failed after %d attempt(s)", e.Desc, e.Attempts)
+}
+
+// Describe renders a one-line cell identity for failure reports: enough
+// to re-run the exact cell from the command line.
+func Describe(cfg sim.Config) string {
+	return fmt.Sprintf("workload=%s design=%v l1=%dKB/%dw freq=%.2fGHz seed=%d refs=%d",
+		cfg.Workload.Name, cfg.CacheKind, cfg.L1Size>>10, cfg.L1Ways,
+		cfg.FreqGHz, cfg.Seed, cfg.Refs)
+}
 
 // Task is the handle to one asynchronously running cell. Awaiting tasks
 // in submission order yields a deterministic reduction regardless of how
@@ -50,6 +92,10 @@ type Stats struct {
 	// CacheHits is the number of submissions answered by a previously
 	// submitted identical cell.
 	CacheHits uint64
+	// Retries is the number of re-executions after a CellError.
+	Retries uint64
+	// Failures is the number of cells that exhausted their attempts.
+	Failures uint64
 }
 
 // Pool schedules independent cells onto at most Workers concurrent
@@ -60,6 +106,8 @@ type Pool struct {
 	workers int
 	sem     chan struct{}
 	run     func(sim.Config) (*sim.Report, error)
+	timeout time.Duration
+	retries int
 
 	mu    sync.Mutex
 	cells map[string]*Future
@@ -69,15 +117,42 @@ type Pool struct {
 // New returns a pool with the given worker count; workers <= 0 selects
 // runtime.GOMAXPROCS(0).
 func New(workers int) *Pool {
+	return NewWithRun(workers, sim.Run)
+}
+
+// NewWithRun is New with the cell-execution function injected — the
+// seam harness tests use to stand in panicking, hanging, or flaky cells
+// for the simulator.
+func NewWithRun(workers int, run func(sim.Config) (*sim.Report, error)) *Pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	return &Pool{
 		workers: workers,
 		sem:     make(chan struct{}, workers),
-		run:     sim.Run,
+		run:     run,
 		cells:   make(map[string]*Future),
 	}
+}
+
+// WithTimeout bounds each cell execution attempt to d of wall-clock
+// time; zero (the default) means unbounded. Configure before the first
+// Submit.
+func (p *Pool) WithTimeout(d time.Duration) *Pool {
+	p.timeout = d
+	return p
+}
+
+// WithRetries re-executes a cell up to n extra times after a CellError
+// (panic or timeout). Ordinary simulation errors are never retried: the
+// simulator is deterministic, so they would only reproduce. Configure
+// before the first Submit.
+func (p *Pool) WithRetries(n int) *Pool {
+	if n < 0 {
+		n = 0
+	}
+	p.retries = n
+	return p
 }
 
 // Workers returns the pool's concurrency bound.
@@ -111,12 +186,79 @@ func (p *Pool) Submit(cfg sim.Config) *Future {
 	}
 	p.mu.Unlock()
 	schedule(p, f, func() (*sim.Report, error) {
+		return p.guarded(cfg)
+	})
+	return f
+}
+
+// guarded runs one cell under the pool's recovery, timeout, and retry
+// policy, converting panics and overruns into a typed CellError on the
+// future instead of killing the process.
+func (p *Pool) guarded(cfg sim.Config) (*sim.Report, error) {
+	var last error
+	for attempt := 1; attempt <= p.retries+1; attempt++ {
 		p.mu.Lock()
 		p.stats.Runs++
 		p.mu.Unlock()
-		return p.run(cfg)
-	})
-	return f
+		rep, err := p.runOnce(cfg)
+		if err == nil {
+			return rep, nil
+		}
+		var ce *CellError
+		if !errors.As(err, &ce) {
+			// A plain simulation error is deterministic; surface it
+			// without burning retries.
+			return nil, err
+		}
+		ce.Attempts = attempt
+		last = err
+		if attempt <= p.retries {
+			p.mu.Lock()
+			p.stats.Retries++
+			p.mu.Unlock()
+		}
+	}
+	p.mu.Lock()
+	p.stats.Failures++
+	p.mu.Unlock()
+	return nil, last
+}
+
+// runOnce executes a single attempt, applying the wall-clock budget.
+func (p *Pool) runOnce(cfg sim.Config) (*sim.Report, error) {
+	if p.timeout <= 0 {
+		return p.runRecover(cfg)
+	}
+	type outcome struct {
+		rep *sim.Report
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		r, e := p.runRecover(cfg)
+		ch <- outcome{r, e}
+	}()
+	select {
+	case o := <-ch:
+		return o.rep, o.err
+	case <-time.After(p.timeout):
+		// sim.Run has no cancellation; the attempt goroutine runs to
+		// completion and its result is dropped. A timed-out cell is
+		// pathological by definition, so the leak is bounded by the
+		// retry count and acceptable for a sweep that must finish.
+		return nil, &CellError{Desc: Describe(cfg), Timeout: p.timeout}
+	}
+}
+
+// runRecover executes the cell function, converting a panic anywhere
+// beneath it into a CellError carrying the stack.
+func (p *Pool) runRecover(cfg sim.Config) (rep *sim.Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &CellError{Desc: Describe(cfg), Panic: r, Stack: string(debug.Stack())}
+		}
+	}()
+	return p.run(cfg)
 }
 
 // Pair submits the baseline-VIPT and SEESAW variants of one config —
@@ -157,8 +299,8 @@ func schedule[T any](p *Pool, t *Task[T], fn func() (T, error)) {
 
 // cellKey derives the cache key for a config. Configs replaying an
 // explicit trace are not cacheable: the trace contents are not folded
-// into the key. The co-runner profile is dereferenced so the key depends
-// on its value, not its address.
+// into the key. The co-runner and fault pointers are dereferenced so
+// the key depends on their values, not their addresses.
 func cellKey(cfg sim.Config) (string, bool) {
 	if cfg.Trace != nil {
 		return "", false
@@ -167,7 +309,12 @@ func cellKey(cfg sim.Config) (string, bool) {
 	if cfg.CoRunner != nil {
 		co = fmt.Sprintf("%+v", *cfg.CoRunner)
 	}
+	fa := ""
+	if cfg.Faults != nil {
+		fa = fmt.Sprintf("%+v", *cfg.Faults)
+	}
 	c := cfg
 	c.CoRunner = nil
-	return fmt.Sprintf("%+v|co=%s", c, co), true
+	c.Faults = nil
+	return fmt.Sprintf("%+v|co=%s|faults=%s", c, co, fa), true
 }

@@ -13,10 +13,12 @@ import (
 
 	"seesaw/internal/addr"
 	"seesaw/internal/cache"
+	"seesaw/internal/check"
 	"seesaw/internal/coherence"
 	"seesaw/internal/core"
 	"seesaw/internal/cpu"
 	"seesaw/internal/energy"
+	"seesaw/internal/faults"
 	"seesaw/internal/osmm"
 	"seesaw/internal/pagetable"
 	"seesaw/internal/physmem"
@@ -130,6 +132,19 @@ type Config struct {
 	// SEESAW's benefits survive a prefetcher's higher hit rates.
 	Prefetch bool
 
+	// Faults, when non-nil, injects a deterministic fault schedule into
+	// the run: mid-run splinters, invlpg bursts, forced context
+	// switches, promotion storms, and memory-pressure spikes (see
+	// internal/faults). The injector draws from its own seeded RNG, so a
+	// faulted run replays the same workload as its clean twin.
+	Faults *faults.Config
+	// CheckInvariants enables the online invariant checker (see
+	// internal/check): after every reference the TLB/TFT/cache/directory
+	// state is audited against page-table ground truth, and violations
+	// are reported in Report.Check. Roughly doubles runtime; intended
+	// for chaos sweeps and debugging, not performance measurement.
+	CheckInvariants bool
+
 	// CoRunner, when non-nil, makes context switches real: every
 	// ContextSwitchEvery references each application core switches to a
 	// second process (ASID 2) running this profile for CoRunSliceRefs
@@ -190,6 +205,74 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Validate reports configuration errors — impossible cache geometries,
+// unknown CPU kinds, contradictory scheduler overrides, bad fault
+// schedules — as errors instead of letting Run panic deep inside a
+// constructor. Run calls it first, so callers get a typed error either
+// way; commands call it up front to exit with a usage error.
+func (c Config) Validate() (err error) {
+	// Constructors validate their own inputs and return errors, but a
+	// few deep paths (SRAM latency tables, geometry math) panic on
+	// inputs no caller should produce; surface those as errors too.
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sim: invalid config: %v", r)
+		}
+	}()
+	d := c.withDefaults()
+	if d.MemhogFraction < 0 || d.MemhogFraction > 0.95 {
+		return fmt.Errorf("sim: memhog fraction %v outside [0, 0.95]", d.MemhogFraction)
+	}
+	if d.SchedulerAlwaysFast && d.SchedulerAlwaysSlow {
+		return fmt.Errorf("sim: scheduler cannot be both always-fast and always-slow")
+	}
+	if _, err := cpu.New(d.CPUKind); err != nil {
+		return err
+	}
+	l1cfg := core.Config{
+		SizeBytes: d.L1Size, Ways: d.L1Ways, Partitions: d.Partitions,
+		FreqGHz: d.FreqGHz, TFT: d.TFT, Policy: d.Policy,
+		WayPredict: d.WayPredict, SerialTLBCycles: d.SerialTLBCycles,
+		Replacement: d.Replacement,
+	}
+	switch d.CacheKind {
+	case KindBaseline:
+		_, err = core.NewBaselineVIPT(l1cfg)
+	case KindSeesaw:
+		_, err = core.NewSeesaw(l1cfg)
+	case KindPIPT:
+		_, err = core.NewPIPT(l1cfg)
+	default:
+		err = fmt.Errorf("sim: unknown cache kind %v", d.CacheKind)
+	}
+	if err != nil {
+		return err
+	}
+	if d.ICache {
+		icfg := l1cfg
+		icfg.SizeBytes = 32 << 10
+		icfg.Ways = 8
+		icfg.Partitions = 0
+		switch d.CacheKind {
+		case KindBaseline:
+			_, err = core.NewBaselineVIPT(icfg)
+		case KindSeesaw:
+			_, err = core.NewSeesaw(icfg)
+		case KindPIPT:
+			_, err = core.NewPIPT(icfg)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if d.Faults != nil {
+		if err := d.Faults.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // TFTReport carries the Fig 13 metrics.
 type TFTReport struct {
 	Lookups uint64
@@ -201,6 +284,14 @@ type TFTReport struct {
 	SuperMissedL1MissPct float64
 	SuperAccesses        uint64
 	FastHits, FastMisses uint64
+	// Flush/invalidation counters, summed over every TFT (data and
+	// instruction side): how often the Section IV-C2/C3 invalidation
+	// protocol actually fired, and how many stale fast-path hits the
+	// invalidations demonstrably prevented.
+	Fills            uint64
+	Invalidations    uint64
+	Flushes          uint64
+	StaleHitsAvoided uint64
 }
 
 // Report is the outcome of one Run.
@@ -236,10 +327,19 @@ type Report struct {
 	WPAccuracy float64
 
 	Promotions, Splinters uint64
+
+	// Faults reports the injected-fault tally (nil unless Config.Faults).
+	Faults *faults.Stats
+	// Check reports the invariant-checker outcome (nil unless
+	// Config.CheckInvariants).
+	Check *check.Report
 }
 
 // Run executes one simulation.
 func Run(cfg Config) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
@@ -411,26 +511,51 @@ func Run(cfg Config) (*Report, error) {
 	cohCfg.Mode = cfg.CoherenceMode
 	// The instruction caches join the coherent domain as extra read-only
 	// participants: I-cache of core i sits at index nCores+i.
-	cohSys, err := coherence.New(cohCfg, append(append([]core.L1Cache{}, l1s...), l1is...))
+	cohL1s := append(append([]core.L1Cache{}, l1s...), l1is...)
+	cohSys, err := coherence.New(cohCfg, cohL1s)
 	if err != nil {
 		return nil, err
 	}
 
+	// Optional shadow oracle: audits every reference and OS event
+	// against page-table / directory ground truth.
+	var chk *check.Checker
+	if cfg.CheckInvariants {
+		chk = check.New(check.Wiring{
+			L1s: cohL1s, Hiers: hiers, Seesaws: seesaws, ISeesaws: iseesaws,
+			Coh: cohSys, Mgr: mgr,
+		})
+	}
+	// curRef tags checker findings and fault events with the reference
+	// index they occurred at, so a violation reproduces from (cfg, seed,
+	// ref).
+	var curRef uint64
+
 	// OS event wiring: invlpg reaches every core's TLBs and TFT; page
 	// promotion sweeps old frames out of every L1 under cover of the
 	// 150-200 cycle TLB-invalidate instructions (Section IV-C2).
+	// dropTFT models a broken invalidation protocol (fault-injection
+	// mutation): the TLB side of the invlpg still happens, the TFT side
+	// is silently lost — exactly the stale-entry hazard the Section
+	// IV-C2 protocol prevents and the invariant checker must catch.
+	dropTFT := cfg.Faults != nil && cfg.Faults.DropTFTInvalidate
 	mgr.OnInvlpg = func(asid uint16, vaBase addr.VAddr) {
 		for i := range hiers {
 			for off := uint64(0); off < 2<<20; off += 4096 {
 				hiers[i].Invalidate(vaBase+addr.VAddr(off), asid)
 			}
-			if seesaws[i] != nil {
-				seesaws[i].InvalidatePage(vaBase)
-			}
-			if cfg.ICache && iseesaws[i] != nil {
-				iseesaws[i].InvalidatePage(vaBase)
+			if !dropTFT {
+				if seesaws[i] != nil {
+					seesaws[i].InvalidatePage(vaBase)
+				}
+				if cfg.ICache && iseesaws[i] != nil {
+					iseesaws[i].InvalidatePage(vaBase)
+				}
 			}
 			cpus[i].Stall(175) // invlpg cost, mid paper range
+		}
+		if chk != nil {
+			chk.AfterInvlpg(curRef, asid, vaBase)
 		}
 	}
 	mgr.OnPromote = func(asid uint16, vaBase addr.VAddr, oldFrames []addr.PAddr, newPA addr.PAddr) {
@@ -447,6 +572,9 @@ func Run(cfg Config) (*Report, error) {
 					cohSys.Evicted(nCores+i, v.PA, v.State.Dirty())
 				}
 			}
+		}
+		if chk != nil {
+			chk.AfterPromote(curRef, oldFrames)
 		}
 	}
 
@@ -490,6 +618,13 @@ func Run(cfg Config) (*Report, error) {
 		store := rec.Kind != 0
 		ar := l1s[tid].Access(rec.VA, tr.PA, tr.Size, store)
 		acct.AddL1CPUSide(ar.EnergyNJ)
+		// Audit before the miss is filled: the full-probe ground truth
+		// must reflect the state this lookup actually saw.
+		if chk != nil {
+			chk.AfterAccess(check.Access{
+				Ref: curRef, Core: tid, VA: rec.VA, ASID: asid, TR: tr, AR: ar,
+			})
+		}
 		// A superpage L1 TLB hit refreshes the TFT *after* this access's
 		// parallel TFT probe completed: the hitting TLB entry carries
 		// the page size, so the hardware re-marks a region that a
@@ -592,7 +727,71 @@ func Run(cfg Config) (*Report, error) {
 		return nil
 	}
 
+	// Fault injection: a seeded event stream perturbing the run on a
+	// reproducible schedule (see internal/faults).
+	var inj *faults.Injector
+	if cfg.Faults != nil {
+		inj, err = faults.New(*cfg.Faults, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// spike holds the frames a memhog-spike fault currently pins; the
+	// next spike releases them, so pressure oscillates.
+	var spike []addr.PAddr
+	applyFault := func(ev faults.Event) error {
+		switch ev.Kind {
+		case faults.Splinter:
+			cands := proc.SuperChunkVAs()
+			if len(cands) == 0 {
+				inj.Skip()
+				return nil
+			}
+			return mgr.Splinter(proc, cands[int(ev.Pick%uint64(len(cands)))])
+		case faults.Shootdown:
+			cands := proc.ChunkVAs()
+			if len(cands) == 0 {
+				inj.Skip()
+				return nil
+			}
+			// An invlpg burst over mapped regions: the mappings stay,
+			// the TLBs/TFTs must still see every invalidation.
+			for b := 0; b < ev.Burst; b++ {
+				mgr.OnInvlpg(mainASID, cands[int((ev.Pick+uint64(b))%uint64(len(cands)))])
+			}
+			return nil
+		case faults.ContextSwitch:
+			return contextSwitch()
+		case faults.PromoteStorm:
+			if mgr.PromoteScan(proc, ev.Burst*4) == 0 {
+				inj.Skip()
+			}
+			return nil
+		case faults.MemhogSpike:
+			if len(spike) > 0 {
+				for _, pa := range spike {
+					buddy.Free(pa, addr.Page4K)
+				}
+				spike = spike[:0]
+				return nil
+			}
+			for n := 0; n < ev.Burst*512; n++ {
+				pa, ok := buddy.Alloc(addr.Page4K)
+				if !ok {
+					break
+				}
+				spike = append(spike, pa)
+			}
+			if len(spike) == 0 {
+				inj.Skip()
+			}
+			return nil
+		}
+		return fmt.Errorf("sim: unknown fault kind %v", ev.Kind)
+	}
+
 	for i := 0; i < cfg.Refs; i++ {
+		curRef = uint64(i)
 		var rec trace.Record
 		if cfg.Trace != nil {
 			rec = cfg.Trace[i]
@@ -620,6 +819,11 @@ func Run(cfg Config) (*Report, error) {
 			}
 			iar := l1is[tid].Access(iva, itr.PA, itr.Size, false)
 			acct.AddL1CPUSide(iar.EnergyNJ)
+			if chk != nil {
+				chk.AfterAccess(check.Access{
+					Ref: curRef, Core: nCores + tid, VA: iva, ASID: 1, TR: itr, AR: iar,
+				})
+			}
 			if itr.Size.IsSuper() && itr.Source == tlb.SourceL1 && iseesaws[tid] != nil {
 				iseesaws[tid].OnSuperpageTLBFill(iva)
 			}
@@ -660,9 +864,27 @@ func Run(cfg Config) (*Report, error) {
 				mgr.Splinter(proc, rec.VA)
 			}
 		}
+		if inj != nil {
+			if ev, ok := inj.Tick(i); ok {
+				if err := applyFault(ev); err != nil {
+					return nil, err
+				}
+			}
+		}
 	}
 
-	return buildReport(cfg, gen, proc, mgr, cohSys, l1s, l1is, seesaws, hiers, cpus, acct, l2Lookups, superRefs)
+	r, err := buildReport(cfg, gen, proc, mgr, cohSys, l1s, l1is, seesaws, hiers, cpus, acct, l2Lookups, superRefs)
+	if err != nil {
+		return nil, err
+	}
+	if inj != nil {
+		st := inj.Stats
+		r.Faults = &st
+	}
+	if chk != nil {
+		r.Check = chk.Report()
+	}
+	return r, nil
 }
 
 // buildReport assembles the Report from the component stats.
@@ -695,8 +917,13 @@ func buildReport(
 		r.L1Hits += st.Hits
 		r.L1Misses += st.Misses
 		if s := seesaws[i]; s != nil {
-			tftLookups += s.TFT().Stats.Lookups
-			tftHits += s.TFT().Stats.Hits
+			ts := s.TFT().Stats
+			tftLookups += ts.Lookups
+			tftHits += ts.Hits
+			r.TFT.Fills += ts.Fills
+			r.TFT.Invalidations += ts.Invalidations
+			r.TFT.Flushes += ts.Flushes
+			r.TFT.StaleHitsAvoided += ts.StaleHitsAvoided
 			r.TFT.SuperAccesses += s.Stats.SuperAccesses
 			r.TFT.FastHits += s.Stats.FastHits
 			r.TFT.FastMisses += s.Stats.FastMisses
@@ -741,7 +968,12 @@ func buildReport(
 		r.L1IHits += st.Hits
 		r.L1IMisses += st.Misses
 		if s, ok := l1i.(*core.Seesaw); ok {
-			tftLookups += s.TFT().Stats.Lookups
+			ts := s.TFT().Stats
+			tftLookups += ts.Lookups
+			r.TFT.Fills += ts.Fills
+			r.TFT.Invalidations += ts.Invalidations
+			r.TFT.Flushes += ts.Flushes
+			r.TFT.StaleHitsAvoided += ts.StaleHitsAvoided
 		}
 	}
 	r.SuperpageCoverage = proc.SuperpageCoverage()

@@ -34,6 +34,12 @@ type Stats struct {
 	Fills         uint64
 	Invalidations uint64
 	Flushes       uint64
+	// StaleHitsAvoided counts lookups that missed on a region whose
+	// entry a recent invlpg removed — each one is an access that would
+	// have taken a stale fast-path hit had the invalidation been lost
+	// (the Section IV-C2 hazard), so fault runs can observe the
+	// invalidation path actually doing its job.
+	StaleHitsAvoided uint64
 }
 
 // TFT is the filter table. Entries store the 2MB-region tag (VA bits
@@ -43,7 +49,17 @@ type TFT struct {
 	sets  [][]uint64 // region tags, MRU-first within a set
 	nsets int
 	Stats Stats
+
+	// invalidated remembers regions dropped by Invalidate so the next
+	// missing Lookup on one can be counted as a stale hit avoided;
+	// invalOrder bounds it FIFO-style at maxInvalidated regions.
+	invalidated map[uint64]struct{}
+	invalOrder  []uint64
 }
+
+// maxInvalidated bounds the recently-invalidated region memory; it is
+// observability bookkeeping, not architectural state.
+const maxInvalidated = 1024
 
 // New creates a TFT. Invalid configurations are normalized: Assoc <= 0
 // becomes direct-mapped, Entries <= 0 becomes the paper default of 16.
@@ -61,7 +77,10 @@ func New(cfg Config) *TFT {
 	if nsets == 0 {
 		nsets = 1
 	}
-	return &TFT{cfg: cfg, nsets: nsets, sets: make([][]uint64, nsets)}
+	return &TFT{
+		cfg: cfg, nsets: nsets, sets: make([][]uint64, nsets),
+		invalidated: make(map[uint64]struct{}),
+	}
 }
 
 // Config returns the normalized configuration.
@@ -91,6 +110,12 @@ func (t *TFT) Lookup(va addr.VAddr) bool {
 		}
 	}
 	t.Stats.Misses++
+	if _, was := t.invalidated[region]; was {
+		// The only reason this region is absent is a recent invlpg:
+		// without it this lookup would have hit a stale entry.
+		t.Stats.StaleHitsAvoided++
+		t.forgetInvalidated(region)
+	}
 	return false
 }
 
@@ -99,6 +124,9 @@ func (t *TFT) Lookup(va addr.VAddr) bool {
 func (t *TFT) Fill(va addr.VAddr) {
 	t.Stats.Fills++
 	region := va.Region2M()
+	// A refill means the region is legitimately superpage-backed again;
+	// later misses on it are ordinary, not avoided stale hits.
+	t.forgetInvalidated(region)
 	si := t.setFor(region)
 	set := t.sets[si]
 	for i, tag := range set {
@@ -124,10 +152,39 @@ func (t *TFT) Invalidate(va addr.VAddr) bool {
 		if tag == region {
 			t.sets[si] = append(t.sets[si][:i], t.sets[si][i+1:]...)
 			t.Stats.Invalidations++
+			t.rememberInvalidated(region)
 			return true
 		}
 	}
 	return false
+}
+
+// rememberInvalidated records a dropped region, evicting the oldest
+// record once the bounded memory is full.
+func (t *TFT) rememberInvalidated(region uint64) {
+	if _, ok := t.invalidated[region]; ok {
+		return
+	}
+	if len(t.invalOrder) >= maxInvalidated {
+		delete(t.invalidated, t.invalOrder[0])
+		t.invalOrder = t.invalOrder[1:]
+	}
+	t.invalidated[region] = struct{}{}
+	t.invalOrder = append(t.invalOrder, region)
+}
+
+// forgetInvalidated drops a region from the recently-invalidated memory.
+func (t *TFT) forgetInvalidated(region uint64) {
+	if _, ok := t.invalidated[region]; !ok {
+		return
+	}
+	delete(t.invalidated, region)
+	for i, r := range t.invalOrder {
+		if r == region {
+			t.invalOrder = append(t.invalOrder[:i], t.invalOrder[i+1:]...)
+			break
+		}
+	}
 }
 
 // Flush empties the TFT; called on context switches since entries are not
@@ -136,7 +193,23 @@ func (t *TFT) Flush() {
 	for i := range t.sets {
 		t.sets[i] = nil
 	}
+	// A flush resets the stale-hit bookkeeping too: post-flush misses
+	// are context-switch misses, not avoided stale hits.
+	t.invalidated = make(map[uint64]struct{})
+	t.invalOrder = nil
 	t.Stats.Flushes++
+}
+
+// Contains reports whether va's region is present without touching
+// recency or statistics — the invariant checker's non-perturbing probe.
+func (t *TFT) Contains(va addr.VAddr) bool {
+	region := va.Region2M()
+	for _, tag := range t.sets[t.setFor(region)] {
+		if tag == region {
+			return true
+		}
+	}
+	return false
 }
 
 // ValidCount returns the number of live entries.

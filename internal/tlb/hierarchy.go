@@ -251,6 +251,18 @@ func (h *Hierarchy) Invalidate(va addr.VAddr, asid uint16) int {
 	return n
 }
 
+// Contains reports whether any level still holds a translation of va
+// for asid, without perturbing recency or statistics. The invariant
+// checker uses it to assert an invlpg really reached every level.
+func (h *Hierarchy) Contains(va addr.VAddr, asid uint16) bool {
+	for _, t := range h.l1 {
+		if t.Contains(va, asid) {
+			return true
+		}
+	}
+	return h.l2 != nil && h.l2.Contains(va, asid)
+}
+
 // FlushASID drops all of asid's entries from every level.
 func (h *Hierarchy) FlushASID(asid uint16) int {
 	n := 0

@@ -142,6 +142,21 @@ func (t *TLB) Fill(e Entry) error {
 	return nil
 }
 
+// Contains reports whether any held page size translates va for asid,
+// without touching recency or statistics — the invariant checker's
+// non-perturbing probe.
+func (t *TLB) Contains(va addr.VAddr, asid uint16) bool {
+	for _, s := range t.cfg.Sizes {
+		vpn := va.VPN(s)
+		for _, e := range t.sets[t.setIndex(vpn)] {
+			if e.VPN == vpn && e.Size == s && e.ASID == asid {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // Invalidate removes any entry translating va for asid (all held sizes),
 // returning how many entries were dropped. This is the TLB side of
 // invlpg.
