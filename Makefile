@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench chaos verify
+.PHONY: build vet test race bench cover chaos verify
 
 build:
 	$(GO) build ./...
@@ -19,10 +19,15 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
+# The coverage gate fails if any package in coverage_floors.txt drops
+# below its checked-in floor (tools/covergate).
+cover:
+	$(GO) run ./tools/covergate
+
 # The chaos gate runs every fault-injection schedule against every cache
 # design with the online invariant checker enabled; any violation or
 # crashed cell fails the target (non-zero exit from seesaw-sweep).
 chaos:
 	$(GO) run ./cmd/seesaw-sweep -chaos -workloads redis,mcf -refs 6000 -fault-every 500
 
-verify: build vet test race chaos
+verify: build vet test race cover chaos

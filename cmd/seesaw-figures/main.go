@@ -21,6 +21,10 @@ import (
 	"seesaw/internal/runner"
 )
 
+// prof carries the -pprof/-cpuprofile/-memprofile state; every exit path
+// stops it so profiles are flushed even on os.Exit.
+var prof *cliutil.Profiling
+
 func main() {
 	var (
 		exp      = flag.String("exp", "", "experiment id (see -list)")
@@ -32,7 +36,12 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		parallel = flag.Int("parallel", 0, "simulation cells to run concurrently (0 = GOMAXPROCS, 1 = serial)")
 	)
+	prof = cliutil.RegisterProfiling(flag.CommandLine)
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "seesaw-figures:", err)
+		os.Exit(1)
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -56,6 +65,7 @@ func main() {
 		names, err := cliutil.SplitList(*wls)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "seesaw-figures: -workloads:", err)
+			prof.Stop()
 			os.Exit(2)
 		}
 		opts.Workloads = names
@@ -69,10 +79,12 @@ func main() {
 		ids, err = cliutil.SplitList(*exp)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "seesaw-figures: -exp:", err)
+			prof.Stop()
 			os.Exit(2)
 		}
 	default:
 		fmt.Fprintln(os.Stderr, "seesaw-figures: pass -exp <id>, -all, or -list")
+		prof.Stop()
 		os.Exit(2)
 	}
 	for _, id := range ids {
@@ -80,6 +92,7 @@ func main() {
 		tb, err := experiments.Run(id, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "seesaw-figures: %s: %v\n", id, err)
+			prof.Stop()
 			os.Exit(1)
 		}
 		if *csv {
@@ -92,5 +105,9 @@ func main() {
 	if st := opts.Pool.Stats(); st.CacheHits > 0 && !*csv {
 		fmt.Fprintf(os.Stderr, "seesaw-figures: %d cells submitted, %d simulated, %d served from cache (%d workers)\n",
 			st.Submitted, st.Runs, st.CacheHits, opts.Pool.Workers())
+	}
+	if err := prof.Stop(); err != nil {
+		fmt.Fprintln(os.Stderr, "seesaw-figures:", err)
+		os.Exit(1)
 	}
 }

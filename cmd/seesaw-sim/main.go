@@ -17,14 +17,21 @@ import (
 	"os"
 	"strings"
 
+	"seesaw/internal/check"
+	"seesaw/internal/cliutil"
 	"seesaw/internal/core"
 	"seesaw/internal/faults"
+	"seesaw/internal/metrics"
 	"seesaw/internal/runner"
 	"seesaw/internal/sim"
 	"seesaw/internal/stats"
 	"seesaw/internal/trace"
 	"seesaw/internal/workload"
 )
+
+// prof carries the -pprof/-cpuprofile/-memprofile state; every exit path
+// stops it so profiles are flushed even on os.Exit.
+var prof *cliutil.Profiling
 
 func main() {
 	var (
@@ -56,9 +63,18 @@ func main() {
 		faultsFlag = flag.String("faults", "", "inject a deterministic fault schedule: "+strings.Join(faults.Schedules(), ", "))
 		faultEvery = flag.Int("fault-every", 0, "references between injected faults (0 = schedule default)")
 		faultSeed  = flag.Int64("fault-seed", 0, "fault injector seed (0 = derive from -seed)")
-		check      = flag.Bool("check", false, "run the online invariant checker (shadow oracle); exit 1 on any violation")
+		checkInv   = flag.Bool("check", false, "run the online invariant checker (shadow oracle); exit 1 on any violation")
+
+		epoch     = flag.Int("epoch", 0, "sample per-core counters every N references into a time-series (0 = off)")
+		seriesOut = flag.String("series", "", "write the epoch time-series to `file` (CSV, or full JSON with a .json suffix; - for stdout); implies metrics")
+		eventsOut = flag.String("events", "", "write the structured event log to `file` (- for stdout); implies metrics")
+		eventCap  = flag.Int("event-cap", 0, "event ring capacity (0 = default 4096)")
 	)
+	prof = cliutil.RegisterProfiling(flag.CommandLine)
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		fatal(err)
+	}
 
 	if *list {
 		for _, n := range workload.Names() {
@@ -101,7 +117,10 @@ func main() {
 		Heap1G:          *heap1G,
 		ICache:          *icache,
 		TextHuge:        *textHuge,
-		CheckInvariants: *check,
+		CheckInvariants: *checkInv,
+	}
+	if *epoch > 0 || *seriesOut != "" || *eventsOut != "" || *eventCap != 0 {
+		cfg.Metrics = &metrics.Config{EpochRefs: *epoch, EventCap: *eventCap}
 	}
 	if *faultsFlag != "" {
 		cfg.Faults = &faults.Config{Schedule: *faultsFlag, Every: *faultEvery, Seed: *faultSeed}
@@ -155,6 +174,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if err := writeMetricsOutputs(r, *seriesOut, *eventsOut); err != nil {
+		fatal(err)
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -162,9 +184,12 @@ func main() {
 			fatal(err)
 		}
 		exitOnViolations(r)
+		prof.Stop()
 		return
 	}
-	printReport(r)
+	if err := r.WriteText(os.Stdout); err != nil {
+		fatal(err)
+	}
 	if baseFut != nil {
 		base, err := baseFut.Wait()
 		if err != nil {
@@ -177,6 +202,71 @@ func main() {
 			stats.PctImprovement(base.EnergyTotalNJ, r.EnergyTotalNJ))
 	}
 	exitOnViolations(r)
+	if err := prof.Stop(); err != nil {
+		fatal(err)
+	}
+}
+
+// writeMetricsOutputs writes the -series and -events artifacts from the
+// run's recorded metrics. "-" selects stdout.
+func writeMetricsOutputs(r *sim.Report, seriesOut, eventsOut string) error {
+	if (seriesOut != "" || eventsOut != "") && r.Metrics == nil {
+		return fmt.Errorf("no metrics were recorded (internal error)")
+	}
+	open := func(path string) (*os.File, func() error, error) {
+		if path == "-" {
+			return os.Stdout, func() error { return nil }, nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return f, f.Close, nil
+	}
+	if seriesOut != "" {
+		f, closeFn, err := open(seriesOut)
+		if err != nil {
+			return err
+		}
+		if strings.HasSuffix(seriesOut, ".json") {
+			err = r.Metrics.WriteJSON(f)
+		} else {
+			err = r.Metrics.WriteCSV(f)
+		}
+		if cerr := closeFn(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if eventsOut != "" {
+		f, closeFn, err := open(eventsOut)
+		if err != nil {
+			return err
+		}
+		err = r.Metrics.WriteEvents(f, argNamer)
+		if cerr := closeFn(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// argNamer renders fault-schedule and violation-kind arguments by name
+// in event dumps, composing the faults and check vocabularies the
+// metrics package deliberately does not import.
+func argNamer(e metrics.Event) string {
+	switch e.Kind {
+	case metrics.EvFault:
+		return "fault=" + faults.Kind(e.Arg).String()
+	case metrics.EvViolation:
+		return "violation=" + check.KindName(e.Arg)
+	}
+	return ""
 }
 
 // exitOnViolations makes invariant violations a hard failure: the run's
@@ -184,53 +274,14 @@ func main() {
 func exitOnViolations(r *sim.Report) {
 	if r.Check != nil && r.Check.Violations > 0 {
 		fmt.Fprintf(os.Stderr, "seesaw-sim: %d invariant violation(s) detected\n", r.Check.Violations)
+		prof.Stop()
 		os.Exit(1)
 	}
 }
 
-func printReport(r *sim.Report) {
-	fmt.Printf("design:    %s\n", r.Design)
-	fmt.Printf("workload:  %s\n", r.Workload)
-	fmt.Printf("cycles:    %d (IPC %.3f, runtime %.3f ms)\n", r.Cycles, r.IPC, r.RuntimeSec*1e3)
-	fmt.Printf("L1:        %d hits, %d misses (%.2f%% hit, MPKI %.1f)\n",
-		r.L1Hits, r.L1Misses, 100*stats.Ratio(r.L1Hits, r.L1Hits+r.L1Misses), r.MPKI)
-	if r.L1IHits+r.L1IMisses > 0 {
-		fmt.Printf("L1I:       %d hits, %d misses (%.2f%% hit)\n",
-			r.L1IHits, r.L1IMisses, 100*stats.Ratio(r.L1IHits, r.L1IHits+r.L1IMisses))
-	}
-	fmt.Printf("superpage: coverage %.1f%%, reference share %.1f%%\n",
-		100*r.SuperpageCoverage, 100*r.SuperRefFraction)
-	if r.TFT.Lookups > 0 {
-		fmt.Printf("TFT:       %.1f%% hit rate; %.2f%% of superpage accesses missed (%.2f%% L1-hit / %.2f%% L1-miss)\n",
-			100*r.TFT.HitRate, r.TFT.SuperMissedPct, r.TFT.SuperMissedL1HitPct, r.TFT.SuperMissedL1MissPct)
-		fmt.Printf("TFT evts:  %d fills, %d invalidations, %d flushes, %d stale hits avoided\n",
-			r.TFT.Fills, r.TFT.Invalidations, r.TFT.Flushes, r.TFT.StaleHitsAvoided)
-	}
-	fmt.Printf("TLB:       %.2f%% L1 hit, %d L2 lookups, %d walks\n",
-		100*r.TLB.L1HitRate, r.TLB.L2Lookups, r.TLB.Walks)
-	fmt.Printf("coherence: %d probes, %d invalidations, %d downgrades\n",
-		r.Coh.ProbesSent, r.Coh.Invalidations, r.Coh.Downgrades)
-	fmt.Printf("OS:        %d promotions, %d splinters\n", r.Promotions, r.Splinters)
-	if r.Faults != nil {
-		fmt.Printf("faults:    %d injected (%d splinters, %d shootdowns, %d ctx switches, %d promote storms, %d memhog spikes), %d skipped\n",
-			r.Faults.Injected, r.Faults.Splinters, r.Faults.Shootdowns,
-			r.Faults.ContextSwitches, r.Faults.PromoteStorms, r.Faults.MemhogSpikes, r.Faults.Skipped)
-	}
-	if r.Check != nil {
-		fmt.Printf("check:     %d invariant checks, %d violations\n", r.Check.Checks, r.Check.Violations)
-		for _, v := range r.Check.Sample {
-			fmt.Printf("  VIOLATION %s\n", v.String())
-		}
-	}
-	if r.WPAccuracy > 0 {
-		fmt.Printf("waypred:   %.1f%% accuracy\n", 100*r.WPAccuracy)
-	}
-	fmt.Println()
-	r.Energy.BreakdownTable(r.RuntimeSec).WriteTo(os.Stdout)
-}
-
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "seesaw-sim:", err)
+	prof.Stop()
 	os.Exit(1)
 }
 
@@ -238,5 +289,6 @@ func fatal(err error) {
 // "you asked for something impossible" from a failed run.
 func fatalUsage(err error) {
 	fmt.Fprintln(os.Stderr, "seesaw-sim:", err)
+	prof.Stop()
 	os.Exit(2)
 }

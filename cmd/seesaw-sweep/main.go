@@ -29,11 +29,16 @@ import (
 
 	"seesaw/internal/cliutil"
 	"seesaw/internal/faults"
+	"seesaw/internal/metrics"
 	"seesaw/internal/runner"
 	"seesaw/internal/sim"
 	"seesaw/internal/stats"
 	"seesaw/internal/workload"
 )
+
+// prof carries the -pprof/-cpuprofile/-memprofile state; every exit path
+// stops it so profiles are flushed even on os.Exit.
+var prof *cliutil.Profiling
 
 type design struct {
 	name       string
@@ -53,6 +58,10 @@ type sweepOptions struct {
 	seed     int64
 	parallel int
 
+	// metrics enables the observability layer in every cell (counters
+	// only for sweeps — EventCap < 0); the pool's MergedSeries reduces
+	// the per-cell counters for the -prom snapshot.
+	metrics *metrics.Config
 	// faults injects a schedule into every cell (nil = no injection);
 	// chaosTable overrides the schedule name per row.
 	faults *faults.Config
@@ -123,12 +132,30 @@ func main() {
 
 		cellTimeout = flag.Duration("cell-timeout", 0, "wall-clock budget per cell, e.g. 5m (0 = unbounded)")
 		retries     = flag.Int("retries", 0, "re-execution attempts for panicking or timed-out cells")
+
+		promOut  = flag.String("prom", "", "write a Prometheus text-format snapshot of the sweep's merged counters to `file` (- for stdout)")
+		progress = flag.Bool("progress", false, "show a live per-cell progress line on stderr")
 	)
+	prof = cliutil.RegisterProfiling(flag.CommandLine)
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		fatal(err)
+	}
 
 	o := sweepOptions{
 		refs: *refs, seed: *seed, parallel: *parallel,
 		check: *check, timeout: *cellTimeout, retries: *retries,
+	}
+	if *promOut != "" {
+		// Counters only: sweeps aggregate across cells, where per-run
+		// event windows and epoch series have no meaningful merge.
+		o.metrics = &metrics.Config{EventCap: -1}
+	}
+	if *promOut != "" || *progress {
+		o.pool = runner.New(*parallel).WithTimeout(*cellTimeout).WithRetries(*retries)
+		if *progress {
+			o.pool.WithProgress(os.Stderr)
+		}
 	}
 	names, err := cliutil.SplitList(*wls)
 	if err != nil {
@@ -167,6 +194,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		finishSweep(o, *promOut)
 		writeTable(tb, *csv)
 		reportFailures(fails)
 		if violations > 0 {
@@ -174,8 +202,10 @@ func main() {
 				violations, o.seed)
 		}
 		if violations > 0 || len(fails) > 0 {
+			prof.Stop()
 			os.Exit(1)
 		}
+		prof.Stop()
 		return
 	}
 
@@ -183,11 +213,61 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	finishSweep(o, *promOut)
 	writeTable(tb, *csv)
 	reportFailures(fails)
 	if len(fails) > 0 {
+		prof.Stop()
 		os.Exit(1)
 	}
+	if err := prof.Stop(); err != nil {
+		fatal(err)
+	}
+}
+
+// finishSweep terminates the live progress line and writes the -prom
+// snapshot from the pool's merged per-cell counters.
+func finishSweep(o sweepOptions, promOut string) {
+	if o.pool == nil {
+		return
+	}
+	o.pool.FinishProgress()
+	if promOut == "" {
+		return
+	}
+	if err := writeProm(o.pool, promOut); err != nil {
+		fatal(fmt.Errorf("-prom: %w", err))
+	}
+}
+
+// writeProm renders the sweep's merged counters in Prometheus text
+// exposition format, with pool health (cells run, cache hits, retries,
+// failures) appended as extra gauges.
+func writeProm(pool *runner.Pool, path string) error {
+	series := pool.MergedSeries()
+	if series == nil {
+		series = &metrics.Series{}
+	}
+	st := pool.Stats()
+	extras := []metrics.PromMetric{
+		{Name: "seesaw_sweep_cells_submitted", Help: "cells submitted to the pool (including deduplicated resubmissions)", Value: float64(st.Submitted)},
+		{Name: "seesaw_sweep_cells_executed", Help: "distinct cells actually simulated", Value: float64(st.Runs)},
+		{Name: "seesaw_sweep_cache_hits", Help: "submissions satisfied by the duplicate-cell cache", Value: float64(st.CacheHits)},
+		{Name: "seesaw_sweep_retries", Help: "cell re-executions after panics or timeouts", Value: float64(st.Retries)},
+		{Name: "seesaw_sweep_failures", Help: "cells that exhausted retries without a report", Value: float64(st.Failures)},
+	}
+	if path == "-" {
+		return series.WritePrometheus(os.Stdout, extras...)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := series.WritePrometheus(f, extras...)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }
 
 func writeTable(t *stats.Table, csv bool) {
@@ -337,6 +417,7 @@ func chaosTable(o sweepOptions) (*stats.Table, []failure, uint64, error) {
 					FreqGHz: 1.33, CPUKind: "ooo", MemBytes: 512 << 20,
 					MemhogFraction:  0.4,
 					CheckInvariants: true,
+					Metrics:         o.metrics,
 					Faults:          &faults.Config{Schedule: sched, Every: every, Seed: fseed},
 				}
 				if d.kind == sim.KindPIPT {
@@ -390,6 +471,7 @@ func submit(pool *runner.Pool, o sweepOptions, p workload.Profile, kind sim.Cach
 		SerialTLBCycles: serialTLB, SmallTLB: smallTLB,
 		FreqGHz: freq, CPUKind: "ooo", MemBytes: 512 << 20,
 		CheckInvariants: o.check,
+		Metrics:         o.metrics,
 	}
 	if o.faults != nil && o.faults.Schedule != "" {
 		fc := *o.faults
@@ -400,6 +482,7 @@ func submit(pool *runner.Pool, o sweepOptions, p workload.Profile, kind sim.Cach
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "seesaw-sweep:", err)
+	prof.Stop()
 	os.Exit(1)
 }
 
@@ -407,5 +490,6 @@ func fatal(err error) {
 // "you asked for something impossible" from a failed run.
 func fatalUsage(err error) {
 	fmt.Fprintln(os.Stderr, "seesaw-sweep:", err)
+	prof.Stop()
 	os.Exit(2)
 }

@@ -21,6 +21,10 @@ import (
 	"seesaw/internal/workload"
 )
 
+// prof carries the -pprof/-cpuprofile/-memprofile state; every exit path
+// stops it so profiles are flushed even on os.Exit.
+var prof *cliutil.Profiling
+
 func main() {
 	var (
 		wlName   = flag.String("workload", "redis", "workload name, or a comma-separated list")
@@ -31,12 +35,17 @@ func main() {
 		head     = flag.Int("head", 10, "records to print when inspecting")
 		parallel = flag.Int("parallel", 0, "workloads to generate concurrently (0 = GOMAXPROCS)")
 	)
+	prof = cliutil.RegisterProfiling(flag.CommandLine)
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		fatal(err)
+	}
 
 	if *inspect != "" {
 		if err := inspectTrace(*inspect, *head); err != nil {
 			fatal(err)
 		}
+		prof.Stop()
 		return
 	}
 	names, err := cliutil.SplitList(*wlName)
@@ -71,6 +80,9 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %d references for %s to %s\n", *refs, profiles[i].Name, path)
+	}
+	if err := prof.Stop(); err != nil {
+		fatal(err)
 	}
 }
 
@@ -144,5 +156,6 @@ func inspectTrace(path string, head int) error {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "seesaw-tracegen:", err)
+	prof.Stop()
 	os.Exit(1)
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"seesaw/internal/addr"
+	"seesaw/internal/metrics"
 )
 
 // State is a MOESI coherence state.
@@ -116,6 +117,13 @@ type Cache struct {
 	sets  [][]way
 	tick  uint64
 	Stats Stats
+
+	// Metrics, when non-nil, mirrors hit/miss accounting into the
+	// observability layer under MetricsCore (the coherence index of the
+	// cache). Nil — the default, and always nil for the LLC — costs one
+	// predictable branch per lookup.
+	Metrics     *metrics.Recorder
+	MetricsCore int
 }
 
 // New creates an empty cache with the given geometry and LRU replacement.
@@ -171,9 +179,11 @@ func (c *Cache) Access(set, partition int, tag uint64) (int, bool) {
 		c.sets[set][w].lastUse = c.tick
 		c.sets[set][w].rrpv = 0 // near-immediate re-reference
 		c.Stats.Hits++
+		c.Metrics.Add(c.MetricsCore, metrics.CtrL1Hit, 1)
 		return w, true
 	}
 	c.Stats.Misses++
+	c.Metrics.Add(c.MetricsCore, metrics.CtrL1Miss, 1)
 	return 0, false
 }
 
@@ -191,6 +201,7 @@ func (c *Cache) Touch(set, wayIdx int) {
 	c.sets[set][wayIdx].lastUse = c.tick
 	c.sets[set][wayIdx].rrpv = 0
 	c.Stats.Hits++
+	c.Metrics.Add(c.MetricsCore, metrics.CtrL1Hit, 1)
 }
 
 // StateOf returns the state of a way.

@@ -30,6 +30,7 @@ import (
 	"seesaw/internal/cache"
 	"seesaw/internal/coherence"
 	"seesaw/internal/core"
+	"seesaw/internal/metrics"
 	"seesaw/internal/osmm"
 	"seesaw/internal/tlb"
 )
@@ -48,6 +49,35 @@ const (
 	KindTLBSurvived       = "tlb-entry-survived"
 	KindTFTSurvived       = "tft-entry-survived"
 )
+
+// Kinds lists every violation kind in a stable order; the index of a
+// kind in this slice is its KindCode — the Arg stamped on EvViolation
+// event records.
+var Kinds = []string{
+	KindTranslationStale, KindChunkDisagree, KindTFTStaleHit,
+	KindPartitionMismatch, KindDuplicateLine, KindStaleSharer,
+	KindMultiOwner, KindExclusiveShared, KindSweptSurvived,
+	KindTLBSurvived, KindTFTSurvived,
+}
+
+// KindCode returns the stable index of a violation kind (len(Kinds) for
+// an unknown kind).
+func KindCode(kind string) uint64 {
+	for i, k := range Kinds {
+		if k == kind {
+			return uint64(i)
+		}
+	}
+	return uint64(len(Kinds))
+}
+
+// KindName inverts KindCode for event dumps.
+func KindName(code uint64) string {
+	if code < uint64(len(Kinds)) {
+		return Kinds[code]
+	}
+	return fmt.Sprintf("kind-%d", code)
+}
 
 // Violation is one failed invariant, carrying enough context to
 // reproduce it: the run is deterministic, so (config, seed, Ref) pins
@@ -100,6 +130,12 @@ type Wiring struct {
 type Checker struct {
 	w   Wiring
 	rep Report
+
+	// Metrics, when non-nil, mirrors every recorded violation into the
+	// observability layer (CtrViolation + an EvViolation event whose Arg
+	// is the KindCode), so a chaos failure's event dump shows the
+	// violation inline with the TLB/TFT traffic around it.
+	Metrics *metrics.Recorder
 }
 
 // New builds a checker over the wired simulator.
@@ -114,6 +150,8 @@ func (c *Checker) Record(v Violation) {
 	if len(c.rep.Sample) < maxSample {
 		c.rep.Sample = append(c.rep.Sample, v)
 	}
+	c.Metrics.Add(v.Core, metrics.CtrViolation, 1)
+	c.Metrics.Emit(v.Core, metrics.EvViolation, uint64(v.VA), uint64(v.PA), KindCode(v.Kind))
 }
 
 // Report returns a snapshot of the outcome.

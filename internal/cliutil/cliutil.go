@@ -7,6 +7,7 @@ package cliutil
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -28,7 +29,9 @@ func SplitList(s string) ([]string, error) {
 }
 
 // ParseFloats parses a comma-separated list of numbers with SplitList's
-// strictness.
+// strictness. Values must be finite: strconv happily parses "NaN" and
+// "Inf", which would otherwise flow into cache sizes or frequencies and
+// surface much later as nonsense arithmetic.
 func ParseFloats(s string) ([]float64, error) {
 	parts, err := SplitList(s)
 	if err != nil {
@@ -39,6 +42,9 @@ func ParseFloats(s string) ([]float64, error) {
 		v, err := strconv.ParseFloat(p, 64)
 		if err != nil {
 			return nil, fmt.Errorf("bad number %q in list %q", p, s)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("non-finite number %q in list %q", p, s)
 		}
 		out = append(out, v)
 	}

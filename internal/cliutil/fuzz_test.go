@@ -1,0 +1,81 @@
+package cliutil
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// FuzzSplitList: for any input, SplitList either errors or returns
+// non-empty, fully-trimmed entries that reassemble (modulo whitespace)
+// into the input.
+func FuzzSplitList(f *testing.F) {
+	for _, seed := range []string{"redis,nutch", " a , b ", "", ",", "a,,b", "a,b,", "\t x \n", "redis"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		parts, err := SplitList(s)
+		if err != nil {
+			return
+		}
+		if len(parts) == 0 {
+			t.Fatalf("SplitList(%q) returned no entries and no error", s)
+		}
+		for _, p := range parts {
+			if p == "" {
+				t.Fatalf("SplitList(%q) returned an empty entry", s)
+			}
+			if p != strings.TrimSpace(p) {
+				t.Fatalf("SplitList(%q) returned untrimmed entry %q", s, p)
+			}
+			if strings.Contains(p, ",") {
+				t.Fatalf("SplitList(%q) returned entry %q containing a separator", s, p)
+			}
+		}
+		// Rejoining and resplitting is a fixed point.
+		again, err := SplitList(strings.Join(parts, ","))
+		if err != nil {
+			t.Fatalf("SplitList not idempotent on %q: %v", s, err)
+		}
+		if len(again) != len(parts) {
+			t.Fatalf("SplitList(%q): %d entries, resplit gives %d", s, len(parts), len(again))
+		}
+		for i := range parts {
+			if parts[i] != again[i] {
+				t.Fatalf("SplitList(%q): entry %d changed on resplit: %q vs %q", s, i, parts[i], again[i])
+			}
+		}
+	})
+}
+
+// FuzzParseFloats: every accepted value is finite (the NaN/Inf crasher
+// this fuzz target originally caught), and formatting the values back
+// reparses to the same list.
+func FuzzParseFloats(f *testing.F) {
+	for _, seed := range []string{"32,64", "1.33", "NaN", "Inf,-Inf", "+infinity", "1e309", "0x1p-2", " 2.80 , 4.0 ", "1e-5"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		vals, err := ParseFloats(s)
+		if err != nil {
+			return
+		}
+		strs := make([]string, len(vals))
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("ParseFloats(%q) accepted non-finite value %v", s, v)
+			}
+			strs[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		again, err := ParseFloats(strings.Join(strs, ","))
+		if err != nil {
+			t.Fatalf("ParseFloats round-trip of %q failed: %v", s, err)
+		}
+		for i := range vals {
+			if vals[i] != again[i] {
+				t.Fatalf("ParseFloats(%q): value %d changed on round-trip: %v vs %v", s, i, vals[i], again[i])
+			}
+		}
+	})
+}

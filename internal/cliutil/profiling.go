@@ -1,0 +1,112 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers the /debug/pprof handlers
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiling bundles the profiling hooks every command exposes:
+// -cpuprofile and -memprofile write runtime/pprof files, and -pprof
+// serves the net/http/pprof handlers so a long sweep can be inspected
+// live. Zero flags means Start and Stop are no-ops.
+type Profiling struct {
+	CPUFile string
+	MemFile string
+	Addr    string
+
+	cpuOut  *os.File
+	ln      net.Listener
+	started bool
+}
+
+// RegisterProfiling installs the -cpuprofile/-memprofile/-pprof flags on
+// fs (commands pass flag.CommandLine; tests pass their own set).
+func RegisterProfiling(fs *flag.FlagSet) *Profiling {
+	p := &Profiling{}
+	fs.StringVar(&p.CPUFile, "cpuprofile", "", "write a CPU profile to `file`")
+	fs.StringVar(&p.MemFile, "memprofile", "", "write a heap profile to `file` on exit")
+	fs.StringVar(&p.Addr, "pprof", "", "serve net/http/pprof on `addr` (e.g. localhost:6060)")
+	return p
+}
+
+// Start begins CPU profiling and the pprof HTTP server as requested.
+// The caller must arrange for Stop to run before the process exits
+// (defer does not survive os.Exit).
+func (p *Profiling) Start() error {
+	if p.started {
+		return nil
+	}
+	p.started = true
+	if p.CPUFile != "" {
+		f, err := os.Create(p.CPUFile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		p.cpuOut = f
+	}
+	if p.Addr != "" {
+		ln, err := net.Listen("tcp", p.Addr)
+		if err != nil {
+			p.stopCPU()
+			return fmt.Errorf("pprof: %w", err)
+		}
+		p.ln = ln
+		go http.Serve(ln, nil) //nolint:errcheck // server dies with the process
+	}
+	return nil
+}
+
+// ListenAddr returns the pprof server's bound address (useful when
+// -pprof asked for port 0), or "" when no server is running.
+func (p *Profiling) ListenAddr() string {
+	if p.ln == nil {
+		return ""
+	}
+	return p.ln.Addr().String()
+}
+
+// stopCPU finalizes the CPU profile if one is running.
+func (p *Profiling) stopCPU() {
+	if p.cpuOut != nil {
+		pprof.StopCPUProfile()
+		p.cpuOut.Close()
+		p.cpuOut = nil
+	}
+}
+
+// Stop flushes the CPU profile, writes the heap profile, and shuts the
+// pprof listener down. Idempotent, so it is safe both deferred and on
+// explicit exit paths.
+func (p *Profiling) Stop() error {
+	if !p.started {
+		return nil
+	}
+	p.started = false
+	p.stopCPU()
+	if p.ln != nil {
+		p.ln.Close()
+		p.ln = nil
+	}
+	if p.MemFile != "" {
+		f, err := os.Create(p.MemFile)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC() // materialize the final live set
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package cliutil
+
+import (
+	"flag"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestProfilingDisabledIsNoOp: with no flags set, Start and Stop do
+// nothing and create nothing.
+func TestProfilingDisabledIsNoOp(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	p := RegisterProfiling(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	// Stop again: idempotent.
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProfilingWritesProfiles: -cpuprofile and -memprofile produce
+// non-empty pprof files once Stop runs.
+func TestProfilingWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	p := RegisterProfiling(fs)
+	if err := fs.Parse([]string{"-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to record.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{cpu, mem} {
+		st, err := os.Stat(f)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", f)
+		}
+	}
+}
+
+// TestProfilingStartTwice: a second Start is a no-op, not a second
+// CPU-profile session (which runtime/pprof would reject).
+func TestProfilingStartTwice(t *testing.T) {
+	dir := t.TempDir()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	p := RegisterProfiling(fs)
+	if err := fs.Parse([]string{"-cpuprofile", filepath.Join(dir, "cpu.out")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Errorf("second Start errored: %v", err)
+	}
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProfilingServesPprof: -pprof brings up the net/http/pprof
+// endpoint; Stop tears the listener down.
+func TestProfilingServesPprof(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	p := RegisterProfiling(fs)
+	if err := fs.Parse([]string{"-pprof", "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addr := p.ListenAddr()
+	if addr == "" {
+		t.Fatal("no listen address after Start")
+	}
+	resp, err := http.Get("http://" + addr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatalf("pprof endpoint unreachable: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof endpoint returned %d", resp.StatusCode)
+	}
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if p.ListenAddr() != "" {
+		t.Error("listener still reported after Stop")
+	}
+}
+
+// TestProfilingBadCPUPath: an uncreatable profile path is a startup
+// error, not a silent no-op.
+func TestProfilingBadCPUPath(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	p := RegisterProfiling(fs)
+	if err := fs.Parse([]string{"-cpuprofile", filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.out")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err == nil {
+		p.Stop()
+		t.Fatal("Start accepted an uncreatable cpuprofile path")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"seesaw/internal/addr"
 	"seesaw/internal/cache"
 	"seesaw/internal/core"
+	"seesaw/internal/metrics"
 	"seesaw/internal/sram"
 )
 
@@ -101,6 +102,10 @@ type System struct {
 	// coherence lookup costs (Fig 11's coherence slice).
 	CoherenceEnergyNJ []float64
 	CoherenceProbes   []uint64
+
+	// Metrics, when non-nil, mirrors probe/invalidation/downgrade traffic
+	// into the observability layer, attributed to the probed core.
+	Metrics *metrics.Recorder
 }
 
 // New builds the memory system over the given per-core L1s.
@@ -168,6 +173,7 @@ func (s *System) probe(coreID int, pa addr.PAddr, op core.SnoopOp) core.ProbeRes
 	s.Stats.ProbesSent++
 	s.CoherenceProbes[coreID]++
 	s.CoherenceEnergyNJ[coreID] += r.EnergyNJ
+	s.Metrics.Add(coreID, metrics.CtrCohProbe, 1)
 	return r
 }
 
@@ -248,6 +254,8 @@ func (s *System) Miss(reqCore int, pa addr.PAddr, store bool) MissResult {
 			r := s.probe(c, pa, core.SnoopInvalidate)
 			if r.Hit {
 				s.Stats.Invalidations++
+				s.Metrics.Add(c, metrics.CtrCohInvalidate, 1)
+				s.Metrics.Emit(c, metrics.EvCohInvalidate, 0, uint64(line), 0)
 				peerHadData = true
 				if r.State.Dirty() {
 					s.Stats.Writebacks++
@@ -267,6 +275,8 @@ func (s *System) Miss(reqCore int, pa addr.PAddr, store bool) MissResult {
 			r := s.probe(c, pa, core.SnoopDowngrade)
 			if r.Hit {
 				s.Stats.Downgrades++
+				s.Metrics.Add(c, metrics.CtrCohDowngrade, 1)
+				s.Metrics.Emit(c, metrics.EvCohDowngrade, 0, uint64(line), 0)
 				peerHadData = true
 			}
 		}
@@ -325,6 +335,8 @@ func (s *System) Upgrade(reqCore int, pa addr.PAddr) int {
 		r := s.probe(c, pa, core.SnoopInvalidate)
 		if r.Hit {
 			s.Stats.Invalidations++
+			s.Metrics.Add(c, metrics.CtrCohInvalidate, 1)
+			s.Metrics.Emit(c, metrics.EvCohInvalidate, 0, uint64(line), 0)
 		}
 	}
 	e.sharers = 1 << uint(reqCore)

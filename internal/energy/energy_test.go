@@ -3,6 +3,8 @@ package energy
 import (
 	"strings"
 	"testing"
+
+	"seesaw/internal/sram"
 )
 
 func TestAccountAccumulates(t *testing.T) {
@@ -57,6 +59,50 @@ func TestBreakdownTable(t *testing.T) {
 	for _, want := range []string{"L1 CPU-side", "leakage", "total", "DRAM"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("breakdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestL1ProbeSavingWithinPaperEnvelope charges two accounts with the
+// same access stream — one paying full 8-way probes, one paying SEESAW
+// 4-way partition probes — and asserts the L1 component saving lands in
+// the paper's ~40% envelope at every cache size, with the TFT lookups
+// that enable the fast path priced in and still negligible.
+func TestL1ProbeSavingWithinPaperEnvelope(t *testing.T) {
+	const accesses = 100_000
+	for _, sizeKB := range []uint64{16, 32, 64, 128} {
+		size := sizeKB << 10
+		e8, err := sram.Energy(size, 8)
+		if err != nil {
+			t.Fatalf("%dKB: %v", sizeKB, err)
+		}
+		e4, err := sram.ProbeEnergy(size, 4, 8)
+		if err != nil {
+			t.Fatalf("%dKB: %v", sizeKB, err)
+		}
+		base := NewAccount(DefaultPrices())
+		base.AddL1CPUSide(float64(accesses) * e8)
+
+		seesaw := NewAccount(DefaultPrices())
+		seesaw.AddL1CPUSide(float64(accesses) * e4)
+		seesaw.AddTFTLookups(accesses) // every fast probe was licensed by a TFT hit
+
+		saving := 100 * (base.L1CPUSideNJ - seesaw.L1CPUSideNJ) / base.L1CPUSideNJ
+		if saving < 38.5 || saving > 40.5 {
+			t.Errorf("%dKB: L1 probe saving = %.2f%%, want ~39.4%%", sizeKB, saving)
+		}
+		// The TFT's own energy must not eat the saving: even at the
+		// smallest array it stays under a tenth of what the narrower
+		// probes recovered.
+		recovered := base.L1CPUSideNJ - seesaw.L1CPUSideNJ
+		if seesaw.TFTNJ >= 0.10*recovered {
+			t.Errorf("%dKB: TFT energy %.1fnJ eats into the %.1fnJ recovered by partition probes",
+				sizeKB, seesaw.TFTNJ, recovered)
+		}
+		// End-to-end, the dynamic totals preserve the ordering.
+		if seesaw.DynamicNJ() >= base.DynamicNJ() {
+			t.Errorf("%dKB: SEESAW dynamic energy %.1fnJ not below baseline %.1fnJ",
+				sizeKB, seesaw.DynamicNJ(), base.DynamicNJ())
 		}
 	}
 }

@@ -1,0 +1,345 @@
+// Package metrics is the simulator's observability layer: per-core,
+// allocation-free counters sampled into an epoch time-series, plus a
+// bounded structured event log (a ring buffer of small typed records)
+// that the fault injector and invariant checker annotate, so a chaos
+// violation can be replayed with the TLB/TFT/coherence activity that
+// surrounded it.
+//
+// The layer is designed to cost nothing when it is off. Every emit site
+// in the simulator holds a *Recorder that is nil unless the run asked
+// for metrics; all Recorder methods are nil-receiver-safe no-ops, so a
+// disabled run executes a nil check per site and allocates nothing
+// (proven by BenchmarkMetricsDisabled and the zero-alloc tests in this
+// package). When enabled, counter increments are single array stores
+// into preallocated per-core arrays and event emission writes into a
+// preallocated ring — the only allocations happen at epoch boundaries,
+// off the per-reference path.
+package metrics
+
+import "fmt"
+
+// Counter indexes one per-core counter. Counters are cumulative over the
+// run; the epoch series stores per-epoch deltas.
+type Counter uint8
+
+const (
+	// CtrRefs counts references executed on the core.
+	CtrRefs Counter = iota
+	// CtrL1Hit / CtrL1Miss count L1 lookups at the storage array.
+	CtrL1Hit
+	CtrL1Miss
+	// CtrFastProbe counts SEESAW partition-only (TFT-hit) lookups;
+	// CtrSlowProbe counts full-width lookups.
+	CtrFastProbe
+	CtrSlowProbe
+	// CtrWaysProbed sums the ways read by lookups — divided by refs it
+	// is the epoch's average probe width, the paper's energy lever.
+	CtrWaysProbed
+	// TFT activity (SEESAW cores only).
+	CtrTFTHit
+	CtrTFTMiss
+	CtrTFTFill
+	CtrTFTInvalidate
+	CtrTFTFlush
+	// TLB activity.
+	CtrTLBFill
+	CtrTLBShootdown // entries dropped by invlpg
+	CtrWalk
+	// Coherence activity, attributed to the probed core.
+	CtrCohProbe
+	CtrCohInvalidate
+	CtrCohDowngrade
+	// OS events (attributed to core 0: they are per-process, not
+	// per-core).
+	CtrPromotion
+	CtrSplinter
+	// Chaos-harness annotations.
+	CtrFault
+	CtrViolation
+
+	// NumCounters sizes the per-core counter arrays.
+	NumCounters
+)
+
+// counterNames must match the Counter order above.
+var counterNames = [NumCounters]string{
+	"refs", "l1_hits", "l1_misses", "fast_probes", "slow_probes",
+	"ways_probed", "tft_hits", "tft_misses", "tft_fills",
+	"tft_invalidations", "tft_flushes", "tlb_fills", "tlb_shootdowns",
+	"walks", "coh_probes", "coh_invalidations", "coh_downgrades",
+	"promotions", "splinters", "faults", "violations",
+}
+
+// String returns the counter's snake_case name (the CSV column and
+// Prometheus metric stem).
+func (c Counter) String() string {
+	if int(c) < len(counterNames) {
+		return counterNames[c]
+	}
+	return fmt.Sprintf("counter_%d", int(c))
+}
+
+// Counters is one core's counter array.
+type Counters [NumCounters]uint64
+
+// add accumulates o into c.
+func (c *Counters) add(o *Counters) {
+	for i := range c {
+		c[i] += o[i]
+	}
+}
+
+// sub returns c - o (per-epoch deltas from two cumulative snapshots).
+func (c *Counters) sub(o *Counters) Counters {
+	var d Counters
+	for i := range c {
+		d[i] = c[i] - o[i]
+	}
+	return d
+}
+
+// EventKind types one structured event record.
+type EventKind uint8
+
+const (
+	// EvTLBFill: a page walk filled a translation (VA = faulting
+	// address, Arg = page size in bytes).
+	EvTLBFill EventKind = iota
+	// EvTLBShootdown: an invlpg swept a 2MB region (VA = region base;
+	// emitted once per region, not per 4KB page).
+	EvTLBShootdown
+	// EvTFTFill / EvTFTInvalidate / EvTFTFlush: TFT state changes
+	// (VA = 2MB region base; flush has no VA).
+	EvTFTFill
+	EvTFTInvalidate
+	EvTFTFlush
+	// EvPromote: a 2MB promotion (VA = region base, PA = new frame,
+	// Arg = old 4KB frames swept).
+	EvPromote
+	// EvSplinter: a superpage demotion (VA = region base).
+	EvSplinter
+	// EvProbeWidth: the core's partition-probe width changed (Arg = new
+	// width in ways) — the fast/slow path transitions of Section IV-B.
+	EvProbeWidth
+	// EvCohInvalidate / EvCohDowngrade: a coherence probe hit this
+	// core's L1 (PA = line).
+	EvCohInvalidate
+	EvCohDowngrade
+	// EvFault: the injector fired (Arg = faults.Kind index).
+	EvFault
+	// EvViolation: the invariant checker recorded a violation
+	// (Arg = check kind index; see check.KindName).
+	EvViolation
+
+	numEventKinds
+)
+
+// eventNames must match the EventKind order above.
+var eventNames = [numEventKinds]string{
+	"tlb-fill", "tlb-shootdown", "tft-fill", "tft-invalidate",
+	"tft-flush", "promote", "splinter", "probe-width",
+	"coh-invalidate", "coh-downgrade", "fault", "violation",
+}
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	if int(k) < len(eventNames) {
+		return eventNames[k]
+	}
+	return fmt.Sprintf("event_%d", int(k))
+}
+
+// Event is one structured record: small, fixed-size, and typed so the
+// ring buffer never allocates. Arg's meaning depends on Kind.
+type Event struct {
+	Ref  uint64
+	Core int32
+	Kind EventKind
+	VA   uint64
+	PA   uint64
+	Arg  uint64
+}
+
+// Config enables and sizes the layer for one run.
+type Config struct {
+	// EpochRefs is the epoch length in references; every EpochRefs
+	// references the per-core counters are sampled into the time-series.
+	// 0 disables the series (counters and events still run).
+	EpochRefs int
+	// EventCap bounds the event ring (default 4096 records; newer events
+	// overwrite the oldest). Negative disables the event log entirely —
+	// the counters-only mode sweeps use for Prometheus snapshots.
+	EventCap int
+}
+
+// DefaultEventCap is the event-ring capacity when Config.EventCap is 0.
+const DefaultEventCap = 4096
+
+// Recorder collects one run's metrics. All methods are safe on a nil
+// receiver and do nothing — the disabled path the simulator's emit
+// sites rely on.
+type Recorder struct {
+	epochRefs uint64
+	cores     []Counters // cumulative, indexed by coherence core id
+	last      []Counters // snapshot at the last epoch boundary
+	refs      uint64     // references ticked so far
+	start     uint64     // first ref of the open epoch
+	epochs    []Epoch
+
+	ring    []Event
+	next    int    // ring write position
+	total   uint64 // events ever emitted
+	dropped uint64 // events overwritten
+}
+
+// New builds a recorder for nCores coherence participants. totalRefs,
+// when known, preallocates the epoch series so the run never grows it.
+func New(cfg Config, nCores, totalRefs int) *Recorder {
+	if nCores < 1 {
+		nCores = 1
+	}
+	cap := cfg.EventCap
+	switch {
+	case cap == 0:
+		cap = DefaultEventCap
+	case cap < 0:
+		cap = 0
+	}
+	r := &Recorder{
+		cores: make([]Counters, nCores),
+		last:  make([]Counters, nCores),
+		ring:  make([]Event, cap),
+	}
+	if cfg.EpochRefs > 0 {
+		r.epochRefs = uint64(cfg.EpochRefs)
+	}
+	if r.epochRefs > 0 && totalRefs > 0 {
+		r.epochs = make([]Epoch, 0, totalRefs/int(r.epochRefs)+1)
+	}
+	return r
+}
+
+// Ref returns the index of the reference currently executing — the
+// value stamped on emitted events.
+func (r *Recorder) Ref() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.refs
+}
+
+// Add increments counter c on the given core by n. Cores outside the
+// wired range (e.g. -1 for "no core") are attributed to core 0.
+func (r *Recorder) Add(core int, c Counter, n uint64) {
+	if r == nil {
+		return
+	}
+	if core < 0 || core >= len(r.cores) {
+		core = 0
+	}
+	r.cores[core][c] += n
+}
+
+// Emit appends one event to the ring, stamping its Ref. With a full
+// ring the oldest record is overwritten; with the ring disabled the
+// event is dropped.
+func (r *Recorder) Emit(core int, kind EventKind, va, pa, arg uint64) {
+	if r == nil {
+		return
+	}
+	r.total++
+	if len(r.ring) == 0 {
+		r.dropped++
+		return
+	}
+	if r.total > uint64(len(r.ring)) {
+		r.dropped++
+	}
+	r.ring[r.next] = Event{Ref: r.refs, Core: int32(core), Kind: kind, VA: va, PA: pa, Arg: arg}
+	r.next++
+	if r.next == len(r.ring) {
+		r.next = 0
+	}
+}
+
+// TickRef advances the reference clock by one; at epoch boundaries the
+// per-core counters are sampled into the series. The simulator calls it
+// at the end of every reference, so events emitted during reference i
+// carry Ref == i.
+func (r *Recorder) TickRef() {
+	if r == nil {
+		return
+	}
+	r.refs++
+	if r.epochRefs > 0 && r.refs%r.epochRefs == 0 {
+		r.closeEpoch()
+	}
+}
+
+// closeEpoch snapshots the open epoch's deltas.
+func (r *Recorder) closeEpoch() {
+	e := Epoch{
+		Index:    uint64(len(r.epochs)),
+		StartRef: r.start,
+		Refs:     r.refs - r.start,
+		PerCore:  make([]Counters, len(r.cores)),
+	}
+	for i := range r.cores {
+		d := r.cores[i].sub(&r.last[i])
+		e.PerCore[i] = d
+		e.Total.add(&d)
+		r.last[i] = r.cores[i]
+	}
+	r.epochs = append(r.epochs, e)
+	r.start = r.refs
+}
+
+// Finish closes the final partial epoch (if any references are pending)
+// and returns the immutable Series for the run's Report. The recorder
+// must not be used afterwards.
+func (r *Recorder) Finish() *Series {
+	if r == nil {
+		return nil
+	}
+	if r.epochRefs > 0 && r.refs > r.start {
+		r.closeEpoch()
+	}
+	s := &Series{
+		EpochRefs:     int(r.epochRefs),
+		Cores:         len(r.cores),
+		Refs:          r.refs,
+		PerCore:       append([]Counters(nil), r.cores...),
+		Epochs:        r.epochs,
+		EventsTotal:   r.total,
+		EventsDropped: r.dropped,
+	}
+	for i := range r.cores {
+		s.Totals.add(&r.cores[i])
+	}
+	// Unroll the ring into emission order.
+	n := int(r.total)
+	if n > len(r.ring) {
+		n = len(r.ring)
+	}
+	if n > 0 {
+		s.Events = make([]Event, 0, n)
+		startAt := 0
+		if r.total > uint64(len(r.ring)) {
+			startAt = r.next // oldest surviving record
+		}
+		for i := 0; i < n; i++ {
+			s.Events = append(s.Events, r.ring[(startAt+i)%len(r.ring)])
+		}
+	}
+	return s
+}
+
+// Epoch is one sampled interval of the time-series: counter deltas for
+// the interval, aggregated and per core.
+type Epoch struct {
+	Index    uint64
+	StartRef uint64
+	Refs     uint64
+	Total    Counters
+	PerCore  []Counters
+}

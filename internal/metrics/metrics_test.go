@@ -1,0 +1,267 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestEpochSampling: counters added between ticks land in the right
+// epoch as deltas, and Finish closes the partial tail epoch.
+func TestEpochSampling(t *testing.T) {
+	r := New(Config{EpochRefs: 10}, 2, 25)
+	for i := 0; i < 25; i++ {
+		core := i % 2
+		r.Add(core, CtrRefs, 1)
+		if i < 10 {
+			r.Add(core, CtrL1Hit, 2)
+		} else {
+			r.Add(core, CtrL1Miss, 1)
+		}
+		r.TickRef()
+	}
+	s := r.Finish()
+	if len(s.Epochs) != 3 {
+		t.Fatalf("expected 3 epochs (10+10+5), got %d", len(s.Epochs))
+	}
+	e0, e1, e2 := s.Epochs[0], s.Epochs[1], s.Epochs[2]
+	if e0.Refs != 10 || e1.Refs != 10 || e2.Refs != 5 {
+		t.Errorf("epoch refs = %d,%d,%d, want 10,10,5", e0.Refs, e1.Refs, e2.Refs)
+	}
+	if e2.StartRef != 20 {
+		t.Errorf("tail epoch starts at %d, want 20", e2.StartRef)
+	}
+	if e0.Total[CtrL1Hit] != 20 || e0.Total[CtrL1Miss] != 0 {
+		t.Errorf("epoch 0 totals: hits=%d misses=%d, want 20,0", e0.Total[CtrL1Hit], e0.Total[CtrL1Miss])
+	}
+	if e1.Total[CtrL1Hit] != 0 || e1.Total[CtrL1Miss] != 10 {
+		t.Errorf("epoch 1 totals: hits=%d misses=%d, want 0,10", e1.Total[CtrL1Hit], e1.Total[CtrL1Miss])
+	}
+	if s.Totals[CtrRefs] != 25 || s.Totals[CtrL1Hit] != 20 || s.Totals[CtrL1Miss] != 15 {
+		t.Errorf("run totals wrong: %+v", s.Totals)
+	}
+	// Per-core split: even refs on core 0, odd on core 1.
+	if s.PerCore[0][CtrRefs] != 13 || s.PerCore[1][CtrRefs] != 12 {
+		t.Errorf("per-core refs = %d,%d, want 13,12", s.PerCore[0][CtrRefs], s.PerCore[1][CtrRefs])
+	}
+}
+
+// TestEventRing: the ring keeps the newest EventCap records in emission
+// order and counts what it dropped.
+func TestEventRing(t *testing.T) {
+	r := New(Config{EventCap: 4}, 1, 0)
+	for i := 0; i < 10; i++ {
+		r.Emit(0, EvTFTFill, uint64(i), 0, 0)
+		r.TickRef()
+	}
+	s := r.Finish()
+	if s.EventsTotal != 10 || s.EventsDropped != 6 {
+		t.Fatalf("total=%d dropped=%d, want 10,6", s.EventsTotal, s.EventsDropped)
+	}
+	if len(s.Events) != 4 {
+		t.Fatalf("ring kept %d events, want 4", len(s.Events))
+	}
+	for i, e := range s.Events {
+		if want := uint64(6 + i); e.VA != want || e.Ref != want {
+			t.Errorf("event %d: va=%d ref=%d, want %d (oldest-first order)", i, e.VA, e.Ref, want)
+		}
+	}
+}
+
+// TestEventRingDisabled: EventCap < 0 drops everything without storing.
+func TestEventRingDisabled(t *testing.T) {
+	r := New(Config{EventCap: -1}, 1, 0)
+	r.Emit(0, EvFault, 0, 0, 0)
+	s := r.Finish()
+	if len(s.Events) != 0 || s.EventsTotal != 1 || s.EventsDropped != 1 {
+		t.Fatalf("disabled ring: events=%d total=%d dropped=%d", len(s.Events), s.EventsTotal, s.EventsDropped)
+	}
+}
+
+// TestNilRecorderSafe: every method must be a no-op on a nil receiver —
+// the disabled path every emit site takes.
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Add(3, CtrL1Hit, 1)
+	r.Emit(0, EvPromote, 1, 2, 3)
+	r.TickRef()
+	if r.Ref() != 0 {
+		t.Error("nil Ref() != 0")
+	}
+	if s := r.Finish(); s != nil {
+		t.Errorf("nil Finish() = %+v, want nil", s)
+	}
+}
+
+// TestDisabledPathAllocsFree / TestEnabledPathAllocFree: the acceptance
+// criterion — 0 allocs per reference with metrics off, and 0 allocs on
+// the hot (non-epoch-boundary) path with metrics on.
+func TestDisabledPathAllocFree(t *testing.T) {
+	var r *Recorder
+	if n := testing.AllocsPerRun(1000, func() {
+		r.Add(0, CtrL1Hit, 1)
+		r.Emit(0, EvTFTFill, 0x1000, 0x2000, 0)
+		r.TickRef()
+	}); n != 0 {
+		t.Errorf("disabled path allocates %v per ref, want 0", n)
+	}
+}
+
+func TestEnabledPathAllocFree(t *testing.T) {
+	r := New(Config{EpochRefs: 0, EventCap: 64}, 4, 0)
+	if n := testing.AllocsPerRun(1000, func() {
+		r.Add(2, CtrL1Hit, 1)
+		r.Add(2, CtrWaysProbed, 8)
+		r.Emit(2, EvTFTFill, 0x1000, 0x2000, 0)
+		r.TickRef()
+	}); n != 0 {
+		t.Errorf("enabled hot path allocates %v per ref, want 0", n)
+	}
+}
+
+// TestWriteCSV: header names every counter; rows carry the epoch deltas.
+func TestWriteCSV(t *testing.T) {
+	r := New(Config{EpochRefs: 5}, 1, 10)
+	for i := 0; i < 10; i++ {
+		r.Add(0, CtrRefs, 1)
+		r.Add(0, CtrWalk, 3)
+		r.TickRef()
+	}
+	var buf bytes.Buffer
+	if err := r.Finish().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want header + 2 epochs:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "epoch,start_ref,refs,refs,l1_hits") {
+		t.Errorf("unexpected CSV header: %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0,0,5,5,") || !strings.HasPrefix(lines[2], "1,5,5,5,") {
+		t.Errorf("unexpected CSV rows:\n%s", buf.String())
+	}
+	if !strings.Contains(lines[1], ",15,") { // 3 walks x 5 refs
+		t.Errorf("epoch 0 row missing walk delta 15: %s", lines[1])
+	}
+}
+
+// TestJSONRoundTrip: counters marshal as named objects and survive a
+// round trip; events carry their kind by name.
+func TestJSONRoundTrip(t *testing.T) {
+	r := New(Config{EpochRefs: 4, EventCap: 8}, 2, 8)
+	r.Add(1, CtrTFTFill, 7)
+	r.Emit(1, EvSplinter, 0x200000, 0, 0)
+	for i := 0; i < 8; i++ {
+		r.TickRef()
+	}
+	s := r.Finish()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"tft_fills":7`) {
+		t.Errorf("JSON missing named counter: %s", data)
+	}
+	if !strings.Contains(string(data), `"Kind":"splinter"`) {
+		t.Errorf("JSON missing named event kind: %s", data)
+	}
+	var c Counters
+	if err := json.Unmarshal([]byte(`{"tft_fills":7}`), &c); err != nil {
+		t.Fatal(err)
+	}
+	if c[CtrTFTFill] != 7 {
+		t.Errorf("counters round trip lost tft_fills: %+v", c)
+	}
+}
+
+// TestWriteEvents: the dump shows epoch windows and uses the ArgNamer.
+func TestWriteEvents(t *testing.T) {
+	r := New(Config{EpochRefs: 10, EventCap: 8}, 1, 0)
+	for i := 0; i < 15; i++ {
+		if i == 12 {
+			r.Emit(0, EvFault, 0, 0, 2)
+		}
+		r.TickRef()
+	}
+	var buf bytes.Buffer
+	namer := func(e Event) string {
+		if e.Kind == EvFault {
+			return "kind=ctxswitch"
+		}
+		return ""
+	}
+	if err := r.Finish().WriteEvents(&buf, namer); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "epoch=1") || !strings.Contains(out, "ref=12") {
+		t.Errorf("dump missing epoch/ref context:\n%s", out)
+	}
+	if !strings.Contains(out, "kind=ctxswitch") {
+		t.Errorf("dump did not use the ArgNamer:\n%s", out)
+	}
+}
+
+// TestMerge: the runner's reduction sums totals and tallies only.
+func TestMerge(t *testing.T) {
+	a := New(Config{}, 1, 0)
+	a.Add(0, CtrL1Hit, 5)
+	a.TickRef()
+	b := New(Config{}, 2, 0)
+	b.Add(1, CtrL1Hit, 7)
+	b.Emit(1, EvPromote, 0, 0, 0)
+	b.TickRef()
+	sa, sb := a.Finish(), b.Finish()
+	sa.Merge(sb)
+	if sa.Totals[CtrL1Hit] != 12 || sa.Refs != 2 || sa.EventsTotal != 1 {
+		t.Errorf("merge: hits=%d refs=%d events=%d, want 12,2,1",
+			sa.Totals[CtrL1Hit], sa.Refs, sa.EventsTotal)
+	}
+}
+
+// TestWritePrometheus: text exposition format with the seesaw_ prefix
+// and caller-side extras.
+func TestWritePrometheus(t *testing.T) {
+	r := New(Config{}, 1, 0)
+	r.Add(0, CtrL1Miss, 9)
+	r.TickRef()
+	var buf bytes.Buffer
+	err := r.Finish().WritePrometheus(&buf, PromMetric{Name: "seesaw_cells_total", Help: "cells", Value: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE seesaw_l1_misses_total counter",
+		"seesaw_l1_misses_total 9",
+		"seesaw_refs_total 1",
+		"seesaw_cells_total 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCounterNamesDistinct: every counter and event kind has a distinct
+// non-placeholder name (catches a forgotten name on a new enum value).
+func TestCounterNamesDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for i := Counter(0); i < NumCounters; i++ {
+		n := i.String()
+		if n == "" || strings.HasPrefix(n, "counter_") || seen[n] {
+			t.Errorf("counter %d has bad or duplicate name %q", i, n)
+		}
+		seen[n] = true
+	}
+	seenEv := map[string]bool{}
+	for k := EventKind(0); k < numEventKinds; k++ {
+		n := k.String()
+		if n == "" || strings.HasPrefix(n, "event_") || seenEv[n] {
+			t.Errorf("event kind %d has bad or duplicate name %q", k, n)
+		}
+		seenEv[n] = true
+	}
+}

@@ -1,0 +1,190 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Series is the immutable outcome of one recorded run: cumulative
+// totals, the epoch time-series, and the surviving event window. It is
+// carried on sim.Report, so -json output embeds it directly.
+type Series struct {
+	// EpochRefs is the epoch length (0: no time-series was sampled).
+	EpochRefs int
+	// Cores is the number of coherence participants recorded.
+	Cores int
+	// Refs is the number of references ticked.
+	Refs uint64
+	// Totals aggregates every counter over all cores; PerCore splits it.
+	Totals  Counters
+	PerCore []Counters `json:",omitempty"`
+	// Epochs is the time-series of per-interval deltas.
+	Epochs []Epoch `json:",omitempty"`
+	// Events is the surviving window of the bounded event log, oldest
+	// first. EventsTotal counts every emission; EventsDropped how many
+	// were overwritten or discarded.
+	Events        []Event `json:",omitempty"`
+	EventsTotal   uint64
+	EventsDropped uint64
+}
+
+// MarshalJSON renders the counters as a named object instead of a bare
+// array, keeping -json output self-describing.
+func (c Counters) MarshalJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteByte('{')
+	for i, v := range c {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		fmt.Fprintf(&buf, "%q:%d", Counter(i).String(), v)
+	}
+	buf.WriteByte('}')
+	return buf.Bytes(), nil
+}
+
+// UnmarshalJSON reverses MarshalJSON (tests round-trip reports).
+func (c *Counters) UnmarshalJSON(data []byte) error {
+	m := make(map[string]uint64, NumCounters)
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	for i := Counter(0); i < NumCounters; i++ {
+		c[i] = m[i.String()]
+	}
+	return nil
+}
+
+// kindJSON shadows Event for marshalling with a readable kind.
+type eventJSON struct {
+	Ref  uint64
+	Core int32
+	Kind string
+	VA   string
+	PA   string
+	Arg  uint64
+}
+
+// MarshalJSON renders the event kind by name and addresses in hex.
+func (e Event) MarshalJSON() ([]byte, error) {
+	return json.Marshal(eventJSON{
+		Ref: e.Ref, Core: e.Core, Kind: e.Kind.String(),
+		VA: "0x" + strconv.FormatUint(e.VA, 16),
+		PA: "0x" + strconv.FormatUint(e.PA, 16),
+		Arg: e.Arg,
+	})
+}
+
+// WriteCSV writes the epoch time-series as CSV: one row per epoch with
+// the aggregated (all-core) deltas.
+func (s *Series) WriteCSV(w io.Writer) error {
+	var buf bytes.Buffer
+	buf.WriteString("epoch,start_ref,refs")
+	for i := Counter(0); i < NumCounters; i++ {
+		buf.WriteByte(',')
+		buf.WriteString(i.String())
+	}
+	buf.WriteByte('\n')
+	for _, e := range s.Epochs {
+		fmt.Fprintf(&buf, "%d,%d,%d", e.Index, e.StartRef, e.Refs)
+		for _, v := range e.Total {
+			buf.WriteByte(',')
+			buf.WriteString(strconv.FormatUint(v, 10))
+		}
+		buf.WriteByte('\n')
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// WriteJSON writes the whole series (totals, epochs, events) as
+// indented JSON.
+func (s *Series) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ArgNamer renders an event's Arg for the text dump; it returns "" when
+// it has nothing better than the raw number. The cmd tools compose one
+// from faults.Kind and check.KindName so the dump prints fault schedules
+// and violation kinds by name without this package importing either.
+type ArgNamer func(Event) string
+
+// WriteEvents writes the surviving event window as one text line per
+// record, oldest first, with the epoch each event fell in.
+func (s *Series) WriteEvents(w io.Writer, namer ArgNamer) error {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "# %d events emitted, %d dropped, %d shown (ring)\n",
+		s.EventsTotal, s.EventsDropped, len(s.Events))
+	for _, e := range s.Events {
+		epoch := int64(-1)
+		if s.EpochRefs > 0 {
+			epoch = int64(e.Ref) / int64(s.EpochRefs)
+		}
+		fmt.Fprintf(&buf, "ref=%-8d epoch=%-4d core=%-2d %-14s va=%#x pa=%#x",
+			e.Ref, epoch, e.Core, e.Kind.String(), e.VA, e.PA)
+		if namer != nil {
+			if n := namer(e); n != "" {
+				fmt.Fprintf(&buf, " %s", n)
+				buf.WriteByte('\n')
+				continue
+			}
+		}
+		fmt.Fprintf(&buf, " arg=%d", e.Arg)
+		buf.WriteByte('\n')
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// Merge accumulates another run's counters into s — the runner's
+// per-cell reduction. Only order-insensitive aggregates merge (totals,
+// ref counts, event tallies); epochs, events, and per-core splits are
+// per-run and stay untouched.
+func (s *Series) Merge(o *Series) {
+	if o == nil {
+		return
+	}
+	s.Totals.add(&o.Totals)
+	s.Refs += o.Refs
+	s.EventsTotal += o.EventsTotal
+	s.EventsDropped += o.EventsDropped
+	s.Cores = 0
+	s.PerCore = nil
+}
+
+// WritePrometheus renders the cumulative totals in Prometheus text
+// exposition format, with every metric prefixed "seesaw_". extra rows
+// (name, help, value) are appended for caller-side gauges such as the
+// sweep's pool statistics.
+func (s *Series) WritePrometheus(w io.Writer, extra ...PromMetric) error {
+	var buf bytes.Buffer
+	writeProm := func(name, help string, v float64) {
+		fmt.Fprintf(&buf, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+	}
+	writeProm("seesaw_refs_total", "references simulated", float64(s.Refs))
+	for i := Counter(0); i < NumCounters; i++ {
+		if i == CtrRefs {
+			continue // covered by seesaw_refs_total
+		}
+		writeProm("seesaw_"+i.String()+"_total", "simulator counter "+i.String(), float64(s.Totals[i]))
+	}
+	writeProm("seesaw_events_emitted_total", "structured events emitted", float64(s.EventsTotal))
+	writeProm("seesaw_events_dropped_total", "structured events dropped by the bounded ring", float64(s.EventsDropped))
+	for _, m := range extra {
+		writeProm(m.Name, m.Help, m.Value)
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// PromMetric is one extra Prometheus sample for WritePrometheus.
+type PromMetric struct {
+	Name  string
+	Help  string
+	Value float64
+}

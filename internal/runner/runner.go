@@ -18,11 +18,13 @@ package runner
 import (
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"runtime/debug"
 	"sync"
 	"time"
 
+	"seesaw/internal/metrics"
 	"seesaw/internal/sim"
 )
 
@@ -112,6 +114,14 @@ type Pool struct {
 	mu    sync.Mutex
 	cells map[string]*Future
 	stats Stats
+	// order records every distinct scheduled execution (cache hits are
+	// excluded) in submission order, so MergedSeries reduces each cell's
+	// metrics exactly once, deterministically.
+	order []*Future
+	// progress, when set, gets a live one-line status update as cells
+	// complete; completed counts them.
+	progress  io.Writer
+	completed uint64
 }
 
 // New returns a pool with the given worker count; workers <= 0 selects
@@ -155,6 +165,36 @@ func (p *Pool) WithRetries(n int) *Pool {
 	return p
 }
 
+// WithProgress enables a live progress line on w (in-place, \r-updated):
+// one update per completed cell execution. Call FinishProgress once the
+// final future has been awaited to terminate the line. Configure before
+// the first Submit.
+func (p *Pool) WithProgress(w io.Writer) *Pool {
+	p.progress = w
+	return p
+}
+
+// noteDone updates the live progress line after one cell execution.
+func (p *Pool) noteDone() {
+	if p.progress == nil {
+		return
+	}
+	p.mu.Lock()
+	p.completed++
+	done, st := p.completed, p.stats
+	p.mu.Unlock()
+	fmt.Fprintf(p.progress, "\rcells %d/%d done (cache hits %d, retries %d, failures %d) ",
+		done, st.Submitted-st.CacheHits, st.CacheHits, st.Retries, st.Failures)
+}
+
+// FinishProgress terminates the progress line; a no-op when progress
+// reporting is off.
+func (p *Pool) FinishProgress() {
+	if p.progress != nil {
+		fmt.Fprintln(p.progress)
+	}
+}
+
 // Workers returns the pool's concurrency bound.
 func (p *Pool) Workers() int { return p.workers }
 
@@ -184,9 +224,12 @@ func (p *Pool) Submit(cfg sim.Config) *Future {
 	if cacheable {
 		p.cells[key] = f
 	}
+	p.order = append(p.order, f)
 	p.mu.Unlock()
 	schedule(p, f, func() (*sim.Report, error) {
-		return p.guarded(cfg)
+		rep, err := p.guarded(cfg)
+		p.noteDone()
+		return rep, err
 	})
 	return f
 }
@@ -297,10 +340,34 @@ func schedule[T any](p *Pool, t *Task[T], fn func() (T, error)) {
 	}()
 }
 
+// MergedSeries awaits every distinct executed cell in submission order
+// and merges their metrics into one counters-only Series (per-epoch and
+// per-core structure is per-run; see metrics.Series.Merge). Cells that
+// failed, or ran without metrics enabled, contribute nothing; nil is
+// returned when no cell recorded metrics. The submit-order reduction
+// makes the totals independent of worker interleaving.
+func (p *Pool) MergedSeries() *metrics.Series {
+	p.mu.Lock()
+	order := append([]*Future(nil), p.order...)
+	p.mu.Unlock()
+	var merged *metrics.Series
+	for _, f := range order {
+		rep, err := f.Wait()
+		if err != nil || rep == nil || rep.Metrics == nil {
+			continue
+		}
+		if merged == nil {
+			merged = &metrics.Series{}
+		}
+		merged.Merge(rep.Metrics)
+	}
+	return merged
+}
+
 // cellKey derives the cache key for a config. Configs replaying an
 // explicit trace are not cacheable: the trace contents are not folded
-// into the key. The co-runner and fault pointers are dereferenced so
-// the key depends on their values, not their addresses.
+// into the key. The co-runner, fault, and metrics pointers are
+// dereferenced so the key depends on their values, not their addresses.
 func cellKey(cfg sim.Config) (string, bool) {
 	if cfg.Trace != nil {
 		return "", false
@@ -313,8 +380,13 @@ func cellKey(cfg sim.Config) (string, bool) {
 	if cfg.Faults != nil {
 		fa = fmt.Sprintf("%+v", *cfg.Faults)
 	}
+	me := ""
+	if cfg.Metrics != nil {
+		me = fmt.Sprintf("%+v", *cfg.Metrics)
+	}
 	c := cfg
 	c.CoRunner = nil
 	c.Faults = nil
-	return fmt.Sprintf("%+v|co=%s|faults=%s", c, co, fa), true
+	c.Metrics = nil
+	return fmt.Sprintf("%+v|co=%s|faults=%s|metrics=%s", c, co, fa, me), true
 }

@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"seesaw/internal/faults"
+	"seesaw/internal/metrics"
+)
+
+// TestMetricsSeriesMatchesReport: the observability layer is a second
+// set of books — its counter totals must reconcile with the report's
+// own statistics, and the epoch deltas must sum back to the totals.
+func TestMetricsSeriesMatchesReport(t *testing.T) {
+	cfg := chaosCfg(t, KindSeesaw)
+	cfg.Metrics = &metrics.Config{EpochRefs: 500}
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Metrics
+	if s == nil {
+		t.Fatal("metrics enabled but report carries no series")
+	}
+	if s.Refs != uint64(cfg.Refs) {
+		t.Errorf("series refs = %d, want %d", s.Refs, cfg.Refs)
+	}
+	if got := s.Totals[metrics.CtrL1Hit]; got != r.L1Hits {
+		t.Errorf("series l1_hits = %d, report says %d", got, r.L1Hits)
+	}
+	if got := s.Totals[metrics.CtrL1Miss]; got != r.L1Misses {
+		t.Errorf("series l1_misses = %d, report says %d", got, r.L1Misses)
+	}
+	if got := s.Totals[metrics.CtrTFTFill]; got != r.TFT.Fills {
+		t.Errorf("series tft_fills = %d, report says %d", got, r.TFT.Fills)
+	}
+	if got := s.Totals[metrics.CtrTFTFlush]; got != r.TFT.Flushes {
+		t.Errorf("series tft_flushes = %d, report says %d", got, r.TFT.Flushes)
+	}
+	if got := s.Totals[metrics.CtrWalk]; got != r.TLB.Walks {
+		t.Errorf("series walks = %d, report says %d", got, r.TLB.Walks)
+	}
+	if got := s.Totals[metrics.CtrCohProbe]; got != r.Coh.ProbesSent {
+		t.Errorf("series coh_probes = %d, report says %d", got, r.Coh.ProbesSent)
+	}
+	if got := s.Totals[metrics.CtrPromotion]; got != r.Promotions {
+		t.Errorf("series promotions = %d, report says %d", got, r.Promotions)
+	}
+	if got := s.Totals[metrics.CtrSplinter]; got != r.Splinters {
+		t.Errorf("series splinters = %d, report says %d", got, r.Splinters)
+	}
+	// Epoch deltas must sum back to the totals — no epoch lost or
+	// double-counted at the boundaries.
+	var fromEpochs metrics.Counters
+	var refs uint64
+	for _, e := range s.Epochs {
+		for i := range fromEpochs {
+			fromEpochs[i] += e.Total[i]
+		}
+		refs += e.Refs
+	}
+	if fromEpochs != s.Totals {
+		t.Errorf("epoch deltas do not sum to totals:\n  epochs: %v\n  totals: %v", fromEpochs, s.Totals)
+	}
+	if refs != s.Refs {
+		t.Errorf("epoch ref spans sum to %d, series saw %d", refs, s.Refs)
+	}
+}
+
+// TestChaosViolationVisibleInEventLog is the acceptance scenario: a
+// seeded fault schedule that provably breaks an invariant (the dropped
+// TFT invalidation mutation) must leave a legible trail in the event
+// log — the injected fault and the violation it causes land within one
+// epoch window of each other, so the -events dump localizes the bug.
+func TestChaosViolationVisibleInEventLog(t *testing.T) {
+	const epochRefs = 2_000
+	cfg := chaosCfg(t, KindSeesaw)
+	cfg.ContextSwitchEvery = -1 // TFT flushes would hide the stale entry
+	cfg.Faults = &faults.Config{Schedule: "splinter", Every: 200, DropTFTInvalidate: true}
+	cfg.Metrics = &metrics.Config{EpochRefs: epochRefs, EventCap: 65_536}
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Check.Violations == 0 {
+		t.Fatal("mutated run produced no violations; scenario is broken")
+	}
+	s := r.Metrics
+	if s == nil {
+		t.Fatal("no metrics recorded")
+	}
+	if s.EventsDropped != 0 {
+		t.Fatalf("event ring dropped %d records; raise EventCap so the trail is complete", s.EventsDropped)
+	}
+	if got := s.Totals[metrics.CtrViolation]; got != r.Check.Violations {
+		t.Errorf("series violations = %d, checker recorded %d", got, r.Check.Violations)
+	}
+	if got := s.Totals[metrics.CtrFault]; r.Faults != nil && got != r.Faults.Injected {
+		t.Errorf("series faults = %d, injector recorded %d", got, r.Faults.Injected)
+	}
+	// Find the first violation event and the nearest injected fault
+	// before it.
+	var violation *metrics.Event
+	lastFaultRef := uint64(0)
+	haveFault := false
+	faultBefore := uint64(0)
+	for i := range s.Events {
+		e := &s.Events[i]
+		switch e.Kind {
+		case metrics.EvFault:
+			lastFaultRef = e.Ref
+			haveFault = true
+		case metrics.EvViolation:
+			if violation == nil {
+				violation = e
+				faultBefore = lastFaultRef
+			}
+		}
+	}
+	if violation == nil {
+		t.Fatal("no violation event in the log despite recorded violations")
+	}
+	if !haveFault {
+		t.Fatal("no fault event in the log despite injected faults")
+	}
+	if violation.Ref < faultBefore {
+		t.Fatalf("violation at ref %d precedes its fault at ref %d", violation.Ref, faultBefore)
+	}
+	if violation.Ref-faultBefore >= epochRefs {
+		t.Errorf("violation at ref %d is %d refs after the last fault — outside one epoch window (%d)",
+			violation.Ref, violation.Ref-faultBefore, epochRefs)
+	}
+	// The same window must be visible in the epoch series: the epoch
+	// containing the violation records both a fault and a violation, so
+	// the CSV time-series localizes the incident too.
+	idx := int(violation.Ref) / epochRefs
+	if idx >= len(s.Epochs) {
+		t.Fatalf("violation ref %d maps to epoch %d but series has %d epochs", violation.Ref, idx, len(s.Epochs))
+	}
+	ep := s.Epochs[idx]
+	if ep.Total[metrics.CtrViolation] == 0 {
+		t.Errorf("epoch %d shows no violations despite event at ref %d", idx, violation.Ref)
+	}
+	if ep.Total[metrics.CtrFault] == 0 && idx > 0 && s.Epochs[idx-1].Total[metrics.CtrFault] == 0 {
+		t.Errorf("neither epoch %d nor %d shows an injected fault", idx, idx-1)
+	}
+	// The event dump renders the violation with its kind name resolved.
+	var buf bytes.Buffer
+	if err := s.WriteEvents(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(" violation ")) || !bytes.Contains(buf.Bytes(), []byte(" fault ")) {
+		t.Error("event dump does not render both fault and violation records")
+	}
+}
+
+// TestMetricsDeterministic: two identical metrics-enabled runs produce
+// identical series — totals, epochs, and the full event stream.
+func TestMetricsDeterministic(t *testing.T) {
+	cfg := chaosCfg(t, KindSeesaw)
+	cfg.Faults = &faults.Config{Schedule: "mix", Every: 250}
+	cfg.Metrics = &metrics.Config{EpochRefs: 500}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ab, bb bytes.Buffer
+	if err := a.Metrics.WriteJSON(&ab); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Metrics.WriteJSON(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab.Bytes(), bb.Bytes()) {
+		t.Error("two identical runs produced different metric series")
+	}
+}

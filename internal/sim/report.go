@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"seesaw/internal/stats"
+)
+
+// WriteText renders the full human-readable report — timing, cache and
+// TLB/TFT behaviour, coherence, OS activity, fault/check outcomes, and
+// the energy breakdown. This is the exact output of seesaw-sim's default
+// mode; the golden-report tests pin it byte for byte.
+func (r *Report) WriteText(w io.Writer) error {
+	fmt.Fprintf(w, "design:    %s\n", r.Design)
+	fmt.Fprintf(w, "workload:  %s\n", r.Workload)
+	fmt.Fprintf(w, "cycles:    %d (IPC %.3f, runtime %.3f ms)\n", r.Cycles, r.IPC, r.RuntimeSec*1e3)
+	fmt.Fprintf(w, "L1:        %d hits, %d misses (%.2f%% hit, MPKI %.1f)\n",
+		r.L1Hits, r.L1Misses, 100*stats.Ratio(r.L1Hits, r.L1Hits+r.L1Misses), r.MPKI)
+	if r.L1IHits+r.L1IMisses > 0 {
+		fmt.Fprintf(w, "L1I:       %d hits, %d misses (%.2f%% hit)\n",
+			r.L1IHits, r.L1IMisses, 100*stats.Ratio(r.L1IHits, r.L1IHits+r.L1IMisses))
+	}
+	fmt.Fprintf(w, "superpage: coverage %.1f%%, reference share %.1f%%\n",
+		100*r.SuperpageCoverage, 100*r.SuperRefFraction)
+	if r.TFT.Lookups > 0 {
+		fmt.Fprintf(w, "TFT:       %.1f%% hit rate; %.2f%% of superpage accesses missed (%.2f%% L1-hit / %.2f%% L1-miss)\n",
+			100*r.TFT.HitRate, r.TFT.SuperMissedPct, r.TFT.SuperMissedL1HitPct, r.TFT.SuperMissedL1MissPct)
+		fmt.Fprintf(w, "TFT evts:  %d fills, %d invalidations, %d flushes, %d stale hits avoided\n",
+			r.TFT.Fills, r.TFT.Invalidations, r.TFT.Flushes, r.TFT.StaleHitsAvoided)
+	}
+	fmt.Fprintf(w, "TLB:       %.2f%% L1 hit, %d L2 lookups, %d walks\n",
+		100*r.TLB.L1HitRate, r.TLB.L2Lookups, r.TLB.Walks)
+	fmt.Fprintf(w, "coherence: %d probes, %d invalidations, %d downgrades\n",
+		r.Coh.ProbesSent, r.Coh.Invalidations, r.Coh.Downgrades)
+	fmt.Fprintf(w, "OS:        %d promotions, %d splinters\n", r.Promotions, r.Splinters)
+	if r.Faults != nil {
+		fmt.Fprintf(w, "faults:    %d injected (%d splinters, %d shootdowns, %d ctx switches, %d promote storms, %d memhog spikes), %d skipped\n",
+			r.Faults.Injected, r.Faults.Splinters, r.Faults.Shootdowns,
+			r.Faults.ContextSwitches, r.Faults.PromoteStorms, r.Faults.MemhogSpikes, r.Faults.Skipped)
+	}
+	if r.Check != nil {
+		fmt.Fprintf(w, "check:     %d invariant checks, %d violations\n", r.Check.Checks, r.Check.Violations)
+		for _, v := range r.Check.Sample {
+			fmt.Fprintf(w, "  VIOLATION %s\n", v.String())
+		}
+	}
+	if r.WPAccuracy > 0 {
+		fmt.Fprintf(w, "waypred:   %.1f%% accuracy\n", 100*r.WPAccuracy)
+	}
+	if r.Metrics != nil {
+		m := r.Metrics
+		fmt.Fprintf(w, "metrics:   %d epochs of %d refs; %d events emitted, %d dropped\n",
+			len(m.Epochs), m.EpochRefs, m.EventsTotal, m.EventsDropped)
+	}
+	fmt.Fprintln(w)
+	_, err := r.Energy.BreakdownTable(r.RuntimeSec).WriteTo(w)
+	return err
+}

@@ -19,6 +19,7 @@ import (
 	"seesaw/internal/cpu"
 	"seesaw/internal/energy"
 	"seesaw/internal/faults"
+	"seesaw/internal/metrics"
 	"seesaw/internal/osmm"
 	"seesaw/internal/pagetable"
 	"seesaw/internal/physmem"
@@ -144,6 +145,14 @@ type Config struct {
 	// are reported in Report.Check. Roughly doubles runtime; intended
 	// for chaos sweeps and debugging, not performance measurement.
 	CheckInvariants bool
+
+	// Metrics, when non-nil, enables the observability layer (see
+	// internal/metrics): per-core counters sampled into an epoch
+	// time-series plus a bounded structured event ring that the fault
+	// injector and invariant checker annotate. Report.Metrics carries
+	// the result. Nil — the default — costs one nil check per emit site
+	// and zero allocations.
+	Metrics *metrics.Config
 
 	// CoRunner, when non-nil, makes context switches real: every
 	// ContextSwitchEvery references each application core switches to a
@@ -333,6 +342,9 @@ type Report struct {
 	// Check reports the invariant-checker outcome (nil unless
 	// Config.CheckInvariants).
 	Check *check.Report
+	// Metrics carries the epoch time-series and event log (nil unless
+	// Config.Metrics).
+	Metrics *metrics.Series
 }
 
 // Run executes one simulation.
@@ -425,6 +437,19 @@ func Run(cfg Config) (*Report, error) {
 			coGens[c] = g2
 		}
 	}
+	// Observability: one recorder spans the whole coherence domain (data
+	// caches 0..nCores-1, instruction caches nCores..2nCores-1). mrec is
+	// nil when metrics are off — every emit site below is a nil-safe
+	// no-op then.
+	var mrec *metrics.Recorder
+	if cfg.Metrics != nil {
+		recCores := nCores
+		if cfg.ICache {
+			recCores = 2 * nCores
+		}
+		mrec = metrics.New(*cfg.Metrics, recCores, cfg.Refs)
+	}
+
 	l1s := make([]core.L1Cache, nCores)
 	seesaws := make([]*core.Seesaw, nCores) // nil unless KindSeesaw
 	hiers := make([]*tlb.Hierarchy, nCores)
@@ -469,6 +494,12 @@ func Run(cfg Config) (*Report, error) {
 			return nil, err
 		}
 		l1s[i], seesaws[i] = l1, s
+		if mrec != nil {
+			l1.Storage().Metrics, l1.Storage().MetricsCore = mrec, i
+			if s != nil {
+				s.TFT().Metrics, s.TFT().MetricsCore = mrec, i
+			}
+		}
 		if cfg.ICache {
 			icfg := l1cfg
 			icfg.SizeBytes = 32 << 10
@@ -479,12 +510,19 @@ func Run(cfg Config) (*Report, error) {
 				return nil, err
 			}
 			l1is[i], iseesaws[i] = il1, is
+			if mrec != nil {
+				il1.Storage().Metrics, il1.Storage().MetricsCore = mrec, nCores+i
+				if is != nil {
+					is.TFT().Metrics, is.TFT().MetricsCore = mrec, nCores+i
+				}
+			}
 		}
 		walker := pagetable.NewWalker(proc.PT, 20)
 		h, err := tlb.NewHierarchy(tlbCfg, walker)
 		if err != nil {
 			return nil, err
 		}
+		h.Metrics, h.MetricsCore = mrec, i
 		ds, is := seesaws[i], (*core.Seesaw)(nil)
 		if cfg.ICache {
 			is = iseesaws[i]
@@ -516,6 +554,7 @@ func Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	cohSys.Metrics = mrec
 
 	// Optional shadow oracle: audits every reference and OS event
 	// against page-table / directory ground truth.
@@ -525,6 +564,7 @@ func Run(cfg Config) (*Report, error) {
 			L1s: cohL1s, Hiers: hiers, Seesaws: seesaws, ISeesaws: iseesaws,
 			Coh: cohSys, Mgr: mgr,
 		})
+		chk.Metrics = mrec
 	}
 	// curRef tags checker findings and fault events with the reference
 	// index they occurred at, so a violation reproduces from (cfg, seed,
@@ -540,6 +580,10 @@ func Run(cfg Config) (*Report, error) {
 	// IV-C2 protocol prevents and the invariant checker must catch.
 	dropTFT := cfg.Faults != nil && cfg.Faults.DropTFTInvalidate
 	mgr.OnInvlpg = func(asid uint16, vaBase addr.VAddr) {
+		// One shootdown event per 2MB region (not per 4KB page per core —
+		// that would flood the ring); the per-entry drop counts land in
+		// CtrTLBShootdown via Hierarchy.Invalidate.
+		mrec.Emit(-1, metrics.EvTLBShootdown, uint64(vaBase), 0, uint64(asid))
 		for i := range hiers {
 			for off := uint64(0); off < 2<<20; off += 4096 {
 				hiers[i].Invalidate(vaBase+addr.VAddr(off), asid)
@@ -559,6 +603,8 @@ func Run(cfg Config) (*Report, error) {
 		}
 	}
 	mgr.OnPromote = func(asid uint16, vaBase addr.VAddr, oldFrames []addr.PAddr, newPA addr.PAddr) {
+		mrec.Add(0, metrics.CtrPromotion, 1)
+		mrec.Emit(-1, metrics.EvPromote, uint64(vaBase), uint64(newPA), uint64(len(oldFrames)))
 		for i, l1 := range l1s {
 			for _, f := range oldFrames {
 				for _, v := range l1.EvictRange(f, f+4096) {
@@ -599,6 +645,29 @@ func Run(cfg Config) (*Report, error) {
 	}
 
 	const mainASID = 1
+	// lastWidth tracks each coherence participant's most recent probe
+	// width so EvProbeWidth fires only on fast/slow transitions, not on
+	// every reference. Only maintained when metrics are on.
+	var lastWidth []int
+	if mrec != nil {
+		lastWidth = make([]int, len(cohL1s))
+	}
+	sampleAccess := func(mcore int, va addr.VAddr, ar core.AccessResult) {
+		if mrec == nil {
+			return
+		}
+		mrec.Add(mcore, metrics.CtrRefs, 1)
+		mrec.Add(mcore, metrics.CtrWaysProbed, uint64(ar.WaysProbed))
+		if ar.FastPath {
+			mrec.Add(mcore, metrics.CtrFastProbe, 1)
+		} else {
+			mrec.Add(mcore, metrics.CtrSlowProbe, 1)
+		}
+		if ar.WaysProbed != lastWidth[mcore] {
+			lastWidth[mcore] = ar.WaysProbed
+			mrec.Emit(mcore, metrics.EvProbeWidth, uint64(va), 0, uint64(ar.WaysProbed))
+		}
+	}
 	// dataAccess runs one data reference on core tid in the given
 	// address space: translate, L1 lookup, miss service / coherence
 	// upgrade, scheduler-speculation resolution, retire. countStats
@@ -618,6 +687,7 @@ func Run(cfg Config) (*Report, error) {
 		store := rec.Kind != 0
 		ar := l1s[tid].Access(rec.VA, tr.PA, tr.Size, store)
 		acct.AddL1CPUSide(ar.EnergyNJ)
+		sampleAccess(tid, rec.VA, ar)
 		// Audit before the miss is filled: the full-probe ground truth
 		// must reflect the state this lookup actually saw.
 		if chk != nil {
@@ -747,7 +817,10 @@ func Run(cfg Config) (*Report, error) {
 				inj.Skip()
 				return nil
 			}
-			return mgr.Splinter(proc, cands[int(ev.Pick%uint64(len(cands)))])
+			va := cands[int(ev.Pick%uint64(len(cands)))]
+			mrec.Add(0, metrics.CtrSplinter, 1)
+			mrec.Emit(-1, metrics.EvSplinter, uint64(va), 0, 0)
+			return mgr.Splinter(proc, va)
 		case faults.Shootdown:
 			cands := proc.ChunkVAs()
 			if len(cands) == 0 {
@@ -819,6 +892,7 @@ func Run(cfg Config) (*Report, error) {
 			}
 			iar := l1is[tid].Access(iva, itr.PA, itr.Size, false)
 			acct.AddL1CPUSide(iar.EnergyNJ)
+			sampleAccess(nCores+tid, iva, iar)
 			if chk != nil {
 				chk.AfterAccess(check.Access{
 					Ref: curRef, Core: nCores + tid, VA: iva, ASID: 1, TR: itr, AR: iar,
@@ -861,16 +935,24 @@ func Run(cfg Config) (*Report, error) {
 			// Splinter the superpage under the most recent heap access,
 			// if any — exercising Section IV-C2 in-flight.
 			if proc.ChunkIsSuper(rec.VA) {
+				mrec.Add(0, metrics.CtrSplinter, 1)
+				mrec.Emit(-1, metrics.EvSplinter, uint64(rec.VA), 0, 0)
 				mgr.Splinter(proc, rec.VA)
 			}
 		}
 		if inj != nil {
 			if ev, ok := inj.Tick(i); ok {
+				// Annotate the fault before applying it, so the event dump
+				// shows the injection immediately followed by its fallout
+				// (shootdowns, TFT invalidations, flushes).
+				mrec.Add(0, metrics.CtrFault, 1)
+				mrec.Emit(-1, metrics.EvFault, 0, 0, uint64(ev.Kind))
 				if err := applyFault(ev); err != nil {
 					return nil, err
 				}
 			}
 		}
+		mrec.TickRef()
 	}
 
 	r, err := buildReport(cfg, gen, proc, mgr, cohSys, l1s, l1is, seesaws, hiers, cpus, acct, l2Lookups, superRefs)
@@ -884,6 +966,7 @@ func Run(cfg Config) (*Report, error) {
 	if chk != nil {
 		r.Check = chk.Report()
 	}
+	r.Metrics = mrec.Finish()
 	return r, nil
 }
 

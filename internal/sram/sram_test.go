@@ -235,3 +235,70 @@ func TestEightKBRowSupportsNarrowPartitions(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestProbeEnergyEnvelopeAllSizes is the table-driven generalization of
+// the Section IV-A4 anchor: at every supported cache size, a 4-way
+// SEESAW partition probe of an 8-way array must save ~40% of the full
+// 8-way probe energy — the factor model keeps the envelope uniform, and
+// this test pins it so recalibration can't silently erode the paper's
+// headline saving.
+func TestProbeEnergyEnvelopeAllSizes(t *testing.T) {
+	cases := []struct {
+		sizeKB uint64
+		minPct float64
+		maxPct float64
+	}{
+		{8, 38.5, 40.5},
+		{16, 38.5, 40.5},
+		{32, 38.5, 40.5},
+		{64, 38.5, 40.5},
+		{128, 38.5, 40.5},
+		{256, 38.5, 40.5},
+	}
+	for _, tc := range cases {
+		size := tc.sizeKB << 10
+		e8, err := Energy(size, 8)
+		if err != nil {
+			t.Fatalf("%dKB: %v", tc.sizeKB, err)
+		}
+		e4, err := ProbeEnergy(size, 4, 8)
+		if err != nil {
+			t.Fatalf("%dKB: %v", tc.sizeKB, err)
+		}
+		saving := 100 * (e8 - e4) / e8
+		if saving < tc.minPct || saving > tc.maxPct {
+			t.Errorf("%dKB: 4-of-8-way probe saving = %.2f%%, want [%.1f, %.1f]",
+				tc.sizeKB, saving, tc.minPct, tc.maxPct)
+		}
+	}
+}
+
+// TestProbeEnergyHalfWidthEnvelope: probing half the ways of wider
+// arrays lands in the same band — 8-of-16 and 16-of-32 probes save
+// 30-37% (the assoc steps above 8 are shallower than 4->8, so the
+// saving narrows but must stay substantial).
+func TestProbeEnergyHalfWidthEnvelope(t *testing.T) {
+	cases := []struct {
+		ways, of int
+		minPct   float64
+		maxPct   float64
+	}{
+		{8, 16, 30, 37},
+		{16, 32, 28, 35},
+	}
+	for _, tc := range cases {
+		eFull, err := Energy(64<<10, tc.of)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ePart, err := ProbeEnergy(64<<10, tc.ways, tc.of)
+		if err != nil {
+			t.Fatal(err)
+		}
+		saving := 100 * (eFull - ePart) / eFull
+		if saving < tc.minPct || saving > tc.maxPct {
+			t.Errorf("%d-of-%d-way probe saving = %.2f%%, want [%.1f, %.1f]",
+				tc.ways, tc.of, saving, tc.minPct, tc.maxPct)
+		}
+	}
+}

@@ -11,7 +11,10 @@
 // regions are ever inserted.
 package tft
 
-import "seesaw/internal/addr"
+import (
+	"seesaw/internal/addr"
+	"seesaw/internal/metrics"
+)
 
 // Config sizes a TFT.
 type Config struct {
@@ -55,6 +58,11 @@ type TFT struct {
 	// invalOrder bounds it FIFO-style at maxInvalidated regions.
 	invalidated map[uint64]struct{}
 	invalOrder  []uint64
+
+	// Metrics, when non-nil, mirrors fills/invalidations/flushes into
+	// the observability layer under MetricsCore.
+	Metrics     *metrics.Recorder
+	MetricsCore int
 }
 
 // maxInvalidated bounds the recently-invalidated region memory; it is
@@ -106,10 +114,12 @@ func (t *TFT) Lookup(va addr.VAddr) bool {
 			copy(set[1:i+1], set[:i])
 			set[0] = region
 			t.Stats.Hits++
+			t.Metrics.Add(t.MetricsCore, metrics.CtrTFTHit, 1)
 			return true
 		}
 	}
 	t.Stats.Misses++
+	t.Metrics.Add(t.MetricsCore, metrics.CtrTFTMiss, 1)
 	if _, was := t.invalidated[region]; was {
 		// The only reason this region is absent is a recent invlpg:
 		// without it this lookup would have hit a stale entry.
@@ -124,6 +134,7 @@ func (t *TFT) Lookup(va addr.VAddr) bool {
 func (t *TFT) Fill(va addr.VAddr) {
 	t.Stats.Fills++
 	region := va.Region2M()
+	t.Metrics.Add(t.MetricsCore, metrics.CtrTFTFill, 1)
 	// A refill means the region is legitimately superpage-backed again;
 	// later misses on it are ordinary, not avoided stale hits.
 	t.forgetInvalidated(region)
@@ -136,6 +147,9 @@ func (t *TFT) Fill(va addr.VAddr) {
 			return
 		}
 	}
+	// Only a genuine insertion is a state change worth an event record;
+	// re-fills of a resident region would flood the bounded ring.
+	t.Metrics.Emit(t.MetricsCore, metrics.EvTFTFill, region<<21, 0, 0)
 	if len(set) >= t.cfg.Assoc {
 		set = set[:t.cfg.Assoc-1]
 	}
@@ -152,6 +166,8 @@ func (t *TFT) Invalidate(va addr.VAddr) bool {
 		if tag == region {
 			t.sets[si] = append(t.sets[si][:i], t.sets[si][i+1:]...)
 			t.Stats.Invalidations++
+			t.Metrics.Add(t.MetricsCore, metrics.CtrTFTInvalidate, 1)
+			t.Metrics.Emit(t.MetricsCore, metrics.EvTFTInvalidate, region<<21, 0, 0)
 			t.rememberInvalidated(region)
 			return true
 		}
@@ -198,6 +214,8 @@ func (t *TFT) Flush() {
 	t.invalidated = make(map[uint64]struct{})
 	t.invalOrder = nil
 	t.Stats.Flushes++
+	t.Metrics.Add(t.MetricsCore, metrics.CtrTFTFlush, 1)
+	t.Metrics.Emit(t.MetricsCore, metrics.EvTFTFlush, 0, 0, 0)
 }
 
 // Contains reports whether va's region is present without touching

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"seesaw/internal/addr"
+	"seesaw/internal/metrics"
 	"seesaw/internal/pagetable"
 )
 
@@ -120,6 +121,11 @@ type Hierarchy struct {
 	// OnL1SuperFill, if set, is called whenever a 2MB translation is
 	// filled into the L1 2MB TLB; the TFT hooks in here.
 	OnL1SuperFill func(va addr.VAddr, asid uint16)
+
+	// Metrics, when non-nil, mirrors fills, walks, and shootdowns into
+	// the observability layer under MetricsCore.
+	Metrics     *metrics.Recorder
+	MetricsCore int
 }
 
 // NewHierarchy builds the TLB stack over the given walker.
@@ -208,6 +214,7 @@ func (h *Hierarchy) Translate(va addr.VAddr, asid uint16) Result {
 	if h.l2 != nil {
 		extra += h.cfg.L2LatencyCycles
 		if e, ok := h.l2.Lookup(va, asid); ok {
+			h.Metrics.Add(h.MetricsCore, metrics.CtrTLBFill, 1)
 			h.fillL1(e, va)
 			return Result{
 				PA:            addr.Translate(va, e.PPN, e.Size),
@@ -224,6 +231,10 @@ func (h *Hierarchy) Translate(va addr.VAddr, asid uint16) Result {
 		return Result{Source: SourceFault, ExtraCycles: extra}
 	}
 	e := Entry{VPN: va.VPN(pte.Size), PPN: pte.PPN, Size: pte.Size, ASID: asid}
+	h.Metrics.Add(h.MetricsCore, metrics.CtrWalk, 1)
+	h.Metrics.Add(h.MetricsCore, metrics.CtrTLBFill, 1)
+	h.Metrics.Emit(h.MetricsCore, metrics.EvTLBFill,
+		uint64(va), uint64(addr.Translate(va, e.PPN, e.Size)), uint64(e.Size.Bytes()))
 	if h.l2 != nil && h.l2.holds(e.Size) {
 		h.l2.Fill(e)
 	}
@@ -247,6 +258,9 @@ func (h *Hierarchy) Invalidate(va addr.VAddr, asid uint16) int {
 	}
 	if h.l2 != nil {
 		n += h.l2.Invalidate(va, asid)
+	}
+	if n > 0 {
+		h.Metrics.Add(h.MetricsCore, metrics.CtrTLBShootdown, uint64(n))
 	}
 	return n
 }

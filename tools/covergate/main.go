@@ -1,0 +1,141 @@
+// Command covergate is the repo's coverage gate: it runs `go test
+// -cover` over the module, parses the per-package coverage figures, and
+// fails if any package in the checked-in floors file regressed below its
+// floor. `make cover` (part of `make verify`) runs it.
+//
+// The floors file (coverage_floors.txt at the repo root) holds one
+// "import/path minimum-percent" pair per line, with # comments. Floors
+// are deliberately a few points below current coverage: the gate exists
+// to catch untested new subsystems and large deletions of tests, not to
+// punish every refactor.
+//
+// Usage:
+//
+//	go run ./tools/covergate [-floors coverage_floors.txt] [-pkg ./...]
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+var coverLine = regexp.MustCompile(`^(ok\s+|\s*)(\S+)\s.*coverage:\s+(\d+(?:\.\d+)?)% of statements`)
+
+func main() {
+	floorsPath := flag.String("floors", "coverage_floors.txt", "per-package coverage floors file")
+	pkgPattern := flag.String("pkg", "./...", "package pattern to test")
+	flag.Parse()
+
+	floors, err := readFloors(*floorsPath)
+	if err != nil {
+		fatal(err)
+	}
+	measured, testOutput, testErr := runCoverage(*pkgPattern)
+	// Always show the underlying go test output so a failing test is
+	// diagnosable from the gate's own log.
+	os.Stdout.Write(testOutput)
+	if testErr != nil {
+		fatal(fmt.Errorf("go test failed: %w", testErr))
+	}
+
+	var violations []string
+	pkgs := make([]string, 0, len(floors))
+	for pkg := range floors {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+	fmt.Printf("\n%-35s %9s %9s\n", "package", "coverage", "floor")
+	for _, pkg := range pkgs {
+		floor := floors[pkg]
+		got, ok := measured[pkg]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("%s: no coverage reported (package removed or tests missing?)", pkg))
+			fmt.Printf("%-35s %9s %8.1f%%\n", pkg, "missing", floor)
+			continue
+		}
+		mark := ""
+		if got < floor {
+			violations = append(violations, fmt.Sprintf("%s: coverage %.1f%% is below the %.1f%% floor", pkg, got, floor))
+			mark = "  << BELOW FLOOR"
+		}
+		fmt.Printf("%-35s %8.1f%% %8.1f%%%s\n", pkg, got, floor, mark)
+	}
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "\ncovergate: %d package(s) below their coverage floor:\n", len(violations))
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, " ", v)
+		}
+		fmt.Fprintln(os.Stderr, "add tests, or lower the floor in coverage_floors.txt with a justification")
+		os.Exit(1)
+	}
+	fmt.Printf("\ncovergate: %d package floors hold\n", len(floors))
+}
+
+// readFloors parses "import/path percent" lines, skipping blanks and
+// # comments.
+func readFloors(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	floors := make(map[string]float64)
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want \"package floor\", got %q", path, lineNo, line)
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || v < 0 || v > 100 {
+			return nil, fmt.Errorf("%s:%d: bad floor %q", path, lineNo, fields[1])
+		}
+		if _, dup := floors[fields[0]]; dup {
+			return nil, fmt.Errorf("%s:%d: duplicate package %s", path, lineNo, fields[0])
+		}
+		floors[fields[0]] = v
+	}
+	return floors, sc.Err()
+}
+
+// runCoverage executes go test -cover and returns per-package coverage
+// percentages keyed by import path.
+func runCoverage(pattern string) (map[string]float64, []byte, error) {
+	cmd := exec.Command("go", "test", "-count=1", "-cover", pattern)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	err := cmd.Run()
+	measured := make(map[string]float64)
+	for _, line := range strings.Split(out.String(), "\n") {
+		m := coverLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		v, perr := strconv.ParseFloat(m[3], 64)
+		if perr != nil {
+			continue
+		}
+		measured[m[2]] = v
+	}
+	return measured, out.Bytes(), err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "covergate:", err)
+	os.Exit(1)
+}
