@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench cover chaos verify
+.PHONY: build vet test race bench cover chaos service-smoke verify
 
 build:
 	$(GO) build ./...
@@ -30,4 +30,11 @@ cover:
 chaos:
 	$(GO) run ./cmd/seesaw-sweep -chaos -workloads redis,mcf -refs 6000 -fault-every 500
 
-verify: build vet test race cover chaos
+# The service gate boots seesaw-served on a random port, submits a job
+# through seesaw-client, requires an identical resubmission to be served
+# from the result store in under a second, and SIGTERMs the daemon
+# expecting a clean drain (tools/servicesmoke).
+service-smoke:
+	$(GO) run ./tools/servicesmoke
+
+verify: build vet test race cover chaos service-smoke

@@ -1,0 +1,271 @@
+// Command seesaw-client talks to a running seesaw-served instance: it
+// submits jobs, waits for and prints results, tails SSE progress
+// streams, and cancels jobs.
+//
+//	seesaw-client -addr localhost:8080 -workloads redis,mcf -refs 50000
+//	seesaw-client -addr localhost:8080 -job job.json -wait
+//	seesaw-client -addr localhost:8080 -stream j000001
+//	seesaw-client -addr localhost:8080 -status j000001
+//	seesaw-client -addr localhost:8080 -cancel j000001
+//
+// Without -job, a job is built from the sweep-style flags: one cell per
+// (workload, cache) pair. The submitted job id goes to stdout; with
+// -wait the client polls until the job finishes and prints a result
+// summary (exit 1 if any cell failed).
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"seesaw/internal/cliutil"
+	"seesaw/internal/service"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", "localhost:8080", "seesaw-served address")
+
+		jobFile = flag.String("job", "", "submit this JSON job `file` (a service.JobRequest) instead of building one from flags")
+		label   = flag.String("label", "", "label for the submitted job")
+		wls     = flag.String("workloads", "redis", "comma-separated workloads, one cell per (workload, cache)")
+		caches  = flag.String("caches", "seesaw", "comma-separated cache designs: seesaw, baseline, pipt")
+		sizeKB  = flag.Uint64("size", 0, "L1 size in KB (0 = server default)")
+		refs    = flag.Int("refs", 0, "references per cell (0 = simulator default)")
+		seed    = flag.Int64("seed", 42, "deterministic seed")
+		epochs  = flag.Int("epoch-refs", 0, "enable per-cell metrics with this epoch length")
+		check   = flag.Bool("check", false, "run the online invariant checker in every cell")
+
+		wait    = flag.Bool("wait", false, "poll the submitted job until it finishes and print results")
+		stream  = flag.String("stream", "", "tail the SSE progress stream of job `id`")
+		status  = flag.String("status", "", "print the status of job `id`")
+		cancel  = flag.String("cancel", "", "cancel job `id`")
+		raw     = flag.Bool("json", false, "print raw JSON instead of a summary")
+		timeout = flag.Duration("timeout", 0, "overall wait budget (0 = unbounded)")
+	)
+	flag.Parse()
+	base := "http://" + strings.TrimPrefix(*addr, "http://")
+
+	switch {
+	case *stream != "":
+		streamJob(base, *stream)
+	case *status != "":
+		st := getStatus(base, *status)
+		printStatus(st, *raw)
+	case *cancel != "":
+		resp, body := call(http.MethodDelete, base+"/v1/jobs/"+*cancel, nil)
+		if resp.StatusCode != http.StatusOK {
+			fatal(fmt.Errorf("cancel: %s: %s", resp.Status, strings.TrimSpace(string(body))))
+		}
+		fmt.Printf("canceled %s\n", *cancel)
+	default:
+		req := buildJob(*jobFile, *label, *wls, *caches, *sizeKB, *refs, *seed, *epochs, *check)
+		id := submit(base, req)
+		fmt.Println(id)
+		if *wait {
+			st := waitJob(base, id, *timeout)
+			printStatus(st, *raw)
+			if st.Failed > 0 || st.State != service.StateDone {
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// buildJob loads -job FILE, or assembles a request from the flag grid.
+func buildJob(file, label, wls, caches string, sizeKB uint64, refs int, seed int64, epochs int, check bool) service.JobRequest {
+	if file != "" {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			fatal(err)
+		}
+		var req service.JobRequest
+		if err := json.Unmarshal(data, &req); err != nil {
+			fatal(fmt.Errorf("%s: %w", file, err))
+		}
+		if label != "" {
+			req.Label = label
+		}
+		return req
+	}
+	wnames, err := cliutil.SplitList(wls)
+	if err != nil {
+		fatal(fmt.Errorf("-workloads: %w", err))
+	}
+	cnames, err := cliutil.SplitList(caches)
+	if err != nil {
+		fatal(fmt.Errorf("-caches: %w", err))
+	}
+	req := service.JobRequest{Label: label}
+	for _, w := range wnames {
+		for _, c := range cnames {
+			req.Cells = append(req.Cells, service.CellSpec{
+				Workload: w, Cache: c, SizeKB: sizeKB, Refs: refs,
+				Seed: seed, EpochRefs: epochs, Check: check,
+			})
+		}
+	}
+	return req
+}
+
+// submit POSTs the job and returns its id.
+func submit(base string, req service.JobRequest) string {
+	body, err := json.Marshal(req)
+	if err != nil {
+		fatal(err)
+	}
+	resp, data := call(http.MethodPost, base+"/v1/jobs", body)
+	if resp.StatusCode != http.StatusAccepted {
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			fatal(fmt.Errorf("submit: %s (Retry-After: %ss): %s", resp.Status, ra, strings.TrimSpace(string(data))))
+		}
+		fatal(fmt.Errorf("submit: %s: %s", resp.Status, strings.TrimSpace(string(data))))
+	}
+	var st service.JobStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		fatal(err)
+	}
+	return st.ID
+}
+
+// waitJob polls until the job reaches a terminal state.
+func waitJob(base, id string, budget time.Duration) service.JobStatus {
+	deadline := time.Time{}
+	if budget > 0 {
+		deadline = time.Now().Add(budget)
+	}
+	for {
+		st := getStatus(base, id)
+		switch st.State {
+		case service.StateDone, service.StateFailed, service.StateCanceled:
+			return st
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			fatal(fmt.Errorf("job %s still %s after %s", id, st.State, budget))
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+}
+
+func getStatus(base, id string) service.JobStatus {
+	resp, data := call(http.MethodGet, base+"/v1/jobs/"+id, nil)
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("status: %s: %s", resp.Status, strings.TrimSpace(string(data))))
+	}
+	var st service.JobStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		fatal(err)
+	}
+	return st
+}
+
+// printStatus renders a job result summary, or the raw JSON with -json.
+func printStatus(st service.JobStatus, raw bool) {
+	if raw {
+		data, _ := json.MarshalIndent(st, "", "  ")
+		fmt.Println(string(data))
+		return
+	}
+	fmt.Printf("job %s: %s (%d/%d cells", st.ID, st.State, st.Completed, st.Cells)
+	if st.Failed > 0 {
+		fmt.Printf(", %d failed", st.Failed)
+	}
+	fmt.Printf("; runs=%d store_hits=%d cache_hits=%d)\n", st.Pool.Runs, st.Pool.StoreHits, st.Pool.CacheHits)
+	for _, r := range st.Results {
+		switch {
+		case r.Report != nil:
+			fmt.Printf("  %-40s IPC %.3f  cycles %d  energy %.1f nJ\n",
+				r.Desc, r.Report.IPC, r.Report.Cycles, r.Report.EnergyTotalNJ)
+		case r.Error != "":
+			fmt.Printf("  %-40s FAILED: %s\n", r.Desc, r.Error)
+		default:
+			fmt.Printf("  %-40s %s\n", r.Desc, r.Status)
+		}
+	}
+	if st.Error != "" {
+		fmt.Printf("  error: %s\n", st.Error)
+	}
+}
+
+// streamJob tails the job's SSE stream, printing one line per event
+// until the terminal "done" event.
+func streamJob(base, id string) {
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/stream")
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		fatal(fmt.Errorf("stream: %s: %s", resp.Status, strings.TrimSpace(string(data))))
+	}
+	scanner := bufio.NewScanner(resp.Body)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev service.Event
+		if err := json.Unmarshal([]byte(line[len("data: "):]), &ev); err != nil {
+			fatal(fmt.Errorf("bad event %q: %w", line, err))
+		}
+		switch ev.Type {
+		case "state":
+			fmt.Printf("%s: %s\n", id, ev.State)
+		case "cell":
+			if ev.OK {
+				fmt.Printf("%s: [%d/%d] %s ok", id, ev.Completed, ev.Cells, ev.Desc)
+				if ev.Epochs > 0 {
+					fmt.Printf(" (refs=%d epochs=%d l1=%d/%d)", ev.Refs, ev.Epochs, ev.L1Hits, ev.L1Hits+ev.L1Misses)
+				}
+				fmt.Println()
+			} else {
+				fmt.Printf("%s: [%d/%d] %s FAILED: %s\n", id, ev.Completed, ev.Cells, ev.Desc, ev.Error)
+			}
+		case "done":
+			fmt.Printf("%s: %s\n", id, ev.State)
+			return
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		fatal(err)
+	}
+}
+
+// call performs one HTTP request and returns the response plus its body.
+func call(method, url string, body []byte) (*http.Response, []byte) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		fatal(err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		fatal(err)
+	}
+	return resp, data
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "seesaw-client:", err)
+	os.Exit(1)
+}

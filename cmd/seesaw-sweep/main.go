@@ -33,6 +33,7 @@ import (
 	"seesaw/internal/runner"
 	"seesaw/internal/sim"
 	"seesaw/internal/stats"
+	"seesaw/internal/store"
 	"seesaw/internal/workload"
 )
 
@@ -73,14 +74,22 @@ type sweepOptions struct {
 	retries int
 	// pool overrides the runner pool (tests inject failing cells).
 	pool *runner.Pool
+	// store is the content-addressed result store (-store DIR): completed
+	// cells are persisted and reread on the next run, so an interrupted
+	// sweep resumes instead of recomputing.
+	store *store.Store
 }
 
 // newPool builds the hardened pool the sweep runs on.
 func (o sweepOptions) newPool() *runner.Pool {
-	if o.pool != nil {
-		return o.pool
+	p := o.pool
+	if p == nil {
+		p = runner.New(o.parallel).WithTimeout(o.timeout).WithRetries(o.retries)
 	}
-	return runner.New(o.parallel).WithTimeout(o.timeout).WithRetries(o.retries)
+	if o.store != nil {
+		p.WithStore(o.store)
+	}
+	return p
 }
 
 // failure records one cell that did not produce a report.
@@ -135,6 +144,8 @@ func main() {
 
 		promOut  = flag.String("prom", "", "write a Prometheus text-format snapshot of the sweep's merged counters to `file` (- for stdout)")
 		progress = flag.Bool("progress", false, "show a live per-cell progress line on stderr")
+		storeDir = flag.String("store", "",
+			"content-addressed result store `dir`: completed cells are persisted and reused, so a killed sweep resumes where it stopped")
 	)
 	prof = cliutil.RegisterProfiling(flag.CommandLine)
 	flag.Parse()
@@ -151,11 +162,20 @@ func main() {
 		// event windows and epoch series have no meaningful merge.
 		o.metrics = &metrics.Config{EventCap: -1}
 	}
-	if *promOut != "" || *progress {
+	if *promOut != "" || *progress || *storeDir != "" {
+		// These features need the pool held after the sweep (snapshot,
+		// progress teardown, store-hit report), so build it up front.
 		o.pool = runner.New(*parallel).WithTimeout(*cellTimeout).WithRetries(*retries)
 		if *progress {
 			o.pool.WithProgress(os.Stderr)
 		}
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			fatal(fmt.Errorf("-store: %w", err))
+		}
+		o.store = st
 	}
 	names, err := cliutil.SplitList(*wls)
 	if err != nil {
@@ -225,13 +245,19 @@ func main() {
 	}
 }
 
-// finishSweep terminates the live progress line and writes the -prom
-// snapshot from the pool's merged per-cell counters.
+// finishSweep terminates the live progress line, reports how much of the
+// sweep the result store answered, and writes the -prom snapshot from the
+// pool's merged per-cell counters.
 func finishSweep(o sweepOptions, promOut string) {
 	if o.pool == nil {
 		return
 	}
 	o.pool.FinishProgress()
+	if o.store != nil {
+		st := o.pool.Stats()
+		fmt.Fprintf(os.Stderr, "seesaw-sweep: store: %d cell(s) reused, %d computed and persisted\n",
+			st.StoreHits, st.StorePuts)
+	}
 	if promOut == "" {
 		return
 	}

@@ -265,3 +265,38 @@ func TestCounterNamesDistinct(t *testing.T) {
 		seenEv[n] = true
 	}
 }
+
+// TestEventJSONRoundTrip: Event marshals with hex addresses and a named
+// kind; UnmarshalJSON must reverse it exactly so a Series stored on disk
+// re-marshals byte-identically (the result store's contract).
+func TestEventJSONRoundTrip(t *testing.T) {
+	events := []Event{
+		{Ref: 0, Core: -1, Kind: EvTLBShootdown, VA: 0, PA: 0, Arg: 1},
+		{Ref: 12345, Core: 3, Kind: EvPromote, VA: 0x7f0000200000, PA: 0x3fe00000, Arg: 512},
+		{Ref: 1 << 40, Core: 0, Kind: EvViolation, VA: ^uint64(0), PA: 1, Arg: 7},
+	}
+	for _, e := range events {
+		data, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Event
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if back != e {
+			t.Errorf("event round trip: got %+v, want %+v", back, e)
+		}
+		second, err := json.Marshal(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) != string(second) {
+			t.Errorf("event re-marshal differs: %s vs %s", data, second)
+		}
+	}
+	var bad Event
+	if err := json.Unmarshal([]byte(`{"Kind":"no-such-kind","VA":"0x0","PA":"0x0"}`), &bad); err == nil {
+		t.Error("unknown event kind unmarshaled without error")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 )
 
 // Series is the immutable outcome of one recorded run: cumulative
@@ -76,6 +77,39 @@ func (e Event) MarshalJSON() ([]byte, error) {
 		PA: "0x" + strconv.FormatUint(e.PA, 16),
 		Arg: e.Arg,
 	})
+}
+
+// UnmarshalJSON reverses MarshalJSON, so a Series loaded back from disk
+// (the content-addressed result store) re-marshals byte-identically to
+// the run that produced it. An unrecognized kind name is an error: it
+// means the entry was written by a different metrics vocabulary and must
+// not be silently misread.
+func (e *Event) UnmarshalJSON(data []byte) error {
+	var j eventJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	kind := EventKind(0)
+	found := false
+	for k := EventKind(0); k < numEventKinds; k++ {
+		if k.String() == j.Kind {
+			kind, found = k, true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("metrics: unknown event kind %q", j.Kind)
+	}
+	va, err := strconv.ParseUint(strings.TrimPrefix(j.VA, "0x"), 16, 64)
+	if err != nil {
+		return fmt.Errorf("metrics: bad event VA %q: %w", j.VA, err)
+	}
+	pa, err := strconv.ParseUint(strings.TrimPrefix(j.PA, "0x"), 16, 64)
+	if err != nil {
+		return fmt.Errorf("metrics: bad event PA %q: %w", j.PA, err)
+	}
+	*e = Event{Ref: j.Ref, Core: j.Core, Kind: kind, VA: va, PA: pa, Arg: j.Arg}
+	return nil
 }
 
 // WriteCSV writes the epoch time-series as CSV: one row per epoch with

@@ -16,6 +16,7 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -27,6 +28,27 @@ import (
 	"seesaw/internal/metrics"
 	"seesaw/internal/sim"
 )
+
+// RunFunc executes one cell under a context. The context is how the
+// pool's per-cell timeout and per-pool cancellation actually stop a
+// cell: sim.RunContext polls it in the reference loop and unwinds, so a
+// timed-out or abandoned cell releases its goroutine and simulation
+// state instead of running to completion unobserved.
+type RunFunc func(context.Context, sim.Config) (*sim.Report, error)
+
+// ResultStore is the read-through persistence seam: a disk-backed,
+// content-addressed store of finished reports (see internal/store). When
+// attached with WithStore, the pool consults it before executing a cell
+// and writes every freshly computed report back, so identical cells
+// across processes, restarts, and users cost one execution ever.
+type ResultStore interface {
+	// Get returns the stored report for cfg, or false on any miss
+	// (absent, corrupt, stale schema, or uncacheable config).
+	Get(cfg sim.Config) (*sim.Report, bool)
+	// Put persists a finished report for cfg. Implementations must be
+	// safe for concurrent writers of the same key.
+	Put(cfg sim.Config, r *sim.Report) error
+}
 
 // CellError is the typed failure of one cell: a panic somewhere under
 // sim.Run, or a wall-clock timeout. Sweeps use it to degrade gracefully
@@ -98,6 +120,12 @@ type Stats struct {
 	Retries uint64
 	// Failures is the number of cells that exhausted their attempts.
 	Failures uint64
+	// StoreHits is the number of cells answered by the attached
+	// ResultStore without executing.
+	StoreHits uint64
+	// StorePuts is the number of freshly computed reports persisted to
+	// the attached ResultStore.
+	StorePuts uint64
 }
 
 // Pool schedules independent cells onto at most Workers concurrent
@@ -107,9 +135,11 @@ type Stats struct {
 type Pool struct {
 	workers int
 	sem     chan struct{}
-	run     func(sim.Config) (*sim.Report, error)
+	run     RunFunc
 	timeout time.Duration
 	retries int
+	ctx     context.Context
+	store   ResultStore
 
 	mu    sync.Mutex
 	cells map[string]*Future
@@ -127,13 +157,24 @@ type Pool struct {
 // New returns a pool with the given worker count; workers <= 0 selects
 // runtime.GOMAXPROCS(0).
 func New(workers int) *Pool {
-	return NewWithRun(workers, sim.Run)
+	return NewWithRunContext(workers, sim.RunContext)
 }
 
-// NewWithRun is New with the cell-execution function injected — the
-// seam harness tests use to stand in panicking, hanging, or flaky cells
-// for the simulator.
+// NewWithRun is New with a context-blind cell function injected — the
+// legacy seam for tests whose stand-in cells need no cancellation. Cells
+// that ignore the context cannot be stopped mid-run: a timeout still
+// returns promptly but the abandoned attempt runs to completion. Prefer
+// NewWithRunContext for anything that can block.
 func NewWithRun(workers int, run func(sim.Config) (*sim.Report, error)) *Pool {
+	return NewWithRunContext(workers, func(_ context.Context, cfg sim.Config) (*sim.Report, error) {
+		return run(cfg)
+	})
+}
+
+// NewWithRunContext is New with the cell-execution function injected —
+// the seam harness tests and the service layer use to stand in
+// panicking, hanging, flaky, or counting cells for the simulator.
+func NewWithRunContext(workers int, run RunFunc) *Pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -141,8 +182,29 @@ func NewWithRun(workers int, run func(sim.Config) (*sim.Report, error)) *Pool {
 		workers: workers,
 		sem:     make(chan struct{}, workers),
 		run:     run,
+		ctx:     context.Background(),
 		cells:   make(map[string]*Future),
 	}
+}
+
+// WithContext attaches a cancellation scope to every cell: when ctx is
+// canceled, queued cells fail immediately with ctx's error and running
+// cells unwind at sim.RunContext's next poll point. This is how the
+// service layer cancels one job's whole fan-out without touching other
+// jobs. Configure before the first Submit.
+func (p *Pool) WithContext(ctx context.Context) *Pool {
+	p.ctx = ctx
+	return p
+}
+
+// WithStore attaches a read-through result store: a cell found in the
+// store is returned without executing (Stats.StoreHits), and every
+// freshly computed report is written back (Stats.StorePuts). Store
+// lookups happen on the worker, off the Submit path, so submission stays
+// non-blocking. Configure before the first Submit.
+func (p *Pool) WithStore(st ResultStore) *Pool {
+	p.store = st
+	return p
 }
 
 // WithTimeout bounds each cell execution attempt to d of wall-clock
@@ -234,17 +296,41 @@ func (p *Pool) Submit(cfg sim.Config) *Future {
 	return f
 }
 
-// guarded runs one cell under the pool's recovery, timeout, and retry
-// policy, converting panics and overruns into a typed CellError on the
-// future instead of killing the process.
+// guarded runs one cell under the pool's store read-through, recovery,
+// timeout, retry, and cancellation policy, converting panics and
+// overruns into a typed CellError on the future instead of killing the
+// process.
 func (p *Pool) guarded(cfg sim.Config) (*sim.Report, error) {
+	if err := p.ctx.Err(); err != nil {
+		return nil, err
+	}
+	if p.store != nil {
+		if rep, ok := p.store.Get(cfg); ok {
+			p.mu.Lock()
+			p.stats.StoreHits++
+			p.mu.Unlock()
+			return rep, nil
+		}
+	}
 	var last error
 	for attempt := 1; attempt <= p.retries+1; attempt++ {
+		if err := p.ctx.Err(); err != nil {
+			// The pool was canceled between attempts: surface the
+			// cancellation, not a retriable CellError.
+			return nil, err
+		}
 		p.mu.Lock()
 		p.stats.Runs++
 		p.mu.Unlock()
 		rep, err := p.runOnce(cfg)
 		if err == nil {
+			if p.store != nil {
+				if perr := p.store.Put(cfg, rep); perr == nil {
+					p.mu.Lock()
+					p.stats.StorePuts++
+					p.mu.Unlock()
+				}
+			}
 			return rep, nil
 		}
 		var ce *CellError
@@ -267,41 +353,54 @@ func (p *Pool) guarded(cfg sim.Config) (*sim.Report, error) {
 	return nil, last
 }
 
-// runOnce executes a single attempt, applying the wall-clock budget.
+// runOnce executes a single attempt, applying the wall-clock budget. The
+// budget is enforced by context: the attempt goroutine runs the cell
+// under a deadline that sim.RunContext polls, so an overrunning cell
+// unwinds and frees its goroutine and simulation state shortly after the
+// timeout fires instead of leaking until process exit (the pre-context
+// behaviour, pinned by TestTimeoutDoesNotLeak).
 func (p *Pool) runOnce(cfg sim.Config) (*sim.Report, error) {
 	if p.timeout <= 0 {
-		return p.runRecover(cfg)
+		return p.runRecover(p.ctx, cfg)
 	}
+	ctx, cancel := context.WithTimeout(p.ctx, p.timeout)
 	type outcome struct {
 		rep *sim.Report
 		err error
 	}
 	ch := make(chan outcome, 1)
 	go func() {
-		r, e := p.runRecover(cfg)
+		r, e := p.runRecover(ctx, cfg)
 		ch <- outcome{r, e}
 	}()
 	select {
 	case o := <-ch:
+		cancel()
+		if errors.Is(o.err, context.DeadlineExceeded) {
+			// The cell noticed its own deadline before we did.
+			return nil, &CellError{Desc: Describe(cfg), Timeout: p.timeout}
+		}
 		return o.rep, o.err
-	case <-time.After(p.timeout):
-		// sim.Run has no cancellation; the attempt goroutine runs to
-		// completion and its result is dropped. A timed-out cell is
-		// pathological by definition, so the leak is bounded by the
-		// retry count and acceptable for a sweep that must finish.
+	case <-ctx.Done():
+		// Cancel eagerly (not deferred) so the attempt goroutine's next
+		// context poll unwinds it even though its result is dropped.
+		cancel()
+		if err := p.ctx.Err(); err != nil {
+			return nil, err // pool canceled, not a per-cell timeout
+		}
 		return nil, &CellError{Desc: Describe(cfg), Timeout: p.timeout}
 	}
 }
 
 // runRecover executes the cell function, converting a panic anywhere
 // beneath it into a CellError carrying the stack.
-func (p *Pool) runRecover(cfg sim.Config) (rep *sim.Report, err error) {
+func (p *Pool) runRecover(ctx context.Context, cfg sim.Config) (rep *sim.Report, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = &CellError{Desc: Describe(cfg), Panic: r, Stack: string(debug.Stack())}
 		}
 	}()
-	return p.run(cfg)
+	return p.run(ctx, cfg)
 }
 
 // Pair submits the baseline-VIPT and SEESAW variants of one config —
@@ -364,29 +463,10 @@ func (p *Pool) MergedSeries() *metrics.Series {
 	return merged
 }
 
-// cellKey derives the cache key for a config. Configs replaying an
-// explicit trace are not cacheable: the trace contents are not folded
-// into the key. The co-runner, fault, and metrics pointers are
-// dereferenced so the key depends on their values, not their addresses.
+// cellKey derives the in-memory cache key for a config. Cell identity is
+// owned by sim.Config.CanonicalKey so the pool's duplicate-cell cache
+// and the disk store's content addressing can never disagree about which
+// cells are "the same".
 func cellKey(cfg sim.Config) (string, bool) {
-	if cfg.Trace != nil {
-		return "", false
-	}
-	co := ""
-	if cfg.CoRunner != nil {
-		co = fmt.Sprintf("%+v", *cfg.CoRunner)
-	}
-	fa := ""
-	if cfg.Faults != nil {
-		fa = fmt.Sprintf("%+v", *cfg.Faults)
-	}
-	me := ""
-	if cfg.Metrics != nil {
-		me = fmt.Sprintf("%+v", *cfg.Metrics)
-	}
-	c := cfg
-	c.CoRunner = nil
-	c.Faults = nil
-	c.Metrics = nil
-	return fmt.Sprintf("%+v|co=%s|faults=%s|metrics=%s", c, co, fa, me), true
+	return cfg.CanonicalKey()
 }

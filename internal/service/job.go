@@ -1,0 +1,186 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"seesaw/internal/runner"
+	"seesaw/internal/sim"
+)
+
+// Job states.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// terminal reports whether a state is final.
+func terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCanceled
+}
+
+// job is one queued or running batch of cells. All mutable fields are
+// guarded by mu; the HTTP handlers read snapshots, the dispatcher
+// writes.
+type job struct {
+	id    string
+	label string
+	cfgs  []sim.Config
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	state    string
+	results  []CellResult
+	done     int
+	failed   int
+	errMsg   string
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	pool     *runner.Pool // set when running starts; source of PoolStats
+
+	// events is the full progress history, so a subscriber attaching
+	// mid-run (or after completion) replays everything before tailing
+	// live. Bounded by 2 + one event per cell.
+	events []Event
+	subs   map[chan Event]struct{}
+}
+
+func newJob(id, label string, cfgs []sim.Config, parent context.Context, now time.Time) *job {
+	ctx, cancel := context.WithCancel(parent)
+	j := &job{
+		id: id, label: label, cfgs: cfgs,
+		ctx: ctx, cancel: cancel,
+		state:   StateQueued,
+		results: make([]CellResult, len(cfgs)),
+		created: now,
+		subs:    make(map[chan Event]struct{}),
+	}
+	for i := range j.results {
+		j.results[i] = CellResult{Index: i, Desc: runner.Describe(cfgs[i]), Status: "pending"}
+	}
+	return j
+}
+
+// publish appends one event to the history and fans it out to live
+// subscribers. Callers hold mu.
+func (j *job) publish(ev Event) {
+	j.events = append(j.events, ev)
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+			// Slow subscriber: drop the live send; it still owns a
+			// replay cursor and the stream handler re-syncs from the
+			// history, so nothing is lost.
+		}
+	}
+}
+
+// setState transitions the job and publishes the change.
+func (j *job) setState(state string, now time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if terminal(j.state) {
+		return // cancel/finish races: first terminal state wins
+	}
+	j.state = state
+	switch state {
+	case StateRunning:
+		j.started = now
+	case StateDone, StateFailed, StateCanceled:
+		j.finished = now
+	}
+	typ := "state"
+	if terminal(state) {
+		typ = "done"
+	}
+	j.publish(Event{Type: typ, State: state})
+}
+
+// completeCell records one awaited cell and publishes its progress
+// event, summarizing the metrics epoch series when the cell carried one.
+func (j *job) completeCell(i int, rep *sim.Report, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	r := &j.results[i]
+	ev := Event{Type: "cell", Index: i, Desc: r.Desc, Cells: len(j.results)}
+	if err != nil {
+		r.Status = "failed"
+		r.Error = err.Error()
+		j.failed++
+		if j.errMsg == "" {
+			j.errMsg = err.Error()
+		}
+		ev.Error = r.Error
+	} else {
+		r.Status = "done"
+		r.Report = rep
+		ev.OK = true
+		if rep.Metrics != nil {
+			ev.Refs = rep.Metrics.Refs
+			ev.Epochs = len(rep.Metrics.Epochs)
+		}
+		ev.L1Hits, ev.L1Misses = rep.L1Hits, rep.L1Misses
+	}
+	j.done++
+	ev.Completed = j.done
+	j.publish(ev)
+}
+
+// subscribe registers a live-event channel and returns the history
+// snapshot taken atomically with the registration, so the caller replays
+// exactly the events that precede its live tail.
+func (j *job) subscribe(ch chan Event) (history []Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	history = append([]Event(nil), j.events...)
+	if !terminal(j.state) {
+		j.subs[ch] = struct{}{}
+	}
+	return history
+}
+
+func (j *job) unsubscribe(ch chan Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	delete(j.subs, ch)
+}
+
+// status snapshots the job for the API. withResults=false omits the
+// per-cell reports (job listings).
+func (j *job) status(withResults bool) JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID: j.id, Label: j.label, State: j.state,
+		Cells: len(j.results), Completed: j.done, Failed: j.failed,
+		Error: j.errMsg, Created: j.created,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	if j.pool != nil {
+		ps := j.pool.Stats()
+		st.Pool = PoolStats{
+			Submitted: ps.Submitted, Runs: ps.Runs, CacheHits: ps.CacheHits,
+			Retries: ps.Retries, Failures: ps.Failures,
+			StoreHits: ps.StoreHits, StorePuts: ps.StorePuts,
+		}
+	}
+	if withResults {
+		st.Results = append([]CellResult(nil), j.results...)
+	}
+	return st
+}

@@ -1,0 +1,497 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"seesaw/internal/metrics"
+	"seesaw/internal/runner"
+	"seesaw/internal/sim"
+	"seesaw/internal/store"
+)
+
+// Config sizes and wires one Server.
+type Config struct {
+	// QueueDepth bounds the job queue; a submission past it gets 429 +
+	// Retry-After (default 16).
+	QueueDepth int
+	// Workers is the per-job cell concurrency (0 = GOMAXPROCS).
+	Workers int
+	// JobConcurrency is how many jobs execute at once (default 1: jobs
+	// are themselves parallel fan-outs, so one at a time keeps cell
+	// latency predictable; raise it for many small jobs).
+	JobConcurrency int
+	// MaxCellsPerJob bounds one submission's batch (default 256).
+	MaxCellsPerJob int
+	// Store, when non-nil, is the shared content-addressed result store
+	// every job's pool reads through — the cross-job, cross-restart
+	// dedup layer.
+	Store *store.Store
+	// CellTimeout and Retries harden each job's pool (see runner).
+	CellTimeout time.Duration
+	Retries     int
+	// Run is the cell-execution seam (default sim.RunContext); tests
+	// inject counting or failing cells.
+	Run runner.RunFunc
+	// Logger receives request-level and job-level lines (default
+	// log.Default).
+	Logger *log.Logger
+}
+
+// Server is the simulation-as-a-service daemon core: a bounded job
+// queue, a dispatcher pool, the job registry, and the HTTP API over
+// them. Construct with New, serve Handler, stop with Drain or Close.
+type Server struct {
+	cfg   Config
+	queue chan *job
+
+	rootCtx    context.Context
+	rootCancel context.CancelFunc
+	dispatch   sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // insertion order for listings
+	seq      int
+	draining bool
+	running  int
+	queued   int
+	// merged accumulates every finished job's counters-only metrics for
+	// /metrics, alongside lifetime pool totals.
+	merged     metrics.Series
+	poolTotals PoolStats
+	jobsDone   uint64
+	jobsFailed uint64
+	jobsCancel uint64
+}
+
+// New builds the server and starts its dispatchers.
+func New(cfg Config) *Server {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.JobConcurrency <= 0 {
+		cfg.JobConcurrency = 1
+	}
+	if cfg.MaxCellsPerJob <= 0 {
+		cfg.MaxCellsPerJob = 256
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Run == nil {
+		cfg.Run = sim.RunContext
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = log.Default()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		queue:      make(chan *job, cfg.QueueDepth),
+		rootCtx:    ctx,
+		rootCancel: cancel,
+		jobs:       make(map[string]*job),
+	}
+	for i := 0; i < cfg.JobConcurrency; i++ {
+		s.dispatch.Add(1)
+		go s.dispatcher()
+	}
+	return s
+}
+
+// dispatcher executes queued jobs until the server shuts down.
+func (s *Server) dispatcher() {
+	defer s.dispatch.Done()
+	for {
+		select {
+		case <-s.rootCtx.Done():
+			return
+		case j := <-s.queue:
+			s.mu.Lock()
+			s.queued--
+			s.running++
+			s.mu.Unlock()
+			s.runJob(j)
+			s.mu.Lock()
+			s.running--
+			s.mu.Unlock()
+		}
+	}
+}
+
+// runJob executes one job's cells on a fresh pool (its own cancellation
+// scope) over the shared store, awaiting futures in submission order so
+// results and progress events are deterministic.
+func (s *Server) runJob(j *job) {
+	j.setState(StateRunning, time.Now())
+	pool := runner.NewWithRunContext(s.cfg.Workers, s.cfg.Run).
+		WithContext(j.ctx).
+		WithTimeout(s.cfg.CellTimeout).
+		WithRetries(s.cfg.Retries)
+	if s.cfg.Store != nil {
+		pool.WithStore(s.cfg.Store)
+	}
+	j.mu.Lock()
+	j.pool = pool
+	j.mu.Unlock()
+	futs := make([]*runner.Future, len(j.cfgs))
+	for i, cfg := range j.cfgs {
+		futs[i] = pool.Submit(cfg)
+	}
+	for i, fut := range futs {
+		rep, err := fut.Wait()
+		j.completeCell(i, rep, err)
+	}
+	st := pool.Stats()
+	final := StateDone
+	switch {
+	case j.ctx.Err() != nil:
+		final = StateCanceled
+	case st.Failures > 0 || j.status(false).Failed > 0:
+		final = StateFailed
+	}
+	j.setState(final, time.Now())
+	s.mu.Lock()
+	s.merged.Merge(pool.MergedSeries())
+	s.poolTotals.Submitted += st.Submitted
+	s.poolTotals.Runs += st.Runs
+	s.poolTotals.CacheHits += st.CacheHits
+	s.poolTotals.Retries += st.Retries
+	s.poolTotals.Failures += st.Failures
+	s.poolTotals.StoreHits += st.StoreHits
+	s.poolTotals.StorePuts += st.StorePuts
+	switch final {
+	case StateDone:
+		s.jobsDone++
+	case StateFailed:
+		s.jobsFailed++
+	case StateCanceled:
+		s.jobsCancel++
+	}
+	s.mu.Unlock()
+	s.cfg.Logger.Printf("service: job %s %s (cells=%d runs=%d store_hits=%d cache_hits=%d failures=%d)",
+		j.id, final, len(j.cfgs), st.Runs, st.StoreHits, st.CacheHits, st.Failures)
+}
+
+// Submit validates and enqueues a job, returning its id. It never
+// blocks: a full queue returns ErrQueueFull (the HTTP layer's 429) and
+// a draining server ErrDraining (503).
+func (s *Server) Submit(req JobRequest) (string, error) {
+	if len(req.Cells) == 0 {
+		return "", &badRequestError{"job has no cells"}
+	}
+	if len(req.Cells) > s.cfg.MaxCellsPerJob {
+		return "", &badRequestError{fmt.Sprintf("job has %d cells, limit %d", len(req.Cells), s.cfg.MaxCellsPerJob)}
+	}
+	cfgs := make([]sim.Config, len(req.Cells))
+	for i, spec := range req.Cells {
+		cfg, err := spec.Config()
+		if err != nil {
+			return "", &badRequestError{fmt.Sprintf("cell %d: %v", i, err)}
+		}
+		cfgs[i] = cfg
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return "", ErrDraining
+	}
+	s.seq++
+	id := fmt.Sprintf("j%06d", s.seq)
+	j := newJob(id, req.Label, cfgs, s.rootCtx, time.Now())
+	select {
+	case s.queue <- j:
+		s.jobs[id] = j
+		s.order = append(s.order, id)
+		s.queued++
+		s.mu.Unlock()
+		return id, nil
+	default:
+		s.seq-- // the id was never issued
+		s.mu.Unlock()
+		return "", ErrQueueFull
+	}
+}
+
+// Cancel cancels a job's context: queued cells fail immediately, running
+// cells unwind at the simulator's next poll point.
+func (s *Server) Cancel(id string) (JobStatus, error) {
+	j, err := s.job(id)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	j.cancel()
+	// A still-queued job never reaches runJob's terminal transition
+	// until a dispatcher pops it; mark it canceled now so its status is
+	// immediately truthful. (runJob's setState is a no-op on terminal
+	// jobs, so the race is benign.)
+	j.setState(StateCanceled, time.Now())
+	return j.status(false), nil
+}
+
+// Drain stops intake (submissions get 503) and waits until every queued
+// and running job has finished, or ctx expires — in which case remaining
+// jobs are canceled and the error reported. Close afterwards.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		s.mu.Lock()
+		idle := s.queued == 0 && s.running == 0
+		s.mu.Unlock()
+		if idle {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			s.rootCancel() // cancel every job context
+			return fmt.Errorf("service: drain deadline: %w", ctx.Err())
+		case <-tick.C:
+		}
+	}
+}
+
+// Close cancels everything and stops the dispatchers.
+func (s *Server) Close() {
+	s.rootCancel()
+	s.dispatch.Wait()
+}
+
+// ErrQueueFull is returned by Submit when the bounded queue is at
+// capacity; the HTTP layer maps it to 429 + Retry-After.
+var ErrQueueFull = errors.New("service: job queue full")
+
+// ErrDraining is returned by Submit once Drain has begun; mapped to 503.
+var ErrDraining = errors.New("service: draining, not accepting jobs")
+
+// ErrNotFound is returned for unknown job ids; mapped to 404.
+var ErrNotFound = errors.New("service: no such job")
+
+// badRequestError marks validation failures; mapped to 400.
+type badRequestError struct{ msg string }
+
+func (e *badRequestError) Error() string { return e.msg }
+
+func (s *Server) job(id string) (*job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j, nil
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// writeJSON writes v with status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// errorBody is every non-2xx JSON payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	body := http.MaxBytesReader(w, r.Body, 8<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{"bad job JSON: " + err.Error()})
+		return
+	}
+	id, err := s.Submit(req)
+	switch {
+	case err == nil:
+		j, _ := s.job(id)
+		writeJSON(w, http.StatusAccepted, j.status(false))
+	case errors.Is(err, ErrQueueFull):
+		// Explicit backpressure: the queue is bounded by design. The
+		// hint scales with how much work is ahead of the caller.
+		s.mu.Lock()
+		backlog := s.queued + s.running
+		s.mu.Unlock()
+		retry := 1 + backlog/2
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		writeJSON(w, http.StatusTooManyRequests, errorBody{err.Error()})
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{err.Error()})
+	default:
+		var bad *badRequestError
+		if errors.As(err, &bad) {
+			writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusInternalServerError, errorBody{err.Error()})
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	out := make([]JobStatus, 0, len(ids))
+	for _, id := range ids {
+		if j, err := s.job(id); err == nil {
+			out = append(out, j.status(false))
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, err := s.job(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status(r.URL.Query().Get("results") != "0"))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleStream serves the job's progress as Server-Sent Events: the full
+// history first (late subscribers replay everything), then live events
+// until the job reaches a terminal state or the client disconnects.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j, err := s.job(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{err.Error()})
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorBody{"streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	// Capacity covers every event the job can still publish (one per
+	// cell plus the state transitions), so the publisher's non-blocking
+	// send never drops for a subscriber that keeps reading.
+	ch := make(chan Event, len(j.cfgs)+4)
+	history := j.subscribe(ch)
+	defer j.unsubscribe(ch)
+	send := func(ev Event) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data); err != nil {
+			return false
+		}
+		fl.Flush()
+		return ev.Type != "done"
+	}
+	for _, ev := range history {
+		if !send(ev) {
+			return
+		}
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev := <-ch:
+			if !send(ev) {
+				return
+			}
+		}
+	}
+}
+
+// healthBody is the GET /healthz payload.
+type healthBody struct {
+	Status     string       `json:"status"` // "ok" or "draining"
+	Queued     int          `json:"queued"`
+	Running    int          `json:"running"`
+	QueueDepth int          `json:"queue_depth"`
+	Jobs       int          `json:"jobs"`
+	Store      *store.Stats `json:"store,omitempty"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	h := healthBody{
+		Status: "ok", Queued: s.queued, Running: s.running,
+		QueueDepth: s.cfg.QueueDepth, Jobs: len(s.jobs),
+	}
+	if s.draining {
+		h.Status = "draining"
+	}
+	s.mu.Unlock()
+	if s.cfg.Store != nil {
+		st := s.cfg.Store.Stats()
+		h.Store = &st
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+// handleMetrics exposes the lifetime merged simulation counters plus
+// server and store gauges in Prometheus text format, reusing the same
+// snapshot writer as seesaw-sweep -prom.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	series := s.merged // counters-only merge: value copy is safe
+	extras := []metrics.PromMetric{
+		{Name: "seesaw_service_jobs_queued", Help: "jobs waiting in the bounded queue", Value: float64(s.queued)},
+		{Name: "seesaw_service_jobs_running", Help: "jobs currently executing", Value: float64(s.running)},
+		{Name: "seesaw_service_jobs_done_total", Help: "jobs finished clean", Value: float64(s.jobsDone)},
+		{Name: "seesaw_service_jobs_failed_total", Help: "jobs with at least one failed cell", Value: float64(s.jobsFailed)},
+		{Name: "seesaw_service_jobs_canceled_total", Help: "jobs canceled", Value: float64(s.jobsCancel)},
+		{Name: "seesaw_service_cells_submitted_total", Help: "cells submitted across all jobs", Value: float64(s.poolTotals.Submitted)},
+		{Name: "seesaw_service_cells_executed_total", Help: "cells actually simulated", Value: float64(s.poolTotals.Runs)},
+		{Name: "seesaw_service_cache_hits_total", Help: "cells answered by in-job duplicate caching", Value: float64(s.poolTotals.CacheHits)},
+		{Name: "seesaw_service_store_hits_total", Help: "cells answered by the content-addressed store", Value: float64(s.poolTotals.StoreHits)},
+		{Name: "seesaw_service_store_puts_total", Help: "reports persisted to the store", Value: float64(s.poolTotals.StorePuts)},
+		{Name: "seesaw_service_cell_failures_total", Help: "cells that exhausted retries", Value: float64(s.poolTotals.Failures)},
+	}
+	s.mu.Unlock()
+	if s.cfg.Store != nil {
+		st := s.cfg.Store.Stats()
+		extras = append(extras,
+			metrics.PromMetric{Name: "seesaw_store_hits_total", Help: "store lookups answered from disk", Value: float64(st.Hits)},
+			metrics.PromMetric{Name: "seesaw_store_misses_total", Help: "store lookups missed", Value: float64(st.Misses)},
+			metrics.PromMetric{Name: "seesaw_store_corrupt_total", Help: "corrupt entries dropped", Value: float64(st.Corrupt)},
+			metrics.PromMetric{Name: "seesaw_store_stale_total", Help: "stale-schema entries dropped", Value: float64(st.Stale)},
+		)
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	series.WritePrometheus(w, extras...)
+}

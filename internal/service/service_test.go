@@ -1,0 +1,418 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"seesaw/internal/sim"
+	"seesaw/internal/store"
+)
+
+// newTestServer builds a server over a fresh disk store with a counting
+// run function, so tests can assert exactly how many cells were actually
+// simulated.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var runs atomic.Int64
+	inner := cfg.Run
+	if inner == nil {
+		inner = sim.RunContext
+	}
+	cfg.Run = func(ctx context.Context, c sim.Config) (*sim.Report, error) {
+		runs.Add(1)
+		return inner(ctx, c)
+	}
+	if cfg.Store == nil {
+		st, err := store.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.Logger = log.New(io.Discard, "", 0)
+		cfg.Store = st
+	}
+	cfg.Logger = log.New(io.Discard, "", 0)
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts, &runs
+}
+
+// postJob submits a job and returns the decoded status and raw response.
+func postJob(t *testing.T, ts *httptest.Server, req JobRequest) (*http.Response, JobStatus) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	data, _ := io.ReadAll(resp.Body)
+	json.Unmarshal(data, &st)
+	return resp, st
+}
+
+// waitDone polls the job until it reaches a terminal state.
+func waitDone(t *testing.T, ts *httptest.Server, id string) []byte {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var st JobStatus
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatalf("bad status JSON: %v\n%s", err, data)
+		}
+		if terminal(st.State) {
+			return data
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", id, st.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// rawResults extracts each cell's report as raw JSON for byte-level
+// comparison.
+func rawResults(t *testing.T, statusJSON []byte) []json.RawMessage {
+	t.Helper()
+	var st struct {
+		State   string `json:"state"`
+		Results []struct {
+			Status string          `json:"status"`
+			Report json.RawMessage `json:"report"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(statusJSON, &st); err != nil {
+		t.Fatal(err)
+	}
+	var out []json.RawMessage
+	for i, r := range st.Results {
+		if r.Status != "done" {
+			t.Fatalf("cell %d status %q in %s job", i, r.Status, st.State)
+		}
+		out = append(out, r.Report)
+	}
+	return out
+}
+
+// threeCellJob is the acceptance sweep: three distinct real-simulator
+// cells, small enough to run in test time.
+func threeCellJob() JobRequest {
+	return JobRequest{
+		Label: "e2e",
+		Cells: []CellSpec{
+			{Workload: "redis", Cache: "baseline", Refs: 2000, Seed: 42, MemMB: 256, EpochRefs: 500},
+			{Workload: "redis", Cache: "seesaw", Refs: 2000, Seed: 42, MemMB: 256, EpochRefs: 500},
+			{Workload: "mcf", Cache: "seesaw", Refs: 2000, Seed: 42, MemMB: 256, EpochRefs: 500},
+		},
+	}
+}
+
+// TestEndToEndJobWithStoreDedup is the acceptance path: submit a
+// 3-config sweep over HTTP, stream its progress events, fetch results;
+// then resubmit the identical job and require byte-identical reports
+// served entirely from the content-addressed store — zero additional
+// sim runs, asserted via the run counter.
+func TestEndToEndJobWithStoreDedup(t *testing.T) {
+	s, ts, runs := newTestServer(t, Config{QueueDepth: 4, Workers: 2})
+	_ = s
+
+	resp, st := postJob(t, ts, threeCellJob())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	if st.ID == "" || st.Cells != 3 {
+		t.Fatalf("submit status: %+v", st)
+	}
+
+	// Stream progress while the job runs: expect one state event, three
+	// cell events (with metrics-derived progress), one done event.
+	sresp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if ct := sresp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	var cellEvents, doneEvents int
+	scanner := bufio.NewScanner(sresp.Body)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(line[len("data: "):]), &ev); err != nil {
+			t.Fatalf("bad event %q: %v", line, err)
+		}
+		switch ev.Type {
+		case "cell":
+			cellEvents++
+			if !ev.OK {
+				t.Errorf("cell %d failed: %s", ev.Index, ev.Error)
+			}
+			if ev.Refs == 0 || ev.Epochs == 0 {
+				t.Errorf("cell event missing epoch-series progress: %+v", ev)
+			}
+		case "done":
+			doneEvents++
+		}
+		if ev.Type == "done" {
+			break
+		}
+	}
+	if cellEvents != 3 || doneEvents != 1 {
+		t.Fatalf("stream saw %d cell events, %d done events", cellEvents, doneEvents)
+	}
+
+	first := waitDone(t, ts, st.ID)
+	if got := runs.Load(); got != 3 {
+		t.Fatalf("first job executed %d cells, want 3", got)
+	}
+	firstReports := rawResults(t, first)
+
+	// Identical resubmission: a fresh job, a fresh pool — everything
+	// must come from the disk store.
+	resp2, st2 := postJob(t, ts, threeCellJob())
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("resubmit: %d", resp2.StatusCode)
+	}
+	second := waitDone(t, ts, st2.ID)
+	if got := runs.Load(); got != 3 {
+		t.Fatalf("resubmission executed %d extra cells, want 0 (run counter %d)", got-3, got)
+	}
+	secondReports := rawResults(t, second)
+	for i := range firstReports {
+		if !bytes.Equal(firstReports[i], secondReports[i]) {
+			t.Errorf("cell %d report not byte-identical across store round-trip:\n%.200s...\n%.200s...",
+				i, firstReports[i], secondReports[i])
+		}
+	}
+	var fin JobStatus
+	json.Unmarshal(second, &fin)
+	if fin.Pool.StoreHits != 3 || fin.Pool.Runs != 0 {
+		t.Errorf("resubmission pool stats %+v, want store_hits=3 runs=0", fin.Pool)
+	}
+}
+
+// blockingRun returns a run function that signals start and blocks until
+// released or canceled.
+func blockingRun(started chan<- string, release <-chan struct{}) func(context.Context, sim.Config) (*sim.Report, error) {
+	return func(ctx context.Context, cfg sim.Config) (*sim.Report, error) {
+		select {
+		case started <- cfg.Workload.Name:
+		default:
+		}
+		select {
+		case <-release:
+			return &sim.Report{SchemaVersion: sim.SchemaVersion, Design: "fake", Workload: cfg.Workload.Name}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+func oneCell(seed int64) JobRequest {
+	return JobRequest{Cells: []CellSpec{{Workload: "redis", Refs: 1000, Seed: seed, MemMB: 256}}}
+}
+
+// TestBackpressure429: a queue filled past capacity returns 429 with a
+// Retry-After hint while earlier jobs are unaffected.
+func TestBackpressure429(t *testing.T) {
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	_, ts, _ := newTestServer(t, Config{
+		QueueDepth: 1, JobConcurrency: 1, Workers: 1,
+		Run: blockingRun(started, release),
+	})
+	// Job 1 occupies the dispatcher; job 2 fills the depth-1 queue.
+	resp1, st1 := postJob(t, ts, oneCell(1))
+	if resp1.StatusCode != http.StatusAccepted {
+		t.Fatalf("job1: %d", resp1.StatusCode)
+	}
+	<-started // job 1 is running, not queued
+	resp2, _ := postJob(t, ts, oneCell(2))
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("job2: %d", resp2.StatusCode)
+	}
+	resp3, _ := postJob(t, ts, oneCell(3))
+	if resp3.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("job3: %d, want 429", resp3.StatusCode)
+	}
+	ra := resp3.Header.Get("Retry-After")
+	if sec, err := strconv.Atoi(ra); err != nil || sec < 1 {
+		t.Fatalf("Retry-After %q, want a positive integer", ra)
+	}
+	close(release)
+	waitDone(t, ts, st1.ID)
+}
+
+// TestCancelJob: DELETE cancels the job's context; a blocked cell
+// unwinds with the context error and the job lands in canceled.
+func TestCancelJob(t *testing.T) {
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	defer close(release)
+	_, ts, _ := newTestServer(t, Config{QueueDepth: 2, Workers: 1, Run: blockingRun(started, release)})
+	_, st := postJob(t, ts, oneCell(1))
+	<-started
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: %d", resp.StatusCode)
+	}
+	final := waitDone(t, ts, st.ID)
+	var fin JobStatus
+	json.Unmarshal(final, &fin)
+	if fin.State != StateCanceled {
+		t.Fatalf("state %q, want canceled", fin.State)
+	}
+}
+
+// TestDrain: in-flight jobs finish during drain, and new submissions are
+// refused with 503 — the SIGTERM path of seesaw-served.
+func TestDrain(t *testing.T) {
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	srv, ts, _ := newTestServer(t, Config{QueueDepth: 2, Workers: 1, Run: blockingRun(started, release)})
+	_, st := postJob(t, ts, oneCell(1))
+	<-started
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		drained <- srv.Drain(ctx)
+	}()
+	// Give Drain a moment to flip intake off, then verify 503.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, _ := postJob(t, ts, oneCell(99))
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("draining server kept accepting jobs (last=%d)", resp.StatusCode)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	release <- struct{}{} // let the in-flight job finish cleanly
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	final := waitDone(t, ts, st.ID)
+	var fin JobStatus
+	json.Unmarshal(final, &fin)
+	if fin.State != StateDone {
+		t.Fatalf("in-flight job drained to %q, want done", fin.State)
+	}
+}
+
+// TestValidation400: a bad cell (unknown workload, impossible geometry)
+// is rejected with 400 and an error naming the cell.
+func TestValidation400(t *testing.T) {
+	_, ts, runs := newTestServer(t, Config{QueueDepth: 2})
+	for _, req := range []JobRequest{
+		{Cells: []CellSpec{{Workload: "no-such-workload"}}},
+		{Cells: []CellSpec{{Workload: "redis", Cache: "vivt"}}},
+		{Cells: []CellSpec{{Workload: "redis", Memhog: 2.0}}},
+		{Cells: []CellSpec{{Workload: "redis", SizeKB: 7}}},
+		{Cells: []CellSpec{{Workload: "redis", Faults: "no-such-schedule"}}},
+		{},
+	} {
+		resp, _ := postJob(t, ts, req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("request %+v: %d, want 400", req, resp.StatusCode)
+		}
+	}
+	if runs.Load() != 0 {
+		t.Errorf("invalid jobs executed %d cells", runs.Load())
+	}
+}
+
+// TestHealthAndMetrics: the liveness and Prometheus endpoints respond
+// and carry the service gauges.
+func TestHealthAndMetrics(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{QueueDepth: 2, Workers: 1})
+	_, st := postJob(t, ts, oneCell(1))
+	waitDone(t, ts, st.ID)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h healthBody
+	json.NewDecoder(resp.Body).Decode(&h)
+	resp.Body.Close()
+	if h.Status != "ok" || h.Jobs != 1 || h.Store == nil {
+		t.Fatalf("health %+v", h)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"seesaw_service_jobs_done_total 1",
+		"seesaw_service_cells_executed_total 1",
+		"seesaw_service_store_puts_total 1",
+		"seesaw_refs_total",
+	} {
+		if !strings.Contains(string(prom), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// Unknown job id: 404.
+	resp, _ = http.Get(ts.URL + "/v1/jobs/j999999")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestListJobs: the listing shows every job in submission order without
+// per-cell reports.
+func TestListJobs(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{QueueDepth: 4, Workers: 1})
+	_, st1 := postJob(t, ts, oneCell(1))
+	waitDone(t, ts, st1.ID)
+	_, st2 := postJob(t, ts, oneCell(2))
+	waitDone(t, ts, st2.ID)
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []JobStatus
+	json.NewDecoder(resp.Body).Decode(&list)
+	resp.Body.Close()
+	if len(list) != 2 || list[0].ID != st1.ID || list[1].ID != st2.ID {
+		t.Fatalf("listing %+v", list)
+	}
+	if len(list[0].Results) != 0 {
+		t.Errorf("listing carries results")
+	}
+}

@@ -1,0 +1,205 @@
+// Package service turns the simulator into a long-lived job server: an
+// HTTP JSON API fronting a bounded job queue with explicit backpressure,
+// per-job cancellation, SSE progress streaming, Prometheus metrics, and
+// graceful drain. Under it sits the content-addressed result store
+// (internal/store), so identical cells across jobs, restarts, and users
+// are answered from disk instead of recomputed — the batching/caching/
+// backpressure shape of an inference-serving stack applied to
+// design-space exploration.
+//
+// The API surface:
+//
+//	POST   /v1/jobs           submit a job (batch of cells); 202, or 429
+//	                          + Retry-After when the queue is full, or
+//	                          503 while draining
+//	GET    /v1/jobs           list job summaries
+//	GET    /v1/jobs/{id}      job status + (partial) results
+//	GET    /v1/jobs/{id}/stream  SSE progress events
+//	DELETE /v1/jobs/{id}      cancel the job's context
+//	GET    /healthz           liveness + queue/store snapshot
+//	GET    /metrics           Prometheus text exposition
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"seesaw/internal/faults"
+	"seesaw/internal/metrics"
+	"seesaw/internal/sim"
+	"seesaw/internal/workload"
+)
+
+// CellSpec is the wire form of one simulation cell: a JSON-friendly
+// view over sim.Config that names workloads and cache designs instead
+// of embedding internal structs. Zero values select the simulator's
+// defaults, exactly like the CLI flags they mirror.
+type CellSpec struct {
+	// Workload names a built-in profile (see workload.Names). Required.
+	Workload string `json:"workload"`
+	// Cache is the L1 design: "seesaw" (default), "baseline", or "pipt".
+	Cache string `json:"cache,omitempty"`
+	// SizeKB is the L1 data-cache size in KB (default 32).
+	SizeKB uint64 `json:"size_kb,omitempty"`
+	// Ways overrides the default of 4 ways per 16KB.
+	Ways int `json:"ways,omitempty"`
+	// Partitions is the SEESAW partition count (0 = default).
+	Partitions int `json:"partitions,omitempty"`
+	// FreqGHz is the clock (default 1.33).
+	FreqGHz float64 `json:"freq_ghz,omitempty"`
+	// CPU is "ooo" (default) or "inorder".
+	CPU string `json:"cpu,omitempty"`
+	// Refs is the number of references (0 = simulator default 200k).
+	Refs int `json:"refs,omitempty"`
+	// Seed is the deterministic seed.
+	Seed int64 `json:"seed,omitempty"`
+	// Memhog fragments physical memory first, fraction in [0, 0.95].
+	Memhog float64 `json:"memhog,omitempty"`
+	// MemMB sizes simulated physical memory (0 = default).
+	MemMB uint64 `json:"mem_mb,omitempty"`
+	// WayPredict enables the MRU way predictor.
+	WayPredict bool `json:"waypredict,omitempty"`
+	// ICache models the L1 instruction caches and fetch stream.
+	ICache bool `json:"icache,omitempty"`
+	// Check runs the online invariant checker.
+	Check bool `json:"check,omitempty"`
+	// Faults names a fault-injection schedule (see faults.Schedules);
+	// FaultEvery and FaultSeed tune it.
+	Faults     string `json:"faults,omitempty"`
+	FaultEvery int    `json:"fault_every,omitempty"`
+	FaultSeed  int64  `json:"fault_seed,omitempty"`
+	// EpochRefs enables the metrics layer with this epoch length; the
+	// cell's report then carries the epoch time-series, and the job's
+	// SSE progress events summarize it.
+	EpochRefs int `json:"epoch_refs,omitempty"`
+}
+
+// Config resolves the spec into a validated sim.Config. Errors name the
+// offending field so a 400 response is actionable.
+func (c CellSpec) Config() (sim.Config, error) {
+	if c.Workload == "" {
+		return sim.Config{}, fmt.Errorf("workload is required")
+	}
+	p, err := workload.ByName(c.Workload)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	var kind sim.CacheKind
+	switch c.Cache {
+	case "", "seesaw":
+		kind = sim.KindSeesaw
+	case "baseline":
+		kind = sim.KindBaseline
+	case "pipt":
+		kind = sim.KindPIPT
+	default:
+		return sim.Config{}, fmt.Errorf("unknown cache design %q (want seesaw, baseline, or pipt)", c.Cache)
+	}
+	cfg := sim.Config{
+		Workload:        p,
+		Seed:            c.Seed,
+		Refs:            c.Refs,
+		CacheKind:       kind,
+		L1Size:          c.SizeKB << 10,
+		L1Ways:          c.Ways,
+		Partitions:      c.Partitions,
+		FreqGHz:         c.FreqGHz,
+		CPUKind:         c.CPU,
+		MemhogFraction:  c.Memhog,
+		MemBytes:        c.MemMB << 20,
+		WayPredict:      c.WayPredict,
+		ICache:          c.ICache,
+		CheckInvariants: c.Check,
+	}
+	if c.Faults != "" {
+		cfg.Faults = &faults.Config{Schedule: c.Faults, Every: c.FaultEvery, Seed: c.FaultSeed}
+	} else if c.FaultEvery != 0 || c.FaultSeed != 0 {
+		return sim.Config{}, fmt.Errorf("fault_every/fault_seed need a faults schedule")
+	}
+	if c.EpochRefs > 0 {
+		cfg.Metrics = &metrics.Config{EpochRefs: c.EpochRefs, EventCap: -1}
+	}
+	if err := cfg.Validate(); err != nil {
+		return sim.Config{}, err
+	}
+	return cfg, nil
+}
+
+// JobRequest is the POST /v1/jobs body: a batch of cells executed as one
+// job on the server's worker pool, deduplicated against every other
+// job through the content-addressed store.
+type JobRequest struct {
+	// Label is an optional human tag echoed in statuses and listings.
+	Label string `json:"label,omitempty"`
+	// Cells is the batch; at least one, at most the server's
+	// MaxCellsPerJob.
+	Cells []CellSpec `json:"cells"`
+}
+
+// CellResult is one cell's outcome inside a job status. While the job
+// runs, completed cells appear here incrementally (partial results).
+type CellResult struct {
+	Index int `json:"index"`
+	// Desc identifies the cell (workload, design, seed — runner.Describe).
+	Desc string `json:"desc"`
+	// Status is "pending", "done", or "failed".
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+	// Report is the full simulation report (null until done). Reports
+	// loaded from the result store are byte-identical to freshly
+	// computed ones (pinned by sim's round-trip golden test).
+	Report *sim.Report `json:"report,omitempty"`
+}
+
+// PoolStats mirrors runner.Stats on the wire.
+type PoolStats struct {
+	Submitted uint64 `json:"submitted"`
+	Runs      uint64 `json:"runs"`
+	CacheHits uint64 `json:"cache_hits"`
+	Retries   uint64 `json:"retries"`
+	Failures  uint64 `json:"failures"`
+	StoreHits uint64 `json:"store_hits"`
+	StorePuts uint64 `json:"store_puts"`
+}
+
+// JobStatus is the GET /v1/jobs/{id} body.
+type JobStatus struct {
+	ID    string `json:"id"`
+	Label string `json:"label,omitempty"`
+	// State is "queued", "running", "done", "failed", or "canceled".
+	State     string    `json:"state"`
+	Cells     int       `json:"cells"`
+	Completed int       `json:"completed"`
+	Failed    int       `json:"failed"`
+	Error     string    `json:"error,omitempty"`
+	Created   time.Time  `json:"created"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	// Pool reports the job's scheduling outcomes; StoreHits counts cells
+	// served from the content-addressed store without executing.
+	Pool    PoolStats    `json:"pool"`
+	Results []CellResult `json:"results,omitempty"`
+}
+
+// Event is one SSE progress record on /v1/jobs/{id}/stream.
+type Event struct {
+	// Type is "state" (job transition), "cell" (one cell finished), or
+	// "done" (terminal; the stream ends after it).
+	Type  string `json:"type"`
+	State string `json:"state,omitempty"`
+	// Cell-completion fields.
+	Index int    `json:"index,omitempty"`
+	Desc  string `json:"desc,omitempty"`
+	OK    bool   `json:"ok,omitempty"`
+	Error string `json:"error,omitempty"`
+	// Progress counters, sourced from the cell report's metrics epoch
+	// series when the cell enabled it (epoch_refs): references ticked,
+	// epochs recorded, and the run's L1 hits/misses.
+	Refs     uint64 `json:"refs,omitempty"`
+	Epochs   int    `json:"epochs,omitempty"`
+	L1Hits   uint64 `json:"l1_hits,omitempty"`
+	L1Misses uint64 `json:"l1_misses,omitempty"`
+	// Completed/Cells track overall job progress on every cell event.
+	Completed int `json:"completed,omitempty"`
+	Cells     int `json:"cells,omitempty"`
+}

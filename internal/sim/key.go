@@ -1,0 +1,38 @@
+package sim
+
+import "fmt"
+
+// CanonicalKey returns a deterministic string identity for this config:
+// two configs with equal keys describe the same simulation and — because
+// Run is deterministic — produce the same Report. It is the single
+// source of truth for cell identity, shared by the runner's in-memory
+// duplicate-cell cache and the disk store's content addressing
+// (internal/store hashes it together with the report schema version).
+//
+// Configs replaying an explicit trace are not canonicalizable: the trace
+// contents are not folded into the key, so the second return is false
+// and the cell must never be deduplicated or cached. The co-runner,
+// fault, and metrics pointers are dereferenced so the key depends on
+// their values, not their addresses.
+func (c Config) CanonicalKey() (string, bool) {
+	if c.Trace != nil {
+		return "", false
+	}
+	co := ""
+	if c.CoRunner != nil {
+		co = fmt.Sprintf("%+v", *c.CoRunner)
+	}
+	fa := ""
+	if c.Faults != nil {
+		fa = fmt.Sprintf("%+v", *c.Faults)
+	}
+	me := ""
+	if c.Metrics != nil {
+		me = fmt.Sprintf("%+v", *c.Metrics)
+	}
+	d := c
+	d.CoRunner = nil
+	d.Faults = nil
+	d.Metrics = nil
+	return fmt.Sprintf("%+v|co=%s|faults=%s|metrics=%s", d, co, fa, me), true
+}

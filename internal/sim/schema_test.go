@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"seesaw/internal/metrics"
+	"seesaw/internal/trace"
+)
+
+// reportSchemaV1 is the pinned top-level field set of the version-1
+// Report JSON. Service responses and store entries are only
+// forward-compatible if this set changes together with a SchemaVersion
+// bump: adding, removing, or renaming a field while leaving the version
+// at 1 would let a stale store entry masquerade as current.
+var reportSchemaV1 = []string{
+	"Check",
+	"Coh",
+	"Cycles",
+	"Design",
+	"Energy",
+	"EnergyCPUSideNJ",
+	"EnergyCoherenceNJ",
+	"EnergyTotalNJ",
+	"Faults",
+	"IPC",
+	"Instructions",
+	"L1Hits",
+	"L1IHits",
+	"L1IMisses",
+	"L1Misses",
+	"MPKI",
+	"Metrics",
+	"Promotions",
+	"RuntimeSec",
+	"SchemaVersion",
+	"SuperRefFraction",
+	"SuperpageCoverage",
+	"Splinters",
+	"TFT",
+	"TLB",
+	"WPAccuracy",
+	"Workload",
+}
+
+// TestReportSchemaGolden pins the Report JSON schema: the exact
+// top-level field names and the version constant. A failure here means
+// the wire/store format changed — update reportSchemaV1 AND bump
+// SchemaVersion together.
+func TestReportSchemaGolden(t *testing.T) {
+	if SchemaVersion != 1 {
+		t.Fatalf("SchemaVersion = %d; this golden test pins version 1 — update reportSchemaV1 and this check together", SchemaVersion)
+	}
+	var fields []string
+	rt := reflect.TypeOf(Report{})
+	for i := 0; i < rt.NumField(); i++ {
+		f := rt.Field(i)
+		name := f.Name
+		if tag := f.Tag.Get("json"); tag != "" && tag != "-" {
+			name = tag
+		}
+		fields = append(fields, name)
+	}
+	sort.Strings(fields)
+	want := append([]string(nil), reportSchemaV1...)
+	sort.Strings(want)
+	if !reflect.DeepEqual(fields, want) {
+		t.Errorf("Report JSON schema drifted without a SchemaVersion bump:\n got  %v\n want %v", fields, want)
+	}
+}
+
+// TestReportCarriesSchemaVersion: every produced report is stamped, and
+// the stamp survives a JSON round-trip (the store path).
+func TestReportCarriesSchemaVersion(t *testing.T) {
+	r, err := Run(quickCfg(t, "redis", KindSeesaw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SchemaVersion != SchemaVersion {
+		t.Fatalf("report SchemaVersion = %d, want %d", r.SchemaVersion, SchemaVersion)
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.SchemaVersion != SchemaVersion {
+		t.Fatalf("round-tripped SchemaVersion = %d, want %d", back.SchemaVersion, SchemaVersion)
+	}
+}
+
+// TestReportJSONRoundTripStable: marshal -> unmarshal -> marshal is
+// byte-identical, including a populated metrics series with events. The
+// service's "resubmission returns byte-identical reports from the store"
+// guarantee rests on exactly this property.
+func TestReportJSONRoundTripStable(t *testing.T) {
+	cfg := quickCfg(t, "redis", KindSeesaw)
+	cfg.Metrics = &metrics.Config{EpochRefs: 500}
+	cfg.SplinterEvery = 700 // populate the event ring
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(first, &back); err != nil {
+		t.Fatal(err)
+	}
+	second, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Errorf("report JSON is not round-trip stable:\n first  %.200s...\n second %.200s...", first, second)
+	}
+}
+
+// TestRunContextCancel: a canceled context stops the reference loop
+// promptly with the context's error instead of running the cell to
+// completion.
+func TestRunContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := quickCfg(t, "redis", KindSeesaw)
+	cfg.Refs = 5_000_000 // would take far longer than the test budget
+	start := time.Now()
+	_, err := RunContext(ctx, cfg)
+	if err != context.Canceled {
+		t.Fatalf("RunContext with canceled ctx: err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 10*time.Second {
+		t.Errorf("cancellation took %v; the loop is not polling its context", d)
+	}
+}
+
+// TestCanonicalKeyContract: value-equal configs share a key, differing
+// configs (including through the dereferenced pointers) do not, and
+// trace replays are never canonicalizable.
+func TestCanonicalKeyContract(t *testing.T) {
+	a := quickCfg(t, "redis", KindSeesaw)
+	b := quickCfg(t, "redis", KindSeesaw)
+	ka, ok := a.CanonicalKey()
+	if !ok {
+		t.Fatal("plain config not canonicalizable")
+	}
+	kb, _ := b.CanonicalKey()
+	if ka != kb {
+		t.Errorf("equal configs produced different keys")
+	}
+	b.Seed++
+	if kb, _ = b.CanonicalKey(); ka == kb {
+		t.Errorf("differing seeds share a key")
+	}
+	m := a
+	m.Metrics = &metrics.Config{EpochRefs: 100}
+	if km, _ := m.CanonicalKey(); km == ka {
+		t.Errorf("metrics-enabled config shares the plain config's key")
+	}
+	tr := a
+	tr.Trace = []trace.Record{{}}
+	if _, ok := tr.CanonicalKey(); ok {
+		t.Errorf("trace-replay config reported as canonicalizable")
+	}
+}

@@ -8,6 +8,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -303,8 +304,21 @@ type TFTReport struct {
 	StaleHitsAvoided uint64
 }
 
+// SchemaVersion is the current Report JSON schema generation. Bump it
+// whenever the meaning or layout of a Report field changes: the disk
+// store (internal/store) treats an entry whose SchemaVersion differs
+// from this value as a miss and recomputes the cell, so stale results
+// from an older binary are never served. The golden schema test in
+// schema_test.go pins both this number and the field set; changing
+// either without the other fails the build.
+const SchemaVersion = 1
+
 // Report is the outcome of one Run.
 type Report struct {
+	// SchemaVersion stamps which Report generation produced this value
+	// (see the SchemaVersion constant).
+	SchemaVersion int
+
 	Design   string
 	Workload string
 
@@ -349,6 +363,22 @@ type Report struct {
 
 // Run executes one simulation.
 func Run(cfg Config) (*Report, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// cancelCheckMask sets how often the reference loop polls its context:
+// every 4096 references, cheap enough to be invisible next to the work
+// of one reference yet responsive enough that a canceled or timed-out
+// cell unwinds within a fraction of a millisecond.
+const cancelCheckMask = 1<<12 - 1
+
+// RunContext executes one simulation under ctx: when ctx is canceled the
+// reference loop stops at the next poll point and returns ctx's error,
+// releasing the goroutine and every structure the run allocated. This is
+// how the runner's per-cell timeout and the service's per-job
+// cancellation actually reclaim a stuck or abandoned cell instead of
+// leaking it.
+func RunContext(ctx context.Context, cfg Config) (*Report, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -864,6 +894,11 @@ func Run(cfg Config) (*Report, error) {
 	}
 
 	for i := 0; i < cfg.Refs; i++ {
+		if i&cancelCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		curRef = uint64(i)
 		var rec trace.Record
 		if cfg.Trace != nil {
@@ -978,9 +1013,10 @@ func buildReport(
 	l2Lookups, superRefs uint64,
 ) (*Report, error) {
 	r := &Report{
-		Design:   l1s[0].Name(),
-		Workload: cfg.Workload.Name,
-		Energy:   acct,
+		SchemaVersion: SchemaVersion,
+		Design:        l1s[0].Name(),
+		Workload:      cfg.Workload.Name,
+		Energy:        acct,
 	}
 	// Application timing: the slowest app core determines runtime.
 	for t := 0; t < gen.Threads(); t++ {

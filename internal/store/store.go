@@ -1,0 +1,213 @@
+// Package store is the disk-backed, content-addressed result store:
+// finished sim.Reports keyed by a cryptographic hash of the cell's
+// canonical configuration and the report schema version. Identical cells
+// — across jobs, processes, restarts, and users — resolve to the same
+// key, so a sweep that already ran anywhere against the same store
+// directory is answered in O(1) from disk instead of recomputed.
+//
+// The store is crash-safe and concurrency-safe by construction:
+//
+//   - Entries are written to a temp file in the store directory and
+//     renamed into place, so readers never observe a half-written entry
+//     and concurrent writers of the same key each install a complete
+//     file (last rename wins; both wrote identical bytes, because the
+//     simulator is deterministic).
+//   - A corrupt or truncated entry — a crash mid-rename on a filesystem
+//     without atomic rename, manual tampering, disk rot — is treated as
+//     a miss, counted, logged, and overwritten by the recomputed result.
+//   - An entry whose SchemaVersion differs from the running binary's
+//     sim.SchemaVersion is stale and treated as a miss, so old stores
+//     never serve reports the current code would shape differently.
+//
+// runner.Pool attaches a Store with WithStore, making its in-memory
+// duplicate-cell cache a read-through layer over this one.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"seesaw/internal/sim"
+)
+
+// Stats counts the store's outcomes. Snapshot with Store.Stats.
+type Stats struct {
+	// Hits is the number of Gets answered from disk.
+	Hits uint64
+	// Misses is the number of Gets with no usable entry (absent, stale,
+	// corrupt, or uncacheable config).
+	Misses uint64
+	// Puts is the number of entries written.
+	Puts uint64
+	// Corrupt is the number of entries dropped as unreadable or
+	// truncated; each is also a miss.
+	Corrupt uint64
+	// Stale is the number of entries dropped for a SchemaVersion
+	// mismatch; each is also a miss.
+	Stale uint64
+}
+
+// Store is a content-addressed directory of finished reports. Safe for
+// concurrent use by multiple goroutines and multiple processes sharing
+// the directory.
+type Store struct {
+	dir string
+	// Logger, when non-nil, receives one line per dropped (corrupt or
+	// stale) entry. Defaults to the process logger in Open; set to
+	// log.New(io.Discard, ...) to silence.
+	Logger *log.Logger
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// Open creates (if needed) and opens a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{dir: dir, Logger: log.Default()}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+func (s *Store) count(f func(*Stats)) {
+	s.mu.Lock()
+	f(&s.stats)
+	s.mu.Unlock()
+}
+
+// Key returns the content address for cfg: hex SHA-256 over the config's
+// canonical identity and the report schema version. ok is false for
+// configs with no canonical identity (trace replays), which must never
+// be stored. Folding sim.SchemaVersion into the hash means a binary
+// whose report shape changed looks at fresh keys and repopulates rather
+// than trusting entries computed by older code.
+func Key(cfg sim.Config) (key string, ok bool) {
+	canon, ok := cfg.CanonicalKey()
+	if !ok {
+		return "", false
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "seesaw-report-v%d|", sim.SchemaVersion)
+	h.Write([]byte(canon))
+	return hex.EncodeToString(h.Sum(nil)), true
+}
+
+// path returns the entry file for a key, sharded by the first byte of
+// the hash so a large store does not put every entry in one directory.
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key[:2], key[2:]+".json")
+}
+
+// Get implements runner.ResultStore: the stored report for cfg, or false
+// on any miss. Corrupt, truncated, and stale entries are dropped (and
+// logged) so the subsequent Put rewrites them.
+func (s *Store) Get(cfg sim.Config) (*sim.Report, bool) {
+	key, ok := Key(cfg)
+	if !ok {
+		s.count(func(st *Stats) { st.Misses++ })
+		return nil, false
+	}
+	path := s.path(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			s.drop(path, "unreadable", err)
+		}
+		s.count(func(st *Stats) { st.Misses++ })
+		return nil, false
+	}
+	var r sim.Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		s.drop(path, "corrupt", err)
+		s.count(func(st *Stats) { st.Corrupt++; st.Misses++ })
+		return nil, false
+	}
+	if r.SchemaVersion != sim.SchemaVersion {
+		s.drop(path, "stale schema", fmt.Errorf("entry v%d, binary v%d", r.SchemaVersion, sim.SchemaVersion))
+		s.count(func(st *Stats) { st.Stale++; st.Misses++ })
+		return nil, false
+	}
+	s.count(func(st *Stats) { st.Hits++ })
+	return &r, true
+}
+
+// drop removes a bad entry so it is recomputed and rewritten, logging
+// the event; removal failure is harmless (Put overwrites via rename).
+func (s *Store) drop(path, why string, err error) {
+	if s.Logger != nil {
+		s.Logger.Printf("store: dropping %s entry %s: %v", why, path, err)
+	}
+	os.Remove(path)
+}
+
+// Put implements runner.ResultStore: persist r as cfg's entry. The entry
+// is written to a temp file in the destination directory and renamed
+// into place, so concurrent writers of the same key are safe and readers
+// never see partial JSON.
+func (s *Store) Put(cfg sim.Config, r *sim.Report) error {
+	key, ok := Key(cfg)
+	if !ok {
+		return fmt.Errorf("store: config has no canonical identity (trace replay?)")
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("store: marshal: %w", err)
+	}
+	path := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), path)
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: writing %s: %w", path, werr)
+	}
+	s.count(func(st *Stats) { st.Puts++ })
+	return nil
+}
+
+// Len walks the store and returns how many entries it holds — a
+// diagnostic for tests and the service's health endpoint, not a hot
+// path.
+func (s *Store) Len() int {
+	n := 0
+	filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && filepath.Ext(path) == ".json" {
+			n++
+		}
+		return nil
+	})
+	return n
+}

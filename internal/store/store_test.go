@@ -1,0 +1,208 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"seesaw/internal/sim"
+	"seesaw/internal/trace"
+	"seesaw/internal/workload"
+)
+
+func testConfig(seed int64) sim.Config {
+	return sim.Config{Workload: workload.Profile{Name: "unit"}, Seed: seed, Refs: -1}
+}
+
+func testReport(w string) *sim.Report {
+	return &sim.Report{SchemaVersion: sim.SchemaVersion, Design: "seesaw", Workload: w, Cycles: 123, IPC: 1.5}
+}
+
+func openTest(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Logger = log.New(io.Discard, "", 0)
+	return s
+}
+
+// TestPutGetRoundTrip: a stored report comes back value- and
+// byte-identical (the service's cached-resubmission guarantee).
+func TestPutGetRoundTrip(t *testing.T) {
+	s := openTest(t)
+	cfg := testConfig(1)
+	r := testReport("unit")
+	if err := s.Put(cfg, r); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(cfg)
+	if !ok {
+		t.Fatal("stored entry missed")
+	}
+	a, _ := json.Marshal(r)
+	b, _ := json.Marshal(got)
+	if !bytes.Equal(a, b) {
+		t.Errorf("round trip not byte-identical:\n%s\n%s", a, b)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Puts != 1 || st.Misses != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestMissOnAbsent: an empty store misses without inventing entries.
+func TestMissOnAbsent(t *testing.T) {
+	s := openTest(t)
+	if _, ok := s.Get(testConfig(2)); ok {
+		t.Fatal("empty store claimed a hit")
+	}
+	if st := s.Stats(); st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestKeyStability: the same config hashes to the same key across Store
+// instances (content addressing must survive restarts), different
+// configs to different keys, and trace replays to no key at all.
+func TestKeyStability(t *testing.T) {
+	k1, ok := Key(testConfig(3))
+	if !ok || len(k1) != 64 {
+		t.Fatalf("bad key %q ok=%v", k1, ok)
+	}
+	k2, _ := Key(testConfig(3))
+	if k1 != k2 {
+		t.Error("same config, different keys")
+	}
+	k3, _ := Key(testConfig(4))
+	if k1 == k3 {
+		t.Error("different configs share a key")
+	}
+}
+
+// entryPath locates the single on-disk entry of a one-entry store.
+func entryPath(t *testing.T, s *Store, cfg sim.Config) string {
+	t.Helper()
+	key, ok := Key(cfg)
+	if !ok {
+		t.Fatal("config not storable")
+	}
+	path := filepath.Join(s.Dir(), key[:2], key[2:]+".json")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("entry not on disk: %v", err)
+	}
+	return path
+}
+
+// TestCorruptEntryIsMissAndRewritten: garbage on disk is a logged miss,
+// never a crash, and the next Put restores a valid entry.
+func TestCorruptEntryIsMissAndRewritten(t *testing.T) {
+	s := openTest(t)
+	var logbuf bytes.Buffer
+	s.Logger = log.New(&logbuf, "", 0)
+	cfg := testConfig(5)
+	if err := s.Put(cfg, testReport("unit")); err != nil {
+		t.Fatal(err)
+	}
+	path := entryPath(t, s, cfg)
+	if err := os.WriteFile(path, []byte(`{"Design": "seesaw", "Cyc`), 0o644); err != nil {
+		t.Fatal(err) // truncated mid-field
+	}
+	if _, ok := s.Get(cfg); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Errorf("stats = %+v, want Corrupt=1", st)
+	}
+	if !strings.Contains(logbuf.String(), "corrupt") {
+		t.Errorf("corruption not logged: %q", logbuf.String())
+	}
+	// Recompute-and-rewrite path: Put again, entry works again.
+	if err := s.Put(cfg, testReport("unit")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(cfg); !ok {
+		t.Fatal("rewritten entry still missing")
+	}
+}
+
+// TestStaleSchemaIsMiss: an entry written under an older SchemaVersion
+// is recomputed, not returned.
+func TestStaleSchemaIsMiss(t *testing.T) {
+	s := openTest(t)
+	cfg := testConfig(6)
+	if err := s.Put(cfg, testReport("unit")); err != nil {
+		t.Fatal(err)
+	}
+	path := entryPath(t, s, cfg)
+	old := testReport("unit")
+	old.SchemaVersion = sim.SchemaVersion - 1
+	data, _ := json.Marshal(old)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(cfg); ok {
+		t.Fatal("stale-schema entry served as a hit")
+	}
+	if st := s.Stats(); st.Stale != 1 {
+		t.Errorf("stats = %+v, want Stale=1", st)
+	}
+}
+
+// TestConcurrentWritersSameKey: racing writers of one key (write-to-temp
+// + rename) never produce a torn entry; every interleaved read sees
+// either a miss or a complete report. Run under -race by make race.
+func TestConcurrentWritersSameKey(t *testing.T) {
+	s := openTest(t)
+	cfg := testConfig(7)
+	r := testReport("unit")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				if err := s.Put(cfg, r); err != nil {
+					t.Error(err)
+					return
+				}
+				if got, ok := s.Get(cfg); ok && got.Cycles != r.Cycles {
+					t.Errorf("torn read: %+v", got)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	got, ok := s.Get(cfg)
+	if !ok || got.Cycles != r.Cycles {
+		t.Fatalf("final entry bad: ok=%v %+v", ok, got)
+	}
+	if n := s.Len(); n != 1 {
+		t.Errorf("store holds %d entries, want 1 (temp files leaked?)", n)
+	}
+}
+
+// TestTraceConfigRejected: trace replays have no canonical identity and
+// must be refused rather than stored under a colliding key.
+func TestTraceConfigRejected(t *testing.T) {
+	s := openTest(t)
+	cfg := testConfig(8)
+	cfg.Trace = []trace.Record{{}}
+	if _, ok := Key(cfg); ok {
+		t.Fatal("trace config produced a key")
+	}
+	if err := s.Put(cfg, testReport("unit")); err == nil {
+		t.Fatal("trace config stored without error")
+	}
+	if _, ok := s.Get(cfg); ok {
+		t.Fatal("trace config hit the store")
+	}
+}

@@ -1,0 +1,143 @@
+// Command servicesmoke is the end-to-end smoke test behind `make
+// service-smoke`: it builds seesaw-served and seesaw-client, starts the
+// daemon on a random port with a fresh result store, submits a small job
+// through the client, submits it again and requires the rerun to be
+// answered from the store (fast, zero executions), and finally SIGTERMs
+// the daemon and requires a clean drain. Any deviation exits non-zero.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "servicesmoke:", err)
+		os.Exit(1)
+	}
+	fmt.Println("servicesmoke: ok")
+}
+
+func run() error {
+	tmp, err := os.MkdirTemp("", "seesaw-smoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	served := filepath.Join(tmp, "seesaw-served")
+	client := filepath.Join(tmp, "seesaw-client")
+	for bin, pkg := range map[string]string{served: "./cmd/seesaw-served", client: "./cmd/seesaw-client"} {
+		out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput()
+		if err != nil {
+			return fmt.Errorf("build %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	// Start the daemon on a random port with a fresh store; the resolved
+	// address is its first stdout line.
+	daemon := exec.Command(served, "-addr", "127.0.0.1:0", "-store", filepath.Join(tmp, "store"))
+	stdout, err := daemon.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	daemon.Stderr = os.Stderr
+	if err := daemon.Start(); err != nil {
+		return err
+	}
+	defer daemon.Process.Kill()
+
+	addr, err := readAddr(stdout)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("servicesmoke: daemon on %s\n", addr)
+
+	jobArgs := []string{"-addr", addr, "-workloads", "redis", "-caches", "seesaw,baseline",
+		"-refs", "3000", "-wait", "-timeout", "2m"}
+
+	// First submission computes both cells.
+	out, err := exec.Command(client, jobArgs...).CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("first submission: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "runs=2") || !strings.Contains(string(out), "store_hits=0") {
+		return fmt.Errorf("first submission should compute 2 cells:\n%s", out)
+	}
+
+	// Identical resubmission must come entirely from the store — fast,
+	// with zero simulator executions.
+	start := time.Now()
+	out, err = exec.Command(client, jobArgs...).CombinedOutput()
+	elapsed := time.Since(start)
+	if err != nil {
+		return fmt.Errorf("cached submission: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "runs=0") || !strings.Contains(string(out), "store_hits=2") {
+		return fmt.Errorf("cached submission should hit the store for both cells:\n%s", out)
+	}
+	if elapsed > time.Second {
+		return fmt.Errorf("cached submission took %s, want < 1s", elapsed)
+	}
+	fmt.Printf("servicesmoke: cached resubmission served from store in %s\n", elapsed.Round(time.Millisecond))
+
+	// Graceful shutdown: SIGTERM drains and exits 0.
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- daemon.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("daemon exit after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("daemon did not exit within 30s of SIGTERM")
+	}
+	return nil
+}
+
+// readAddr scans the daemon's stdout for the "listening on HOST:PORT"
+// line, with a timeout so a wedged daemon fails fast.
+func readAddr(stdout interface{ Read([]byte) (int, error) }) (string, error) {
+	type result struct {
+		addr string
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		buf := make([]byte, 256)
+		var line strings.Builder
+		for {
+			n, err := stdout.Read(buf)
+			line.Write(buf[:n])
+			if s := line.String(); strings.Contains(s, "\n") {
+				first := strings.SplitN(s, "\n", 2)[0]
+				addr, ok := strings.CutPrefix(first, "listening on ")
+				if !ok {
+					ch <- result{err: fmt.Errorf("unexpected daemon output %q", first)}
+					return
+				}
+				ch <- result{addr: strings.TrimSpace(addr)}
+				return
+			}
+			if err != nil {
+				ch <- result{err: fmt.Errorf("daemon exited before announcing its address: %v", err)}
+				return
+			}
+		}
+	}()
+	select {
+	case r := <-ch:
+		return r.addr, r.err
+	case <-time.After(15 * time.Second):
+		return "", fmt.Errorf("daemon did not announce its address within 15s")
+	}
+}
