@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench cover chaos service-smoke verify
+.PHONY: build vet test race bench cover chaos service-smoke importgate warmup-smoke verify
 
 build:
 	$(GO) build ./...
@@ -37,4 +37,15 @@ chaos:
 service-smoke:
 	$(GO) run ./tools/servicesmoke
 
-verify: build vet test race cover chaos service-smoke
+# The import gate keeps cmd/ on the simulator's stable surfaces (sim,
+# machine, runner, service, ...) instead of reaching into subsystem
+# packages (tools/importgate).
+importgate:
+	$(GO) run ./tools/importgate
+
+# The warmup gate runs the same sweep cold and on the shared-warmup
+# pool and requires byte-identical tables (tools/warmupsmoke).
+warmup-smoke:
+	$(GO) run ./tools/warmupsmoke
+
+verify: build vet test race cover chaos service-smoke importgate warmup-smoke

@@ -17,11 +17,7 @@ import (
 	"os"
 	"strings"
 
-	"seesaw/internal/check"
 	"seesaw/internal/cliutil"
-	"seesaw/internal/core"
-	"seesaw/internal/faults"
-	"seesaw/internal/metrics"
 	"seesaw/internal/runner"
 	"seesaw/internal/sim"
 	"seesaw/internal/stats"
@@ -43,6 +39,7 @@ func main() {
 		freq      = flag.Float64("freq", 1.33, "clock in GHz (1.33, 2.80, 4.00)")
 		cpuKind   = flag.String("cpu", "ooo", "core model: ooo | inorder")
 		refs      = flag.Int("refs", 200_000, "memory references to simulate")
+		warmup    = flag.Int("warmup", 0, "OS-only warmup references before the measured phase (0 = none)")
 		seed      = flag.Int64("seed", 42, "deterministic seed")
 		memhog    = flag.Float64("memhog", 0, "fraction of memory fragmented by memhog [0,0.95]")
 		thpOff    = flag.Bool("no-thp", false, "disable transparent superpages")
@@ -60,7 +57,7 @@ func main() {
 		profile   = flag.String("profile", "", "load a custom workload profile from a JSON file (overrides -workload)")
 		parallel  = flag.Int("parallel", 0, "simulation cells to run concurrently (0 = GOMAXPROCS, 1 = serial); affects -compare")
 
-		faultsFlag = flag.String("faults", "", "inject a deterministic fault schedule: "+strings.Join(faults.Schedules(), ", "))
+		faultsFlag = flag.String("faults", "", "inject a deterministic fault schedule: "+strings.Join(sim.FaultSchedules(), ", "))
 		faultEvery = flag.Int("fault-every", 0, "references between injected faults (0 = schedule default)")
 		faultSeed  = flag.Int64("fault-seed", 0, "fault injector seed (0 = derive from -seed)")
 		checkInv   = flag.Bool("check", false, "run the online invariant checker (shadow oracle); exit 1 on any violation")
@@ -106,6 +103,7 @@ func main() {
 		Workload:        p,
 		Seed:            *seed,
 		Refs:            *refs,
+		WarmupRefs:      *warmup,
 		CacheKind:       kind,
 		L1Size:          *sizeKB << 10,
 		L1Ways:          *ways,
@@ -120,10 +118,10 @@ func main() {
 		CheckInvariants: *checkInv,
 	}
 	if *epoch > 0 || *seriesOut != "" || *eventsOut != "" || *eventCap != 0 {
-		cfg.Metrics = &metrics.Config{EpochRefs: *epoch, EventCap: *eventCap}
+		cfg.Metrics = &sim.MetricsConfig{EpochRefs: *epoch, EventCap: *eventCap}
 	}
 	if *faultsFlag != "" {
-		cfg.Faults = &faults.Config{Schedule: *faultsFlag, Every: *faultEvery, Seed: *faultSeed}
+		cfg.Faults = &sim.FaultsConfig{Schedule: *faultsFlag, Every: *faultEvery, Seed: *faultSeed}
 	} else if *faultEvery != 0 || *faultSeed != 0 {
 		fatalUsage(fmt.Errorf("-fault-every/-fault-seed need -faults"))
 	}
@@ -136,7 +134,7 @@ func main() {
 	}
 	cfg.TFT.Entries = *tftEnt
 	if *policy48 {
-		cfg.Policy = core.FourEightWay
+		cfg.Policy = sim.FourEightWay
 	}
 	if *snoopy {
 		cfg.CoherenceMode = 1
@@ -259,12 +257,12 @@ func writeMetricsOutputs(r *sim.Report, seriesOut, eventsOut string) error {
 // argNamer renders fault-schedule and violation-kind arguments by name
 // in event dumps, composing the faults and check vocabularies the
 // metrics package deliberately does not import.
-func argNamer(e metrics.Event) string {
+func argNamer(e sim.Event) string {
 	switch e.Kind {
-	case metrics.EvFault:
-		return "fault=" + faults.Kind(e.Arg).String()
-	case metrics.EvViolation:
-		return "violation=" + check.KindName(e.Arg)
+	case sim.EvFault:
+		return "fault=" + sim.FaultKindName(e.Arg)
+	case sim.EvViolation:
+		return "violation=" + sim.CheckKindName(e.Arg)
 	}
 	return ""
 }

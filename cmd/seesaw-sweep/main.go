@@ -28,8 +28,6 @@ import (
 	"time"
 
 	"seesaw/internal/cliutil"
-	"seesaw/internal/faults"
-	"seesaw/internal/metrics"
 	"seesaw/internal/runner"
 	"seesaw/internal/sim"
 	"seesaw/internal/stats"
@@ -59,13 +57,20 @@ type sweepOptions struct {
 	seed     int64
 	parallel int
 
+	// warmup prepends an OS-only warmup phase of this many references to
+	// every cell; sharedWarmup additionally runs the sweep on a
+	// shared-warmup pool, so cells that agree on their warmup signature
+	// fork from one warmed machine instead of each re-simulating it.
+	warmup       int
+	sharedWarmup bool
+
 	// metrics enables the observability layer in every cell (counters
 	// only for sweeps — EventCap < 0); the pool's MergedSeries reduces
 	// the per-cell counters for the -prom snapshot.
-	metrics *metrics.Config
+	metrics *sim.MetricsConfig
 	// faults injects a schedule into every cell (nil = no injection);
 	// chaosTable overrides the schedule name per row.
-	faults *faults.Config
+	faults *sim.FaultsConfig
 	// check enables the online invariant checker in every cell.
 	check bool
 	// timeout and retries harden the pool: per-cell wall-clock budget
@@ -84,7 +89,12 @@ type sweepOptions struct {
 func (o sweepOptions) newPool() *runner.Pool {
 	p := o.pool
 	if p == nil {
-		p = runner.New(o.parallel).WithTimeout(o.timeout).WithRetries(o.retries)
+		if o.sharedWarmup {
+			p = runner.NewSharedWarmup(o.parallel)
+		} else {
+			p = runner.New(o.parallel)
+		}
+		p.WithTimeout(o.timeout).WithRetries(o.retries)
 	}
 	if o.store != nil {
 		p.WithStore(o.store)
@@ -131,10 +141,14 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit CSV")
 		parallel = flag.Int("parallel", 0, "simulation cells to run concurrently (0 = GOMAXPROCS, 1 = serial)")
 
+		warmup       = flag.Int("warmup", 0, "OS-only warmup references prepended to every cell (0 = none)")
+		sharedWarmup = flag.Bool("shared-warmup", false,
+			"fork cells from one warmed machine per workload instead of re-simulating each cell's warmup (requires -warmup)")
+
 		chaos = flag.Bool("chaos", false,
 			"chaos mode: every cache design under every fault schedule with the invariant checker on")
 		faultsFlag = flag.String("faults", "",
-			"inject a fault schedule into every cell: "+strings.Join(faults.Schedules(), ", "))
+			"inject a fault schedule into every cell: "+strings.Join(sim.FaultSchedules(), ", "))
 		faultEvery = flag.Int("fault-every", 0, "references between injected faults (0 = schedule default)")
 		faultSeed  = flag.Int64("fault-seed", 0, "fault injector seed (0 = derive per cell from -seed)")
 		check      = flag.Bool("check", false, "run the online invariant checker in every cell")
@@ -155,17 +169,21 @@ func main() {
 
 	o := sweepOptions{
 		refs: *refs, seed: *seed, parallel: *parallel,
+		warmup: *warmup, sharedWarmup: *sharedWarmup,
 		check: *check, timeout: *cellTimeout, retries: *retries,
+	}
+	if *sharedWarmup && *warmup <= 0 {
+		fatalUsage(fmt.Errorf("-shared-warmup needs -warmup > 0"))
 	}
 	if *promOut != "" {
 		// Counters only: sweeps aggregate across cells, where per-run
 		// event windows and epoch series have no meaningful merge.
-		o.metrics = &metrics.Config{EventCap: -1}
+		o.metrics = &sim.MetricsConfig{EventCap: -1}
 	}
 	if *promOut != "" || *progress || *storeDir != "" {
 		// These features need the pool held after the sweep (snapshot,
 		// progress teardown, store-hit report), so build it up front.
-		o.pool = runner.New(*parallel).WithTimeout(*cellTimeout).WithRetries(*retries)
+		o.pool = o.newPool()
 		if *progress {
 			o.pool.WithProgress(os.Stderr)
 		}
@@ -198,13 +216,13 @@ func main() {
 		o.refs = -1 // explicit -refs 0: run zero references, not the sim default
 	}
 	if *faultsFlag != "" {
-		o.faults = &faults.Config{Schedule: *faultsFlag, Every: *faultEvery, Seed: *faultSeed}
+		o.faults = &sim.FaultsConfig{Schedule: *faultsFlag, Every: *faultEvery, Seed: *faultSeed}
 		if err := o.faults.Validate(); err != nil {
 			fatalUsage(err)
 		}
 	} else if *chaos {
 		// chaosTable fills the schedule per row; carry the knobs.
-		o.faults = &faults.Config{Every: *faultEvery, Seed: *faultSeed}
+		o.faults = &sim.FaultsConfig{Every: *faultEvery, Seed: *faultSeed}
 	} else if *faultEvery != 0 || *faultSeed != 0 {
 		fatalUsage(fmt.Errorf("-fault-every/-fault-seed need -faults or -chaos"))
 	}
@@ -272,10 +290,10 @@ func finishSweep(o sweepOptions, promOut string) {
 func writeProm(pool *runner.Pool, path string) error {
 	series := pool.MergedSeries()
 	if series == nil {
-		series = &metrics.Series{}
+		series = &sim.MetricsSeries{}
 	}
 	st := pool.Stats()
-	extras := []metrics.PromMetric{
+	extras := []sim.PromMetric{
 		{Name: "seesaw_sweep_cells_submitted", Help: "cells submitted to the pool (including deduplicated resubmissions)", Value: float64(st.Submitted)},
 		{Name: "seesaw_sweep_cells_executed", Help: "distinct cells actually simulated", Value: float64(st.Runs)},
 		{Name: "seesaw_sweep_cache_hits", Help: "submissions satisfied by the duplicate-cell cache", Value: float64(st.CacheHits)},
@@ -425,7 +443,7 @@ func chaosTable(o sweepOptions) (*stats.Table, []failure, uint64, error) {
 		{name: "SEESAW", kind: sim.KindSeesaw},
 		{name: "PIPT (small TLB)", kind: sim.KindPIPT, serialTLB: 2, smallTLB: true},
 	}
-	schedules := faults.Schedules()
+	schedules := sim.FaultSchedules()
 	every, fseed := 0, int64(0)
 	if o.faults != nil {
 		every, fseed = o.faults.Every, o.faults.Seed
@@ -442,9 +460,10 @@ func chaosTable(o sweepOptions) (*stats.Table, []failure, uint64, error) {
 					SerialTLBCycles: d.serialTLB, SmallTLB: d.smallTLB,
 					FreqGHz: 1.33, CPUKind: "ooo", MemBytes: 512 << 20,
 					MemhogFraction:  0.4,
+					WarmupRefs:      o.warmup,
 					CheckInvariants: true,
 					Metrics:         o.metrics,
-					Faults:          &faults.Config{Schedule: sched, Every: every, Seed: fseed},
+					Faults:          &sim.FaultsConfig{Schedule: sched, Every: every, Seed: fseed},
 				}
 				if d.kind == sim.KindPIPT {
 					cfg.L1Ways = 4
@@ -496,6 +515,7 @@ func submit(pool *runner.Pool, o sweepOptions, p workload.Profile, kind sim.Cach
 		CacheKind: kind, L1Size: size, L1Ways: ways, Partitions: parts,
 		SerialTLBCycles: serialTLB, SmallTLB: smallTLB,
 		FreqGHz: freq, CPUKind: "ooo", MemBytes: 512 << 20,
+		WarmupRefs:      o.warmup,
 		CheckInvariants: o.check,
 		Metrics:         o.metrics,
 	}

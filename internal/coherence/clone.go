@@ -1,0 +1,31 @@
+package coherence
+
+import (
+	"seesaw/internal/addr"
+	"seesaw/internal/core"
+)
+
+// Clone returns an independent deep copy of the memory system wired to
+// the given (already cloned) L1s, which must be in the same coherence
+// order as the originals. The directory, LLC array, statistics, and
+// per-core energy/probe accumulators all deep-copy; the metrics mirror
+// is NOT copied — the owner of the clone rewires its own.
+func (s *System) Clone(l1s []core.L1Cache) *System {
+	c := &System{
+		cfg:               s.cfg,
+		l1s:               l1s,
+		llc:               s.llc.Clone(),
+		geom:              s.geom,
+		dir:               make(map[addr.PAddr]*dirEntry, len(s.dir)),
+		llcCycles:         s.llcCycles,
+		dramCycles:        s.dramCycles,
+		Stats:             s.Stats,
+		CoherenceEnergyNJ: append([]float64(nil), s.CoherenceEnergyNJ...),
+		CoherenceProbes:   append([]uint64(nil), s.CoherenceProbes...),
+	}
+	for line, e := range s.dir {
+		ce := *e
+		c.dir[line] = &ce
+	}
+	return c
+}

@@ -1,0 +1,25 @@
+package core
+
+// Clone implements L1Cache. Timing is pure value state; the storage
+// array, TFT, and way predictor deep-copy.
+func (s *Seesaw) Clone() L1Cache {
+	c := &Seesaw{cfg: s.cfg, geom: s.geom, c: s.c.Clone(), f: s.f.Clone(), t: s.t, Stats: s.Stats}
+	if s.wp != nil {
+		c.wp = s.wp.Clone()
+	}
+	return c
+}
+
+// Clone implements L1Cache.
+func (b *BaselineVIPT) Clone() L1Cache {
+	c := &BaselineVIPT{cfg: b.cfg, geom: b.geom, c: b.c.Clone(), t: b.t}
+	if b.wp != nil {
+		c.wp = b.wp.Clone()
+	}
+	return c
+}
+
+// Clone implements L1Cache.
+func (p *PIPT) Clone() L1Cache {
+	return &PIPT{cfg: p.cfg, geom: p.geom, c: p.c.Clone(), t: p.t}
+}

@@ -1,0 +1,13 @@
+package cpu
+
+// Clone implements Model. Both models are plain value state.
+func (c *InOrder) Clone() Model {
+	cc := *c
+	return &cc
+}
+
+// Clone implements Model.
+func (c *OutOfOrder) Clone() Model {
+	cc := *c
+	return &cc
+}

@@ -1,0 +1,31 @@
+package cpu
+
+import "testing"
+
+// TestClone: a cloned model carries its cycle/instruction state and then
+// advances independently of the original.
+func TestClone(t *testing.T) {
+	for _, kind := range []string{"inorder", "ooo"} {
+		m, err := New(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Retire(3, MemCost{Hit: true, L1Cycles: 2, SlowL1Cycles: 4})
+		m.Retire(1, MemCost{L1Cycles: 4, ExtraCycles: 40})
+		m.Stall(7)
+
+		c := m.Clone()
+		if c.Name() != m.Name() {
+			t.Errorf("%s: clone Name = %q", kind, c.Name())
+		}
+		if c.Cycles() != m.Cycles() || c.Instructions() != m.Instructions() {
+			t.Errorf("%s: clone %d cycles/%d instrs, want %d/%d",
+				kind, c.Cycles(), c.Instructions(), m.Cycles(), m.Instructions())
+		}
+		c.Retire(2, MemCost{Hit: true, L1Cycles: 2})
+		if c.Cycles() == m.Cycles() || c.Instructions() == m.Instructions() {
+			t.Errorf("%s: retiring on the clone advanced the original (both at %d cycles, %d instrs)",
+				kind, m.Cycles(), m.Instructions())
+		}
+	}
+}

@@ -35,6 +35,16 @@ type Options struct {
 	SeedSet bool
 	// Workloads restricts the workload set (default: all sixteen).
 	Workloads []string
+	// WarmupRefs prepends an OS-only warmup phase of this many references
+	// to every cell (0 = none); see machine.Config.WarmupRefs.
+	WarmupRefs int
+	// SharedWarmup runs the experiment on a shared-warmup pool (when Pool
+	// is nil): cells that agree on their warmup signature — same
+	// workload, seed, and OS parameters, differing only in measured-phase
+	// design points — fork from one warmed machine instead of each
+	// re-simulating WarmupRefs references. Reports are byte-identical to
+	// cold runs, so tables do not change; only wall-clock time does.
+	SharedWarmup bool
 	// Parallel bounds concurrent simulation cells when Pool is nil:
 	// 0 selects runtime.GOMAXPROCS(0), 1 restores serial execution.
 	Parallel int
@@ -57,7 +67,11 @@ func (o Options) withDefaults() Options {
 		o.Workloads = workload.Names()
 	}
 	if o.Pool == nil {
-		o.Pool = runner.New(o.Parallel)
+		if o.SharedWarmup {
+			o.Pool = runner.NewSharedWarmup(o.Parallel)
+		} else {
+			o.Pool = runner.New(o.Parallel)
+		}
 	}
 	return o
 }
@@ -82,14 +96,15 @@ func baseConfig(o Options, p workload.Profile, kind sim.CacheKind, size uint64, 
 		refs = -1 // an explicit zero survives sim's own defaulting
 	}
 	return sim.Config{
-		Workload:  p,
-		Seed:      o.Seed,
-		Refs:      refs,
-		CacheKind: kind,
-		L1Size:    size,
-		FreqGHz:   freq,
-		CPUKind:   cpuKind,
-		MemBytes:  512 << 20,
+		Workload:   p,
+		Seed:       o.Seed,
+		Refs:       refs,
+		WarmupRefs: o.WarmupRefs,
+		CacheKind:  kind,
+		L1Size:     size,
+		FreqGHz:    freq,
+		CPUKind:    cpuKind,
+		MemBytes:   512 << 20,
 	}
 }
 

@@ -1,0 +1,18 @@
+package faults
+
+import "math/rand"
+
+// Clone returns an independent deep copy of the injector: its private
+// RNG continues from its current position (see internal/xrand), so the
+// clone fires exactly the event stream the original would have fired
+// from here on.
+func (inj *Injector) Clone() *Injector {
+	src := inj.src.Clone()
+	return &Injector{
+		cfg:   inj.cfg,
+		kinds: inj.kinds,
+		rng:   rand.New(src),
+		src:   src,
+		Stats: inj.Stats,
+	}
+}

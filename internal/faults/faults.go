@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+
+	"seesaw/internal/xrand"
 )
 
 // Kind enumerates the injectable fault classes.
@@ -166,6 +168,7 @@ type Injector struct {
 	cfg   Config
 	kinds []Kind
 	rng   *rand.Rand
+	src   *xrand.Source
 
 	Stats Stats
 }
@@ -182,10 +185,12 @@ func New(cfg Config, simSeed int64) (*Injector, error) {
 	if seed == 0 {
 		seed = simSeed ^ 0x5ee5aa7f
 	}
+	rng, src := xrand.New(seed)
 	return &Injector{
 		cfg:   cfg,
 		kinds: schedules[cfg.Schedule],
-		rng:   rand.New(rand.NewSource(seed)),
+		rng:   rng,
+		src:   src,
 	}, nil
 }
 

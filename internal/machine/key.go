@@ -1,12 +1,12 @@
-package sim
+package machine
 
 import "fmt"
 
 // CanonicalKey returns a deterministic string identity for this config:
 // two configs with equal keys describe the same simulation and — because
-// Run is deterministic — produce the same Report. It is the single
-// source of truth for cell identity, shared by the runner's in-memory
-// duplicate-cell cache and the disk store's content addressing
+// the machine is deterministic — produce the same Report. It is the
+// single source of truth for cell identity, shared by the runner's
+// in-memory duplicate-cell cache and the disk store's content addressing
 // (internal/store hashes it together with the report schema version).
 //
 // Configs replaying an explicit trace are not canonicalizable: the trace

@@ -1,0 +1,878 @@
+package machine
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"seesaw/internal/addr"
+	"seesaw/internal/cache"
+	"seesaw/internal/check"
+	"seesaw/internal/coherence"
+	"seesaw/internal/core"
+	"seesaw/internal/cpu"
+	"seesaw/internal/energy"
+	"seesaw/internal/faults"
+	"seesaw/internal/metrics"
+	"seesaw/internal/osmm"
+	"seesaw/internal/pagetable"
+	"seesaw/internal/physmem"
+	"seesaw/internal/tlb"
+	"seesaw/internal/trace"
+	"seesaw/internal/workload"
+	"seesaw/internal/xrand"
+)
+
+// Hooks bundles the optional cross-cutting observers wired into a
+// machine: the metrics recorder, the invariant checker, and the fault
+// injector. Build populates them from the Config (each is nil when its
+// config section is absent); every emit site in the machine is nil-safe
+// or nil-checked, so an unhooked machine pays one branch per site.
+type Hooks struct {
+	// Metrics mirrors counters and events into the observability layer
+	// (nil unless Config.Metrics).
+	Metrics *metrics.Recorder
+	// Checker audits TLB/TFT/cache/directory state against page-table
+	// ground truth after every reference and OS event (nil unless
+	// Config.CheckInvariants).
+	Checker *check.Checker
+	// Injector produces the deterministic fault schedule (nil unless
+	// Config.Faults).
+	Injector *faults.Injector
+}
+
+// Machine is the fully wired simulated system: physical memory under an
+// OS memory manager, per-core TLB hierarchies and L1 caches over a
+// coherent LLC, CPU timing models, and the workload generators driving
+// them. Build constructs one; Step advances it a single reference;
+// Warmup and Measure run the two phases; Snapshot/Resume/Fork
+// deep-copy warm state (snapshot.go).
+type Machine struct {
+	cfg Config
+
+	// Hooks holds the machine's cross-cutting observers. Build wires
+	// them; Fork rebuilds them fresh for the forked cell.
+	Hooks Hooks
+
+	// Deterministic OS-side randomness: rng is shared by the memory
+	// manager and the memhog; rngSrc counts its draws so clones resume
+	// at the same stream position.
+	rng    *rand.Rand
+	rngSrc *xrand.Source
+
+	buddy  *physmem.Buddy
+	hog    *physmem.Memhog // nil unless MemhogFraction > 0
+	mgr    *osmm.Manager
+	proc   *osmm.Process
+	gen    *workload.Generator
+	coGens []*workload.Generator // nil unless CoRunner
+
+	nCores int
+
+	l1s      []core.L1Cache
+	seesaws  []*core.Seesaw // nil entries unless KindSeesaw
+	l1is     []core.L1Cache // nil unless ICache
+	iseesaws []*core.Seesaw
+	hiers    []*tlb.Hierarchy
+	cpus     []cpu.Model
+	cohSys   *coherence.System
+	acct     *energy.Account
+
+	// schedule interleaves application threads with the system thread;
+	// superTLBThreshold gates the scheduler's fast-path speculation.
+	schedule          []int
+	superTLBThreshold int
+	// lastWidth tracks each coherence participant's most recent probe
+	// width so EvProbeWidth fires only on transitions (metrics only).
+	lastWidth []int
+
+	// globalRef is the next reference index to execute; references
+	// [0, WarmupRefs) are the warmup phase, [WarmupRefs,
+	// WarmupRefs+Refs) the measured phase. curRef tags checker findings
+	// and fault events with the reference they occurred at.
+	globalRef int
+	curRef    uint64
+
+	l2Lookups uint64
+	superRefs uint64
+	// spike holds the frames a memhog-spike fault currently pins; the
+	// next spike releases them, so pressure oscillates.
+	spike   []addr.PAddr
+	dropTFT bool
+}
+
+// mainASID is the measured application's address space; the co-runner
+// (when configured) runs as coASID.
+const (
+	mainASID = 1
+	coASID   = 2
+)
+
+// cancelCheckMask sets how often the reference loops poll their
+// context: every 4096 references, cheap enough to be invisible next to
+// the work of one reference yet responsive enough that a canceled or
+// timed-out cell unwinds within a fraction of a millisecond.
+const cancelCheckMask = 1<<12 - 1
+
+// Build validates cfg and constructs a fully wired machine: the OS side
+// (physical memory, fragmentation, page tables, mapped workload
+// regions, co-runner address space) and the microarchitectural side
+// (caches, TLBs, TFTs, coherence, CPUs), plus the Hooks the config asks
+// for. The machine is positioned at reference 0; run it with Warmup
+// then Measure, or drive it manually with Step.
+func Build(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{cfg: cfg.withDefaults()}
+	if err := m.buildOS(); err != nil {
+		return nil, err
+	}
+	if err := m.buildUarch(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Config returns the machine's configuration with defaults applied.
+func (m *Machine) Config() Config { return m.cfg }
+
+// buildOS constructs everything the warmup phase touches: physical
+// memory and its fragmentation, the OS memory manager, the measured
+// process and its mapped regions, the workload generators, and the
+// co-runner's address space. Only this state (plus the RNG position)
+// distinguishes a warmed machine from a cold one.
+func (m *Machine) buildOS() error {
+	cfg := m.cfg
+	m.rng, m.rngSrc = xrand.New(cfg.Seed)
+
+	// Physical memory, fragmentation, OS.
+	buddy, err := physmem.New(cfg.MemBytes)
+	if err != nil {
+		return err
+	}
+	m.buddy = buddy
+	m.mgr = osmm.NewManager(buddy, m.rng, !cfg.THPOff)
+	if cfg.MemhogFraction > 0 {
+		hog, err := physmem.Run(buddy, m.rng, cfg.MemhogFraction, 0.97)
+		if err != nil {
+			return err
+		}
+		// memhog's pages are movable anonymous memory: the OS can
+		// migrate them when compacting for superpage allocations.
+		m.hog = hog
+		m.mgr.Compactor = hog
+	}
+	proc, err := m.mgr.NewProcess(mainASID)
+	if err != nil {
+		return err
+	}
+	m.proc = proc
+
+	// Workload regions.
+	m.gen = workload.NewGenerator(cfg.Workload, cfg.Seed)
+	var heapBase addr.VAddr
+	if cfg.Heap1G {
+		heapBase, err = m.mgr.Mmap1G(proc, m.gen.HeapBytes())
+	} else {
+		heapBase, err = m.mgr.MmapHuge(proc, m.gen.HeapBytes(), true)
+	}
+	if err != nil {
+		return fmt.Errorf("sim: mapping heap: %w", err)
+	}
+	smallBase, err := m.mgr.MmapHuge(proc, m.gen.SmallBytes(), false)
+	if err != nil {
+		return fmt.Errorf("sim: mapping small region: %w", err)
+	}
+	osBase, err := m.mgr.MmapHuge(proc, m.gen.OSBytes(), false)
+	if err != nil {
+		return fmt.Errorf("sim: mapping OS region: %w", err)
+	}
+	m.gen.Bind(heapBase, smallBase, osBase)
+	if cfg.ICache {
+		codeBase, err := m.mgr.MmapHuge(proc, m.gen.CodeBytes(), cfg.TextHuge)
+		if err != nil {
+			return fmt.Errorf("sim: mapping text: %w", err)
+		}
+		m.gen.BindCode(codeBase)
+	}
+
+	// Per-core structures: application threads + the system thread.
+	m.nCores = m.gen.Threads() + 1
+
+	// Optional co-runner process (ASID 2): its own address space, its
+	// own per-core generators for the timeslices it steals.
+	if cfg.CoRunner != nil {
+		proc2, err := m.mgr.NewProcess(coASID)
+		if err != nil {
+			return err
+		}
+		// All cores replay the co-runner's thread-0 stream, each from an
+		// independent deterministic generator.
+		m.coGens = make([]*workload.Generator, m.nCores)
+		cg := workload.NewGenerator(*cfg.CoRunner, cfg.Seed+1000)
+		heap2, err := m.mgr.MmapHuge(proc2, cg.HeapBytes(), true)
+		if err != nil {
+			return fmt.Errorf("sim: mapping co-runner heap: %w", err)
+		}
+		small2, err := m.mgr.MmapHuge(proc2, cg.SmallBytes(), false)
+		if err != nil {
+			return fmt.Errorf("sim: mapping co-runner small region: %w", err)
+		}
+		os2, err := m.mgr.MmapHuge(proc2, cg.OSBytes(), false)
+		if err != nil {
+			return fmt.Errorf("sim: mapping co-runner OS region: %w", err)
+		}
+		for c := 0; c < m.nCores; c++ {
+			g2 := workload.NewGenerator(*cfg.CoRunner, cfg.Seed+1000+int64(c))
+			g2.Bind(heap2, small2, os2)
+			m.coGens[c] = g2
+		}
+	}
+
+	// Interleave: each application thread runs 8 references per system
+	// thread reference, approximating the paper's traces of the target
+	// application plus background system activity.
+	for t := 0; t < m.gen.Threads(); t++ {
+		for k := 0; k < 8; k++ {
+			m.schedule = append(m.schedule, t)
+		}
+	}
+	m.schedule = append(m.schedule, m.gen.SystemTID())
+	return nil
+}
+
+// buildUarch constructs everything the measured phase touches — caches,
+// TLB hierarchies, coherence, CPU models, energy accounting — and wires
+// the Hooks and OS-event callbacks. The warmup phase never mutates any
+// of this state, which is why Fork can rebuild it fresh per cell.
+func (m *Machine) buildUarch() error {
+	cfg := m.cfg
+	// Observability: one recorder spans the whole coherence domain (data
+	// caches 0..nCores-1, instruction caches nCores..2nCores-1). The
+	// recorder is nil when metrics are off — every emit site is a
+	// nil-safe no-op then.
+	var mrec *metrics.Recorder
+	if cfg.Metrics != nil {
+		recCores := m.nCores
+		if cfg.ICache {
+			recCores = 2 * m.nCores
+		}
+		mrec = metrics.New(*cfg.Metrics, recCores, cfg.Refs)
+	}
+
+	m.l1s = make([]core.L1Cache, m.nCores)
+	m.seesaws = make([]*core.Seesaw, m.nCores) // nil unless KindSeesaw
+	m.hiers = make([]*tlb.Hierarchy, m.nCores)
+	m.cpus = make([]cpu.Model, m.nCores)
+	l1cfg := core.Config{
+		SizeBytes: cfg.L1Size, Ways: cfg.L1Ways, Partitions: cfg.Partitions,
+		FreqGHz: cfg.FreqGHz, TFT: cfg.TFT, Policy: cfg.Policy,
+		WayPredict: cfg.WayPredict, SerialTLBCycles: cfg.SerialTLBCycles,
+		Replacement: cfg.Replacement,
+	}
+	tlbCfg := tlb.SandybridgeTLBs()
+	if cfg.CPUKind == "inorder" {
+		tlbCfg = tlb.AtomTLBs()
+	}
+	if cfg.SmallTLB {
+		tlbCfg = tlb.SmallTLBs()
+	}
+	newL1 := func(c core.Config) (core.L1Cache, *core.Seesaw, error) {
+		switch cfg.CacheKind {
+		case KindBaseline:
+			l1, err := core.NewBaselineVIPT(c)
+			return l1, nil, err
+		case KindSeesaw:
+			l1, err := core.NewSeesaw(c)
+			return l1, l1, err
+		case KindPIPT:
+			l1, err := core.NewPIPT(c)
+			return l1, nil, err
+		}
+		return nil, nil, fmt.Errorf("sim: unknown cache kind %v", cfg.CacheKind)
+	}
+	// Optional per-core L1 instruction caches (Table II: split 32KB I).
+	if cfg.ICache {
+		m.l1is = make([]core.L1Cache, m.nCores)
+		m.iseesaws = make([]*core.Seesaw, m.nCores)
+	}
+	for i := 0; i < m.nCores; i++ {
+		l1, s, err := newL1(l1cfg)
+		if err != nil {
+			return err
+		}
+		m.l1s[i], m.seesaws[i] = l1, s
+		if mrec != nil {
+			l1.Storage().Metrics, l1.Storage().MetricsCore = mrec, i
+			if s != nil {
+				s.TFT().Metrics, s.TFT().MetricsCore = mrec, i
+			}
+		}
+		if cfg.ICache {
+			icfg := l1cfg
+			icfg.SizeBytes = 32 << 10
+			icfg.Ways = 8
+			icfg.Partitions = 0
+			il1, is, err := newL1(icfg)
+			if err != nil {
+				return err
+			}
+			m.l1is[i], m.iseesaws[i] = il1, is
+			if mrec != nil {
+				il1.Storage().Metrics, il1.Storage().MetricsCore = mrec, m.nCores+i
+				if is != nil {
+					is.TFT().Metrics, is.TFT().MetricsCore = mrec, m.nCores+i
+				}
+			}
+		}
+		walker := pagetable.NewWalker(m.proc.PT, 20)
+		h, err := tlb.NewHierarchy(tlbCfg, walker)
+		if err != nil {
+			return err
+		}
+		h.Metrics, h.MetricsCore = mrec, i
+		m.hiers[i] = h
+		cm, err := cpu.New(cfg.CPUKind)
+		if err != nil {
+			return err
+		}
+		m.cpus[i] = cm
+	}
+	m.wireSuperFills()
+
+	cohCfg := coherence.DefaultConfig(cfg.FreqGHz)
+	cohCfg.Mode = cfg.CoherenceMode
+	// The instruction caches join the coherent domain as extra read-only
+	// participants: I-cache of core i sits at index nCores+i.
+	cohSys, err := coherence.New(cohCfg, m.cohL1s())
+	if err != nil {
+		return err
+	}
+	cohSys.Metrics = mrec
+	m.cohSys = cohSys
+
+	// Optional shadow oracle: audits every reference and OS event
+	// against page-table / directory ground truth.
+	var chk *check.Checker
+	if cfg.CheckInvariants {
+		chk = check.New(check.Wiring{
+			L1s: m.cohL1s(), Hiers: m.hiers, Seesaws: m.seesaws, ISeesaws: m.iseesaws,
+			Coh: cohSys, Mgr: m.mgr,
+		})
+		chk.Metrics = mrec
+	}
+
+	// Fault injection: a seeded event stream perturbing the run on a
+	// reproducible schedule (see internal/faults).
+	var inj *faults.Injector
+	if cfg.Faults != nil {
+		inj, err = faults.New(*cfg.Faults, cfg.Seed)
+		if err != nil {
+			return err
+		}
+	}
+	m.Hooks = Hooks{Metrics: mrec, Checker: chk, Injector: inj}
+
+	// OS event wiring: invlpg reaches every core's TLBs and TFT; page
+	// promotion sweeps old frames out of every L1 under cover of the
+	// 150-200 cycle TLB-invalidate instructions (Section IV-C2).
+	// dropTFT models a broken invalidation protocol (fault-injection
+	// mutation): the TLB side of the invlpg still happens, the TFT side
+	// is silently lost — exactly the stale-entry hazard the Section
+	// IV-C2 protocol prevents and the invariant checker must catch.
+	m.dropTFT = cfg.Faults != nil && cfg.Faults.DropTFTInvalidate
+	m.mgr.OnInvlpg = m.onInvlpg
+	m.mgr.OnPromote = m.onPromote
+
+	m.acct = energy.NewAccount(cfg.Prices)
+	m.superTLBThreshold = 0
+	if st := m.hiers[0].L1Super(); st != nil {
+		m.superTLBThreshold = st.Config().Entries / 4
+	}
+	if mrec != nil {
+		m.lastWidth = make([]int, len(m.cohL1s()))
+	}
+	return nil
+}
+
+// cohL1s returns the coherence participant order: data caches first,
+// then (when modeled) the instruction caches.
+func (m *Machine) cohL1s() []core.L1Cache {
+	return append(append([]core.L1Cache{}, m.l1s...), m.l1is...)
+}
+
+// wireSuperFills connects each hierarchy's superpage-TLB-fill event to
+// the core's TFTs (Fig 5 steps 6-8). Called by buildUarch and again by
+// clone, which must re-close over the cloned seesaws.
+func (m *Machine) wireSuperFills() {
+	for i := range m.hiers {
+		ds, is := m.seesaws[i], (*core.Seesaw)(nil)
+		if m.cfg.ICache {
+			is = m.iseesaws[i]
+		}
+		if ds == nil && is == nil {
+			m.hiers[i].OnL1SuperFill = nil
+			continue
+		}
+		m.hiers[i].OnL1SuperFill = func(va addr.VAddr, asid uint16) {
+			if ds != nil {
+				ds.OnSuperpageTLBFill(va)
+			}
+			if is != nil {
+				is.OnSuperpageTLBFill(va)
+			}
+		}
+	}
+}
+
+// inWarmup reports whether the machine is still inside the warmup
+// phase: OS-event hooks do no microarchitectural work then (there is no
+// warm cache/TLB state to invalidate and nothing is being measured).
+func (m *Machine) inWarmup() bool { return m.globalRef < m.cfg.WarmupRefs }
+
+// onInvlpg handles an OS invalidation of the 2MB region at vaBase:
+// every core's TLB stack drops the region's translations (one range
+// invalidation instead of 512 per-page probes), the TFTs drop the
+// region, and each core pays the invlpg instruction cost.
+func (m *Machine) onInvlpg(asid uint16, vaBase addr.VAddr) {
+	if m.inWarmup() {
+		return
+	}
+	// One shootdown event per 2MB region (not per 4KB page per core —
+	// that would flood the ring); the per-entry drop counts land in
+	// CtrTLBShootdown via Hierarchy.InvalidateRegion2M.
+	m.Hooks.Metrics.Emit(-1, metrics.EvTLBShootdown, uint64(vaBase), 0, uint64(asid))
+	for i := range m.hiers {
+		m.hiers[i].InvalidateRegion2M(vaBase, asid)
+		if !m.dropTFT {
+			if m.seesaws[i] != nil {
+				m.seesaws[i].InvalidatePage(vaBase)
+			}
+			if m.cfg.ICache && m.iseesaws[i] != nil {
+				m.iseesaws[i].InvalidatePage(vaBase)
+			}
+		}
+		m.cpus[i].Stall(175) // invlpg cost, mid paper range
+	}
+	if m.Hooks.Checker != nil {
+		m.Hooks.Checker.AfterInvlpg(m.curRef, asid, vaBase)
+	}
+}
+
+// onPromote handles a completed superpage promotion: every L1 sweeps
+// the old frames' lines (Section IV-C2's cache side).
+func (m *Machine) onPromote(asid uint16, vaBase addr.VAddr, oldFrames []addr.PAddr, newPA addr.PAddr) {
+	if m.inWarmup() {
+		return
+	}
+	m.Hooks.Metrics.Add(0, metrics.CtrPromotion, 1)
+	m.Hooks.Metrics.Emit(-1, metrics.EvPromote, uint64(vaBase), uint64(newPA), uint64(len(oldFrames)))
+	for i, l1 := range m.l1s {
+		for _, f := range oldFrames {
+			for _, v := range l1.EvictRange(f, f+4096) {
+				m.cohSys.Evicted(i, v.PA, v.State.Dirty())
+			}
+		}
+	}
+	for i, l1i := range m.l1is {
+		for _, f := range oldFrames {
+			for _, v := range l1i.EvictRange(f, f+4096) {
+				m.cohSys.Evicted(m.nCores+i, v.PA, v.State.Dirty())
+			}
+		}
+	}
+	if m.Hooks.Checker != nil {
+		m.Hooks.Checker.AfterPromote(m.curRef, oldFrames)
+	}
+}
+
+// sampleAccess mirrors one L1 access into the metrics layer.
+func (m *Machine) sampleAccess(mcore int, va addr.VAddr, ar core.AccessResult) {
+	mrec := m.Hooks.Metrics
+	if mrec == nil {
+		return
+	}
+	mrec.Add(mcore, metrics.CtrRefs, 1)
+	mrec.Add(mcore, metrics.CtrWaysProbed, uint64(ar.WaysProbed))
+	if ar.FastPath {
+		mrec.Add(mcore, metrics.CtrFastProbe, 1)
+	} else {
+		mrec.Add(mcore, metrics.CtrSlowProbe, 1)
+	}
+	if ar.WaysProbed != m.lastWidth[mcore] {
+		m.lastWidth[mcore] = ar.WaysProbed
+		mrec.Emit(mcore, metrics.EvProbeWidth, uint64(va), 0, uint64(ar.WaysProbed))
+	}
+}
+
+// dataAccess runs one data reference on core tid in the given address
+// space: translate, L1 lookup, miss service / coherence upgrade,
+// scheduler-speculation resolution, retire. countStats marks
+// main-process references (superpage-fraction metric).
+func (m *Machine) dataAccess(tid int, rec trace.Record, asid uint16, countStats bool) error {
+	cfg := m.cfg
+	h := m.hiers[tid]
+	tr := h.Translate(rec.VA, asid)
+	if tr.Source == tlb.SourceFault {
+		return fmt.Errorf("sim: fault at %#x (unmapped generator address)", uint64(rec.VA))
+	}
+	if tr.Source != tlb.SourceL1 {
+		m.l2Lookups++
+	}
+	if countStats && tr.Size.IsSuper() {
+		m.superRefs++
+	}
+	store := rec.Kind != 0
+	ar := m.l1s[tid].Access(rec.VA, tr.PA, tr.Size, store)
+	m.acct.AddL1CPUSide(ar.EnergyNJ)
+	m.sampleAccess(tid, rec.VA, ar)
+	// Audit before the miss is filled: the full-probe ground truth
+	// must reflect the state this lookup actually saw.
+	if m.Hooks.Checker != nil {
+		m.Hooks.Checker.AfterAccess(check.Access{
+			Ref: m.curRef, Core: tid, VA: rec.VA, ASID: asid, TR: tr, AR: ar,
+		})
+	}
+	// A superpage L1 TLB hit refreshes the TFT *after* this access's
+	// parallel TFT probe completed: the hitting TLB entry carries
+	// the page size, so the hardware re-marks a region that a
+	// conflicting fill displaced. The current access still paid
+	// the slow path; the next one hits the TFT. (Completes the
+	// paper's fill-on-TLB-fill policy, which alone would let a
+	// region whose TLB entry stays resident miss indefinitely.)
+	if tr.Size.IsSuper() && tr.Source == tlb.SourceL1 && m.seesaws[tid] != nil {
+		m.seesaws[tid].OnSuperpageTLBFill(rec.VA)
+	}
+	extra := tr.ExtraCycles
+	if !ar.Hit {
+		mr := m.cohSys.Miss(tid, tr.PA, store)
+		fill := m.l1s[tid].Fill(tr.PA, tr.Size, store, mr.Shared)
+		m.acct.AddL1CPUSide(fill.EnergyNJ)
+		if fill.Victim.Valid {
+			m.cohSys.Evicted(tid, fill.VictimPA, fill.Writeback)
+		}
+		extra += mr.Cycles
+		// Next-line prefetch, staying inside the 4KB frame.
+		if cfg.Prefetch {
+			nextPA := tr.PA.LineBase() + addr.LineSize
+			if nextPA.PageBase(addr.Page4K) == tr.PA.PageBase(addr.Page4K) {
+				if _, _, resident := m.l1s[tid].Storage().FindLine(nextPA); !resident {
+					pmr := m.cohSys.Miss(tid, nextPA, false)
+					pfill := m.l1s[tid].Fill(nextPA, tr.Size, false, pmr.Shared)
+					m.acct.AddL1CPUSide(pfill.EnergyNJ)
+					if pfill.Victim.Valid {
+						m.cohSys.Evicted(tid, pfill.VictimPA, pfill.Writeback)
+					}
+				}
+			}
+		}
+	} else if store {
+		switch ar.State {
+		case cache.Shared, cache.Owned: // need coherence permission
+			extra += m.cohSys.Upgrade(tid, tr.PA)
+		default:
+			m.l1s[tid].UpgradeToModified(tr.PA)
+		}
+	}
+	assumedFast := false
+	if m.seesaws[tid] != nil {
+		switch {
+		case cfg.SchedulerAlwaysFast:
+			assumedFast = true
+		case cfg.SchedulerAlwaysSlow:
+			assumedFast = false
+		default:
+			// The paper's counter heuristic: speculate fast when the
+			// 2MB TLB holds at least a quarter of its entries. Any
+			// resident 1GB translation also licenses speculation —
+			// one gigabyte entry covers 512 superpage regions, so
+			// superpages are certainly not scarce.
+			if st := h.L1Super(); st != nil {
+				assumedFast = st.ValidCount() >= m.superTLBThreshold
+			}
+			if g1 := h.L1For(addr.Page1G); g1 != nil && g1.ValidCount() > 0 {
+				assumedFast = true
+			}
+		}
+	}
+	m.cpus[tid].Retire(int(rec.Gap), cpu.MemCost{
+		Hit:          ar.Hit,
+		IsStore:      store,
+		Dep:          rec.Dep,
+		L1Cycles:     ar.Cycles,
+		SlowL1Cycles: m.l1s[tid].SlowCycles(),
+		AssumedFast:  assumedFast,
+		ExtraCycles:  extra,
+	})
+	return nil
+}
+
+// contextSwitch runs the co-runner timeslice (if configured) on every
+// core and flushes the non-ASID-tagged TFTs. The ASID-tagged TLBs keep
+// the application's entries across the switch; the page walker follows
+// the CR3 switch to the co-runner's page table.
+func (m *Machine) contextSwitch() error {
+	if m.cfg.CoRunner != nil {
+		proc2 := m.mgr.Process(coASID)
+		for c := 0; c < m.nCores; c++ {
+			// Entering the co-runner: TFT flush and CR3 switch.
+			m.flushTFTs(c)
+			m.hiers[c].Walker().Table = proc2.PT
+			for k := 0; k < m.cfg.CoRunSliceRefs; k++ {
+				rec2 := m.coGens[c].Next(0)
+				rec2.TID = uint8(c)
+				if err := m.dataAccess(c, rec2, coASID, false); err != nil {
+					return err
+				}
+			}
+			m.hiers[c].Walker().Table = m.proc.PT
+		}
+	}
+	// Switching back to the application: TFT flush again.
+	for c := 0; c < m.nCores; c++ {
+		m.flushTFTs(c)
+	}
+	return nil
+}
+
+// flushTFTs flushes core c's TFTs (data side and, when modeled, the
+// instruction side) on a context switch — they carry no ASIDs.
+func (m *Machine) flushTFTs(c int) {
+	if d := m.seesaws[c]; d != nil {
+		d.ContextSwitch()
+	}
+	if m.cfg.ICache && m.iseesaws[c] != nil {
+		m.iseesaws[c].ContextSwitch()
+	}
+}
+
+// applyFault applies one injected fault event.
+func (m *Machine) applyFault(ev faults.Event) error {
+	inj := m.Hooks.Injector
+	mrec := m.Hooks.Metrics
+	switch ev.Kind {
+	case faults.Splinter:
+		cands := m.proc.SuperChunkVAs()
+		if len(cands) == 0 {
+			inj.Skip()
+			return nil
+		}
+		va := cands[int(ev.Pick%uint64(len(cands)))]
+		mrec.Add(0, metrics.CtrSplinter, 1)
+		mrec.Emit(-1, metrics.EvSplinter, uint64(va), 0, 0)
+		return m.mgr.Splinter(m.proc, va)
+	case faults.Shootdown:
+		cands := m.proc.ChunkVAs()
+		if len(cands) == 0 {
+			inj.Skip()
+			return nil
+		}
+		// An invlpg burst over mapped regions: the mappings stay,
+		// the TLBs/TFTs must still see every invalidation.
+		for b := 0; b < ev.Burst; b++ {
+			m.mgr.OnInvlpg(mainASID, cands[int((ev.Pick+uint64(b))%uint64(len(cands)))])
+		}
+		return nil
+	case faults.ContextSwitch:
+		return m.contextSwitch()
+	case faults.PromoteStorm:
+		if m.mgr.PromoteScan(m.proc, ev.Burst*4) == 0 {
+			inj.Skip()
+		}
+		return nil
+	case faults.MemhogSpike:
+		if len(m.spike) > 0 {
+			for _, pa := range m.spike {
+				m.buddy.Free(pa, addr.Page4K)
+			}
+			m.spike = m.spike[:0]
+			return nil
+		}
+		for n := 0; n < ev.Burst*512; n++ {
+			pa, ok := m.buddy.Alloc(addr.Page4K)
+			if !ok {
+				break
+			}
+			m.spike = append(m.spike, pa)
+		}
+		if len(m.spike) == 0 {
+			inj.Skip()
+		}
+		return nil
+	}
+	return fmt.Errorf("sim: unknown fault kind %v", ev.Kind)
+}
+
+// Step executes the next reference — a warmup step while the machine is
+// inside [0, WarmupRefs), a full measured step afterwards — and
+// advances the reference cursor. Warmup and Measure are loops over
+// Step with context polling.
+func (m *Machine) Step() error {
+	i := m.globalRef
+	var err error
+	if i < m.cfg.WarmupRefs {
+		err = m.stepWarmup(i)
+	} else {
+		err = m.stepMeasured(i)
+	}
+	if err != nil {
+		return err
+	}
+	m.globalRef++
+	return nil
+}
+
+// stepWarmup advances the OS-only warmup phase one reference: the
+// workload generator moves (so the measured phase starts mid-stream, as
+// a real attach would) and the periodic promotion/splinter scans run,
+// mutating only the buddy allocator, the page tables, and the RNG. No
+// cache, TLB, TFT, CPU, or energy state is touched; context switches
+// and fault injection are deferred to the measured phase. All cadences
+// key on the global reference index i, so a WarmupRefs=0 run is
+// bit-identical to the unphased simulator.
+func (m *Machine) stepWarmup(i int) error {
+	rec := m.gen.Next(m.schedule[i%len(m.schedule)])
+	if m.cfg.PromoteScanEvery > 0 && i > 0 && i%m.cfg.PromoteScanEvery == 0 {
+		m.mgr.PromoteScan(m.proc, 2)
+	}
+	if m.cfg.SplinterEvery > 0 && i > 0 && i%m.cfg.SplinterEvery == 0 {
+		if m.proc.ChunkIsSuper(rec.VA) {
+			m.mgr.Splinter(m.proc, rec.VA)
+		}
+	}
+	return nil
+}
+
+// stepMeasured executes one fully modeled reference at global index i:
+// the data access, the instruction fetch, periodic OS activity, and
+// fault injection.
+func (m *Machine) stepMeasured(i int) error {
+	cfg := m.cfg
+	m.curRef = uint64(i)
+	var rec trace.Record
+	if cfg.Trace != nil {
+		rec = cfg.Trace[i-cfg.WarmupRefs]
+		if int(rec.TID) >= m.nCores {
+			return fmt.Errorf("sim: trace record %d names thread %d but the system has %d cores",
+				i, rec.TID, m.nCores)
+		}
+	} else {
+		rec = m.gen.Next(m.schedule[i%len(m.schedule)])
+	}
+	tid := int(rec.TID)
+	h := m.hiers[tid]
+	if err := m.dataAccess(tid, rec, mainASID, true); err != nil {
+		return err
+	}
+	// Instruction fetch for this block of (gap+1) instructions.
+	if cfg.ICache {
+		iva, jumped := m.gen.NextCode(tid, int(rec.Gap)+1)
+		itr := h.Translate(iva, 1)
+		if itr.Source == tlb.SourceFault {
+			return fmt.Errorf("sim: I-fetch fault at %#x", uint64(iva))
+		}
+		if itr.Source != tlb.SourceL1 {
+			m.l2Lookups++
+		}
+		iar := m.l1is[tid].Access(iva, itr.PA, itr.Size, false)
+		m.acct.AddL1CPUSide(iar.EnergyNJ)
+		m.sampleAccess(m.nCores+tid, iva, iar)
+		if m.Hooks.Checker != nil {
+			m.Hooks.Checker.AfterAccess(check.Access{
+				Ref: m.curRef, Core: m.nCores + tid, VA: iva, ASID: 1, TR: itr, AR: iar,
+			})
+		}
+		if itr.Size.IsSuper() && itr.Source == tlb.SourceL1 && m.iseesaws[tid] != nil {
+			m.iseesaws[tid].OnSuperpageTLBFill(iva)
+		}
+		if !iar.Hit {
+			imr := m.cohSys.Miss(m.nCores+tid, itr.PA, false)
+			ifill := m.l1is[tid].Fill(itr.PA, itr.Size, false, imr.Shared)
+			m.acct.AddL1CPUSide(ifill.EnergyNJ)
+			if ifill.Victim.Valid {
+				m.cohSys.Evicted(m.nCores+tid, ifill.VictimPA, ifill.Writeback)
+			}
+			// Front-end miss stall: the fetch buffer hides part of
+			// it on the OoO core.
+			stall := iar.Cycles + itr.ExtraCycles + imr.Cycles
+			if cfg.CPUKind == "ooo" {
+				stall = (stall + 1) / 2
+			}
+			m.cpus[tid].Stall(stall)
+		} else if jumped {
+			// Fetch-redirect bubble: a taken branch waits one L1I
+			// hit latency for the new fetch group — where SEESAW-I's
+			// fast path pays off.
+			m.cpus[tid].Stall(iar.Cycles + itr.ExtraCycles)
+		}
+	}
+	// OS background activity.
+	if cfg.ContextSwitchEvery > 0 && i > 0 && i%cfg.ContextSwitchEvery == 0 {
+		if err := m.contextSwitch(); err != nil {
+			return err
+		}
+	}
+	if cfg.PromoteScanEvery > 0 && i > 0 && i%cfg.PromoteScanEvery == 0 {
+		m.mgr.PromoteScan(m.proc, 2)
+	}
+	if cfg.SplinterEvery > 0 && i > 0 && i%cfg.SplinterEvery == 0 {
+		// Splinter the superpage under the most recent heap access,
+		// if any — exercising Section IV-C2 in-flight.
+		if m.proc.ChunkIsSuper(rec.VA) {
+			m.Hooks.Metrics.Add(0, metrics.CtrSplinter, 1)
+			m.Hooks.Metrics.Emit(-1, metrics.EvSplinter, uint64(rec.VA), 0, 0)
+			m.mgr.Splinter(m.proc, rec.VA)
+		}
+	}
+	if m.Hooks.Injector != nil {
+		if ev, ok := m.Hooks.Injector.Tick(i); ok {
+			// Annotate the fault before applying it, so the event dump
+			// shows the injection immediately followed by its fallout
+			// (shootdowns, TFT invalidations, flushes).
+			m.Hooks.Metrics.Add(0, metrics.CtrFault, 1)
+			m.Hooks.Metrics.Emit(-1, metrics.EvFault, 0, 0, uint64(ev.Kind))
+			if err := m.applyFault(ev); err != nil {
+				return err
+			}
+		}
+	}
+	m.Hooks.Metrics.TickRef()
+	return nil
+}
+
+// Warmup runs the OS-only warmup phase to its boundary. It is a no-op
+// when WarmupRefs is zero or the phase already ran.
+func (m *Machine) Warmup(ctx context.Context) error {
+	for m.globalRef < m.cfg.WarmupRefs {
+		if m.globalRef&cancelCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Measure runs the measured phase: cfg.Refs fully modeled references
+// starting at the warmup boundary. When ctx is canceled the loop stops
+// at the next poll point and returns ctx's error — this is how the
+// runner's per-cell timeout and the service's per-job cancellation
+// reclaim a stuck or abandoned cell.
+func (m *Machine) Measure(ctx context.Context) error {
+	end := m.cfg.WarmupRefs + m.cfg.Refs
+	for m.globalRef < end {
+		if (m.globalRef-m.cfg.WarmupRefs)&cancelCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,299 @@
+package machine
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"seesaw/internal/faults"
+	"seesaw/internal/metrics"
+	"seesaw/internal/workload"
+)
+
+// testConfig is a small-but-real cell: fragmented memory, warmup
+// cadences that actually fire during the warmup window, and enough
+// measured references for every design to diverge if state were copied
+// wrong.
+func testConfig(t *testing.T, kind CacheKind) Config {
+	t.Helper()
+	p, err := workload.ByName("redis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Workload:   p,
+		Seed:       42,
+		Refs:       30_000,
+		WarmupRefs: 20_000,
+		CacheKind:  kind,
+		L1Size:     32 << 10,
+		FreqGHz:    1.33,
+		CPUKind:    "ooo",
+		MemBytes:   512 << 20,
+
+		MemhogFraction:   0.4,
+		PromoteScanEvery: 7_000,
+		SplinterEvery:    9_000,
+	}
+	if kind == KindPIPT {
+		cfg.L1Ways = 4
+		cfg.SerialTLBCycles = 2
+		cfg.SmallTLB = true
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// reportText runs a machine to completion and renders its report.
+func reportText(t *testing.T, m *Machine) []byte {
+	t.Helper()
+	ctx := context.Background()
+	if err := m.Warmup(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Measure(ctx); err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// warmMaster builds a machine with cfg's warmup signature and runs its
+// warmup phase to the boundary.
+func warmMaster(t *testing.T, cfg Config) *Machine {
+	t.Helper()
+	m, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Warmup(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestForkEqualsCold is the tentpole guarantee: a cell forked from a
+// warmed machine produces a byte-identical report to a cold run of the
+// same config. The master is warmed as the baseline design, then forked
+// into each design — exactly how a shared-warmup sweep uses it.
+func TestForkEqualsCold(t *testing.T) {
+	ctx := context.Background()
+	master := warmMaster(t, testConfig(t, KindBaseline))
+	for _, k := range []struct {
+		name string
+		kind CacheKind
+	}{
+		{"baseline", KindBaseline},
+		{"seesaw", KindSeesaw},
+		{"pipt", KindPIPT},
+	} {
+		t.Run(k.name, func(t *testing.T) {
+			cfg := testConfig(t, k.kind)
+			cold, err := Build(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := reportText(t, cold)
+
+			forked, err := master.Fork(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := forked.Measure(ctx); err != nil {
+				t.Fatal(err)
+			}
+			r, err := forked.Report()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := r.WriteText(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(want, buf.Bytes()) {
+				t.Errorf("forked report differs from cold run:\ncold:\n%s\nforked:\n%s", want, buf.Bytes())
+			}
+		})
+	}
+}
+
+// TestForkWithHooksEqualsCold forks a cell that turns on metrics, the
+// invariant checker, and fault injection — none of which exist on the
+// warmed master — and checks it still matches the cold run bit for bit.
+// All three hooks start fresh at the measured phase, exactly as in a
+// cold run that deferred them through its own warmup.
+func TestForkWithHooksEqualsCold(t *testing.T) {
+	cfg := testConfig(t, KindSeesaw)
+	cfg.CheckInvariants = true
+	cfg.Metrics = &metrics.Config{EpochRefs: 5_000}
+	cfg.Faults = &faults.Config{Schedule: "mix", Every: 6_000}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	cold, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reportText(t, cold)
+
+	master := warmMaster(t, testConfig(t, KindBaseline))
+	forked, err := master.Fork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := reportText(t, forked)
+	if !bytes.Equal(want, got) {
+		t.Errorf("forked report with hooks differs from cold run:\ncold:\n%s\nforked:\n%s", want, got)
+	}
+	if forked.Hooks.Metrics == nil || forked.Hooks.Checker == nil || forked.Hooks.Injector == nil {
+		t.Error("forked machine is missing hooks its config asked for")
+	}
+}
+
+// TestWarmupZeroMatchesUnphased pins the compatibility contract: a
+// WarmupRefs=0 run is the unphased simulator, so adding a warmup phase
+// of zero references must not change a single byte.
+func TestWarmupZeroMatchesUnphased(t *testing.T) {
+	cfg := testConfig(t, KindSeesaw)
+	cfg.WarmupRefs = 0
+	m1, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := reportText(t, m1)
+	m2, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := reportText(t, m2)
+	if !bytes.Equal(a, b) {
+		t.Error("two identical runs disagree — machine construction is nondeterministic")
+	}
+}
+
+// TestSnapshotResume checks that a snapshot at the warmup boundary can
+// seed multiple independent measured runs, each matching the original
+// machine's own continuation byte for byte.
+func TestSnapshotResume(t *testing.T) {
+	ctx := context.Background()
+	cfg := testConfig(t, KindSeesaw)
+	m := warmMaster(t, cfg)
+	snap, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The original continues to completion.
+	if err := m.Measure(ctx); err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := r.WriteText(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two resumes, both independent, both identical to the original.
+	for i := 0; i < 2; i++ {
+		got := reportText(t, snap.Resume())
+		if !bytes.Equal(want.Bytes(), got) {
+			t.Errorf("resume %d differs from the original machine's continuation", i)
+		}
+	}
+}
+
+// TestSnapshotGated: machines with a metrics recorder or the invariant
+// checker attached must refuse to snapshot — their state is not
+// cloneable.
+func TestSnapshotGated(t *testing.T) {
+	cfg := testConfig(t, KindSeesaw)
+	cfg.Metrics = &metrics.Config{EpochRefs: 5_000}
+	m, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Snapshot(); err == nil || !strings.Contains(err.Error(), "metrics") {
+		t.Errorf("snapshot with metrics recorder: got err %v, want metrics refusal", err)
+	}
+
+	cfg = testConfig(t, KindSeesaw)
+	cfg.CheckInvariants = true
+	m, err = Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Snapshot(); err == nil || !strings.Contains(err.Error(), "checker") {
+		t.Errorf("snapshot with checker: got err %v, want checker refusal", err)
+	}
+}
+
+// TestForkRejections: forking off the warmup boundary or with a
+// disagreeing warmup signature must fail loudly, never silently produce
+// a wrong-state machine.
+func TestForkRejections(t *testing.T) {
+	cfg := testConfig(t, KindBaseline)
+	m, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Not at the boundary yet.
+	if _, err := m.Fork(cfg); err == nil || !strings.Contains(err.Error(), "boundary") {
+		t.Errorf("fork before warmup: got err %v, want boundary refusal", err)
+	}
+	if err := m.Warmup(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Signature mismatch: different seed warms differently.
+	bad := cfg
+	bad.Seed = 43
+	if _, err := m.Fork(bad); err == nil || !strings.Contains(err.Error(), "signature") {
+		t.Errorf("fork with different seed: got err %v, want signature refusal", err)
+	}
+	// Agreeing config forks fine.
+	good := cfg
+	good.CacheKind = KindSeesaw
+	if _, err := m.Fork(good); err != nil {
+		t.Errorf("fork with agreeing signature: %v", err)
+	}
+}
+
+// TestWarmupSignature spot-checks which fields the signature folds in:
+// measured-phase parameters must not break sharing, warmup-shaping
+// parameters must.
+func TestWarmupSignature(t *testing.T) {
+	base := testConfig(t, KindBaseline)
+	same := base
+	same.CacheKind = KindSeesaw
+	same.Refs = 99_999
+	same.ContextSwitchEvery = 123
+	same.CheckInvariants = true
+	if base.WarmupSignature() != same.WarmupSignature() {
+		t.Error("measured-phase parameters changed the warmup signature")
+	}
+	for name, mut := range map[string]func(*Config){
+		"seed":        func(c *Config) { c.Seed++ },
+		"warmupRefs":  func(c *Config) { c.WarmupRefs++ },
+		"memhog":      func(c *Config) { c.MemhogFraction = 0.2 },
+		"promoteScan": func(c *Config) { c.PromoteScanEvery = 11_111 },
+	} {
+		d := base
+		mut(&d)
+		if base.WarmupSignature() == d.WarmupSignature() {
+			t.Errorf("%s change did not change the warmup signature", name)
+		}
+	}
+}

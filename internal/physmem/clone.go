@@ -1,0 +1,44 @@
+package physmem
+
+import "math/rand"
+
+// Clone returns an independent deep copy of the allocator: same free
+// blocks, same fragmentation, same deterministic lowest-address-first
+// behaviour from here on. Copying a heap's backing slice preserves the
+// heap invariant, so the clone pops the same frames in the same order.
+func (b *Buddy) Clone() *Buddy {
+	c := &Buddy{
+		totalFrames: b.totalFrames,
+		maxOrder:    b.maxOrder,
+		freeLists:   make([]*frameHeap, len(b.freeLists)),
+		freeOrder:   make(map[uint64]int, len(b.freeOrder)),
+		freeFrames:  b.freeFrames,
+	}
+	for k, h := range b.freeLists {
+		c.freeLists[k] = &frameHeap{frames: append([]uint64(nil), h.frames...)}
+	}
+	for f, o := range b.freeOrder {
+		c.freeOrder[f] = o
+	}
+	return c
+}
+
+// Clone returns an independent deep copy of the hog pinned into buddy,
+// drawing from rng. The caller passes the cloned buddy and a rand whose
+// generator sits at the same position as the original's (see
+// internal/xrand) so compactions replay identically.
+func (h *Memhog) Clone(buddy *Buddy, rng *rand.Rand) *Memhog {
+	c := &Memhog{
+		buddy:       buddy,
+		rng:         rng,
+		pinned:      make(map[uint64]int, len(h.pinned)),
+		frames:      append([]uint64(nil), h.frames...),
+		cursor:      h.cursor,
+		Migrations:  h.Migrations,
+		Compactions: h.Compactions,
+	}
+	for f, i := range h.pinned {
+		c.pinned[f] = i
+	}
+	return c
+}

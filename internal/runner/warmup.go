@@ -1,0 +1,81 @@
+package runner
+
+import (
+	"context"
+	"sync"
+
+	"seesaw/internal/machine"
+	"seesaw/internal/sim"
+)
+
+// warmEntry is one shared warmed machine: built and warmed exactly once
+// per warmup signature, then forked by every cell that matches.
+type warmEntry struct {
+	once sync.Once
+	m    *machine.Machine
+	err  error
+	// mu serializes Fork calls on the shared master. Forking only reads
+	// the master, but the serialization is cheap next to a measured run
+	// and removes any aliasing doubt.
+	mu sync.Mutex
+}
+
+// NewSharedWarmup returns a pool that shares warmup work between cells:
+// every submitted config with WarmupRefs > 0 forks its measured phase
+// from a machine warmed once per distinct WarmupSignature, instead of
+// each cell re-executing an identical warmup. Reports are byte-identical
+// to sim.RunContext's — a fork at the warmup boundary is bit-equal to a
+// cold run by construction (machine.Fork) — so reductions, goldens, and
+// the disk store see no difference; only wall-clock time does. A sweep
+// of N cells over one workload pays for one warmup instead of N.
+//
+// Configs with WarmupRefs == 0 or a replay trace take the ordinary
+// sim.RunContext path. The warmup of each signature is charged to
+// whichever cell arrives first; if that warmup fails (e.g. the pool is
+// canceled mid-warmup), the entry is dropped so a later submission can
+// rebuild it. Warmed masters are held for the life of the pool.
+func NewSharedWarmup(workers int) *Pool {
+	var mu sync.Mutex
+	warmed := make(map[machine.WarmupSignature]*warmEntry)
+	run := func(ctx context.Context, cfg sim.Config) (*sim.Report, error) {
+		if cfg.WarmupRefs <= 0 || cfg.Trace != nil {
+			return sim.RunContext(ctx, cfg)
+		}
+		sig := cfg.WarmupSignature()
+		mu.Lock()
+		e, ok := warmed[sig]
+		if !ok {
+			e = &warmEntry{}
+			warmed[sig] = e
+		}
+		mu.Unlock()
+		e.once.Do(func() {
+			m, err := machine.Build(cfg)
+			if err == nil {
+				err = m.Warmup(ctx)
+			}
+			if err != nil {
+				e.err = err
+				mu.Lock()
+				delete(warmed, sig)
+				mu.Unlock()
+				return
+			}
+			e.m = m
+		})
+		if e.err != nil {
+			return nil, e.err
+		}
+		e.mu.Lock()
+		f, err := e.m.Fork(cfg)
+		e.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		if err := f.Measure(ctx); err != nil {
+			return nil, err
+		}
+		return f.Report()
+	}
+	return NewWithRunContext(workers, run)
+}

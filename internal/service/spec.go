@@ -51,6 +51,9 @@ type CellSpec struct {
 	CPU string `json:"cpu,omitempty"`
 	// Refs is the number of references (0 = simulator default 200k).
 	Refs int `json:"refs,omitempty"`
+	// WarmupRefs prepends an OS-only warmup phase of this many references
+	// before the measured phase (0 = none).
+	WarmupRefs int `json:"warmup_refs,omitempty"`
 	// Seed is the deterministic seed.
 	Seed int64 `json:"seed,omitempty"`
 	// Memhog fragments physical memory first, fraction in [0, 0.95].
@@ -99,6 +102,7 @@ func (c CellSpec) Config() (sim.Config, error) {
 		Workload:        p,
 		Seed:            c.Seed,
 		Refs:            c.Refs,
+		WarmupRefs:      c.WarmupRefs,
 		CacheKind:       kind,
 		L1Size:          c.SizeKB << 10,
 		L1Ways:          c.Ways,
@@ -167,11 +171,11 @@ type JobStatus struct {
 	ID    string `json:"id"`
 	Label string `json:"label,omitempty"`
 	// State is "queued", "running", "done", "failed", or "canceled".
-	State     string    `json:"state"`
-	Cells     int       `json:"cells"`
-	Completed int       `json:"completed"`
-	Failed    int       `json:"failed"`
-	Error     string    `json:"error,omitempty"`
+	State     string     `json:"state"`
+	Cells     int        `json:"cells"`
+	Completed int        `json:"completed"`
+	Failed    int        `json:"failed"`
+	Error     string     `json:"error,omitempty"`
 	Created   time.Time  `json:"created"`
 	Started   *time.Time `json:"started,omitempty"`
 	Finished  *time.Time `json:"finished,omitempty"`

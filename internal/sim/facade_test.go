@@ -1,0 +1,24 @@
+package sim
+
+import "testing"
+
+// TestFacadeVocabularies pins the facade's pass-throughs over the leaf
+// packages cmd/ is not allowed to import: the fault-schedule list and
+// the event-argument namers must resolve to real names.
+func TestFacadeVocabularies(t *testing.T) {
+	scheds := FaultSchedules()
+	if len(scheds) == 0 {
+		t.Fatal("FaultSchedules returned no schedules")
+	}
+	for _, s := range scheds {
+		if s == "" {
+			t.Fatal("FaultSchedules returned an empty name")
+		}
+	}
+	if n := FaultKindName(0); n == "" {
+		t.Error("FaultKindName(0) is empty")
+	}
+	if n := CheckKindName(0); n == "" {
+		t.Error("CheckKindName(0) is empty")
+	}
+}

@@ -1,376 +1,55 @@
-// Package sim wires every substrate into the whole-system simulator the
-// evaluation runs on: per-core CPU timing models, L1 data caches
-// (SEESAW, baseline VIPT, or PIPT), TLB hierarchies with TFTs, a shared
-// page table managed by the OS memory manager over fragmentable physical
-// memory, and a coherent LLC. One Run replays a deterministic workload
-// and returns the Report the experiment harness turns into the paper's
-// tables and figures.
+// Package sim is the one-call front door to the whole-system simulator:
+// Run (or RunContext) takes a Config, executes the warmup and measured
+// phases, and returns the Report the experiment harness turns into the
+// paper's tables and figures.
+//
+// The simulated machine itself — construction and wiring of physical
+// memory, the OS memory manager, per-core TLB hierarchies, TFTs, L1
+// data/instruction caches, the coherent LLC, and CPU timing models, plus
+// per-reference execution and warm-state snapshots — lives in
+// internal/machine. This package re-exports the machine's Config and
+// Report types (and, in facade.go, the few leaf-config vocabularies
+// commands need) so callers depend on one stable surface; sweeps that
+// want to share a warmed machine across cells use internal/machine and
+// internal/runner's shared-warmup pool directly.
 package sim
 
 import (
 	"context"
-	"fmt"
-	"math/rand"
 
-	"seesaw/internal/addr"
-	"seesaw/internal/cache"
-	"seesaw/internal/check"
-	"seesaw/internal/coherence"
-	"seesaw/internal/core"
-	"seesaw/internal/cpu"
-	"seesaw/internal/energy"
-	"seesaw/internal/faults"
-	"seesaw/internal/metrics"
-	"seesaw/internal/osmm"
-	"seesaw/internal/pagetable"
-	"seesaw/internal/physmem"
-	"seesaw/internal/tft"
-	"seesaw/internal/tlb"
-	"seesaw/internal/trace"
-	"seesaw/internal/workload"
+	"seesaw/internal/machine"
 )
 
 // CacheKind selects the L1 design under test.
-type CacheKind int
+type CacheKind = machine.CacheKind
 
 const (
 	// KindBaseline is the conventional VIPT L1.
-	KindBaseline CacheKind = iota
+	KindBaseline = machine.KindBaseline
 	// KindSeesaw is the paper's design.
-	KindSeesaw
+	KindSeesaw = machine.KindSeesaw
 	// KindPIPT is the serial physically-indexed alternative (Fig 14).
-	KindPIPT
+	KindPIPT = machine.KindPIPT
 )
 
-// String implements fmt.Stringer.
-func (k CacheKind) String() string {
-	switch k {
-	case KindBaseline:
-		return "baseline"
-	case KindSeesaw:
-		return "seesaw"
-	case KindPIPT:
-		return "pipt"
-	}
-	return fmt.Sprintf("CacheKind(%d)", int(k))
-}
+// Config describes one simulation. See machine.Config for the full
+// field documentation.
+type Config = machine.Config
 
-// Config describes one simulation.
-type Config struct {
-	Workload workload.Profile
-	Seed     int64
-	// Refs is the number of memory references to replay (0 defaults to
-	// 200k). A negative value means an explicit zero: replay nothing and
-	// report an empty timeline — the escape hatch callers whose own zero
-	// value must mean "default" (experiments.Options, cmd flags) use to
-	// express a genuine zero.
-	Refs int
-	// Trace, when non-nil, replays these pre-recorded references (e.g.
-	// from cmd/seesaw-tracegen) instead of generating them online. The
-	// trace must have been produced from the same Workload profile and
-	// seed-independent region layout, since addresses are interpreted
-	// against this run's mappings. Refs is clamped to the trace length.
-	Trace []trace.Record
+// Report is the result of one simulation.
+type Report = machine.Report
 
-	CacheKind CacheKind
-	L1Size    uint64
-	L1Ways    int
-	// Partitions: 0 = SEESAW default (4-way partitions).
-	Partitions int
-	Policy     core.InsertionPolicy
-	WayPredict bool
-	// Replacement selects the L1 victim policy (LRU default, SRRIP for
-	// the replacement ablation).
-	Replacement cache.Replacement
-	TFT         tft.Config
-	// SerialTLBCycles applies to PIPT only.
-	SerialTLBCycles int
-	// SmallTLB replaces the normal TLB hierarchy with the reduced one a
-	// serial PIPT design forces (translation on the critical path must
-	// resolve in one cycle) — the Fig 14 trade-off.
-	SmallTLB bool
+// TFTReport aggregates TFT behavior across cores.
+type TFTReport = machine.TFTReport
 
-	FreqGHz float64
-	// CPUKind is "ooo" (Sandybridge-like) or "inorder" (Atom-like).
-	CPUKind string
-	// SchedulerAlwaysFast / SchedulerAlwaysSlow override the paper's
-	// counter-gated speculation policy (ablation).
-	SchedulerAlwaysFast bool
-	SchedulerAlwaysSlow bool
-
-	CoherenceMode coherence.Mode
-
-	// MemBytes is simulated physical memory (default 1GB; 4GB when
-	// Heap1G is set).
-	MemBytes uint64
-	// Heap1G backs the workload's heap with explicit 1GB superpages
-	// (hugetlbfs-style) instead of transparent 2MB pages — the paper's
-	// "generalizes readily to 1GB superpages" extension.
-	Heap1G bool
-	// ICache models the private 32KB L1 instruction caches (Table II)
-	// and the instruction-fetch stream, using the same design
-	// (baseline/SEESAW) as the data cache — the paper's proposed
-	// instruction-side application of SEESAW.
-	ICache bool
-	// TextHuge maps the text region with transparent 2MB pages (Linux's
-	// hugepage-text); without it code is 4KB-backed and SEESAW-I has no
-	// fast-path opportunities on fetches.
-	TextHuge bool
-	// MemhogFraction fragments physical memory before the workload maps
-	// its footprint (Fig 3, Fig 12).
-	MemhogFraction float64
-	// THP disables transparent superpages entirely when false.
-	THPOff bool
-
-	// OS activity (in references; 0 disables).
-	ContextSwitchEvery int
-	PromoteScanEvery   int
-	SplinterEvery      int
-
-	// Prefetch enables a next-line L1 prefetcher: every demand miss also
-	// fetches the following line (within the same 4KB frame, as hardware
-	// prefetchers do). Prefetches run off the critical path; their
-	// fills and coherence traffic are fully modeled. Used to check that
-	// SEESAW's benefits survive a prefetcher's higher hit rates.
-	Prefetch bool
-
-	// Faults, when non-nil, injects a deterministic fault schedule into
-	// the run: mid-run splinters, invlpg bursts, forced context
-	// switches, promotion storms, and memory-pressure spikes (see
-	// internal/faults). The injector draws from its own seeded RNG, so a
-	// faulted run replays the same workload as its clean twin.
-	Faults *faults.Config
-	// CheckInvariants enables the online invariant checker (see
-	// internal/check): after every reference the TLB/TFT/cache/directory
-	// state is audited against page-table ground truth, and violations
-	// are reported in Report.Check. Roughly doubles runtime; intended
-	// for chaos sweeps and debugging, not performance measurement.
-	CheckInvariants bool
-
-	// Metrics, when non-nil, enables the observability layer (see
-	// internal/metrics): per-core counters sampled into an epoch
-	// time-series plus a bounded structured event ring that the fault
-	// injector and invariant checker annotate. Report.Metrics carries
-	// the result. Nil — the default — costs one nil check per emit site
-	// and zero allocations.
-	Metrics *metrics.Config
-
-	// CoRunner, when non-nil, makes context switches real: every
-	// ContextSwitchEvery references each application core switches to a
-	// second process (ASID 2) running this profile for CoRunSliceRefs
-	// references, then switches back. TLBs are ASID-tagged and keep the
-	// application's entries across the switch; the TFT is not, and is
-	// flushed (Section IV-C3). The co-runner's time is part of the
-	// measured timeline, as in the paper's traces ("instructions of
-	// other applications running in parallel").
-	CoRunner       *workload.Profile
-	CoRunSliceRefs int
-
-	Prices energy.Prices
-}
-
-// withDefaults fills zero values.
-func (c Config) withDefaults() Config {
-	if c.Refs == 0 {
-		c.Refs = 200_000
-	} else if c.Refs < 0 {
-		c.Refs = 0
-	}
-	if c.Trace != nil && c.Refs > len(c.Trace) {
-		c.Refs = len(c.Trace)
-	}
-	if c.L1Size == 0 {
-		c.L1Size = 32 << 10
-	}
-	if c.L1Ways == 0 {
-		c.L1Ways = int(c.L1Size / (16 << 10) * 4) // 4 ways per 16KB, as Table III
-	}
-	if c.FreqGHz == 0 {
-		c.FreqGHz = 1.33
-	}
-	if c.CPUKind == "" {
-		c.CPUKind = "ooo"
-	}
-	if c.MemBytes == 0 {
-		c.MemBytes = 1 << 30
-		if c.Heap1G {
-			c.MemBytes = 4 << 30
-		}
-	}
-	if c.TFT.Entries == 0 {
-		c.TFT = tft.DefaultConfig()
-	}
-	if c.Prices == (energy.Prices{}) {
-		c.Prices = energy.DefaultPrices()
-	}
-	if c.ContextSwitchEvery == 0 {
-		c.ContextSwitchEvery = 100_000
-	}
-	if c.PromoteScanEvery == 0 {
-		c.PromoteScanEvery = 50_000
-	}
-	if c.CoRunner != nil && c.CoRunSliceRefs == 0 {
-		c.CoRunSliceRefs = 2_000
-	}
-	return c
-}
-
-// Validate reports configuration errors — impossible cache geometries,
-// unknown CPU kinds, contradictory scheduler overrides, bad fault
-// schedules — as errors instead of letting Run panic deep inside a
-// constructor. Run calls it first, so callers get a typed error either
-// way; commands call it up front to exit with a usage error.
-func (c Config) Validate() (err error) {
-	// Constructors validate their own inputs and return errors, but a
-	// few deep paths (SRAM latency tables, geometry math) panic on
-	// inputs no caller should produce; surface those as errors too.
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("sim: invalid config: %v", r)
-		}
-	}()
-	d := c.withDefaults()
-	if d.MemhogFraction < 0 || d.MemhogFraction > 0.95 {
-		return fmt.Errorf("sim: memhog fraction %v outside [0, 0.95]", d.MemhogFraction)
-	}
-	if d.SchedulerAlwaysFast && d.SchedulerAlwaysSlow {
-		return fmt.Errorf("sim: scheduler cannot be both always-fast and always-slow")
-	}
-	if _, err := cpu.New(d.CPUKind); err != nil {
-		return err
-	}
-	l1cfg := core.Config{
-		SizeBytes: d.L1Size, Ways: d.L1Ways, Partitions: d.Partitions,
-		FreqGHz: d.FreqGHz, TFT: d.TFT, Policy: d.Policy,
-		WayPredict: d.WayPredict, SerialTLBCycles: d.SerialTLBCycles,
-		Replacement: d.Replacement,
-	}
-	switch d.CacheKind {
-	case KindBaseline:
-		_, err = core.NewBaselineVIPT(l1cfg)
-	case KindSeesaw:
-		_, err = core.NewSeesaw(l1cfg)
-	case KindPIPT:
-		_, err = core.NewPIPT(l1cfg)
-	default:
-		err = fmt.Errorf("sim: unknown cache kind %v", d.CacheKind)
-	}
-	if err != nil {
-		return err
-	}
-	if d.ICache {
-		icfg := l1cfg
-		icfg.SizeBytes = 32 << 10
-		icfg.Ways = 8
-		icfg.Partitions = 0
-		switch d.CacheKind {
-		case KindBaseline:
-			_, err = core.NewBaselineVIPT(icfg)
-		case KindSeesaw:
-			_, err = core.NewSeesaw(icfg)
-		case KindPIPT:
-			_, err = core.NewPIPT(icfg)
-		}
-		if err != nil {
-			return err
-		}
-	}
-	if d.Faults != nil {
-		if err := d.Faults.Validate(); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// TFTReport carries the Fig 13 metrics.
-type TFTReport struct {
-	Lookups uint64
-	HitRate float64
-	// SuperMissedPct is the percentage of superpage accesses the TFT
-	// failed to identify, split by whether the data cache hit.
-	SuperMissedPct       float64
-	SuperMissedL1HitPct  float64
-	SuperMissedL1MissPct float64
-	SuperAccesses        uint64
-	FastHits, FastMisses uint64
-	// Flush/invalidation counters, summed over every TFT (data and
-	// instruction side): how often the Section IV-C2/C3 invalidation
-	// protocol actually fired, and how many stale fast-path hits the
-	// invalidations demonstrably prevented.
-	Fills            uint64
-	Invalidations    uint64
-	Flushes          uint64
-	StaleHitsAvoided uint64
-}
-
-// SchemaVersion is the current Report JSON schema generation. Bump it
-// whenever the meaning or layout of a Report field changes: the disk
-// store (internal/store) treats an entry whose SchemaVersion differs
-// from this value as a miss and recomputes the cell, so stale results
-// from an older binary are never served. The golden schema test in
-// schema_test.go pins both this number and the field set; changing
-// either without the other fails the build.
-const SchemaVersion = 1
-
-// Report is the outcome of one Run.
-type Report struct {
-	// SchemaVersion stamps which Report generation produced this value
-	// (see the SchemaVersion constant).
-	SchemaVersion int
-
-	Design   string
-	Workload string
-
-	Cycles       uint64 // slowest application core
-	Instructions uint64 // application instructions
-	IPC          float64
-	RuntimeSec   float64
-
-	L1Hits, L1Misses uint64
-	MPKI             float64
-	// L1I statistics (zero unless Config.ICache).
-	L1IHits, L1IMisses uint64
-
-	SuperpageCoverage float64 // of the mapped footprint
-	SuperRefFraction  float64 // of executed references
-
-	EnergyTotalNJ     float64
-	EnergyCPUSideNJ   float64 // L1 CPU-side lookups + fills
-	EnergyCoherenceNJ float64
-	Energy            *energy.Account
-
-	TFT TFTReport
-	Coh coherence.Stats
-	TLB struct {
-		L1HitRate float64
-		L2Lookups uint64
-		Walks     uint64
-	}
-	WPAccuracy float64
-
-	Promotions, Splinters uint64
-
-	// Faults reports the injected-fault tally (nil unless Config.Faults).
-	Faults *faults.Stats
-	// Check reports the invariant-checker outcome (nil unless
-	// Config.CheckInvariants).
-	Check *check.Report
-	// Metrics carries the epoch time-series and event log (nil unless
-	// Config.Metrics).
-	Metrics *metrics.Series
-}
+// SchemaVersion identifies the Report wire format for persisted
+// results; internal/store folds it into every content address.
+const SchemaVersion = machine.SchemaVersion
 
 // Run executes one simulation.
 func Run(cfg Config) (*Report, error) {
 	return RunContext(context.Background(), cfg)
 }
-
-// cancelCheckMask sets how often the reference loop polls its context:
-// every 4096 references, cheap enough to be invisible next to the work
-// of one reference yet responsive enough that a canceled or timed-out
-// cell unwinds within a fraction of a millisecond.
-const cancelCheckMask = 1<<12 - 1
 
 // RunContext executes one simulation under ctx: when ctx is canceled the
 // reference loop stops at the next poll point and returns ctx's error,
@@ -379,778 +58,15 @@ const cancelCheckMask = 1<<12 - 1
 // cancellation actually reclaim a stuck or abandoned cell instead of
 // leaking it.
 func RunContext(ctx context.Context, cfg Config) (*Report, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	cfg = cfg.withDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
-
-	// Physical memory, fragmentation, OS.
-	buddy, err := physmem.New(cfg.MemBytes)
+	m, err := machine.Build(cfg)
 	if err != nil {
 		return nil, err
 	}
-	mgr := osmm.NewManager(buddy, rng, !cfg.THPOff)
-	if cfg.MemhogFraction > 0 {
-		hog, err := physmem.Run(buddy, rng, cfg.MemhogFraction, 0.97)
-		if err != nil {
-			return nil, err
-		}
-		// memhog's pages are movable anonymous memory: the OS can
-		// migrate them when compacting for superpage allocations.
-		mgr.Compactor = hog
-	}
-	proc, err := mgr.NewProcess(1)
-	if err != nil {
+	if err := m.Warmup(ctx); err != nil {
 		return nil, err
 	}
-
-	// Workload regions.
-	gen := workload.NewGenerator(cfg.Workload, cfg.Seed)
-	var heapBase addr.VAddr
-	if cfg.Heap1G {
-		heapBase, err = mgr.Mmap1G(proc, gen.HeapBytes())
-	} else {
-		heapBase, err = mgr.MmapHuge(proc, gen.HeapBytes(), true)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("sim: mapping heap: %w", err)
-	}
-	smallBase, err := mgr.MmapHuge(proc, gen.SmallBytes(), false)
-	if err != nil {
-		return nil, fmt.Errorf("sim: mapping small region: %w", err)
-	}
-	osBase, err := mgr.MmapHuge(proc, gen.OSBytes(), false)
-	if err != nil {
-		return nil, fmt.Errorf("sim: mapping OS region: %w", err)
-	}
-	gen.Bind(heapBase, smallBase, osBase)
-	if cfg.ICache {
-		codeBase, err := mgr.MmapHuge(proc, gen.CodeBytes(), cfg.TextHuge)
-		if err != nil {
-			return nil, fmt.Errorf("sim: mapping text: %w", err)
-		}
-		gen.BindCode(codeBase)
-	}
-
-	// Per-core structures: application threads + the system thread.
-	nCores := gen.Threads() + 1
-
-	// Optional co-runner process (ASID 2): its own address space, its
-	// own per-core generators for the timeslices it steals.
-	const coASID = 2
-	var coGens []*workload.Generator
-	if cfg.CoRunner != nil {
-		proc2, err := mgr.NewProcess(coASID)
-		if err != nil {
-			return nil, err
-		}
-		// All cores replay the co-runner's thread-0 stream, each from an
-		// independent deterministic generator.
-		coGens = make([]*workload.Generator, nCores)
-		cg := workload.NewGenerator(*cfg.CoRunner, cfg.Seed+1000)
-		heap2, err := mgr.MmapHuge(proc2, cg.HeapBytes(), true)
-		if err != nil {
-			return nil, fmt.Errorf("sim: mapping co-runner heap: %w", err)
-		}
-		small2, err := mgr.MmapHuge(proc2, cg.SmallBytes(), false)
-		if err != nil {
-			return nil, err
-		}
-		os2, err := mgr.MmapHuge(proc2, cg.OSBytes(), false)
-		if err != nil {
-			return nil, err
-		}
-		for c := 0; c < nCores; c++ {
-			g2 := workload.NewGenerator(*cfg.CoRunner, cfg.Seed+1000+int64(c))
-			g2.Bind(heap2, small2, os2)
-			coGens[c] = g2
-		}
-	}
-	// Observability: one recorder spans the whole coherence domain (data
-	// caches 0..nCores-1, instruction caches nCores..2nCores-1). mrec is
-	// nil when metrics are off — every emit site below is a nil-safe
-	// no-op then.
-	var mrec *metrics.Recorder
-	if cfg.Metrics != nil {
-		recCores := nCores
-		if cfg.ICache {
-			recCores = 2 * nCores
-		}
-		mrec = metrics.New(*cfg.Metrics, recCores, cfg.Refs)
-	}
-
-	l1s := make([]core.L1Cache, nCores)
-	seesaws := make([]*core.Seesaw, nCores) // nil unless KindSeesaw
-	hiers := make([]*tlb.Hierarchy, nCores)
-	cpus := make([]cpu.Model, nCores)
-	l1cfg := core.Config{
-		SizeBytes: cfg.L1Size, Ways: cfg.L1Ways, Partitions: cfg.Partitions,
-		FreqGHz: cfg.FreqGHz, TFT: cfg.TFT, Policy: cfg.Policy,
-		WayPredict: cfg.WayPredict, SerialTLBCycles: cfg.SerialTLBCycles,
-		Replacement: cfg.Replacement,
-	}
-	tlbCfg := tlb.SandybridgeTLBs()
-	if cfg.CPUKind == "inorder" {
-		tlbCfg = tlb.AtomTLBs()
-	}
-	if cfg.SmallTLB {
-		tlbCfg = tlb.SmallTLBs()
-	}
-	newL1 := func(c core.Config) (core.L1Cache, *core.Seesaw, error) {
-		switch cfg.CacheKind {
-		case KindBaseline:
-			l1, err := core.NewBaselineVIPT(c)
-			return l1, nil, err
-		case KindSeesaw:
-			l1, err := core.NewSeesaw(c)
-			return l1, l1, err
-		case KindPIPT:
-			l1, err := core.NewPIPT(c)
-			return l1, nil, err
-		}
-		return nil, nil, fmt.Errorf("sim: unknown cache kind %v", cfg.CacheKind)
-	}
-	// Optional per-core L1 instruction caches (Table II: split 32KB I).
-	var l1is []core.L1Cache
-	var iseesaws []*core.Seesaw
-	if cfg.ICache {
-		l1is = make([]core.L1Cache, nCores)
-		iseesaws = make([]*core.Seesaw, nCores)
-	}
-	for i := 0; i < nCores; i++ {
-		l1, s, err := newL1(l1cfg)
-		if err != nil {
-			return nil, err
-		}
-		l1s[i], seesaws[i] = l1, s
-		if mrec != nil {
-			l1.Storage().Metrics, l1.Storage().MetricsCore = mrec, i
-			if s != nil {
-				s.TFT().Metrics, s.TFT().MetricsCore = mrec, i
-			}
-		}
-		if cfg.ICache {
-			icfg := l1cfg
-			icfg.SizeBytes = 32 << 10
-			icfg.Ways = 8
-			icfg.Partitions = 0
-			il1, is, err := newL1(icfg)
-			if err != nil {
-				return nil, err
-			}
-			l1is[i], iseesaws[i] = il1, is
-			if mrec != nil {
-				il1.Storage().Metrics, il1.Storage().MetricsCore = mrec, nCores+i
-				if is != nil {
-					is.TFT().Metrics, is.TFT().MetricsCore = mrec, nCores+i
-				}
-			}
-		}
-		walker := pagetable.NewWalker(proc.PT, 20)
-		h, err := tlb.NewHierarchy(tlbCfg, walker)
-		if err != nil {
-			return nil, err
-		}
-		h.Metrics, h.MetricsCore = mrec, i
-		ds, is := seesaws[i], (*core.Seesaw)(nil)
-		if cfg.ICache {
-			is = iseesaws[i]
-		}
-		if ds != nil || is != nil {
-			h.OnL1SuperFill = func(va addr.VAddr, asid uint16) {
-				if ds != nil {
-					ds.OnSuperpageTLBFill(va)
-				}
-				if is != nil {
-					is.OnSuperpageTLBFill(va)
-				}
-			}
-		}
-		hiers[i] = h
-		m, err := cpu.New(cfg.CPUKind)
-		if err != nil {
-			return nil, err
-		}
-		cpus[i] = m
-	}
-
-	cohCfg := coherence.DefaultConfig(cfg.FreqGHz)
-	cohCfg.Mode = cfg.CoherenceMode
-	// The instruction caches join the coherent domain as extra read-only
-	// participants: I-cache of core i sits at index nCores+i.
-	cohL1s := append(append([]core.L1Cache{}, l1s...), l1is...)
-	cohSys, err := coherence.New(cohCfg, cohL1s)
-	if err != nil {
+	if err := m.Measure(ctx); err != nil {
 		return nil, err
 	}
-	cohSys.Metrics = mrec
-
-	// Optional shadow oracle: audits every reference and OS event
-	// against page-table / directory ground truth.
-	var chk *check.Checker
-	if cfg.CheckInvariants {
-		chk = check.New(check.Wiring{
-			L1s: cohL1s, Hiers: hiers, Seesaws: seesaws, ISeesaws: iseesaws,
-			Coh: cohSys, Mgr: mgr,
-		})
-		chk.Metrics = mrec
-	}
-	// curRef tags checker findings and fault events with the reference
-	// index they occurred at, so a violation reproduces from (cfg, seed,
-	// ref).
-	var curRef uint64
-
-	// OS event wiring: invlpg reaches every core's TLBs and TFT; page
-	// promotion sweeps old frames out of every L1 under cover of the
-	// 150-200 cycle TLB-invalidate instructions (Section IV-C2).
-	// dropTFT models a broken invalidation protocol (fault-injection
-	// mutation): the TLB side of the invlpg still happens, the TFT side
-	// is silently lost — exactly the stale-entry hazard the Section
-	// IV-C2 protocol prevents and the invariant checker must catch.
-	dropTFT := cfg.Faults != nil && cfg.Faults.DropTFTInvalidate
-	mgr.OnInvlpg = func(asid uint16, vaBase addr.VAddr) {
-		// One shootdown event per 2MB region (not per 4KB page per core —
-		// that would flood the ring); the per-entry drop counts land in
-		// CtrTLBShootdown via Hierarchy.Invalidate.
-		mrec.Emit(-1, metrics.EvTLBShootdown, uint64(vaBase), 0, uint64(asid))
-		for i := range hiers {
-			for off := uint64(0); off < 2<<20; off += 4096 {
-				hiers[i].Invalidate(vaBase+addr.VAddr(off), asid)
-			}
-			if !dropTFT {
-				if seesaws[i] != nil {
-					seesaws[i].InvalidatePage(vaBase)
-				}
-				if cfg.ICache && iseesaws[i] != nil {
-					iseesaws[i].InvalidatePage(vaBase)
-				}
-			}
-			cpus[i].Stall(175) // invlpg cost, mid paper range
-		}
-		if chk != nil {
-			chk.AfterInvlpg(curRef, asid, vaBase)
-		}
-	}
-	mgr.OnPromote = func(asid uint16, vaBase addr.VAddr, oldFrames []addr.PAddr, newPA addr.PAddr) {
-		mrec.Add(0, metrics.CtrPromotion, 1)
-		mrec.Emit(-1, metrics.EvPromote, uint64(vaBase), uint64(newPA), uint64(len(oldFrames)))
-		for i, l1 := range l1s {
-			for _, f := range oldFrames {
-				for _, v := range l1.EvictRange(f, f+4096) {
-					cohSys.Evicted(i, v.PA, v.State.Dirty())
-				}
-			}
-		}
-		for i, l1i := range l1is {
-			for _, f := range oldFrames {
-				for _, v := range l1i.EvictRange(f, f+4096) {
-					cohSys.Evicted(nCores+i, v.PA, v.State.Dirty())
-				}
-			}
-		}
-		if chk != nil {
-			chk.AfterPromote(curRef, oldFrames)
-		}
-	}
-
-	acct := energy.NewAccount(cfg.Prices)
-	var l2Lookups uint64
-	var superRefs uint64
-
-	// Interleave: each application thread runs 8 references per system
-	// thread reference, approximating the paper's traces of the target
-	// application plus background system activity.
-	var schedule []int
-	for t := 0; t < gen.Threads(); t++ {
-		for k := 0; k < 8; k++ {
-			schedule = append(schedule, t)
-		}
-	}
-	schedule = append(schedule, gen.SystemTID())
-
-	superTLBThreshold := 0
-	if st := hiers[0].L1Super(); st != nil {
-		superTLBThreshold = st.Config().Entries / 4
-	}
-
-	const mainASID = 1
-	// lastWidth tracks each coherence participant's most recent probe
-	// width so EvProbeWidth fires only on fast/slow transitions, not on
-	// every reference. Only maintained when metrics are on.
-	var lastWidth []int
-	if mrec != nil {
-		lastWidth = make([]int, len(cohL1s))
-	}
-	sampleAccess := func(mcore int, va addr.VAddr, ar core.AccessResult) {
-		if mrec == nil {
-			return
-		}
-		mrec.Add(mcore, metrics.CtrRefs, 1)
-		mrec.Add(mcore, metrics.CtrWaysProbed, uint64(ar.WaysProbed))
-		if ar.FastPath {
-			mrec.Add(mcore, metrics.CtrFastProbe, 1)
-		} else {
-			mrec.Add(mcore, metrics.CtrSlowProbe, 1)
-		}
-		if ar.WaysProbed != lastWidth[mcore] {
-			lastWidth[mcore] = ar.WaysProbed
-			mrec.Emit(mcore, metrics.EvProbeWidth, uint64(va), 0, uint64(ar.WaysProbed))
-		}
-	}
-	// dataAccess runs one data reference on core tid in the given
-	// address space: translate, L1 lookup, miss service / coherence
-	// upgrade, scheduler-speculation resolution, retire. countStats
-	// marks main-process references (superpage-fraction metric).
-	dataAccess := func(tid int, rec trace.Record, asid uint16, countStats bool) error {
-		h := hiers[tid]
-		tr := h.Translate(rec.VA, asid)
-		if tr.Source == tlb.SourceFault {
-			return fmt.Errorf("sim: fault at %#x (unmapped generator address)", uint64(rec.VA))
-		}
-		if tr.Source != tlb.SourceL1 {
-			l2Lookups++
-		}
-		if countStats && tr.Size.IsSuper() {
-			superRefs++
-		}
-		store := rec.Kind != 0
-		ar := l1s[tid].Access(rec.VA, tr.PA, tr.Size, store)
-		acct.AddL1CPUSide(ar.EnergyNJ)
-		sampleAccess(tid, rec.VA, ar)
-		// Audit before the miss is filled: the full-probe ground truth
-		// must reflect the state this lookup actually saw.
-		if chk != nil {
-			chk.AfterAccess(check.Access{
-				Ref: curRef, Core: tid, VA: rec.VA, ASID: asid, TR: tr, AR: ar,
-			})
-		}
-		// A superpage L1 TLB hit refreshes the TFT *after* this access's
-		// parallel TFT probe completed: the hitting TLB entry carries
-		// the page size, so the hardware re-marks a region that a
-		// conflicting fill displaced. The current access still paid
-		// the slow path; the next one hits the TFT. (Completes the
-		// paper's fill-on-TLB-fill policy, which alone would let a
-		// region whose TLB entry stays resident miss indefinitely.)
-		if tr.Size.IsSuper() && tr.Source == tlb.SourceL1 && seesaws[tid] != nil {
-			seesaws[tid].OnSuperpageTLBFill(rec.VA)
-		}
-		extra := tr.ExtraCycles
-		if !ar.Hit {
-			mr := cohSys.Miss(tid, tr.PA, store)
-			fill := l1s[tid].Fill(tr.PA, tr.Size, store, mr.Shared)
-			acct.AddL1CPUSide(fill.EnergyNJ)
-			if fill.Victim.Valid {
-				cohSys.Evicted(tid, fill.VictimPA, fill.Writeback)
-			}
-			extra += mr.Cycles
-			// Next-line prefetch, staying inside the 4KB frame.
-			if cfg.Prefetch {
-				nextPA := tr.PA.LineBase() + addr.LineSize
-				if nextPA.PageBase(addr.Page4K) == tr.PA.PageBase(addr.Page4K) {
-					if _, _, resident := l1s[tid].Storage().FindLine(nextPA); !resident {
-						pmr := cohSys.Miss(tid, nextPA, false)
-						pfill := l1s[tid].Fill(nextPA, tr.Size, false, pmr.Shared)
-						acct.AddL1CPUSide(pfill.EnergyNJ)
-						if pfill.Victim.Valid {
-							cohSys.Evicted(tid, pfill.VictimPA, pfill.Writeback)
-						}
-					}
-				}
-			}
-		} else if store {
-			switch ar.State {
-			case cache.Shared, cache.Owned: // need coherence permission
-				extra += cohSys.Upgrade(tid, tr.PA)
-			default:
-				l1s[tid].UpgradeToModified(tr.PA)
-			}
-		}
-		assumedFast := false
-		if seesaws[tid] != nil {
-			switch {
-			case cfg.SchedulerAlwaysFast:
-				assumedFast = true
-			case cfg.SchedulerAlwaysSlow:
-				assumedFast = false
-			default:
-				// The paper's counter heuristic: speculate fast when the
-				// 2MB TLB holds at least a quarter of its entries. Any
-				// resident 1GB translation also licenses speculation —
-				// one gigabyte entry covers 512 superpage regions, so
-				// superpages are certainly not scarce.
-				if st := h.L1Super(); st != nil {
-					assumedFast = st.ValidCount() >= superTLBThreshold
-				}
-				if g1 := h.L1For(addr.Page1G); g1 != nil && g1.ValidCount() > 0 {
-					assumedFast = true
-				}
-			}
-		}
-		cpus[tid].Retire(int(rec.Gap), cpu.MemCost{
-			Hit:          ar.Hit,
-			IsStore:      store,
-			Dep:          rec.Dep,
-			L1Cycles:     ar.Cycles,
-			SlowL1Cycles: l1s[tid].SlowCycles(),
-			AssumedFast:  assumedFast,
-			ExtraCycles:  extra,
-		})
-		return nil
-	}
-
-	// contextSwitch runs the co-runner timeslice (if configured) on
-	// every core and flushes the non-ASID-tagged TFTs. The ASID-tagged
-	// TLBs keep the application's entries across the switch; the page
-	// walker follows the CR3 switch to the co-runner's page table.
-	contextSwitch := func() error {
-		if cfg.CoRunner != nil {
-			proc2 := mgr.Process(coASID)
-			for c := 0; c < nCores; c++ {
-				// Entering the co-runner: TFT flush and CR3 switch.
-				flushTFTs(seesaws[c], iseesaws, c, cfg.ICache)
-				hiers[c].Walker().Table = proc2.PT
-				for k := 0; k < cfg.CoRunSliceRefs; k++ {
-					rec2 := coGens[c].Next(0)
-					rec2.TID = uint8(c)
-					if err := dataAccess(c, rec2, coASID, false); err != nil {
-						return err
-					}
-				}
-				hiers[c].Walker().Table = proc.PT
-			}
-		}
-		// Switching back to the application: TFT flush again.
-		for c := 0; c < nCores; c++ {
-			flushTFTs(seesaws[c], iseesaws, c, cfg.ICache)
-		}
-		return nil
-	}
-
-	// Fault injection: a seeded event stream perturbing the run on a
-	// reproducible schedule (see internal/faults).
-	var inj *faults.Injector
-	if cfg.Faults != nil {
-		inj, err = faults.New(*cfg.Faults, cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
-	}
-	// spike holds the frames a memhog-spike fault currently pins; the
-	// next spike releases them, so pressure oscillates.
-	var spike []addr.PAddr
-	applyFault := func(ev faults.Event) error {
-		switch ev.Kind {
-		case faults.Splinter:
-			cands := proc.SuperChunkVAs()
-			if len(cands) == 0 {
-				inj.Skip()
-				return nil
-			}
-			va := cands[int(ev.Pick%uint64(len(cands)))]
-			mrec.Add(0, metrics.CtrSplinter, 1)
-			mrec.Emit(-1, metrics.EvSplinter, uint64(va), 0, 0)
-			return mgr.Splinter(proc, va)
-		case faults.Shootdown:
-			cands := proc.ChunkVAs()
-			if len(cands) == 0 {
-				inj.Skip()
-				return nil
-			}
-			// An invlpg burst over mapped regions: the mappings stay,
-			// the TLBs/TFTs must still see every invalidation.
-			for b := 0; b < ev.Burst; b++ {
-				mgr.OnInvlpg(mainASID, cands[int((ev.Pick+uint64(b))%uint64(len(cands)))])
-			}
-			return nil
-		case faults.ContextSwitch:
-			return contextSwitch()
-		case faults.PromoteStorm:
-			if mgr.PromoteScan(proc, ev.Burst*4) == 0 {
-				inj.Skip()
-			}
-			return nil
-		case faults.MemhogSpike:
-			if len(spike) > 0 {
-				for _, pa := range spike {
-					buddy.Free(pa, addr.Page4K)
-				}
-				spike = spike[:0]
-				return nil
-			}
-			for n := 0; n < ev.Burst*512; n++ {
-				pa, ok := buddy.Alloc(addr.Page4K)
-				if !ok {
-					break
-				}
-				spike = append(spike, pa)
-			}
-			if len(spike) == 0 {
-				inj.Skip()
-			}
-			return nil
-		}
-		return fmt.Errorf("sim: unknown fault kind %v", ev.Kind)
-	}
-
-	for i := 0; i < cfg.Refs; i++ {
-		if i&cancelCheckMask == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		curRef = uint64(i)
-		var rec trace.Record
-		if cfg.Trace != nil {
-			rec = cfg.Trace[i]
-			if int(rec.TID) >= nCores {
-				return nil, fmt.Errorf("sim: trace record %d names thread %d but the system has %d cores",
-					i, rec.TID, nCores)
-			}
-		} else {
-			rec = gen.Next(schedule[i%len(schedule)])
-		}
-		tid := int(rec.TID)
-		h := hiers[tid]
-		if err := dataAccess(tid, rec, mainASID, true); err != nil {
-			return nil, err
-		}
-		// Instruction fetch for this block of (gap+1) instructions.
-		if cfg.ICache {
-			iva, jumped := gen.NextCode(tid, int(rec.Gap)+1)
-			itr := h.Translate(iva, 1)
-			if itr.Source == tlb.SourceFault {
-				return nil, fmt.Errorf("sim: I-fetch fault at %#x", uint64(iva))
-			}
-			if itr.Source != tlb.SourceL1 {
-				l2Lookups++
-			}
-			iar := l1is[tid].Access(iva, itr.PA, itr.Size, false)
-			acct.AddL1CPUSide(iar.EnergyNJ)
-			sampleAccess(nCores+tid, iva, iar)
-			if chk != nil {
-				chk.AfterAccess(check.Access{
-					Ref: curRef, Core: nCores + tid, VA: iva, ASID: 1, TR: itr, AR: iar,
-				})
-			}
-			if itr.Size.IsSuper() && itr.Source == tlb.SourceL1 && iseesaws[tid] != nil {
-				iseesaws[tid].OnSuperpageTLBFill(iva)
-			}
-			if !iar.Hit {
-				imr := cohSys.Miss(nCores+tid, itr.PA, false)
-				ifill := l1is[tid].Fill(itr.PA, itr.Size, false, imr.Shared)
-				acct.AddL1CPUSide(ifill.EnergyNJ)
-				if ifill.Victim.Valid {
-					cohSys.Evicted(nCores+tid, ifill.VictimPA, ifill.Writeback)
-				}
-				// Front-end miss stall: the fetch buffer hides part of
-				// it on the OoO core.
-				stall := iar.Cycles + itr.ExtraCycles + imr.Cycles
-				if cfg.CPUKind == "ooo" {
-					stall = (stall + 1) / 2
-				}
-				cpus[tid].Stall(stall)
-			} else if jumped {
-				// Fetch-redirect bubble: a taken branch waits one L1I
-				// hit latency for the new fetch group — where SEESAW-I's
-				// fast path pays off.
-				cpus[tid].Stall(iar.Cycles + itr.ExtraCycles)
-			}
-		}
-		// OS background activity.
-		if cfg.ContextSwitchEvery > 0 && i > 0 && i%cfg.ContextSwitchEvery == 0 {
-			if err := contextSwitch(); err != nil {
-				return nil, err
-			}
-		}
-		if cfg.PromoteScanEvery > 0 && i > 0 && i%cfg.PromoteScanEvery == 0 {
-			mgr.PromoteScan(proc, 2)
-		}
-		if cfg.SplinterEvery > 0 && i > 0 && i%cfg.SplinterEvery == 0 {
-			// Splinter the superpage under the most recent heap access,
-			// if any — exercising Section IV-C2 in-flight.
-			if proc.ChunkIsSuper(rec.VA) {
-				mrec.Add(0, metrics.CtrSplinter, 1)
-				mrec.Emit(-1, metrics.EvSplinter, uint64(rec.VA), 0, 0)
-				mgr.Splinter(proc, rec.VA)
-			}
-		}
-		if inj != nil {
-			if ev, ok := inj.Tick(i); ok {
-				// Annotate the fault before applying it, so the event dump
-				// shows the injection immediately followed by its fallout
-				// (shootdowns, TFT invalidations, flushes).
-				mrec.Add(0, metrics.CtrFault, 1)
-				mrec.Emit(-1, metrics.EvFault, 0, 0, uint64(ev.Kind))
-				if err := applyFault(ev); err != nil {
-					return nil, err
-				}
-			}
-		}
-		mrec.TickRef()
-	}
-
-	r, err := buildReport(cfg, gen, proc, mgr, cohSys, l1s, l1is, seesaws, hiers, cpus, acct, l2Lookups, superRefs)
-	if err != nil {
-		return nil, err
-	}
-	if inj != nil {
-		st := inj.Stats
-		r.Faults = &st
-	}
-	if chk != nil {
-		r.Check = chk.Report()
-	}
-	r.Metrics = mrec.Finish()
-	return r, nil
-}
-
-// buildReport assembles the Report from the component stats.
-func buildReport(
-	cfg Config, gen *workload.Generator, proc *osmm.Process, mgr *osmm.Manager,
-	cohSys *coherence.System, l1s, l1is []core.L1Cache, seesaws []*core.Seesaw,
-	hiers []*tlb.Hierarchy, cpus []cpu.Model, acct *energy.Account,
-	l2Lookups, superRefs uint64,
-) (*Report, error) {
-	r := &Report{
-		SchemaVersion: SchemaVersion,
-		Design:        l1s[0].Name(),
-		Workload:      cfg.Workload.Name,
-		Energy:        acct,
-	}
-	// Application timing: the slowest app core determines runtime.
-	for t := 0; t < gen.Threads(); t++ {
-		if c := cpus[t].Cycles(); c > r.Cycles {
-			r.Cycles = c
-		}
-		r.Instructions += cpus[t].Instructions()
-	}
-	if r.Cycles > 0 {
-		r.IPC = float64(r.Instructions) / float64(r.Cycles)
-	}
-	r.RuntimeSec = float64(r.Cycles) / (cfg.FreqGHz * 1e9)
-
-	var tftLookups, tftHits uint64
-	for i, l1 := range l1s {
-		st := l1.Storage().Stats
-		r.L1Hits += st.Hits
-		r.L1Misses += st.Misses
-		if s := seesaws[i]; s != nil {
-			ts := s.TFT().Stats
-			tftLookups += ts.Lookups
-			tftHits += ts.Hits
-			r.TFT.Fills += ts.Fills
-			r.TFT.Invalidations += ts.Invalidations
-			r.TFT.Flushes += ts.Flushes
-			r.TFT.StaleHitsAvoided += ts.StaleHitsAvoided
-			r.TFT.SuperAccesses += s.Stats.SuperAccesses
-			r.TFT.FastHits += s.Stats.FastHits
-			r.TFT.FastMisses += s.Stats.FastMisses
-			missedHit := s.Stats.SuperTFTMissHits
-			missedMiss := s.Stats.SuperTFTMissMisses
-			if s.Stats.SuperAccesses > 0 {
-				den := float64(s.Stats.SuperAccesses)
-				r.TFT.SuperMissedPct += 100 * float64(missedHit+missedMiss) / den
-				r.TFT.SuperMissedL1HitPct += 100 * float64(missedHit) / den
-				r.TFT.SuperMissedL1MissPct += 100 * float64(missedMiss) / den
-			}
-		}
-		// Predictor accuracy (WP designs); report core 0's.
-		if i == 0 {
-			switch v := l1.(type) {
-			case *core.BaselineVIPT:
-				if v.Predictor() != nil {
-					r.WPAccuracy = v.Predictor().Accuracy()
-				}
-			case *core.Seesaw:
-				if v.Predictor() != nil {
-					r.WPAccuracy = v.Predictor().Accuracy()
-				}
-			}
-		}
-	}
-	// Average the per-core TFT percentages.
-	if n := countSeesaws(seesaws); n > 0 {
-		r.TFT.SuperMissedPct /= float64(n)
-		r.TFT.SuperMissedL1HitPct /= float64(n)
-		r.TFT.SuperMissedL1MissPct /= float64(n)
-	}
-	r.TFT.Lookups = tftLookups
-	if tftLookups > 0 {
-		r.TFT.HitRate = float64(tftHits) / float64(tftLookups)
-	}
-	if r.Instructions > 0 {
-		r.MPKI = float64(r.L1Misses) / float64(r.Instructions) * 1000
-	}
-	for _, l1i := range l1is {
-		st := l1i.Storage().Stats
-		r.L1IHits += st.Hits
-		r.L1IMisses += st.Misses
-		if s, ok := l1i.(*core.Seesaw); ok {
-			ts := s.TFT().Stats
-			tftLookups += ts.Lookups
-			r.TFT.Fills += ts.Fills
-			r.TFT.Invalidations += ts.Invalidations
-			r.TFT.Flushes += ts.Flushes
-			r.TFT.StaleHitsAvoided += ts.StaleHitsAvoided
-		}
-	}
-	r.SuperpageCoverage = proc.SuperpageCoverage()
-	if cfg.Refs > 0 {
-		r.SuperRefFraction = float64(superRefs) / float64(cfg.Refs)
-	}
-	r.Promotions = mgr.Stats.Promotions
-	r.Splinters = mgr.Stats.Splinters
-
-	// Finish energy accounting from component stats.
-	tlbLookups := uint64(cfg.Refs)
-	if cfg.ICache {
-		tlbLookups *= 2 // every instruction block also translates its fetch
-	}
-	acct.AddL1TLBLookups(tlbLookups)
-	acct.AddL2TLBLookups(l2Lookups)
-	acct.AddTFTLookups(tftLookups)
-	var walkLevels, walks uint64
-	for _, h := range hiers {
-		walkLevels += h.Walker().LevelsTotal
-		walks += h.Walker().Walks
-	}
-	acct.AddWalkLevels(walkLevels)
-	cs := cohSys.Stats
-	acct.AddLLCAccesses(cs.LLCHits + cs.LLCMisses + cs.Writebacks)
-	acct.AddDRAMAccesses(cs.DRAMReads + cs.DRAMWrites)
-	acct.AddL1Coherence(cohSys.TotalCoherenceEnergyNJ())
-
-	r.EnergyCPUSideNJ = acct.L1CPUSideNJ
-	r.EnergyCoherenceNJ = acct.L1CoherenceNJ
-	r.EnergyTotalNJ = acct.TotalNJ(r.RuntimeSec)
-	r.Coh = cs
-	r.TLB.L2Lookups = l2Lookups
-	r.TLB.Walks = walks
-	// Translations resolved by the (parallel) L1 TLBs never reach the L2.
-	if cfg.Refs > 0 {
-		r.TLB.L1HitRate = 1 - float64(l2Lookups)/float64(cfg.Refs)
-	}
-	return r, nil
-}
-
-// flushTFTs flushes core c's TFTs (data side and, when modeled, the
-// instruction side) on a context switch — they carry no ASIDs.
-func flushTFTs(d *core.Seesaw, iseesaws []*core.Seesaw, c int, icache bool) {
-	if d != nil {
-		d.ContextSwitch()
-	}
-	if icache && iseesaws[c] != nil {
-		iseesaws[c].ContextSwitch()
-	}
-}
-
-func countSeesaws(ss []*core.Seesaw) int {
-	n := 0
-	for _, s := range ss {
-		if s != nil {
-			n++
-		}
-	}
-	return n
+	return m.Report()
 }

@@ -1,0 +1,25 @@
+package tft
+
+// Clone returns an independent deep copy of the TFT: same region tags
+// in the same MRU order, same statistics, same recently-invalidated
+// memory. The metrics mirror is NOT copied — the owner of the clone
+// rewires its own.
+func (t *TFT) Clone() *TFT {
+	c := &TFT{
+		cfg:        t.cfg,
+		sets:       make([][]uint64, t.nsets),
+		nsets:      t.nsets,
+		Stats:      t.Stats,
+		invalOrder: append([]uint64(nil), t.invalOrder...),
+	}
+	for i, s := range t.sets {
+		c.sets[i] = append([]uint64(nil), s...)
+	}
+	if t.invalidated != nil {
+		c.invalidated = make(map[uint64]struct{}, len(t.invalidated))
+		for r := range t.invalidated {
+			c.invalidated[r] = struct{}{}
+		}
+	}
+	return c
+}

@@ -1,0 +1,50 @@
+package tft
+
+import (
+	"testing"
+
+	"seesaw/internal/addr"
+)
+
+// TestClone: the clone answers every lookup like the original — same
+// tags, same MRU order, same statistics, same recently-invalidated
+// memory — and the two diverge independently afterwards.
+func TestClone(t *testing.T) {
+	f := New(Config{Entries: 16})
+	a := addr.VAddr(0x7f12_3450_0000)
+	b := addr.VAddr(0x7f12_3490_0000)
+	gone := addr.VAddr(0x7f12_34d0_0000)
+	f.Fill(a)
+	f.Fill(b)
+	f.Fill(gone)
+	f.Lookup(a)
+	f.Lookup(a + 4<<21) // a miss, for non-trivial stats
+	f.Invalidate(gone)
+
+	c := f.Clone()
+	if c.Stats != f.Stats {
+		t.Errorf("clone stats %+v, want %+v", c.Stats, f.Stats)
+	}
+	for _, va := range []addr.VAddr{a, b, gone} {
+		if c.Contains(va) != f.Contains(va) {
+			t.Errorf("Contains(%#x): clone %v, original %v",
+				uint64(va), c.Contains(va), f.Contains(va))
+		}
+	}
+	// Both must count the stale-hit-avoided miss on the invalidated
+	// region — the invalidation memory travelled with the clone.
+	f.Lookup(gone)
+	c.Lookup(gone)
+	if c.Stats != f.Stats {
+		t.Errorf("post-lookup stats diverged: clone %+v, original %+v", c.Stats, f.Stats)
+	}
+
+	// Divergence: flushing the clone must not touch the original.
+	c.Flush()
+	if c.ValidCount() != 0 {
+		t.Errorf("clone ValidCount after flush = %d", c.ValidCount())
+	}
+	if !f.Contains(a) || !f.Contains(b) {
+		t.Error("flushing the clone emptied the original")
+	}
+}

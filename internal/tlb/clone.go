@@ -1,0 +1,29 @@
+package tlb
+
+import "seesaw/internal/pagetable"
+
+// Clone returns an independent deep copy of the TLB: same entries, same
+// per-set MRU order, same statistics.
+func (t *TLB) Clone() *TLB {
+	c := &TLB{cfg: t.cfg, nsets: t.nsets, Stats: t.Stats, sets: make([][]Entry, t.nsets)}
+	for i, s := range t.sets {
+		c.sets[i] = append([]Entry(nil), s...)
+	}
+	return c
+}
+
+// Clone returns an independent deep copy of the hierarchy walking the
+// given (typically cloned) walker. The OnL1SuperFill hook and the
+// metrics mirror are NOT copied — they close over the original
+// machine's TFTs and recorder, and the owner of the clone must rewire
+// its own.
+func (h *Hierarchy) Clone(walker *pagetable.Walker) *Hierarchy {
+	c := &Hierarchy{cfg: h.cfg, walker: walker}
+	for _, t := range h.l1 {
+		c.l1 = append(c.l1, t.Clone())
+	}
+	if h.l2 != nil {
+		c.l2 = h.l2.Clone()
+	}
+	return c
+}

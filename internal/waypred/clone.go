@@ -1,0 +1,12 @@
+package waypred
+
+// Clone returns an independent deep copy of the predictor: same per-set
+// history, same accuracy counters.
+func (m *MRU) Clone() *MRU {
+	return &MRU{
+		lastWay:      append([]int16(nil), m.lastWay...),
+		Predictions:  m.Predictions,
+		Correct:      m.Correct,
+		NoPrediction: m.NoPrediction,
+	}
+}

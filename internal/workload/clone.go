@@ -1,0 +1,36 @@
+package workload
+
+import (
+	"math/rand"
+
+	"seesaw/internal/addr"
+	"seesaw/internal/xrand"
+)
+
+// Clone returns an independent deep copy of the generator: every
+// per-thread RNG continues from its current position (see
+// internal/xrand), and all cursors, chase positions, and reuse state
+// copy, so the clone emits exactly the record stream the original would
+// have emitted from here on.
+func (g *Generator) Clone() *Generator {
+	c := &Generator{
+		p:         g.p,
+		heapBase:  g.heapBase,
+		smallBase: g.smallBase,
+		osBase:    g.osBase,
+		bound:     g.bound,
+		rngs:      make([]*rand.Rand, len(g.rngs)),
+		srcs:      make([]*xrand.Source, len(g.srcs)),
+		seqCur:    append([]uint64(nil), g.seqCur...),
+		chaseAt:   append([]uint64(nil), g.chaseAt...),
+		lastVA:    append([]addr.VAddr(nil), g.lastVA...),
+		codeBase:  g.codeBase,
+		codeBound: g.codeBound,
+		codeCur:   append([]uint64(nil), g.codeCur...),
+	}
+	for i, s := range g.srcs {
+		c.srcs[i] = s.Clone()
+		c.rngs[i] = rand.New(c.srcs[i])
+	}
+	return c
+}

@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"math/rand"
 
+	"seesaw/internal/xrand"
+
 	"seesaw/internal/addr"
 	"seesaw/internal/trace"
 )
@@ -133,10 +135,11 @@ type Generator struct {
 	heapBase, smallBase, osBase addr.VAddr
 	bound                       bool
 
-	rngs    []*rand.Rand // one per thread + one for the system thread
-	seqCur  []uint64     // per-thread sequential cursor (offset in zone)
-	chaseAt []uint64     // per-thread pointer-chase position
-	lastVA  []addr.VAddr // per-thread previous access (line reuse)
+	rngs    []*rand.Rand    // one per thread + one for the system thread
+	srcs    []*xrand.Source // counting sources under rngs, for Clone
+	seqCur  []uint64        // per-thread sequential cursor (offset in zone)
+	chaseAt []uint64        // per-thread pointer-chase position
+	lastVA  []addr.VAddr    // per-thread previous access (line reuse)
 
 	// Instruction-side state (see code.go).
 	codeBase  addr.VAddr
@@ -149,11 +152,12 @@ func NewGenerator(p Profile, seed int64) *Generator {
 	g := &Generator{p: p}
 	n := p.Threads + 1 // + system thread
 	g.rngs = make([]*rand.Rand, n)
+	g.srcs = make([]*xrand.Source, n)
 	g.seqCur = make([]uint64, n)
 	g.chaseAt = make([]uint64, n)
 	g.lastVA = make([]addr.VAddr, n)
 	for i := range g.rngs {
-		g.rngs[i] = rand.New(rand.NewSource(seed + int64(i)*7919))
+		g.rngs[i], g.srcs[i] = xrand.New(seed + int64(i)*7919)
 	}
 	return g
 }

@@ -1,0 +1,74 @@
+// Package xrand wraps math/rand sources with a draw counter so warm
+// simulator state can be deep-copied. Go's rand.Rand carries hidden
+// generator state that cannot be copied directly, but every draw a
+// rand.Rand makes — Float64, Intn, Uint64, Shuffle — bottoms out in
+// exactly one Int63 or Uint64 call on its Source, and for the stock
+// rngSource both advance the generator by one identical step. Counting
+// those source-level steps therefore identifies the generator's exact
+// position, and a clone is "reseed, replay n steps": a fresh source with
+// the same seed fast-forwarded by n draws produces the same stream the
+// original will produce from here on.
+//
+// Counting at the source level (not the call level) is what makes
+// rejection-sampling consumers like Intn cloneable: however many draws a
+// call burned, the counter advanced with the generator.
+package xrand
+
+import "math/rand"
+
+// Source is a counting math/rand source: a stock rand.NewSource wrapped
+// so every generator step is counted. It implements rand.Source64, so
+// rand.New(src) behaves byte-for-byte like rand.New(rand.NewSource(seed)).
+type Source struct {
+	seed int64
+	n    uint64
+	src  rand.Source64
+}
+
+// NewSource returns a counting source seeded like rand.NewSource(seed).
+func NewSource(seed int64) *Source {
+	return &Source{seed: seed, src: rand.NewSource(seed).(rand.Source64)}
+}
+
+// Int63 implements rand.Source.
+func (s *Source) Int63() int64 {
+	s.n++
+	return s.src.Int63()
+}
+
+// Uint64 implements rand.Source64.
+func (s *Source) Uint64() uint64 {
+	s.n++
+	return s.src.Uint64()
+}
+
+// Seed implements rand.Source, resetting the draw counter.
+func (s *Source) Seed(seed int64) {
+	s.seed = seed
+	s.n = 0
+	s.src.Seed(seed)
+}
+
+// Draws returns how many generator steps have been taken.
+func (s *Source) Draws() uint64 { return s.n }
+
+// Clone returns an independent source at the same generator position:
+// a fresh source with the original seed, fast-forwarded by the counted
+// number of steps. The clone and the original produce identical streams
+// from here on and never influence each other.
+func (s *Source) Clone() *Source {
+	c := NewSource(s.seed)
+	for i := uint64(0); i < s.n; i++ {
+		c.src.Uint64()
+	}
+	c.n = s.n
+	return c
+}
+
+// New returns a rand.Rand over a new counting source, plus the source
+// handle for later cloning. The Rand's stream is identical to
+// rand.New(rand.NewSource(seed)).
+func New(seed int64) (*rand.Rand, *Source) {
+	s := NewSource(seed)
+	return rand.New(s), s
+}

@@ -1,0 +1,78 @@
+// Command warmupsmoke is the shared-warmup gate behind `make
+// warmup-smoke`: it builds seesaw-sweep and runs the same warmed sweep
+// twice — once cold (every cell simulates its own warmup) and once on
+// the shared-warmup pool (cells fork from one warmed machine per
+// workload) — and requires the two tables to be byte-identical. That
+// equality is the contract that makes shared warmup safe to enable
+// anywhere: it buys wall-clock time only, never different numbers. The
+// measured speedup is printed for the log; it is not gated, since
+// wall-clock ratios are noisy on loaded CI machines.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"time"
+)
+
+// The sweep is serial (-parallel 1) so the cold/shared comparison is
+// scheduling-independent: cold pays one warmup per cell, shared pays one
+// warmup per workload. The warmup dominates each cell, which is the
+// regime shared warmup exists for.
+var sweepArgs = []string{
+	"-workloads", "redis",
+	"-sizes", "32",
+	"-refs", "8000",
+	"-warmup", "1000000",
+	"-parallel", "1",
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "warmupsmoke:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	tmp, err := os.MkdirTemp("", "seesaw-warmupsmoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	bin := filepath.Join(tmp, "seesaw-sweep")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/seesaw-sweep").CombinedOutput(); err != nil {
+		return fmt.Errorf("build seesaw-sweep: %v\n%s", err, out)
+	}
+
+	sweep := func(shared bool) ([]byte, time.Duration, error) {
+		args := sweepArgs
+		if shared {
+			args = append(append([]string{}, args...), "-shared-warmup")
+		}
+		cmd := exec.Command(bin, args...)
+		cmd.Stderr = os.Stderr
+		start := time.Now()
+		out, err := cmd.Output()
+		return out, time.Since(start), err
+	}
+
+	cold, coldDur, err := sweep(false)
+	if err != nil {
+		return fmt.Errorf("cold sweep: %w", err)
+	}
+	warm, warmDur, err := sweep(true)
+	if err != nil {
+		return fmt.Errorf("shared-warmup sweep: %w", err)
+	}
+	if string(cold) != string(warm) {
+		return fmt.Errorf("shared-warmup table differs from cold table\n--- cold ---\n%s--- shared ---\n%s", cold, warm)
+	}
+	fmt.Printf("warmupsmoke: ok — tables byte-identical; cold %v, shared %v (%.2fx)\n",
+		coldDur.Round(time.Millisecond), warmDur.Round(time.Millisecond),
+		float64(coldDur)/float64(warmDur))
+	return nil
+}
