@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench cover chaos service-smoke importgate warmup-smoke verify
+.PHONY: build vet test race bench bench-baseline perfgate cover chaos service-smoke importgate warmup-smoke verify
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,18 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# bench-baseline re-measures simulator throughput (whole runs and the
+# steady-state batched measured phase) and rewrites BENCH_throughput.json;
+# run it after deliberate hot-path changes to reset the perfgate floor.
+bench-baseline:
+	$(GO) run ./tools/perfgate -write
+
+# The throughput gate re-runs the throughput benchmarks and fails if
+# refs/s regressed more than 20% against BENCH_throughput.json
+# (tools/perfgate).
+perfgate:
+	$(GO) run ./tools/perfgate
 
 # The coverage gate fails if any package in coverage_floors.txt drops
 # below its checked-in floor (tools/covergate).
@@ -48,4 +60,4 @@ importgate:
 warmup-smoke:
 	$(GO) run ./tools/warmupsmoke
 
-verify: build vet test race cover chaos service-smoke importgate warmup-smoke
+verify: build vet test race cover chaos service-smoke importgate warmup-smoke perfgate

@@ -12,12 +12,14 @@ package seesaw_test
 // -bench` output doubles as a quick-look reproduction of the paper.
 
 import (
+	"context"
 	"strconv"
 	"testing"
 
 	"seesaw/internal/addr"
 	"seesaw/internal/core"
 	"seesaw/internal/experiments"
+	"seesaw/internal/machine"
 	"seesaw/internal/metrics"
 	"seesaw/internal/runner"
 	"seesaw/internal/sim"
@@ -220,6 +222,45 @@ func BenchmarkBaselineAccess(b *testing.B) {
 			b.Fatal("unexpected miss")
 		}
 	}
+}
+
+// BenchmarkMachineStepBatched measures the epoch-batched measured phase
+// in isolation: one machine is built and warmed once, then every
+// iteration resumes a snapshot of the warm state and runs the measured
+// phase through the batched loop (pre-generated epochs, devirtualized
+// dispatch). Comparing against BenchmarkSimulatorThroughput separates
+// steady-state stepping speed from Build/Warmup overhead.
+func BenchmarkMachineStepBatched(b *testing.B) {
+	p, err := workload.ByName("redis")
+	if err != nil {
+		b.Fatal(err)
+	}
+	refs := 50_000
+	cfg := machine.Config{
+		Workload: p, Seed: 42, Refs: refs, WarmupRefs: 20_000,
+		CacheKind: machine.KindSeesaw, L1Size: 64 << 10,
+		FreqGHz: 1.33, CPUKind: "ooo", MemBytes: 256 << 20,
+	}
+	ctx := context.Background()
+	m, err := machine.Build(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Warmup(ctx); err != nil {
+		b.Fatal(err)
+	}
+	snap, err := m.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mm := snap.Resume()
+		if err := mm.Measure(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(refs)*float64(b.N)/b.Elapsed().Seconds(), "refs/s")
 }
 
 // BenchmarkSimulatorThroughput measures whole-system simulation speed in

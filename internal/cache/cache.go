@@ -81,14 +81,6 @@ func (r Replacement) String() string {
 // maxRRPV is the 2-bit SRRIP ceiling ("distant future").
 const maxRRPV = 3
 
-// way is one cache way's storage.
-type way struct {
-	tag     uint64
-	state   State
-	lastUse uint64
-	rrpv    uint8
-}
-
 // Victim describes a line displaced by an insertion or sweep.
 type Victim struct {
 	Valid bool
@@ -110,11 +102,21 @@ type Stats struct {
 	Sweeps     uint64 // lines evicted by range sweeps
 }
 
-// Cache is the storage array.
+// Cache is the storage array. Tags, states, recency, and SRRIP
+// predictions live in parallel flat arrays (struct-of-arrays), indexed
+// by set*Ways+way: the CPU-side probe is a tight scan of a few
+// contiguous tag/state words, with no per-set slice headers or pointer
+// chases between them.
 type Cache struct {
-	geom  addr.CacheGeometry
-	repl  Replacement
-	sets  [][]way
+	geom addr.CacheGeometry
+	repl Replacement
+	ways int // geom.Ways, hoisted for index math
+
+	tags    []uint64
+	states  []uint8
+	lastUse []uint64
+	rrpvs   []uint8
+
 	tick  uint64
 	Stats Stats
 
@@ -134,12 +136,14 @@ func New(geom addr.CacheGeometry) *Cache {
 // NewWithPolicy creates an empty cache with an explicit replacement
 // policy.
 func NewWithPolicy(geom addr.CacheGeometry, repl Replacement) *Cache {
-	sets := make([][]way, geom.Sets())
-	backing := make([]way, geom.Sets()*geom.Ways)
-	for i := range sets {
-		sets[i] = backing[i*geom.Ways : (i+1)*geom.Ways]
+	n := geom.Sets() * geom.Ways
+	return &Cache{
+		geom: geom, repl: repl, ways: geom.Ways,
+		tags:    make([]uint64, n),
+		states:  make([]uint8, n),
+		lastUse: make([]uint64, n),
+		rrpvs:   make([]uint8, n),
 	}
-	return &Cache{geom: geom, repl: repl, sets: sets}
 }
 
 // Policy returns the replacement policy.
@@ -162,9 +166,12 @@ func (c *Cache) wayRange(partition int) (int, int) {
 // recency or stats. It returns the way index on a hit.
 func (c *Cache) Probe(set, partition int, tag uint64) (int, bool) {
 	lo, hi := c.wayRange(partition)
-	for w := lo; w < hi; w++ {
-		if c.sets[set][w].state != Invalid && c.sets[set][w].tag == tag {
-			return w, true
+	base := set * c.ways
+	tags := c.tags[base+lo : base+hi]
+	states := c.states[base+lo : base+hi]
+	for i, t := range tags {
+		if t == tag && states[i] != uint8(Invalid) {
+			return lo + i, true
 		}
 	}
 	return 0, false
@@ -176,8 +183,8 @@ func (c *Cache) Access(set, partition int, tag uint64) (int, bool) {
 	w, hit := c.Probe(set, partition, tag)
 	if hit {
 		c.tick++
-		c.sets[set][w].lastUse = c.tick
-		c.sets[set][w].rrpv = 0 // near-immediate re-reference
+		c.lastUse[set*c.ways+w] = c.tick
+		c.rrpvs[set*c.ways+w] = 0 // near-immediate re-reference
 		c.Stats.Hits++
 		c.Metrics.Add(c.MetricsCore, metrics.CtrL1Hit, 1)
 		return w, true
@@ -190,28 +197,28 @@ func (c *Cache) Access(set, partition int, tag uint64) (int, bool) {
 // ProbeWay checks a single way for tag without touching recency or stats
 // — the way-predictor's first, narrow probe.
 func (c *Cache) ProbeWay(set, wayIdx int, tag uint64) bool {
-	w := c.sets[set][wayIdx]
-	return w.state != Invalid && w.tag == tag
+	i := set*c.ways + wayIdx
+	return c.states[i] != uint8(Invalid) && c.tags[i] == tag
 }
 
 // Touch marks a way most-recently-used and counts a hit; used by
 // way-predicted lookups that bypass Access.
 func (c *Cache) Touch(set, wayIdx int) {
 	c.tick++
-	c.sets[set][wayIdx].lastUse = c.tick
-	c.sets[set][wayIdx].rrpv = 0
+	c.lastUse[set*c.ways+wayIdx] = c.tick
+	c.rrpvs[set*c.ways+wayIdx] = 0
 	c.Stats.Hits++
 	c.Metrics.Add(c.MetricsCore, metrics.CtrL1Hit, 1)
 }
 
 // StateOf returns the state of a way.
-func (c *Cache) StateOf(set, wayIdx int) State { return c.sets[set][wayIdx].state }
+func (c *Cache) StateOf(set, wayIdx int) State { return State(c.states[set*c.ways+wayIdx]) }
 
 // SetState updates the state of a valid way; setting Invalid frees it.
-func (c *Cache) SetState(set, wayIdx int, s State) { c.sets[set][wayIdx].state = s }
+func (c *Cache) SetState(set, wayIdx int, s State) { c.states[set*c.ways+wayIdx] = uint8(s) }
 
 // TagOf returns the tag stored in a way (meaningful only if valid).
-func (c *Cache) TagOf(set, wayIdx int) uint64 { return c.sets[set][wayIdx].tag }
+func (c *Cache) TagOf(set, wayIdx int) uint64 { return c.tags[set*c.ways+wayIdx] }
 
 // PartitionOfWay returns the partition a way index belongs to.
 func (c *Cache) PartitionOfWay(wayIdx int) int { return wayIdx / c.geom.WaysPerPartition() }
@@ -228,10 +235,11 @@ func (c *Cache) Insert(set, partition int, tag uint64, st State) Victim {
 	c.Stats.Inserts++
 	c.tick++
 	lo, hi := c.wayRange(partition)
+	base := set * c.ways
 	// Prefer an invalid way.
 	victimWay := -1
 	for w := lo; w < hi; w++ {
-		if c.sets[set][w].state == Invalid {
+		if c.states[base+w] == uint8(Invalid) {
 			victimWay = w
 			break
 		}
@@ -239,10 +247,10 @@ func (c *Cache) Insert(set, partition int, tag uint64, st State) Victim {
 	var victim Victim
 	if victimWay == -1 {
 		victimWay = c.selectVictim(set, lo, hi)
-		v := c.sets[set][victimWay]
-		victim = Victim{Valid: true, Tag: v.tag, State: v.state, Way: victimWay}
+		vs := State(c.states[base+victimWay])
+		victim = Victim{Valid: true, Tag: c.tags[base+victimWay], State: vs, Way: victimWay}
 		c.Stats.Evictions++
-		if v.state.Dirty() {
+		if vs.Dirty() {
 			c.Stats.Writebacks++
 		}
 	}
@@ -250,43 +258,51 @@ func (c *Cache) Insert(set, partition int, tag uint64, st State) Victim {
 	if c.repl == SRRIP {
 		insertRRPV = maxRRPV - 1 // "long" re-reference prediction
 	}
-	c.sets[set][victimWay] = way{tag: tag, state: st, lastUse: c.tick, rrpv: insertRRPV}
+	i := base + victimWay
+	c.tags[i], c.states[i], c.lastUse[i], c.rrpvs[i] = tag, uint8(st), c.tick, insertRRPV
 	victim.Way = victimWay
 	return victim
 }
 
 // selectVictim picks the eviction victim in [lo,hi) per the policy.
 func (c *Cache) selectVictim(set, lo, hi int) int {
+	base := set * c.ways
 	if c.repl == SRRIP {
 		// Find a way predicted "distant" (RRPV saturated), aging the
 		// scope until one appears.
 		for {
 			for w := lo; w < hi; w++ {
-				if c.sets[set][w].rrpv >= maxRRPV {
+				if c.rrpvs[base+w] >= maxRRPV {
 					return w
 				}
 			}
 			for w := lo; w < hi; w++ {
-				c.sets[set][w].rrpv++
+				c.rrpvs[base+w]++
 			}
 		}
 	}
 	// True LRU within the scope.
 	victimWay := lo
 	for w := lo + 1; w < hi; w++ {
-		if c.sets[set][w].lastUse < c.sets[set][victimWay].lastUse {
+		if c.lastUse[base+w] < c.lastUse[base+victimWay] {
 			victimWay = w
 		}
 	}
 	return victimWay
 }
 
+// clearWay frees a way, resetting all of its storage (matching the
+// zero-value reset the slice-of-structs layout used to do).
+func (c *Cache) clearWay(i int) {
+	c.tags[i], c.states[i], c.lastUse[i], c.rrpvs[i] = 0, uint8(Invalid), 0, 0
+}
+
 // Invalidate removes tag from the set (searching all ways) and returns its
 // prior state. Coherence invalidations land here.
 func (c *Cache) Invalidate(set int, tag uint64) (State, bool) {
 	if w, hit := c.Probe(set, AnyPartition, tag); hit {
-		st := c.sets[set][w].state
-		c.sets[set][w] = way{}
+		st := State(c.states[set*c.ways+w])
+		c.clearWay(set*c.ways + w)
 		return st, true
 	}
 	return Invalid, false
@@ -298,25 +314,28 @@ func (c *Cache) Invalidate(set int, tag uint64) (State, bool) {
 // pages are promoted to a superpage (Section IV-C2).
 func (c *Cache) EvictRange(lo, hi addr.PAddr) []Victim {
 	var victims []Victim
-	for set := range c.sets {
-		for w := range c.sets[set] {
-			if c.sets[set][w].state == Invalid {
+	nsets := c.geom.Sets()
+	for set := 0; set < nsets; set++ {
+		base := set * c.ways
+		for w := 0; w < c.ways; w++ {
+			st := State(c.states[base+w])
+			if st == Invalid {
 				continue
 			}
-			pa := c.geom.LineFromSetTag(set, c.sets[set][w].tag)
+			pa := c.geom.LineFromSetTag(set, c.tags[base+w])
 			if pa >= lo && pa < hi {
 				victims = append(victims, Victim{
 					Valid: true,
-					Tag:   c.sets[set][w].tag,
-					State: c.sets[set][w].state,
+					Tag:   c.tags[base+w],
+					State: st,
 					Way:   w,
 					PA:    pa,
 				})
-				if c.sets[set][w].state.Dirty() {
+				if st.Dirty() {
 					c.Stats.Writebacks++
 				}
 				c.Stats.Sweeps++
-				c.sets[set][w] = way{}
+				c.clearWay(base + w)
 			}
 		}
 	}
@@ -326,11 +345,9 @@ func (c *Cache) EvictRange(lo, hi addr.PAddr) []Victim {
 // ValidLines returns the number of valid lines (for occupancy checks).
 func (c *Cache) ValidLines() int {
 	n := 0
-	for _, s := range c.sets {
-		for _, w := range s {
-			if w.state != Invalid {
-				n++
-			}
+	for _, st := range c.states {
+		if st != uint8(Invalid) {
+			n++
 		}
 	}
 	return n

@@ -1,21 +1,19 @@
 package cache
 
 // Clone returns an independent deep copy of the storage array: same
-// tags, states, recency, and statistics. The clone keeps New's layout —
-// every set sliced out of one contiguous backing array. The metrics
-// mirror is NOT copied — the owner of the clone rewires its own.
+// tags, states, recency, and statistics, in the same flat
+// struct-of-arrays layout New builds. The metrics mirror is NOT copied
+// — the owner of the clone rewires its own.
 func (c *Cache) Clone() *Cache {
-	nc := &Cache{
-		geom:  c.geom,
-		repl:  c.repl,
-		sets:  make([][]way, len(c.sets)),
-		tick:  c.tick,
-		Stats: c.Stats,
+	return &Cache{
+		geom:    c.geom,
+		repl:    c.repl,
+		ways:    c.ways,
+		tags:    append([]uint64(nil), c.tags...),
+		states:  append([]uint8(nil), c.states...),
+		lastUse: append([]uint64(nil), c.lastUse...),
+		rrpvs:   append([]uint8(nil), c.rrpvs...),
+		tick:    c.tick,
+		Stats:   c.Stats,
 	}
-	backing := make([]way, c.geom.Sets()*c.geom.Ways)
-	for i := range c.sets {
-		nc.sets[i] = backing[i*c.geom.Ways : (i+1)*c.geom.Ways]
-		copy(nc.sets[i], c.sets[i])
-	}
-	return nc
 }

@@ -16,7 +16,8 @@ func (s *System) Clone(l1s []core.L1Cache) *System {
 		l1s:               l1s,
 		llc:               s.llc.Clone(),
 		geom:              s.geom,
-		dir:               make(map[addr.PAddr]*dirEntry, len(s.dir)),
+		dir:               make(map[addr.PAddr]dirEntry, len(s.dir)),
+		snoopBuf:          make([]int, 0, len(l1s)),
 		llcCycles:         s.llcCycles,
 		dramCycles:        s.dramCycles,
 		Stats:             s.Stats,
@@ -24,8 +25,7 @@ func (s *System) Clone(l1s []core.L1Cache) *System {
 		CoherenceProbes:   append([]uint64(nil), s.CoherenceProbes...),
 	}
 	for line, e := range s.dir {
-		ce := *e
-		c.dir[line] = &ce
+		c.dir[line] = e
 	}
 	return c
 }

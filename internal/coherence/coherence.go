@@ -92,7 +92,13 @@ type System struct {
 	l1s  []core.L1Cache
 	llc  *cache.Cache
 	geom addr.CacheGeometry
-	dir  map[addr.PAddr]*dirEntry
+	// dir holds entries by value: hot-path updates load, mutate locally,
+	// and store back, so steady-state misses never allocate (the pointer
+	// map used to allocate one dirEntry per tracked line).
+	dir map[addr.PAddr]dirEntry
+	// snoopBuf is the reusable target buffer for snoopTargets; probes
+	// never recurse into snoopTargets, so one buffer suffices.
+	snoopBuf []int
 
 	llcCycles  int
 	dramCycles int
@@ -128,7 +134,8 @@ func New(cfg Config, l1s []core.L1Cache) (*System, error) {
 		l1s:               l1s,
 		llc:               cache.New(geom),
 		geom:              geom,
-		dir:               make(map[addr.PAddr]*dirEntry),
+		dir:               make(map[addr.PAddr]dirEntry),
+		snoopBuf:          make([]int, 0, len(l1s)),
 		llcCycles:         sram.Cycles(cfg.LLCLatencyNS, cfg.FreqGHz),
 		dramCycles:        sram.Cycles(cfg.LLCLatencyNS+cfg.DRAMLatencyNS, cfg.FreqGHz),
 		CoherenceEnergyNJ: make([]float64, len(l1s)),
@@ -158,11 +165,12 @@ type MissResult struct {
 	FromDRAM bool
 }
 
-func (s *System) entry(line addr.PAddr) *dirEntry {
+// entry loads a line's directory entry (or a fresh unowned one) by
+// value; callers mutate the copy and store it back when done.
+func (s *System) entry(line addr.PAddr) dirEntry {
 	e, ok := s.dir[line]
 	if !ok {
-		e = &dirEntry{owner: -1}
-		s.dir[line] = e
+		e = dirEntry{owner: -1}
 	}
 	return e
 }
@@ -225,17 +233,19 @@ func (s *System) backInvalidate(pa addr.PAddr) {
 }
 
 // snoopTargets returns the cores to probe for a request from reqCore: the
-// directory filters to actual sharers; snoopy mode broadcasts.
-func (s *System) snoopTargets(reqCore int, e *dirEntry) []int {
-	var targets []int
+// directory filters to actual sharers; snoopy mode broadcasts. The
+// returned slice aliases a scratch buffer valid until the next call.
+func (s *System) snoopTargets(reqCore int, sharers uint64) []int {
+	targets := s.snoopBuf[:0]
 	for c := 0; c < len(s.l1s); c++ {
 		if c == reqCore {
 			continue
 		}
-		if s.cfg.Mode == Snoopy || e.sharers&(1<<uint(c)) != 0 {
+		if s.cfg.Mode == Snoopy || sharers&(1<<uint(c)) != 0 {
 			targets = append(targets, c)
 		}
 	}
+	s.snoopBuf = targets
 	return targets
 }
 
@@ -250,7 +260,7 @@ func (s *System) Miss(reqCore int, pa addr.PAddr, store bool) MissResult {
 	// load (downgrade). Snoopy mode broadcasts regardless.
 	peerHadData := false
 	if store {
-		for _, c := range s.snoopTargets(reqCore, e) {
+		for _, c := range s.snoopTargets(reqCore, e.sharers) {
 			r := s.probe(c, pa, core.SnoopInvalidate)
 			if r.Hit {
 				s.Stats.Invalidations++
@@ -266,7 +276,7 @@ func (s *System) Miss(reqCore int, pa addr.PAddr, store bool) MissResult {
 		e.sharers = 0
 		e.owner = -1
 	} else {
-		for _, c := range s.snoopTargets(reqCore, e) {
+		for _, c := range s.snoopTargets(reqCore, e.sharers) {
 			// Only the owner must be probed in directory mode; snoopy
 			// probes everyone.
 			if s.cfg.Mode == Directory && int(e.owner) != c {
@@ -305,6 +315,7 @@ func (s *System) Miss(reqCore int, pa addr.PAddr, store bool) MissResult {
 			e.owner = -1
 		}
 	}
+	s.dir[line] = e
 	return res
 }
 
@@ -331,7 +342,7 @@ func (s *System) Upgrade(reqCore int, pa addr.PAddr) int {
 	e := s.entry(line)
 	s.Stats.UpgradeRequests++
 	cycles := s.llcCycles
-	for _, c := range s.snoopTargets(reqCore, e) {
+	for _, c := range s.snoopTargets(reqCore, e.sharers) {
 		r := s.probe(c, pa, core.SnoopInvalidate)
 		if r.Hit {
 			s.Stats.Invalidations++
@@ -341,6 +352,7 @@ func (s *System) Upgrade(reqCore int, pa addr.PAddr) int {
 	}
 	e.sharers = 1 << uint(reqCore)
 	e.owner = int8(reqCore)
+	s.dir[line] = e
 	s.l1s[reqCore].UpgradeToModified(pa)
 	return cycles
 }
@@ -356,6 +368,8 @@ func (s *System) Evicted(coreID int, pa addr.PAddr, dirty bool) {
 		}
 		if e.sharers == 0 {
 			delete(s.dir, line)
+		} else {
+			s.dir[line] = e
 		}
 	}
 	if dirty {

@@ -112,6 +112,15 @@ func (s *Seesaw) Geometry() addr.CacheGeometry { return s.geom }
 //   - TFT miss (base page, or superpage the TFT forgot): the remaining
 //     partitions are probed too — slow latency, full energy.
 func (s *Seesaw) Access(va addr.VAddr, pa addr.PAddr, psize addr.PageSize, store bool) AccessResult {
+	var res AccessResult
+	s.AccessInto(&res, va, pa, psize, store)
+	return res
+}
+
+// AccessInto is Access writing its result through res — the simulator's
+// devirtualized per-reference path uses it to keep the (40-byte) result
+// from being copied once per call layer.
+func (s *Seesaw) AccessInto(res *AccessResult, va addr.VAddr, pa addr.PAddr, psize addr.PageSize, store bool) {
 	s.Stats.Accesses++
 	set := s.geom.SetIndexV(va)
 	tag := s.geom.TagP(pa)
@@ -125,7 +134,7 @@ func (s *Seesaw) Access(va addr.VAddr, pa addr.PAddr, psize addr.PageSize, store
 		// The TFT can only hold regions that were superpage-backed when
 		// a 2MB translation was filled; a hit licenses the fast path.
 		part := s.geom.PartitionIndexV(va)
-		res := s.fastLookup(set, part, tag)
+		s.fastLookup(res, set, part, tag)
 		if res.Hit {
 			s.Stats.FastHits++
 		} else {
@@ -133,12 +142,12 @@ func (s *Seesaw) Access(va addr.VAddr, pa addr.PAddr, psize addr.PageSize, store
 		}
 		res.Superpage = super
 		res.TFTHit = true
-		return res
+		return
 	}
 	// TFT miss: the speculative partition probe is followed by the
 	// remaining partitions — equivalent to a full-set search at the
 	// baseline's latency and energy (Table I rows 3-4).
-	res := s.slowLookup(set, tag)
+	s.slowLookup(res, set, tag)
 	if super {
 		if res.Hit {
 			s.Stats.SuperTFTMissHits++
@@ -147,29 +156,29 @@ func (s *Seesaw) Access(va addr.VAddr, pa addr.PAddr, psize addr.PageSize, store
 		}
 	}
 	res.Superpage = super
-	return res
 }
 
 // fastLookup probes a single partition (TFT hit path), optionally through
 // the way predictor: SEESAW presents the right partition to the
 // predictor, so a misprediction only costs a re-probe of that partition
 // (Section IV-B2).
-func (s *Seesaw) fastLookup(set, part int, tag uint64) AccessResult {
+func (s *Seesaw) fastLookup(res *AccessResult, set, part int, tag uint64) {
 	wpp := s.geom.WaysPerPartition()
 	if s.wp != nil {
 		if pred, ok := s.wp.Predict(set); ok && s.c.PartitionOfWay(pred) == part {
 			if s.c.ProbeWay(set, pred, tag) {
 				s.c.Touch(set, pred)
 				s.wp.Feedback(set, pred, true, pred)
-				return AccessResult{
+				*res = AccessResult{
 					Hit: true, State: s.c.StateOf(set, pred),
 					Cycles: s.t.fastCycles, FastPath: true,
 					WaysProbed: 1, EnergyNJ: s.t.eOne,
 				}
+				return
 			}
 			way, hit := s.c.Access(set, part, tag)
 			feedbackWay := -1
-			res := AccessResult{
+			*res = AccessResult{
 				Hit: hit, Cycles: 2 * s.t.fastCycles, FastPath: true,
 				WaysProbed: 1 + wpp, EnergyNJ: s.t.eOne + s.t.ePart,
 			}
@@ -178,11 +187,11 @@ func (s *Seesaw) fastLookup(set, part int, tag uint64) AccessResult {
 				res.State = s.c.StateOf(set, way)
 			}
 			s.wp.Feedback(set, feedbackWay, true, pred)
-			return res
+			return
 		}
 	}
 	way, hit := s.c.Access(set, part, tag)
-	res := AccessResult{
+	*res = AccessResult{
 		Hit: hit, Cycles: s.t.fastCycles, FastPath: true,
 		WaysProbed: wpp, EnergyNJ: s.t.ePart,
 	}
@@ -192,26 +201,26 @@ func (s *Seesaw) fastLookup(set, part int, tag uint64) AccessResult {
 			s.wp.Feedback(set, way, false, 0)
 		}
 	}
-	return res
 }
 
 // slowLookup searches the whole set (TFT miss / base page), optionally
 // through the way predictor.
-func (s *Seesaw) slowLookup(set int, tag uint64) AccessResult {
+func (s *Seesaw) slowLookup(res *AccessResult, set int, tag uint64) {
 	if s.wp != nil {
 		if pred, ok := s.wp.Predict(set); ok {
 			if s.c.ProbeWay(set, pred, tag) {
 				s.c.Touch(set, pred)
 				s.wp.Feedback(set, pred, true, pred)
-				return AccessResult{
+				*res = AccessResult{
 					Hit: true, State: s.c.StateOf(set, pred),
 					Cycles:     s.t.slowCycles,
 					WaysProbed: 1, EnergyNJ: s.t.eOne,
 				}
+				return
 			}
 			way, hit := s.c.Access(set, cache.AnyPartition, tag)
 			feedbackWay := -1
-			res := AccessResult{
+			*res = AccessResult{
 				Hit: hit, Cycles: 2 * s.t.slowCycles,
 				WaysProbed: 1 + s.cfg.Ways, EnergyNJ: s.t.eOne + s.t.eFull,
 			}
@@ -220,11 +229,11 @@ func (s *Seesaw) slowLookup(set int, tag uint64) AccessResult {
 				res.State = s.c.StateOf(set, way)
 			}
 			s.wp.Feedback(set, feedbackWay, true, pred)
-			return res
+			return
 		}
 	}
 	way, hit := s.c.Access(set, cache.AnyPartition, tag)
-	res := AccessResult{
+	*res = AccessResult{
 		Hit: hit, Cycles: s.t.slowCycles,
 		WaysProbed: s.cfg.Ways, EnergyNJ: s.t.eFull,
 	}
@@ -234,7 +243,6 @@ func (s *Seesaw) slowLookup(set int, tag uint64) AccessResult {
 			s.wp.Feedback(set, way, false, 0)
 		}
 	}
-	return res
 }
 
 // Predictor exposes the way predictor (nil when disabled).

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"seesaw/internal/addr"
 	"seesaw/internal/cache"
@@ -77,6 +78,27 @@ type Machine struct {
 	cpus     []cpu.Model
 	cohSys   *coherence.System
 	acct     *energy.Account
+
+	// cohAll caches the coherence participant order cohL1s returns; it
+	// is built lazily (so clones, which never copy it, rebuild their
+	// own) instead of concatenating a fresh slice per call.
+	cohAll []core.L1Cache
+
+	// Devirtualized fast paths. fastD/fastI dispatch L1 accesses through
+	// the concrete cache type, slowL1Cycles precomputes the per-core
+	// constant SlowCycles(), and oooCPUs/inoCPUs devirtualize Retire and
+	// Stall. All are derived views over l1s/l1is/cpus — wireFast rebuilds
+	// them after Build and clone; the interfaces remain the coherence and
+	// snapshot surfaces.
+	fastD        fastL1s
+	fastI        fastL1s
+	slowL1Cycles []int
+	oooCPUs      []*cpu.OutOfOrder
+	inoCPUs      []*cpu.InOrder
+
+	// batch holds the scratch buffers of the epoch-batched reference
+	// loop (never cloned; rebuilt lazily on first use).
+	batch batchState
 
 	// schedule interleaves application threads with the system thread;
 	// superTLBThreshold gates the scheduler's fast-path speculation.
@@ -340,6 +362,7 @@ func (m *Machine) buildUarch() error {
 		m.cpus[i] = cm
 	}
 	m.wireSuperFills()
+	m.wireFast()
 
 	cohCfg := coherence.DefaultConfig(cfg.FreqGHz)
 	cohCfg.Mode = cfg.CoherenceMode
@@ -397,9 +420,140 @@ func (m *Machine) buildUarch() error {
 }
 
 // cohL1s returns the coherence participant order: data caches first,
-// then (when modeled) the instruction caches.
+// then (when modeled) the instruction caches. The slice is built once
+// and cached — per-reference coherence paths used to pay a fresh
+// concatenation on every call. Clones never copy the cache, so their
+// first call rebuilds it over their own L1s.
 func (m *Machine) cohL1s() []core.L1Cache {
-	return append(append([]core.L1Cache{}, m.l1s...), m.l1is...)
+	if m.cohAll == nil {
+		m.cohAll = append(append(make([]core.L1Cache, 0, len(m.l1s)+len(m.l1is)), m.l1s...), m.l1is...)
+	}
+	return m.cohAll
+}
+
+// fastL1s is a devirtualized view over one bank of L1 caches: for the
+// three known cache kinds the concrete slice is populated and every
+// per-access call dispatches statically; `any` is the interface
+// fallback so an unknown kind still works.
+type fastL1s struct {
+	sees []*core.Seesaw
+	base []*core.BaselineVIPT
+	pipt []*core.PIPT
+	any  []core.L1Cache
+}
+
+func newFastL1s(l1s []core.L1Cache) fastL1s {
+	f := fastL1s{any: l1s}
+	if len(l1s) == 0 {
+		return f
+	}
+	switch l1s[0].(type) {
+	case *core.Seesaw:
+		f.sees = make([]*core.Seesaw, len(l1s))
+		for i, l := range l1s {
+			f.sees[i] = l.(*core.Seesaw)
+		}
+	case *core.BaselineVIPT:
+		f.base = make([]*core.BaselineVIPT, len(l1s))
+		for i, l := range l1s {
+			f.base[i] = l.(*core.BaselineVIPT)
+		}
+	case *core.PIPT:
+		f.pipt = make([]*core.PIPT, len(l1s))
+		for i, l := range l1s {
+			f.pipt[i] = l.(*core.PIPT)
+		}
+	}
+	return f
+}
+
+func (f *fastL1s) access(res *core.AccessResult, i int, va addr.VAddr, pa addr.PAddr, size addr.PageSize, store bool) {
+	switch {
+	case f.sees != nil:
+		f.sees[i].AccessInto(res, va, pa, size, store)
+	case f.base != nil:
+		*res = f.base[i].Access(va, pa, size, store)
+	case f.pipt != nil:
+		*res = f.pipt[i].Access(va, pa, size, store)
+	default:
+		*res = f.any[i].Access(va, pa, size, store)
+	}
+}
+
+func (f *fastL1s) fill(i int, pa addr.PAddr, size addr.PageSize, store, shared bool) core.FillResult {
+	switch {
+	case f.sees != nil:
+		return f.sees[i].Fill(pa, size, store, shared)
+	case f.base != nil:
+		return f.base[i].Fill(pa, size, store, shared)
+	case f.pipt != nil:
+		return f.pipt[i].Fill(pa, size, store, shared)
+	}
+	return f.any[i].Fill(pa, size, store, shared)
+}
+
+func (f *fastL1s) upgrade(i int, pa addr.PAddr) {
+	switch {
+	case f.sees != nil:
+		f.sees[i].UpgradeToModified(pa)
+	case f.base != nil:
+		f.base[i].UpgradeToModified(pa)
+	case f.pipt != nil:
+		f.pipt[i].UpgradeToModified(pa)
+	default:
+		f.any[i].UpgradeToModified(pa)
+	}
+}
+
+// wireFast rebuilds the devirtualized dispatch tables from the
+// interface-typed slices; buildUarch and clone call it after the L1s
+// and CPU models exist.
+func (m *Machine) wireFast() {
+	m.fastD = newFastL1s(m.l1s)
+	m.fastI = newFastL1s(m.l1is)
+	m.slowL1Cycles = make([]int, len(m.l1s))
+	for i, l1 := range m.l1s {
+		m.slowL1Cycles[i] = l1.SlowCycles()
+	}
+	m.oooCPUs, m.inoCPUs = nil, nil
+	if len(m.cpus) > 0 {
+		switch m.cpus[0].(type) {
+		case *cpu.OutOfOrder:
+			m.oooCPUs = make([]*cpu.OutOfOrder, len(m.cpus))
+			for i, c := range m.cpus {
+				m.oooCPUs[i] = c.(*cpu.OutOfOrder)
+			}
+		case *cpu.InOrder:
+			m.inoCPUs = make([]*cpu.InOrder, len(m.cpus))
+			for i, c := range m.cpus {
+				m.inoCPUs[i] = c.(*cpu.InOrder)
+			}
+		}
+	}
+}
+
+// retire devirtualizes cpu.Model.Retire for the two known core models.
+func (m *Machine) retire(tid, gap int, mem cpu.MemCost) {
+	switch {
+	case m.oooCPUs != nil:
+		m.oooCPUs[tid].Retire(gap, mem)
+	case m.inoCPUs != nil:
+		m.inoCPUs[tid].Retire(gap, mem)
+	default:
+		m.cpus[tid].Retire(gap, mem)
+	}
+}
+
+// stall devirtualizes cpu.Model.Stall.
+func (m *Machine) stall(tid, cycles int) {
+	switch {
+	case m.oooCPUs != nil:
+		m.oooCPUs[tid].Stall(cycles)
+	case m.inoCPUs != nil:
+		m.inoCPUs[tid].Stall(cycles)
+	default:
+		m.cpus[tid].Stall(cycles)
+	}
 }
 
 // wireSuperFills connects each hierarchy's superpage-TLB-fill event to
@@ -453,7 +607,7 @@ func (m *Machine) onInvlpg(asid uint16, vaBase addr.VAddr) {
 				m.iseesaws[i].InvalidatePage(vaBase)
 			}
 		}
-		m.cpus[i].Stall(175) // invlpg cost, mid paper range
+		m.stall(i, 175) // invlpg cost, mid paper range
 	}
 	if m.Hooks.Checker != nil {
 		m.Hooks.Checker.AfterInvlpg(m.curRef, asid, vaBase)
@@ -511,7 +665,6 @@ func (m *Machine) sampleAccess(mcore int, va addr.VAddr, ar core.AccessResult) {
 // scheduler-speculation resolution, retire. countStats marks
 // main-process references (superpage-fraction metric).
 func (m *Machine) dataAccess(tid int, rec trace.Record, asid uint16, countStats bool) error {
-	cfg := m.cfg
 	h := m.hiers[tid]
 	tr := h.Translate(rec.VA, asid)
 	if tr.Source == tlb.SourceFault {
@@ -524,7 +677,8 @@ func (m *Machine) dataAccess(tid int, rec trace.Record, asid uint16, countStats 
 		m.superRefs++
 	}
 	store := rec.Kind != 0
-	ar := m.l1s[tid].Access(rec.VA, tr.PA, tr.Size, store)
+	var ar core.AccessResult
+	m.fastD.access(&ar, tid, rec.VA, tr.PA, tr.Size, store)
 	m.acct.AddL1CPUSide(ar.EnergyNJ)
 	m.sampleAccess(tid, rec.VA, ar)
 	// Audit before the miss is filled: the full-probe ground truth
@@ -547,19 +701,19 @@ func (m *Machine) dataAccess(tid int, rec trace.Record, asid uint16, countStats 
 	extra := tr.ExtraCycles
 	if !ar.Hit {
 		mr := m.cohSys.Miss(tid, tr.PA, store)
-		fill := m.l1s[tid].Fill(tr.PA, tr.Size, store, mr.Shared)
+		fill := m.fastD.fill(tid, tr.PA, tr.Size, store, mr.Shared)
 		m.acct.AddL1CPUSide(fill.EnergyNJ)
 		if fill.Victim.Valid {
 			m.cohSys.Evicted(tid, fill.VictimPA, fill.Writeback)
 		}
 		extra += mr.Cycles
 		// Next-line prefetch, staying inside the 4KB frame.
-		if cfg.Prefetch {
+		if m.cfg.Prefetch {
 			nextPA := tr.PA.LineBase() + addr.LineSize
 			if nextPA.PageBase(addr.Page4K) == tr.PA.PageBase(addr.Page4K) {
 				if _, _, resident := m.l1s[tid].Storage().FindLine(nextPA); !resident {
 					pmr := m.cohSys.Miss(tid, nextPA, false)
-					pfill := m.l1s[tid].Fill(nextPA, tr.Size, false, pmr.Shared)
+					pfill := m.fastD.fill(tid, nextPA, tr.Size, false, pmr.Shared)
 					m.acct.AddL1CPUSide(pfill.EnergyNJ)
 					if pfill.Victim.Valid {
 						m.cohSys.Evicted(tid, pfill.VictimPA, pfill.Writeback)
@@ -572,15 +726,15 @@ func (m *Machine) dataAccess(tid int, rec trace.Record, asid uint16, countStats 
 		case cache.Shared, cache.Owned: // need coherence permission
 			extra += m.cohSys.Upgrade(tid, tr.PA)
 		default:
-			m.l1s[tid].UpgradeToModified(tr.PA)
+			m.fastD.upgrade(tid, tr.PA)
 		}
 	}
 	assumedFast := false
 	if m.seesaws[tid] != nil {
 		switch {
-		case cfg.SchedulerAlwaysFast:
+		case m.cfg.SchedulerAlwaysFast:
 			assumedFast = true
-		case cfg.SchedulerAlwaysSlow:
+		case m.cfg.SchedulerAlwaysSlow:
 			assumedFast = false
 		default:
 			// The paper's counter heuristic: speculate fast when the
@@ -596,12 +750,12 @@ func (m *Machine) dataAccess(tid int, rec trace.Record, asid uint16, countStats 
 			}
 		}
 	}
-	m.cpus[tid].Retire(int(rec.Gap), cpu.MemCost{
+	m.retire(tid, int(rec.Gap), cpu.MemCost{
 		Hit:          ar.Hit,
 		IsStore:      store,
 		Dep:          rec.Dep,
 		L1Cycles:     ar.Cycles,
-		SlowL1Cycles: m.l1s[tid].SlowCycles(),
+		SlowL1Cycles: m.slowL1Cycles[tid],
 		AssumedFast:  assumedFast,
 		ExtraCycles:  extra,
 	})
@@ -689,6 +843,11 @@ func (m *Machine) applyFault(ev faults.Event) error {
 			m.spike = m.spike[:0]
 			return nil
 		}
+		if cap(m.spike) < ev.Burst*512 {
+			// One allocation for the whole burst; releases keep the
+			// capacity (m.spike[:0]), so repeated spikes reuse it.
+			m.spike = append(make([]addr.PAddr, 0, ev.Burst*512), m.spike...)
+		}
 		for n := 0; n < ev.Burst*512; n++ {
 			pa, ok := m.buddy.Alloc(addr.Page4K)
 			if !ok {
@@ -706,21 +865,50 @@ func (m *Machine) applyFault(ev faults.Event) error {
 
 // Step executes the next reference — a warmup step while the machine is
 // inside [0, WarmupRefs), a full measured step afterwards — and
-// advances the reference cursor. Warmup and Measure are loops over
-// Step with context polling.
+// advances the reference cursor. Warmup and Measure run epoch batches
+// over the same per-step bodies with context polling.
 func (m *Machine) Step() error {
+	m.settle()
+	if !m.batch.cur.empty() {
+		// A batched run left pre-generated records behind (the generator
+		// has already advanced past them); consume them in order.
+		return m.stepBatch(1, 0, m.cfg.WarmupRefs+m.cfg.Refs)
+	}
 	i := m.globalRef
 	var err error
 	if i < m.cfg.WarmupRefs {
-		err = m.stepWarmup(i)
+		err = m.stepWarmup(i, m.gen.Next(m.schedule[i%len(m.schedule)]))
 	} else {
-		err = m.stepMeasured(i)
+		rec, iva, jumped, gerr := m.nextMeasuredRec(i)
+		if gerr != nil {
+			return gerr
+		}
+		err = m.stepMeasured(i, rec, iva, jumped)
 	}
 	if err != nil {
 		return err
 	}
 	m.globalRef++
 	return nil
+}
+
+// nextMeasuredRec draws the next measured reference — from the trace
+// when one is replayed, from the workload generator otherwise — plus
+// the instruction fetch for its block when the I-cache is modeled.
+func (m *Machine) nextMeasuredRec(i int) (rec trace.Record, iva addr.VAddr, jumped bool, err error) {
+	if m.cfg.Trace != nil {
+		rec = m.cfg.Trace[i-m.cfg.WarmupRefs]
+		if int(rec.TID) >= m.nCores {
+			return rec, 0, false, fmt.Errorf("sim: trace record %d names thread %d but the system has %d cores",
+				i, rec.TID, m.nCores)
+		}
+	} else {
+		rec = m.gen.Next(m.schedule[i%len(m.schedule)])
+	}
+	if m.cfg.ICache {
+		iva, jumped = m.gen.NextCode(int(rec.TID), int(rec.Gap)+1)
+	}
+	return rec, iva, jumped, nil
 }
 
 // stepWarmup advances the OS-only warmup phase one reference: the
@@ -730,9 +918,9 @@ func (m *Machine) Step() error {
 // cache, TLB, TFT, CPU, or energy state is touched; context switches
 // and fault injection are deferred to the measured phase. All cadences
 // key on the global reference index i, so a WarmupRefs=0 run is
-// bit-identical to the unphased simulator.
-func (m *Machine) stepWarmup(i int) error {
-	rec := m.gen.Next(m.schedule[i%len(m.schedule)])
+// bit-identical to the unphased simulator. rec is reference i's record,
+// drawn by the caller (inline or batch-pregenerated).
+func (m *Machine) stepWarmup(i int, rec trace.Record) error {
 	if m.cfg.PromoteScanEvery > 0 && i > 0 && i%m.cfg.PromoteScanEvery == 0 {
 		m.mgr.PromoteScan(m.proc, 2)
 	}
@@ -746,28 +934,19 @@ func (m *Machine) stepWarmup(i int) error {
 
 // stepMeasured executes one fully modeled reference at global index i:
 // the data access, the instruction fetch, periodic OS activity, and
-// fault injection.
-func (m *Machine) stepMeasured(i int) error {
-	cfg := m.cfg
+// fault injection. rec (and iva/jumped when the I-cache is modeled) are
+// reference i's pre-drawn records; generation never depends on
+// execution state, so drawing them early — or in parallel per thread —
+// is observationally identical.
+func (m *Machine) stepMeasured(i int, rec trace.Record, iva addr.VAddr, jumped bool) error {
 	m.curRef = uint64(i)
-	var rec trace.Record
-	if cfg.Trace != nil {
-		rec = cfg.Trace[i-cfg.WarmupRefs]
-		if int(rec.TID) >= m.nCores {
-			return fmt.Errorf("sim: trace record %d names thread %d but the system has %d cores",
-				i, rec.TID, m.nCores)
-		}
-	} else {
-		rec = m.gen.Next(m.schedule[i%len(m.schedule)])
-	}
 	tid := int(rec.TID)
 	h := m.hiers[tid]
 	if err := m.dataAccess(tid, rec, mainASID, true); err != nil {
 		return err
 	}
 	// Instruction fetch for this block of (gap+1) instructions.
-	if cfg.ICache {
-		iva, jumped := m.gen.NextCode(tid, int(rec.Gap)+1)
+	if m.cfg.ICache {
 		itr := h.Translate(iva, 1)
 		if itr.Source == tlb.SourceFault {
 			return fmt.Errorf("sim: I-fetch fault at %#x", uint64(iva))
@@ -775,7 +954,8 @@ func (m *Machine) stepMeasured(i int) error {
 		if itr.Source != tlb.SourceL1 {
 			m.l2Lookups++
 		}
-		iar := m.l1is[tid].Access(iva, itr.PA, itr.Size, false)
+		var iar core.AccessResult
+		m.fastI.access(&iar, tid, iva, itr.PA, itr.Size, false)
 		m.acct.AddL1CPUSide(iar.EnergyNJ)
 		m.sampleAccess(m.nCores+tid, iva, iar)
 		if m.Hooks.Checker != nil {
@@ -788,7 +968,7 @@ func (m *Machine) stepMeasured(i int) error {
 		}
 		if !iar.Hit {
 			imr := m.cohSys.Miss(m.nCores+tid, itr.PA, false)
-			ifill := m.l1is[tid].Fill(itr.PA, itr.Size, false, imr.Shared)
+			ifill := m.fastI.fill(tid, itr.PA, itr.Size, false, imr.Shared)
 			m.acct.AddL1CPUSide(ifill.EnergyNJ)
 			if ifill.Victim.Valid {
 				m.cohSys.Evicted(m.nCores+tid, ifill.VictimPA, ifill.Writeback)
@@ -796,27 +976,27 @@ func (m *Machine) stepMeasured(i int) error {
 			// Front-end miss stall: the fetch buffer hides part of
 			// it on the OoO core.
 			stall := iar.Cycles + itr.ExtraCycles + imr.Cycles
-			if cfg.CPUKind == "ooo" {
+			if m.cfg.CPUKind == "ooo" {
 				stall = (stall + 1) / 2
 			}
-			m.cpus[tid].Stall(stall)
+			m.stall(tid, stall)
 		} else if jumped {
 			// Fetch-redirect bubble: a taken branch waits one L1I
 			// hit latency for the new fetch group — where SEESAW-I's
 			// fast path pays off.
-			m.cpus[tid].Stall(iar.Cycles + itr.ExtraCycles)
+			m.stall(tid, iar.Cycles+itr.ExtraCycles)
 		}
 	}
 	// OS background activity.
-	if cfg.ContextSwitchEvery > 0 && i > 0 && i%cfg.ContextSwitchEvery == 0 {
+	if m.cfg.ContextSwitchEvery > 0 && i > 0 && i%m.cfg.ContextSwitchEvery == 0 {
 		if err := m.contextSwitch(); err != nil {
 			return err
 		}
 	}
-	if cfg.PromoteScanEvery > 0 && i > 0 && i%cfg.PromoteScanEvery == 0 {
+	if m.cfg.PromoteScanEvery > 0 && i > 0 && i%m.cfg.PromoteScanEvery == 0 {
 		m.mgr.PromoteScan(m.proc, 2)
 	}
-	if cfg.SplinterEvery > 0 && i > 0 && i%cfg.SplinterEvery == 0 {
+	if m.cfg.SplinterEvery > 0 && i > 0 && i%m.cfg.SplinterEvery == 0 {
 		// Splinter the superpage under the most recent heap access,
 		// if any — exercising Section IV-C2 in-flight.
 		if m.proc.ChunkIsSuper(rec.VA) {
@@ -841,20 +1021,233 @@ func (m *Machine) stepMeasured(i int) error {
 	return nil
 }
 
-// Warmup runs the OS-only warmup phase to its boundary. It is a no-op
-// when WarmupRefs is zero or the phase already ran.
-func (m *Machine) Warmup(ctx context.Context) error {
-	for m.globalRef < m.cfg.WarmupRefs {
-		if m.globalRef&cancelCheckMask == 0 {
+// epochBuf holds one epoch's pre-generated records: reference
+// [start+off, start+len(recs)) are still unconsumed. ivas/jumps carry
+// the I-side fetch stream when icache was set at generation time.
+type epochBuf struct {
+	start  int
+	off    int
+	recs   []trace.Record
+	ivas   []addr.VAddr
+	jumps  []bool
+	icache bool
+}
+
+func (e *epochBuf) empty() bool { return e.off >= len(e.recs) }
+
+// clone deep-copies the buffer's unconsumed suffix. Pending records
+// must travel with a machine clone: the generator has already advanced
+// past them, so dropping them would desync the clone's reference
+// stream.
+func (e *epochBuf) clone() epochBuf {
+	if e.empty() {
+		return epochBuf{}
+	}
+	return epochBuf{
+		start:  e.start + e.off,
+		recs:   append([]trace.Record(nil), e.recs[e.off:]...),
+		ivas:   append([]addr.VAddr(nil), e.ivas[e.off:]...),
+		jumps:  append([]bool(nil), e.jumps[e.off:]...),
+		icache: e.icache,
+	}
+}
+
+// batchState is the double-buffered epoch pipeline: cur holds the
+// records currently being executed, next is (optionally) being filled
+// by generator goroutines while execution proceeds — generation never
+// reads execution state, so the lookahead is free parallelism. The
+// buffers are reused across epochs; clone copies any unconsumed
+// records (the generator has already advanced past them).
+type batchState struct {
+	cur      epochBuf
+	next     epochBuf
+	inflight bool // generator goroutines are filling next
+	wg       sync.WaitGroup
+}
+
+// settle waits for any in-flight lookahead generation and, when the
+// current buffer is drained, adopts the lookahead epoch as current.
+// Callers that clone the generator or read batch state must settle
+// first. Both buffers may legitimately hold records — a batch that
+// stopped mid-epoch leaves cur partially consumed with next already
+// generated — but then next must be the epoch immediately after cur.
+func (m *Machine) settle() {
+	b := &m.batch
+	if b.inflight {
+		b.wg.Wait()
+		b.inflight = false
+	}
+	if b.next.empty() {
+		return
+	}
+	if b.cur.empty() {
+		b.cur, b.next = b.next, b.cur
+	} else if b.next.start != b.cur.start+len(b.cur.recs) {
+		panic("machine: epoch pipeline out of order")
+	}
+}
+
+// pregen fills buf with references [start, start+n), one goroutine per
+// workload thread. Generator state is fully per-thread (each tid owns
+// its RNG, cursors, and last-VA), and each position of the epoch
+// belongs to exactly one tid, so the workers touch disjoint state and
+// disjoint buffer slots — the result is byte-identical to serial
+// generation in schedule order, at any GOMAXPROCS. With background set
+// the call returns immediately and settle() joins the workers.
+func (m *Machine) pregen(buf *epochBuf, start, n int, icache, background bool) {
+	if cap(buf.recs) < n {
+		buf.recs = make([]trace.Record, n)
+		buf.ivas = make([]addr.VAddr, n)
+		buf.jumps = make([]bool, n)
+	}
+	buf.recs, buf.ivas, buf.jumps = buf.recs[:n], buf.ivas[:n], buf.jumps[:n]
+	buf.start, buf.off, buf.icache = start, 0, icache
+	nt := m.gen.Threads() + 1 // app threads + the system thread
+	for t := 0; t < nt; t++ {
+		m.batch.wg.Add(1)
+		go m.genWorker(buf, t, start, icache)
+	}
+	if background {
+		m.batch.inflight = true
+		return
+	}
+	m.batch.wg.Wait()
+}
+
+// genWorker pre-generates, in program order, every reference of thread
+// tid inside buf's epoch.
+func (m *Machine) genWorker(buf *epochBuf, tid, g0 int, icache bool) {
+	defer m.batch.wg.Done()
+	s := m.schedule
+	pos := g0 % len(s)
+	for j := range buf.recs {
+		st := s[pos]
+		if pos++; pos == len(s) {
+			pos = 0
+		}
+		if st != tid {
+			continue
+		}
+		rec := m.gen.Next(tid)
+		buf.recs[j] = rec
+		if icache {
+			buf.ivas[j], buf.jumps[j] = m.gen.NextCode(tid, int(rec.Gap)+1)
+		}
+	}
+}
+
+// epochLen returns the batch length starting at ref g for the phase
+// [base, end): up to the next cancellation-poll boundary or the phase
+// end, whichever is nearer. Phase boundaries also clamp the warmup
+// edge, so an epoch never spans warmup and measured generation.
+func (m *Machine) epochLen(g, base, end int) int {
+	n := cancelCheckMask + 1 - ((g - base) & cancelCheckMask)
+	if rem := end - g; n > rem {
+		n = rem
+	}
+	if w := m.cfg.WarmupRefs; g < w && g+n > w {
+		n = w - g
+	}
+	return n
+}
+
+// stepBatch advances the machine n references as one epoch: the
+// per-thread slices of the epoch are generated in parallel behind a
+// barrier (usually one epoch ahead, overlapped with execution of the
+// previous epoch), then executed serially in schedule order —
+// coherence couples the cores (LLC recency, directory state, snoops,
+// back-invalidations land on every miss), so execution order is the
+// serialization point that keeps reports byte-identical. end bounds
+// the phase for lookahead generation.
+func (m *Machine) stepBatch(n, base, end int) error {
+	// Never span the warmup boundary: the phases generate differently.
+	if w := m.cfg.WarmupRefs; m.globalRef < w && m.globalRef+n > w {
+		n = w - m.globalRef
+	}
+	measured := m.globalRef >= m.cfg.WarmupRefs
+	if measured && m.cfg.Trace != nil {
+		// Trace replay: records are already materialized; nothing to
+		// pre-generate (NextCode draws must stay in step order).
+		for k := 0; k < n; k++ {
+			if err := m.Step(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	b := &m.batch
+	for n > 0 {
+		if b.cur.empty() {
+			m.settle()
+			if b.cur.empty() {
+				ic := measured && m.cfg.ICache
+				m.pregen(&b.cur, m.globalRef, m.epochLen(m.globalRef, base, end), ic, false)
+			}
+		}
+		if b.cur.start+b.cur.off != m.globalRef {
+			// Pending records no longer line up with the cursor: the
+			// generator advanced past references that were never
+			// executed, which no supported call sequence produces.
+			panic("machine: pre-generated records out of sync with reference cursor")
+		}
+		// Kick the next epoch's generation before executing this one
+		// (not worth a goroutine handoff for single-Step calls).
+		if nstart := b.cur.start + len(b.cur.recs); n > 1 && nstart < end && !b.inflight && b.next.empty() {
+			ic := nstart >= m.cfg.WarmupRefs && m.cfg.ICache && m.cfg.Trace == nil
+			m.pregen(&b.next, nstart, m.epochLen(nstart, base, end), ic, true)
+		}
+		k := len(b.cur.recs) - b.cur.off
+		if k > n {
+			k = n
+		}
+		for ; k > 0; k-- {
+			i := m.globalRef
+			off := b.cur.off
+			var err error
+			if i < m.cfg.WarmupRefs {
+				err = m.stepWarmup(i, b.cur.recs[off])
+			} else {
+				err = m.stepMeasured(i, b.cur.recs[off], b.cur.ivas[off], b.cur.jumps[off])
+			}
+			if err != nil {
+				return err
+			}
+			b.cur.off++
+			m.globalRef++
+			n--
+		}
+	}
+	return nil
+}
+
+// run is the single phase-aware reference loop behind Warmup and
+// Measure: it advances the machine to end in epoch batches, polling ctx
+// exactly when (globalRef-base)&cancelCheckMask == 0 — the same 4096-
+// reference cadence the per-step loops used, now computed once per
+// epoch instead of once per reference.
+func (m *Machine) run(ctx context.Context, base, end int) error {
+	for m.globalRef < end {
+		if (m.globalRef-base)&cancelCheckMask == 0 {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
 		}
-		if err := m.Step(); err != nil {
+		// Batch to the next poll boundary (or the phase end).
+		n := cancelCheckMask + 1 - ((m.globalRef - base) & cancelCheckMask)
+		if rem := end - m.globalRef; n > rem {
+			n = rem
+		}
+		if err := m.stepBatch(n, base, end); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// Warmup runs the OS-only warmup phase to its boundary. It is a no-op
+// when WarmupRefs is zero or the phase already ran.
+func (m *Machine) Warmup(ctx context.Context) error {
+	return m.run(ctx, 0, m.cfg.WarmupRefs)
 }
 
 // Measure runs the measured phase: cfg.Refs fully modeled references
@@ -863,16 +1256,5 @@ func (m *Machine) Warmup(ctx context.Context) error {
 // runner's per-cell timeout and the service's per-job cancellation
 // reclaim a stuck or abandoned cell.
 func (m *Machine) Measure(ctx context.Context) error {
-	end := m.cfg.WarmupRefs + m.cfg.Refs
-	for m.globalRef < end {
-		if (m.globalRef-m.cfg.WarmupRefs)&cancelCheckMask == 0 {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-		}
-		if err := m.Step(); err != nil {
-			return err
-		}
-	}
-	return nil
+	return m.run(ctx, m.cfg.WarmupRefs, m.cfg.WarmupRefs+m.cfg.Refs)
 }

@@ -7,13 +7,11 @@ package tft
 func (t *TFT) Clone() *TFT {
 	c := &TFT{
 		cfg:        t.cfg,
-		sets:       make([][]uint64, t.nsets),
+		tags:       append([]uint64(nil), t.tags...),
+		slen:       append([]int32(nil), t.slen...),
 		nsets:      t.nsets,
 		Stats:      t.Stats,
 		invalOrder: append([]uint64(nil), t.invalOrder...),
-	}
-	for i, s := range t.sets {
-		c.sets[i] = append([]uint64(nil), s...)
 	}
 	if t.invalidated != nil {
 		c.invalidated = make(map[uint64]struct{}, len(t.invalidated))

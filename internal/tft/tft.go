@@ -47,9 +47,12 @@ type Stats struct {
 
 // TFT is the filter table. Entries store the 2MB-region tag (VA bits
 // 63:21); presence of a tag means "this region is superpage-backed".
+// Storage is flat: set s occupies [s*assoc, s*assoc+slen[s]) of tags,
+// MRU-first, so lookups and fills never allocate.
 type TFT struct {
 	cfg   Config
-	sets  [][]uint64 // region tags, MRU-first within a set
+	tags  []uint64 // region tags, MRU-first within each set window
+	slen  []int32  // live entries per set
 	nsets int
 	Stats Stats
 
@@ -86,7 +89,9 @@ func New(cfg Config) *TFT {
 		nsets = 1
 	}
 	return &TFT{
-		cfg: cfg, nsets: nsets, sets: make([][]uint64, nsets),
+		cfg: cfg, nsets: nsets,
+		tags:        make([]uint64, nsets*cfg.Assoc),
+		slen:        make([]int32, nsets),
 		invalidated: make(map[uint64]struct{}),
 	}
 }
@@ -108,7 +113,8 @@ func (t *TFT) setFor(region uint64) int { return int(region % uint64(t.nsets)) }
 func (t *TFT) Lookup(va addr.VAddr) bool {
 	t.Stats.Lookups++
 	region := va.Region2M()
-	set := t.sets[t.setFor(region)]
+	si := t.setFor(region)
+	set := t.tags[si*t.cfg.Assoc : si*t.cfg.Assoc+int(t.slen[si])]
 	for i, tag := range set {
 		if tag == region {
 			copy(set[1:i+1], set[:i])
@@ -139,7 +145,9 @@ func (t *TFT) Fill(va addr.VAddr) {
 	// later misses on it are ordinary, not avoided stale hits.
 	t.forgetInvalidated(region)
 	si := t.setFor(region)
-	set := t.sets[si]
+	base := si * t.cfg.Assoc
+	n := int(t.slen[si])
+	set := t.tags[base : base+n]
 	for i, tag := range set {
 		if tag == region {
 			copy(set[1:i+1], set[:i])
@@ -150,10 +158,12 @@ func (t *TFT) Fill(va addr.VAddr) {
 	// Only a genuine insertion is a state change worth an event record;
 	// re-fills of a resident region would flood the bounded ring.
 	t.Metrics.Emit(t.MetricsCore, metrics.EvTFTFill, region<<21, 0, 0)
-	if len(set) >= t.cfg.Assoc {
-		set = set[:t.cfg.Assoc-1]
+	if n >= t.cfg.Assoc {
+		n = t.cfg.Assoc - 1 // displace the LRU occupant
 	}
-	t.sets[si] = append([]uint64{region}, set...)
+	copy(t.tags[base+1:base+n+1], t.tags[base:base+n])
+	t.tags[base] = region
+	t.slen[si] = int32(n + 1)
 }
 
 // Invalidate drops va's region if present, returning whether an entry was
@@ -162,9 +172,12 @@ func (t *TFT) Fill(va addr.VAddr) {
 func (t *TFT) Invalidate(va addr.VAddr) bool {
 	region := va.Region2M()
 	si := t.setFor(region)
-	for i, tag := range t.sets[si] {
-		if tag == region {
-			t.sets[si] = append(t.sets[si][:i], t.sets[si][i+1:]...)
+	base := si * t.cfg.Assoc
+	n := int(t.slen[si])
+	for i := 0; i < n; i++ {
+		if t.tags[base+i] == region {
+			copy(t.tags[base+i:base+n-1], t.tags[base+i+1:base+n])
+			t.slen[si] = int32(n - 1)
 			t.Stats.Invalidations++
 			t.Metrics.Add(t.MetricsCore, metrics.CtrTFTInvalidate, 1)
 			t.Metrics.Emit(t.MetricsCore, metrics.EvTFTInvalidate, region<<21, 0, 0)
@@ -206,8 +219,8 @@ func (t *TFT) forgetInvalidated(region uint64) {
 // Flush empties the TFT; called on context switches since entries are not
 // ASID-tagged.
 func (t *TFT) Flush() {
-	for i := range t.sets {
-		t.sets[i] = nil
+	for i := range t.slen {
+		t.slen[i] = 0
 	}
 	// A flush resets the stale-hit bookkeeping too: post-flush misses
 	// are context-switch misses, not avoided stale hits.
@@ -222,8 +235,10 @@ func (t *TFT) Flush() {
 // recency or statistics — the invariant checker's non-perturbing probe.
 func (t *TFT) Contains(va addr.VAddr) bool {
 	region := va.Region2M()
-	for _, tag := range t.sets[t.setFor(region)] {
-		if tag == region {
+	si := t.setFor(region)
+	base := si * t.cfg.Assoc
+	for i := 0; i < int(t.slen[si]); i++ {
+		if t.tags[base+i] == region {
 			return true
 		}
 	}
@@ -233,8 +248,8 @@ func (t *TFT) Contains(va addr.VAddr) bool {
 // ValidCount returns the number of live entries.
 func (t *TFT) ValidCount() int {
 	n := 0
-	for _, s := range t.sets {
-		n += len(s)
+	for _, l := range t.slen {
+		n += int(l)
 	}
 	return n
 }

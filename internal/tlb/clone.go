@@ -1,15 +1,22 @@
 package tlb
 
-import "seesaw/internal/pagetable"
+import (
+	"seesaw/internal/addr"
+	"seesaw/internal/pagetable"
+)
 
 // Clone returns an independent deep copy of the TLB: same entries, same
-// per-set MRU order, same statistics.
+// per-set MRU order, same statistics, in the same flat layout.
 func (t *TLB) Clone() *TLB {
-	c := &TLB{cfg: t.cfg, nsets: t.nsets, Stats: t.Stats, sets: make([][]Entry, t.nsets)}
-	for i, s := range t.sets {
-		c.sets[i] = append([]Entry(nil), s...)
+	return &TLB{
+		cfg: t.cfg, nsets: t.nsets, setMask: t.setMask,
+		vpns:  append([]uint64(nil), t.vpns...),
+		ppns:  append([]uint64(nil), t.ppns...),
+		sizes: append([]addr.PageSize(nil), t.sizes...),
+		asids: append([]uint16(nil), t.asids...),
+		slen:  append([]int32(nil), t.slen...),
+		Stats: t.Stats,
 	}
-	return c
 }
 
 // Clone returns an independent deep copy of the hierarchy walking the

@@ -24,21 +24,14 @@ func regionSpan(base addr.VAddr, s addr.PageSize) (lo, n uint64) {
 // longer rescans the 4KB sets hundreds of times.
 func (t *TLB) InvalidateRegion(base addr.VAddr, asid uint16) int {
 	dropped := 0
-	for si := range t.sets {
-		kept := t.sets[si][:0]
-		for _, e := range t.sets[si] {
-			drop := false
-			if e.ASID == asid {
-				lo, n := regionSpan(base, e.Size)
-				drop = e.VPN >= lo && e.VPN < lo+n
+	for si := 0; si < t.nsets; si++ {
+		dropped += t.compactSet(si, func(i int) bool {
+			if t.asids[i] != asid {
+				return false
 			}
-			if drop {
-				dropped++
-				continue
-			}
-			kept = append(kept, e)
-		}
-		t.sets[si] = kept
+			lo, n := regionSpan(base, t.sizes[i])
+			return t.vpns[i] >= lo && t.vpns[i] < lo+n
+		})
 	}
 	t.Stats.Invalidations += uint64(dropped)
 	return dropped

@@ -46,6 +46,23 @@ func fillPair(t *testing.T, a, b *Hierarchy, base addr.VAddr, seed int64) {
 	}
 }
 
+// liveContents reconstructs the live entries of every set in MRU order,
+// ignoring stale storage beyond each set's length (which may differ
+// between equivalent invalidation paths).
+func liveContents(t *TLB) [][]Entry {
+	out := make([][]Entry, t.nsets)
+	for si := 0; si < t.nsets; si++ {
+		base := si * t.cfg.Assoc
+		for i := 0; i < int(t.slen[si]); i++ {
+			out[si] = append(out[si], Entry{
+				VPN: t.vpns[base+i], PPN: t.ppns[base+i],
+				Size: t.sizes[base+i], ASID: t.asids[base+i],
+			})
+		}
+	}
+	return out
+}
+
 // invalidatePerPage is the old shootdown loop: one invlpg probe per 4KB
 // page of the 2MB region, through every level.
 func invalidatePerPage(h *Hierarchy, base addr.VAddr, asid uint16) int {
@@ -75,17 +92,13 @@ func TestInvalidateRegionEquivalence(t *testing.T) {
 		tlbsA := append(append([]*TLB(nil), a.l1...), a.l2)
 		tlbsB := append(append([]*TLB(nil), b.l1...), b.l2)
 		for i := range tlbsA {
-			if !reflect.DeepEqual(tlbsA[i].sets, tlbsB[i].sets) {
+			if !reflect.DeepEqual(liveContents(tlbsA[i]), liveContents(tlbsB[i])) {
 				t.Fatalf("seed %d: %s contents diverge after region invalidate", seed, tlbsA[i].cfg.Name)
 			}
 			if tlbsA[i].Stats.Invalidations != tlbsB[i].Stats.Invalidations {
 				t.Fatalf("seed %d: %s Invalidations: per-page %d, region %d", seed,
 					tlbsA[i].cfg.Name, tlbsA[i].Stats.Invalidations, tlbsB[i].Stats.Invalidations)
 			}
-		}
-		// The other ASID's entries in the region must survive both ways.
-		if !reflect.DeepEqual(tlbsA, tlbsB) {
-			t.Fatalf("seed %d: hierarchies diverge", seed)
 		}
 	}
 }

@@ -41,11 +41,22 @@ type Stats struct {
 }
 
 // TLB is a set-associative (or fully associative) translation cache with
-// true-LRU replacement within each set.
+// true-LRU replacement within each set. Storage is flat: set s occupies
+// [s*assoc, s*assoc+slen[s]) of the parallel entry arrays, kept in MRU-
+// to-LRU order, so lookups scan a few contiguous words and fills rotate
+// in place instead of allocating.
 type TLB struct {
-	cfg   Config
-	sets  [][]Entry // each set ordered most- to least-recently used
-	nsets int
+	cfg     Config
+	nsets   int
+	setMask uint64 // nsets-1; nsets is a power of two
+
+	// Parallel flat entry arrays (struct-of-arrays), MRU-first per set.
+	vpns  []uint64
+	ppns  []uint64
+	sizes []addr.PageSize
+	asids []uint16
+	slen  []int32 // live entries per set
+
 	Stats Stats
 }
 
@@ -70,8 +81,15 @@ func New(cfg Config) (*TLB, error) {
 		return nil, fmt.Errorf("tlb %q: %d sets not a power of two", cfg.Name, nsets)
 	}
 	cfg.Assoc = assoc
-	t := &TLB{cfg: cfg, nsets: nsets, sets: make([][]Entry, nsets)}
-	return t, nil
+	n := nsets * assoc
+	return &TLB{
+		cfg: cfg, nsets: nsets, setMask: uint64(nsets - 1),
+		vpns:  make([]uint64, n),
+		ppns:  make([]uint64, n),
+		sizes: make([]addr.PageSize, n),
+		asids: make([]uint16, n),
+		slen:  make([]int32, nsets),
+	}, nil
 }
 
 // MustNew is New that panics on error.
@@ -95,7 +113,21 @@ func (t *TLB) holds(s addr.PageSize) bool {
 	return false
 }
 
-func (t *TLB) setIndex(vpn uint64) int { return int(vpn % uint64(t.nsets)) }
+func (t *TLB) setIndex(vpn uint64) int { return int(vpn & t.setMask) }
+
+// moveToFront rotates the entry at base+i to the front of its set,
+// shifting [base, base+i) down by one — the in-place MRU promotion.
+func (t *TLB) moveToFront(base, i int) {
+	if i == 0 {
+		return
+	}
+	vpn, ppn, size, asid := t.vpns[base+i], t.ppns[base+i], t.sizes[base+i], t.asids[base+i]
+	copy(t.vpns[base+1:base+i+1], t.vpns[base:base+i])
+	copy(t.ppns[base+1:base+i+1], t.ppns[base:base+i])
+	copy(t.sizes[base+1:base+i+1], t.sizes[base:base+i])
+	copy(t.asids[base+1:base+i+1], t.asids[base:base+i])
+	t.vpns[base], t.ppns[base], t.sizes[base], t.asids[base] = vpn, ppn, size, asid
+}
 
 // Lookup searches for a translation of va for asid. For multi-size TLBs
 // every held page size is tried. On a hit the entry is promoted to MRU.
@@ -103,12 +135,12 @@ func (t *TLB) Lookup(va addr.VAddr, asid uint16) (Entry, bool) {
 	t.Stats.Lookups++
 	for _, s := range t.cfg.Sizes {
 		vpn := va.VPN(s)
-		set := t.setIndex(vpn)
-		for i, e := range t.sets[set] {
-			if e.VPN == vpn && e.Size == s && e.ASID == asid {
-				// Move to front (MRU).
-				copy(t.sets[set][1:i+1], t.sets[set][:i])
-				t.sets[set][0] = e
+		base := t.setIndex(vpn) * t.cfg.Assoc
+		n := int(t.slen[t.setIndex(vpn)])
+		for i := 0; i < n; i++ {
+			if t.vpns[base+i] == vpn && t.sizes[base+i] == s && t.asids[base+i] == asid {
+				e := Entry{VPN: vpn, PPN: t.ppns[base+i], Size: s, ASID: asid}
+				t.moveToFront(base, i)
 				t.Stats.Hits++
 				return e, true
 			}
@@ -126,19 +158,27 @@ func (t *TLB) Fill(e Entry) error {
 	}
 	t.Stats.Fills++
 	set := t.setIndex(e.VPN)
+	base := set * t.cfg.Assoc
+	n := int(t.slen[set])
 	// Replace an existing entry for the same page in place.
-	for i, old := range t.sets[set] {
-		if old.VPN == e.VPN && old.Size == e.Size && old.ASID == e.ASID {
-			copy(t.sets[set][1:i+1], t.sets[set][:i])
-			t.sets[set][0] = e
+	for i := 0; i < n; i++ {
+		if t.vpns[base+i] == e.VPN && t.sizes[base+i] == e.Size && t.asids[base+i] == e.ASID {
+			t.moveToFront(base, i)
+			t.ppns[base] = e.PPN
 			return nil
 		}
 	}
-	if len(t.sets[set]) >= t.cfg.Assoc {
-		t.sets[set] = t.sets[set][:t.cfg.Assoc-1] // drop LRU
+	if n >= t.cfg.Assoc {
+		n = t.cfg.Assoc - 1 // drop LRU
 		t.Stats.Evictions++
 	}
-	t.sets[set] = append([]Entry{e}, t.sets[set]...)
+	// Shift the survivors down one slot and install at the MRU front.
+	copy(t.vpns[base+1:base+n+1], t.vpns[base:base+n])
+	copy(t.ppns[base+1:base+n+1], t.ppns[base:base+n])
+	copy(t.sizes[base+1:base+n+1], t.sizes[base:base+n])
+	copy(t.asids[base+1:base+n+1], t.asids[base:base+n])
+	t.vpns[base], t.ppns[base], t.sizes[base], t.asids[base] = e.VPN, e.PPN, e.Size, e.ASID
+	t.slen[set] = int32(n + 1)
 	return nil
 }
 
@@ -148,13 +188,35 @@ func (t *TLB) Fill(e Entry) error {
 func (t *TLB) Contains(va addr.VAddr, asid uint16) bool {
 	for _, s := range t.cfg.Sizes {
 		vpn := va.VPN(s)
-		for _, e := range t.sets[t.setIndex(vpn)] {
-			if e.VPN == vpn && e.Size == s && e.ASID == asid {
+		set := t.setIndex(vpn)
+		base := set * t.cfg.Assoc
+		for i := 0; i < int(t.slen[set]); i++ {
+			if t.vpns[base+i] == vpn && t.sizes[base+i] == s && t.asids[base+i] == asid {
 				return true
 			}
 		}
 	}
 	return false
+}
+
+// compactSet removes every entry of a set for which drop returns true,
+// preserving MRU order, and returns how many were removed.
+func (t *TLB) compactSet(set int, drop func(i int) bool) int {
+	base := set * t.cfg.Assoc
+	n := int(t.slen[set])
+	w := 0
+	for i := 0; i < n; i++ {
+		if drop(base + i) {
+			continue
+		}
+		if w != i {
+			t.vpns[base+w], t.ppns[base+w] = t.vpns[base+i], t.ppns[base+i]
+			t.sizes[base+w], t.asids[base+w] = t.sizes[base+i], t.asids[base+i]
+		}
+		w++
+	}
+	t.slen[set] = int32(w)
+	return n - w
 }
 
 // Invalidate removes any entry translating va for asid (all held sizes),
@@ -165,15 +227,9 @@ func (t *TLB) Invalidate(va addr.VAddr, asid uint16) int {
 	for _, s := range t.cfg.Sizes {
 		vpn := va.VPN(s)
 		set := t.setIndex(vpn)
-		kept := t.sets[set][:0]
-		for _, e := range t.sets[set] {
-			if e.VPN == vpn && e.Size == s && e.ASID == asid {
-				dropped++
-				continue
-			}
-			kept = append(kept, e)
-		}
-		t.sets[set] = kept
+		dropped += t.compactSet(set, func(i int) bool {
+			return t.vpns[i] == vpn && t.sizes[i] == s && t.asids[i] == asid
+		})
 	}
 	t.Stats.Invalidations += uint64(dropped)
 	return dropped
@@ -182,16 +238,8 @@ func (t *TLB) Invalidate(va addr.VAddr, asid uint16) int {
 // FlushASID drops every entry belonging to asid.
 func (t *TLB) FlushASID(asid uint16) int {
 	dropped := 0
-	for si := range t.sets {
-		kept := t.sets[si][:0]
-		for _, e := range t.sets[si] {
-			if e.ASID == asid {
-				dropped++
-				continue
-			}
-			kept = append(kept, e)
-		}
-		t.sets[si] = kept
+	for si := 0; si < t.nsets; si++ {
+		dropped += t.compactSet(si, func(i int) bool { return t.asids[i] == asid })
 	}
 	t.Stats.Invalidations += uint64(dropped)
 	return dropped
@@ -202,8 +250,8 @@ func (t *TLB) FlushASID(asid uint16) int {
 // superpage L1 TLB.
 func (t *TLB) ValidCount() int {
 	n := 0
-	for _, s := range t.sets {
-		n += len(s)
+	for _, l := range t.slen {
+		n += int(l)
 	}
 	return n
 }

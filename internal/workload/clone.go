@@ -1,8 +1,6 @@
 package workload
 
 import (
-	"math/rand"
-
 	"seesaw/internal/addr"
 	"seesaw/internal/xrand"
 )
@@ -19,7 +17,7 @@ func (g *Generator) Clone() *Generator {
 		smallBase: g.smallBase,
 		osBase:    g.osBase,
 		bound:     g.bound,
-		rngs:      make([]*rand.Rand, len(g.rngs)),
+		rngs:      make([]*xrand.Rand, len(g.rngs)),
 		srcs:      make([]*xrand.Source, len(g.srcs)),
 		seqCur:    append([]uint64(nil), g.seqCur...),
 		chaseAt:   append([]uint64(nil), g.chaseAt...),
@@ -30,7 +28,7 @@ func (g *Generator) Clone() *Generator {
 	}
 	for i, s := range g.srcs {
 		c.srcs[i] = s.Clone()
-		c.rngs[i] = rand.New(c.srcs[i])
+		c.rngs[i] = xrand.RandOver(c.srcs[i])
 	}
 	return c
 }

@@ -18,12 +18,10 @@ import (
 // carry the large instruction footprints the paper highlights; Spec-like
 // profiles run from compact hot loops.
 func (p Profile) codeParams() (codeBytes, hotBytes uint64) {
-	cloud := map[string]bool{}
 	for _, n := range CloudNames {
-		cloud[n] = true
-	}
-	if cloud[p.Name] {
-		return 24 << 20, 64 << 10
+		if p.Name == n {
+			return 24 << 20, 64 << 10
+		}
 	}
 	return 2 << 20, 20 << 10
 }

@@ -17,7 +17,6 @@ package workload
 
 import (
 	"fmt"
-	"math/rand"
 
 	"seesaw/internal/xrand"
 
@@ -135,7 +134,7 @@ type Generator struct {
 	heapBase, smallBase, osBase addr.VAddr
 	bound                       bool
 
-	rngs    []*rand.Rand    // one per thread + one for the system thread
+	rngs    []*xrand.Rand   // one per thread + one for the system thread
 	srcs    []*xrand.Source // counting sources under rngs, for Clone
 	seqCur  []uint64        // per-thread sequential cursor (offset in zone)
 	chaseAt []uint64        // per-thread pointer-chase position
@@ -151,13 +150,13 @@ type Generator struct {
 func NewGenerator(p Profile, seed int64) *Generator {
 	g := &Generator{p: p}
 	n := p.Threads + 1 // + system thread
-	g.rngs = make([]*rand.Rand, n)
+	g.rngs = make([]*xrand.Rand, n)
 	g.srcs = make([]*xrand.Source, n)
 	g.seqCur = make([]uint64, n)
 	g.chaseAt = make([]uint64, n)
 	g.lastVA = make([]addr.VAddr, n)
 	for i := range g.rngs {
-		g.rngs[i], g.srcs[i] = xrand.New(seed + int64(i)*7919)
+		g.rngs[i], g.srcs[i] = xrand.NewRand(seed + int64(i)*7919)
 	}
 	return g
 }
@@ -231,7 +230,7 @@ func (g *Generator) sharedZone() (addr.VAddr, uint64) {
 }
 
 // geometricGap draws a gap with the profile's mean, capped at 255.
-func geometricGap(r *rand.Rand, mean float64) uint8 {
+func geometricGap(r *xrand.Rand, mean float64) uint8 {
 	if mean <= 0 {
 		return 0
 	}

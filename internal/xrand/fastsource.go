@@ -1,0 +1,122 @@
+package xrand
+
+import (
+	"math/rand"
+	"unsafe"
+)
+
+// The hot loops of the simulator burn a meaningful fraction of their
+// cycles inside math/rand: every Float64 the workload generator draws
+// crosses two interface dispatches (rand.Rand -> Source, counting
+// Source -> wrapped Source) before reaching the stock generator, and
+// cloning a warm source replays its entire draw history. Both costs
+// disappear if we can touch the stock generator's state directly.
+//
+// math/rand's default source is a 607-word additive lagged-Fibonacci
+// generator (Mitchell & Reeds) whose state struct — {tap, feed int;
+// vec [607]int64} — has had the same layout since Go 1. We mirror that
+// layout and, when a runtime self-check proves the mirror faithful,
+// step the generator in-place without any dispatch and clone it by
+// copying the 607 words instead of replaying history. If the stdlib
+// ever changes the layout, the self-check fails and everything falls
+// back to the portable interface path; the value stream is identical
+// either way.
+
+const (
+	rngLen  = 607
+	rngMask = 1<<63 - 1
+)
+
+// rngState mirrors math/rand.rngSource's layout.
+type rngState struct {
+	tap  int
+	feed int
+	vec  [rngLen]int64
+}
+
+// stateOf returns the state of a stock *rand.rngSource held in src.
+// Only valid when mirrorOK: callers must check it first.
+func stateOf(src rand.Source64) *rngState {
+	type iface struct{ typ, data unsafe.Pointer }
+	return (*rngState)((*iface)(unsafe.Pointer(&src)).data)
+}
+
+// step advances the generator one draw: the stock source's Uint64.
+func (s *rngState) step() uint64 {
+	if s.tap--; s.tap < 0 {
+		s.tap += rngLen
+	}
+	if s.feed--; s.feed < 0 {
+		s.feed += rngLen
+	}
+	x := s.vec[s.feed] + s.vec[s.tap]
+	s.vec[s.feed] = x
+	return uint64(x)
+}
+
+// mirrorOK reports whether the in-place mirror reproduces the stock
+// generator exactly on this toolchain.
+var mirrorOK = func() bool {
+	ref := rand.NewSource(0x5ee5a).(rand.Source64)
+	mir := rand.NewSource(0x5ee5a).(rand.Source64)
+	st := stateOf(mir)
+	if st == nil || st.tap < 0 || st.tap >= rngLen || st.feed < 0 || st.feed >= rngLen {
+		return false
+	}
+	for i := 0; i < 64; i++ {
+		if st.step() != ref.Uint64() {
+			return false
+		}
+	}
+	return true
+}()
+
+// A Rand is a concrete replacement for *math/rand.Rand over a counting
+// Source: the same value stream for the methods it offers, without the
+// per-draw interface dispatch. Hot-path consumers (the workload
+// generators) hold a *Rand; everything else keeps using rand.New over
+// the Source, which stays byte-compatible.
+type Rand struct {
+	s *Source
+}
+
+// NewRand returns a Rand whose stream is identical to
+// rand.New(rand.NewSource(seed)), plus its counting source for cloning.
+func NewRand(seed int64) (*Rand, *Source) {
+	s := NewSource(seed)
+	return &Rand{s: s}, s
+}
+
+// RandOver returns a Rand drawing from an existing counting source.
+func RandOver(s *Source) *Rand { return &Rand{s: s} }
+
+// Int63 matches rand.Rand.Int63.
+func (r *Rand) Int63() int64 {
+	s := r.s
+	s.n++
+	if s.st != nil {
+		return int64(s.st.step() & rngMask)
+	}
+	return s.src.Int63()
+}
+
+// Uint64 matches rand.Rand.Uint64 over a Source64.
+func (r *Rand) Uint64() uint64 {
+	s := r.s
+	s.n++
+	if s.st != nil {
+		return s.st.step()
+	}
+	return s.src.Uint64()
+}
+
+// Float64 matches rand.Rand.Float64: Go 1's value stream, resampling
+// the (probability 2⁻⁵³) draws that would round up to 1.0.
+func (r *Rand) Float64() float64 {
+again:
+	f := float64(r.Int63()) / (1 << 63)
+	if f == 1 {
+		goto again
+	}
+	return f
+}

@@ -23,22 +23,34 @@ type Source struct {
 	seed int64
 	n    uint64
 	src  rand.Source64
+	st   *rngState // direct view of src's state when mirrorOK, else nil
 }
 
 // NewSource returns a counting source seeded like rand.NewSource(seed).
 func NewSource(seed int64) *Source {
-	return &Source{seed: seed, src: rand.NewSource(seed).(rand.Source64)}
+	src := rand.NewSource(seed).(rand.Source64)
+	s := &Source{seed: seed, src: src}
+	if mirrorOK {
+		s.st = stateOf(src)
+	}
+	return s
 }
 
 // Int63 implements rand.Source.
 func (s *Source) Int63() int64 {
 	s.n++
+	if s.st != nil {
+		return int64(s.st.step() & rngMask)
+	}
 	return s.src.Int63()
 }
 
 // Uint64 implements rand.Source64.
 func (s *Source) Uint64() uint64 {
 	s.n++
+	if s.st != nil {
+		return s.st.step()
+	}
 	return s.src.Uint64()
 }
 
@@ -52,14 +64,19 @@ func (s *Source) Seed(seed int64) {
 // Draws returns how many generator steps have been taken.
 func (s *Source) Draws() uint64 { return s.n }
 
-// Clone returns an independent source at the same generator position:
-// a fresh source with the original seed, fast-forwarded by the counted
-// number of steps. The clone and the original produce identical streams
-// from here on and never influence each other.
+// Clone returns an independent source at the same generator position.
+// With the state mirror available this copies the generator registers
+// directly (O(1)); otherwise it reseeds and replays the counted number
+// of steps. The clone and the original produce identical streams from
+// here on and never influence each other.
 func (s *Source) Clone() *Source {
 	c := NewSource(s.seed)
-	for i := uint64(0); i < s.n; i++ {
-		c.src.Uint64()
+	if s.st != nil && c.st != nil {
+		*c.st = *s.st
+	} else {
+		for i := uint64(0); i < s.n; i++ {
+			c.src.Uint64()
+		}
 	}
 	c.n = s.n
 	return c
