@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-baseline perfgate cover chaos service-smoke importgate warmup-smoke verify
+.PHONY: build vet test race bench bench-baseline perfgate cover chaos service-smoke cluster-smoke importgate warmup-smoke verify
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,13 @@ chaos:
 service-smoke:
 	$(GO) run ./tools/servicesmoke
 
+# The cluster gate boots a coordinator with three self-registering
+# workers, runs the same sweep locally and through the cluster while
+# SIGKILLing one worker mid-sweep, and requires byte-identical merged
+# tables plus a clean coordinator drain (tools/clustersmoke).
+cluster-smoke:
+	$(GO) run ./tools/clustersmoke
+
 # The import gate keeps cmd/ on the simulator's stable surfaces (sim,
 # machine, runner, service, ...) instead of reaching into subsystem
 # packages (tools/importgate).
@@ -60,4 +67,4 @@ importgate:
 warmup-smoke:
 	$(GO) run ./tools/warmupsmoke
 
-verify: build vet test race cover chaos service-smoke importgate warmup-smoke perfgate
+verify: build vet test race cover chaos service-smoke cluster-smoke importgate warmup-smoke perfgate

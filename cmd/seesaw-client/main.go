@@ -1,10 +1,11 @@
-// Command seesaw-client talks to a running seesaw-served instance: it
-// submits jobs, waits for and prints results, tails SSE progress
-// streams, and cancels jobs.
+// Command seesaw-client talks to a running seesaw-served daemon or a
+// seesaw-coord cluster coordinator — the API is identical: it submits
+// jobs, waits for and prints results, tails SSE progress streams, and
+// cancels jobs.
 //
 //	seesaw-client -addr localhost:8080 -workloads redis,mcf -refs 50000
 //	seesaw-client -addr localhost:8080 -job job.json -wait
-//	seesaw-client -addr localhost:8080 -stream j000001
+//	seesaw-client -addr localhost:9090 -stream j000001
 //	seesaw-client -addr localhost:8080 -status j000001
 //	seesaw-client -addr localhost:8080 -cancel j000001
 //
@@ -12,27 +13,30 @@
 // (workload, cache) pair. The submitted job id goes to stdout; with
 // -wait the client polls until the job finishes and prints a result
 // summary (exit 1 if any cell failed).
+//
+// The client is a polite tenant of a busy service: a 429 response is
+// absorbed by sleeping out the server's Retry-After hint and
+// resubmitting, and a progress stream severed mid-job reconnects with
+// Last-Event-ID, so every event is printed exactly once across
+// reconnects (see internal/cluster.Client).
 package main
 
 import (
-	"bufio"
-	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
-	"net/http"
 	"os"
-	"strings"
 	"time"
 
 	"seesaw/internal/cliutil"
+	"seesaw/internal/cluster"
 	"seesaw/internal/service"
 )
 
 func main() {
 	var (
-		addr = flag.String("addr", "localhost:8080", "seesaw-served address")
+		addr = flag.String("addr", "localhost:8080", "seesaw-served or seesaw-coord address")
 
 		jobFile = flag.String("job", "", "submit this JSON job `file` (a service.JobRequest) instead of building one from flags")
 		label   = flag.String("label", "", "label for the submitted job")
@@ -49,29 +53,48 @@ func main() {
 		status  = flag.String("status", "", "print the status of job `id`")
 		cancel  = flag.String("cancel", "", "cancel job `id`")
 		raw     = flag.Bool("json", false, "print raw JSON instead of a summary")
-		timeout = flag.Duration("timeout", 0, "overall wait budget (0 = unbounded)")
+		timeout = flag.Duration("timeout", 0, "overall budget for -wait/-stream (0 = unbounded)")
 	)
 	flag.Parse()
-	base := "http://" + strings.TrimPrefix(*addr, "http://")
+	if flag.NArg() > 0 {
+		fatal(fmt.Errorf("unexpected arguments %q — jobs are submitted with -job <file>, not positionally", flag.Args()))
+	}
+	cl := cluster.NewClient(*addr)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancelCtx context.CancelFunc
+		ctx, cancelCtx = context.WithTimeout(ctx, *timeout)
+		defer cancelCtx()
+	}
 
 	switch {
 	case *stream != "":
-		streamJob(base, *stream)
+		if err := cl.Stream(ctx, *stream, func(ev service.Event) { printEvent(*stream, ev) }); err != nil {
+			fatal(err)
+		}
 	case *status != "":
-		st := getStatus(base, *status)
+		st, err := cl.Status(ctx, *status, true)
+		if err != nil {
+			fatal(err)
+		}
 		printStatus(st, *raw)
 	case *cancel != "":
-		resp, body := call(http.MethodDelete, base+"/v1/jobs/"+*cancel, nil)
-		if resp.StatusCode != http.StatusOK {
-			fatal(fmt.Errorf("cancel: %s: %s", resp.Status, strings.TrimSpace(string(body))))
+		if _, err := cl.Cancel(ctx, *cancel); err != nil {
+			fatal(err)
 		}
 		fmt.Printf("canceled %s\n", *cancel)
 	default:
 		req := buildJob(*jobFile, *label, *wls, *caches, *sizeKB, *refs, *seed, *epochs, *check)
-		id := submit(base, req)
-		fmt.Println(id)
+		st, err := cl.Submit(ctx, req)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(st.ID)
 		if *wait {
-			st := waitJob(base, id, *timeout)
+			st, err = cl.Wait(ctx, st.ID, 250*time.Millisecond)
+			if err != nil {
+				fatal(err)
+			}
 			printStatus(st, *raw)
 			if st.Failed > 0 || st.State != service.StateDone {
 				os.Exit(1)
@@ -116,57 +139,6 @@ func buildJob(file, label, wls, caches string, sizeKB uint64, refs int, seed int
 	return req
 }
 
-// submit POSTs the job and returns its id.
-func submit(base string, req service.JobRequest) string {
-	body, err := json.Marshal(req)
-	if err != nil {
-		fatal(err)
-	}
-	resp, data := call(http.MethodPost, base+"/v1/jobs", body)
-	if resp.StatusCode != http.StatusAccepted {
-		if ra := resp.Header.Get("Retry-After"); ra != "" {
-			fatal(fmt.Errorf("submit: %s (Retry-After: %ss): %s", resp.Status, ra, strings.TrimSpace(string(data))))
-		}
-		fatal(fmt.Errorf("submit: %s: %s", resp.Status, strings.TrimSpace(string(data))))
-	}
-	var st service.JobStatus
-	if err := json.Unmarshal(data, &st); err != nil {
-		fatal(err)
-	}
-	return st.ID
-}
-
-// waitJob polls until the job reaches a terminal state.
-func waitJob(base, id string, budget time.Duration) service.JobStatus {
-	deadline := time.Time{}
-	if budget > 0 {
-		deadline = time.Now().Add(budget)
-	}
-	for {
-		st := getStatus(base, id)
-		switch st.State {
-		case service.StateDone, service.StateFailed, service.StateCanceled:
-			return st
-		}
-		if !deadline.IsZero() && time.Now().After(deadline) {
-			fatal(fmt.Errorf("job %s still %s after %s", id, st.State, budget))
-		}
-		time.Sleep(250 * time.Millisecond)
-	}
-}
-
-func getStatus(base, id string) service.JobStatus {
-	resp, data := call(http.MethodGet, base+"/v1/jobs/"+id, nil)
-	if resp.StatusCode != http.StatusOK {
-		fatal(fmt.Errorf("status: %s: %s", resp.Status, strings.TrimSpace(string(data))))
-	}
-	var st service.JobStatus
-	if err := json.Unmarshal(data, &st); err != nil {
-		fatal(err)
-	}
-	return st
-}
-
 // printStatus renders a job result summary, or the raw JSON with -json.
 func printStatus(st service.JobStatus, raw bool) {
 	if raw {
@@ -178,7 +150,8 @@ func printStatus(st service.JobStatus, raw bool) {
 	if st.Failed > 0 {
 		fmt.Printf(", %d failed", st.Failed)
 	}
-	fmt.Printf("; runs=%d store_hits=%d cache_hits=%d)\n", st.Pool.Runs, st.Pool.StoreHits, st.Pool.CacheHits)
+	fmt.Printf("; runs=%d store_hits=%d cache_hits=%d retries=%d)\n",
+		st.Pool.Runs, st.Pool.StoreHits, st.Pool.CacheHits, st.Pool.Retries)
 	for _, r := range st.Results {
 		switch {
 		case r.Report != nil:
@@ -195,74 +168,24 @@ func printStatus(st service.JobStatus, raw bool) {
 	}
 }
 
-// streamJob tails the job's SSE stream, printing one line per event
-// until the terminal "done" event.
-func streamJob(base, id string) {
-	resp, err := http.Get(base + "/v1/jobs/" + id + "/stream")
-	if err != nil {
-		fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		data, _ := io.ReadAll(resp.Body)
-		fatal(fmt.Errorf("stream: %s: %s", resp.Status, strings.TrimSpace(string(data))))
-	}
-	scanner := bufio.NewScanner(resp.Body)
-	for scanner.Scan() {
-		line := scanner.Text()
-		if !strings.HasPrefix(line, "data: ") {
-			continue
-		}
-		var ev service.Event
-		if err := json.Unmarshal([]byte(line[len("data: "):]), &ev); err != nil {
-			fatal(fmt.Errorf("bad event %q: %w", line, err))
-		}
-		switch ev.Type {
-		case "state":
-			fmt.Printf("%s: %s\n", id, ev.State)
-		case "cell":
-			if ev.OK {
-				fmt.Printf("%s: [%d/%d] %s ok", id, ev.Completed, ev.Cells, ev.Desc)
-				if ev.Epochs > 0 {
-					fmt.Printf(" (refs=%d epochs=%d l1=%d/%d)", ev.Refs, ev.Epochs, ev.L1Hits, ev.L1Hits+ev.L1Misses)
-				}
-				fmt.Println()
-			} else {
-				fmt.Printf("%s: [%d/%d] %s FAILED: %s\n", id, ev.Completed, ev.Cells, ev.Desc, ev.Error)
+// printEvent renders one SSE progress event.
+func printEvent(id string, ev service.Event) {
+	switch ev.Type {
+	case "state", "done":
+		fmt.Printf("%s: %s\n", id, ev.State)
+	case "requeue":
+		fmt.Printf("%s: requeued %s (%s)\n", id, ev.Desc, ev.Error)
+	case "cell":
+		if ev.OK {
+			fmt.Printf("%s: [%d/%d] %s ok", id, ev.Completed, ev.Cells, ev.Desc)
+			if ev.Epochs > 0 {
+				fmt.Printf(" (refs=%d epochs=%d l1=%d/%d)", ev.Refs, ev.Epochs, ev.L1Hits, ev.L1Hits+ev.L1Misses)
 			}
-		case "done":
-			fmt.Printf("%s: %s\n", id, ev.State)
-			return
+			fmt.Println()
+		} else {
+			fmt.Printf("%s: [%d/%d] %s FAILED: %s\n", id, ev.Completed, ev.Cells, ev.Desc, ev.Error)
 		}
 	}
-	if err := scanner.Err(); err != nil {
-		fatal(err)
-	}
-}
-
-// call performs one HTTP request and returns the response plus its body.
-func call(method, url string, body []byte) (*http.Response, []byte) {
-	var rd io.Reader
-	if body != nil {
-		rd = bytes.NewReader(body)
-	}
-	req, err := http.NewRequest(method, url, rd)
-	if err != nil {
-		fatal(err)
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		fatal(err)
-	}
-	data, err := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if err != nil {
-		fatal(err)
-	}
-	return resp, data
 }
 
 func fatal(err error) {

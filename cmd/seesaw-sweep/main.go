@@ -18,6 +18,14 @@
 //	seesaw-sweep -parallel 8 -cell-timeout 5m -retries 1
 //	seesaw-sweep -chaos -workloads redis,mcf -refs 6000 -fault-every 500
 //	seesaw-sweep -faults mix -check -refs 20000
+//	seesaw-sweep -cluster localhost:9090 -workloads redis,nutch
+//
+// With -cluster URL the cells run on a seesaw-coord fleet (or a single
+// seesaw-served daemon) instead of in-process; the emitted table is
+// byte-identical either way. Execution knobs that configure the local
+// pool (-parallel, -cell-timeout, -retries, -shared-warmup, -store,
+// -prom, -progress) belong to the workers and coordinator in that mode
+// and are rejected.
 package main
 
 import (
@@ -83,6 +91,10 @@ type sweepOptions struct {
 	// cells are persisted and reread on the next run, so an interrupted
 	// sweep resumes instead of recomputing.
 	store *store.Store
+	// clusterURL routes every cell to a seesaw-coord coordinator (or a
+	// single seesaw-served daemon) instead of simulating locally; see
+	// cluster.go.
+	clusterURL string
 }
 
 // newPool builds the hardened pool the sweep runs on.
@@ -111,7 +123,7 @@ type failure struct {
 // sub pairs a submitted future with its cell identity for failure
 // reporting.
 type sub struct {
-	fut  *runner.Future
+	fut  future
 	desc string
 }
 
@@ -160,6 +172,8 @@ func main() {
 		progress = flag.Bool("progress", false, "show a live per-cell progress line on stderr")
 		storeDir = flag.String("store", "",
 			"content-addressed result store `dir`: completed cells are persisted and reused, so a killed sweep resumes where it stopped")
+		clusterURL = flag.String("cluster", "",
+			"run every cell on the seesaw-coord cluster (or seesaw-served daemon) at `URL` instead of simulating locally")
 	)
 	prof = cliutil.RegisterProfiling(flag.CommandLine)
 	flag.Parse()
@@ -171,9 +185,32 @@ func main() {
 		refs: *refs, seed: *seed, parallel: *parallel,
 		warmup: *warmup, sharedWarmup: *sharedWarmup,
 		check: *check, timeout: *cellTimeout, retries: *retries,
+		clusterURL: *clusterURL,
 	}
 	if *sharedWarmup && *warmup <= 0 {
 		fatalUsage(fmt.Errorf("-shared-warmup needs -warmup > 0"))
+	}
+	if *clusterURL != "" {
+		// Local-pool knobs have no cluster meaning: execution lives on the
+		// workers (seesaw-served -workers/-cell-timeout/-retries), the
+		// store on the coordinator (-store), and shared warmup is the
+		// affinity router's job. Reject rather than silently ignore.
+		for _, bad := range []struct {
+			set  bool
+			flag string
+		}{
+			{*promOut != "", "-prom"},
+			{*progress, "-progress"},
+			{*storeDir != "", "-store"},
+			{*sharedWarmup, "-shared-warmup"},
+			{*parallel != 0, "-parallel"},
+			{*cellTimeout != 0, "-cell-timeout"},
+			{*retries != 0, "-retries"},
+		} {
+			if bad.set {
+				fatalUsage(fmt.Errorf("%s configures the local pool and cannot be combined with -cluster (set it on the workers or coordinator instead)", bad.flag))
+			}
+		}
 	}
 	if *promOut != "" {
 		// Counters only: sweeps aggregate across cells, where per-run
@@ -339,7 +376,7 @@ func reportFailures(fails []failure) {
 // table is byte-identical for any worker count. Failed cells are
 // recorded and their rows marked, never fatal.
 func sweepTable(o sweepOptions) (*stats.Table, []failure, error) {
-	pool := o.newPool()
+	pool := o.newSubmitter()
 	designsFor := func(ways int) []design {
 		ds := []design{{name: "VIPT (baseline)", kind: sim.KindBaseline}}
 		for parts := 2; parts <= ways/2; parts *= 2 {
@@ -437,7 +474,7 @@ func sweepTable(o sweepOptions) (*stats.Table, []failure, error) {
 // cells are the results. Physical memory is pre-fragmented so promotion
 // storms have base chunks to work on and compaction is exercised.
 func chaosTable(o sweepOptions) (*stats.Table, []failure, uint64, error) {
-	pool := o.newPool()
+	pool := o.newSubmitter()
 	designs := []design{
 		{name: "VIPT (baseline)", kind: sim.KindBaseline},
 		{name: "SEESAW", kind: sim.KindSeesaw},
@@ -509,7 +546,7 @@ func chaosTable(o sweepOptions) (*stats.Table, []failure, uint64, error) {
 	return t, col.fails, totalViolations, nil
 }
 
-func submit(pool *runner.Pool, o sweepOptions, p workload.Profile, kind sim.CacheKind, size uint64, ways, parts int, freq float64, serialTLB int, smallTLB bool) sub {
+func submit(pool submitter, o sweepOptions, p workload.Profile, kind sim.CacheKind, size uint64, ways, parts int, freq float64, serialTLB int, smallTLB bool) sub {
 	cfg := sim.Config{
 		Workload: p, Seed: o.seed, Refs: o.refs,
 		CacheKind: kind, L1Size: size, L1Ways: ways, Partitions: parts,

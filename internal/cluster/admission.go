@@ -1,0 +1,48 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// tokenBucket is the submission admission controller: rate tokens/sec
+// refill up to burst, one job submission costs one token, and an empty
+// bucket yields the Retry-After hint the API surfaces with 429. It keeps
+// its own lock and clock seam so it is testable in isolation and callers
+// need not hold the coordinator mutex.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+func newTokenBucket(rate, burst float64) *tokenBucket {
+	if burst < 1 {
+		burst = 1
+	}
+	b := &tokenBucket{rate: rate, burst: burst, tokens: burst, now: time.Now}
+	b.last = b.now()
+	return b
+}
+
+// take spends one token. When the bucket is empty it reports the wait
+// until one accrues.
+func (b *tokenBucket) take() (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / b.rate
+	return false, time.Duration(need * float64(time.Second))
+}

@@ -1,0 +1,293 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+
+	"seesaw/internal/service"
+	"seesaw/internal/sim"
+)
+
+// Handler serves the coordinator's HTTP surface: the single-daemon
+// /v1/jobs API (clients need not know whether they talk to one worker or
+// a fleet) plus the cluster-only worker registry endpoints.
+//
+//	POST   /v1/jobs              submit; 202, 429 + Retry-After, 503 draining
+//	GET    /v1/jobs              list job summaries
+//	GET    /v1/jobs/{id}         status (+results unless results=0)
+//	DELETE /v1/jobs/{id}         cancel
+//	GET    /v1/jobs/{id}/stream  SSE progress (Last-Event-ID resume)
+//	POST   /v1/cluster/workers   register a worker {"addr": "host:port"}
+//	GET    /v1/cluster/workers   worker registry snapshot
+//	GET    /healthz              coordinator + fleet health
+//	GET    /metrics              Prometheus text exposition
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", c.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", c.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", c.handleStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", c.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", c.handleStream)
+	mux.HandleFunc("POST /v1/cluster/workers", c.handleRegister)
+	mux.HandleFunc("GET /v1/cluster/workers", c.handleWorkers)
+	mux.HandleFunc("GET /healthz", c.handleHealth)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req service.JobRequest
+	body := http.MaxBytesReader(w, r.Body, 8<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{"bad job JSON: " + err.Error()})
+		return
+	}
+	id, err := c.Submit(req)
+	if err == nil {
+		st, _ := c.Status(id, false)
+		writeJSON(w, http.StatusAccepted, st)
+		return
+	}
+	var rl *RateLimitedError
+	var br *badRequestError
+	switch {
+	case errors.As(err, &rl):
+		secs := int(math.Ceil(rl.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeJSON(w, http.StatusTooManyRequests, errorBody{err.Error()})
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{err.Error()})
+	case errors.As(err, &br):
+		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorBody{err.Error()})
+	}
+}
+
+func (c *Coordinator) handleList(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	out := make([]service.JobStatus, 0, len(c.jobOrder))
+	for _, id := range c.jobOrder {
+		out = append(out, c.jobs[id].status(false))
+	}
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := c.Status(r.PathValue("id"), r.URL.Query().Get("results") != "0")
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (c *Coordinator) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := c.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleStream mirrors the single-daemon SSE stream: replay history past
+// Last-Event-ID, then tail live events until "done".
+func (c *Coordinator) handleStream(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	j, ok := c.jobs[r.PathValue("id")]
+	if !ok {
+		c.mu.Unlock()
+		writeJSON(w, http.StatusNotFound, errorBody{ErrNotFound.Error()})
+		return
+	}
+	fl, flok := w.(http.Flusher)
+	if !flok {
+		c.mu.Unlock()
+		writeJSON(w, http.StatusInternalServerError, errorBody{"streaming unsupported"})
+		return
+	}
+	// Capacity covers everything the job can still publish: state
+	// transitions plus, per cell, one completion and up to MaxAttempts-1
+	// requeue events.
+	ch := make(chan service.Event, len(j.units)*c.cfg.MaxAttempts+4)
+	history := j.subscribe(ch)
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		j.unsubscribe(ch)
+		c.mu.Unlock()
+	}()
+	lastID, _ := strconv.Atoi(r.Header.Get("Last-Event-ID"))
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	send := func(ev service.Event) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data); err != nil {
+			return false
+		}
+		fl.Flush()
+		return ev.Type != "done"
+	}
+	for _, ev := range history {
+		if ev.Seq <= lastID {
+			continue
+		}
+		if !send(ev) {
+			return
+		}
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev := <-ch:
+			if !send(ev) {
+				return
+			}
+		}
+	}
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Addr string `json:"addr"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{"bad register JSON: " + err.Error()})
+		return
+	}
+	if err := c.Register(req.Addr); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, c.workerStatuses())
+}
+
+func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.workerStatuses())
+}
+
+func (c *Coordinator) workerStatuses() []WorkerStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]WorkerStatus, 0, len(c.order))
+	for _, addr := range c.order {
+		w := c.workers[addr]
+		out = append(out, WorkerStatus{
+			Addr: w.addr, Healthy: w.healthy, Slots: w.slots,
+			Active: w.active, ConsecFails: w.consecFails, LastError: w.lastErr,
+		})
+	}
+	return out
+}
+
+// healthBody is the coordinator's GET /healthz payload.
+type healthBody struct {
+	Status        string         `json:"status"` // "ok" or "draining"
+	SchemaVersion int            `json:"schema_version"`
+	Route         string         `json:"route"`
+	Queued        int            `json:"queued"`
+	Leases        int            `json:"leases"`
+	Jobs          int            `json:"jobs"`
+	Workers       []WorkerStatus `json:"workers"`
+	Counters      Counters       `json:"counters"`
+}
+
+func (c *Coordinator) handleHealth(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	h := healthBody{
+		Status:        "ok",
+		SchemaVersion: sim.SchemaVersion,
+		Route:         c.router.name(),
+		Queued:        len(c.queue),
+		Leases:        len(c.leases),
+		Jobs:          len(c.jobs),
+		Counters:      c.counters,
+	}
+	if c.draining {
+		h.Status = "draining"
+	}
+	for _, addr := range c.order {
+		wk := c.workers[addr]
+		h.Workers = append(h.Workers, WorkerStatus{
+			Addr: wk.addr, Healthy: wk.healthy, Slots: wk.slots,
+			Active: wk.active, ConsecFails: wk.consecFails, LastError: wk.lastErr,
+		})
+	}
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, h)
+}
+
+// handleMetrics exposes the scheduling counters in Prometheus text
+// format — the audit trail the failure-matrix tests assert against.
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	ct := c.counters
+	queued := len(c.queue)
+	leases := len(c.leases)
+	jobs := len(c.jobs)
+	healthy := 0
+	for _, wk := range c.workers {
+		if wk.healthy {
+			healthy++
+		}
+	}
+	total := len(c.workers)
+	c.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	p := func(name, help, typ string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", name, help, name, typ, name, v)
+	}
+	p("seesaw_coord_jobs_accepted_total", "Jobs admitted.", "counter", ct.JobsAccepted)
+	p("seesaw_coord_jobs_rate_limited_total", "Submissions refused by the token bucket.", "counter", ct.JobsRateLimited)
+	p("seesaw_coord_jobs_queue_full_total", "Submissions refused by the queue bound.", "counter", ct.JobsQueueFull)
+	p("seesaw_coord_cells_total", "Cells accepted.", "counter", ct.CellsTotal)
+	p("seesaw_coord_cells_done_total", "Cells completed successfully.", "counter", ct.CellsDone)
+	p("seesaw_coord_cells_failed_total", "Cells failed after exhausting their budget.", "counter", ct.CellsFailed)
+	p("seesaw_coord_cells_canceled_total", "Cells canceled with their job.", "counter", ct.CellsCanceled)
+	p("seesaw_coord_store_hits_total", "Cells answered from the shared store.", "counter", ct.StoreHits)
+	p("seesaw_coord_dup_hits_total", "Cells that piggybacked on an in-flight lease.", "counter", ct.DupHits)
+	p("seesaw_coord_remote_runs_total", "Cells computed by workers.", "counter", ct.RemoteRuns)
+	p("seesaw_coord_leases_granted_total", "Leases granted.", "counter", ct.LeasesGranted)
+	p("seesaw_coord_leases_renewed_total", "Lease renewals (heartbeats).", "counter", ct.LeasesRenewed)
+	p("seesaw_coord_leases_expired_total", "Leases expired for missed heartbeats.", "counter", ct.LeasesExpired)
+	p("seesaw_coord_leases_evicted_total", "Leases canceled by worker eviction.", "counter", ct.LeasesEvicted)
+	p("seesaw_coord_dispatch_errors_total", "Dispatches that failed without lease expiry.", "counter", ct.DispatchErrors)
+	p("seesaw_coord_requeues_total", "Cells returned to the queue after a failed lease.", "counter", ct.Requeues)
+	p("seesaw_coord_budget_exhausted_total", "Cells failed at the attempt budget.", "counter", ct.BudgetExhausted)
+	p("seesaw_coord_workers_registered_total", "Workers ever registered.", "counter", ct.WorkersRegistered)
+	p("seesaw_coord_workers_evicted_total", "Worker evictions.", "counter", ct.WorkersEvicted)
+	p("seesaw_coord_workers_readmitted_total", "Worker readmissions.", "counter", ct.WorkersReadmitted)
+	p("seesaw_coord_affinity_hits_total", "Dispatches routed to the warm owner.", "counter", ct.AffinityHits)
+	p("seesaw_coord_affinity_reassigned_total", "Warmup signatures re-homed after worker loss.", "counter", ct.AffinityReassigned)
+	p("seesaw_coord_queue_cells", "Cells pending dispatch.", "gauge", uint64(queued))
+	p("seesaw_coord_leases_active", "Leases currently held.", "gauge", uint64(leases))
+	p("seesaw_coord_jobs", "Jobs known.", "gauge", uint64(jobs))
+	p("seesaw_coord_workers_healthy", "Workers currently healthy.", "gauge", uint64(healthy))
+	p("seesaw_coord_workers", "Workers registered.", "gauge", uint64(total))
+}

@@ -1,0 +1,115 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"seesaw/internal/sim"
+)
+
+// failingRun always panics, so every attempt produces a retriable
+// CellError and the pool walks its full backoff schedule.
+func failingRun(context.Context, sim.Config) (*sim.Report, error) {
+	panic("transient")
+}
+
+// recordSleeps replaces the pool's sleep seam with one that records the
+// requested delays and returns immediately.
+func recordSleeps(p *Pool) *[]time.Duration {
+	var delays []time.Duration
+	p.sleep = func(ctx context.Context, d time.Duration) error {
+		delays = append(delays, d)
+		return ctx.Err()
+	}
+	return &delays
+}
+
+// TestBackoffDeterministicSeed pins the backoff contract: with the same
+// seed the delay sequence is identical run-to-run, each delay sits in
+// the jitter window [d/2, 3d/2) of the capped exponential d =
+// min(base·2^(n-1), max), and a different seed produces a different
+// sequence.
+func TestBackoffDeterministicSeed(t *testing.T) {
+	const base, max = 100 * time.Millisecond, 400 * time.Millisecond
+	sequence := func(seed int64) []time.Duration {
+		p := NewWithRunContext(1, failingRun).WithRetries(4).WithRetryBackoff(base, max, seed)
+		delays := recordSleeps(p)
+		_, err := p.Submit(sim.Config{Refs: -1}).Wait()
+		var ce *CellError
+		if !errors.As(err, &ce) || ce.Attempts != 5 {
+			t.Fatalf("want exhausted CellError after 5 attempts, got %v", err)
+		}
+		return *delays
+	}
+
+	a := sequence(7)
+	if len(a) != 4 {
+		t.Fatalf("4 retries should sleep 4 times, got %v", a)
+	}
+	for n, d := range a {
+		want := base << n
+		if want > max {
+			want = max
+		}
+		if d < want/2 || d >= want/2+want {
+			t.Errorf("retry %d slept %v, outside jitter window [%v, %v)", n+1, d, want/2, want/2+want)
+		}
+	}
+	// Exponential envelope: attempts 3 and 4 are both capped at max, so
+	// their windows coincide; attempt 1's window is strictly below
+	// attempt 3's floor.
+	if a[2] < max/2 || a[3] < max/2 {
+		t.Errorf("capped retries %v below max/2=%v", a[2:], max/2)
+	}
+
+	b := sequence(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at retry %d: %v vs %v", i+1, a, b)
+		}
+	}
+	c := sequence(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical jitter sequences")
+	}
+}
+
+// TestBackoffZeroBaseRetriesImmediately: the default (no WithRetryBackoff
+// call, or a zero base) never sleeps — the historical behaviour.
+func TestBackoffZeroBaseRetriesImmediately(t *testing.T) {
+	p := NewWithRunContext(1, failingRun).WithRetries(2).WithRetryBackoff(0, 0, 1)
+	delays := recordSleeps(p)
+	p.Submit(sim.Config{Refs: -1}).Wait()
+	if len(*delays) != 0 {
+		t.Fatalf("zero-base backoff slept: %v", *delays)
+	}
+}
+
+// TestBackoffHonorsCancellation: a canceled pool context aborts the
+// backoff sleep instead of waiting it out, and the cell surfaces the
+// cancellation.
+func TestBackoffHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := NewWithRunContext(1, failingRun).WithContext(ctx).
+		WithRetries(3).WithRetryBackoff(time.Hour, 0, 1)
+	p.sleep = func(ctx context.Context, d time.Duration) error {
+		cancel() // simulate cancellation arriving mid-sleep
+		return ctx.Err()
+	}
+	start := time.Now()
+	_, err := p.Submit(sim.Config{Refs: -1}).Wait()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if time.Since(start) > time.Minute {
+		t.Fatal("backoff sleep was waited out despite cancellation")
+	}
+}

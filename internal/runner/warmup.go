@@ -35,9 +35,18 @@ type warmEntry struct {
 // canceled mid-warmup), the entry is dropped so a later submission can
 // rebuild it. Warmed masters are held for the life of the pool.
 func NewSharedWarmup(workers int) *Pool {
+	return NewWithRunContext(workers, SharedWarmupRun())
+}
+
+// SharedWarmupRun returns the shared-warmup cell function on its own, so
+// callers that build many short-lived pools (the service's per-request
+// cell-run pools, where each request needs its own cancellation scope)
+// can still share one set of warmed masters across all of them: the
+// warmed map lives in the returned closure, not in any pool.
+func SharedWarmupRun() RunFunc {
 	var mu sync.Mutex
 	warmed := make(map[machine.WarmupSignature]*warmEntry)
-	run := func(ctx context.Context, cfg sim.Config) (*sim.Report, error) {
+	return func(ctx context.Context, cfg sim.Config) (*sim.Report, error) {
 		if cfg.WarmupRefs <= 0 || cfg.Trace != nil {
 			return sim.RunContext(ctx, cfg)
 		}
@@ -77,5 +86,4 @@ func NewSharedWarmup(workers int) *Pool {
 		}
 		return f.Report()
 	}
-	return NewWithRunContext(workers, run)
 }

@@ -71,6 +71,7 @@ func newJob(id, label string, cfgs []sim.Config, parent context.Context, now tim
 // publish appends one event to the history and fans it out to live
 // subscribers. Callers hold mu.
 func (j *job) publish(ev Event) {
+	ev.Seq = len(j.events) + 1
 	j.events = append(j.events, ev)
 	for ch := range j.subs {
 		select {

@@ -38,6 +38,11 @@ type Config struct {
 	// CellTimeout and Retries harden each job's pool (see runner).
 	CellTimeout time.Duration
 	Retries     int
+	// RetryBackoff, when positive, spaces retry attempts with jittered
+	// exponential backoff from this base (see runner.WithRetryBackoff);
+	// RetryBackoffSeed seeds the jitter stream deterministically.
+	RetryBackoff     time.Duration
+	RetryBackoffSeed int64
 	// Run is the cell-execution seam (default sim.RunContext); tests
 	// inject counting or failing cells.
 	Run runner.RunFunc
@@ -57,6 +62,13 @@ type Server struct {
 	rootCancel context.CancelFunc
 	dispatch   sync.WaitGroup
 
+	// cellRun executes one remote cell (POST /v1/cells/run); it wraps
+	// the configured run function with the server-wide cell concurrency
+	// bound and, when no run function was injected, shares warmed
+	// masters across requests (runner.SharedWarmupRun).
+	cellRun runner.RunFunc
+	cellSem chan struct{}
+
 	mu       sync.Mutex
 	jobs     map[string]*job
 	order    []string // insertion order for listings
@@ -64,6 +76,10 @@ type Server struct {
 	draining bool
 	running  int
 	queued   int
+	// cellsRunning counts in-flight POST /v1/cells/run executions —
+	// cluster work the drain path must wait out like any queued job.
+	cellsRunning int
+	cellTotals   PoolStats
 	// merged accumulates every finished job's counters-only metrics for
 	// /metrics, alongside lifetime pool totals.
 	merged     metrics.Series
@@ -87,6 +103,7 @@ func New(cfg Config) *Server {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
+	injected := cfg.Run != nil
 	if cfg.Run == nil {
 		cfg.Run = sim.RunContext
 	}
@@ -100,6 +117,24 @@ func New(cfg Config) *Server {
 		rootCtx:    ctx,
 		rootCancel: cancel,
 		jobs:       make(map[string]*job),
+		cellSem:    make(chan struct{}, cfg.Workers),
+	}
+	// Remote cells run through one shared-warmup closure (unless a test
+	// injected its own run function), so cells routed here for their
+	// warmup signature find the warmed master from earlier requests —
+	// the worker-side half of the coordinator's affinity routing.
+	inner := cfg.Run
+	if !injected {
+		inner = runner.SharedWarmupRun()
+	}
+	s.cellRun = func(ctx context.Context, c sim.Config) (*sim.Report, error) {
+		select {
+		case s.cellSem <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		defer func() { <-s.cellSem }()
+		return inner(ctx, c)
 	}
 	for i := 0; i < cfg.JobConcurrency; i++ {
 		s.dispatch.Add(1)
@@ -136,7 +171,8 @@ func (s *Server) runJob(j *job) {
 	pool := runner.NewWithRunContext(s.cfg.Workers, s.cfg.Run).
 		WithContext(j.ctx).
 		WithTimeout(s.cfg.CellTimeout).
-		WithRetries(s.cfg.Retries)
+		WithRetries(s.cfg.Retries).
+		WithRetryBackoff(s.cfg.RetryBackoff, 0, s.cfg.RetryBackoffSeed)
 	if s.cfg.Store != nil {
 		pool.WithStore(s.cfg.Store)
 	}
@@ -249,7 +285,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	defer tick.Stop()
 	for {
 		s.mu.Lock()
-		idle := s.queued == 0 && s.running == 0
+		idle := s.queued == 0 && s.running == 0 && s.cellsRunning == 0
 		s.mu.Unlock()
 		if idle {
 			return nil
@@ -302,6 +338,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("POST /v1/cells/run", s.handleCellRun)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -388,6 +425,9 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 // handleStream serves the job's progress as Server-Sent Events: the full
 // history first (late subscribers replay everything), then live events
 // until the job reaches a terminal state or the client disconnects.
+// Every event carries its history position as the SSE id, and a client
+// reconnecting with Last-Event-ID: N is resumed at event N+1 — the
+// standard SSE resume contract, so a dropped stream loses nothing.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	j, err := s.job(r.PathValue("id"))
 	if err != nil {
@@ -399,6 +439,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusInternalServerError, errorBody{"streaming unsupported"})
 		return
 	}
+	lastID, _ := strconv.Atoi(r.Header.Get("Last-Event-ID"))
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
@@ -413,13 +454,16 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return false
 		}
-		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data); err != nil {
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data); err != nil {
 			return false
 		}
 		fl.Flush()
 		return ev.Type != "done"
 	}
 	for _, ev := range history {
+		if ev.Seq <= lastID {
+			continue // already delivered before the reconnect
+		}
 		if !send(ev) {
 			return
 		}
@@ -436,14 +480,20 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// healthBody is the GET /healthz payload.
+// healthBody is the GET /healthz payload. Workers, CellsRunning, and
+// SchemaVersion exist for cluster coordinators: capacity for slot
+// accounting, load for routing, and the schema pin so a coordinator can
+// refuse a worker whose binary would shape reports differently.
 type healthBody struct {
-	Status     string       `json:"status"` // "ok" or "draining"
-	Queued     int          `json:"queued"`
-	Running    int          `json:"running"`
-	QueueDepth int          `json:"queue_depth"`
-	Jobs       int          `json:"jobs"`
-	Store      *store.Stats `json:"store,omitempty"`
+	Status        string       `json:"status"` // "ok" or "draining"
+	Queued        int          `json:"queued"`
+	Running       int          `json:"running"`
+	QueueDepth    int          `json:"queue_depth"`
+	Jobs          int          `json:"jobs"`
+	Workers       int          `json:"workers"`
+	CellsRunning  int          `json:"cells_running"`
+	SchemaVersion int          `json:"schema_version"`
+	Store         *store.Stats `json:"store,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -451,6 +501,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	h := healthBody{
 		Status: "ok", Queued: s.queued, Running: s.running,
 		QueueDepth: s.cfg.QueueDepth, Jobs: len(s.jobs),
+		Workers: s.cfg.Workers, CellsRunning: s.cellsRunning,
+		SchemaVersion: sim.SchemaVersion,
 	}
 	if s.draining {
 		h.Status = "draining"
@@ -481,6 +533,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{Name: "seesaw_service_store_hits_total", Help: "cells answered by the content-addressed store", Value: float64(s.poolTotals.StoreHits)},
 		{Name: "seesaw_service_store_puts_total", Help: "reports persisted to the store", Value: float64(s.poolTotals.StorePuts)},
 		{Name: "seesaw_service_cell_failures_total", Help: "cells that exhausted retries", Value: float64(s.poolTotals.Failures)},
+		{Name: "seesaw_service_remote_cells_running", Help: "coordinator-dispatched cells executing now", Value: float64(s.cellsRunning)},
+		{Name: "seesaw_service_remote_cells_total", Help: "coordinator-dispatched cells executed", Value: float64(s.cellTotals.Runs)},
+		{Name: "seesaw_service_remote_store_hits_total", Help: "coordinator-dispatched cells answered by the store", Value: float64(s.cellTotals.StoreHits)},
 	}
 	s.mu.Unlock()
 	if s.cfg.Store != nil {

@@ -11,6 +11,7 @@ import (
 	"net/http/httptest"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -414,5 +415,67 @@ func TestListJobs(t *testing.T) {
 	}
 	if len(list[0].Results) != 0 {
 		t.Errorf("listing carries results")
+	}
+}
+
+// TestDrainRacesCancel: Drain waiting out in-flight jobs while clients
+// concurrently DELETE those same jobs must converge — every cancel is
+// honored, the drain completes (cancellation is how blocked cells
+// unwind), and intake stays closed afterwards. This is the shutdown
+// path of a busy deployment: an operator signals the daemon while users
+// are still tearing down their own work.
+func TestDrainRacesCancel(t *testing.T) {
+	srv, ts, _ := newTestServer(t, Config{
+		QueueDepth: 16, Workers: 1, JobConcurrency: 2,
+		Run: func(ctx context.Context, cfg sim.Config) (*sim.Report, error) {
+			<-ctx.Done() // cells finish only when their job is canceled
+			return nil, ctx.Err()
+		},
+	})
+	var ids []string
+	for i := 0; i < 6; i++ {
+		resp, st := postJob(t, ts, oneCell(int64(i)))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: HTTP %d", i, resp.StatusCode)
+		}
+		ids = append(ids, st.ID)
+	}
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		drained <- srv.Drain(ctx)
+	}()
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("cancel %s: HTTP %d", id, resp.StatusCode)
+			}
+		}(id)
+	}
+	wg.Wait()
+	if err := <-drained; err != nil {
+		t.Fatalf("drain racing cancels: %v", err)
+	}
+	for _, id := range ids {
+		var fin JobStatus
+		json.Unmarshal(waitDone(t, ts, id), &fin)
+		if fin.State != StateCanceled {
+			t.Errorf("job %s drained to %q, want canceled", id, fin.State)
+		}
+	}
+	if resp, _ := postJob(t, ts, oneCell(99)); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("drained server answered submit with HTTP %d, want 503", resp.StatusCode)
 	}
 }

@@ -47,6 +47,12 @@ type CellSpec struct {
 	Partitions int `json:"partitions,omitempty"`
 	// FreqGHz is the clock (default 1.33).
 	FreqGHz float64 `json:"freq_ghz,omitempty"`
+	// SerialTLBCycles (PIPT only) serializes the TLB lookup before the
+	// cache access, adding this many cycles per access.
+	SerialTLBCycles int `json:"serial_tlb_cycles,omitempty"`
+	// SmallTLB replaces the TLB hierarchy with the reduced one a
+	// serial-PIPT power budget affords.
+	SmallTLB bool `json:"small_tlb,omitempty"`
 	// CPU is "ooo" (default) or "inorder".
 	CPU string `json:"cpu,omitempty"`
 	// Refs is the number of references (0 = simulator default 200k).
@@ -107,6 +113,8 @@ func (c CellSpec) Config() (sim.Config, error) {
 		L1Size:          c.SizeKB << 10,
 		L1Ways:          c.Ways,
 		Partitions:      c.Partitions,
+		SerialTLBCycles: c.SerialTLBCycles,
+		SmallTLB:        c.SmallTLB,
 		FreqGHz:         c.FreqGHz,
 		CPUKind:         c.CPU,
 		MemhogFraction:  c.Memhog,
@@ -187,7 +195,13 @@ type JobStatus struct {
 
 // Event is one SSE progress record on /v1/jobs/{id}/stream.
 type Event struct {
-	// Type is "state" (job transition), "cell" (one cell finished), or
+	// Seq is the event's 1-based position in the job's history. It is
+	// carried on the wire as the SSE "id:" line (not in the JSON data),
+	// so a client that reconnects with Last-Event-ID: N resumes at event
+	// N+1 instead of replaying or losing history.
+	Seq int `json:"-"`
+	// Type is "state" (job transition), "cell" (one cell finished),
+	// "requeue" (cluster mode: a leased cell returned to the queue), or
 	// "done" (terminal; the stream ends after it).
 	Type  string `json:"type"`
 	State string `json:"state,omitempty"`

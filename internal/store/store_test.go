@@ -206,3 +206,44 @@ func TestTraceConfigRejected(t *testing.T) {
 		t.Fatal("trace config hit the store")
 	}
 }
+
+// TestTruncatedEntryAndTmpLeftover reproduces a worker killed mid-write:
+// the entry is truncated to zero bytes and an orphaned temp file sits
+// beside it. The truncation is a logged, counted miss — never a crash —
+// the next Put restores a clean hit, and the leftover temp file is inert
+// (unread, and invisible to Len).
+func TestTruncatedEntryAndTmpLeftover(t *testing.T) {
+	s := openTest(t)
+	var logbuf bytes.Buffer
+	s.Logger = log.New(&logbuf, "", 0)
+	cfg := testConfig(9)
+	if err := s.Put(cfg, testReport("unit")); err != nil {
+		t.Fatal(err)
+	}
+	path := entryPath(t, s, cfg)
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err) // zero-byte truncation
+	}
+	tmp := filepath.Join(filepath.Dir(path), "."+filepath.Base(path)+".tmp-killed")
+	if err := os.WriteFile(tmp, []byte(`{"Design":`), 0o644); err != nil {
+		t.Fatal(err) // the write that never finished
+	}
+	if _, ok := s.Get(cfg); ok {
+		t.Fatal("zero-byte entry served as a hit")
+	}
+	if st := s.Stats(); st.Corrupt != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want Corrupt=1 Misses=1", st)
+	}
+	if !strings.Contains(logbuf.String(), "corrupt") {
+		t.Errorf("truncation not logged: %q", logbuf.String())
+	}
+	if err := s.Put(cfg, testReport("unit")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get(cfg); !ok || got.Cycles != 123 {
+		t.Fatalf("recovery failed: ok=%v %+v", ok, got)
+	}
+	if n := s.Len(); n != 1 {
+		t.Errorf("Len = %d, want 1 (temp leftover counted as an entry?)", n)
+	}
+}
