@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-baseline perfgate cover chaos service-smoke cluster-smoke importgate warmup-smoke verify
+.PHONY: build vet test race bench bench-baseline perfgate cover chaos service-smoke cluster-smoke importgate warmup-smoke ladder-smoke fuzz-smoke verify
 
 build:
 	$(GO) build ./...
@@ -67,4 +67,17 @@ importgate:
 warmup-smoke:
 	$(GO) run ./tools/warmupsmoke
 
-verify: build vet test race cover chaos service-smoke cluster-smoke importgate warmup-smoke perfgate
+# The ladder gate drives the snapshot ladder's whole lifecycle: a
+# laddered sweep is SIGKILLed mid-climb, restarted, and must resume from
+# the surviving rungs and reproduce the cold table byte for byte; a
+# fresh sweep against the populated store must hit rungs for 100% of its
+# warmups (tools/laddersmoke).
+ladder-smoke:
+	$(GO) run ./tools/laddersmoke
+
+# A short fuzz pass over the snapshot decoder: arbitrary bytes must
+# yield typed errors, never panics.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzSnapshotCodec -fuzztime=10s ./internal/machine/
+
+verify: build vet test race cover chaos service-smoke cluster-smoke importgate warmup-smoke ladder-smoke fuzz-smoke perfgate

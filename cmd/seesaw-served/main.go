@@ -52,6 +52,8 @@ func main() {
 		drainGrace  = flag.Duration("drain-grace", 10*time.Minute, "how long shutdown waits for in-flight jobs")
 		register    = flag.String("register", "", "coordinator `URL` to register with (seesaw-coord); re-registers periodically so a restarted coordinator rediscovers this worker")
 		advertise   = flag.String("advertise", "", "address to register as (default: the resolved listen address)")
+		rungEvery   = flag.Int("rung-every", 0, "persist an intermediate snapshot rung every N warmup references while climbing the store's snapshot ladder (0 = only the warmup-boundary rung; needs -store)")
+		snapBudget  = flag.Int64("snap-budget", 0, "snapshot namespace size budget in bytes; oldest rungs are evicted past it (0 = unlimited; needs -store)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "", log.LstdFlags)
@@ -59,7 +61,14 @@ func main() {
 	cfg := service.Config{
 		QueueDepth: *queueDepth, Workers: *workers, JobConcurrency: *jobs,
 		MaxCellsPerJob: *maxCells, CellTimeout: *cellTimeout, Retries: *retries,
-		Logger: logger,
+		SnapRungEvery: *rungEvery,
+		Logger:        logger,
+	}
+	if *rungEvery < 0 {
+		fatal(fmt.Errorf("-rung-every must be positive"))
+	}
+	if (*rungEvery != 0 || *snapBudget != 0) && *storeDir == "" {
+		fatal(fmt.Errorf("-rung-every/-snap-budget need -store"))
 	}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir)
@@ -67,6 +76,9 @@ func main() {
 			fatal(fmt.Errorf("-store: %w", err))
 		}
 		st.Logger = logger
+		if *snapBudget > 0 {
+			st.SetSnapBudget(*snapBudget)
+		}
 		cfg.Store = st
 	}
 

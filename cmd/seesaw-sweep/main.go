@@ -91,6 +91,12 @@ type sweepOptions struct {
 	// cells are persisted and reread on the next run, so an interrupted
 	// sweep resumes instead of recomputing.
 	store *store.Store
+	// ladderRun and ladderStats are set when -ladder is on: the cell
+	// function climbs the store's snapshot ladder (resume warmup from the
+	// deepest persisted rung, persist new rungs while climbing) instead
+	// of warming every signature from zero.
+	ladderRun   runner.RunFunc
+	ladderStats *runner.LadderStats
 	// clusterURL routes every cell to a seesaw-coord coordinator (or a
 	// single seesaw-served daemon) instead of simulating locally; see
 	// cluster.go.
@@ -101,9 +107,12 @@ type sweepOptions struct {
 func (o sweepOptions) newPool() *runner.Pool {
 	p := o.pool
 	if p == nil {
-		if o.sharedWarmup {
+		switch {
+		case o.ladderRun != nil:
+			p = runner.NewWithRunContext(o.parallel, o.ladderRun)
+		case o.sharedWarmup:
 			p = runner.NewSharedWarmup(o.parallel)
-		} else {
+		default:
 			p = runner.New(o.parallel)
 		}
 		p.WithTimeout(o.timeout).WithRetries(o.retries)
@@ -156,6 +165,10 @@ func main() {
 		warmup       = flag.Int("warmup", 0, "OS-only warmup references prepended to every cell (0 = none)")
 		sharedWarmup = flag.Bool("shared-warmup", false,
 			"fork cells from one warmed machine per workload instead of re-simulating each cell's warmup (requires -warmup)")
+		ladder = flag.Bool("ladder", false,
+			"climb the store's snapshot ladder: resume each warmup from the deepest rung persisted in -store and persist new rungs while warming (requires -store and -warmup)")
+		rungEvery = flag.Int("rung-every", 0,
+			"persist an intermediate snapshot rung every N warmup references while climbing (0 = only the warmup-boundary rung; requires -ladder)")
 
 		chaos = flag.Bool("chaos", false,
 			"chaos mode: every cache design under every fault schedule with the invariant checker on")
@@ -190,6 +203,15 @@ func main() {
 	if *sharedWarmup && *warmup <= 0 {
 		fatalUsage(fmt.Errorf("-shared-warmup needs -warmup > 0"))
 	}
+	if *ladder && (*storeDir == "" || *warmup <= 0) {
+		fatalUsage(fmt.Errorf("-ladder needs -store and -warmup > 0"))
+	}
+	if *rungEvery != 0 && !*ladder {
+		fatalUsage(fmt.Errorf("-rung-every needs -ladder"))
+	}
+	if *rungEvery < 0 {
+		fatalUsage(fmt.Errorf("-rung-every must be positive"))
+	}
 	if *clusterURL != "" {
 		// Local-pool knobs have no cluster meaning: execution lives on the
 		// workers (seesaw-served -workers/-cell-timeout/-retries), the
@@ -203,6 +225,7 @@ func main() {
 			{*progress, "-progress"},
 			{*storeDir != "", "-store"},
 			{*sharedWarmup, "-shared-warmup"},
+			{*ladder, "-ladder"},
 			{*parallel != 0, "-parallel"},
 			{*cellTimeout != 0, "-cell-timeout"},
 			{*retries != 0, "-retries"},
@@ -217,6 +240,18 @@ func main() {
 		// event windows and epoch series have no meaningful merge.
 		o.metrics = &sim.MetricsConfig{EventCap: -1}
 	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			fatal(fmt.Errorf("-store: %w", err))
+		}
+		o.store = st
+	}
+	if *ladder {
+		// The ladder's cell function needs the open store, so it is
+		// created here and carried into every pool built from o.
+		o.ladderRun, o.ladderStats = runner.LadderRun(o.store, *rungEvery)
+	}
 	if *promOut != "" || *progress || *storeDir != "" {
 		// These features need the pool held after the sweep (snapshot,
 		// progress teardown, store-hit report), so build it up front.
@@ -224,13 +259,6 @@ func main() {
 		if *progress {
 			o.pool.WithProgress(os.Stderr)
 		}
-	}
-	if *storeDir != "" {
-		st, err := store.Open(*storeDir)
-		if err != nil {
-			fatal(fmt.Errorf("-store: %w", err))
-		}
-		o.store = st
 	}
 	names, err := cliutil.SplitList(*wls)
 	if err != nil {
@@ -312,6 +340,11 @@ func finishSweep(o sweepOptions, promOut string) {
 		st := o.pool.Stats()
 		fmt.Fprintf(os.Stderr, "seesaw-sweep: store: %d cell(s) reused, %d computed and persisted\n",
 			st.StoreHits, st.StorePuts)
+	}
+	if o.ladderStats != nil {
+		c := o.ladderStats.Counters()
+		fmt.Fprintf(os.Stderr, "seesaw-sweep: ladder: %d warmup(s), %d resumed from rungs, %d refs skipped, %d refs executed, %d rung(s) persisted, %d dropped\n",
+			c.Warmups, c.RungHits, c.ResumedRefs, c.RunRefs, c.RungPuts, c.RungDrops)
 	}
 	if promOut == "" {
 		return

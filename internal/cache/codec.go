@@ -1,0 +1,45 @@
+package cache
+
+import "fmt"
+
+// Image is a cache array's serializable mutable state: tags, line
+// states, recency, SRRIP predictions, the recency clock, and the
+// statistics. Geometry and replacement policy are config-derived.
+// (State is taken by the MOESI enum, hence the name.)
+type Image struct {
+	Tags    []uint64
+	States  []uint8
+	LastUse []uint64
+	RRPVs   []uint8
+	Tick    uint64
+	Stats   Stats
+}
+
+// Image captures the array.
+func (c *Cache) Image() Image {
+	return Image{
+		Tags:    append([]uint64(nil), c.tags...),
+		States:  append([]uint8(nil), c.states...),
+		LastUse: append([]uint64(nil), c.lastUse...),
+		RRPVs:   append([]uint8(nil), c.rrpvs...),
+		Tick:    c.tick,
+		Stats:   c.Stats,
+	}
+}
+
+// SetImage restores the array in place. The receiver must have the same
+// geometry the image was captured from; the metrics wiring is
+// untouched.
+func (c *Cache) SetImage(s Image) error {
+	if len(s.Tags) != len(c.tags) || len(s.States) != len(c.states) ||
+		len(s.LastUse) != len(c.lastUse) || len(s.RRPVs) != len(c.rrpvs) {
+		return fmt.Errorf("cache: image geometry disagrees with the array's")
+	}
+	copy(c.tags, s.Tags)
+	copy(c.states, s.States)
+	copy(c.lastUse, s.LastUse)
+	copy(c.rrpvs, s.RRPVs)
+	c.tick = s.Tick
+	c.Stats = s.Stats
+	return nil
+}

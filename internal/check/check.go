@@ -251,8 +251,8 @@ func tagCopies(st *cache.Cache, line addr.PAddr) int {
 // fill has not landed yet is a benign in-flight state.)
 func (c *Checker) checkCoherence(ref uint64, va addr.VAddr, line addr.PAddr) {
 	sharers, _, tracked := c.w.Coh.Residency(line)
-	owners := 0       // caches in M/E/O
-	exclusives := 0   // caches in M/E
+	owners := 0     // caches in M/E/O
+	exclusives := 0 // caches in M/E
 	holders := 0
 	for j, l1 := range c.w.L1s {
 		st := l1.Storage()

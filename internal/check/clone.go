@@ -1,0 +1,75 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Clone returns a checker over w — the clone owner's own components —
+// carrying a deep copy of this checker's accumulated report. The
+// metrics mirror is NOT copied; the owner wires its own (it must point
+// at the clone's recorder, not the original's). Clone of a nil checker
+// is nil, mirroring the disabled path.
+func (c *Checker) Clone(w Wiring) *Checker {
+	if c == nil {
+		return nil
+	}
+	return &Checker{w: w, rep: c.rep.clone()}
+}
+
+// clone deep-copies a report.
+func (r Report) clone() Report {
+	out := r
+	out.ByKind = make(map[string]uint64, len(r.ByKind))
+	for k, n := range r.ByKind {
+		out.ByKind[k] = n
+	}
+	out.Sample = append([]Violation(nil), r.Sample...)
+	return out
+}
+
+// KindCount is one violation kind's tally, for deterministic encoding.
+type KindCount struct {
+	Kind string
+	N    uint64
+}
+
+// State is the checker's serializable state: the accumulated report
+// with the by-kind map flattened to sorted pairs. The wiring and
+// metrics mirror are restored by the owner.
+type State struct {
+	Checks     uint64
+	Violations uint64
+	ByKind     []KindCount
+	Sample     []Violation
+}
+
+// State captures the checker's report.
+func (c *Checker) State() State {
+	s := State{
+		Checks:     c.rep.Checks,
+		Violations: c.rep.Violations,
+		Sample:     append([]Violation(nil), c.rep.Sample...),
+	}
+	s.ByKind = make([]KindCount, 0, len(c.rep.ByKind))
+	for k, n := range c.rep.ByKind {
+		s.ByKind = append(s.ByKind, KindCount{Kind: k, N: n})
+	}
+	sort.Slice(s.ByKind, func(i, j int) bool { return s.ByKind[i].Kind < s.ByKind[j].Kind })
+	return s
+}
+
+// SetState restores the checker's report in place.
+func (c *Checker) SetState(s State) error {
+	if len(s.Sample) > maxSample {
+		return fmt.Errorf("check: state carries %d sampled violations of %d max", len(s.Sample), maxSample)
+	}
+	c.rep.Checks = s.Checks
+	c.rep.Violations = s.Violations
+	c.rep.ByKind = make(map[string]uint64, len(s.ByKind))
+	for _, kc := range s.ByKind {
+		c.rep.ByKind[kc.Kind] = kc.N
+	}
+	c.rep.Sample = append([]Violation(nil), s.Sample...)
+	return nil
+}

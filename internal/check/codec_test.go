@@ -1,0 +1,65 @@
+package check
+
+import (
+	"reflect"
+	"testing"
+)
+
+// violatedChecker builds a checker carrying a multi-kind report.
+func violatedChecker() *Checker {
+	c := New(Wiring{})
+	c.rep.Checks = 1000
+	c.Record(Violation{Kind: KindTranslationStale, Ref: 10, Core: 0, Detail: "x"})
+	c.Record(Violation{Kind: KindTranslationStale, Ref: 20, Core: 1, Detail: "y"})
+	c.Record(Violation{Kind: KindDuplicateLine, Ref: 30, Core: -1, Detail: "z"})
+	return c
+}
+
+// TestCheckerStateRoundTrip: a checker restored from a captured state
+// reports the same checks, per-kind tallies, and violation sample.
+func TestCheckerStateRoundTrip(t *testing.T) {
+	c := violatedChecker()
+	fresh := New(Wiring{})
+	if err := fresh.SetState(c.State()); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh.Report(), c.Report()) {
+		t.Errorf("restored report %+v, want %+v", fresh.Report(), c.Report())
+	}
+	// Restoring replaces, not merges: a second restore of an empty state
+	// clears the report.
+	if err := fresh.SetState(New(Wiring{}).State()); err != nil {
+		t.Fatal(err)
+	}
+	if rep := fresh.Report(); rep.Violations != 0 || len(rep.Sample) != 0 || len(rep.ByKind) != 0 {
+		t.Errorf("restore of an empty state left %+v behind", rep)
+	}
+}
+
+// TestCheckerStateRejections: an oversized violation sample is corrupt
+// (the live checker caps it at maxSample).
+func TestCheckerStateRejections(t *testing.T) {
+	bad := violatedChecker().State()
+	bad.Sample = make([]Violation, maxSample+1)
+	if err := New(Wiring{}).SetState(bad); err == nil {
+		t.Error("accepted a sample past the live checker's cap")
+	}
+}
+
+// TestCheckerClone: the clone carries the accumulated report over the
+// new wiring and diverges independently; a nil checker clones to nil,
+// mirroring the disabled path.
+func TestCheckerClone(t *testing.T) {
+	c := violatedChecker()
+	cl := c.Clone(Wiring{})
+	if !reflect.DeepEqual(cl.Report(), c.Report()) {
+		t.Errorf("clone report %+v, want %+v", cl.Report(), c.Report())
+	}
+	cl.Record(Violation{Kind: KindMultiOwner, Ref: 40})
+	if c.Report().Violations == cl.Report().Violations {
+		t.Error("recording on the clone moved the original's tally")
+	}
+	if (*Checker)(nil).Clone(Wiring{}) != nil {
+		t.Error("Clone of a nil checker must be nil")
+	}
+}

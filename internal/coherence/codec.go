@@ -1,0 +1,66 @@
+package coherence
+
+import (
+	"fmt"
+	"sort"
+
+	"seesaw/internal/addr"
+	"seesaw/internal/cache"
+)
+
+// DirState is one directory entry, keyed by its line address.
+type DirState struct {
+	Line    addr.PAddr
+	Sharers uint64
+	Owner   int8
+}
+
+// SystemState is the memory system's serializable mutable state: the
+// LLC array, the directory (sorted by line for deterministic encoding),
+// statistics, and the per-core coherence energy/probe accumulators. The
+// L1 wiring, latencies, and metrics mirror are config and wiring.
+type SystemState struct {
+	LLC      cache.Image
+	Dir      []DirState
+	Stats    Stats
+	EnergyNJ []float64
+	Probes   []uint64
+}
+
+// State captures the memory system.
+func (s *System) State() SystemState {
+	st := SystemState{
+		LLC:      s.llc.Image(),
+		Stats:    s.Stats,
+		EnergyNJ: append([]float64(nil), s.CoherenceEnergyNJ...),
+		Probes:   append([]uint64(nil), s.CoherenceProbes...),
+	}
+	st.Dir = make([]DirState, 0, len(s.dir))
+	for line, e := range s.dir {
+		st.Dir = append(st.Dir, DirState{Line: line, Sharers: e.sharers, Owner: e.owner})
+	}
+	sort.Slice(st.Dir, func(i, j int) bool { return st.Dir[i].Line < st.Dir[j].Line })
+	return st
+}
+
+// SetState restores the memory system in place. The receiver must be
+// wired over the same number of L1s the state was captured from.
+func (s *System) SetState(st SystemState) error {
+	if len(st.EnergyNJ) != len(s.CoherenceEnergyNJ) || len(st.Probes) != len(s.CoherenceProbes) {
+		return fmt.Errorf("coherence: state sized for %d cores, system has %d", len(st.EnergyNJ), len(s.CoherenceEnergyNJ))
+	}
+	if err := s.llc.SetImage(st.LLC); err != nil {
+		return err
+	}
+	s.dir = make(map[addr.PAddr]dirEntry, len(st.Dir))
+	for _, d := range st.Dir {
+		if d.Owner < -1 || int(d.Owner) >= len(s.l1s) {
+			return fmt.Errorf("coherence: directory owner %d outside the system's %d caches", d.Owner, len(s.l1s))
+		}
+		s.dir[d.Line] = dirEntry{sharers: d.Sharers, owner: d.Owner}
+	}
+	copy(s.CoherenceEnergyNJ, st.EnergyNJ)
+	copy(s.CoherenceProbes, st.Probes)
+	s.Stats = st.Stats
+	return nil
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+
+	"seesaw/internal/cache"
+	"seesaw/internal/tft"
+	"seesaw/internal/waypred"
+)
+
+// L1State is the serializable mutable state of any of the three L1
+// designs: the storage array always, the TFT and SEESAW statistics for
+// SEESAW caches, and the way-predictor history when predicting. Design
+// kind, geometry, and timing are config-derived.
+type L1State struct {
+	Cache cache.Image
+	TFT   *tft.State
+	WP    *waypred.State
+	Stats SeesawStats
+}
+
+// StateOf captures an L1's mutable state.
+func StateOf(l L1Cache) L1State {
+	s := L1State{Cache: l.Storage().Image()}
+	switch v := l.(type) {
+	case *Seesaw:
+		fs := v.f.State()
+		s.TFT = &fs
+		s.Stats = v.Stats
+		if v.wp != nil {
+			ws := v.wp.State()
+			s.WP = &ws
+		}
+	case *BaselineVIPT:
+		if v.wp != nil {
+			ws := v.wp.State()
+			s.WP = &ws
+		}
+	}
+	return s
+}
+
+// SetL1State restores an L1 in place. The receiver must be the same
+// design kind and geometry the state was captured from.
+func SetL1State(l L1Cache, s L1State) error {
+	if err := l.Storage().SetImage(s.Cache); err != nil {
+		return err
+	}
+	switch v := l.(type) {
+	case *Seesaw:
+		if s.TFT == nil {
+			return fmt.Errorf("core: SEESAW state is missing its TFT")
+		}
+		if err := v.f.SetState(*s.TFT); err != nil {
+			return err
+		}
+		v.Stats = s.Stats
+		if err := setWP(v.wp, s.WP); err != nil {
+			return err
+		}
+	case *BaselineVIPT:
+		if s.TFT != nil {
+			return fmt.Errorf("core: baseline VIPT state carries a TFT")
+		}
+		if err := setWP(v.wp, s.WP); err != nil {
+			return err
+		}
+	case *PIPT:
+		if s.TFT != nil || s.WP != nil {
+			return fmt.Errorf("core: PIPT state carries a TFT or way predictor")
+		}
+	default:
+		return fmt.Errorf("core: unknown L1 design %T", l)
+	}
+	return nil
+}
+
+func setWP(wp *waypred.MRU, s *waypred.State) error {
+	if (wp != nil) != (s != nil) {
+		return fmt.Errorf("core: state and cache disagree about way prediction")
+	}
+	if wp == nil {
+		return nil
+	}
+	return wp.SetState(*s)
+}

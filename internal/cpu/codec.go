@@ -1,0 +1,47 @@
+package cpu
+
+import "fmt"
+
+// CoreState is a CPU timing model's serializable state: the cycle and
+// instruction accumulators. Model parameters are config-derived.
+type CoreState struct {
+	Cycles float64
+	Instrs uint64
+}
+
+// State captures the in-order model's accumulators.
+func (c *InOrder) State() CoreState { return CoreState{Cycles: c.cycles, Instrs: c.instrs} }
+
+// SetState restores the in-order model's accumulators in place.
+func (c *InOrder) SetState(s CoreState) { c.cycles, c.instrs = s.Cycles, s.Instrs }
+
+// State captures the out-of-order model's accumulators.
+func (c *OutOfOrder) State() CoreState { return CoreState{Cycles: c.cycles, Instrs: c.instrs} }
+
+// SetState restores the out-of-order model's accumulators in place; the
+// analytic parameters are untouched.
+func (c *OutOfOrder) SetState(s CoreState) { c.cycles, c.instrs = s.Cycles, s.Instrs }
+
+// StateOf captures any known model's accumulators.
+func StateOf(m Model) (CoreState, error) {
+	switch v := m.(type) {
+	case *InOrder:
+		return v.State(), nil
+	case *OutOfOrder:
+		return v.State(), nil
+	}
+	return CoreState{}, fmt.Errorf("cpu: unknown model %T", m)
+}
+
+// SetModelState restores any known model's accumulators in place.
+func SetModelState(m Model, s CoreState) error {
+	switch v := m.(type) {
+	case *InOrder:
+		v.SetState(s)
+		return nil
+	case *OutOfOrder:
+		v.SetState(s)
+		return nil
+	}
+	return fmt.Errorf("cpu: unknown model %T", m)
+}

@@ -1,0 +1,65 @@
+package cpu
+
+import "testing"
+
+// fakeModel is an unknown Model implementation for the rejection paths.
+type fakeModel struct{ Model }
+
+// TestStateRoundTrip: accumulators captured from an advanced model and
+// restored onto a fresh one of the same kind reproduce its totals, for
+// both timing models and through both the concrete and the StateOf
+// surfaces.
+func TestStateRoundTrip(t *testing.T) {
+	for _, kind := range []string{"inorder", "ooo"} {
+		m, err := New(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Retire(3, MemCost{Hit: true, L1Cycles: 2, SlowL1Cycles: 4})
+		m.Retire(1, MemCost{L1Cycles: 4, ExtraCycles: 40})
+		m.Stall(9)
+
+		st, err := StateOf(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, _ := New(kind)
+		if err := SetModelState(fresh, st); err != nil {
+			t.Fatal(err)
+		}
+		if fresh.Cycles() != m.Cycles() || fresh.Instructions() != m.Instructions() {
+			t.Errorf("%s: restored %d cycles/%d instrs, want %d/%d",
+				kind, fresh.Cycles(), fresh.Instructions(), m.Cycles(), m.Instructions())
+		}
+		// The restored model advances from the restored position.
+		fresh.Retire(1, MemCost{Hit: true, L1Cycles: 2})
+		if fresh.Instructions() <= m.Instructions() {
+			t.Errorf("%s: restored model did not advance from the restored position", kind)
+		}
+	}
+}
+
+// TestConcreteSetState covers the typed State/SetState pairs directly.
+func TestConcreteSetState(t *testing.T) {
+	io := NewInOrder()
+	io.SetState(CoreState{Cycles: 12.5, Instrs: 7})
+	if s := io.State(); s.Cycles != 12.5 || s.Instrs != 7 {
+		t.Errorf("InOrder state = %+v", s)
+	}
+	ooo := NewOutOfOrder()
+	ooo.SetState(CoreState{Cycles: 3.25, Instrs: 2})
+	if s := ooo.State(); s.Cycles != 3.25 || s.Instrs != 2 {
+		t.Errorf("OutOfOrder state = %+v", s)
+	}
+}
+
+// TestUnknownModelRejected: StateOf and SetModelState refuse a model
+// kind they cannot serialize.
+func TestUnknownModelRejected(t *testing.T) {
+	if _, err := StateOf(fakeModel{}); err == nil {
+		t.Error("StateOf accepted an unknown model")
+	}
+	if err := SetModelState(fakeModel{}, CoreState{}); err == nil {
+		t.Error("SetModelState accepted an unknown model")
+	}
+}

@@ -1,0 +1,26 @@
+package faults
+
+import "seesaw/internal/xrand"
+
+// InjectorState is the injector's serializable mutable state: its
+// private RNG position and counters. The schedule is config-derived.
+type InjectorState struct {
+	Src   xrand.SourceState
+	Stats Stats
+}
+
+// State captures the injector.
+func (inj *Injector) State() InjectorState {
+	return InjectorState{Src: inj.src.State(), Stats: inj.Stats}
+}
+
+// SetState restores the injector in place: the counting source is
+// repositioned (the wrapping rand.Rand stays valid) and the counters
+// restored.
+func (inj *Injector) SetState(s InjectorState) error {
+	if err := inj.src.SetState(s.Src); err != nil {
+		return err
+	}
+	inj.Stats = s.Stats
+	return nil
+}

@@ -1,0 +1,84 @@
+package faults
+
+import (
+	"testing"
+
+	"seesaw/internal/xrand"
+)
+
+// firedInjector advances an injector through a few thousand references
+// so its RNG position and counters are non-trivial.
+func firedInjector(t *testing.T) *Injector {
+	t.Helper()
+	inj, err := New(Config{Schedule: "mix", Every: 500}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i <= 5000; i++ {
+		inj.Tick(i)
+	}
+	return inj
+}
+
+// TestInjectorStateRoundTrip: an injector restored from a captured
+// state fires exactly the event stream the original fires from the same
+// position, with the same counters.
+func TestInjectorStateRoundTrip(t *testing.T) {
+	inj := firedInjector(t)
+	fresh, err := New(Config{Schedule: "mix", Every: 500}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Park the fresh injector somewhere else first: SetState must
+	// reposition, not just replay from zero.
+	for i := 0; i <= 700; i++ {
+		fresh.Tick(i)
+	}
+	if err := fresh.SetState(inj.State()); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Stats != inj.Stats {
+		t.Errorf("restored stats %+v, want %+v", fresh.Stats, inj.Stats)
+	}
+	for i := 5001; i <= 12000; i++ {
+		e0, ok0 := inj.Tick(i)
+		e1, ok1 := fresh.Tick(i)
+		if e0 != e1 || ok0 != ok1 {
+			t.Fatalf("event stream diverged at ref %d: %+v/%v vs %+v/%v", i, e0, ok0, e1, ok1)
+		}
+	}
+}
+
+// TestInjectorStateRejections: a corrupt RNG position is rejected.
+func TestInjectorStateRejections(t *testing.T) {
+	inj := firedInjector(t)
+	bad := inj.State()
+	bad.Src = xrand.SourceState{Seed: 1, Draws: 1 << 62}
+	if err := inj.SetState(bad); err == nil {
+		t.Error("accepted an RNG position past the replay bound")
+	}
+}
+
+// TestInjectorClone: the clone fires the original's exact future stream
+// and the two advance independently.
+func TestInjectorClone(t *testing.T) {
+	inj := firedInjector(t)
+	c := inj.Clone()
+	if c.Stats != inj.Stats || c.Config() != inj.Config() {
+		t.Errorf("clone stats/config diverge: %+v vs %+v", c.Stats, inj.Stats)
+	}
+	for i := 5001; i <= 9000; i++ {
+		e0, ok0 := inj.Tick(i)
+		e1, ok1 := c.Tick(i)
+		if e0 != e1 || ok0 != ok1 {
+			t.Fatalf("clone stream diverged at ref %d", i)
+		}
+	}
+	before := inj.State()
+	for i := 9001; i <= 9500; i++ {
+		c.Tick(i)
+	}
+	if inj.State() != before {
+		t.Error("ticking the clone advanced the original")
+	}
+}

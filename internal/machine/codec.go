@@ -1,0 +1,450 @@
+package machine
+
+import (
+	"bytes"
+	"compress/flate"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"seesaw/internal/addr"
+	"seesaw/internal/check"
+	"seesaw/internal/coherence"
+	"seesaw/internal/core"
+	"seesaw/internal/cpu"
+	"seesaw/internal/energy"
+	"seesaw/internal/faults"
+	"seesaw/internal/metrics"
+	"seesaw/internal/osmm"
+	"seesaw/internal/physmem"
+	"seesaw/internal/tlb"
+	"seesaw/internal/trace"
+	"seesaw/internal/workload"
+	"seesaw/internal/xrand"
+)
+
+// SnapshotSchemaVersion identifies the binary snapshot wire format.
+// Bump it whenever the encoded state's shape or meaning changes — any
+// new field in a component State struct, a changed serialization order,
+// a semantic change to how state is applied. The store folds it into
+// every snapshot key and prunes entries whose header disagrees, so old
+// rungs are recomputed rather than mis-resumed.
+const SnapshotSchemaVersion = 1
+
+// snapMagic opens every encoded snapshot. The leading byte is
+// deliberately non-ASCII so a snapshot is never mistaken for text.
+var snapMagic = [8]byte{0x9e, 'S', 'E', 'E', 'S', 'N', 'A', 'P'}
+
+// snapHeaderLen is magic(8) + version(2) + payload length(8) + CRC32(4).
+const snapHeaderLen = 8 + 2 + 8 + 4
+
+func crc32Of(b []byte) uint32 { return crc32.ChecksumIEEE(b) }
+
+// maxSnapPayload bounds the declared payload length so a corrupt header
+// cannot make the decoder allocate unbounded memory.
+const maxSnapPayload = 1 << 32
+
+// Typed snapshot decoding errors. Callers (the store's GC, the ladder's
+// resume path, the fuzz battery) distinguish them with errors.Is; none
+// of the decode paths panic on hostile input.
+var (
+	// ErrSnapshotTruncated: the data ends before the header or the
+	// declared payload does.
+	ErrSnapshotTruncated = errors.New("machine: truncated snapshot")
+	// ErrSnapshotCorrupt: bad magic, checksum mismatch, undecodable
+	// payload, or decoded state that contradicts its own config.
+	ErrSnapshotCorrupt = errors.New("machine: corrupt snapshot")
+	// ErrSnapshotSchema: the snapshot was written by a different
+	// SnapshotSchemaVersion.
+	ErrSnapshotSchema = errors.New("machine: snapshot schema mismatch")
+)
+
+// epochState is one epoch buffer's unconsumed pre-generated records.
+type epochState struct {
+	Start  int
+	Recs   []trace.Record
+	IVAs   []addr.VAddr
+	Jumps  []bool
+	ICache bool
+}
+
+func epochStateOf(e epochBuf) epochState {
+	c := e.clone() // unconsumed suffix only
+	return epochState{Start: c.start, Recs: c.recs, IVAs: c.ivas, Jumps: c.jumps, ICache: c.icache}
+}
+
+func (s epochState) buf() (epochBuf, error) {
+	if len(s.IVAs) != len(s.Recs) || len(s.Jumps) != len(s.Recs) {
+		return epochBuf{}, fmt.Errorf("pre-generated record arrays disagree (%d recs, %d ivas, %d jumps)",
+			len(s.Recs), len(s.IVAs), len(s.Jumps))
+	}
+	return epochBuf{start: s.Start, recs: s.Recs, ivas: s.IVAs, jumps: s.Jumps, icache: s.ICache}, nil
+}
+
+// snapshotState is the complete serialized machine: the config it was
+// built from plus every component's mutable state. Decoding rebuilds
+// the machine with Build (which re-creates all config-derived structure
+// and wiring) and then restores each component in place, so every
+// cross-component pointer — walker to page table, memhog to buddy,
+// recorder into every subsystem — stays valid without rewiring.
+type snapshotState struct {
+	Cfg Config
+
+	GlobalRef int
+	CurRef    uint64
+	L2Lookups uint64
+	SuperRefs uint64
+	Spike     []addr.PAddr
+
+	RNG    xrand.SourceState
+	Buddy  physmem.BuddyState
+	Hog    *physmem.MemhogState
+	Mgr    osmm.ManagerState
+	Gen    workload.GeneratorState
+	CoGens []workload.GeneratorState
+
+	L1s   []core.L1State
+	L1Is  []core.L1State
+	Hiers []tlb.HierarchyState
+	CPUs  []cpu.CoreState
+	Coh   coherence.SystemState
+	Acct  energy.Account
+
+	Injector  *faults.InjectorState
+	Metrics   *metrics.RecorderState
+	Checker   *check.State
+	LastWidth []int
+
+	BatchCur  epochState
+	BatchNext epochState
+}
+
+// captureState serializes the machine. The receiver must be settled (no
+// in-flight lookahead generation); Snapshot's clone guarantees that.
+func (m *Machine) captureState() (*snapshotState, error) {
+	st := &snapshotState{
+		Cfg:       m.cfg,
+		GlobalRef: m.globalRef,
+		CurRef:    m.curRef,
+		L2Lookups: m.l2Lookups,
+		SuperRefs: m.superRefs,
+		Spike:     append([]addr.PAddr(nil), m.spike...),
+		RNG:       m.rngSrc.State(),
+		Buddy:     m.buddy.State(),
+		Mgr:       m.mgr.State(),
+		Gen:       m.gen.State(),
+		Acct:      *m.acct,
+		LastWidth: append([]int(nil), m.lastWidth...),
+		BatchCur:  epochStateOf(m.batch.cur),
+		BatchNext: epochStateOf(m.batch.next),
+	}
+	if m.hog != nil {
+		hs := m.hog.State()
+		st.Hog = &hs
+	}
+	for _, g := range m.coGens {
+		st.CoGens = append(st.CoGens, g.State())
+	}
+	for _, l1 := range m.l1s {
+		st.L1s = append(st.L1s, core.StateOf(l1))
+	}
+	for _, il1 := range m.l1is {
+		st.L1Is = append(st.L1Is, core.StateOf(il1))
+	}
+	for _, h := range m.hiers {
+		st.Hiers = append(st.Hiers, h.State())
+	}
+	for _, c := range m.cpus {
+		cs, err := cpu.StateOf(c)
+		if err != nil {
+			return nil, err
+		}
+		st.CPUs = append(st.CPUs, cs)
+	}
+	st.Coh = m.cohSys.State()
+	if m.Hooks.Injector != nil {
+		is := m.Hooks.Injector.State()
+		st.Injector = &is
+	}
+	if m.Hooks.Metrics != nil {
+		ms := m.Hooks.Metrics.State()
+		st.Metrics = &ms
+	}
+	if m.Hooks.Checker != nil {
+		cs := m.Hooks.Checker.State()
+		st.Checker = &cs
+	}
+	return st, nil
+}
+
+// applyState restores a captured state onto a machine freshly built
+// from the same config. Every component is mutated in place; any
+// disagreement between the state and the built machine's shape is a
+// corruption error, never a panic.
+func (m *Machine) applyState(st *snapshotState) error {
+	total := m.cfg.WarmupRefs + m.cfg.Refs
+	if st.GlobalRef < 0 || st.GlobalRef > total {
+		return fmt.Errorf("reference cursor %d outside [0,%d]", st.GlobalRef, total)
+	}
+	if err := m.rngSrc.SetState(st.RNG); err != nil {
+		return err
+	}
+	if err := m.buddy.SetState(st.Buddy); err != nil {
+		return err
+	}
+	if (st.Hog != nil) != (m.hog != nil) {
+		return fmt.Errorf("state and config disagree about a memhog")
+	}
+	if st.Hog != nil {
+		if err := m.hog.SetState(*st.Hog); err != nil {
+			return err
+		}
+	}
+	if err := m.mgr.SetState(st.Mgr); err != nil {
+		return err
+	}
+	if err := m.gen.SetState(st.Gen); err != nil {
+		return err
+	}
+	if len(st.CoGens) != len(m.coGens) {
+		return fmt.Errorf("state has %d co-runner generators, machine has %d", len(st.CoGens), len(m.coGens))
+	}
+	for i, gs := range st.CoGens {
+		if err := m.coGens[i].SetState(gs); err != nil {
+			return err
+		}
+	}
+	if len(st.L1s) != len(m.l1s) || len(st.L1Is) != len(m.l1is) ||
+		len(st.Hiers) != len(m.hiers) || len(st.CPUs) != len(m.cpus) {
+		return fmt.Errorf("state sized for a different core count")
+	}
+	for i, ls := range st.L1s {
+		if err := core.SetL1State(m.l1s[i], ls); err != nil {
+			return err
+		}
+	}
+	for i, ls := range st.L1Is {
+		if err := core.SetL1State(m.l1is[i], ls); err != nil {
+			return err
+		}
+	}
+	for i, hs := range st.Hiers {
+		if err := m.hiers[i].SetState(hs); err != nil {
+			return err
+		}
+	}
+	for i, cs := range st.CPUs {
+		if err := cpu.SetModelState(m.cpus[i], cs); err != nil {
+			return err
+		}
+	}
+	if err := m.cohSys.SetState(st.Coh); err != nil {
+		return err
+	}
+	*m.acct = st.Acct
+
+	if (st.Injector != nil) != (m.Hooks.Injector != nil) {
+		return fmt.Errorf("state and config disagree about a fault injector")
+	}
+	if st.Injector != nil {
+		if err := m.Hooks.Injector.SetState(*st.Injector); err != nil {
+			return err
+		}
+	}
+	if (st.Metrics != nil) != (m.Hooks.Metrics != nil) {
+		return fmt.Errorf("state and config disagree about a metrics recorder")
+	}
+	if st.Metrics != nil {
+		if err := m.Hooks.Metrics.SetState(*st.Metrics); err != nil {
+			return err
+		}
+		if len(st.LastWidth) != len(m.lastWidth) {
+			return fmt.Errorf("probe-width tracker sized for %d cores, machine has %d", len(st.LastWidth), len(m.lastWidth))
+		}
+		copy(m.lastWidth, st.LastWidth)
+	}
+	if (st.Checker != nil) != (m.Hooks.Checker != nil) {
+		return fmt.Errorf("state and config disagree about the invariant checker")
+	}
+	if st.Checker != nil {
+		if err := m.Hooks.Checker.SetState(*st.Checker); err != nil {
+			return err
+		}
+	}
+
+	for _, b := range [2]epochState{st.BatchCur, st.BatchNext} {
+		for _, rec := range b.Recs {
+			if int(rec.TID) >= m.nCores {
+				return fmt.Errorf("pre-generated record names thread %d of %d cores", rec.TID, m.nCores)
+			}
+		}
+	}
+	cur, err := st.BatchCur.buf()
+	if err != nil {
+		return err
+	}
+	next, err := st.BatchNext.buf()
+	if err != nil {
+		return err
+	}
+	if len(cur.recs) > 0 && cur.start != st.GlobalRef {
+		return fmt.Errorf("pre-generated records start at %d, cursor is at %d", cur.start, st.GlobalRef)
+	}
+	if len(next.recs) > 0 && next.start != cur.start+len(cur.recs) {
+		return fmt.Errorf("lookahead epoch out of order")
+	}
+	m.batch.cur, m.batch.next = cur, next
+
+	m.globalRef = st.GlobalRef
+	m.curRef = st.CurRef
+	m.l2Lookups = st.L2Lookups
+	m.superRefs = st.SuperRefs
+	m.spike = append(m.spike[:0], st.Spike...)
+	return nil
+}
+
+// MarshalBinary encodes the snapshot into the versioned binary format:
+// an integrity header (magic, SnapshotSchemaVersion, payload length,
+// CRC32) over a flate-compressed gob of the complete machine state,
+// config included. Encoding is deterministic — no map ranges reach the
+// encoder — so equal snapshots produce equal bytes.
+func (s *Snapshot) MarshalBinary() ([]byte, error) {
+	st, err := s.m.captureState()
+	if err != nil {
+		return nil, err
+	}
+	var payload bytes.Buffer
+	fw, err := flate.NewWriter(&payload, flate.BestSpeed)
+	if err != nil {
+		return nil, err
+	}
+	if err := gob.NewEncoder(fw).Encode(st); err != nil {
+		return nil, fmt.Errorf("machine: encoding snapshot: %w", err)
+	}
+	if err := fw.Close(); err != nil {
+		return nil, err
+	}
+	out := make([]byte, snapHeaderLen+payload.Len())
+	copy(out, snapMagic[:])
+	binary.BigEndian.PutUint16(out[8:], SnapshotSchemaVersion)
+	binary.BigEndian.PutUint64(out[10:], uint64(payload.Len()))
+	binary.BigEndian.PutUint32(out[18:], crc32Of(payload.Bytes()))
+	copy(out[snapHeaderLen:], payload.Bytes())
+	return out, nil
+}
+
+// PeekSnapshotVersion reads a snapshot's schema version from its header
+// without decoding the payload — the store's GC pass uses it to prune
+// stale rungs by reading a handful of bytes per file.
+func PeekSnapshotVersion(data []byte) (int, error) {
+	if len(data) < snapHeaderLen {
+		return 0, ErrSnapshotTruncated
+	}
+	if !bytes.Equal(data[:8], snapMagic[:]) {
+		return 0, fmt.Errorf("%w: bad magic", ErrSnapshotCorrupt)
+	}
+	return int(binary.BigEndian.Uint16(data[8:10])), nil
+}
+
+// UnmarshalBinary decodes data into s: the header is verified (magic,
+// schema version, length, checksum), the state payload decoded, a fresh
+// machine built from the embedded config, and every component restored
+// in place. All failures return typed errors (ErrSnapshotTruncated,
+// ErrSnapshotSchema, ErrSnapshotCorrupt); hostile input never panics
+// and never yields a machine that would silently mis-resume.
+func (s *Snapshot) UnmarshalBinary(data []byte) (err error) {
+	v, err := PeekSnapshotVersion(data)
+	if err != nil {
+		return err
+	}
+	if v != SnapshotSchemaVersion {
+		return fmt.Errorf("%w: snapshot v%d, binary v%d", ErrSnapshotSchema, v, SnapshotSchemaVersion)
+	}
+	plen := binary.BigEndian.Uint64(data[10:18])
+	if plen > maxSnapPayload {
+		return fmt.Errorf("%w: declared payload of %d bytes", ErrSnapshotCorrupt, plen)
+	}
+	if uint64(len(data)-snapHeaderLen) < plen {
+		return ErrSnapshotTruncated
+	}
+	payload := data[snapHeaderLen : snapHeaderLen+int(plen)]
+	if crc32Of(payload) != binary.BigEndian.Uint32(data[18:22]) {
+		return fmt.Errorf("%w: checksum mismatch", ErrSnapshotCorrupt)
+	}
+	// gob and flate are not guaranteed panic-free on adversarial input;
+	// the battery fuzzes this path, so convert panics into the typed
+	// corruption error instead of crashing the decoder's process.
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: decode panic: %v", ErrSnapshotCorrupt, r)
+		}
+	}()
+	var st snapshotState
+	fr := flate.NewReader(bytes.NewReader(payload))
+	if derr := gob.NewDecoder(io.LimitReader(fr, maxSnapPayload)).Decode(&st); derr != nil {
+		return fmt.Errorf("%w: %v", ErrSnapshotCorrupt, derr)
+	}
+	m, berr := Build(st.Cfg)
+	if berr != nil {
+		return fmt.Errorf("%w: embedded config: %v", ErrSnapshotCorrupt, berr)
+	}
+	if aerr := m.applyState(&st); aerr != nil {
+		return fmt.Errorf("%w: %v", ErrSnapshotCorrupt, aerr)
+	}
+	s.m = m
+	return nil
+}
+
+// UnmarshalSnapshot decodes an encoded snapshot. See
+// Snapshot.UnmarshalBinary for the error contract.
+func UnmarshalSnapshot(data []byte) (*Snapshot, error) {
+	s := &Snapshot{}
+	if err := s.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Ref returns the reference index the snapshot was taken at — the rung
+// depth when it lives in the store's ladder.
+func (s *Snapshot) Ref() int { return s.m.globalRef }
+
+// Signature returns the warmup signature of the snapshot's config.
+func (s *Snapshot) Signature() WarmupSignature { return s.m.cfg.WarmupSignature() }
+
+// Ref returns the machine's current reference index: references
+// [0, WarmupRefs) are the warmup phase, [WarmupRefs, WarmupRefs+Refs)
+// the measured phase.
+func (m *Machine) Ref() int { return m.globalRef }
+
+// WarmupTo advances the warmup phase to reference n (at most the warmup
+// boundary), so ladder climbers can warm in rung-sized chunks and
+// snapshot between them. It is a no-op if the machine is already at or
+// past n; Warmup(ctx) is WarmupTo(ctx, WarmupRefs).
+func (m *Machine) WarmupTo(ctx context.Context, n int) error {
+	if n > m.cfg.WarmupRefs {
+		return fmt.Errorf("sim: warmup target %d beyond the warmup boundary %d", n, m.cfg.WarmupRefs)
+	}
+	if n <= m.globalRef {
+		return nil
+	}
+	return m.run(ctx, 0, n)
+}
+
+// PrefixHash is the content address of this config's warmup prefix: hex
+// SHA-256 over the warmup signature and the snapshot schema version.
+// Two configs share a prefix hash exactly when a warmup rung computed
+// for one resumes the other bit-identically, so the store keys machine
+// snapshots by (PrefixHash, refs). Folding SnapshotSchemaVersion in
+// means a binary whose snapshot format changed looks at fresh keys.
+func (c Config) PrefixHash() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "seesaw-snap-v%d|%+v", SnapshotSchemaVersion, c.WarmupSignature())
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,349 @@
+package machine
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"seesaw/internal/faults"
+	"seesaw/internal/metrics"
+	"seesaw/internal/workload"
+)
+
+// hookedConfig is testConfig with every hook attached: the codec must
+// carry recorder, checker, and injector state, not just the bare
+// machine.
+func hookedConfig(t *testing.T, kind CacheKind) Config {
+	t.Helper()
+	cfg := testConfig(t, kind)
+	cfg.CheckInvariants = true
+	cfg.Metrics = &metrics.Config{EpochRefs: 5_000}
+	cfg.Faults = &faults.Config{Schedule: "mix", Every: 6_000}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// encodeDecode round-trips a snapshot through the binary codec.
+func encodeDecode(t *testing.T, snap *Snapshot) *Snapshot {
+	t.Helper()
+	data, err := snap.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// TestCodecRoundTripMidEpoch is the differential battery's core case:
+// for every cache design, with every hook attached, a machine is
+// stopped mid-epoch (pre-generated records pending in the batch
+// buffer), snapshotted, encoded, decoded, and resumed — and the decoded
+// continuation must match the original machine's own continuation byte
+// for byte. A direct (unencoded) resume is compared too, so a failure
+// distinguishes "clone is wrong" from "codec is wrong".
+func TestCodecRoundTripMidEpoch(t *testing.T) {
+	for _, k := range []struct {
+		name string
+		kind CacheKind
+	}{
+		{"baseline", KindBaseline},
+		{"seesaw", KindSeesaw},
+		{"pipt", KindPIPT},
+	} {
+		t.Run(k.name, func(t *testing.T) {
+			ctx := context.Background()
+			cfg := hookedConfig(t, k.kind)
+			m := warmMaster(t, cfg)
+			total := cfg.WarmupRefs + cfg.Refs
+
+			// Leave most of a ~4096-reference epoch pending.
+			if err := m.stepBatch(100, cfg.WarmupRefs, total); err != nil {
+				t.Fatal(err)
+			}
+			if m.batch.cur.empty() {
+				t.Fatal("expected pending pre-generated records mid-epoch")
+			}
+			snap, err := m.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if err := m.Measure(ctx); err != nil {
+				t.Fatal(err)
+			}
+			r, err := m.Report()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want bytes.Buffer
+			if err := r.WriteText(&want); err != nil {
+				t.Fatal(err)
+			}
+
+			if got := reportText(t, snap.Resume()); !bytes.Equal(want.Bytes(), got) {
+				t.Errorf("direct resume differs from original continuation:\nwant:\n%s\ngot:\n%s", want.Bytes(), got)
+			}
+			if got := reportText(t, encodeDecode(t, snap).Resume()); !bytes.Equal(want.Bytes(), got) {
+				t.Errorf("decoded resume differs from original continuation:\nwant:\n%s\ngot:\n%s", want.Bytes(), got)
+			}
+		})
+	}
+}
+
+// TestCodecDeterministic: encoding the same snapshot twice — and
+// encoding its own decode — yields identical bytes. The ladder's
+// crash-resume guarantee ("restart produces a byte-identical table")
+// leans on the codec never ranging over a map.
+func TestCodecDeterministic(t *testing.T) {
+	cfg := hookedConfig(t, KindSeesaw)
+	m := warmMaster(t, cfg)
+	snap, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := snap.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := snap.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("two encodings of one snapshot differ")
+	}
+	dec, err := UnmarshalSnapshot(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := dec.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, c) {
+		t.Error("re-encoding a decoded snapshot changes the bytes")
+	}
+}
+
+// TestCodecMetadata: the header peek, the rung depth, and the signature
+// survive the round trip; the prefix hash separates configs by warmup
+// identity only.
+func TestCodecMetadata(t *testing.T) {
+	cfg := testConfig(t, KindSeesaw)
+	m := warmMaster(t, cfg)
+	snap, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := snap.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := PeekSnapshotVersion(data); err != nil || v != SnapshotSchemaVersion {
+		t.Errorf("PeekSnapshotVersion = %d, %v; want %d, nil", v, err, SnapshotSchemaVersion)
+	}
+	if snap.Ref() != cfg.WarmupRefs {
+		t.Errorf("snapshot rung = %d, want the warmup boundary %d", snap.Ref(), cfg.WarmupRefs)
+	}
+	dec, err := UnmarshalSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Ref() != snap.Ref() || dec.Signature() != snap.Signature() {
+		t.Error("decoded snapshot's rung or signature differs from the encoded one's")
+	}
+
+	// Measured-phase parameters must not move the prefix hash; warmup
+	// parameters must.
+	other := testConfig(t, KindPIPT)
+	if cfg.PrefixHash() != other.PrefixHash() {
+		t.Error("cache kind changed the prefix hash; it is a measured-phase parameter")
+	}
+	reseeded := cfg
+	reseeded.Seed = 43
+	if cfg.PrefixHash() == reseeded.PrefixHash() {
+		t.Error("seed did not change the prefix hash")
+	}
+}
+
+// TestCodecErrors: every class of damaged input maps to its typed
+// error, and none of them panic.
+func TestCodecErrors(t *testing.T) {
+	cfg := testConfig(t, KindBaseline)
+	m := warmMaster(t, cfg)
+	snap, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := snap.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrSnapshotTruncated},
+		{"header only", data[:snapHeaderLen], ErrSnapshotTruncated},
+		{"half payload", data[:snapHeaderLen+(len(data)-snapHeaderLen)/2], ErrSnapshotTruncated},
+		{"bad magic", append([]byte("NOTASNAP"), data[8:]...), ErrSnapshotCorrupt},
+		{"version skew", func() []byte {
+			d := append([]byte(nil), data...)
+			d[8], d[9] = 0xff, 0xfe
+			return d
+		}(), ErrSnapshotSchema},
+		{"flipped payload byte", func() []byte {
+			d := append([]byte(nil), data...)
+			d[len(d)/2] ^= 0x40
+			return d
+		}(), ErrSnapshotCorrupt},
+		{"flipped checksum", func() []byte {
+			d := append([]byte(nil), data...)
+			d[20] ^= 0x01
+			return d
+		}(), ErrSnapshotCorrupt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := UnmarshalSnapshot(tc.data); !errors.Is(err, tc.want) {
+				t.Errorf("got err %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestWarmupTo: climbing the warmup in chunks lands on the same state
+// as one uninterrupted warmup — the resumed-from-rung continuation is
+// byte-identical to the cold run — and the boundary/ordering rules
+// hold.
+func TestWarmupTo(t *testing.T) {
+	ctx := context.Background()
+	cfg := testConfig(t, KindSeesaw)
+	cold, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reportText(t, cold)
+
+	m, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rung := range []int{5_000, 12_000, cfg.WarmupRefs} {
+		if err := m.WarmupTo(ctx, rung); err != nil {
+			t.Fatal(err)
+		}
+		if m.Ref() != rung {
+			t.Fatalf("after WarmupTo(%d), Ref() = %d", rung, m.Ref())
+		}
+		// Round-trip the mid-warmup machine through the codec and keep
+		// climbing on the decoded copy — exactly the ladder's resume path.
+		snap, err := m.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m = encodeDecode(t, snap).Resume()
+		if m.Ref() != rung {
+			t.Fatalf("decoded rung sits at %d, want %d", m.Ref(), rung)
+		}
+	}
+	if err := m.WarmupTo(ctx, 5_000); err != nil {
+		t.Errorf("WarmupTo below the cursor should be a no-op, got %v", err)
+	}
+	if err := m.WarmupTo(ctx, cfg.WarmupRefs+1); err == nil {
+		t.Error("WarmupTo past the warmup boundary did not fail")
+	}
+	if err := m.Measure(ctx); err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := r.WriteText(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got.Bytes()) {
+		t.Errorf("ladder-climbed run differs from cold run:\ncold:\n%s\nladdered:\n%s", want, got.Bytes())
+	}
+}
+
+// FuzzSnapshotCodec throws arbitrary and systematically damaged bytes
+// at the decoder: it must never panic, must return one of the typed
+// errors on anything it rejects, and anything it accepts must actually
+// run. Seeded with a genuine encoded snapshot so mutations explore the
+// interesting region around valid input.
+func FuzzSnapshotCodec(f *testing.F) {
+	p, err := workload.ByName("redis")
+	if err != nil {
+		f.Fatal(err)
+	}
+	cfg := Config{
+		Workload:   p,
+		Seed:       7,
+		Refs:       400,
+		WarmupRefs: 300,
+		CacheKind:  KindSeesaw,
+		L1Size:     32 << 10,
+		FreqGHz:    1.33,
+		CPUKind:    "inorder",
+		MemBytes:   512 << 20,
+	}
+	if err := cfg.Validate(); err != nil {
+		f.Fatal(err)
+	}
+	m, err := Build(cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := m.Warmup(context.Background()); err != nil {
+		f.Fatal(err)
+	}
+	snap, err := m.Snapshot()
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := snap.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add([]byte{})
+	f.Add(snapMagic[:])
+	corrupt := append([]byte(nil), valid...)
+	corrupt[len(corrupt)/3] ^= 0x80
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := UnmarshalSnapshot(data)
+		if err != nil {
+			if !errors.Is(err, ErrSnapshotTruncated) && !errors.Is(err, ErrSnapshotCorrupt) &&
+				!errors.Is(err, ErrSnapshotSchema) {
+				t.Fatalf("decoder returned an untyped error: %v", err)
+			}
+			return
+		}
+		// Accepted input must yield a machine that can run a few
+		// references and re-encode without failing.
+		re := s.Resume()
+		total := re.Config().WarmupRefs + re.Config().Refs
+		for i := 0; i < 50 && re.Ref() < total; i++ {
+			if err := re.Step(); err != nil {
+				t.Fatalf("decoded machine failed to step: %v", err)
+			}
+		}
+		if _, err := s.MarshalBinary(); err != nil {
+			t.Fatalf("decoded snapshot failed to re-encode: %v", err)
+		}
+	})
+}

@@ -325,12 +325,6 @@ func (m *Machine) buildUarch() error {
 			return err
 		}
 		m.l1s[i], m.seesaws[i] = l1, s
-		if mrec != nil {
-			l1.Storage().Metrics, l1.Storage().MetricsCore = mrec, i
-			if s != nil {
-				s.TFT().Metrics, s.TFT().MetricsCore = mrec, i
-			}
-		}
 		if cfg.ICache {
 			icfg := l1cfg
 			icfg.SizeBytes = 32 << 10
@@ -341,19 +335,12 @@ func (m *Machine) buildUarch() error {
 				return err
 			}
 			m.l1is[i], m.iseesaws[i] = il1, is
-			if mrec != nil {
-				il1.Storage().Metrics, il1.Storage().MetricsCore = mrec, m.nCores+i
-				if is != nil {
-					is.TFT().Metrics, is.TFT().MetricsCore = mrec, m.nCores+i
-				}
-			}
 		}
 		walker := pagetable.NewWalker(m.proc.PT, 20)
 		h, err := tlb.NewHierarchy(tlbCfg, walker)
 		if err != nil {
 			return err
 		}
-		h.Metrics, h.MetricsCore = mrec, i
 		m.hiers[i] = h
 		cm, err := cpu.New(cfg.CPUKind)
 		if err != nil {
@@ -372,8 +359,8 @@ func (m *Machine) buildUarch() error {
 	if err != nil {
 		return err
 	}
-	cohSys.Metrics = mrec
 	m.cohSys = cohSys
+	m.attachMetrics(mrec)
 
 	// Optional shadow oracle: audits every reference and OS event
 	// against page-table / directory ground truth.
@@ -413,10 +400,40 @@ func (m *Machine) buildUarch() error {
 	if st := m.hiers[0].L1Super(); st != nil {
 		m.superTLBThreshold = st.Config().Entries / 4
 	}
+	return nil
+}
+
+// attachMetrics wires a recorder (nil for the disabled path) into every
+// subsystem that mirrors activity into the observability layer: L1
+// storage arrays and TFTs on both sides, TLB hierarchies, the coherence
+// system, and the machine's probe-width tracker. buildUarch calls it at
+// construction; clone and snapshot decoding call it to point the wiring
+// at their own recorder.
+func (m *Machine) attachMetrics(mrec *metrics.Recorder) {
+	m.Hooks.Metrics = mrec
+	for i, l1 := range m.l1s {
+		l1.Storage().Metrics, l1.Storage().MetricsCore = mrec, i
+		if s := m.seesaws[i]; s != nil {
+			s.TFT().Metrics, s.TFT().MetricsCore = mrec, i
+		}
+	}
+	for i, il1 := range m.l1is {
+		il1.Storage().Metrics, il1.Storage().MetricsCore = mrec, m.nCores+i
+		if is := m.iseesaws[i]; is != nil {
+			is.TFT().Metrics, is.TFT().MetricsCore = mrec, m.nCores+i
+		}
+	}
+	for i, h := range m.hiers {
+		h.Metrics, h.MetricsCore = mrec, i
+	}
+	if m.cohSys != nil {
+		m.cohSys.Metrics = mrec
+	}
 	if mrec != nil {
 		m.lastWidth = make([]int, len(m.cohL1s()))
+	} else {
+		m.lastWidth = nil
 	}
-	return nil
 }
 
 // cohL1s returns the coherence participant order: data caches first,

@@ -216,28 +216,48 @@ func TestSnapshotResume(t *testing.T) {
 	}
 }
 
-// TestSnapshotGated: machines with a metrics recorder or the invariant
-// checker attached must refuse to snapshot — their state is not
-// cloneable.
-func TestSnapshotGated(t *testing.T) {
+// TestSnapshotWithHooks: machines carrying a metrics recorder, the
+// invariant checker, and a fault injector snapshot and resume
+// bit-identically — each resumed copy gets its own recorder and checker
+// positioned exactly where the original's were, wired over the copy's
+// own components. (Earlier versions refused to snapshot hooked
+// machines; the snapshot ladder requires it.)
+func TestSnapshotWithHooks(t *testing.T) {
+	ctx := context.Background()
 	cfg := testConfig(t, KindSeesaw)
+	cfg.CheckInvariants = true
 	cfg.Metrics = &metrics.Config{EpochRefs: 5_000}
-	m, err := Build(cfg)
-	if err != nil {
+	cfg.Faults = &faults.Config{Schedule: "mix", Every: 6_000}
+	if err := cfg.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Snapshot(); err == nil || !strings.Contains(err.Error(), "metrics") {
-		t.Errorf("snapshot with metrics recorder: got err %v, want metrics refusal", err)
+	m := warmMaster(t, cfg)
+	snap, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
 	}
 
-	cfg = testConfig(t, KindSeesaw)
-	cfg.CheckInvariants = true
-	m, err = Build(cfg)
+	if err := m.Measure(ctx); err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Report()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Snapshot(); err == nil || !strings.Contains(err.Error(), "checker") {
-		t.Errorf("snapshot with checker: got err %v, want checker refusal", err)
+	var want bytes.Buffer
+	if err := r.WriteText(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	re := snap.Resume()
+	if re.Hooks.Metrics == nil || re.Hooks.Checker == nil || re.Hooks.Injector == nil {
+		t.Fatal("resumed machine is missing hooks its config asked for")
+	}
+	if re.Hooks.Metrics == m.Hooks.Metrics || re.Hooks.Checker == m.Hooks.Checker {
+		t.Fatal("resumed machine shares hook state with the original")
+	}
+	if got := reportText(t, re); !bytes.Equal(want.Bytes(), got) {
+		t.Errorf("hooked resume differs from the original continuation:\nwant:\n%s\ngot:\n%s", want.Bytes(), got)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"seesaw/internal/addr"
+	"seesaw/internal/check"
 	"seesaw/internal/core"
 	"seesaw/internal/osmm"
 	"seesaw/internal/pagetable"
@@ -116,10 +117,11 @@ func (m *Machine) newPT(clonedMgr *osmm.Manager, old *pagetable.Table) *pagetabl
 	panic("machine: walker table belongs to no managed process")
 }
 
-// clone deep-copies the whole machine — OS state and warm
-// microarchitectural state — and rewires every cross-component hook to
-// the clone's own parts. Callers guarantee Hooks.Metrics and
-// Hooks.Checker are nil (Snapshot's gate).
+// clone deep-copies the whole machine — OS state, warm
+// microarchitectural state, and every attached hook — and rewires every
+// cross-component reference to the clone's own parts: the cloned
+// recorder replaces the original in every subsystem's metrics mirror,
+// and the cloned checker audits the clone's caches and directory.
 func (m *Machine) clone() *Machine {
 	c := &Machine{
 		cfg:               m.cfg,
@@ -170,6 +172,18 @@ func (m *Machine) clone() *Machine {
 	if m.Hooks.Injector != nil {
 		c.Hooks.Injector = m.Hooks.Injector.Clone()
 	}
+	if m.Hooks.Metrics != nil {
+		c.attachMetrics(m.Hooks.Metrics.Clone())
+		copy(c.lastWidth, m.lastWidth)
+	}
+	if m.Hooks.Checker != nil {
+		chk := m.Hooks.Checker.Clone(check.Wiring{
+			L1s: c.cohL1s(), Hiers: c.hiers, Seesaws: c.seesaws, ISeesaws: c.iseesaws,
+			Coh: c.cohSys, Mgr: c.mgr,
+		})
+		chk.Metrics = c.Hooks.Metrics
+		c.Hooks.Checker = chk
+	}
 	c.mgr.OnInvlpg = c.onInvlpg
 	c.mgr.OnPromote = c.onPromote
 	return c
@@ -182,18 +196,11 @@ type Snapshot struct {
 	m *Machine
 }
 
-// Snapshot deep-copies the machine's current state. It refuses machines
-// with the metrics recorder or invariant checker attached: the
-// recorder's event ring and the checker's shadow state are not
-// cloneable, and sharing them across resumed copies would corrupt both.
-// The fault injector is cloneable and survives snapshotting.
+// Snapshot deep-copies the machine's current state, hooks included:
+// each resumed copy gets its own metrics recorder, invariant checker,
+// and fault injector, all positioned exactly where the original's were,
+// so a resumed run continues bit-identically to the uninterrupted one.
 func (m *Machine) Snapshot() (*Snapshot, error) {
-	if m.Hooks.Metrics != nil {
-		return nil, fmt.Errorf("sim: cannot snapshot a machine with a metrics recorder attached")
-	}
-	if m.Hooks.Checker != nil {
-		return nil, fmt.Errorf("sim: cannot snapshot a machine with the invariant checker attached")
-	}
 	return &Snapshot{m: m.clone()}, nil
 }
 

@@ -1,0 +1,100 @@
+package metrics
+
+import "fmt"
+
+// Clone returns an independent deep copy of the recorder: counters,
+// epoch series, and the event ring all duplicate, so a resumed machine
+// and its original record diverging histories without sharing state.
+// Clone of a nil recorder is nil, mirroring the disabled path.
+func (r *Recorder) Clone() *Recorder {
+	if r == nil {
+		return nil
+	}
+	c := &Recorder{
+		epochRefs: r.epochRefs,
+		cores:     append([]Counters(nil), r.cores...),
+		last:      append([]Counters(nil), r.last...),
+		refs:      r.refs,
+		start:     r.start,
+		ring:      append([]Event(nil), r.ring...),
+		next:      r.next,
+		total:     r.total,
+		dropped:   r.dropped,
+	}
+	c.epochs = make([]Epoch, len(r.epochs))
+	for i, e := range r.epochs {
+		c.epochs[i] = e
+		c.epochs[i].PerCore = append([]Counters(nil), e.PerCore...)
+	}
+	return c
+}
+
+// RecorderState is the recorder's serializable state. Sizing (core
+// count, ring capacity, epoch length) is config-derived and must match
+// the recorder the state is restored onto.
+type RecorderState struct {
+	EpochRefs uint64
+	Cores     []Counters
+	Last      []Counters
+	Refs      uint64
+	Start     uint64
+	Epochs    []Epoch
+	Ring      []Event
+	Next      int
+	Total     uint64
+	Dropped   uint64
+}
+
+// State captures the recorder.
+func (r *Recorder) State() RecorderState {
+	s := RecorderState{
+		EpochRefs: r.epochRefs,
+		Cores:     append([]Counters(nil), r.cores...),
+		Last:      append([]Counters(nil), r.last...),
+		Refs:      r.refs,
+		Start:     r.start,
+		Ring:      append([]Event(nil), r.ring...),
+		Next:      r.next,
+		Total:     r.total,
+		Dropped:   r.dropped,
+	}
+	s.Epochs = make([]Epoch, len(r.epochs))
+	for i, e := range r.epochs {
+		s.Epochs[i] = e
+		s.Epochs[i].PerCore = append([]Counters(nil), e.PerCore...)
+	}
+	return s
+}
+
+// SetState restores the recorder in place, so every subsystem holding
+// this *Recorder observes the restored counters without rewiring. The
+// receiver must have been built from the same config (same core count,
+// ring capacity, and epoch length).
+func (r *Recorder) SetState(s RecorderState) error {
+	if len(s.Cores) != len(r.cores) || len(s.Last) != len(r.last) {
+		return fmt.Errorf("metrics: state sized for %d cores, recorder has %d", len(s.Cores), len(r.cores))
+	}
+	if len(s.Ring) != len(r.ring) {
+		return fmt.Errorf("metrics: state ring holds %d slots, recorder's holds %d", len(s.Ring), len(r.ring))
+	}
+	if s.EpochRefs != r.epochRefs {
+		return fmt.Errorf("metrics: state epoch length %d, recorder's %d", s.EpochRefs, r.epochRefs)
+	}
+	if s.Next < 0 || (len(r.ring) > 0 && s.Next >= len(r.ring)) || (len(r.ring) == 0 && s.Next != 0) {
+		return fmt.Errorf("metrics: ring position %d outside %d slots", s.Next, len(r.ring))
+	}
+	copy(r.cores, s.Cores)
+	copy(r.last, s.Last)
+	r.refs = s.Refs
+	r.start = s.Start
+	r.epochs = make([]Epoch, len(s.Epochs))
+	for i, e := range s.Epochs {
+		r.epochs[i] = e
+		r.epochs[i].PerCore = append([]Counters(nil), e.PerCore...)
+	}
+	copy(r.ring, s.Ring)
+	r.next = s.Next
+	r.total = s.Total
+	r.dropped = s.Dropped
+	return nil
+}

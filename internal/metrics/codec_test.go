@@ -1,0 +1,96 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+)
+
+// recordedRecorder builds a two-core recorder advanced across an epoch
+// boundary with counters and a partially wrapped event ring.
+func recordedRecorder() *Recorder {
+	r := New(Config{EpochRefs: 10, EventCap: 4}, 2, 40)
+	for i := 0; i < 25; i++ {
+		core := i % 2
+		r.Add(core, CtrRefs, 1)
+		r.Add(core, CtrL1Hit, 1)
+		if i%5 == 0 {
+			r.Emit(core, EvTLBFill, uint64(i)<<12, uint64(i)<<12, 4096)
+		}
+		r.TickRef()
+	}
+	return r
+}
+
+// TestRecorderStateRoundTrip: a recorder restored from a captured state
+// carries the counters, the closed epochs, and the event ring — and
+// continues accumulating from the restored position, closing its next
+// epoch exactly where the original does.
+func TestRecorderStateRoundTrip(t *testing.T) {
+	r := recordedRecorder()
+	fresh := New(Config{EpochRefs: 10, EventCap: 4}, 2, 40)
+	if err := fresh.SetState(r.State()); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Ref() != r.Ref() {
+		t.Errorf("restored Ref() = %d, want %d", fresh.Ref(), r.Ref())
+	}
+	for _, rec := range []*Recorder{r, fresh} {
+		for i := 0; i < 10; i++ {
+			rec.Add(0, CtrRefs, 1)
+			rec.TickRef()
+		}
+	}
+	s0, s1 := r.Finish(), fresh.Finish()
+	if !reflect.DeepEqual(s0, s1) {
+		t.Errorf("finished series diverge:\noriginal %+v\nrestored %+v", s0, s1)
+	}
+}
+
+// TestRecorderStateRejections: sizing mismatches — core count, ring
+// capacity, epoch length, ring position — are corrupt states.
+func TestRecorderStateRejections(t *testing.T) {
+	r := recordedRecorder()
+
+	if err := New(Config{EpochRefs: 10, EventCap: 4}, 3, 40).SetState(r.State()); err == nil {
+		t.Error("accepted a state sized for fewer cores")
+	}
+	if err := New(Config{EpochRefs: 10, EventCap: 8}, 2, 40).SetState(r.State()); err == nil {
+		t.Error("accepted a state with the wrong ring capacity")
+	}
+	if err := New(Config{EpochRefs: 20, EventCap: 4}, 2, 40).SetState(r.State()); err == nil {
+		t.Error("accepted a state with the wrong epoch length")
+	}
+
+	pos := r.State()
+	pos.Next = 4
+	if err := New(Config{EpochRefs: 10, EventCap: 4}, 2, 40).SetState(pos); err == nil {
+		t.Error("accepted a ring position past the ring")
+	}
+	pos.Next = -1
+	if err := New(Config{EpochRefs: 10, EventCap: 4}, 2, 40).SetState(pos); err == nil {
+		t.Error("accepted a negative ring position")
+	}
+
+	// With the event log disabled the only valid position is zero.
+	noRing := New(Config{EpochRefs: 10, EventCap: -1}, 2, 40)
+	st := noRing.State()
+	st.Next = 1
+	if err := New(Config{EpochRefs: 10, EventCap: -1}, 2, 40).SetState(st); err == nil {
+		t.Error("accepted a nonzero ring position on a ringless recorder")
+	}
+}
+
+// TestRecorderClone: the clone finishes to the same series as the
+// original and the two accumulate independently; a nil recorder clones
+// to nil, mirroring the disabled path.
+func TestRecorderClone(t *testing.T) {
+	r := recordedRecorder()
+	c := r.Clone()
+	c.Add(1, CtrL1Miss, 3)
+	if r.State().Cores[1] == c.State().Cores[1] {
+		t.Error("adding on the clone moved the original's counters")
+	}
+	if (*Recorder)(nil).Clone() != nil {
+		t.Error("Clone of a nil recorder must be nil")
+	}
+}

@@ -73,8 +73,8 @@ type eventJSON struct {
 func (e Event) MarshalJSON() ([]byte, error) {
 	return json.Marshal(eventJSON{
 		Ref: e.Ref, Core: e.Core, Kind: e.Kind.String(),
-		VA: "0x" + strconv.FormatUint(e.VA, 16),
-		PA: "0x" + strconv.FormatUint(e.PA, 16),
+		VA:  "0x" + strconv.FormatUint(e.VA, 16),
+		PA:  "0x" + strconv.FormatUint(e.PA, 16),
 		Arg: e.Arg,
 	})
 }

@@ -1,0 +1,130 @@
+package physmem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BuddyState is the serializable mutable state of a Buddy allocator.
+// Geometry (total frames, max order) is config-derived and re-created by
+// physmem.New; only the free-block structure travels. FreeLists carries
+// each order's heap backing slice verbatim — copying a heap's backing
+// slice preserves the heap invariant, so the restored allocator pops the
+// same frames in the same order. FreeOrder is flattened as sorted
+// (frame, order) pairs for deterministic encoding.
+type BuddyState struct {
+	FreeLists   [][]uint64
+	FreeFrames  []uint64 // frame keys of freeOrder, sorted
+	FreeOrders  []int    // order values, parallel to FreeFrames
+	FreeCount   uint64   // buddy.freeFrames
+	TotalFrames uint64   // for cross-checking against the rebuilt allocator
+}
+
+// State captures the allocator's free-block structure.
+func (b *Buddy) State() BuddyState {
+	s := BuddyState{
+		FreeLists:   make([][]uint64, len(b.freeLists)),
+		FreeCount:   b.freeFrames,
+		TotalFrames: b.totalFrames,
+	}
+	for k, h := range b.freeLists {
+		s.FreeLists[k] = append([]uint64(nil), h.frames...)
+	}
+	s.FreeFrames = make([]uint64, 0, len(b.freeOrder))
+	for f := range b.freeOrder {
+		s.FreeFrames = append(s.FreeFrames, f)
+	}
+	sort.Slice(s.FreeFrames, func(i, j int) bool { return s.FreeFrames[i] < s.FreeFrames[j] })
+	s.FreeOrders = make([]int, len(s.FreeFrames))
+	for i, f := range s.FreeFrames {
+		s.FreeOrders[i] = b.freeOrder[f]
+	}
+	return s
+}
+
+// SetState restores the free-block structure in place, so every holder
+// of this *Buddy (the OS manager, the memhog) observes the restored
+// state without rewiring. The receiver must have the same geometry the
+// state was captured from.
+func (b *Buddy) SetState(s BuddyState) error {
+	if len(s.FreeLists) != len(b.freeLists) {
+		return fmt.Errorf("physmem: state has %d order lists, allocator has %d", len(s.FreeLists), len(b.freeLists))
+	}
+	if s.TotalFrames != b.totalFrames {
+		return fmt.Errorf("physmem: state covers %d frames, allocator has %d", s.TotalFrames, b.totalFrames)
+	}
+	if len(s.FreeFrames) != len(s.FreeOrders) {
+		return fmt.Errorf("physmem: free-order arrays disagree (%d frames, %d orders)", len(s.FreeFrames), len(s.FreeOrders))
+	}
+	for k := range b.freeLists {
+		b.freeLists[k].frames = append(b.freeLists[k].frames[:0], s.FreeLists[k]...)
+	}
+	b.freeOrder = make(map[uint64]int, len(s.FreeFrames))
+	for i, f := range s.FreeFrames {
+		if f >= b.totalFrames {
+			return fmt.Errorf("physmem: free frame %d beyond %d total frames", f, b.totalFrames)
+		}
+		if s.FreeOrders[i] < 0 || s.FreeOrders[i] > b.maxOrder {
+			return fmt.Errorf("physmem: free order %d outside [0,%d]", s.FreeOrders[i], b.maxOrder)
+		}
+		b.freeOrder[f] = s.FreeOrders[i]
+	}
+	b.freeFrames = s.FreeCount
+	return nil
+}
+
+// MemhogState is the serializable mutable state of a Memhog: which
+// frames it pins (flattened deterministically), its compaction cursor,
+// and its counters. The buddy and RNG it draws from are restored
+// separately and stay wired.
+type MemhogState struct {
+	PinnedFrames []uint64 // pinned keys, sorted
+	PinnedIdx    []int    // pinned values, parallel to PinnedFrames
+	Frames       []uint64
+	Cursor       int
+	Migrations   uint64
+	Compactions  uint64
+}
+
+// State captures the hog's pinned-frame set and counters.
+func (h *Memhog) State() MemhogState {
+	s := MemhogState{
+		Frames:      append([]uint64(nil), h.frames...),
+		Cursor:      h.cursor,
+		Migrations:  h.Migrations,
+		Compactions: h.Compactions,
+	}
+	s.PinnedFrames = make([]uint64, 0, len(h.pinned))
+	for f := range h.pinned {
+		s.PinnedFrames = append(s.PinnedFrames, f)
+	}
+	sort.Slice(s.PinnedFrames, func(i, j int) bool { return s.PinnedFrames[i] < s.PinnedFrames[j] })
+	s.PinnedIdx = make([]int, len(s.PinnedFrames))
+	for i, f := range s.PinnedFrames {
+		s.PinnedIdx[i] = h.pinned[f]
+	}
+	return s
+}
+
+// SetState restores the hog in place; its buddy and rng pointers are
+// untouched (the caller restores those separately).
+func (h *Memhog) SetState(s MemhogState) error {
+	if len(s.PinnedFrames) != len(s.PinnedIdx) {
+		return fmt.Errorf("physmem: pinned arrays disagree (%d frames, %d indices)", len(s.PinnedFrames), len(s.PinnedIdx))
+	}
+	h.frames = append(h.frames[:0], s.Frames...)
+	h.pinned = make(map[uint64]int, len(s.PinnedFrames))
+	for i, f := range s.PinnedFrames {
+		if s.PinnedIdx[i] < 0 || s.PinnedIdx[i] >= len(h.frames) {
+			return fmt.Errorf("physmem: pinned index %d outside the hog's %d frames", s.PinnedIdx[i], len(h.frames))
+		}
+		h.pinned[f] = s.PinnedIdx[i]
+	}
+	if s.Cursor < 0 {
+		return fmt.Errorf("physmem: negative hog cursor %d", s.Cursor)
+	}
+	h.cursor = s.Cursor
+	h.Migrations = s.Migrations
+	h.Compactions = s.Compactions
+	return nil
+}

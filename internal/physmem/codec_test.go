@@ -1,0 +1,156 @@
+package physmem
+
+import (
+	"math/rand"
+	"testing"
+
+	"seesaw/internal/addr"
+)
+
+// fragmented builds a buddy with non-trivial free-list structure: a mix
+// of allocations and frees that forces splits and leaves holes.
+func fragmented(t *testing.T) *Buddy {
+	t.Helper()
+	b, err := New(64 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frames []addr.PAddr
+	for i := 0; i < 40; i++ {
+		pa, ok := b.Alloc(addr.Page4K)
+		if !ok {
+			t.Fatal("allocation failed")
+		}
+		frames = append(frames, pa)
+	}
+	if _, ok := b.Alloc(addr.Page2M); !ok {
+		t.Fatal("2MB allocation failed")
+	}
+	for i := 0; i < len(frames); i += 3 {
+		b.Free(frames[i], addr.Page4K)
+	}
+	return b
+}
+
+// TestBuddyStateRoundTrip: an allocator restored from a captured state
+// has the same free memory and pops the same frames in the same order —
+// the heap invariant survives the flattened free lists.
+func TestBuddyStateRoundTrip(t *testing.T) {
+	b := fragmented(t)
+	fresh := MustNew(64 << 20)
+	if err := fresh.SetState(b.State()); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.FreeBytes() != b.FreeBytes() {
+		t.Fatalf("restored FreeBytes %d, want %d", fresh.FreeBytes(), b.FreeBytes())
+	}
+	for i := 0; i < 30; i++ {
+		size := addr.Page4K
+		if i%10 == 9 {
+			size = addr.Page2M
+		}
+		pa0, ok0 := b.Alloc(size)
+		pa1, ok1 := fresh.Alloc(size)
+		if pa0 != pa1 || ok0 != ok1 {
+			t.Fatalf("alloc %d diverged: original %#x/%v, restored %#x/%v",
+				i, uint64(pa0), ok0, uint64(pa1), ok1)
+		}
+	}
+}
+
+// TestBuddyStateRejections: states from a different geometry or with
+// inconsistent free-order arrays are rejected.
+func TestBuddyStateRejections(t *testing.T) {
+	b := fragmented(t)
+
+	if err := MustNew(32 << 20).SetState(b.State()); err == nil {
+		t.Error("accepted a state from a larger memory")
+	}
+
+	frames := b.State()
+	frames.FreeFrames = frames.FreeFrames[:len(frames.FreeFrames)-1]
+	if err := MustNew(64 << 20).SetState(frames); err == nil {
+		t.Error("accepted mismatched free-order arrays")
+	}
+
+	beyond := b.State()
+	beyond.FreeFrames = append([]uint64(nil), beyond.FreeFrames...)
+	beyond.FreeFrames[0] = beyond.TotalFrames
+	if err := MustNew(64 << 20).SetState(beyond); err == nil {
+		t.Error("accepted a free frame beyond the memory")
+	}
+
+	order := b.State()
+	order.FreeOrders = append([]int(nil), order.FreeOrders...)
+	order.FreeOrders[0] = Order1G + 1
+	if err := MustNew(64 << 20).SetState(order); err == nil {
+		t.Error("accepted a free order past the allocator's maximum")
+	}
+
+	lists := b.State()
+	lists.FreeLists = lists.FreeLists[:len(lists.FreeLists)-1]
+	if err := MustNew(64 << 20).SetState(lists); err == nil {
+		t.Error("accepted a state with the wrong order-list count")
+	}
+}
+
+// TestMemhogStateRoundTrip: a hog restored from a captured state holds
+// the same pinned set and compacts identically.
+func TestMemhogStateRoundTrip(t *testing.T) {
+	b := MustNew(64 << 20)
+	h, err := Run(b, rand.New(rand.NewSource(7)), 0.3, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Compact(Order2M)
+
+	b2 := MustNew(64 << 20)
+	if err := b2.SetState(b.State()); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Run(b2, rand.New(rand.NewSource(99)), 0, 0) // empty hog over matching memory
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h2.SetState(h.State()); err != nil {
+		t.Fatal(err)
+	}
+	if h2.Migrations != h.Migrations || h2.Compactions != h.Compactions {
+		t.Errorf("restored counters %d/%d, want %d/%d",
+			h2.Migrations, h2.Compactions, h.Migrations, h.Compactions)
+	}
+	// Note: b2's state was captured before h2's restore, so both buddies
+	// and both hogs now agree; compaction must behave the same way.
+	if got, want := h2.Compact(Order2M), h.Compact(Order2M); got != want {
+		t.Errorf("restored hog compaction = %v, original = %v", got, want)
+	}
+}
+
+// TestMemhogStateRejections: inconsistent pinned arrays and a negative
+// cursor are corrupt states.
+func TestMemhogStateRejections(t *testing.T) {
+	b := MustNew(64 << 20)
+	h, err := Run(b, rand.New(rand.NewSource(7)), 0.2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	arrays := h.State()
+	arrays.PinnedIdx = arrays.PinnedIdx[:len(arrays.PinnedIdx)-1]
+	if err := h.SetState(arrays); err == nil {
+		t.Error("accepted mismatched pinned arrays")
+	}
+
+	idx := h.State()
+	idx.PinnedIdx = append([]int(nil), idx.PinnedIdx...)
+	idx.PinnedIdx[0] = len(idx.Frames)
+	if err := h.SetState(idx); err == nil {
+		t.Error("accepted a pinned index past the frame list")
+	}
+
+	cursor := h.State()
+	cursor.Cursor = -1
+	if err := h.SetState(cursor); err == nil {
+		t.Error("accepted a negative cursor")
+	}
+}

@@ -1,0 +1,202 @@
+package runner
+
+import (
+	"context"
+	"sync"
+
+	"seesaw/internal/machine"
+	"seesaw/internal/sim"
+)
+
+// SnapshotStore is the slice of the disk store the ladder needs: rungs
+// keyed by (warmup prefix hash, reference depth). *store.Store
+// implements it; tests substitute in-memory fakes.
+type SnapshotStore interface {
+	// DeepestSnapshot returns the deepest stored rung for prefix at or
+	// below maxRefs, or ok=false when none is usable.
+	DeepestSnapshot(prefix string, maxRefs int) (data []byte, refs int, ok bool)
+	// PutSnapshot persists one rung.
+	PutSnapshot(prefix string, refs int, data []byte) error
+	// DropSnapshot removes a rung that failed to decode or resume, so it
+	// is recomputed instead of tripping every future ladder climb.
+	DropSnapshot(prefix string, refs int)
+}
+
+// LadderCounters is a snapshot of one ladder's outcomes.
+type LadderCounters struct {
+	// Warmups is the number of distinct warmup prefixes this ladder
+	// warmed (from a rung or from cold).
+	Warmups uint64
+	// RungHits is how many of those warmups resumed from a stored rung.
+	RungHits uint64
+	// ResumedRefs is the total warmup references skipped by resuming —
+	// the ladder's whole payoff, measured in simulated work not redone.
+	ResumedRefs uint64
+	// RunRefs is the total warmup references actually executed.
+	RunRefs uint64
+	// RungPuts is how many rungs this ladder persisted.
+	RungPuts uint64
+	// RungDrops is how many stored rungs failed to decode and were
+	// dropped for recomputation.
+	RungDrops uint64
+}
+
+// LadderStats accumulates a ladder's counters; safe for concurrent use.
+type LadderStats struct {
+	mu sync.Mutex
+	c  LadderCounters
+}
+
+// Counters returns a snapshot of the counters.
+func (l *LadderStats) Counters() LadderCounters {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.c
+}
+
+func (l *LadderStats) count(f func(*LadderCounters)) {
+	l.mu.Lock()
+	f(&l.c)
+	l.mu.Unlock()
+}
+
+// LadderRun returns a shared-warmup cell function that additionally
+// climbs the snapshot ladder: before warming a signature from cold, it
+// resolves the deepest stored rung for the config's warmup prefix and
+// resumes from there, and as it warms it persists new rungs — every
+// rungEvery references when rungEvery > 0, and always at the warmup
+// boundary — so the next process (or the next retry after a crash)
+// starts from the deepest point any run ever reached rather than from
+// zero. Reports stay byte-identical to cold runs: a rung is a
+// bit-exact machine snapshot, and the measured phase always runs fresh
+// via Fork.
+//
+// With snaps == nil the ladder degenerates to plain shared warmup —
+// SharedWarmupRun is exactly LadderRun(nil, 0) — and configs with no
+// warmup phase or a replay trace take the ordinary sim.RunContext path.
+func LadderRun(snaps SnapshotStore, rungEvery int) (RunFunc, *LadderStats) {
+	stats := &LadderStats{}
+	var mu sync.Mutex
+	warmed := make(map[machine.WarmupSignature]*warmEntry)
+	run := func(ctx context.Context, cfg sim.Config) (*sim.Report, error) {
+		if cfg.WarmupRefs <= 0 || cfg.Trace != nil {
+			return sim.RunContext(ctx, cfg)
+		}
+		sig := cfg.WarmupSignature()
+		mu.Lock()
+		e, ok := warmed[sig]
+		if !ok {
+			e = &warmEntry{}
+			warmed[sig] = e
+		}
+		mu.Unlock()
+		e.once.Do(func() {
+			m, err := climb(ctx, cfg, snaps, rungEvery, stats)
+			if err != nil {
+				e.err = err
+				mu.Lock()
+				delete(warmed, sig)
+				mu.Unlock()
+				return
+			}
+			e.m = m
+		})
+		if e.err != nil {
+			return nil, e.err
+		}
+		e.mu.Lock()
+		f, err := e.m.Fork(cfg)
+		e.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		if err := f.Measure(ctx); err != nil {
+			return nil, err
+		}
+		return f.Report()
+	}
+	return run, stats
+}
+
+// climb produces a machine warmed to cfg's warmup boundary: resume from
+// the deepest stored rung if one decodes, execute the remaining warmup
+// in rung-sized chunks, and persist each rung passed on the way up.
+func climb(ctx context.Context, cfg sim.Config, snaps SnapshotStore, rungEvery int, stats *LadderStats) (*machine.Machine, error) {
+	var m *machine.Machine
+	resumedAt := 0
+	if snaps != nil {
+		prefix := cfg.PrefixHash()
+		if data, refs, ok := snaps.DeepestSnapshot(prefix, cfg.WarmupRefs); ok {
+			snap, err := machine.UnmarshalSnapshot(data)
+			switch {
+			case err != nil:
+				// A rung that does not decode (bit rot, tampering) is
+				// dropped and recomputed; resuming a sweep must never
+				// fail on a bad cache entry.
+				snaps.DropSnapshot(prefix, refs)
+				stats.count(func(c *LadderCounters) { c.RungDrops++ })
+			case snap.Signature() != cfg.WarmupSignature() || snap.Ref() != refs:
+				// The rung decodes but is not what its key claims — a
+				// prefix-hash collision or a mislabeled entry. Treat as
+				// unusable.
+				snaps.DropSnapshot(prefix, refs)
+				stats.count(func(c *LadderCounters) { c.RungDrops++ })
+			default:
+				m = snap.Resume()
+				resumedAt = refs
+				stats.count(func(c *LadderCounters) {
+					c.RungHits++
+					c.ResumedRefs += uint64(refs)
+				})
+			}
+		}
+	}
+	if m == nil {
+		built, err := machine.Build(cfg)
+		if err != nil {
+			return nil, err
+		}
+		m = built
+	}
+	stats.count(func(c *LadderCounters) { c.Warmups++ })
+
+	persist := func() {
+		if snaps == nil {
+			return
+		}
+		snap, err := m.Snapshot()
+		if err != nil {
+			return
+		}
+		data, err := snap.MarshalBinary()
+		if err != nil {
+			return
+		}
+		if snaps.PutSnapshot(cfg.PrefixHash(), m.Ref(), data) == nil {
+			stats.count(func(c *LadderCounters) { c.RungPuts++ })
+		}
+	}
+
+	if rungEvery > 0 && snaps != nil {
+		// Climb rung by rung, persisting each one above the resume
+		// point; a cancellation mid-climb still leaves every completed
+		// rung on disk for the next attempt.
+		for rung := (resumedAt/rungEvery + 1) * rungEvery; rung < cfg.WarmupRefs; rung += rungEvery {
+			before := m.Ref()
+			if err := m.WarmupTo(ctx, rung); err != nil {
+				return nil, err
+			}
+			stats.count(func(c *LadderCounters) { c.RunRefs += uint64(m.Ref() - before) })
+			persist()
+		}
+	}
+	before := m.Ref()
+	if err := m.WarmupTo(ctx, cfg.WarmupRefs); err != nil {
+		return nil, err
+	}
+	stats.count(func(c *LadderCounters) { c.RunRefs += uint64(m.Ref() - before) })
+	if resumedAt < cfg.WarmupRefs {
+		persist() // the boundary rung: full-warmup resumes skip straight here
+	}
+	return m, nil
+}

@@ -1,11 +1,9 @@
 package runner
 
 import (
-	"context"
 	"sync"
 
 	"seesaw/internal/machine"
-	"seesaw/internal/sim"
 )
 
 // warmEntry is one shared warmed machine: built and warmed exactly once
@@ -42,48 +40,9 @@ func NewSharedWarmup(workers int) *Pool {
 // callers that build many short-lived pools (the service's per-request
 // cell-run pools, where each request needs its own cancellation scope)
 // can still share one set of warmed masters across all of them: the
-// warmed map lives in the returned closure, not in any pool.
+// warmed map lives in the returned closure, not in any pool. It is the
+// snapshot ladder with no store attached — all sharing stays in memory.
 func SharedWarmupRun() RunFunc {
-	var mu sync.Mutex
-	warmed := make(map[machine.WarmupSignature]*warmEntry)
-	return func(ctx context.Context, cfg sim.Config) (*sim.Report, error) {
-		if cfg.WarmupRefs <= 0 || cfg.Trace != nil {
-			return sim.RunContext(ctx, cfg)
-		}
-		sig := cfg.WarmupSignature()
-		mu.Lock()
-		e, ok := warmed[sig]
-		if !ok {
-			e = &warmEntry{}
-			warmed[sig] = e
-		}
-		mu.Unlock()
-		e.once.Do(func() {
-			m, err := machine.Build(cfg)
-			if err == nil {
-				err = m.Warmup(ctx)
-			}
-			if err != nil {
-				e.err = err
-				mu.Lock()
-				delete(warmed, sig)
-				mu.Unlock()
-				return
-			}
-			e.m = m
-		})
-		if e.err != nil {
-			return nil, e.err
-		}
-		e.mu.Lock()
-		f, err := e.m.Fork(cfg)
-		e.mu.Unlock()
-		if err != nil {
-			return nil, err
-		}
-		if err := f.Measure(ctx); err != nil {
-			return nil, err
-		}
-		return f.Report()
-	}
+	run, _ := LadderRun(nil, 0)
+	return run
 }

@@ -33,8 +33,15 @@ type Config struct {
 	MaxCellsPerJob int
 	// Store, when non-nil, is the shared content-addressed result store
 	// every job's pool reads through — the cross-job, cross-restart
-	// dedup layer.
+	// dedup layer. It also turns on the snapshot ladder for remote
+	// cells: warmups resume from the deepest rung persisted in the
+	// store and persist new rungs as they climb, so affinity-routed
+	// workers warm from disk across restarts.
 	Store *store.Store
+	// SnapRungEvery, when positive, persists an intermediate snapshot
+	// rung every N warmup references while climbing (0 = only the
+	// warmup-boundary rung). Meaningful only with Store set.
+	SnapRungEvery int
 	// CellTimeout and Retries harden each job's pool (see runner).
 	CellTimeout time.Duration
 	Retries     int
@@ -65,9 +72,18 @@ type Server struct {
 	// cellRun executes one remote cell (POST /v1/cells/run); it wraps
 	// the configured run function with the server-wide cell concurrency
 	// bound and, when no run function was injected, shares warmed
-	// masters across requests (runner.SharedWarmupRun).
+	// masters across requests — via the store's snapshot ladder when a
+	// store is attached (runner.LadderRun), in memory otherwise
+	// (runner.SharedWarmupRun).
 	cellRun runner.RunFunc
 	cellSem chan struct{}
+	// innerRun is the shared run function under cellRun's semaphore —
+	// ladder- or shared-warmup-wrapped unless a test injected its own.
+	// Job pools run on it too, so local jobs climb the same ladder.
+	innerRun runner.RunFunc
+	// ladderStats accumulates the snapshot ladder's counters when the
+	// ladder is active; surfaced in /healthz.
+	ladderStats *runner.LadderStats
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -125,8 +141,13 @@ func New(cfg Config) *Server {
 	// the worker-side half of the coordinator's affinity routing.
 	inner := cfg.Run
 	if !injected {
-		inner = runner.SharedWarmupRun()
+		if cfg.Store != nil {
+			inner, s.ladderStats = runner.LadderRun(cfg.Store, cfg.SnapRungEvery)
+		} else {
+			inner = runner.SharedWarmupRun()
+		}
 	}
+	s.innerRun = inner
 	s.cellRun = func(ctx context.Context, c sim.Config) (*sim.Report, error) {
 		select {
 		case s.cellSem <- struct{}{}:
@@ -168,7 +189,7 @@ func (s *Server) dispatcher() {
 // results and progress events are deterministic.
 func (s *Server) runJob(j *job) {
 	j.setState(StateRunning, time.Now())
-	pool := runner.NewWithRunContext(s.cfg.Workers, s.cfg.Run).
+	pool := runner.NewWithRunContext(s.cfg.Workers, s.innerRun).
 		WithContext(j.ctx).
 		WithTimeout(s.cfg.CellTimeout).
 		WithRetries(s.cfg.Retries).
@@ -485,15 +506,16 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 // accounting, load for routing, and the schema pin so a coordinator can
 // refuse a worker whose binary would shape reports differently.
 type healthBody struct {
-	Status        string       `json:"status"` // "ok" or "draining"
-	Queued        int          `json:"queued"`
-	Running       int          `json:"running"`
-	QueueDepth    int          `json:"queue_depth"`
-	Jobs          int          `json:"jobs"`
-	Workers       int          `json:"workers"`
-	CellsRunning  int          `json:"cells_running"`
-	SchemaVersion int          `json:"schema_version"`
-	Store         *store.Stats `json:"store,omitempty"`
+	Status        string                 `json:"status"` // "ok" or "draining"
+	Queued        int                    `json:"queued"`
+	Running       int                    `json:"running"`
+	QueueDepth    int                    `json:"queue_depth"`
+	Jobs          int                    `json:"jobs"`
+	Workers       int                    `json:"workers"`
+	CellsRunning  int                    `json:"cells_running"`
+	SchemaVersion int                    `json:"schema_version"`
+	Store         *store.Stats           `json:"store,omitempty"`
+	Ladder        *runner.LadderCounters `json:"ladder,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -511,6 +533,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Store != nil {
 		st := s.cfg.Store.Stats()
 		h.Store = &st
+	}
+	if s.ladderStats != nil {
+		lc := s.ladderStats.Counters()
+		h.Ladder = &lc
 	}
 	writeJSON(w, http.StatusOK, h)
 }

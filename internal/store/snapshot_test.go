@@ -1,0 +1,252 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"seesaw/internal/machine"
+	"seesaw/internal/workload"
+)
+
+func timeOf(ns int64) time.Time { return time.Unix(0, ns) }
+
+func ctxOf(t *testing.T) context.Context {
+	t.Helper()
+	return context.Background()
+}
+
+// machineTestConfig is a small real cell for the end-to-end
+// store+codec test.
+func machineTestConfig(t *testing.T) machine.Config {
+	t.Helper()
+	p, err := workload.ByName("redis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := machine.Config{
+		Workload:   p,
+		Seed:       42,
+		Refs:       1_000,
+		WarmupRefs: 4_000,
+		CacheKind:  machine.KindSeesaw,
+		L1Size:     32 << 10,
+		FreqGHz:    1.33,
+		CPUKind:    "inorder",
+		MemBytes:   512 << 20,
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// snapPrefix is a syntactically valid (64 hex) prefix for tests that
+// never decode the stored bytes.
+const snapPrefix = "00112233445566778899aabbccddeeff00112233445566778899aabbccddeeff"
+
+// fakeRung builds bytes that pass the GC's header peek for the given
+// schema version but are otherwise garbage.
+func fakeRung(version uint16, body string) []byte {
+	b := []byte{0x9e, 'S', 'E', 'E', 'S', 'N', 'A', 'P', 0, 0}
+	binary.BigEndian.PutUint16(b[8:], version)
+	b = append(b, make([]byte, 12)...) // length + crc, unchecked by the peek
+	return append(b, body...)
+}
+
+// TestSnapshotRoundTrip: rungs come back byte-identical, the deepest
+// eligible rung resolves, and the stats move.
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := openTest(t)
+	for _, refs := range []int{100, 500, 300} {
+		if err := s.PutSnapshot(snapPrefix, refs, fakeRung(machine.SnapshotSchemaVersion, "rung")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, ok := s.GetSnapshot(snapPrefix, 300)
+	if !ok || !bytes.Equal(got, fakeRung(machine.SnapshotSchemaVersion, "rung")) {
+		t.Fatal("stored rung missed or mutated")
+	}
+	if _, ok := s.GetSnapshot(snapPrefix, 200); ok {
+		t.Fatal("absent rung hit")
+	}
+	if _, refs, ok := s.DeepestSnapshot(snapPrefix, 1_000); !ok || refs != 500 {
+		t.Fatalf("deepest(1000) = %d, %v; want 500, true", refs, ok)
+	}
+	if _, refs, ok := s.DeepestSnapshot(snapPrefix, 499); !ok || refs != 300 {
+		t.Fatalf("deepest(499) = %d, %v; want 300, true", refs, ok)
+	}
+	if _, _, ok := s.DeepestSnapshot(snapPrefix, 99); ok {
+		t.Fatal("deepest below the shallowest rung hit")
+	}
+	if n := s.SnapLen(); n != 3 {
+		t.Fatalf("SnapLen = %d, want 3", n)
+	}
+	st := s.Stats()
+	if st.SnapPuts != 3 || st.SnapHits != 3 || st.SnapMisses != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestSnapshotValidation: malformed prefixes never reach the
+// filesystem (they would be path traversal), and bad depths are
+// rejected.
+func TestSnapshotValidation(t *testing.T) {
+	s := openTest(t)
+	for _, p := range []string{"", "short", strings.Repeat("z", 64), "../" + snapPrefix[3:]} {
+		if err := s.PutSnapshot(p, 1, []byte("x")); err == nil {
+			t.Errorf("PutSnapshot accepted prefix %q", p)
+		}
+		if _, ok := s.GetSnapshot(p, 1); ok {
+			t.Errorf("GetSnapshot hit prefix %q", p)
+		}
+	}
+	if err := s.PutSnapshot(snapPrefix, -1, []byte("x")); err == nil {
+		t.Error("PutSnapshot accepted a negative depth")
+	}
+}
+
+// TestSnapshotGCOnOpen: reopening a store prunes orphaned temp files,
+// misnamed entries, stale-schema rungs, and corrupt headers, while
+// current-schema rungs survive.
+func TestSnapshotGCOnOpen(t *testing.T) {
+	s := openTest(t)
+	if err := s.PutSnapshot(snapPrefix, 100, fakeRung(machine.SnapshotSchemaVersion, "keep")); err != nil {
+		t.Fatal(err)
+	}
+	dir := s.snapDir(snapPrefix)
+	mustWrite := func(name string, data []byte) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustWrite(".200.snap.tmp-12345", []byte("orphan"))
+	mustWrite("300.snap", fakeRung(machine.SnapshotSchemaVersion+1, "stale"))
+	mustWrite("400.snap", []byte("tooshort"))
+	mustWrite("notanumber.snap", fakeRung(machine.SnapshotSchemaVersion, "misnamed"))
+
+	re, err := Open(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	re.Logger = s.Logger
+	if n := re.SnapLen(); n != 1 {
+		t.Fatalf("after GC, SnapLen = %d, want 1", n)
+	}
+	if _, ok := re.GetSnapshot(snapPrefix, 100); !ok {
+		t.Fatal("GC removed a current-schema rung")
+	}
+	if st := re.Stats(); st.SnapPruned != 4 {
+		t.Errorf("SnapPruned = %d, want 4", st.SnapPruned)
+	}
+}
+
+// TestSnapshotBudgetEviction: pushing the namespace over its size
+// budget evicts oldest rungs first and never the newest.
+func TestSnapshotBudgetEviction(t *testing.T) {
+	s := openTest(t)
+	rung := fakeRung(machine.SnapshotSchemaVersion, strings.Repeat("x", 100))
+	for i, refs := range []int{100, 200, 300} {
+		if err := s.PutSnapshot(snapPrefix, refs, rung); err != nil {
+			t.Fatal(err)
+		}
+		// Space the mtimes out so oldest-first is deterministic.
+		if i < 2 {
+			now := int64(1_700_000_000+i) * 1_000_000_000
+			path := s.snapPath(snapPrefix, refs)
+			if err := os.Chtimes(path, timeOf(now), timeOf(now)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	s.SetSnapBudget(2 * int64(len(rung)))
+	if n := s.SnapLen(); n != 2 {
+		t.Fatalf("after eviction, SnapLen = %d, want 2", n)
+	}
+	if _, ok := s.GetSnapshot(snapPrefix, 100); ok {
+		t.Error("oldest rung survived eviction")
+	}
+	if _, ok := s.GetSnapshot(snapPrefix, 300); !ok {
+		t.Error("newest rung was evicted")
+	}
+	if st := s.Stats(); st.SnapEvicted != 1 {
+		t.Errorf("SnapEvicted = %d, want 1", st.SnapEvicted)
+	}
+
+	// A budget smaller than any single rung still keeps the newest.
+	s.SetSnapBudget(1)
+	if n := s.SnapLen(); n != 1 {
+		t.Fatalf("under a tiny budget, SnapLen = %d, want 1", n)
+	}
+	if _, ok := s.GetSnapshot(snapPrefix, 300); !ok {
+		t.Error("tiny budget evicted the newest rung")
+	}
+}
+
+// TestSnapshotDrop: an explicitly dropped rung stops resolving and is
+// counted.
+func TestSnapshotDrop(t *testing.T) {
+	s := openTest(t)
+	if err := s.PutSnapshot(snapPrefix, 100, fakeRung(machine.SnapshotSchemaVersion, "r")); err != nil {
+		t.Fatal(err)
+	}
+	s.DropSnapshot(snapPrefix, 100)
+	if _, ok := s.GetSnapshot(snapPrefix, 100); ok {
+		t.Fatal("dropped rung still resolves")
+	}
+	if st := s.Stats(); st.SnapPruned != 1 {
+		t.Errorf("SnapPruned = %d, want 1", st.SnapPruned)
+	}
+}
+
+// TestSnapshotRealCodec closes the loop with the machine codec: encode
+// a genuinely warmed machine, store it, resolve it through
+// DeepestSnapshot, decode, and check the rung depth survived.
+func TestSnapshotRealCodec(t *testing.T) {
+	s := openTest(t)
+	cfg := machineTestConfig(t)
+	m, err := machine.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WarmupTo(ctxOf(t), 2_000); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := snap.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := cfg.PrefixHash()
+	if err := s.PutSnapshot(prefix, snap.Ref(), data); err != nil {
+		t.Fatal(err)
+	}
+	got, refs, ok := s.DeepestSnapshot(prefix, cfg.WarmupRefs)
+	if !ok || refs != 2_000 {
+		t.Fatalf("deepest = %d, %v; want 2000, true", refs, ok)
+	}
+	dec, err := machine.UnmarshalSnapshot(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Ref() != 2_000 {
+		t.Fatalf("decoded rung at %d, want 2000", dec.Ref())
+	}
+	// Reopen: the GC must leave a current-schema rung alone.
+	re, err := Open(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := re.DeepestSnapshot(prefix, cfg.WarmupRefs); !ok {
+		t.Fatal("reopen GC pruned a live rung")
+	}
+}

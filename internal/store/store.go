@@ -53,6 +53,19 @@ type Stats struct {
 	// Stale is the number of entries dropped for a SchemaVersion
 	// mismatch; each is also a miss.
 	Stale uint64
+
+	// SnapHits is the number of snapshot reads answered from disk.
+	SnapHits uint64
+	// SnapMisses is the number of snapshot reads with no usable rung.
+	SnapMisses uint64
+	// SnapPuts is the number of snapshot rungs written.
+	SnapPuts uint64
+	// SnapPruned is the number of rungs removed as orphaned, misnamed,
+	// corrupt, stale-schema, or explicitly dropped.
+	SnapPruned uint64
+	// SnapEvicted is the number of rungs evicted to fit the snapshot
+	// size budget.
+	SnapEvicted uint64
 }
 
 // Store is a content-addressed directory of finished reports. Safe for
@@ -65,8 +78,9 @@ type Store struct {
 	// log.New(io.Discard, ...) to silence.
 	Logger *log.Logger
 
-	mu    sync.Mutex
-	stats Stats
+	mu         sync.Mutex
+	stats      Stats
+	snapBudget int64
 }
 
 // Open creates (if needed) and opens a store rooted at dir.
@@ -77,7 +91,12 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	return &Store{dir: dir, Logger: log.Default()}, nil
+	s := &Store{dir: dir, Logger: log.Default()}
+	// Sweep the snapshot namespace: crashed writers leave temp files,
+	// and rungs from binaries with a different snapshot schema would
+	// never decode — prune both now rather than tripping every resume.
+	s.gcSnapshots()
+	return s, nil
 }
 
 // Dir returns the store's root directory.

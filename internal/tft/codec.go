@@ -1,0 +1,61 @@
+package tft
+
+import (
+	"fmt"
+	"sort"
+)
+
+// State is a TFT's serializable mutable state: region tags in MRU
+// order, statistics, and the recently-invalidated bookkeeping (the
+// stale-hit-avoided counter's memory). Geometry is config-derived.
+// Invalidated carries the map keys sorted for deterministic encoding;
+// InvalOrder preserves the FIFO eviction order separately.
+type State struct {
+	Tags        []uint64
+	SLen        []int32
+	Stats       Stats
+	Invalidated []uint64
+	InvalOrder  []uint64
+}
+
+// State captures the TFT's entries, statistics, and invalidation memory.
+func (t *TFT) State() State {
+	s := State{
+		Tags:       append([]uint64(nil), t.tags...),
+		SLen:       append([]int32(nil), t.slen...),
+		Stats:      t.Stats,
+		InvalOrder: append([]uint64(nil), t.invalOrder...),
+	}
+	s.Invalidated = make([]uint64, 0, len(t.invalidated))
+	for r := range t.invalidated {
+		s.Invalidated = append(s.Invalidated, r)
+	}
+	sort.Slice(s.Invalidated, func(i, j int) bool { return s.Invalidated[i] < s.Invalidated[j] })
+	return s
+}
+
+// SetState restores the TFT in place. The receiver must have the same
+// geometry the state was captured from; the metrics wiring is
+// untouched.
+func (t *TFT) SetState(s State) error {
+	if len(s.Tags) != len(t.tags) || len(s.SLen) != len(t.slen) {
+		return fmt.Errorf("tft: state geometry disagrees with the table's")
+	}
+	for i, n := range s.SLen {
+		if n < 0 || int(n) > t.cfg.Assoc {
+			return fmt.Errorf("tft: set %d holds %d entries of %d ways", i, n, t.cfg.Assoc)
+		}
+	}
+	if len(s.Invalidated) > maxInvalidated || len(s.InvalOrder) > maxInvalidated {
+		return fmt.Errorf("tft: invalidation memory overflows the %d-region bound", maxInvalidated)
+	}
+	copy(t.tags, s.Tags)
+	copy(t.slen, s.SLen)
+	t.Stats = s.Stats
+	t.invalidated = make(map[uint64]struct{}, len(s.Invalidated))
+	for _, r := range s.Invalidated {
+		t.invalidated[r] = struct{}{}
+	}
+	t.invalOrder = append([]uint64(nil), s.InvalOrder...)
+	return nil
+}

@@ -1,0 +1,72 @@
+package tft
+
+import (
+	"testing"
+
+	"seesaw/internal/addr"
+)
+
+// warmTFT builds a TFT with live entries, statistics, and invalidation
+// memory.
+func warmTFT() *TFT {
+	f := New(Config{Entries: 16})
+	a := addr.VAddr(0x7f12_3450_0000)
+	gone := addr.VAddr(0x7f12_34d0_0000)
+	f.Fill(a)
+	f.Fill(a + 4<<21)
+	f.Fill(gone)
+	f.Lookup(a)
+	f.Lookup(a + 8<<21) // miss
+	f.Invalidate(gone)
+	return f
+}
+
+// TestStateRoundTrip: a TFT restored from a captured state answers
+// every lookup like the original — including the stale-hit-avoided
+// accounting, whose memory must travel with the state.
+func TestStateRoundTrip(t *testing.T) {
+	f := warmTFT()
+	fresh := New(Config{Entries: 16})
+	if err := fresh.SetState(f.State()); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Stats != f.Stats || fresh.ValidCount() != f.ValidCount() {
+		t.Errorf("restored stats %+v (%d valid), want %+v (%d valid)",
+			fresh.Stats, fresh.ValidCount(), f.Stats, f.ValidCount())
+	}
+	// Both must count the stale-hit-avoided miss on the invalidated
+	// region.
+	gone := addr.VAddr(0x7f12_34d0_0000)
+	f.Lookup(gone)
+	fresh.Lookup(gone)
+	if fresh.Stats != f.Stats {
+		t.Errorf("post-lookup stats diverged: %+v vs %+v", fresh.Stats, f.Stats)
+	}
+}
+
+// TestStateRejections: geometry mismatches, per-set overflows, and an
+// oversized invalidation memory are all corrupt states.
+func TestStateRejections(t *testing.T) {
+	f := warmTFT()
+	if err := New(Config{Entries: 32}).SetState(f.State()); err == nil {
+		t.Error("SetState accepted a state with the wrong geometry")
+	}
+
+	over := f.State()
+	over.SLen[0] = 99
+	if err := New(Config{Entries: 16}).SetState(over); err == nil {
+		t.Error("SetState accepted a set fuller than its ways")
+	}
+
+	neg := f.State()
+	neg.SLen[0] = -1
+	if err := New(Config{Entries: 16}).SetState(neg); err == nil {
+		t.Error("SetState accepted a negative set length")
+	}
+
+	huge := f.State()
+	huge.Invalidated = make([]uint64, maxInvalidated+1)
+	if err := New(Config{Entries: 16}).SetState(huge); err == nil {
+		t.Error("SetState accepted an oversized invalidation memory")
+	}
+}

@@ -1,0 +1,100 @@
+package tlb
+
+import (
+	"fmt"
+
+	"seesaw/internal/addr"
+	"seesaw/internal/pagetable"
+)
+
+// State is one TLB's serializable mutable state: the flat entry arrays
+// in their MRU order plus the statistics. Geometry is config-derived.
+type State struct {
+	VPNs  []uint64
+	PPNs  []uint64
+	Sizes []addr.PageSize
+	ASIDs []uint16
+	SLen  []int32
+	Stats Stats
+}
+
+// State captures the TLB's entries and statistics.
+func (t *TLB) State() State {
+	return State{
+		VPNs:  append([]uint64(nil), t.vpns...),
+		PPNs:  append([]uint64(nil), t.ppns...),
+		Sizes: append([]addr.PageSize(nil), t.sizes...),
+		ASIDs: append([]uint16(nil), t.asids...),
+		SLen:  append([]int32(nil), t.slen...),
+		Stats: t.Stats,
+	}
+}
+
+// SetState restores the TLB in place. The receiver must have the same
+// geometry the state was captured from.
+func (t *TLB) SetState(s State) error {
+	if len(s.VPNs) != len(t.vpns) || len(s.PPNs) != len(t.ppns) ||
+		len(s.Sizes) != len(t.sizes) || len(s.ASIDs) != len(t.asids) || len(s.SLen) != len(t.slen) {
+		return fmt.Errorf("tlb %q: state geometry disagrees with the TLB's", t.cfg.Name)
+	}
+	assoc := 0
+	if t.nsets > 0 {
+		assoc = len(t.vpns) / t.nsets
+	}
+	for i, n := range s.SLen {
+		if n < 0 || int(n) > assoc {
+			return fmt.Errorf("tlb %q: set %d holds %d entries of %d ways", t.cfg.Name, i, n, assoc)
+		}
+	}
+	copy(t.vpns, s.VPNs)
+	copy(t.ppns, s.PPNs)
+	copy(t.sizes, s.Sizes)
+	copy(t.asids, s.ASIDs)
+	copy(t.slen, s.SLen)
+	t.Stats = s.Stats
+	return nil
+}
+
+// HierarchyState is a TLB hierarchy's serializable state: each level's
+// entries plus the page walker's statistics. The walker's table pointer
+// and the OnL1SuperFill/metrics wiring are restored by the owner.
+type HierarchyState struct {
+	L1     []State
+	L2     *State
+	Walker pagetable.WalkerState
+}
+
+// State captures the hierarchy.
+func (h *Hierarchy) State() HierarchyState {
+	s := HierarchyState{Walker: h.walker.State()}
+	for _, t := range h.l1 {
+		s.L1 = append(s.L1, t.State())
+	}
+	if h.l2 != nil {
+		l2 := h.l2.State()
+		s.L2 = &l2
+	}
+	return s
+}
+
+// SetState restores the hierarchy in place.
+func (h *Hierarchy) SetState(s HierarchyState) error {
+	if len(s.L1) != len(h.l1) {
+		return fmt.Errorf("tlb: state has %d L1 TLBs, hierarchy has %d", len(s.L1), len(h.l1))
+	}
+	if (s.L2 != nil) != (h.l2 != nil) {
+		return fmt.Errorf("tlb: state and hierarchy disagree about an L2 TLB")
+	}
+	for i, st := range s.L1 {
+		if err := h.l1[i].SetState(st); err != nil {
+			return err
+		}
+	}
+	if s.L2 != nil {
+		if err := h.l2.SetState(*s.L2); err != nil {
+			return err
+		}
+	}
+	h.walker.SetState(s.Walker)
+	return nil
+}

@@ -1,0 +1,171 @@
+package tlb
+
+import (
+	"testing"
+
+	"seesaw/internal/addr"
+	"seesaw/internal/pagetable"
+)
+
+// warmTLB builds a small TLB with fills, hits, misses, and an eviction.
+func warmTLB(t *testing.T) *TLB {
+	t.Helper()
+	tb, err := New(Config{Name: "t", Entries: 8, Assoc: 2, Sizes: []addr.PageSize{addr.Page4K}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 12; i++ {
+		tb.Fill(Entry{VPN: i * 4, PPN: 100 + i, Size: addr.Page4K, ASID: 1})
+	}
+	tb.Lookup(addr.VAddr(44<<12), 1)
+	tb.Lookup(addr.VAddr(999<<12), 1) // miss
+	return tb
+}
+
+// TestTLBStateRoundTrip: a TLB restored from a captured state holds the
+// same entries in the same MRU order with the same statistics.
+func TestTLBStateRoundTrip(t *testing.T) {
+	tb := warmTLB(t)
+	fresh, err := New(tb.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.SetState(tb.State()); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Stats != tb.Stats || fresh.ValidCount() != tb.ValidCount() {
+		t.Errorf("restored %+v (%d valid), want %+v (%d valid)",
+			fresh.Stats, fresh.ValidCount(), tb.Stats, tb.ValidCount())
+	}
+	for vpn := uint64(0); vpn < 48; vpn += 4 {
+		va := addr.VAddr(vpn << 12)
+		e0, ok0 := tb.Lookup(va, 1)
+		e1, ok1 := fresh.Lookup(va, 1)
+		if e0 != e1 || ok0 != ok1 {
+			t.Errorf("Lookup(%#x): original %+v/%v, restored %+v/%v", uint64(va), e0, ok0, e1, ok1)
+		}
+	}
+}
+
+// TestTLBStateRejections: wrong geometry and overfull sets are corrupt.
+func TestTLBStateRejections(t *testing.T) {
+	tb := warmTLB(t)
+	other, err := New(Config{Name: "o", Entries: 16, Assoc: 2, Sizes: []addr.PageSize{addr.Page4K}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.SetState(tb.State()); err == nil {
+		t.Error("accepted a state with the wrong geometry")
+	}
+
+	over := tb.State()
+	over.SLen = append([]int32(nil), over.SLen...)
+	over.SLen[0] = 9
+	fresh, _ := New(tb.Config())
+	if err := fresh.SetState(over); err == nil {
+		t.Error("accepted a set fuller than its ways")
+	}
+	over.SLen[0] = -1
+	if err := fresh.SetState(over); err == nil {
+		t.Error("accepted a negative set length")
+	}
+}
+
+// hierOver builds a Sandybridge hierarchy over the given table, with a
+// few translations resolved so every level and the walker have state.
+func hierOver(t *testing.T, pt *pagetable.Table) *Hierarchy {
+	t.Helper()
+	h, err := NewHierarchy(SandybridgeTLBs(), pagetable.NewWalker(pt, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// TestHierarchyStateRoundTrip: a hierarchy restored from a captured
+// state resolves from the same levels with the same statistics — an L1
+// hit stays an L1 hit, a fault stays a fault.
+func TestHierarchyStateRoundTrip(t *testing.T) {
+	pt := pagetable.New()
+	if err := pt.Map(0x7f00_0000_0000, 0xaa, addr.Page4K); err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.Map(0x7f00_0020_0000, 5, addr.Page2M); err != nil {
+		t.Fatal(err)
+	}
+	h := hierOver(t, pt)
+	h.Translate(0x7f00_0000_0000, 1) // walk, fills L1+L2
+	h.Translate(0x7f00_0020_1234, 1) // superpage walk
+	h.Translate(0x6000_0000_0000, 1) // fault
+
+	h2 := hierOver(t, pt)
+	if err := h2.SetState(h.State()); err != nil {
+		t.Fatal(err)
+	}
+	for _, va := range []addr.VAddr{0x7f00_0000_0000, 0x7f00_0020_1234, 0x6000_0000_0000} {
+		r0 := h.Translate(va, 1)
+		r1 := h2.Translate(va, 1)
+		if r0 != r1 {
+			t.Errorf("Translate(%#x): original %+v, restored %+v", uint64(va), r0, r1)
+		}
+	}
+	if h2.Walker().State() != h.Walker().State() {
+		t.Errorf("walker stats diverge: %+v vs %+v", h2.Walker().State(), h.Walker().State())
+	}
+}
+
+// TestHierarchyStateRejections: level-count and L2-presence mismatches
+// are corrupt, and per-TLB geometry errors propagate.
+func TestHierarchyStateRejections(t *testing.T) {
+	pt := pagetable.New()
+	h := hierOver(t, pt)
+
+	missing := h.State()
+	missing.L1 = missing.L1[:len(missing.L1)-1]
+	if err := h.SetState(missing); err == nil {
+		t.Error("accepted a state missing an L1 TLB")
+	}
+
+	noL2 := h.State()
+	noL2.L2 = nil
+	if err := h.SetState(noL2); err == nil {
+		t.Error("accepted a state missing the L2 TLB")
+	}
+
+	badL1 := h.State()
+	badL1.L1 = append([]State(nil), badL1.L1...)
+	badL1.L1[0].VPNs = badL1.L1[0].VPNs[:1]
+	if err := h.SetState(badL1); err == nil {
+		t.Error("accepted an L1 state with the wrong geometry")
+	}
+
+	badL2 := h.State()
+	l2 := *badL2.L2
+	l2.SLen = append([]int32(nil), l2.SLen...)
+	l2.SLen[0] = 99
+	badL2.L2 = &l2
+	if err := h.SetState(badL2); err == nil {
+		t.Error("accepted an overfull L2 set")
+	}
+}
+
+// TestHierarchyClone: the clone resolves identically over its own
+// walker and diverges independently.
+func TestHierarchyClone(t *testing.T) {
+	pt := pagetable.New()
+	if err := pt.Map(0x7f00_0000_0000, 0xaa, addr.Page4K); err != nil {
+		t.Fatal(err)
+	}
+	h := hierOver(t, pt)
+	h.Translate(0x7f00_0000_0000, 1)
+
+	c := h.Clone(pagetable.NewWalker(pt, 20))
+	r0, r1 := h.Translate(0x7f00_0000_0000, 1), c.Translate(0x7f00_0000_0000, 1)
+	if r0 != r1 {
+		t.Errorf("clone translate %+v, original %+v", r1, r0)
+	}
+	c.FlushASID(1)
+	if !h.Contains(0x7f00_0000_0000, 1) {
+		t.Error("flushing the clone emptied the original")
+	}
+}

@@ -1,0 +1,34 @@
+package waypred
+
+import "fmt"
+
+// State is a way predictor's serializable state: the per-set MRU
+// history and the accuracy counters.
+type State struct {
+	LastWay      []int16
+	Predictions  uint64
+	Correct      uint64
+	NoPrediction uint64
+}
+
+// State captures the predictor.
+func (m *MRU) State() State {
+	return State{
+		LastWay:      append([]int16(nil), m.lastWay...),
+		Predictions:  m.Predictions,
+		Correct:      m.Correct,
+		NoPrediction: m.NoPrediction,
+	}
+}
+
+// SetState restores the predictor in place.
+func (m *MRU) SetState(s State) error {
+	if len(s.LastWay) != len(m.lastWay) {
+		return fmt.Errorf("waypred: state has %d sets, predictor has %d", len(s.LastWay), len(m.lastWay))
+	}
+	copy(m.lastWay, s.LastWay)
+	m.Predictions = s.Predictions
+	m.Correct = s.Correct
+	m.NoPrediction = s.NoPrediction
+	return nil
+}

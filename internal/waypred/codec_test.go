@@ -1,0 +1,61 @@
+package waypred
+
+import "testing"
+
+// trained builds a predictor with non-trivial history and counters.
+func trained() *MRU {
+	m := NewMRU(8)
+	m.Predict(3) // no history yet -> NoPrediction
+	m.Feedback(3, 2, false, 0)
+	w, _ := m.Predict(3)
+	m.Feedback(3, 2, true, w) // correct
+	w, _ = m.Predict(3)
+	m.Feedback(3, 1, true, w) // wrong, relearn
+	return m
+}
+
+// TestStateRoundTrip: a predictor restored from a captured state
+// predicts and scores exactly like the original.
+func TestStateRoundTrip(t *testing.T) {
+	m := trained()
+	fresh := NewMRU(8)
+	if err := fresh.SetState(m.State()); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Predictions != m.Predictions || fresh.Correct != m.Correct ||
+		fresh.NoPrediction != m.NoPrediction || fresh.Accuracy() != m.Accuracy() {
+		t.Errorf("restored counters diverge: %+v vs %+v", fresh, m)
+	}
+	for set := 0; set < 8; set++ {
+		aw, aok := m.Predict(set)
+		bw, bok := fresh.Predict(set)
+		if aw != bw || aok != bok {
+			t.Errorf("set %d: original predicts %d/%v, restored %d/%v", set, aw, aok, bw, bok)
+		}
+	}
+}
+
+// TestStateGeometryMismatch: a state captured from a differently sized
+// predictor is rejected.
+func TestStateGeometryMismatch(t *testing.T) {
+	if err := NewMRU(4).SetState(trained().State()); err == nil {
+		t.Fatal("SetState accepted a state with the wrong set count")
+	}
+}
+
+// TestClone: the clone carries history and counters, then diverges
+// independently.
+func TestClone(t *testing.T) {
+	m := trained()
+	c := m.Clone()
+	if c.Predictions != m.Predictions || c.Correct != m.Correct || c.NoPrediction != m.NoPrediction {
+		t.Errorf("clone counters diverge: %+v vs %+v", c, m)
+	}
+	if w, ok := c.Predict(3); !ok || w != 1 {
+		t.Errorf("clone Predict(3) = %d/%v, want 1/true", w, ok)
+	}
+	c.Reset()
+	if _, ok := m.Predict(3); !ok {
+		t.Error("resetting the clone wiped the original's history")
+	}
+}

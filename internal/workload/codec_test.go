@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"testing"
+
+	"seesaw/internal/xrand"
+)
+
+// advancedGen builds a bound generator with both data and code streams
+// advanced to a non-trivial position.
+func advancedGen(t *testing.T) *Generator {
+	t.Helper()
+	p, err := ByName("redis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(p, 11)
+	g.BindDefault()
+	g.BindCode(MmapBase + 1<<30)
+	for i := 0; i < 500; i++ {
+		g.Next(i % g.Threads())
+		g.NextCode(i%g.Threads(), 4)
+	}
+	g.Next(g.SystemTID())
+	return g
+}
+
+// TestGeneratorStateRoundTrip: a generator restored from a captured
+// state emits exactly the data and code streams the original emits from
+// the same position — every per-thread RNG, cursor, and chase position
+// travelled.
+func TestGeneratorStateRoundTrip(t *testing.T) {
+	g := advancedGen(t)
+
+	p, _ := ByName("redis")
+	fresh := NewGenerator(p, 99) // different seed: SetState must reposition it
+	fresh.BindDefault()
+	fresh.BindCode(MmapBase + 1<<30)
+	if err := fresh.SetState(g.State()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		tid := i % (g.Threads() + 1)
+		a, b := g.Next(tid), fresh.Next(tid)
+		if a != b {
+			t.Fatalf("data stream diverged at %d: %+v vs %+v", i, a, b)
+		}
+		va0, j0 := g.NextCode(i%g.Threads(), 4)
+		va1, j1 := fresh.NextCode(i%g.Threads(), 4)
+		if va0 != va1 || j0 != j1 {
+			t.Fatalf("code stream diverged at %d: %#x/%v vs %#x/%v", i, uint64(va0), j0, uint64(va1), j1)
+		}
+	}
+}
+
+// TestGeneratorStateRejections: thread-count and region mismatches are
+// corrupt states, and a corrupt RNG position propagates up.
+func TestGeneratorStateRejections(t *testing.T) {
+	g := advancedGen(t)
+	p, _ := ByName("redis")
+
+	threads := g.State()
+	threads.Srcs = threads.Srcs[:1]
+	fresh := NewGenerator(p, 11)
+	fresh.BindDefault()
+	fresh.BindCode(MmapBase + 1<<30)
+	if err := fresh.SetState(threads); err == nil {
+		t.Error("accepted a state sized for fewer threads")
+	}
+
+	unbound := NewGenerator(p, 11)
+	unbound.BindCode(MmapBase + 1<<30)
+	if err := unbound.SetState(g.State()); err == nil {
+		t.Error("accepted a bound state on an unbound generator")
+	}
+
+	noCode := NewGenerator(p, 11)
+	noCode.BindDefault()
+	if err := noCode.SetState(g.State()); err == nil {
+		t.Error("accepted a code-bound state on a generator without code")
+	}
+
+	badSrc := g.State()
+	badSrc.Srcs = append([]xrand.SourceState(nil), badSrc.Srcs...)
+	badSrc.Srcs[0].Draws = 1 << 62
+	if err := fresh.SetState(badSrc); err == nil {
+		t.Error("accepted an RNG position past the replay bound")
+	}
+}
+
+// TestGeneratorClone: the clone emits the original's exact future
+// stream and the two diverge independently.
+func TestGeneratorClone(t *testing.T) {
+	g := advancedGen(t)
+	c := g.Clone()
+	for i := 0; i < 200; i++ {
+		tid := i % (g.Threads() + 1)
+		if a, b := g.Next(tid), c.Next(tid); a != b {
+			t.Fatalf("clone stream diverged at %d: %+v vs %+v", i, a, b)
+		}
+	}
+	// Advance only the clone; the original must not move.
+	before := g.State()
+	c.Next(0)
+	after := g.State()
+	if len(before.Srcs) > 0 && before.Srcs[0] != after.Srcs[0] {
+		t.Error("advancing the clone moved the original's RNG")
+	}
+}

@@ -1,0 +1,60 @@
+package xrand
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// maxReplayDraws bounds how many generator steps SetState will replay.
+// Real runs draw a few source steps per reference, so realistic warmups
+// stay orders of magnitude below this; a count beyond it can only come
+// from a corrupt snapshot, and replaying it would stall the decoder.
+const maxReplayDraws = 1 << 30
+
+// SourceState is the serializable identity of a Source's generator
+// position: reseeding with Seed and advancing Draws steps reproduces the
+// exact stream the source would emit from here on.
+type SourceState struct {
+	Seed  int64
+	Draws uint64
+}
+
+// State captures the source's position for serialization.
+func (s *Source) State() SourceState {
+	return SourceState{Seed: s.seed, Draws: s.n}
+}
+
+// SetState repositions the source in place: the underlying generator is
+// reseeded with st.Seed and fast-forwarded st.Draws steps (O(1) when
+// the state mirror is available — the registers of a replayed twin are
+// copied directly). Mutating in place keeps every rand.Rand wrapped
+// around this source valid, so consumers need no rewiring.
+func (s *Source) SetState(st SourceState) error {
+	if st.Draws > maxReplayDraws {
+		return fmt.Errorf("xrand: %d draws exceeds the replay bound (corrupt state?)", st.Draws)
+	}
+	src := rand.NewSource(st.Seed).(rand.Source64)
+	if mirrorOK {
+		twin := stateOf(src)
+		for i := uint64(0); i < st.Draws; i++ {
+			twin.step()
+		}
+		if s.st == nil {
+			// The source was built before the mirror check passed (it
+			// cannot have been: mirrorOK is decided at init), but stay
+			// defensive and keep a consistent view.
+			s.src = src
+			s.st = twin
+		} else {
+			*s.st = *twin
+		}
+	} else {
+		for i := uint64(0); i < st.Draws; i++ {
+			src.Uint64()
+		}
+		s.src = src
+	}
+	s.seed = st.Seed
+	s.n = st.Draws
+	return nil
+}

@@ -1,0 +1,210 @@
+// Command laddersmoke is the snapshot-ladder gate behind `make
+// ladder-smoke`. It drives seesaw-sweep end to end through the ladder's
+// whole lifecycle and gates on the properties that make the ladder safe
+// to enable anywhere:
+//
+//  1. Correctness: a laddered sweep's table is byte-identical to the
+//     cold sweep's — rungs buy wall-clock time only, never different
+//     numbers. Checked twice: once for a sweep that climbed from a
+//     mid-warmup rung after a SIGKILL, once for a sweep that resumed
+//     from the boundary rung.
+//  2. Crash resume: the sweep process is SIGKILLed mid-climb; the rungs
+//     it persisted survive, and the restarted sweep resumes from the
+//     deepest one — asserted from the ladder summary, which must show
+//     at least one rung's worth of warmup skipped.
+//  3. Rung hit rate: a fresh sweep against the populated store must
+//     resume every warmup from a rung (hit rate 100%) and execute zero
+//     warmup references.
+//
+// The measured ladder-vs-cold speedup is printed for the log; like
+// warmupsmoke, wall-clock ratios are not gated because CI machines are
+// noisy.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"time"
+)
+
+const (
+	warmupRefs = 2_000_000
+	rungEvery  = 300_000
+)
+
+// baseArgs is the sweep shape: one workload (one warmup signature),
+// several designs, a warmup that dominates each cell — the regime the
+// ladder exists for. Serial, so timings compare like for like.
+func baseArgs(refs int) []string {
+	return []string{
+		"-workloads", "redis",
+		"-sizes", "32",
+		"-refs", strconv.Itoa(refs),
+		"-warmup", strconv.Itoa(warmupRefs),
+		"-parallel", "1",
+	}
+}
+
+func ladderArgs(refs int, storeDir string) []string {
+	return append(baseArgs(refs),
+		"-store", storeDir,
+		"-ladder",
+		"-rung-every", strconv.Itoa(rungEvery),
+	)
+}
+
+// summary is the parsed "seesaw-sweep: ladder: ..." stderr line.
+type summary struct {
+	warmups, hits, skipped, executed, puts, drops int
+}
+
+var summaryRE = regexp.MustCompile(
+	`ladder: (\d+) warmup\(s\), (\d+) resumed from rungs, (\d+) refs skipped, (\d+) refs executed, (\d+) rung\(s\) persisted, (\d+) dropped`)
+
+func parseSummary(stderr []byte) (summary, error) {
+	m := summaryRE.FindSubmatch(stderr)
+	if m == nil {
+		return summary{}, fmt.Errorf("no ladder summary in stderr:\n%s", stderr)
+	}
+	var s summary
+	for i, dst := range []*int{&s.warmups, &s.hits, &s.skipped, &s.executed, &s.puts, &s.drops} {
+		n, err := strconv.Atoi(string(m[i+1]))
+		if err != nil {
+			return summary{}, err
+		}
+		*dst = n
+	}
+	return s, nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "laddersmoke:", err)
+		os.Exit(1)
+	}
+}
+
+// countRungs counts .snap entries under the store directory.
+func countRungs(storeDir string) int {
+	n := 0
+	filepath.WalkDir(filepath.Join(storeDir, "snap"), func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && filepath.Ext(path) == ".snap" {
+			n++
+		}
+		return nil
+	})
+	return n
+}
+
+func run() error {
+	tmp, err := os.MkdirTemp("", "seesaw-laddersmoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	bin := filepath.Join(tmp, "seesaw-sweep")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/seesaw-sweep").CombinedOutput(); err != nil {
+		return fmt.Errorf("build seesaw-sweep: %v\n%s", err, out)
+	}
+	storeDir := filepath.Join(tmp, "store")
+
+	sweep := func(args []string) (stdout, stderr []byte, dur time.Duration, err error) {
+		cmd := exec.Command(bin, args...)
+		var outB, errB bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &outB, &errB
+		start := time.Now()
+		err = cmd.Run()
+		return outB.Bytes(), errB.Bytes(), time.Since(start), err
+	}
+
+	// Phase 1 — cold reference table (and the cold-cost baseline: every
+	// cell pays its own warmup).
+	cold, _, coldDur, err := sweep(baseArgs(3_000))
+	if err != nil {
+		return fmt.Errorf("cold sweep: %w", err)
+	}
+
+	// Phase 2 — start a laddered sweep and SIGKILL it once two rungs hit
+	// the disk, mid-climb.
+	kill := exec.Command(bin, ladderArgs(3_000, storeDir)...)
+	kill.Stdout, kill.Stderr = nil, nil
+	if err := kill.Start(); err != nil {
+		return err
+	}
+	killed := false
+	for deadline := time.Now().Add(2 * time.Minute); time.Now().Before(deadline); {
+		if countRungs(storeDir) >= 2 {
+			if err := kill.Process.Kill(); err != nil {
+				return fmt.Errorf("kill: %w", err)
+			}
+			killed = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	kill.Wait()
+	if !killed {
+		return fmt.Errorf("never saw 2 rungs on disk to kill over (store has %d)", countRungs(storeDir))
+	}
+	survivors := countRungs(storeDir)
+	if survivors < 2 {
+		return fmt.Errorf("only %d rung(s) survived the kill, want >= 2", survivors)
+	}
+
+	// Phase 3 — restart the identical sweep: it must resume from the
+	// deepest surviving rung, finish, and reproduce the cold table.
+	resumed, resumedErr, _, err := sweep(ladderArgs(3_000, storeDir))
+	if err != nil {
+		return fmt.Errorf("restarted sweep: %w\n%s", err, resumedErr)
+	}
+	if !bytes.Equal(cold, resumed) {
+		return fmt.Errorf("restarted ladder table differs from cold table\n--- cold ---\n%s--- resumed ---\n%s", cold, resumed)
+	}
+	s, err := parseSummary(resumedErr)
+	if err != nil {
+		return fmt.Errorf("restarted sweep: %w", err)
+	}
+	if s.hits != 1 || s.skipped < rungEvery {
+		return fmt.Errorf("restarted sweep did not resume from a rung: %+v", s)
+	}
+	if s.executed > warmupRefs-rungEvery {
+		return fmt.Errorf("restarted sweep redid too much warmup (%d refs, rung should have saved >= %d): %+v",
+			s.executed, rungEvery, s)
+	}
+
+	// Phase 4 — a fresh sweep with a different measured phase (so the
+	// report store cannot answer it) must warm entirely from the
+	// boundary rung: 100%% rung hit rate, zero warmup references run.
+	cold2, _, cold2Dur, err := sweep(baseArgs(5_000))
+	if err != nil {
+		return fmt.Errorf("second cold sweep: %w", err)
+	}
+	full, fullErr, fullDur, err := sweep(ladderArgs(5_000, storeDir))
+	if err != nil {
+		return fmt.Errorf("full-resume sweep: %w\n%s", err, fullErr)
+	}
+	if !bytes.Equal(cold2, full) {
+		return fmt.Errorf("full-resume ladder table differs from cold table\n--- cold ---\n%s--- laddered ---\n%s", cold2, full)
+	}
+	s2, err := parseSummary(fullErr)
+	if err != nil {
+		return fmt.Errorf("full-resume sweep: %w", err)
+	}
+	if s2.warmups == 0 || s2.hits != s2.warmups {
+		return fmt.Errorf("rung hit rate %d/%d, want 100%%: %+v", s2.hits, s2.warmups, s2)
+	}
+	if s2.executed != 0 {
+		return fmt.Errorf("full resume still executed %d warmup refs: %+v", s2.executed, s2)
+	}
+
+	fmt.Printf("laddersmoke: ok — tables byte-identical; crash resumed at rung %d/%d; cold %v vs laddered %v (%.2fx), first cold %v\n",
+		s.skipped, warmupRefs, cold2Dur.Round(time.Millisecond), fullDur.Round(time.Millisecond),
+		float64(cold2Dur)/float64(fullDur), coldDur.Round(time.Millisecond))
+	return nil
+}
