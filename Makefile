@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-baseline perfgate cover chaos service-smoke cluster-smoke importgate warmup-smoke ladder-smoke fuzz-smoke verify
+.PHONY: build vet test race bench bench-baseline perfgate cover chaos service-smoke cluster-smoke importgate warmup-smoke ladder-smoke evolve-smoke fuzz-smoke verify
 
 build:
 	$(GO) build ./...
@@ -75,9 +75,17 @@ warmup-smoke:
 ladder-smoke:
 	$(GO) run ./tools/laddersmoke
 
+# The evolve gate drives seesaw-evolve as a process: two same-seed runs
+# must be byte-identical, a SIGKILLed store-backed search must resume
+# from its generation checkpoint to the identical front, and a
+# warm-store rerun must perform zero fresh simulations
+# (tools/evolvesmoke).
+evolve-smoke:
+	$(GO) run ./tools/evolvesmoke
+
 # A short fuzz pass over the snapshot decoder: arbitrary bytes must
 # yield typed errors, never panics.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzSnapshotCodec -fuzztime=10s ./internal/machine/
 
-verify: build vet test race cover chaos service-smoke cluster-smoke importgate warmup-smoke ladder-smoke fuzz-smoke perfgate
+verify: build vet test race cover chaos service-smoke cluster-smoke importgate warmup-smoke ladder-smoke evolve-smoke fuzz-smoke perfgate

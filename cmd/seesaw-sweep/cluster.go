@@ -172,65 +172,10 @@ func (b *clusterBatch) flush() {
 	}
 }
 
-// specFromConfig maps a sweep cell onto the wire format, then proves the
-// mapping exact: the spec is resolved back to a sim.Config and both must
-// agree on CanonicalKey — the identity the cluster's duplicate
-// suppression and the shared result store key on. A config the wire
-// format cannot carry faithfully (trace replay, counters-only metrics,
-// a co-runner) is an error here, never a silently-different simulation.
+// specFromConfig maps a sweep cell onto the wire format via
+// service.SpecFromConfig, which proves the mapping exact (CanonicalKey
+// round-trip) so a cell the wire cannot carry faithfully fails here,
+// never as a silently-different simulation.
 func specFromConfig(cfg sim.Config) (service.CellSpec, error) {
-	if cfg.Trace != nil {
-		return service.CellSpec{}, fmt.Errorf("trace-replay cells cannot run on a cluster")
-	}
-	if cfg.Metrics != nil && cfg.Metrics.EpochRefs <= 0 {
-		return service.CellSpec{}, fmt.Errorf("counters-only metrics have no wire form; use -prom with local sweeps")
-	}
-	var cache string
-	switch cfg.CacheKind {
-	case sim.KindSeesaw:
-		cache = "seesaw"
-	case sim.KindBaseline:
-		cache = "baseline"
-	case sim.KindPIPT:
-		cache = "pipt"
-	default:
-		return service.CellSpec{}, fmt.Errorf("cache kind %v has no wire name", cfg.CacheKind)
-	}
-	spec := service.CellSpec{
-		Workload:        cfg.Workload.Name,
-		Cache:           cache,
-		SizeKB:          cfg.L1Size >> 10,
-		Ways:            cfg.L1Ways,
-		Partitions:      cfg.Partitions,
-		FreqGHz:         cfg.FreqGHz,
-		SerialTLBCycles: cfg.SerialTLBCycles,
-		SmallTLB:        cfg.SmallTLB,
-		CPU:             cfg.CPUKind,
-		Refs:            cfg.Refs,
-		WarmupRefs:      cfg.WarmupRefs,
-		Seed:            cfg.Seed,
-		Memhog:          cfg.MemhogFraction,
-		MemMB:           cfg.MemBytes >> 20,
-		WayPredict:      cfg.WayPredict,
-		ICache:          cfg.ICache,
-		Check:           cfg.CheckInvariants,
-	}
-	if cfg.Faults != nil {
-		spec.Faults = cfg.Faults.Schedule
-		spec.FaultEvery = cfg.Faults.Every
-		spec.FaultSeed = cfg.Faults.Seed
-	}
-	if cfg.Metrics != nil {
-		spec.EpochRefs = cfg.Metrics.EpochRefs
-	}
-	back, err := spec.Config()
-	if err != nil {
-		return service.CellSpec{}, fmt.Errorf("cell has no wire form: %w", err)
-	}
-	wantKey, ok1 := cfg.CanonicalKey()
-	gotKey, ok2 := back.CanonicalKey()
-	if !ok1 || !ok2 || wantKey != gotKey {
-		return service.CellSpec{}, fmt.Errorf("cell round-trips to a different simulation; run it locally")
-	}
-	return spec, nil
+	return service.SpecFromConfig(cfg)
 }

@@ -1,0 +1,182 @@
+package evolve
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"seesaw/internal/sim"
+	"seesaw/internal/stats"
+)
+
+// Objectives is one genome's multi-objective fitness, reduced over the
+// scenario's workloads. Speedup is better higher; the other three are
+// better lower — dominance and Score both encode those directions.
+type Objectives struct {
+	// Speedup is the geomean over workloads of baseline-VIPT cycles /
+	// SEESAW cycles against the fixed paper-default baseline.
+	Speedup float64 `json:"speedup"`
+	// MPKI is the mean translation misses — TLB walks plus TFT misses —
+	// per kilo-instruction.
+	MPKI float64 `json:"mpki"`
+	// EnergyNJ is the mean dynamic energy of the run (internal/energy's
+	// account, which prices L1/TLB/TFT lookups and coherence from the
+	// internal/sram tables).
+	EnergyNJ float64 `json:"energy_nj"`
+	// AreaBytes is the per-core TFT SRAM area.
+	AreaBytes float64 `json:"area_bytes"`
+}
+
+// dominates reports strict Pareto dominance: at least as good in every
+// objective and strictly better in at least one.
+func (o Objectives) dominates(p Objectives) bool {
+	geq := o.Speedup >= p.Speedup && o.MPKI <= p.MPKI &&
+		o.EnergyNJ <= p.EnergyNJ && o.AreaBytes <= p.AreaBytes
+	gt := o.Speedup > p.Speedup || o.MPKI < p.MPKI ||
+		o.EnergyNJ < p.EnergyNJ || o.AreaBytes < p.AreaBytes
+	return geq && gt
+}
+
+// Weights scalarizes the objectives for selection pressure; the Pareto
+// front is reported regardless, so the weights steer the search without
+// deciding the final answer.
+type Weights struct {
+	Speedup float64 `json:"speedup"`
+	MPKI    float64 `json:"mpki"`
+	Energy  float64 `json:"energy"`
+	Area    float64 `json:"area"`
+}
+
+// DefaultWeights leans on speedup, with translation misses and energy
+// as secondary pressure and a small tax on area so the search does not
+// simply buy the largest TFT on the menu.
+func DefaultWeights() Weights {
+	return Weights{Speedup: 1, MPKI: 0.25, Energy: 0.25, Area: 0.1}
+}
+
+// ParseWeights parses a "speedup=1,mpki=0.25,energy=0.25,area=0.1"
+// flag; omitted keys keep their defaults.
+func ParseWeights(s string) (Weights, error) {
+	w := DefaultWeights()
+	if s == "" {
+		return w, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return w, fmt.Errorf("evolve: weight %q is not key=value", kv)
+		}
+		var f float64
+		if _, err := fmt.Sscanf(v, "%g", &f); err != nil || math.IsNaN(f) || math.IsInf(f, 0) || f < 0 {
+			return w, fmt.Errorf("evolve: weight %q needs a non-negative number", kv)
+		}
+		switch k {
+		case "speedup":
+			w.Speedup = f
+		case "mpki":
+			w.MPKI = f
+		case "energy":
+			w.Energy = f
+		case "area":
+			w.Area = f
+		default:
+			return w, fmt.Errorf("evolve: unknown weight %q (want speedup, mpki, energy, area)", k)
+		}
+	}
+	return w, nil
+}
+
+// Score scalarizes on log scales, so each weight prices a relative
+// improvement rather than an absolute unit: +1% speedup trades against
+// -1% energy at equal weights regardless of the magnitudes involved.
+func (o Objectives) Score(w Weights) float64 {
+	s := w.Speedup * math.Log(math.Max(o.Speedup, 1e-9))
+	s -= w.MPKI * math.Log1p(math.Max(o.MPKI, 0))
+	s -= w.Energy * math.Log(math.Max(o.EnergyNJ, 1e-9))
+	s -= w.Area * math.Log(math.Max(o.AreaBytes, 1))
+	return s
+}
+
+// Candidate pairs a genome with its measured objectives and scalar
+// score — one row of the front.
+type Candidate struct {
+	Genome Genome     `json:"genome"`
+	Obj    Objectives `json:"objectives"`
+	Score  float64    `json:"score"`
+}
+
+// front filters candidates to the Pareto-optimal set, ordered by score
+// (descending) with the genome key as the deterministic tie-break.
+func front(cands []Candidate) []Candidate {
+	var f []Candidate
+	for i, c := range cands {
+		dominated := false
+		for j, d := range cands {
+			if i != j && d.Obj.dominates(c.Obj) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			f = append(f, c)
+		}
+	}
+	sortCandidates(f)
+	return f
+}
+
+func sortCandidates(cs []Candidate) {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].Score != cs[j].Score {
+			return cs[i].Score > cs[j].Score
+		}
+		return cs[i].Genome.Key() < cs[j].Genome.Key()
+	})
+}
+
+// Reduce folds a design's per-workload reports into the search's
+// objective space against a matching slice of baseline VIPT reports
+// (same workloads, same order). AreaBytes is left zero — it is a
+// property of the genome, not the reports. Exported for consumers that
+// re-evaluate found designs outside a search, like the evolve-best
+// experiment.
+func Reduce(reports, base []*sim.Report) (Objectives, error) {
+	if len(reports) != len(base) {
+		return Objectives{}, fmt.Errorf("evolve: Reduce: %d reports vs %d baselines", len(reports), len(base))
+	}
+	baseCycles := make([]float64, len(base))
+	for i, b := range base {
+		baseCycles[i] = float64(b.Cycles)
+	}
+	return reduce(reports, baseCycles), nil
+}
+
+// reduce folds per-workload reports into the genome's objectives.
+// baseCycles is the fixed paper-default baseline, keyed like reports —
+// by workload, in scenario order.
+func reduce(reports []*sim.Report, baseCycles []float64) Objectives {
+	var ratios, mpkis, energies []float64
+	for i, r := range reports {
+		ratios = append(ratios, baseCycles[i]/float64(r.Cycles))
+		misses := float64(r.TLB.Walks) + float64(r.TFT.Lookups)*(1-r.TFT.HitRate)
+		mpkis = append(mpkis, 1000*misses/float64(r.Instructions))
+		energies = append(energies, r.EnergyTotalNJ)
+	}
+	return Objectives{
+		Speedup:  stats.GeoMean(ratios),
+		MPKI:     mean(mpkis),
+		EnergyNJ: mean(energies),
+	}
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -22,7 +22,7 @@ func TestRegistryCoversEveryExperiment(t *testing.T) {
 		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
 		"ablation-insertion", "ablation-scheduler", "ablation-tft-assoc", "ablation-snoopy",
 		"ablation-1g", "ext-icache", "ablation-partition", "ablation-prefetch",
-		"ablation-replacement", "energy-breakdown",
+		"ablation-replacement", "energy-breakdown", "evolve-best",
 	}
 	ids := IDs()
 	have := map[string]bool{}

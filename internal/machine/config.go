@@ -106,6 +106,14 @@ type Config struct {
 	// counter-gated speculation policy (ablation).
 	SchedulerAlwaysFast bool
 	SchedulerAlwaysSlow bool
+	// SpecFastThreshold overrides the counter heuristic's trigger: the
+	// scheduler speculates the fast hit latency when the 2MB L1 TLB
+	// holds at least this many valid entries. 0 selects the paper's
+	// quarter-full rule (superpage-TLB entries / 4); the override only
+	// matters under the default counter policy (neither
+	// SchedulerAlwaysFast nor SchedulerAlwaysSlow set). This is one of
+	// the design-space knobs cmd/seesaw-evolve tunes.
+	SpecFastThreshold int
 
 	CoherenceMode coherence.Mode
 
@@ -232,6 +240,12 @@ func (c Config) withDefaults() Config {
 // schedules — as errors instead of letting Build panic deep inside a
 // constructor. Build calls it first, so callers get a typed error either
 // way; commands call it up front to exit with a usage error.
+//
+// Rejections attributable to a single knob combination come back as a
+// *ConfigError carrying a stable Rule identifier (unwrap with
+// errors.As); the design-space mutator in internal/evolve uses those to
+// prune geometry-impossible genomes. Errors from deeper constructors
+// stay untyped.
 func (c Config) Validate() (err error) {
 	// Constructors validate their own inputs and return errors, but a
 	// few deep paths (SRAM latency tables, geometry math) panic on
@@ -242,14 +256,8 @@ func (c Config) Validate() (err error) {
 		}
 	}()
 	d := c.withDefaults()
-	if d.MemhogFraction < 0 || d.MemhogFraction > 0.95 {
-		return fmt.Errorf("sim: memhog fraction %v outside [0, 0.95]", d.MemhogFraction)
-	}
-	if d.SchedulerAlwaysFast && d.SchedulerAlwaysSlow {
-		return fmt.Errorf("sim: scheduler cannot be both always-fast and always-slow")
-	}
-	if d.Trace != nil && d.WarmupRefs > 0 {
-		return fmt.Errorf("sim: warmup requires online generation, not a trace replay")
+	if cerr := d.validateKnobs(); cerr != nil {
+		return cerr
 	}
 	if _, err := cpu.New(d.CPUKind); err != nil {
 		return err

@@ -400,6 +400,9 @@ func (m *Machine) buildUarch() error {
 	if st := m.hiers[0].L1Super(); st != nil {
 		m.superTLBThreshold = st.Config().Entries / 4
 	}
+	if cfg.SpecFastThreshold > 0 {
+		m.superTLBThreshold = cfg.SpecFastThreshold
+	}
 	return nil
 }
 

@@ -127,6 +127,23 @@ type Stats struct {
 	// StorePuts is the number of freshly computed reports persisted to
 	// the attached ResultStore.
 	StorePuts uint64
+	// RungResumes is the number of warmups the attached snapshot ladder
+	// resumed from a stored rung (zero without WithLadderStats) — the
+	// third evaluation source next to StoreHits and CacheHits.
+	RungResumes uint64
+	// RungRefsSkipped is the total warmup references those resumes
+	// avoided re-simulating.
+	RungRefsSkipped uint64
+}
+
+// Sources summarizes where the pool's answers came from, for one-line
+// logs: cells served by the disk store, by the in-memory duplicate
+// cache, and by fresh execution, plus how many of the fresh warmups
+// were shortened by ladder rungs. The evolutionary search logs one of
+// these per generation so dedup effectiveness is visible.
+func (s Stats) Sources() string {
+	return fmt.Sprintf("store %d, cached %d, fresh %d (rung resumes %d, %d warmup refs skipped)",
+		s.StoreHits, s.CacheHits, s.Runs, s.RungResumes, s.RungRefsSkipped)
 }
 
 // Pool schedules independent cells onto at most Workers concurrent
@@ -141,6 +158,7 @@ type Pool struct {
 	retries int
 	ctx     context.Context
 	store   ResultStore
+	ladder  *LadderStats
 
 	// Retry backoff (WithRetryBackoff): zero backoffBase retries
 	// immediately, the historical behaviour.
@@ -230,6 +248,16 @@ func (p *Pool) WithContext(ctx context.Context) *Pool {
 // non-blocking. Configure before the first Submit.
 func (p *Pool) WithStore(st ResultStore) *Pool {
 	p.store = st
+	return p
+}
+
+// WithLadderStats folds a snapshot ladder's counters into this pool's
+// Stats snapshots: Stats().RungResumes / RungRefsSkipped report the
+// ladder attached to the pool's RunFunc (see LadderRun, which returns
+// the *LadderStats to pass here). Without it those fields stay zero.
+// Configure before the first Submit.
+func (p *Pool) WithLadderStats(ls *LadderStats) *Pool {
+	p.ladder = ls
 	return p
 }
 
@@ -326,11 +354,18 @@ func (p *Pool) FinishProgress() {
 // Workers returns the pool's concurrency bound.
 func (p *Pool) Workers() int { return p.workers }
 
-// Stats returns a snapshot of the scheduling counters.
+// Stats returns a snapshot of the scheduling counters, folding in the
+// attached ladder's resume counters when WithLadderStats was used.
 func (p *Pool) Stats() Stats {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	st := p.stats
+	p.mu.Unlock()
+	if p.ladder != nil {
+		c := p.ladder.Counters()
+		st.RungResumes = c.RungHits
+		st.RungRefsSkipped = c.ResumedRefs
+	}
+	return st
 }
 
 // Submit schedules one simulation and returns its future immediately.

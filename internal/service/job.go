@@ -178,6 +178,7 @@ func (j *job) status(withResults bool) JobStatus {
 			Submitted: ps.Submitted, Runs: ps.Runs, CacheHits: ps.CacheHits,
 			Retries: ps.Retries, Failures: ps.Failures,
 			StoreHits: ps.StoreHits, StorePuts: ps.StorePuts,
+			RungResumes: ps.RungResumes, RungRefsSkipped: ps.RungRefsSkipped,
 		}
 	}
 	if withResults {

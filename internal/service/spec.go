@@ -27,6 +27,7 @@ import (
 	"seesaw/internal/faults"
 	"seesaw/internal/metrics"
 	"seesaw/internal/sim"
+	"seesaw/internal/tft"
 	"seesaw/internal/workload"
 )
 
@@ -81,6 +82,23 @@ type CellSpec struct {
 	// cell's report then carries the epoch time-series, and the job's
 	// SSE progress events summarize it.
 	EpochRefs int `json:"epoch_refs,omitempty"`
+
+	// Design-space knobs the evolutionary search tunes (all 0/"" =
+	// simulator default), so evolved genomes have a faithful wire form.
+	// TFTEntries/TFTAssoc size the translation filter table.
+	TFTEntries int `json:"tft_entries,omitempty"`
+	TFTAssoc   int `json:"tft_assoc,omitempty"`
+	// PromoteEvery / SplinterEvery / CtxSwitchEvery set the OS activity
+	// cadences in references.
+	PromoteEvery   int `json:"promote_every,omitempty"`
+	SplinterEvery  int `json:"splinter_every,omitempty"`
+	CtxSwitchEvery int `json:"ctx_switch_every,omitempty"`
+	// SpecThreshold overrides the speculation counter heuristic's
+	// trigger (0 = the paper's quarter-full rule).
+	SpecThreshold int `json:"spec_threshold,omitempty"`
+	// Sched pins the scheduler's speculation policy: "" (counter
+	// heuristic), "always-fast", or "always-slow".
+	Sched string `json:"sched,omitempty"`
 }
 
 // Config resolves the spec into a validated sim.Config. Errors name the
@@ -105,23 +123,37 @@ func (c CellSpec) Config() (sim.Config, error) {
 		return sim.Config{}, fmt.Errorf("unknown cache design %q (want seesaw, baseline, or pipt)", c.Cache)
 	}
 	cfg := sim.Config{
-		Workload:        p,
-		Seed:            c.Seed,
-		Refs:            c.Refs,
-		WarmupRefs:      c.WarmupRefs,
-		CacheKind:       kind,
-		L1Size:          c.SizeKB << 10,
-		L1Ways:          c.Ways,
-		Partitions:      c.Partitions,
-		SerialTLBCycles: c.SerialTLBCycles,
-		SmallTLB:        c.SmallTLB,
-		FreqGHz:         c.FreqGHz,
-		CPUKind:         c.CPU,
-		MemhogFraction:  c.Memhog,
-		MemBytes:        c.MemMB << 20,
-		WayPredict:      c.WayPredict,
-		ICache:          c.ICache,
-		CheckInvariants: c.Check,
+		Workload:           p,
+		Seed:               c.Seed,
+		Refs:               c.Refs,
+		WarmupRefs:         c.WarmupRefs,
+		CacheKind:          kind,
+		L1Size:             c.SizeKB << 10,
+		L1Ways:             c.Ways,
+		Partitions:         c.Partitions,
+		SerialTLBCycles:    c.SerialTLBCycles,
+		SmallTLB:           c.SmallTLB,
+		FreqGHz:            c.FreqGHz,
+		CPUKind:            c.CPU,
+		MemhogFraction:     c.Memhog,
+		MemBytes:           c.MemMB << 20,
+		WayPredict:         c.WayPredict,
+		ICache:             c.ICache,
+		CheckInvariants:    c.Check,
+		TFT:                tft.Config{Entries: c.TFTEntries, Assoc: c.TFTAssoc},
+		PromoteScanEvery:   c.PromoteEvery,
+		SplinterEvery:      c.SplinterEvery,
+		ContextSwitchEvery: c.CtxSwitchEvery,
+		SpecFastThreshold:  c.SpecThreshold,
+	}
+	switch c.Sched {
+	case "":
+	case "always-fast":
+		cfg.SchedulerAlwaysFast = true
+	case "always-slow":
+		cfg.SchedulerAlwaysSlow = true
+	default:
+		return sim.Config{}, fmt.Errorf("unknown sched policy %q (want always-fast or always-slow)", c.Sched)
 	}
 	if c.Faults != "" {
 		cfg.Faults = &faults.Config{Schedule: c.Faults, Every: c.FaultEvery, Seed: c.FaultSeed}
@@ -135,6 +167,83 @@ func (c CellSpec) Config() (sim.Config, error) {
 		return sim.Config{}, err
 	}
 	return cfg, nil
+}
+
+// SpecFromConfig maps a simulation cell onto the wire format, then
+// proves the mapping exact: the spec is resolved back to a sim.Config
+// and both must agree on CanonicalKey — the identity the cluster's
+// duplicate suppression and the shared result store key on. A config
+// the wire format cannot carry faithfully (trace replay, counters-only
+// metrics, a co-runner) is an error here, never a silently-different
+// simulation. seesaw-sweep and seesaw-evolve use it for -cluster
+// dispatch.
+func SpecFromConfig(cfg sim.Config) (CellSpec, error) {
+	if cfg.Trace != nil {
+		return CellSpec{}, fmt.Errorf("trace-replay cells cannot run on a cluster")
+	}
+	if cfg.Metrics != nil && cfg.Metrics.EpochRefs <= 0 {
+		return CellSpec{}, fmt.Errorf("counters-only metrics have no wire form; use -prom with local sweeps")
+	}
+	var cache string
+	switch cfg.CacheKind {
+	case sim.KindSeesaw:
+		cache = "seesaw"
+	case sim.KindBaseline:
+		cache = "baseline"
+	case sim.KindPIPT:
+		cache = "pipt"
+	default:
+		return CellSpec{}, fmt.Errorf("cache kind %v has no wire name", cfg.CacheKind)
+	}
+	spec := CellSpec{
+		Workload:        cfg.Workload.Name,
+		Cache:           cache,
+		SizeKB:          cfg.L1Size >> 10,
+		Ways:            cfg.L1Ways,
+		Partitions:      cfg.Partitions,
+		FreqGHz:         cfg.FreqGHz,
+		SerialTLBCycles: cfg.SerialTLBCycles,
+		SmallTLB:        cfg.SmallTLB,
+		CPU:             cfg.CPUKind,
+		Refs:            cfg.Refs,
+		WarmupRefs:      cfg.WarmupRefs,
+		Seed:            cfg.Seed,
+		Memhog:          cfg.MemhogFraction,
+		MemMB:           cfg.MemBytes >> 20,
+		WayPredict:      cfg.WayPredict,
+		ICache:          cfg.ICache,
+		Check:           cfg.CheckInvariants,
+		TFTEntries:      cfg.TFT.Entries,
+		TFTAssoc:        cfg.TFT.Assoc,
+		PromoteEvery:    cfg.PromoteScanEvery,
+		SplinterEvery:   cfg.SplinterEvery,
+		CtxSwitchEvery:  cfg.ContextSwitchEvery,
+		SpecThreshold:   cfg.SpecFastThreshold,
+	}
+	switch {
+	case cfg.SchedulerAlwaysFast:
+		spec.Sched = "always-fast"
+	case cfg.SchedulerAlwaysSlow:
+		spec.Sched = "always-slow"
+	}
+	if cfg.Faults != nil {
+		spec.Faults = cfg.Faults.Schedule
+		spec.FaultEvery = cfg.Faults.Every
+		spec.FaultSeed = cfg.Faults.Seed
+	}
+	if cfg.Metrics != nil {
+		spec.EpochRefs = cfg.Metrics.EpochRefs
+	}
+	back, err := spec.Config()
+	if err != nil {
+		return CellSpec{}, fmt.Errorf("cell has no wire form: %w", err)
+	}
+	wantKey, ok1 := cfg.CanonicalKey()
+	gotKey, ok2 := back.CanonicalKey()
+	if !ok1 || !ok2 || wantKey != gotKey {
+		return CellSpec{}, fmt.Errorf("cell round-trips to a different simulation; run it locally")
+	}
+	return spec, nil
 }
 
 // JobRequest is the POST /v1/jobs body: a batch of cells executed as one
@@ -172,6 +281,10 @@ type PoolStats struct {
 	Failures  uint64 `json:"failures"`
 	StoreHits uint64 `json:"store_hits"`
 	StorePuts uint64 `json:"store_puts"`
+	// Ladder resume counters (zero when the server runs without a
+	// snapshot ladder).
+	RungResumes     uint64 `json:"rung_resumes,omitempty"`
+	RungRefsSkipped uint64 `json:"rung_refs_skipped,omitempty"`
 }
 
 // JobStatus is the GET /v1/jobs/{id} body.

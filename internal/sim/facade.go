@@ -4,6 +4,7 @@ import (
 	"seesaw/internal/check"
 	"seesaw/internal/core"
 	"seesaw/internal/faults"
+	"seesaw/internal/machine"
 	"seesaw/internal/metrics"
 )
 
@@ -50,3 +51,27 @@ type PromMetric = metrics.PromMetric
 // FourEightWay is the 4/8-way insertion-policy ablation knob
 // (Config.Policy).
 const FourEightWay = core.FourEightWay
+
+// ConfigError is the typed rejection Config.Validate returns for knob
+// combinations it can attribute to a single constraint (unwrap with
+// errors.As); Rule enumerates the stable machine-readable identifiers.
+// The evolutionary search (internal/evolve) prunes invalid genomes on
+// these instead of crashing a worker.
+type (
+	ConfigError = machine.ConfigError
+	Rule        = machine.Rule
+)
+
+const (
+	RulePartitionsNotPow2      = machine.RulePartitionsNotPow2
+	RulePartitionsExceedWays   = machine.RulePartitionsExceedWays
+	RuleWaysNotDivisible       = machine.RuleWaysNotDivisible
+	RuleTFTEntriesNegative     = machine.RuleTFTEntriesNegative
+	RuleTFTAssocInvalid        = machine.RuleTFTAssocInvalid
+	RuleTFTEntriesNotDivisible = machine.RuleTFTEntriesNotDivisible
+	RuleTFTSetsNotPow2         = machine.RuleTFTSetsNotPow2
+	RuleSpecThresholdNegative  = machine.RuleSpecThresholdNegative
+	RuleSchedulerContradiction = machine.RuleSchedulerContradiction
+	RuleMemhogRange            = machine.RuleMemhogRange
+	RuleTraceWarmup            = machine.RuleTraceWarmup
+)

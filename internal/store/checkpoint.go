@@ -1,0 +1,90 @@
+// Checkpoint namespace: small named blobs living beside the
+// content-addressed entries. Result entries are keyed by what they
+// contain; a checkpoint is the opposite — a mutable name (one search,
+// one in-progress process) whose contents advance. The evolutionary
+// search persists its population/RNG/ledger state here at each
+// generation boundary so a killed search resumes mid-run from the same
+// store directory that also holds its evaluated cells.
+//
+// Checkpoints use the .ckpt extension under checkpoints/ so the report
+// namespace, its GC, and Len never see them.
+
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// checkpointPath maps a checkpoint name to its file, rejecting names
+// that would escape the namespace.
+func (s *Store) checkpointPath(name string) (string, error) {
+	if name == "" || name != filepath.Base(name) || name[0] == '.' {
+		return "", fmt.Errorf("store: invalid checkpoint name %q", name)
+	}
+	return filepath.Join(s.dir, "checkpoints", name+".ckpt"), nil
+}
+
+// GetCheckpoint returns the named checkpoint blob, or false when it is
+// absent or unreadable. The blob's format is the caller's; the store
+// only guarantees it reads back exactly the bytes a successful
+// PutCheckpoint wrote (writes are temp-file + rename, so a crash
+// mid-write leaves the previous checkpoint intact, never a torn one).
+func (s *Store) GetCheckpoint(name string) ([]byte, bool) {
+	path, err := s.checkpointPath(name)
+	if err != nil {
+		return nil, false
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) && s.Logger != nil {
+			s.Logger.Printf("store: unreadable checkpoint %s: %v", path, err)
+		}
+		return nil, false
+	}
+	return data, true
+}
+
+// PutCheckpoint atomically replaces the named checkpoint with blob.
+func (s *Store) PutCheckpoint(name string, blob []byte) error {
+	path, err := s.checkpointPath(name)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	_, werr := tmp.Write(blob)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), path)
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: writing %s: %w", path, werr)
+	}
+	return nil
+}
+
+// DropCheckpoint removes the named checkpoint; removing an absent one
+// is not an error.
+func (s *Store) DropCheckpoint(name string) error {
+	path, err := s.checkpointPath(name)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}

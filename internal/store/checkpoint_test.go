@@ -1,0 +1,84 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.GetCheckpoint("search"); ok {
+		t.Fatal("absent checkpoint reported present")
+	}
+	blob := []byte(`{"generation":3}`)
+	if err := s.PutCheckpoint("search", blob); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.GetCheckpoint("search")
+	if !ok || !bytes.Equal(got, blob) {
+		t.Fatalf("GetCheckpoint = %q, %v; want %q, true", got, ok, blob)
+	}
+	// Overwrite replaces atomically.
+	blob2 := []byte(`{"generation":4}`)
+	if err := s.PutCheckpoint("search", blob2); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.GetCheckpoint("search"); !bytes.Equal(got, blob2) {
+		t.Fatalf("after overwrite GetCheckpoint = %q, want %q", got, blob2)
+	}
+	if err := s.DropCheckpoint("search"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.GetCheckpoint("search"); ok {
+		t.Fatal("dropped checkpoint still present")
+	}
+	if err := s.DropCheckpoint("search"); err != nil {
+		t.Fatal("dropping an absent checkpoint must be a no-op, got", err)
+	}
+}
+
+func TestCheckpointNameValidation(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"", "..", "a/b", "../escape", ".hidden"} {
+		if err := s.PutCheckpoint(name, []byte("x")); err == nil {
+			t.Errorf("PutCheckpoint(%q) accepted an invalid name", name)
+		}
+		if _, ok := s.GetCheckpoint(name); ok {
+			t.Errorf("GetCheckpoint(%q) reported present", name)
+		}
+	}
+}
+
+func TestCheckpointInvisibleToReportNamespace(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutCheckpoint("search", []byte("blob")); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Len(); n != 0 {
+		t.Fatalf("Len() = %d after a checkpoint write, want 0", n)
+	}
+	// Reopen (which GCs the snapshot namespace) and confirm the
+	// checkpoint survives.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.GetCheckpoint("search"); !ok {
+		t.Fatal("checkpoint lost across reopen")
+	}
+	if fi, err := os.Stat(filepath.Join(dir, "checkpoints", "search.ckpt")); err != nil || fi.IsDir() {
+		t.Fatalf("checkpoint file missing: %v", err)
+	}
+}

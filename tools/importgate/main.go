@@ -38,6 +38,7 @@ var allowed = map[string]bool{
 	"seesaw/internal/stats":       true,
 	"seesaw/internal/cliutil":     true,
 	"seesaw/internal/experiments": true,
+	"seesaw/internal/evolve":      true,
 	"seesaw/internal/store":       true,
 	"seesaw/internal/workload":    true,
 	"seesaw/internal/trace":       true,
