@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-baseline perfgate cover chaos service-smoke cluster-smoke importgate warmup-smoke ladder-smoke evolve-smoke fuzz-smoke verify
+.PHONY: build vet test race bench bench-baseline perfgate cover chaos service-smoke cluster-smoke importgate warmup-smoke ladder-smoke evolve-smoke fuzz-smoke zoo-smoke verify
 
 build:
 	$(GO) build ./...
@@ -88,4 +88,12 @@ evolve-smoke:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzSnapshotCodec -fuzztime=10s ./internal/machine/
 
-verify: build vet test race cover chaos service-smoke cluster-smoke importgate warmup-smoke ladder-smoke evolve-smoke fuzz-smoke perfgate
+# The zoo gate sweeps every registered cache design through the real
+# service stack: one cell per design computed fresh, then an identical
+# resubmission answered entirely from the store with byte-identical
+# per-cell results (tools/zoosmoke). The design list comes from the
+# registry, so a newly registered design is gated automatically.
+zoo-smoke:
+	$(GO) run ./tools/zoosmoke
+
+verify: build vet test race cover chaos service-smoke cluster-smoke importgate warmup-smoke ladder-smoke evolve-smoke fuzz-smoke zoo-smoke perfgate

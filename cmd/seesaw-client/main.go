@@ -27,11 +27,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"seesaw/internal/cliutil"
 	"seesaw/internal/cluster"
 	"seesaw/internal/service"
+	"seesaw/internal/sim"
 )
 
 func main() {
@@ -41,7 +43,7 @@ func main() {
 		jobFile = flag.String("job", "", "submit this JSON job `file` (a service.JobRequest) instead of building one from flags")
 		label   = flag.String("label", "", "label for the submitted job")
 		wls     = flag.String("workloads", "redis", "comma-separated workloads, one cell per (workload, cache)")
-		caches  = flag.String("caches", "seesaw", "comma-separated cache designs: seesaw, baseline, pipt")
+		caches  = flag.String("caches", "seesaw", "comma-separated cache designs: "+strings.Join(sim.DesignNames(), ", "))
 		sizeKB  = flag.Uint64("size", 0, "L1 size in KB (0 = server default)")
 		refs    = flag.Int("refs", 0, "references per cell (0 = simulator default)")
 		seed    = flag.Int64("seed", 42, "deterministic seed")

@@ -33,7 +33,7 @@ func main() {
 	var (
 		wlName    = flag.String("workload", "redis", "workload name (see -list)")
 		list      = flag.Bool("list", false, "list workloads and exit")
-		cacheStr  = flag.String("cache", "seesaw", "L1 design: seesaw | baseline | pipt")
+		cacheStr  = flag.String("cache", "seesaw", "L1 design: "+strings.Join(sim.DesignNames(), " | "))
 		sizeKB    = flag.Uint64("size", 32, "L1 data cache size in KB (32, 64, 128)")
 		ways      = flag.Int("ways", 0, "L1 ways (default: 4 per 16KB)")
 		freq      = flag.Float64("freq", 1.33, "clock in GHz (1.33, 2.80, 4.00)")
@@ -88,16 +88,9 @@ func main() {
 			fatal(err)
 		}
 	}
-	var kind sim.CacheKind
-	switch *cacheStr {
-	case "seesaw":
-		kind = sim.KindSeesaw
-	case "baseline":
-		kind = sim.KindBaseline
-	case "pipt":
-		kind = sim.KindPIPT
-	default:
-		fatal(fmt.Errorf("unknown cache design %q", *cacheStr))
+	kind, err := sim.ParseCacheKind(*cacheStr)
+	if err != nil {
+		fatal(err)
 	}
 	cfg := sim.Config{
 		Workload:        p,

@@ -410,15 +410,31 @@ func reportFailures(fails []failure) {
 // recorded and their rows marked, never fatal.
 func sweepTable(o sweepOptions) (*stats.Table, []failure, error) {
 	pool := o.newSubmitter()
+	// The design axis enumerates the registry in registration order. The
+	// three seed designs keep their historical row shapes (SEESAW expands
+	// into its partition variants, PIPT runs its reduced-TLB 4-way
+	// point); any other registered design gets one row at its validator's
+	// default geometry, so a new zoo member appears in the table for free.
 	designsFor := func(ways int) []design {
-		ds := []design{{name: "VIPT (baseline)", kind: sim.KindBaseline}}
-		for parts := 2; parts <= ways/2; parts *= 2 {
-			ds = append(ds, design{
-				name: fmt.Sprintf("SEESAW %dp x %dw", parts, ways/parts),
-				kind: sim.KindSeesaw, partitions: parts,
-			})
+		var ds []design
+		for _, info := range sim.DesignInfos() {
+			switch info.Name {
+			case sim.KindBaseline:
+				ds = append(ds, design{name: "VIPT (baseline)", kind: info.Name})
+			case sim.KindSeesaw:
+				for parts := 2; parts <= ways/2; parts *= 2 {
+					ds = append(ds, design{
+						name: fmt.Sprintf("SEESAW %dp x %dw", parts, ways/parts),
+						kind: info.Name, partitions: parts,
+					})
+				}
+			case sim.KindPIPT:
+				ds = append(ds, design{name: "PIPT 4w (small TLB)", kind: info.Name, serialTLB: 2, smallTLB: true})
+			default:
+				ds = append(ds, design{name: info.Display, kind: info.Name})
+			}
 		}
-		return append(ds, design{name: "PIPT 4w (small TLB)", kind: sim.KindPIPT, serialTLB: 2, smallTLB: true})
+		return ds
 	}
 	// Submit phase: cells[si][fi] holds the baseline references, then one
 	// future per (design, workload). The pool dedupes the baseline design
@@ -508,11 +524,11 @@ func sweepTable(o sweepOptions) (*stats.Table, []failure, error) {
 // storms have base chunks to work on and compaction is exercised.
 func chaosTable(o sweepOptions) (*stats.Table, []failure, uint64, error) {
 	pool := o.newSubmitter()
-	designs := []design{
-		{name: "VIPT (baseline)", kind: sim.KindBaseline},
-		{name: "SEESAW", kind: sim.KindSeesaw},
-		{name: "PIPT (small TLB)", kind: sim.KindPIPT, serialTLB: 2, smallTLB: true},
-	}
+	// The design axis is the registry: every registered design runs under
+	// every schedule, with the registry's chaos knob overrides (the
+	// serial-PIPT point only means anything with its reduced TLB and 4
+	// ways). A newly registered design joins the chaos matrix for free.
+	designs := sim.DesignInfos()
 	schedules := sim.FaultSchedules()
 	every, fseed := 0, int64(0)
 	if o.faults != nil {
@@ -526,17 +542,15 @@ func chaosTable(o sweepOptions) (*stats.Table, []failure, uint64, error) {
 			for _, p := range o.profiles {
 				cfg := sim.Config{
 					Workload: p, Seed: o.seed, Refs: o.refs,
-					CacheKind: d.kind, L1Size: 32 << 10, Partitions: d.partitions,
-					SerialTLBCycles: d.serialTLB, SmallTLB: d.smallTLB,
-					FreqGHz: 1.33, CPUKind: "ooo", MemBytes: 512 << 20,
+					CacheKind: d.Name, L1Size: 32 << 10,
+					SerialTLBCycles: d.ChaosSerialTLB, SmallTLB: d.ChaosSmallTLB,
+					L1Ways:          d.ChaosL1Ways,
+					FreqGHz:         1.33, CPUKind: "ooo", MemBytes: 512 << 20,
 					MemhogFraction:  0.4,
 					WarmupRefs:      o.warmup,
 					CheckInvariants: true,
 					Metrics:         o.metrics,
 					Faults:          &sim.FaultsConfig{Schedule: sched, Every: every, Seed: fseed},
-				}
-				if d.kind == sim.KindPIPT {
-					cfg.L1Ways = 4
 				}
 				subs[si][di] = append(subs[si][di], sub{pool.Submit(cfg), runner.Describe(cfg) + " faults=" + sched})
 			}
@@ -567,7 +581,7 @@ func chaosTable(o sweepOptions) (*stats.Table, []failure, uint64, error) {
 				}
 			}
 			totalViolations += violations
-			t.AddRow(sched, d.name,
+			t.AddRow(sched, d.Display,
 				fmt.Sprintf("%d", cellsOK),
 				fmt.Sprintf("%d", injected),
 				fmt.Sprintf("%d", checks),

@@ -56,6 +56,16 @@ func TestSweepParallelMatchesSerial(t *testing.T) {
 	if !strings.Contains(serial, "VIPT (baseline)") || !strings.Contains(serial, "SEESAW") {
 		t.Errorf("sweep table missing expected designs:\n%s", serial)
 	}
+	// The matrix enumerates the registry, so every registered design —
+	// including post-enum arrivals like VESPA — must have a row.
+	for _, d := range sim.DesignInfos() {
+		if d.Name == sim.KindBaseline || d.Name == sim.KindSeesaw || d.Name == sim.KindPIPT {
+			continue
+		}
+		if !strings.Contains(serial, d.Display) {
+			t.Errorf("sweep table missing registered design %q (%s):\n%s", d.Name, d.Display, serial)
+		}
+	}
 }
 
 // TestSweepDegradesGracefullyOnPanickingCell: with one design/workload
@@ -73,8 +83,11 @@ func TestSweepDegradesGracefullyOnPanickingCell(t *testing.T) {
 			panic("injected: simulator bug in this one cell")
 		}
 		// A fast stand-in for sim.Run: deterministic numbers per cell.
+		kindBump := map[sim.CacheKind]uint64{
+			sim.KindBaseline: 0, sim.KindSeesaw: 10, sim.KindPIPT: 20, sim.KindVespa: 30,
+		}
 		return &sim.Report{
-			Cycles:        1000 + uint64(cfg.L1Size>>10) + uint64(cfg.CacheKind)*10,
+			Cycles:        1000 + uint64(cfg.L1Size>>10) + kindBump[cfg.CacheKind],
 			EnergyTotalNJ: 5000,
 			IPC:           1.5,
 		}, nil

@@ -8,34 +8,30 @@ import (
 	"seesaw/internal/waypred"
 )
 
-// L1State is the serializable mutable state of any of the three L1
-// designs: the storage array always, the TFT and SEESAW statistics for
-// SEESAW caches, and the way-predictor history when predicting. Design
-// kind, geometry, and timing are config-derived.
+// L1State is the serializable mutable state of any registered L1
+// design: the storage array always, the TFT and SEESAW statistics for
+// SEESAW caches, the way-predictor history when predicting, and an
+// opaque design-owned blob for zoo designs with state of their own
+// (e.g. VESPA's counters). Design kind, geometry, and timing are
+// config-derived.
 type L1State struct {
 	Cache cache.Image
 	TFT   *tft.State
 	WP    *waypred.State
 	Stats SeesawStats
+	// Extra carries state the design registered privately (see
+	// Design.State/SetState); nil for designs without any. Keeping it
+	// opaque means new zoo designs never change this struct's wire
+	// shape.
+	Extra []byte
 }
 
-// StateOf captures an L1's mutable state.
+// StateOf captures an L1's mutable state through its design's
+// registered codec.
 func StateOf(l L1Cache) L1State {
 	s := L1State{Cache: l.Storage().Image()}
-	switch v := l.(type) {
-	case *Seesaw:
-		fs := v.f.State()
-		s.TFT = &fs
-		s.Stats = v.Stats
-		if v.wp != nil {
-			ws := v.wp.State()
-			s.WP = &ws
-		}
-	case *BaselineVIPT:
-		if v.wp != nil {
-			ws := v.wp.State()
-			s.WP = &ws
-		}
+	if d, ok := designOf(l); ok && d.State != nil {
+		d.State(l, &s)
 	}
 	return s
 }
@@ -46,33 +42,14 @@ func SetL1State(l L1Cache, s L1State) error {
 	if err := l.Storage().SetImage(s.Cache); err != nil {
 		return err
 	}
-	switch v := l.(type) {
-	case *Seesaw:
-		if s.TFT == nil {
-			return fmt.Errorf("core: SEESAW state is missing its TFT")
-		}
-		if err := v.f.SetState(*s.TFT); err != nil {
-			return err
-		}
-		v.Stats = s.Stats
-		if err := setWP(v.wp, s.WP); err != nil {
-			return err
-		}
-	case *BaselineVIPT:
-		if s.TFT != nil {
-			return fmt.Errorf("core: baseline VIPT state carries a TFT")
-		}
-		if err := setWP(v.wp, s.WP); err != nil {
-			return err
-		}
-	case *PIPT:
-		if s.TFT != nil || s.WP != nil {
-			return fmt.Errorf("core: PIPT state carries a TFT or way predictor")
-		}
-	default:
+	d, ok := designOf(l)
+	if !ok {
 		return fmt.Errorf("core: unknown L1 design %T", l)
 	}
-	return nil
+	if d.SetState == nil {
+		return nil
+	}
+	return d.SetState(l, s)
 }
 
 func setWP(wp *waypred.MRU, s *waypred.State) error {

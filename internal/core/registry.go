@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Design describes one registered L1 cache design: how to build it, how
+// to validate its geometry knobs, how to capture and restore its
+// mutable state for snapshots, and the metadata the harnesses
+// (machine build, chaos sweep, evolve menus, service wire spec) need to
+// enumerate the zoo without hardcoding names.
+//
+// A design is added in one place: implement L1Cache (plus DesignNamed),
+// fill in a Design, and Register it. Everything downstream — seesaw-sim
+// -cache, the sweep matrix, the served spec, the conformance battery —
+// picks it up from the registry.
+type Design struct {
+	// Name is the registry key and the wire spelling: the value of
+	// machine.Config.CacheKind, the service spec's "cache" field, and
+	// the -cache/-caches flag argument.
+	Name string
+	// Display is the human-facing table label ("VIPT (baseline)").
+	Display string
+	// Legacy is the int this design was encoded as when
+	// machine.Config.CacheKind was an enum; -1 for designs that
+	// postdate the enum. Snapshot and checkpoint decoding map stored
+	// ints back through it.
+	Legacy int
+
+	// New builds one core's worth of the design.
+	New func(Config) (L1Cache, error)
+	// Validate applies the design's single-knob geometry rules to a
+	// defaults-applied config, returning a typed rejection the evolve
+	// mutators can switch on; nil when the design has none beyond what
+	// New itself enforces.
+	Validate func(Config) *ConfigError
+
+	// UsesTFT marks designs embedding a superpage filter table; the
+	// machine wires TLB-fill/invlpg/context-switch hooks and TFT energy
+	// accounting only for these.
+	UsesTFT bool
+	// Speculates marks designs with a fast/slow latency split the
+	// scheduler may speculate on (the paper's counter heuristic).
+	Speculates bool
+	// FastPath marks designs with a devirtualized concrete dispatch
+	// path in the machine's hot loop; others run through the clean
+	// L1Cache interface fallback.
+	FastPath bool
+
+	// AreaBytes is the design's extra SRAM beyond the storage array
+	// (e.g. SEESAW's TFT), for the evolve area objective; nil = none.
+	AreaBytes func(Config) uint64
+
+	// State captures design-specific mutable state beyond the storage
+	// array into st (whose Cache image is already filled); nil when the
+	// design has none.
+	State func(l L1Cache, st *L1State)
+	// SetState restores what State captured and cross-checks that the
+	// state actually belongs to this design; nil when the design
+	// carries none (the restore then only rejects foreign state).
+	SetState func(l L1Cache, st L1State) error
+
+	// ChaosSerialTLB / ChaosSmallTLB / ChaosL1Ways are the knob
+	// overrides the chaos sweep applies to this design's cells (0/false
+	// = none): e.g. the serial PIPT point is only meaningful with the
+	// reduced TLB and 4 ways.
+	ChaosSerialTLB int
+	ChaosSmallTLB  bool
+	ChaosL1Ways    int
+}
+
+// DesignNamed reports which registered design an L1Cache instance
+// realizes. Every registered design's cache type implements it; the
+// snapshot codec routes capture/restore through it.
+type DesignNamed interface {
+	DesignName() string
+}
+
+var (
+	designOrder []*Design
+	designNames = map[string]*Design{}
+)
+
+// Register adds a design to the zoo. It panics on a duplicate or empty
+// name — registration is an init-time, programmer-error-only affair.
+func Register(d Design) {
+	if d.Name == "" {
+		panic("core: Register: empty design name")
+	}
+	if _, dup := designNames[d.Name]; dup {
+		panic(fmt.Sprintf("core: Register: duplicate design %q", d.Name))
+	}
+	if d.New == nil {
+		panic(fmt.Sprintf("core: Register: design %q has no builder", d.Name))
+	}
+	cp := d
+	designOrder = append(designOrder, &cp)
+	designNames[d.Name] = &cp
+}
+
+// LookupDesign resolves a design by its registry name.
+func LookupDesign(name string) (*Design, bool) {
+	d, ok := designNames[name]
+	return d, ok
+}
+
+// DesignByLegacy resolves a design by its pre-registry enum value.
+func DesignByLegacy(v int) (*Design, bool) {
+	for _, d := range designOrder {
+		if d.Legacy == v && v >= 0 {
+			return d, true
+		}
+	}
+	return nil, false
+}
+
+// DesignNames returns every registered name in registration order —
+// the canonical enumeration order for menus, sweeps, and usage strings.
+func DesignNames() []string {
+	names := make([]string, len(designOrder))
+	for i, d := range designOrder {
+		names[i] = d.Name
+	}
+	return names
+}
+
+// Designs returns the registered descriptors in registration order.
+// The slice is a copy; the pointed-to descriptors are shared and must
+// not be mutated.
+func Designs() []*Design {
+	return append([]*Design(nil), designOrder...)
+}
+
+// SortedDesignNames returns the registered names sorted, for stable
+// error messages.
+func SortedDesignNames() []string {
+	names := DesignNames()
+	sort.Strings(names)
+	return names
+}
+
+// designOf resolves the descriptor an L1 instance belongs to.
+func designOf(l L1Cache) (*Design, bool) {
+	if dn, ok := l.(DesignNamed); ok {
+		return LookupDesign(dn.DesignName())
+	}
+	return nil, false
+}

@@ -108,8 +108,13 @@ func (s *Search) loadCheckpoint() (ok bool, err error) {
 	if len(st.Population) == 0 {
 		return false, nil
 	}
-	for _, g := range st.Population {
-		if err := g.onMenus(); err != nil {
+	// Checkpoints written before the design gene existed carry genomes
+	// with no design field; normalize resolves those to seesaw (and
+	// canonicalizes any other redundant spellings) before the menu check
+	// and the ledger rebuild key off them.
+	for i, g := range st.Population {
+		st.Population[i] = g.normalize()
+		if err := st.Population[i].onMenus(); err != nil {
 			return false, err
 		}
 	}
@@ -122,6 +127,7 @@ func (s *Search) loadCheckpoint() (ok bool, err error) {
 	s.ledger = make(map[string]Candidate, len(st.Ledger))
 	s.order = s.order[:0]
 	for _, c := range st.Ledger {
+		c.Genome = c.Genome.normalize()
 		k := c.Genome.Key()
 		s.ledger[k] = c
 		s.order = append(s.order, k)

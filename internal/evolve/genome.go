@@ -28,6 +28,12 @@ import (
 // size, fragmentation) is fixed by the Scenario, so two genomes differ
 // only in design decisions, never in what they are asked to run.
 type Genome struct {
+	// Design names the registered L1 design the genome builds on. The
+	// menu is derived from the design registry (every speculating
+	// design, i.e. one with a fast/slow latency split the other genes
+	// tune); "" is the legacy spelling of "seesaw", kept decodable so
+	// pre-registry checkpoints resume. See normalize.
+	Design string `json:"design,omitempty"`
 	// TFTEntries / TFTAssoc size the translation filter table.
 	TFTEntries int `json:"tft_entries"`
 	TFTAssoc   int `json:"tft_assoc"`
@@ -54,6 +60,29 @@ type Genome struct {
 // model has no row for) — those stay in the menus deliberately, and the
 // mutator prunes them through sim.Config.Validate's typed errors.
 var (
+	// designMenu is drawn from the registry: every design with a
+	// fast/slow latency split (Speculates) is a point the search may
+	// move to, so landing a new design in the zoo automatically widens
+	// the search space. designUsesTFT mirrors the registry's UsesTFT
+	// flag for normalize. (Var initializers, not init(): the genes table
+	// below sizes itself off designMenu during var initialization.)
+	designMenu = func() []string {
+		var names []string
+		for _, d := range sim.DesignInfos() {
+			if d.Speculates {
+				names = append(names, string(d.Name))
+			}
+		}
+		return names
+	}()
+	designUsesTFT = func() map[string]bool {
+		m := map[string]bool{}
+		for _, d := range sim.DesignInfos() {
+			m[string(d.Name)] = d.UsesTFT
+		}
+		return m
+	}()
+
 	tftEntriesMenu    = []int{8, 12, 16, 20, 24, 32, 48, 64}
 	tftAssocMenu      = []int{1, 2, 4}
 	partitionsMenu    = []int{2, 4, 8}
@@ -70,6 +99,7 @@ var (
 // search beat the paper".
 func DefaultGenome() Genome {
 	return Genome{
+		Design:        "seesaw",
 		TFTEntries:    16,
 		TFTAssoc:      1,
 		Partitions:    2,
@@ -102,6 +132,15 @@ func intGene(name string, menu []int, get func(Genome) int, set func(*Genome, in
 }
 
 var genes = []geneSpec{
+	{
+		name: "design",
+		n:    len(designMenu),
+		get:  func(g Genome) int { return indexOfString(designMenu, g.designOrDefault()) },
+		set: func(g Genome, i int) Genome {
+			g.Design = designMenu[i]
+			return g
+		},
+	},
 	intGene("tft-entries", tftEntriesMenu,
 		func(g Genome) int { return g.TFTEntries },
 		func(g *Genome, v int) { g.TFTEntries = v }),
@@ -149,12 +188,29 @@ func indexOfString(menu []string, v string) int {
 	return -1
 }
 
+// designOrDefault resolves the legacy empty spelling: genomes written
+// before the design gene existed are seesaw genomes.
+func (g Genome) designOrDefault() string {
+	if g.Design == "" {
+		return "seesaw"
+	}
+	return g.Design
+}
+
 // normalize canonicalizes redundant encodings so behaviourally
 // identical genomes share one key (and therefore one evaluation): the
-// speculation threshold only exists under the counter policy.
+// legacy empty design is seesaw, the speculation threshold only exists
+// under the counter policy, and the TFT genes only exist on designs
+// that have a TFT (VESPA takes the page size from the TLB, so two
+// VESPA genomes differing only in TFT geometry run the same machine).
 func (g Genome) normalize() Genome {
+	g.Design = g.designOrDefault()
 	if g.Sched != "counter" {
 		g.SpecThreshold = 0
+	}
+	if !designUsesTFT[g.Design] {
+		d := DefaultGenome()
+		g.TFTEntries, g.TFTAssoc = d.TFTEntries, d.TFTAssoc
 	}
 	return g
 }
@@ -172,17 +228,23 @@ func (g Genome) onMenus() error {
 }
 
 // Key is the genome's compact identity, used in logs, the ledger, and
-// tie-breaking. Distinct genomes have distinct keys.
+// tie-breaking. Distinct genomes have distinct keys. Seesaw genomes
+// keep the pre-design-gene format, so ledgers in old checkpoints rebuild
+// under the same keys; other designs prefix their name.
 func (g Genome) Key() string {
-	return fmt.Sprintf("tft%dx%d-part%d-%s-t%d-promo%d-splin%d",
+	base := fmt.Sprintf("tft%dx%d-part%d-%s-t%d-promo%d-splin%d",
 		g.TFTEntries, g.TFTAssoc, g.Partitions, g.Sched,
 		g.SpecThreshold, g.PromoteEvery, g.SplinterEvery)
+	if d := g.designOrDefault(); d != "seesaw" {
+		return d + "-" + base
+	}
+	return base
 }
 
 // Apply overlays the genome's knobs on a scenario base config and
-// selects the SEESAW design.
+// selects the genome's design.
 func (g Genome) Apply(base sim.Config) sim.Config {
-	base.CacheKind = sim.KindSeesaw
+	base.CacheKind = sim.CacheKind(g.designOrDefault())
 	base.TFT = tft.Config{Entries: g.TFTEntries, Assoc: g.TFTAssoc}
 	base.Partitions = g.Partitions
 	base.SchedulerAlwaysFast = g.Sched == "always-fast"
@@ -193,12 +255,13 @@ func (g Genome) Apply(base sim.Config) sim.Config {
 	return base
 }
 
-// AreaBytes is the genome's SRAM area objective: the TFT's storage per
-// core (43-bit region tags, as the paper's 86-byte default). The other
-// structures the genome moves (partition select, scheduler policy) are
-// control logic, not arrays, so the TFT is the area that varies.
+// AreaBytes is the genome's SRAM area objective, from the design
+// registry's area hook: the side structures beyond the L1 storage array
+// (SEESAW's TFT — 43-bit region tags, the paper's 86-byte default; zero
+// for VESPA, which has none). The other structures the genome moves
+// (partition select, scheduler policy) are control logic, not arrays.
 func (g Genome) AreaBytes() float64 {
-	return float64(tft.New(tft.Config{Entries: g.TFTEntries, Assoc: g.TFTAssoc}).SizeBytes())
+	return float64(g.Apply(sim.Config{}).DesignAreaBytes())
 }
 
 // validate prunes a candidate genome against a scenario: sched must be
@@ -207,6 +270,9 @@ func (g Genome) AreaBytes() float64 {
 // what make this cheap and observable — the mutator counts them
 // instead of crashing a worker on an impossible geometry.
 func (g Genome) validate(sc Scenario) error {
+	if indexOfString(designMenu, g.designOrDefault()) < 0 {
+		return fmt.Errorf("evolve: design %q is not on the search menu %v", g.designOrDefault(), designMenu)
+	}
 	if indexOfString(schedMenu, g.Sched) < 0 {
 		return fmt.Errorf("evolve: unknown sched policy %q", g.Sched)
 	}

@@ -1,0 +1,107 @@
+package evolve
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"seesaw/internal/runner"
+	"seesaw/internal/store"
+)
+
+// copyTree copies the checked-in fixture store into a scratch dir:
+// resuming a search writes a fresh checkpoint back, and testdata must
+// stay exactly as genlegacy produced it.
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLegacyCheckpointResume pins checkpoint compatibility across the
+// design-gene addition: the checked-in checkpoint was written before
+// Genome had a Design field, so its population and ledger genomes carry
+// no "design" key. Resuming must normalize them to the seesaw design,
+// keep their pre-design-gene ledger keys (so no cell is re-evaluated),
+// and match the options fingerprint computed by today's code.
+func TestLegacyCheckpointResume(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "legacy", "store", "checkpoints", "legacy-fixture.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Guard the guard: if the fixture were ever regenerated with current
+	// code its genomes would serialize a design key and this test would
+	// stop exercising the legacy path.
+	if strings.Contains(string(raw), `"design"`) {
+		t.Fatal("fixture checkpoint contains a design key — it no longer predates the design gene")
+	}
+
+	dir := t.TempDir()
+	copyTree(t, filepath.Join("testdata", "legacy", "store"), dir)
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The exact options tools/genlegacy ran with: the fingerprint over
+	// them must still match the one stored in the checkpoint.
+	opts := Options{
+		Seed: 7, Population: 4, Generations: 2,
+		Scenario: Scenario{
+			Workloads: []string{"redis"}, Frag: 0.4, Seed: 42, Refs: 2000,
+		},
+		Checkpoint:     st,
+		CheckpointName: "legacy-fixture",
+	}
+	pool := runner.New(0).WithStore(st)
+	search, err := New(opts, PoolEvaluator{Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := search.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Resumed {
+		t.Fatal("search did not resume — the options fingerprint drifted from the pre-refactor one")
+	}
+	// The ledger rebuilt under legacy keys: the paper default keeps its
+	// pre-design-gene key, and its genome normalized to seesaw.
+	if got, want := res.Default.Genome.Key(), "tft16x1-part2-counter-t0-promo50000-splin0"; got != want {
+		t.Errorf("default genome key = %q, want the legacy format %q", got, want)
+	}
+	if res.Default.Genome.Design != "seesaw" {
+		t.Errorf("default genome design = %q, want normalized %q", res.Default.Genome.Design, "seesaw")
+	}
+	for _, c := range res.Front {
+		if c.Genome.designOrDefault() != "seesaw" {
+			t.Errorf("front genome %s resolved to design %q, want seesaw", c.Genome.Key(), c.Genome.designOrDefault())
+		}
+	}
+	// Every cell the resumed search touched was served from the fixture
+	// store or the rebuilt ledger — resuming must not re-simulate.
+	if st := pool.Stats(); st.Runs != 0 {
+		t.Errorf("resume re-ran %d cells; all should come from the store", st.Runs)
+	}
+}

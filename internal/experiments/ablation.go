@@ -203,7 +203,7 @@ func AblationSnoopy(o Options) (*stats.Table, error) {
 		}
 		cells[ni] = make([]pair, len(modes))
 		for mi, mode := range modes {
-			cfg := baseConfig(o, p, 0, 64<<10, 1.33, "ooo")
+			cfg := baseConfig(o, p, sim.KindBaseline, 64<<10, 1.33, "ooo")
 			cfg.CoherenceMode = mode
 			cells[ni][mi] = submitPair(o, cfg)
 		}

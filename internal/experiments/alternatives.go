@@ -31,7 +31,7 @@ func Fig14(o Options) (*stats.Table, error) {
 		for wi, ways := range piptWays {
 			alts[fi][wi] = make([]altCell, len(profiles))
 			for pi, p := range profiles {
-				cfg := baseConfig(o, p, 0, 128<<10, f, "ooo")
+				cfg := baseConfig(o, p, sim.KindBaseline, 128<<10, f, "ooo")
 				base := o.Pool.Submit(cfg) // baseline VIPT reference
 				cfg.CacheKind = sim.KindPIPT
 				cfg.L1Ways = ways
@@ -46,7 +46,7 @@ func Fig14(o Options) (*stats.Table, error) {
 		}
 		pairs[fi] = make([]pair, len(profiles))
 		for pi, p := range profiles {
-			pairs[fi][pi] = submitPair(o, baseConfig(o, p, 0, 128<<10, f, "ooo"))
+			pairs[fi][pi] = submitPair(o, baseConfig(o, p, sim.KindBaseline, 128<<10, f, "ooo"))
 		}
 	}
 	t := stats.NewTable("Fig 14: SEESAW vs PIPT alternatives, 128KB L1",
@@ -108,7 +108,7 @@ func Fig15(o Options) (*stats.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		cfg := baseConfig(o, p, 0, 64<<10, 1.33, "ooo")
+		cfg := baseConfig(o, p, sim.KindBaseline, 64<<10, 1.33, "ooo")
 		wpCfg := cfg
 		wpCfg.WayPredict = true
 		seeCfg := cfg

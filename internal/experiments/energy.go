@@ -20,7 +20,7 @@ func Fig11(o Options) (*stats.Table, error) {
 	}
 	cells := make([]pair, len(profiles))
 	for pi, p := range profiles {
-		cells[pi] = submitPair(o, baseConfig(o, p, 0, 64<<10, 1.33, "ooo"))
+		cells[pi] = submitPair(o, baseConfig(o, p, sim.KindBaseline, 64<<10, 1.33, "ooo"))
 	}
 	t := stats.NewTable("Fig 11: % of L1 energy savings from CPU-side vs coherence lookups (64KB, OoO, 1.33GHz)",
 		"workload", "CPU-side %", "coherence %")
@@ -62,7 +62,7 @@ func Fig12(o Options) (*stats.Table, error) {
 		}
 		cells[ni] = make([]pair, len(hogs))
 		for hi, hog := range hogs {
-			cfg := baseConfig(o, p, 0, 64<<10, 1.33, "ooo")
+			cfg := baseConfig(o, p, sim.KindBaseline, 64<<10, 1.33, "ooo")
 			cfg.MemhogFraction = hog
 			cells[ni][hi] = submitPair(o, cfg)
 		}
@@ -98,7 +98,7 @@ func EnergyBreakdown(o Options) (*stats.Table, error) {
 	}
 	cells := make([]pair, len(profiles))
 	for pi, p := range profiles {
-		cells[pi] = submitPair(o, baseConfig(o, p, 0, 64<<10, 1.33, "ooo"))
+		cells[pi] = submitPair(o, baseConfig(o, p, sim.KindBaseline, 64<<10, 1.33, "ooo"))
 	}
 	t := stats.NewTable("Energy breakdown (nJ; 64KB, 1.33GHz, OoO)",
 		"workload", "design", "L1 CPU-side", "L1 coherence", "TLBs+TFT", "walks", "LLC", "DRAM", "leakage", "total")

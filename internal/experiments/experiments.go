@@ -167,6 +167,7 @@ var registry = map[string]Generator{
 	"fig15":  Fig15,
 
 	"energy-breakdown":     EnergyBreakdown,
+	"vespa-vs-seesaw":      VespaVsSeesaw,
 	"evolve-best":          EvolveBest,
 	"ext-icache":           ExtICache,
 	"ablation-1g":          Ablation1GPages,

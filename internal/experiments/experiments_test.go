@@ -23,6 +23,7 @@ func TestRegistryCoversEveryExperiment(t *testing.T) {
 		"ablation-insertion", "ablation-scheduler", "ablation-tft-assoc", "ablation-snoopy",
 		"ablation-1g", "ext-icache", "ablation-partition", "ablation-prefetch",
 		"ablation-replacement", "energy-breakdown", "evolve-best",
+		"vespa-vs-seesaw",
 	}
 	ids := IDs()
 	have := map[string]bool{}
@@ -160,7 +161,7 @@ func TestOptionsExplicitZero(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := baseConfig(o, p, 0, 64<<10, 1.33, "ooo")
+	cfg := baseConfig(o, p, sim.KindBaseline, 64<<10, 1.33, "ooo")
 	if cfg.Refs >= 0 {
 		t.Errorf("explicit zero refs not encoded as sentinel: %d", cfg.Refs)
 	}
@@ -172,7 +173,7 @@ func TestOptionsExplicitZero(t *testing.T) {
 		t.Errorf("zero-ref run touched the cache: %d hits, %d misses", r.L1Hits, r.L1Misses)
 	}
 	// Seed 0 must actually be seed 0: it differs from the default seed 42.
-	zero := baseConfig(o, p, 0, 64<<10, 1.33, "ooo")
+	zero := baseConfig(o, p, sim.KindBaseline, 64<<10, 1.33, "ooo")
 	zero.Refs = 5_000
 	def := zero
 	def.Seed = 42

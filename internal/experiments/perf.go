@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"seesaw/internal/sim"
 	"seesaw/internal/stats"
 )
 
@@ -23,7 +24,7 @@ func Fig7(o Options) (*stats.Table, error) {
 	for pi, p := range profiles {
 		cells[pi] = make([]pair, len(perfSizes))
 		for si, size := range perfSizes {
-			cells[pi][si] = submitPair(o, baseConfig(o, p, 0, size, 1.33, "ooo"))
+			cells[pi][si] = submitPair(o, baseConfig(o, p, sim.KindBaseline, size, 1.33, "ooo"))
 		}
 	}
 	t := stats.NewTable("Fig 7: % runtime improvement, OoO @1.33GHz",
@@ -64,7 +65,7 @@ func improvementSweep(o Options, cpuKind string) (perf, energy *stats.Table, err
 		for si, size := range perfSizes {
 			cells[fi][si] = make([]pair, len(profiles))
 			for wi, p := range profiles {
-				cells[fi][si][wi] = submitPair(o, baseConfig(o, p, 0, size, f, cpuKind))
+				cells[fi][si][wi] = submitPair(o, baseConfig(o, p, sim.KindBaseline, size, f, cpuKind))
 			}
 		}
 	}

@@ -94,7 +94,9 @@ func (s epochState) buf() (epochBuf, error) {
 // cross-component pointer — walker to page table, memhog to buddy,
 // recorder into every subsystem — stays valid without rewiring.
 type snapshotState struct {
-	Cfg Config
+	// Cfg rides the wire as configWire so snapshots written when
+	// CacheKind was an int enum still decode (see configwire.go).
+	Cfg configWire
 
 	GlobalRef int
 	CurRef    uint64
@@ -129,7 +131,7 @@ type snapshotState struct {
 // in-flight lookahead generation); Snapshot's clone guarantees that.
 func (m *Machine) captureState() (*snapshotState, error) {
 	st := &snapshotState{
-		Cfg:       m.cfg,
+		Cfg:       wireOf(m.cfg),
 		GlobalRef: m.globalRef,
 		CurRef:    m.curRef,
 		L2Lookups: m.l2Lookups,
@@ -390,7 +392,11 @@ func (s *Snapshot) UnmarshalBinary(data []byte) (err error) {
 	if derr := gob.NewDecoder(io.LimitReader(fr, maxSnapPayload)).Decode(&st); derr != nil {
 		return fmt.Errorf("%w: %v", ErrSnapshotCorrupt, derr)
 	}
-	m, berr := Build(st.Cfg)
+	cfg, cerr := st.Cfg.config()
+	if cerr != nil {
+		return fmt.Errorf("%w: embedded config: %v", ErrSnapshotCorrupt, cerr)
+	}
+	m, berr := Build(cfg)
 	if berr != nil {
 		return fmt.Errorf("%w: embedded config: %v", ErrSnapshotCorrupt, berr)
 	}

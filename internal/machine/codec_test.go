@@ -41,24 +41,19 @@ func encodeDecode(t *testing.T, snap *Snapshot) *Snapshot {
 }
 
 // TestCodecRoundTripMidEpoch is the differential battery's core case:
-// for every cache design, with every hook attached, a machine is
-// stopped mid-epoch (pre-generated records pending in the batch
-// buffer), snapshotted, encoded, decoded, and resumed — and the decoded
-// continuation must match the original machine's own continuation byte
-// for byte. A direct (unencoded) resume is compared too, so a failure
-// distinguishes "clone is wrong" from "codec is wrong".
+// for every registered cache design, with every hook attached, a
+// machine is stopped mid-epoch (pre-generated records pending in the
+// batch buffer), snapshotted, encoded, decoded, and resumed — and the
+// decoded continuation must match the original machine's own
+// continuation byte for byte. A direct (unencoded) resume is compared
+// too, so a failure distinguishes "clone is wrong" from "codec is
+// wrong". This is the codec leg of the zoo conformance battery (see
+// zoo_test.go).
 func TestCodecRoundTripMidEpoch(t *testing.T) {
-	for _, k := range []struct {
-		name string
-		kind CacheKind
-	}{
-		{"baseline", KindBaseline},
-		{"seesaw", KindSeesaw},
-		{"pipt", KindPIPT},
-	} {
-		t.Run(k.name, func(t *testing.T) {
+	for _, name := range DesignNames() {
+		t.Run(name, func(t *testing.T) {
 			ctx := context.Background()
-			cfg := hookedConfig(t, k.kind)
+			cfg := hookedConfig(t, CacheKind(name))
 			m := warmMaster(t, cfg)
 			total := cfg.WarmupRefs + cfg.Refs
 

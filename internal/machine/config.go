@@ -28,29 +28,105 @@ import (
 	"seesaw/internal/coherence"
 )
 
-// CacheKind selects the L1 design under test.
-type CacheKind int
+// CacheKind names the L1 design under test. Valid values are the
+// design registry's names (core.DesignNames); the zero value selects
+// the baseline. It was an int enum through snapshot/report schema v1 —
+// ParseCacheKind and the snapshot codec still accept the legacy
+// encodings — and is now an open string so designs register instead of
+// extending a switch.
+type CacheKind string
 
 const (
 	// KindBaseline is the conventional VIPT L1.
-	KindBaseline CacheKind = iota
+	KindBaseline CacheKind = "baseline"
 	// KindSeesaw is the paper's design.
-	KindSeesaw
+	KindSeesaw CacheKind = "seesaw"
 	// KindPIPT is the serial physically-indexed alternative (Fig 14).
-	KindPIPT
+	KindPIPT CacheKind = "pipt"
+	// KindVespa is the authors' precursor design: superpage-aware VIPT
+	// with the page size taken from the TLB instead of a TFT.
+	KindVespa CacheKind = "vespa"
 )
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer. The zero value renders as "baseline"
+// so the canonical keys of defaulted and explicit spellings agree (and
+// match the keys the int-enum encoding produced).
 func (k CacheKind) String() string {
-	switch k {
-	case KindBaseline:
-		return "baseline"
-	case KindSeesaw:
-		return "seesaw"
-	case KindPIPT:
-		return "pipt"
+	if k == "" {
+		return string(KindBaseline)
 	}
-	return fmt.Sprintf("CacheKind(%d)", int(k))
+	return string(k)
+}
+
+// design resolves the registry descriptor, treating "" as baseline.
+// The bool is false for names no registered design claims.
+func (k CacheKind) design() (*core.Design, bool) {
+	return core.LookupDesign(k.String())
+}
+
+// ParseCacheKind resolves a design name against the registry. Unknown
+// names are rejected with a typed *ConfigError (rule "unknown-design")
+// rather than silently falling back to the baseline; the empty string
+// is the baseline, as everywhere else.
+func ParseCacheKind(name string) (CacheKind, error) {
+	k := CacheKind(name)
+	if _, ok := k.design(); !ok {
+		return "", configErr("CacheKind", k.String(), RuleUnknownDesign,
+			"no registered design is named %q (have %v)", k.String(), core.SortedDesignNames())
+	}
+	return CacheKind(k.String()), nil
+}
+
+// CacheKindFromLegacy maps an int CacheKind, as stored by pre-registry
+// snapshots and checkpoints, to its design name.
+func CacheKindFromLegacy(v int) (CacheKind, bool) {
+	d, ok := core.DesignByLegacy(v)
+	if !ok {
+		return "", false
+	}
+	return CacheKind(d.Name), true
+}
+
+// DesignNames returns the registered design names in the registry's
+// canonical order — what -cache flags and wire specs accept.
+func DesignNames() []string { return core.DesignNames() }
+
+// DesignInfo is the slice of registry metadata the harness layers key
+// off when enumerating the zoo: menus (evolve filters on Speculates),
+// sweep matrices (Display labels, chaos knob overrides), and docs. It
+// deliberately omits the builder/codec hooks — those stay behind the
+// machine boundary.
+type DesignInfo struct {
+	Name       CacheKind
+	Display    string
+	UsesTFT    bool
+	Speculates bool
+	FastPath   bool
+	// Chaos knob overrides the chaos sweep applies to this design's
+	// cells (0/false = none).
+	ChaosSerialTLB int
+	ChaosSmallTLB  bool
+	ChaosL1Ways    int
+}
+
+// DesignInfos returns every registered design's metadata in
+// registration order.
+func DesignInfos() []DesignInfo {
+	ds := core.Designs()
+	infos := make([]DesignInfo, len(ds))
+	for i, d := range ds {
+		infos[i] = DesignInfo{
+			Name:           CacheKind(d.Name),
+			Display:        d.Display,
+			UsesTFT:        d.UsesTFT,
+			Speculates:     d.Speculates,
+			FastPath:       d.FastPath,
+			ChaosSerialTLB: d.ChaosSerialTLB,
+			ChaosSmallTLB:  d.ChaosSmallTLB,
+			ChaosL1Ways:    d.ChaosL1Ways,
+		}
+	}
+	return infos
 }
 
 // Config describes one simulation.
@@ -235,6 +311,38 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// l1cfg renders the defaults-applied config's data-cache geometry.
+func (c Config) l1cfg() core.Config {
+	return core.Config{
+		SizeBytes: c.L1Size, Ways: c.L1Ways, Partitions: c.Partitions,
+		FreqGHz: c.FreqGHz, TFT: c.TFT, Policy: c.Policy,
+		WayPredict: c.WayPredict, SerialTLBCycles: c.SerialTLBCycles,
+		Replacement: c.Replacement,
+	}
+}
+
+// il1cfg renders the instruction cache's geometry: the Table II private
+// 32KB 8-way L1I with the design's own default partition split.
+func (c Config) il1cfg() core.Config {
+	icfg := c.l1cfg()
+	icfg.SizeBytes = 32 << 10
+	icfg.Ways = 8
+	icfg.Partitions = 0
+	return icfg
+}
+
+// DesignAreaBytes is the design's extra SRAM beyond the L1 storage
+// array (SEESAW's TFT; zero for designs without side structures), from
+// the registry's area hook — the evolve search's area objective.
+func (c Config) DesignAreaBytes() uint64 {
+	d := c.withDefaults()
+	dsg, ok := d.CacheKind.design()
+	if !ok || dsg.AreaBytes == nil {
+		return 0
+	}
+	return dsg.AreaBytes(d.l1cfg())
+}
+
 // Validate reports configuration errors — impossible cache geometries,
 // unknown CPU kinds, contradictory scheduler overrides, bad fault
 // schedules — as errors instead of letting Build panic deep inside a
@@ -262,39 +370,15 @@ func (c Config) Validate() (err error) {
 	if _, err := cpu.New(d.CPUKind); err != nil {
 		return err
 	}
-	l1cfg := core.Config{
-		SizeBytes: d.L1Size, Ways: d.L1Ways, Partitions: d.Partitions,
-		FreqGHz: d.FreqGHz, TFT: d.TFT, Policy: d.Policy,
-		WayPredict: d.WayPredict, SerialTLBCycles: d.SerialTLBCycles,
-		Replacement: d.Replacement,
-	}
-	switch d.CacheKind {
-	case KindBaseline:
-		_, err = core.NewBaselineVIPT(l1cfg)
-	case KindSeesaw:
-		_, err = core.NewSeesaw(l1cfg)
-	case KindPIPT:
-		_, err = core.NewPIPT(l1cfg)
-	default:
-		err = fmt.Errorf("sim: unknown cache kind %v", d.CacheKind)
-	}
-	if err != nil {
+	// validateKnobs established the design exists and passed its
+	// single-knob rules; the constructor round-trip catches what only
+	// geometry math can judge.
+	dsg, _ := d.CacheKind.design()
+	if _, err = dsg.New(d.l1cfg()); err != nil {
 		return err
 	}
 	if d.ICache {
-		icfg := l1cfg
-		icfg.SizeBytes = 32 << 10
-		icfg.Ways = 8
-		icfg.Partitions = 0
-		switch d.CacheKind {
-		case KindBaseline:
-			_, err = core.NewBaselineVIPT(icfg)
-		case KindSeesaw:
-			_, err = core.NewSeesaw(icfg)
-		case KindPIPT:
-			_, err = core.NewPIPT(icfg)
-		}
-		if err != nil {
+		if _, err = dsg.New(d.il1cfg()); err != nil {
 			return err
 		}
 	}

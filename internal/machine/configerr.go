@@ -1,74 +1,43 @@
 package machine
 
-import "fmt"
+import (
+	"fmt"
+
+	"seesaw/internal/core"
+)
 
 // Rule identifies, machine-readably, which configuration constraint a
-// ConfigError reports. The values are stable API: the evolutionary
-// search's mutation operators (internal/evolve) switch on them to prune
+// ConfigError reports. The type and its values live in internal/core so
+// design descriptors can return typed geometry rejections; they are
+// aliased here because this package's Config.Validate is where callers
+// meet them. The values are stable API: the evolutionary search's
+// mutation operators (internal/evolve) switch on them to prune
 // geometry-impossible genomes instead of crashing a worker, and tests
 // pin them, so renaming one is a breaking change.
-type Rule string
+type Rule = core.Rule
 
 const (
-	// RulePartitionsNotPow2: the SEESAW partition count must be a
-	// positive power of two (the partition selector is an address-bit
-	// decoder).
-	RulePartitionsNotPow2 Rule = "partitions-not-power-of-two"
-	// RulePartitionsExceedWays: more partitions than ways leaves some
-	// partitions with no ways at all.
-	RulePartitionsExceedWays Rule = "partitions-exceed-ways"
-	// RuleWaysNotDivisible: ways must divide evenly into partitions so
-	// every partition has the same width.
-	RuleWaysNotDivisible Rule = "ways-not-divisible-into-partitions"
-	// RuleTFTEntriesNegative: a negative TFT entry count is not a
-	// geometry (0 means "paper default").
-	RuleTFTEntriesNegative Rule = "tft-entries-negative"
-	// RuleTFTAssocInvalid: TFT associativity must lie in [0, Entries]
-	// (0 and 1 both mean direct-mapped).
-	RuleTFTAssocInvalid Rule = "tft-assoc-exceeds-entries"
-	// RuleTFTEntriesNotDivisible: a set-associative TFT needs Entries
-	// divisible by Assoc so every set has the same width.
-	RuleTFTEntriesNotDivisible Rule = "tft-entries-not-divisible-by-assoc"
-	// RuleTFTSetsNotPow2: a set-associative TFT's set count
-	// (Entries/Assoc) must be a power of two. Direct-mapped TFTs are
-	// exempt: they index with the paper's MOD-entries hash, which is
-	// what makes the Fig 13 12- and 20-entry study points valid.
-	RuleTFTSetsNotPow2 Rule = "tft-sets-not-power-of-two"
-	// RuleSpecThresholdNegative: the speculation threshold is an entry
-	// count; negative values are not meaningful (0 = paper default).
-	RuleSpecThresholdNegative Rule = "spec-threshold-negative"
-	// RuleSchedulerContradiction: the scheduler cannot be pinned both
-	// always-fast and always-slow.
-	RuleSchedulerContradiction Rule = "scheduler-contradiction"
-	// RuleMemhogRange: the memhog fraction must lie in [0, 0.95].
-	RuleMemhogRange Rule = "memhog-out-of-range"
-	// RuleTraceWarmup: warmup needs online generation, so a replay
-	// trace cannot carry a warmup phase.
-	RuleTraceWarmup Rule = "trace-with-warmup"
+	RulePartitionsNotPow2      = core.RulePartitionsNotPow2
+	RulePartitionsExceedWays   = core.RulePartitionsExceedWays
+	RuleWaysNotDivisible       = core.RuleWaysNotDivisible
+	RuleTFTEntriesNegative     = core.RuleTFTEntriesNegative
+	RuleTFTAssocInvalid        = core.RuleTFTAssocInvalid
+	RuleTFTEntriesNotDivisible = core.RuleTFTEntriesNotDivisible
+	RuleTFTSetsNotPow2         = core.RuleTFTSetsNotPow2
+	RuleSpecThresholdNegative  = core.RuleSpecThresholdNegative
+	RuleSchedulerContradiction = core.RuleSchedulerContradiction
+	RuleMemhogRange            = core.RuleMemhogRange
+	RuleTraceWarmup            = core.RuleTraceWarmup
+	RuleUnknownDesign          = core.RuleUnknownDesign
 )
 
 // ConfigError is the typed, machine-readable form of a configuration
-// rejection: which field, which value, and which rule it broke.
-// sim.Config.Validate returns one (as error) for every knob combination
-// it can attribute to a single constraint; callers unwrap it with
-// errors.As. Errors surfaced from deeper constructors (SRAM latency
-// tables, CPU models) remain plain errors.
-type ConfigError struct {
-	// Field names the offending Config field, e.g. "Partitions" or
-	// "TFT.Assoc".
-	Field string
-	// Value is the rejected value, rendered.
-	Value string
-	// Rule is the stable machine-readable rule identifier.
-	Rule Rule
-	// Detail explains the constraint for humans.
-	Detail string
-}
-
-// Error implements error.
-func (e *ConfigError) Error() string {
-	return fmt.Sprintf("sim: invalid config: %s=%s violates %s: %s", e.Field, e.Value, e.Rule, e.Detail)
-}
+// rejection: which field, which value, and which rule it broke (see
+// core.ConfigError). sim.Config.Validate returns one (as error) for
+// every knob combination it can attribute to a single constraint;
+// callers unwrap it with errors.As. Errors surfaced from deeper
+// constructors (SRAM latency tables, CPU models) remain plain errors.
+type ConfigError = core.ConfigError
 
 // configErr builds a ConfigError.
 func configErr(field string, value any, rule Rule, format string, args ...any) *ConfigError {
@@ -80,14 +49,12 @@ func configErr(field string, value any, rule Rule, format string, args ...any) *
 	}
 }
 
-// isPow2 reports whether n is a positive power of two.
-func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
-
 // validateKnobs applies the single-constraint knob checks — the ones a
 // design-space mutator needs typed answers for — to a defaults-applied
-// config. Geometry that only a constructor can judge (SRAM table
-// coverage, set counts) is still probed by Validate's constructor
-// round-trip afterwards.
+// config: the machine-level knobs first, then the selected design's own
+// registered geometry rules. Geometry that only a constructor can judge
+// (SRAM table coverage, set counts) is still probed by Validate's
+// constructor round-trip afterwards.
 func (d Config) validateKnobs() *ConfigError {
 	if d.MemhogFraction < 0 || d.MemhogFraction > 0.95 {
 		return configErr("MemhogFraction", d.MemhogFraction, RuleMemhogRange,
@@ -105,17 +72,14 @@ func (d Config) validateKnobs() *ConfigError {
 		return configErr("WarmupRefs", d.WarmupRefs, RuleTraceWarmup,
 			"warmup requires online generation, not a trace replay")
 	}
-	if d.CacheKind == KindSeesaw && d.Partitions != 0 {
-		switch {
-		case !isPow2(d.Partitions):
-			return configErr("Partitions", d.Partitions, RulePartitionsNotPow2,
-				"partition count must be a positive power of two")
-		case d.Partitions > d.L1Ways:
-			return configErr("Partitions", d.Partitions, RulePartitionsExceedWays,
-				"%d partitions over %d ways leaves empty partitions", d.Partitions, d.L1Ways)
-		case d.L1Ways%d.Partitions != 0:
-			return configErr("Partitions", d.Partitions, RuleWaysNotDivisible,
-				"%d ways do not divide into %d equal partitions", d.L1Ways, d.Partitions)
+	dsg, ok := d.CacheKind.design()
+	if !ok {
+		return configErr("CacheKind", d.CacheKind.String(), RuleUnknownDesign,
+			"no registered design is named %q (have %v)", d.CacheKind.String(), core.SortedDesignNames())
+	}
+	if dsg.Validate != nil {
+		if cerr := dsg.Validate(d.l1cfg()); cerr != nil {
+			return cerr
 		}
 	}
 	if t := d.TFT; true {
@@ -140,3 +104,6 @@ func (d Config) validateKnobs() *ConfigError {
 	}
 	return nil
 }
+
+// isPow2 reports whether n is a positive power of two.
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }

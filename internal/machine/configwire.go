@@ -1,0 +1,207 @@
+package machine
+
+import (
+	"fmt"
+
+	"seesaw/internal/cache"
+	"seesaw/internal/coherence"
+	"seesaw/internal/core"
+	"seesaw/internal/energy"
+	"seesaw/internal/faults"
+	"seesaw/internal/metrics"
+	"seesaw/internal/tft"
+	"seesaw/internal/trace"
+	"seesaw/internal/workload"
+)
+
+// configWire is Config's shape on the snapshot gob wire. It exists for
+// one reason: CacheKind was an int enum through the first generation of
+// snapshots and is now a registry name, and gob cannot decode an int
+// field into a string one. The wire therefore carries both spellings —
+// Design (the registry name, what current encoders write) and the
+// legacy CacheKind int slot — and decode prefers Design, falling back
+// to the enum mapping for blobs written before the registry existed.
+// gob matches fields by name and ignores ones the counterpart lacks, so
+// old blobs (no Design) and old binaries reading new blobs (no string
+// field) both keep working without a SnapshotSchemaVersion bump.
+//
+// Every other field mirrors Config exactly; the reflection drift guard
+// in configwire_test.go fails the build if the two structs diverge.
+type configWire struct {
+	Workload   workload.Profile
+	Seed       int64
+	Refs       int
+	WarmupRefs int
+	Trace      []trace.Record
+
+	// Design is the registry name of the L1 design ("seesaw", ...).
+	Design string
+	// CacheKind is the legacy enum slot: written for designs that have
+	// a legacy value (so pre-registry binaries can still read these
+	// snapshots), -1 otherwise; read only when Design is empty.
+	CacheKind int
+
+	L1Size          uint64
+	L1Ways          int
+	Partitions      int
+	Policy          core.InsertionPolicy
+	WayPredict      bool
+	Replacement     cache.Replacement
+	TFT             tft.Config
+	SerialTLBCycles int
+	SmallTLB        bool
+
+	FreqGHz             float64
+	CPUKind             string
+	SchedulerAlwaysFast bool
+	SchedulerAlwaysSlow bool
+	SpecFastThreshold   int
+
+	CoherenceMode coherence.Mode
+
+	MemBytes       uint64
+	Heap1G         bool
+	ICache         bool
+	TextHuge       bool
+	MemhogFraction float64
+	THPOff         bool
+
+	ContextSwitchEvery int
+	PromoteScanEvery   int
+	SplinterEvery      int
+
+	Prefetch bool
+
+	Faults          *faults.Config
+	CheckInvariants bool
+	Metrics         *metrics.Config
+
+	CoRunner       *workload.Profile
+	CoRunSliceRefs int
+
+	Prices energy.Prices
+}
+
+// wireOf renders a config for the snapshot wire.
+func wireOf(c Config) configWire {
+	legacy := -1
+	if d, ok := c.CacheKind.design(); ok {
+		legacy = d.Legacy
+	}
+	return configWire{
+		Workload:   c.Workload,
+		Seed:       c.Seed,
+		Refs:       c.Refs,
+		WarmupRefs: c.WarmupRefs,
+		Trace:      c.Trace,
+
+		Design:    c.CacheKind.String(),
+		CacheKind: legacy,
+
+		L1Size:          c.L1Size,
+		L1Ways:          c.L1Ways,
+		Partitions:      c.Partitions,
+		Policy:          c.Policy,
+		WayPredict:      c.WayPredict,
+		Replacement:     c.Replacement,
+		TFT:             c.TFT,
+		SerialTLBCycles: c.SerialTLBCycles,
+		SmallTLB:        c.SmallTLB,
+
+		FreqGHz:             c.FreqGHz,
+		CPUKind:             c.CPUKind,
+		SchedulerAlwaysFast: c.SchedulerAlwaysFast,
+		SchedulerAlwaysSlow: c.SchedulerAlwaysSlow,
+		SpecFastThreshold:   c.SpecFastThreshold,
+
+		CoherenceMode: c.CoherenceMode,
+
+		MemBytes:       c.MemBytes,
+		Heap1G:         c.Heap1G,
+		ICache:         c.ICache,
+		TextHuge:       c.TextHuge,
+		MemhogFraction: c.MemhogFraction,
+		THPOff:         c.THPOff,
+
+		ContextSwitchEvery: c.ContextSwitchEvery,
+		PromoteScanEvery:   c.PromoteScanEvery,
+		SplinterEvery:      c.SplinterEvery,
+
+		Prefetch: c.Prefetch,
+
+		Faults:          c.Faults,
+		CheckInvariants: c.CheckInvariants,
+		Metrics:         c.Metrics,
+
+		CoRunner:       c.CoRunner,
+		CoRunSliceRefs: c.CoRunSliceRefs,
+
+		Prices: c.Prices,
+	}
+}
+
+// config rebuilds the Config, resolving the design name: Design when
+// present (current blobs), the legacy enum otherwise (pre-registry
+// blobs). Unknown spellings in either slot are decode errors, never a
+// silent baseline.
+func (w configWire) config() (Config, error) {
+	kind := CacheKind(w.Design)
+	if w.Design == "" {
+		k, ok := CacheKindFromLegacy(w.CacheKind)
+		if !ok {
+			return Config{}, fmt.Errorf("machine: snapshot names no design and legacy cache kind %d is unknown", w.CacheKind)
+		}
+		kind = k
+	} else if _, ok := kind.design(); !ok {
+		return Config{}, fmt.Errorf("machine: snapshot names unregistered design %q", w.Design)
+	}
+	return Config{
+		Workload:   w.Workload,
+		Seed:       w.Seed,
+		Refs:       w.Refs,
+		WarmupRefs: w.WarmupRefs,
+		Trace:      w.Trace,
+
+		CacheKind: kind,
+
+		L1Size:          w.L1Size,
+		L1Ways:          w.L1Ways,
+		Partitions:      w.Partitions,
+		Policy:          w.Policy,
+		WayPredict:      w.WayPredict,
+		Replacement:     w.Replacement,
+		TFT:             w.TFT,
+		SerialTLBCycles: w.SerialTLBCycles,
+		SmallTLB:        w.SmallTLB,
+
+		FreqGHz:             w.FreqGHz,
+		CPUKind:             w.CPUKind,
+		SchedulerAlwaysFast: w.SchedulerAlwaysFast,
+		SchedulerAlwaysSlow: w.SchedulerAlwaysSlow,
+		SpecFastThreshold:   w.SpecFastThreshold,
+
+		CoherenceMode: w.CoherenceMode,
+
+		MemBytes:       w.MemBytes,
+		Heap1G:         w.Heap1G,
+		ICache:         w.ICache,
+		TextHuge:       w.TextHuge,
+		MemhogFraction: w.MemhogFraction,
+		THPOff:         w.THPOff,
+
+		ContextSwitchEvery: w.ContextSwitchEvery,
+		PromoteScanEvery:   w.PromoteScanEvery,
+		SplinterEvery:      w.SplinterEvery,
+
+		Prefetch: w.Prefetch,
+
+		Faults:          w.Faults,
+		CheckInvariants: w.CheckInvariants,
+		Metrics:         w.Metrics,
+
+		CoRunner:       w.CoRunner,
+		CoRunSliceRefs: w.CoRunSliceRefs,
+
+		Prices: w.Prices,
+	}, nil
+}

@@ -1,0 +1,94 @@
+package machine
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestConfigWireMirrorsConfig is the drift guard configwire.go promises:
+// configWire must be Config field for field — same names, same types,
+// same order — except for the design slot, where Config's string-typed
+// CacheKind becomes the Design string plus the legacy CacheKind int.
+// Adding a field to Config without adding it here silently drops it
+// from every snapshot; this test turns that into a loud failure.
+func TestConfigWireMirrorsConfig(t *testing.T) {
+	type field struct {
+		name string
+		typ  reflect.Type
+	}
+	flatten := func(st reflect.Type) []field {
+		var fs []field
+		for i := 0; i < st.NumField(); i++ {
+			f := st.Field(i)
+			fs = append(fs, field{f.Name, f.Type})
+		}
+		return fs
+	}
+
+	// Rewrite Config's field list into the shape the wire must have.
+	var want []field
+	for _, f := range flatten(reflect.TypeOf(Config{})) {
+		if f.name == "CacheKind" {
+			want = append(want,
+				field{"Design", reflect.TypeOf("")},
+				field{"CacheKind", reflect.TypeOf(int(0))})
+			continue
+		}
+		want = append(want, f)
+	}
+
+	got := flatten(reflect.TypeOf(configWire{}))
+	if len(got) != len(want) {
+		t.Fatalf("configWire has %d fields, Config implies %d — a Config field was added or removed without updating the wire struct", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("field %d: wire has %s %v, Config implies %s %v", i, got[i].name, got[i].typ, want[i].name, want[i].typ)
+		}
+	}
+}
+
+// TestConfigWireRoundTrip: wireOf followed by config() is the identity
+// on every field, for a config that sets each design slot variant.
+func TestConfigWireRoundTrip(t *testing.T) {
+	for _, kind := range []CacheKind{KindBaseline, KindSeesaw, KindPIPT, KindVespa} {
+		cfg := testConfig(t, kind)
+		got, err := wireOf(cfg).config()
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if !reflect.DeepEqual(cfg, got) {
+			t.Errorf("%s: wire round trip changed the config:\nin:  %+v\nout: %+v", kind, cfg, got)
+		}
+	}
+}
+
+// TestConfigWireLegacyFallback: a wire struct with no Design resolves
+// through the legacy enum; unknown spellings in either slot error.
+func TestConfigWireLegacyFallback(t *testing.T) {
+	for legacy, want := range map[int]CacheKind{
+		0: KindBaseline, 1: KindSeesaw, 2: KindPIPT,
+	} {
+		w := wireOf(testConfig(t, want))
+		w.Design = "" // as a pre-registry blob decodes
+		w.CacheKind = legacy
+		cfg, err := w.config()
+		if err != nil {
+			t.Fatalf("legacy %d: %v", legacy, err)
+		}
+		if cfg.CacheKind != want {
+			t.Errorf("legacy %d decoded to %q, want %q", legacy, cfg.CacheKind, want)
+		}
+	}
+
+	bad := wireOf(testConfig(t, KindSeesaw))
+	bad.Design = ""
+	bad.CacheKind = 99
+	if _, err := bad.config(); err == nil {
+		t.Error("unknown legacy enum value decoded without error")
+	}
+	bad.Design = "no-such-design"
+	if _, err := bad.config(); err == nil {
+		t.Error("unregistered design name decoded without error")
+	}
+}

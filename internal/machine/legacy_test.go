@@ -1,0 +1,83 @@
+package machine
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"seesaw/internal/workload"
+)
+
+// legacyFixtureConfig is the exact config tools/genlegacy used to
+// produce testdata/legacy/snapshot_*.bin before CacheKind became a
+// string: the snapshots on disk carry the old int enum in their gob
+// payload, so decoding them exercises the legacy fallback in
+// configwire.go.
+func legacyFixtureConfig(t *testing.T, kind CacheKind) Config {
+	t.Helper()
+	p, err := workload.ByName("redis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Workload: p, Seed: 42, Refs: 2000, WarmupRefs: 2000,
+		CacheKind: kind, L1Size: 32 << 10, FreqGHz: 1.33,
+		CPUKind: "ooo", MemBytes: 256 << 20, MemhogFraction: 0.3,
+	}
+}
+
+// TestLegacySnapshotDecode pins backward compatibility for snapshots
+// written before the design registry: blobs whose embedded config
+// stores CacheKind as the old int enum must decode to the matching
+// design name, keep their warmup signature (so the ladder still
+// recognises them), and resume to a working, deterministic machine.
+func TestLegacySnapshotDecode(t *testing.T) {
+	for _, kind := range []CacheKind{KindSeesaw, KindBaseline, KindPIPT} {
+		name := kind.String()
+		t.Run(name, func(t *testing.T) {
+			blob, err := os.ReadFile(filepath.Join("testdata", "legacy", "snapshot_"+name+".bin"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			snap, err := UnmarshalSnapshot(blob)
+			if err != nil {
+				t.Fatalf("legacy snapshot no longer decodes: %v", err)
+			}
+
+			cfg := legacyFixtureConfig(t, kind)
+			if got := snap.Resume().Config().CacheKind; got != kind {
+				t.Errorf("decoded CacheKind = %q, want %q", got, kind)
+			}
+			if snap.Ref() != cfg.WarmupRefs {
+				t.Errorf("decoded rung = %d, want the warmup boundary %d", snap.Ref(), cfg.WarmupRefs)
+			}
+			if snap.Signature() != cfg.WarmupSignature() {
+				t.Error("decoded warmup signature differs from the fixture config's — " +
+					"the ladder would refuse to reuse pre-refactor snapshots")
+			}
+
+			// The decoded machine must actually run, and deterministically:
+			// two independent resumes of one legacy blob agree byte for byte.
+			run := func() []byte {
+				m := snap.Resume()
+				if err := m.Measure(context.Background()); err != nil {
+					t.Fatal(err)
+				}
+				r, err := m.Report()
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := r.WriteText(&buf); err != nil {
+					t.Fatal(err)
+				}
+				return buf.Bytes()
+			}
+			if a, b := run(), run(); !bytes.Equal(a, b) {
+				t.Error("two resumes of the legacy snapshot disagree")
+			}
+		})
+	}
+}

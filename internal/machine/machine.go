@@ -101,9 +101,12 @@ type Machine struct {
 	batch batchState
 
 	// schedule interleaves application threads with the system thread;
-	// superTLBThreshold gates the scheduler's fast-path speculation.
+	// superTLBThreshold gates the scheduler's fast-path speculation and
+	// speculates marks whether the design has a fast/slow latency split
+	// the scheduler may speculate on at all (Design.Speculates).
 	schedule          []int
 	superTLBThreshold int
+	speculates        bool
 	// lastWidth tracks each coherence participant's most recent probe
 	// width so EvProbeWidth fires only on transitions (metrics only).
 	lastWidth []int
@@ -284,15 +287,10 @@ func (m *Machine) buildUarch() error {
 	}
 
 	m.l1s = make([]core.L1Cache, m.nCores)
-	m.seesaws = make([]*core.Seesaw, m.nCores) // nil unless KindSeesaw
+	m.seesaws = make([]*core.Seesaw, m.nCores) // nil unless the design embeds a TFT
 	m.hiers = make([]*tlb.Hierarchy, m.nCores)
 	m.cpus = make([]cpu.Model, m.nCores)
-	l1cfg := core.Config{
-		SizeBytes: cfg.L1Size, Ways: cfg.L1Ways, Partitions: cfg.Partitions,
-		FreqGHz: cfg.FreqGHz, TFT: cfg.TFT, Policy: cfg.Policy,
-		WayPredict: cfg.WayPredict, SerialTLBCycles: cfg.SerialTLBCycles,
-		Replacement: cfg.Replacement,
-	}
+	l1cfg := cfg.l1cfg()
 	tlbCfg := tlb.SandybridgeTLBs()
 	if cfg.CPUKind == "inorder" {
 		tlbCfg = tlb.AtomTLBs()
@@ -300,19 +298,21 @@ func (m *Machine) buildUarch() error {
 	if cfg.SmallTLB {
 		tlbCfg = tlb.SmallTLBs()
 	}
+	dsg, ok := cfg.CacheKind.design()
+	if !ok {
+		return fmt.Errorf("sim: unknown cache kind %v", cfg.CacheKind)
+	}
+	m.speculates = dsg.Speculates
 	newL1 := func(c core.Config) (core.L1Cache, *core.Seesaw, error) {
-		switch cfg.CacheKind {
-		case KindBaseline:
-			l1, err := core.NewBaselineVIPT(c)
-			return l1, nil, err
-		case KindSeesaw:
-			l1, err := core.NewSeesaw(c)
-			return l1, l1, err
-		case KindPIPT:
-			l1, err := core.NewPIPT(c)
-			return l1, nil, err
+		l1, err := dsg.New(c)
+		if err != nil {
+			return nil, nil, err
 		}
-		return nil, nil, fmt.Errorf("sim: unknown cache kind %v", cfg.CacheKind)
+		// The TFT wiring (TLB-fill hooks, invlpg, context-switch
+		// flushes, report section) keys off the concrete SEESAW type;
+		// designs without a TFT leave a nil slot.
+		s, _ := l1.(*core.Seesaw)
+		return l1, s, nil
 	}
 	// Optional per-core L1 instruction caches (Table II: split 32KB I).
 	if cfg.ICache {
@@ -326,11 +326,7 @@ func (m *Machine) buildUarch() error {
 		}
 		m.l1s[i], m.seesaws[i] = l1, s
 		if cfg.ICache {
-			icfg := l1cfg
-			icfg.SizeBytes = 32 << 10
-			icfg.Ways = 8
-			icfg.Partitions = 0
-			il1, is, err := newL1(icfg)
+			il1, is, err := newL1(cfg.il1cfg())
 			if err != nil {
 				return err
 			}
@@ -750,7 +746,7 @@ func (m *Machine) dataAccess(tid int, rec trace.Record, asid uint16, countStats 
 		}
 	}
 	assumedFast := false
-	if m.seesaws[tid] != nil {
+	if m.speculates {
 		switch {
 		case m.cfg.SchedulerAlwaysFast:
 			assumedFast = true

@@ -36,10 +36,15 @@ func testConfig(t *testing.T, kind CacheKind) Config {
 		PromoteScanEvery: 7_000,
 		SplinterEvery:    9_000,
 	}
-	if kind == KindPIPT {
-		cfg.L1Ways = 4
-		cfg.SerialTLBCycles = 2
-		cfg.SmallTLB = true
+	// Apply the registry's per-design knob overrides (the serial PIPT
+	// point only makes sense with its reduced TLB and 4 ways), so the
+	// battery exercises each design in its intended configuration.
+	if d, ok := kind.design(); ok {
+		cfg.SerialTLBCycles = d.ChaosSerialTLB
+		cfg.SmallTLB = d.ChaosSmallTLB
+		if d.ChaosL1Ways != 0 {
+			cfg.L1Ways = d.ChaosL1Ways
+		}
 	}
 	if err := cfg.Validate(); err != nil {
 		t.Fatal(err)
@@ -85,20 +90,14 @@ func warmMaster(t *testing.T, cfg Config) *Machine {
 // TestForkEqualsCold is the tentpole guarantee: a cell forked from a
 // warmed machine produces a byte-identical report to a cold run of the
 // same config. The master is warmed as the baseline design, then forked
-// into each design — exactly how a shared-warmup sweep uses it.
+// into every registered design — exactly how a shared-warmup sweep uses
+// it, and one leg of the zoo conformance battery (see zoo_test.go).
 func TestForkEqualsCold(t *testing.T) {
 	ctx := context.Background()
 	master := warmMaster(t, testConfig(t, KindBaseline))
-	for _, k := range []struct {
-		name string
-		kind CacheKind
-	}{
-		{"baseline", KindBaseline},
-		{"seesaw", KindSeesaw},
-		{"pipt", KindPIPT},
-	} {
-		t.Run(k.name, func(t *testing.T) {
-			cfg := testConfig(t, k.kind)
+	for _, name := range DesignNames() {
+		t.Run(name, func(t *testing.T) {
+			cfg := testConfig(t, CacheKind(name))
 			cold, err := Build(cfg)
 			if err != nil {
 				t.Fatal(err)

@@ -127,6 +127,7 @@ func (m *Machine) clone() *Machine {
 		cfg:               m.cfg,
 		nCores:            m.nCores,
 		superTLBThreshold: m.superTLBThreshold,
+		speculates:        m.speculates,
 		globalRef:         m.globalRef,
 		curRef:            m.curRef,
 		l2Lookups:         m.l2Lookups,

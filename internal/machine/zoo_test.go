@@ -1,0 +1,103 @@
+package machine
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"seesaw/internal/core"
+	"seesaw/internal/faults"
+)
+
+// TestZooConformance is the registry conformance battery: every design
+// in the zoo — present and future — must pass the machine-level
+// contracts the harness layers lean on. The legs here cover
+// build-by-name and clone deep-copy isolation; the two heavyweight legs
+// run registry-wide in their own tests (fork-equals-cold in
+// TestForkEqualsCold, the mid-epoch snapshot codec round-trip in
+// TestCodecRoundTripMidEpoch), and the chaos leg below drives every
+// fault schedule under the online invariant checker.
+func TestZooConformance(t *testing.T) {
+	for _, name := range DesignNames() {
+		kind := CacheKind(name)
+		t.Run(name, func(t *testing.T) {
+			t.Run("build-by-name", func(t *testing.T) {
+				cfg := testConfig(t, kind)
+				m, err := Build(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// The built L1 must identify as the registered design, or
+				// the snapshot codec cannot route its state.
+				dn, ok := m.l1s[0].(core.DesignNamed)
+				if !ok {
+					t.Fatalf("%T does not implement core.DesignNamed", m.l1s[0])
+				}
+				if dn.DesignName() != name {
+					t.Fatalf("built L1 identifies as %q, want %q", dn.DesignName(), name)
+				}
+			})
+
+			t.Run("clone-deep-copy", func(t *testing.T) {
+				// A snapshot taken at the warmup boundary must be isolated
+				// from the machine it was taken from: running the original
+				// to completion cannot change what the snapshot resumes to.
+				ctx := context.Background()
+				cfg := testConfig(t, kind)
+				m := warmMaster(t, cfg)
+				snap, err := m.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				before := reportText(t, snap.Resume())
+				if err := m.Measure(ctx); err != nil {
+					t.Fatal(err)
+				}
+				after := reportText(t, snap.Resume())
+				if !bytes.Equal(before, after) {
+					t.Errorf("running the original changed the snapshot's resume — clone shares state:\nbefore:\n%s\nafter:\n%s",
+						before, after)
+				}
+			})
+
+			t.Run("chaos-invariants", func(t *testing.T) {
+				if testing.Short() {
+					t.Skip("chaos leg is a multi-schedule run")
+				}
+				for _, sched := range faults.Schedules() {
+					cfg := testConfig(t, kind)
+					cfg.Refs = 12_000
+					cfg.WarmupRefs = 8_000
+					cfg.CheckInvariants = true
+					cfg.Faults = &faults.Config{Schedule: sched, Every: 3_000}
+					if err := cfg.Validate(); err != nil {
+						t.Fatal(err)
+					}
+					m, err := Build(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ctx := context.Background()
+					if err := m.Warmup(ctx); err != nil {
+						t.Fatal(err)
+					}
+					if err := m.Measure(ctx); err != nil {
+						t.Fatal(err)
+					}
+					r, err := m.Report()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if r.Faults == nil || r.Faults.Injected == 0 {
+						t.Errorf("schedule %s injected no faults", sched)
+					}
+					if r.Check == nil || r.Check.Checks == 0 {
+						t.Errorf("schedule %s ran no invariant checks", sched)
+					} else if r.Check.Violations != 0 {
+						t.Errorf("schedule %s: %d invariant violations", sched, r.Check.Violations)
+					}
+				}
+			})
+		})
+	}
+}

@@ -38,7 +38,8 @@ import (
 type CellSpec struct {
 	// Workload names a built-in profile (see workload.Names). Required.
 	Workload string `json:"workload"`
-	// Cache is the L1 design: "seesaw" (default), "baseline", or "pipt".
+	// Cache names a registered L1 design (see sim.DesignNames):
+	// "seesaw" (default), "baseline", "pipt", "vespa", ...
 	Cache string `json:"cache,omitempty"`
 	// SizeKB is the L1 data-cache size in KB (default 32).
 	SizeKB uint64 `json:"size_kb,omitempty"`
@@ -111,16 +112,16 @@ func (c CellSpec) Config() (sim.Config, error) {
 	if err != nil {
 		return sim.Config{}, err
 	}
-	var kind sim.CacheKind
-	switch c.Cache {
-	case "", "seesaw":
-		kind = sim.KindSeesaw
-	case "baseline":
-		kind = sim.KindBaseline
-	case "pipt":
-		kind = sim.KindPIPT
-	default:
-		return sim.Config{}, fmt.Errorf("unknown cache design %q (want seesaw, baseline, or pipt)", c.Cache)
+	// An empty Cache selects seesaw (the design under study), not the
+	// simulator's zero-value default; every other spelling must resolve
+	// against the design registry — unknown names are a typed 400, never
+	// a silently-different design.
+	kind := sim.KindSeesaw
+	if c.Cache != "" {
+		kind, err = sim.ParseCacheKind(c.Cache)
+		if err != nil {
+			return sim.Config{}, err
+		}
 	}
 	cfg := sim.Config{
 		Workload:           p,
@@ -184,16 +185,9 @@ func SpecFromConfig(cfg sim.Config) (CellSpec, error) {
 	if cfg.Metrics != nil && cfg.Metrics.EpochRefs <= 0 {
 		return CellSpec{}, fmt.Errorf("counters-only metrics have no wire form; use -prom with local sweeps")
 	}
-	var cache string
-	switch cfg.CacheKind {
-	case sim.KindSeesaw:
-		cache = "seesaw"
-	case sim.KindBaseline:
-		cache = "baseline"
-	case sim.KindPIPT:
-		cache = "pipt"
-	default:
-		return CellSpec{}, fmt.Errorf("cache kind %v has no wire name", cfg.CacheKind)
+	cache := cfg.CacheKind.String()
+	if _, err := sim.ParseCacheKind(cache); err != nil {
+		return CellSpec{}, fmt.Errorf("cache kind %q has no wire name: %w", cache, err)
 	}
 	spec := CellSpec{
 		Workload:        cfg.Workload.Name,

@@ -74,4 +74,5 @@ const (
 	RuleSchedulerContradiction = machine.RuleSchedulerContradiction
 	RuleMemhogRange            = machine.RuleMemhogRange
 	RuleTraceWarmup            = machine.RuleTraceWarmup
+	RuleUnknownDesign          = machine.RuleUnknownDesign
 )

@@ -1,6 +1,9 @@
 package sim
 
-import "testing"
+import (
+	"errors"
+	"testing"
+)
 
 // TestFacadeVocabularies pins the facade's pass-throughs over the leaf
 // packages cmd/ is not allowed to import: the fault-schedule list and
@@ -20,5 +23,39 @@ func TestFacadeVocabularies(t *testing.T) {
 	}
 	if n := CheckKindName(0); n == "" {
 		t.Error("CheckKindName(0) is empty")
+	}
+}
+
+// TestDesignFacade pins the registry pass-throughs: every registered
+// name parses back to itself, unknown names get the typed
+// RuleUnknownDesign rejection, and the metadata view agrees with the
+// name list.
+func TestDesignFacade(t *testing.T) {
+	names := DesignNames()
+	if len(names) < 4 {
+		t.Fatalf("DesignNames() = %v, want at least the seed four", names)
+	}
+	for _, n := range names {
+		kind, err := ParseCacheKind(n)
+		if err != nil || kind.String() != n {
+			t.Errorf("ParseCacheKind(%q) = %q, %v", n, kind, err)
+		}
+	}
+	if _, err := ParseCacheKind("no-such-design"); err == nil {
+		t.Error("unknown design name parsed without error")
+	} else {
+		var ce *ConfigError
+		if !errors.As(err, &ce) || ce.Rule != RuleUnknownDesign {
+			t.Errorf("unknown design error = %v, want rule %s", err, RuleUnknownDesign)
+		}
+	}
+	infos := DesignInfos()
+	if len(infos) != len(names) {
+		t.Fatalf("DesignInfos() has %d entries, DesignNames() %d", len(infos), len(names))
+	}
+	for i, d := range infos {
+		if string(d.Name) != names[i] || d.Display == "" {
+			t.Errorf("info %d = %+v, want name %q and a display label", i, d, names[i])
+		}
 	}
 }

@@ -20,7 +20,7 @@ import (
 	"seesaw/internal/machine"
 )
 
-// CacheKind selects the L1 design under test.
+// CacheKind selects the L1 design under test by registry name.
 type CacheKind = machine.CacheKind
 
 const (
@@ -30,7 +30,27 @@ const (
 	KindSeesaw = machine.KindSeesaw
 	// KindPIPT is the serial physically-indexed alternative (Fig 14).
 	KindPIPT = machine.KindPIPT
+	// KindVespa is the superpage-aware VIPT alternative (no TFT).
+	KindVespa = machine.KindVespa
 )
+
+// ParseCacheKind resolves a design name against the registry, returning
+// a typed ConfigError (RuleUnknownDesign) for unknown spellings instead
+// of silently defaulting to baseline.
+func ParseCacheKind(name string) (CacheKind, error) {
+	return machine.ParseCacheKind(name)
+}
+
+// DesignNames lists every registered L1 design in registration order,
+// for flag help and sweep enumeration.
+func DesignNames() []string { return machine.DesignNames() }
+
+// DesignInfo is one registered design's enumeration metadata.
+type DesignInfo = machine.DesignInfo
+
+// DesignInfos lists every registered design's metadata in registration
+// order, for registry-derived menus and sweep matrices.
+func DesignInfos() []DesignInfo { return machine.DesignInfos() }
 
 // Config describes one simulation. See machine.Config for the full
 // field documentation.

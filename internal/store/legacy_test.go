@@ -1,0 +1,85 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"seesaw/internal/sim"
+	"seesaw/internal/workload"
+)
+
+// copyTree copies the checked-in fixture store into a scratch dir so
+// Open (which creates directories and GCs snapshots) never mutates
+// testdata.
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLegacyStoreEntry pins two compatibility guarantees for stores
+// written before CacheKind became a string: the canonical key a config
+// renders to is byte-identical to the pre-refactor rendering (the
+// checked-in canonical_key.txt), and the checked-in report entry —
+// content-addressed by that key — is still found by Get. Either
+// regressing would silently invalidate every existing result store.
+func TestLegacyStoreEntry(t *testing.T) {
+	p, err := workload.ByName("redis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The exact config tools/genlegacy stored the fixture entry under.
+	cfg := sim.Config{
+		Workload: p, Seed: 42, Refs: 3000,
+		CacheKind: sim.KindSeesaw, L1Size: 32 << 10, FreqGHz: 1.33,
+		CPUKind: "ooo", MemBytes: 512 << 20,
+	}
+
+	wantKey, err := os.ReadFile(filepath.Join("testdata", "legacy", "canonical_key.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, ok := cfg.CanonicalKey()
+	if !ok {
+		t.Fatal("fixture config has no canonical key")
+	}
+	if key != strings.TrimSuffix(string(wantKey), "\n") {
+		t.Errorf("canonical key drifted from the pre-refactor rendering:\nwant %q\ngot  %q",
+			strings.TrimSpace(string(wantKey)), key)
+	}
+
+	dir := t.TempDir()
+	copyTree(t, filepath.Join("testdata", "legacy", "store"), dir)
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, hit := st.Get(cfg)
+	if !hit {
+		t.Fatal("legacy store entry not found under the current canonical key")
+	}
+	if r.Cycles != 24680 {
+		t.Errorf("legacy entry cycles = %d, want 24680", r.Cycles)
+	}
+}

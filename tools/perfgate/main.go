@@ -1,7 +1,9 @@
 // Command perfgate is the repo's throughput gate: it runs the simulator
 // throughput benchmarks (BenchmarkSimulatorThroughput, whole runs
-// including Build and Warmup, and BenchmarkMachineStepBatched, the
-// steady-state epoch-batched measured phase) and compares their refs/s
+// including Build and Warmup; BenchmarkMachineStepBatched, the
+// steady-state epoch-batched measured phase; and
+// BenchmarkMachineStepRegistry, the same steady state through the
+// design registry's interface-fallback dispatch) and compares their refs/s
 // against the checked-in baseline in BENCH_throughput.json, failing if
 // any benchmark regressed by more than the threshold. `make perfgate`
 // (part of `make verify`) runs the check; `make bench-baseline`
@@ -34,9 +36,13 @@ import (
 	"time"
 )
 
-// benchmarks lists the gated benchmarks. Both report a refs/s metric.
+// benchmarks lists the gated benchmarks. All report a refs/s metric:
+// the first two run SEESAW through its devirtualized fast path, the
+// registry benchmark runs VESPA through the interface fallback every
+// design without a fast-path hook uses.
 var benchmarks = []string{
 	"BenchmarkMachineStepBatched",
+	"BenchmarkMachineStepRegistry",
 	"BenchmarkSimulatorThroughput",
 }
 

@@ -1,0 +1,176 @@
+// Command zoosmoke is the end-to-end gate behind `make zoo-smoke`: it
+// sweeps every design registered in the zoo — not a hardcoded list, so
+// a newly registered design is covered the moment it exists — through
+// the real service stack. It builds seesaw-served and seesaw-client,
+// boots the daemon on a random port with a fresh store, submits one
+// cell per registered design, requires every cell to be computed fresh,
+// resubmits and requires every cell to come back from the store with
+// byte-identical per-cell results, then SIGTERMs the daemon and
+// requires a clean drain. Any deviation exits non-zero.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"seesaw/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "zoosmoke:", err)
+		os.Exit(1)
+	}
+	fmt.Println("zoosmoke: ok")
+}
+
+func run() error {
+	designs := sim.DesignNames()
+	if len(designs) < 4 {
+		return fmt.Errorf("registry holds %d designs %v, want at least the seed four", len(designs), designs)
+	}
+	fmt.Printf("zoosmoke: sweeping %d designs: %s\n", len(designs), strings.Join(designs, ", "))
+
+	tmp, err := os.MkdirTemp("", "seesaw-zoosmoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	served := filepath.Join(tmp, "seesaw-served")
+	client := filepath.Join(tmp, "seesaw-client")
+	for bin, pkg := range map[string]string{served: "./cmd/seesaw-served", client: "./cmd/seesaw-client"} {
+		out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput()
+		if err != nil {
+			return fmt.Errorf("build %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	daemon := exec.Command(served, "-addr", "127.0.0.1:0", "-store", filepath.Join(tmp, "store"))
+	stdout, err := daemon.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	daemon.Stderr = os.Stderr
+	if err := daemon.Start(); err != nil {
+		return err
+	}
+	defer daemon.Process.Kill()
+
+	addr, err := readAddr(stdout)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("zoosmoke: daemon on %s\n", addr)
+
+	n := len(designs)
+	jobArgs := []string{"-addr", addr, "-workloads", "redis",
+		"-caches", strings.Join(designs, ","),
+		"-refs", "3000", "-wait", "-timeout", "2m"}
+
+	// First submission computes one fresh cell per design.
+	out, err := exec.Command(client, jobArgs...).CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("first submission: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), fmt.Sprintf("runs=%d", n)) ||
+		!strings.Contains(string(out), "store_hits=0") {
+		return fmt.Errorf("first submission should compute all %d cells fresh:\n%s", n, out)
+	}
+	first := cellLines(string(out))
+	if len(first) != n {
+		return fmt.Errorf("first submission printed %d result lines, want %d:\n%s", len(first), n, out)
+	}
+
+	// Identical resubmission: every design's cell answered from the
+	// store, with results byte-identical to the fresh run.
+	start := time.Now()
+	out, err = exec.Command(client, jobArgs...).CombinedOutput()
+	elapsed := time.Since(start)
+	if err != nil {
+		return fmt.Errorf("cached submission: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "runs=0") ||
+		!strings.Contains(string(out), fmt.Sprintf("store_hits=%d", n)) {
+		return fmt.Errorf("cached submission should hit the store for all %d cells:\n%s", n, out)
+	}
+	second := cellLines(string(out))
+	if strings.Join(first, "\n") != strings.Join(second, "\n") {
+		return fmt.Errorf("store-served results differ from the fresh run:\n--- fresh ---\n%s\n--- cached ---\n%s",
+			strings.Join(first, "\n"), strings.Join(second, "\n"))
+	}
+	fmt.Printf("zoosmoke: %d designs byte-identical from store in %s\n", n, elapsed.Round(time.Millisecond))
+
+	// Graceful shutdown: SIGTERM drains and exits 0.
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- daemon.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("daemon exit after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("daemon did not exit within 30s of SIGTERM")
+	}
+	return nil
+}
+
+// cellLines extracts the per-cell result lines ("  DESC IPC ... cycles
+// ... energy ...") from the client's output — the job id and source
+// counters legitimately differ between the fresh and cached runs, the
+// simulated results must not.
+func cellLines(out string) []string {
+	var cells []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "  ") && strings.Contains(line, "cycles") {
+			cells = append(cells, line)
+		}
+	}
+	return cells
+}
+
+// readAddr scans the daemon's stdout for the "listening on HOST:PORT"
+// line, with a timeout so a wedged daemon fails fast.
+func readAddr(stdout interface{ Read([]byte) (int, error) }) (string, error) {
+	type result struct {
+		addr string
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		buf := make([]byte, 256)
+		var line strings.Builder
+		for {
+			n, err := stdout.Read(buf)
+			line.Write(buf[:n])
+			if s := line.String(); strings.Contains(s, "\n") {
+				first := strings.SplitN(s, "\n", 2)[0]
+				addr, ok := strings.CutPrefix(first, "listening on ")
+				if !ok {
+					ch <- result{err: fmt.Errorf("unexpected daemon output %q", first)}
+					return
+				}
+				ch <- result{addr: strings.TrimSpace(addr)}
+				return
+			}
+			if err != nil {
+				ch <- result{err: fmt.Errorf("daemon exited before announcing its address: %v", err)}
+				return
+			}
+		}
+	}()
+	select {
+	case r := <-ch:
+		return r.addr, r.err
+	case <-time.After(15 * time.Second):
+		return "", fmt.Errorf("daemon did not announce its address within 15s")
+	}
+}
